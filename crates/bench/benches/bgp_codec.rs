@@ -1,0 +1,76 @@
+//! Microbenchmark: BGP message encode/decode throughput — the signaling
+//! layer's unit of work. The route server of L-IXP handles hundreds of
+//! sessions; parsing cost bounds how fast signals reach the controller.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stellar_bgp::attr::{AsPath, PathAttribute};
+use stellar_bgp::community::Community;
+use stellar_bgp::message::{DecodeCtx, Message};
+use stellar_bgp::nlri::Nlri;
+use stellar_bgp::update::UpdateMessage;
+use stellar_core::signal::StellarSignal;
+use stellar_net::addr::Ipv4Address;
+
+fn stellar_update() -> UpdateMessage {
+    let mut u = UpdateMessage::announce(
+        "100.10.10.10/32".parse().unwrap(),
+        Ipv4Address::new(80, 81, 192, 10),
+        PathAttribute::AsPath(AsPath::sequence([64500])),
+    );
+    u.add_communities(&[Community::new(6695, 666)]);
+    let sigs: Vec<_> = [123u16, 53, 389, 11211]
+        .iter()
+        .map(|p| StellarSignal::drop_udp_src(*p).encode(stellar_bgp::types::Asn(6695)))
+        .collect();
+    u.add_extended_communities(&sigs);
+    u
+}
+
+fn add_path_update(n: usize) -> UpdateMessage {
+    let mut u = stellar_update();
+    u.nlri = (0..n)
+        .map(|i| Nlri::with_path_id("100.10.10.10/32".parse().unwrap(), i as u32))
+        .collect();
+    u
+}
+
+fn bench(c: &mut Criterion) {
+    let ctx = DecodeCtx::default();
+    let ap_ctx = DecodeCtx { add_path: true };
+    let msg = Message::Update(stellar_update());
+    let wire = msg.encode(ctx).unwrap();
+    c.bench_function("bgp/encode_stellar_update", |b| {
+        b.iter(|| black_box(&msg).encode(ctx).unwrap())
+    });
+    c.bench_function("bgp/decode_stellar_update", |b| {
+        b.iter(|| Message::decode(black_box(&wire), ctx).unwrap().unwrap())
+    });
+    let big = Message::Update(add_path_update(64));
+    let big_wire = big.encode(ap_ctx).unwrap();
+    c.bench_function("bgp/decode_add_path_64", |b| {
+        b.iter(|| Message::decode(black_box(&big_wire), ap_ctx).unwrap().unwrap())
+    });
+    c.bench_function("bgp/reader_stream_100_msgs", |b| {
+        let mut stream = Vec::new();
+        for _ in 0..100 {
+            stream.extend(wire.clone());
+        }
+        b.iter_batched(
+            stellar_bgp::message::MessageReader::new,
+            |mut reader| {
+                reader.push(&stream);
+                let mut n = 0;
+                while let Some(m) = reader.next(ctx).unwrap() {
+                    black_box(&m);
+                    n += 1;
+                }
+                assert_eq!(n, 100);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

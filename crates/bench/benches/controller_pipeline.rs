@@ -1,0 +1,78 @@
+//! Microbenchmark: the blackholing controller pipeline — UPDATE in,
+//! abstract configuration changes out — plus the end-to-end signal path
+//! through route server, controller, queue and manager.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stellar_bgp::attr::{AsPath, PathAttribute};
+use stellar_bgp::nlri::Nlri;
+use stellar_bgp::types::Asn;
+use stellar_bgp::update::UpdateMessage;
+use stellar_core::controller::BlackholingController;
+use stellar_core::signal::StellarSignal;
+use stellar_core::system::StellarSystem;
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_net::addr::Ipv4Address;
+use stellar_sim::topology::{generic_members, IxpTopology};
+
+fn signaled_update(path_id: u32, port: u16) -> UpdateMessage {
+    let mut u = UpdateMessage::announce(
+        "100.10.10.10/32".parse().unwrap(),
+        Ipv4Address::new(80, 81, 192, 10),
+        PathAttribute::AsPath(AsPath::sequence([64500])),
+    );
+    u.nlri = vec![Nlri::with_path_id("100.10.10.10/32".parse().unwrap(), path_id)];
+    u.add_extended_communities(&[StellarSignal::drop_udp_src(port).encode(Asn(6695))]);
+    u
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("controller/signal_diff_add_remove", |b| {
+        b.iter_batched(
+            || BlackholingController::new(Asn(6695)),
+            |mut ctl| {
+                for i in 0..50u32 {
+                    let changes = ctl.process_update(&signaled_update(i, 123));
+                    black_box(&changes);
+                }
+                // Re-announce with a different rule: one remove + one add
+                // per path.
+                for i in 0..50u32 {
+                    let changes = ctl.process_update(&signaled_update(i, 53));
+                    black_box(&changes);
+                }
+                black_box(ctl.rule_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("system/end_to_end_signal_install", |b| {
+        b.iter_batched(
+            || {
+                let ixp = IxpTopology::build(
+                    &generic_members(64500, 50),
+                    HardwareInfoBase::production_er(),
+                );
+                StellarSystem::new(ixp, 1e6)
+            },
+            |mut sys| {
+                let victim = "131.0.0.10/32".parse().unwrap();
+                let out = sys.member_signal(
+                    Asn(64500),
+                    victim,
+                    &[StellarSignal::drop_udp_src(123)],
+                    0,
+                );
+                assert!(out.rejections.is_empty());
+                sys.pump(0);
+                assert_eq!(sys.active_rules(), 1);
+                black_box(sys.active_rules())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Microbenchmark: QoS classification throughput — how fast the emulated
+//! dataplane matches flow keys against installed blackholing rules, and
+//! the per-packet functional path including full header decode.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stellar_core::rule::BlackholingRule;
+use stellar_core::signal::StellarSignal;
+use stellar_dataplane::qos::QosPolicy;
+use stellar_net::addr::{IpAddress, Ipv4Address};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::packet::Packet;
+use stellar_net::proto::IpProtocol;
+
+fn policy_with_rules(n: usize) -> QosPolicy {
+    let mut p = QosPolicy::new();
+    for i in 0..n {
+        let rule = BlackholingRule {
+            id: i as u64,
+            owner: stellar_bgp::types::Asn(64500),
+            victim: format!("100.10.10.{}/32", i % 250).parse().unwrap(),
+            signal: StellarSignal::drop_udp_src(i as u16),
+        };
+        p.install(rule.to_filter_rule());
+    }
+    p
+}
+
+fn keys(n: usize) -> Vec<FlowKey> {
+    (0..n)
+        .map(|i| FlowKey {
+            src_mac: MacAddr::for_member(65000 + (i % 50) as u32, 1),
+            dst_mac: MacAddr::for_member(64500, 1),
+            src_ip: IpAddress::V4(Ipv4Address::from_u32(0xc633_6400 + i as u32)),
+            dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, (i % 250) as u8)),
+            protocol: IpProtocol::UDP,
+            src_port: (i % 1024) as u16,
+            dst_port: 443,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    for n_rules in [8usize, 64, 256] {
+        let policy = policy_with_rules(n_rules);
+        let ks = keys(1000);
+        let mut g = c.benchmark_group("filter/classify");
+        g.throughput(Throughput::Elements(ks.len() as u64));
+        g.bench_function(format!("{n_rules}_rules_1000_keys"), |b| {
+            b.iter(|| {
+                let mut hits = 0;
+                for k in &ks {
+                    if policy.classify(black_box(k)).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        g.finish();
+    }
+
+    // Per-packet functional path: wire decode + classify.
+    let policy = policy_with_rules(64);
+    let wire = Packet::udp_v4(
+        MacAddr::for_member(65000, 1),
+        MacAddr::for_member(64500, 1),
+        Ipv4Address::new(198, 51, 100, 7),
+        Ipv4Address::new(100, 10, 10, 10),
+        123,
+        40000,
+        vec![0xab; 468],
+    )
+    .encode();
+    c.bench_function("filter/per_packet_decode_and_classify", |b| {
+        b.iter(|| {
+            let p = Packet::decode(black_box(&wire)).unwrap();
+            black_box(policy.classify(&p.flow_key()))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: TCAM bookkeeping — allocation/free cycles and the
+//! Fig. 9 feasibility sweep itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stellar_bench::fig9;
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_dataplane::tcam::Tcam;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("tcam/alloc_free_1000", |b| {
+        b.iter_batched(
+            || Tcam::new(100_000, 100_000),
+            |mut t| {
+                let mut handles = Vec::with_capacity(1000);
+                for i in 0..1000usize {
+                    handles.push(t.alloc_raw(i % 3, 1 + i % 5).unwrap());
+                }
+                for h in handles {
+                    t.free(h);
+                }
+                black_box(t.allocation_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("tcam/fig9_full_sweep", |b| {
+        let hib = HardwareInfoBase::production_er();
+        b.iter(|| {
+            let mut total_ok = 0usize;
+            for (adoption, _) in fig9::ADOPTIONS {
+                let g = fig9::grid(black_box(&hib), adoption);
+                total_ok += g
+                    .iter()
+                    .flatten()
+                    .filter(|v| **v == stellar_dataplane::tcam::TcamVerdict::Ok)
+                    .count();
+            }
+            black_box(total_ok)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Ablation: the two network-manager backends of §4.4 — vendor QoS
+//! policies vs. SDN match-action tables — driven with the identical
+//! abstract-change stream, compared on capacity and failure mode.
+
+use stellar_bench::output;
+use stellar_bgp::types::Asn;
+use stellar_core::controller::AbstractChange;
+use stellar_core::manager::{AdmissionError, NetworkManager};
+use stellar_core::qos_manager::QosNetworkManager;
+use stellar_core::rule::BlackholingRule;
+use stellar_core::sdn_manager::SdnNetworkManager;
+use stellar_core::signal::StellarSignal;
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_dataplane::openflow::FlowTable;
+use stellar_dataplane::port::MemberPort;
+use stellar_dataplane::switch::{EdgeRouter, PortId};
+use stellar_net::mac::MacAddr;
+use stellar_stats::table::render_table;
+
+fn change_stream(n: usize) -> Vec<AbstractChange> {
+    (0..n)
+        .map(|i| {
+            AbstractChange::AddRule(BlackholingRule {
+                id: i as u64,
+                owner: Asn(64500 + (i % 350) as u32),
+                victim: format!("100.{}.{}.10/32", i % 100, (i / 100) % 250)
+                    .parse()
+                    .expect("valid prefix"),
+                signal: StellarSignal::drop_udp_src((i % 1024) as u16),
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    output::banner(
+        "ABLATION",
+        "QoS-policy vs. SDN network manager: identical change stream, capacity to exhaustion",
+    );
+    let hib = HardwareInfoBase::production_er();
+    let stream = change_stream(4000);
+
+    // QoS backend: a production ER with 350 member ports.
+    let mut er = EdgeRouter::new(hib.clone());
+    let mut qos = QosNetworkManager::default();
+    for i in 0..hib.member_ports {
+        let asn = 64500 + u32::from(i);
+        er.add_port(
+            PortId(i + 1),
+            MemberPort::new(asn, MacAddr::for_member(asn, 1), 10_000_000_000),
+        );
+        qos.register_owner(Asn(asn), PortId(i + 1));
+    }
+    let mut qos_installed = 0usize;
+    let mut qos_first_error: Option<(usize, AdmissionError)> = None;
+    for (i, ch) in stream.iter().enumerate() {
+        match qos.apply(&mut er, ch, i as u64) {
+            Ok(()) => qos_installed += 1,
+            Err(e) => {
+                qos_first_error.get_or_insert((i, e));
+            }
+        }
+    }
+
+    // SDN backend: a flow table sized like a mid-range OpenFlow switch.
+    let mut table = FlowTable::new(2000);
+    let mut sdn = SdnNetworkManager::new();
+    let mut sdn_installed = 0usize;
+    let mut sdn_first_error: Option<(usize, AdmissionError)> = None;
+    for (i, ch) in stream.iter().enumerate() {
+        match sdn.apply(&mut table, ch, i as u64) {
+            Ok(()) => sdn_installed += 1,
+            Err(e) => {
+                sdn_first_error.get_or_insert((i, e));
+            }
+        }
+    }
+
+    let rows = vec![
+        vec![
+            "backend".to_string(),
+            "rules installed".to_string(),
+            "first refusal".to_string(),
+            "limit hit".to_string(),
+            "telemetry".to_string(),
+        ],
+        vec![
+            "QoS policies (option 1)".to_string(),
+            format!("{qos_installed}/4000"),
+            qos_first_error
+                .map(|(i, _)| format!("change #{i}"))
+                .unwrap_or_else(|| "-".to_string()),
+            qos_first_error
+                .map(|(_, e)| e.describe().to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            "per-rule counters via port QoS".to_string(),
+        ],
+        vec![
+            "SDN / OpenFlow (option 2)".to_string(),
+            format!("{sdn_installed}/4000"),
+            sdn_first_error
+                .map(|(i, _)| format!("change #{i}"))
+                .unwrap_or_else(|| "-".to_string()),
+            sdn_first_error
+                .map(|(_, e)| e.describe().to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            "per-flow counters (native)".to_string(),
+        ],
+    ];
+    println!("{}", render_table(&rows));
+    println!(
+        "TCAM after QoS run: {} / {} L3-L4 criteria used.\n\
+         Both backends compile the same abstract changes (§4.4); the QoS\n\
+         option exhausts the shared L3-L4 criteria pool (F1) while the SDN\n\
+         option exhausts its flow-table entries — different limits, same\n\
+         admission-control behaviour: refused changes never break forwarding.",
+        er.tcam().l34_used(),
+        er.tcam().l34_used() + er.tcam().l34_free(),
+    );
+    output::write_json(
+        "ablation_manager",
+        &serde_json::json!({
+            "qos_installed": qos_installed,
+            "sdn_installed": sdn_installed,
+            "qos_first_refusal": qos_first_error.map(|(i, e)| (i, e.describe())),
+            "sdn_first_refusal": sdn_first_error.map(|(i, e)| (i, e.describe())),
+        }),
+    );
+}

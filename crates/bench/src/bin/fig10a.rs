@@ -1,0 +1,62 @@
+//! Figure 10(a): control-plane CPU usage vs. L3-criteria update rate,
+//! with the linear regression and 95 % confidence band; the 15 % CPU cap
+//! corresponds to a median of ≈4.33 rule updates per second.
+
+use stellar_bench::{fig10ab, output};
+use stellar_stats::table::render_table;
+
+fn main() {
+    output::banner(
+        "FIG 10(a)",
+        "Control-plane CPU usage vs. rule-update rate (5-second windows, OLS + 95% CI)",
+    );
+    let samples = fig10ab::run_cpu_sweep(6);
+    let fit = fig10ab::fit(&samples);
+
+    let mut rows = vec![vec![
+        "updates/s".to_string(),
+        "CPU fit".to_string(),
+        "95% CI".to_string(),
+        "samples (mean)".to_string(),
+    ]];
+    for rate_x2 in 1..=10u64 {
+        let rate = rate_x2 as f64 / 2.0;
+        let nearby: Vec<f64> = samples
+            .iter()
+            .filter(|(r, _)| (r - rate).abs() < 0.26)
+            .map(|(_, f)| *f)
+            .collect();
+        let mean = if nearby.is_empty() {
+            f64::NAN
+        } else {
+            nearby.iter().sum::<f64>() / nearby.len() as f64
+        };
+        rows.push(vec![
+            format!("{rate:.1}"),
+            format!("{:5.2}%", fit.predict(rate) * 100.0),
+            format!("±{:4.2}%", fit.ci95_half_width(rate) * 100.0),
+            format!("{:5.2}%", mean * 100.0),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "fit: cpu% = {:.2} + {:.2} * rate   (r2 = {:.3}, {} samples)",
+        fit.intercept * 100.0,
+        fit.slope * 100.0,
+        fit.r2,
+        fit.n
+    );
+    let max_rate = fit.solve_for_x(0.15);
+    println!(
+        "15% CPU cap is reached at {max_rate:.2} updates/s (paper: median 4.33/s)."
+    );
+
+    let json = serde_json::json!({
+        "samples": samples,
+        "slope": fit.slope,
+        "intercept": fit.intercept,
+        "r2": fit.r2,
+        "rate_at_15pct": max_rate,
+    });
+    output::write_json("fig10a", &json);
+}

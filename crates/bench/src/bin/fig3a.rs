@@ -1,0 +1,75 @@
+//! Figure 3(a): UDP source ports of blackholed traffic across RTBH
+//! events, with 95 % confidence intervals, vs. other traffic; one-tailed
+//! Welch t-test at α = 0.02.
+
+use stellar_bench::{fig3a, output};
+use stellar_net::ports;
+use stellar_stats::table::{bar, render_table};
+
+fn main() {
+    output::banner(
+        "FIG 3(a)",
+        "UDP source ports of blackholed traffic (two weeks of RTBH events, 95% CI, Welch t-test alpha=0.02)",
+    );
+    let study = fig3a::run(140, stellar_bench::SEED);
+
+    let mut rows = vec![vec![
+        "UDP src port".to_string(),
+        "RTBH share".to_string(),
+        "95% CI".to_string(),
+        "other share".to_string(),
+        "t".to_string(),
+        "p (one-tailed)".to_string(),
+        "significant".to_string(),
+        "".to_string(),
+    ]];
+    for p in ports::FIG3A_PORTS {
+        let rtbh = study.rtbh.ci(p);
+        let other = study.other.ci(p);
+        let w = study.welch(p).expect("samples exist");
+        rows.push(vec![
+            ports::port_label(p),
+            format!("{:5.1}%", rtbh.mean * 100.0),
+            format!("±{:.1}%", rtbh.half_width * 100.0),
+            format!("{:6.3}%", other.mean * 100.0),
+            format!("{:6.1}", w.t),
+            if w.p_one_tailed < 1e-12 {
+                "<1e-12".to_string()
+            } else {
+                format!("{:.2e}", w.p_one_tailed)
+            },
+            if w.significant_at(0.02) { "yes" } else { "NO" }.to_string(),
+            bar(rtbh.mean / 0.30, 20),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "Protocol split: UDP is {:.2}% of blackholed traffic (paper: 99.94%);\n\
+         TCP is {:.1}% of other traffic (paper: 86.81%).",
+        study.rtbh_udp_share * 100.0,
+        study.other_tcp_share * 100.0
+    );
+    println!(
+        "\nReading: the amplification-prone ports (and port-0 fragments)\n\
+         dominate blackholed traffic; all differences vs. other traffic are\n\
+         significant at the 0.02 level, as in the paper."
+    );
+
+    let json: Vec<_> = ports::FIG3A_PORTS
+        .iter()
+        .map(|p| {
+            let rtbh = study.rtbh.ci(*p);
+            let other = study.other.ci(*p);
+            let w = study.welch(*p).unwrap();
+            serde_json::json!({
+                "port": p,
+                "rtbh_share": rtbh.mean,
+                "ci95": rtbh.half_width,
+                "other_share": other.mean,
+                "t": w.t,
+                "p": w.p_one_tailed,
+            })
+        })
+        .collect();
+    output::write_json("fig3a", &json);
+}

@@ -1,0 +1,62 @@
+//! Figure 3(c): active DDoS attack exposing RTBH ineffectiveness — a
+//! 1 Gbps booter attack on the experimental AS; the RTBH signal at
+//! t = 380 s (280 s into the attack) barely dents the traffic because
+//! ~70 % of peers do not honor it.
+
+use stellar_bench::output;
+use stellar_core::scenario::{run_booter, BooterParams};
+use stellar_stats::table::{bar, render_table};
+
+fn main() {
+    output::banner(
+        "FIG 3(c)",
+        "Active DDoS attack with classic RTBH (booter, 1 Gbps peak, RTBH at t=380s)",
+    );
+    let (params, plan) = BooterParams::fig3c();
+    let run = run_booter(&params, plan);
+
+    let mut rows = vec![vec![
+        "t [s]".to_string(),
+        "Mbps".to_string(),
+        "#peers".to_string(),
+        "".to_string(),
+    ]];
+    for ((t, mbps), (_, peers)) in run
+        .delivered_mbps
+        .points()
+        .into_iter()
+        .zip(run.peers.points())
+        .step_by(3)
+    {
+        rows.push(vec![
+            format!("{t:.0}"),
+            format!("{mbps:7.1}"),
+            format!("{peers:.0}"),
+            bar(mbps / 1000.0, 30),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    let before = run.delivered_mbps.mean_between(300.0, 370.0);
+    let after = run.delivered_mbps.mean_between(500.0, 880.0);
+    let peers_before = run.peers.mean_between(300.0, 370.0);
+    let peers_after = run.peers.mean_between(500.0, 880.0);
+    println!(
+        "Attack before RTBH: {before:.0} Mbps from {peers_before:.0} peers.\n\
+         After RTBH:        {after:.0} Mbps from {peers_after:.0} peers\n\
+         ({} of {} attack sources honored the signal).\n\
+         Paper: traffic stays at 600-800 Mbps, peers decrease by only ~25% —\n\
+         RTBH by itself is not a sufficient DDoS mitigation technique.",
+        run.honoring_sources, run.attack_sources
+    );
+
+    let json = serde_json::json!({
+        "mbps": run.delivered_mbps.points(),
+        "peers": run.peers.points(),
+        "honoring_sources": run.honoring_sources,
+        "attack_sources": run.attack_sources,
+        "mean_before_mbps": before,
+        "mean_after_mbps": after,
+    });
+    output::write_json("fig3c", &json);
+}

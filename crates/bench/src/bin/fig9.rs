@@ -1,0 +1,42 @@
+//! Figure 9: Stellar scaling limits by IXP member adoption rate — the
+//! OK/F1/F2 feasibility grids over (MAC filters × L3–L4 filters) for
+//! 20 %, 60 % and 100 % adoption.
+
+use stellar_bench::{fig9, output};
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_dataplane::tcam::TcamVerdict;
+
+fn main() {
+    output::banner(
+        "FIG 9",
+        "Stellar scaling limits by adoption rate (N = 95th pct of parallel RTBHs per port)",
+    );
+    let hib = HardwareInfoBase::production_er();
+    println!(
+        "Platform: {} member ports, L3-L4 criteria pool {}, MAC filter pool {}, N = {}\n",
+        hib.member_ports, hib.l34_criteria_pool, hib.mac_filter_pool, fig9::N
+    );
+
+    let mut json = Vec::new();
+    for (adoption, title) in fig9::ADOPTIONS {
+        let g = fig9::grid(&hib, adoption);
+        println!("{title}");
+        println!("{}", fig9::render(&g));
+        let ok = g.iter().flatten().filter(|v| **v == TcamVerdict::Ok).count();
+        println!("feasible cells: {ok}/30\n");
+        json.push(serde_json::json!({
+            "adoption": adoption,
+            "grid": g.iter().map(|row| row.iter().map(|v| v.label()).collect::<Vec<_>>()).collect::<Vec<_>>(),
+            "feasible": ok,
+        }));
+    }
+    println!(
+        "Reading: F1 = total L3-L4 filter criteria exceeded, F2 = MAC filter\n\
+         pool exceeded. At 20% adoption (twice today's RTBH users) there is\n\
+         no limit; the feasible region shrinks with adoption but keeps a\n\
+         substantial safety margin even in the 100% stretch test — Stellar\n\
+         can be deployed without exhausting the platform's filtering\n\
+         resources (§5.1)."
+    );
+    output::write_json("fig9", &json);
+}

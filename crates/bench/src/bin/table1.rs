@@ -1,0 +1,90 @@
+//! Table 1: Advanced Blackholing vs. DDoS mitigation solutions.
+//!
+//! Runs the reference attack scenario under every technique model and
+//! prints the derived ✓/•/✗ scorecard plus the measured quantities the
+//! symbols are derived from.
+
+use stellar_bench::output;
+use stellar_core::mitigation::{
+    effective_collateral, evaluate, rate, Rating, ReferenceScenario, ALL, CRITERIA,
+};
+use stellar_stats::table::render_table;
+
+fn symbol(r: Rating) -> &'static str {
+    match r {
+        Rating::Good => "Y",
+        Rating::Neutral => "o",
+        Rating::Bad => "X",
+    }
+}
+
+fn main() {
+    output::banner(
+        "TABLE 1",
+        "Advanced Blackholing vs. DDoS mitigation solutions (Y advantage, X disadvantage, o neutral)",
+    );
+    let scenario = ReferenceScenario::default();
+    let outcomes: Vec<_> = ALL.iter().map(|t| evaluate(*t, &scenario)).collect();
+    let ratings: Vec<_> = outcomes.iter().map(|o| rate(o, &scenario)).collect();
+
+    let mut rows = Vec::new();
+    let mut header = vec!["".to_string()];
+    header.extend(outcomes.iter().map(|o| o.technique.label().to_string()));
+    rows.push(header);
+    for criterion in CRITERIA {
+        let mut row = vec![criterion.to_string()];
+        for r in &ratings {
+            let val = r
+                .iter()
+                .find(|(c, _)| *c == criterion)
+                .map(|(_, v)| symbol(*v))
+                .unwrap_or("?");
+            row.push(val.to_string());
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table(&rows));
+
+    println!("Measured quantities behind the symbols (reference scenario:");
+    println!(
+        "  {} attack + {} benign into a {} port, {:.0}% peer compliance):\n",
+        stellar_stats::table::fmt_bps(scenario.attack_bps),
+        stellar_stats::table::fmt_bps(scenario.benign_bps),
+        stellar_stats::table::fmt_bps(scenario.victim_port_bps),
+        scenario.peer_compliance * 100.0
+    );
+    let mut rows = vec![vec![
+        "technique".to_string(),
+        "attack removed".to_string(),
+        "collateral".to_string(),
+        "residual collateral".to_string(),
+        "signal parties".to_string(),
+        "reaction".to_string(),
+    ]];
+    for o in &outcomes {
+        rows.push(vec![
+            o.technique.label().to_string(),
+            format!("{:.0}%", o.attack_removed * 100.0),
+            format!("{:.1}%", o.collateral * 100.0),
+            format!("{:.1}%", effective_collateral(o, &scenario) * 100.0),
+            o.signaling_parties.to_string(),
+            format!("{:.0}s", o.reaction_time_s),
+        ]);
+    }
+    println!("{}", render_table(&rows));
+
+    let json: Vec<_> = outcomes
+        .iter()
+        .zip(&ratings)
+        .map(|(o, r)| {
+            serde_json::json!({
+                "technique": o.technique.label(),
+                "attack_removed": o.attack_removed,
+                "collateral": o.collateral,
+                "residual_collateral": effective_collateral(o, &scenario),
+                "ratings": r.iter().map(|(c, v)| (c.to_string(), symbol(*v))).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    output::write_json("table1", &json);
+}

@@ -1,0 +1,153 @@
+//! Figure 9: Stellar's TCAM scaling limits by member adoption rate.
+//!
+//! The sweep reproduces §5.1's stretch test: every adopting member port
+//! simultaneously holds `y` MAC filter criteria and `x` L3–L4 filter
+//! criteria, for `y ∈ {0, 2N, …, 10N}` and `x ∈ {0, N, …, 4N}`, where N
+//! is the 95th percentile of parallel RTBHs observed per port. The grid
+//! cell reports OK, F1 (L3–L4 pool exceeded) or F2 (MAC pool exceeded)
+//! from the calibrated TCAM model.
+
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_dataplane::tcam::TcamVerdict;
+
+/// N: the 95th percentile of parallel RTBHs per port (see DESIGN.md's
+/// calibration notes).
+pub const N: usize = 5;
+
+/// The y-axis multipliers (MAC criteria, in units of N), top to bottom as
+/// printed.
+pub const MAC_MULTS: [usize; 6] = [10, 8, 6, 4, 2, 0];
+
+/// The x-axis multipliers (L3–L4 criteria, in units of N).
+pub const L34_MULTS: [usize; 5] = [0, 1, 2, 3, 4];
+
+/// One grid: rows (MAC) × columns (L3–L4) of verdicts.
+pub type Grid = Vec<Vec<TcamVerdict>>;
+
+/// Computes the feasibility grid for an adoption rate (0..=1).
+pub fn grid(hib: &HardwareInfoBase, adoption: f64) -> Grid {
+    let active_ports = (f64::from(hib.member_ports) * adoption).round() as usize;
+    MAC_MULTS
+        .iter()
+        .map(|&ym| {
+            L34_MULTS
+                .iter()
+                .map(|&xm| {
+                    // Stretch test: every active port holds this load at
+                    // the same time; check against the chip-wide pools.
+                    let tcam = hib.tcam();
+                    tcam.check(active_ports * ym * N, active_ports * xm * N)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders a grid in the figure's layout.
+pub fn render(g: &Grid) -> String {
+    let mut out = String::new();
+    out.push_str("MAC\\L3-L4 |");
+    for xm in L34_MULTS {
+        out.push_str(&format!("  {:>3}", format!("{xm}N")));
+    }
+    out.push('\n');
+    for (row, ym) in g.iter().zip(MAC_MULTS) {
+        out.push_str(&format!("{:>9} |", format!("{ym}N")));
+        for v in row {
+            out.push_str(&format!("  {:>3}", v.label()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The three adoption rates of Fig. 9.
+pub const ADOPTIONS: [(f64, &str); 3] = [
+    (0.2, "(a) 20% of IXP member ASes (2x of RTBH users today)"),
+    (0.6, "(b) 60% of IXP member ASes"),
+    (1.0, "(c) 100% of IXP member ASes"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(g: &Grid, ym: usize, xm: usize) -> TcamVerdict {
+        let row = MAC_MULTS.iter().position(|&m| m == ym).unwrap();
+        let col = L34_MULTS.iter().position(|&m| m == xm).unwrap();
+        g[row][col]
+    }
+
+    #[test]
+    fn twenty_percent_is_all_ok() {
+        // Fig. 9(a): no scalability limits at 20 % adoption.
+        let g = grid(&HardwareInfoBase::production_er(), 0.2);
+        for row in &g {
+            for v in row {
+                assert_eq!(*v, TcamVerdict::Ok);
+            }
+        }
+    }
+
+    #[test]
+    fn sixty_percent_matches_paper_grid() {
+        // Fig. 9(b): top row (10N MAC) fails F2 except the 4N column
+        // (F1); the 4N column fails F1 throughout; everything else OK.
+        let g = grid(&HardwareInfoBase::production_er(), 0.6);
+        for xm in [0, 1, 2, 3] {
+            assert_eq!(cell(&g, 10, xm), TcamVerdict::F2, "10N x {xm}N");
+        }
+        assert_eq!(cell(&g, 10, 4), TcamVerdict::F1);
+        for ym in [8, 6, 4, 2, 0] {
+            for xm in [0, 1, 2, 3] {
+                assert_eq!(cell(&g, ym, xm), TcamVerdict::Ok, "{ym}N x {xm}N");
+            }
+            assert_eq!(cell(&g, ym, 4), TcamVerdict::F1, "{ym}N x 4N");
+        }
+    }
+
+    #[test]
+    fn hundred_percent_matches_paper_grid() {
+        // Fig. 9(c): columns 2N-4N all F1; columns 0,N fail F2 for MAC
+        // rows 6N and up, OK below.
+        let g = grid(&HardwareInfoBase::production_er(), 1.0);
+        for ym in MAC_MULTS {
+            for xm in [2, 3, 4] {
+                assert_eq!(cell(&g, ym, xm), TcamVerdict::F1, "{ym}N x {xm}N");
+            }
+        }
+        for xm in [0, 1] {
+            for ym in [10, 8, 6] {
+                assert_eq!(cell(&g, ym, xm), TcamVerdict::F2, "{ym}N x {xm}N");
+            }
+            for ym in [4, 2, 0] {
+                assert_eq!(cell(&g, ym, xm), TcamVerdict::Ok, "{ym}N x {xm}N");
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_region_shrinks_with_adoption() {
+        let hib = HardwareInfoBase::production_er();
+        let count_ok = |a: f64| {
+            grid(&hib, a)
+                .iter()
+                .flatten()
+                .filter(|v| **v == TcamVerdict::Ok)
+                .count()
+        };
+        assert!(count_ok(0.2) >= count_ok(0.6));
+        assert!(count_ok(0.6) >= count_ok(1.0));
+        assert_eq!(count_ok(0.2), 30);
+    }
+
+    #[test]
+    fn render_is_grid_shaped() {
+        let g = grid(&HardwareInfoBase::production_er(), 0.6);
+        let text = render(&g);
+        assert_eq!(text.lines().count(), 7); // header + 6 rows
+        assert!(text.contains("F1"));
+        assert!(text.contains("F2"));
+        assert!(text.contains("OK"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Shared output plumbing for the experiment binaries.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("==============================================================");
+}
+
+/// Writes a JSON result file under `results/` (best effort: failures to
+/// write are reported but do not abort the experiment).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("note: could not create results dir: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("note: could not write {}: {e}", path.display());
+            } else {
+                println!("[json written to {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("note: could not serialize result: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_write_smoke() {
+        // Round-trips through a temp dir by changing cwd is risky in
+        // parallel tests; just exercise serialization.
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+        }
+        let s = serde_json::to_string(&S { a: 7 }).unwrap();
+        assert_eq!(s, "{\"a\":7}");
+        banner("TEST", "banner smoke");
+    }
+}

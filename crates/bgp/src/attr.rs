@@ -1,0 +1,606 @@
+//! BGP path attributes (RFC 4271 §4.3 / §5) and their codec.
+//!
+//! AS numbers in AS_PATH and AGGREGATOR use the 4-octet encoding
+//! throughout: every speaker in the emulation negotiates the RFC 6793
+//! capability, as all modern route-server deployments do.
+
+use crate::community::{Community, LargeCommunity};
+use crate::error::{BgpError, BgpResult};
+use crate::extcommunity::ExtendedCommunity;
+use crate::nlri::{self, Nlri};
+use crate::types::{Afi, Asn, Origin, Safi};
+use bytes::{BufMut, BytesMut};
+use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
+
+/// Attribute flag: optional.
+pub const FLAG_OPTIONAL: u8 = 0x80;
+/// Attribute flag: transitive.
+pub const FLAG_TRANSITIVE: u8 = 0x40;
+/// Attribute flag: partial.
+pub const FLAG_PARTIAL: u8 = 0x20;
+/// Attribute flag: extended (2-byte) length.
+pub const FLAG_EXT_LEN: u8 = 0x10;
+
+/// One AS_PATH segment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AsSegment {
+    /// Ordered sequence of ASNs.
+    Sequence(Vec<Asn>),
+    /// Unordered set (from aggregation).
+    Set(Vec<Asn>),
+}
+
+/// An AS_PATH: a list of segments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AsPath {
+    /// Path segments, nearest AS first.
+    pub segments: Vec<AsSegment>,
+}
+
+impl AsPath {
+    /// An empty path (what iBGP peers and route servers send).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// A path consisting of a single sequence.
+    pub fn sequence(asns: impl IntoIterator<Item = u32>) -> Self {
+        AsPath {
+            segments: vec![AsSegment::Sequence(
+                asns.into_iter().map(Asn).collect(),
+            )],
+        }
+    }
+
+    /// Path length as counted by the decision process: sequences count
+    /// per-AS, sets count 1.
+    pub fn path_len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                AsSegment::Sequence(v) => v.len(),
+                AsSegment::Set(_) => 1,
+            })
+            .sum()
+    }
+
+    /// The origin AS (rightmost in the final sequence), if any.
+    pub fn origin_as(&self) -> Option<Asn> {
+        match self.segments.last()? {
+            AsSegment::Sequence(v) => v.last().copied(),
+            AsSegment::Set(v) => v.last().copied(),
+        }
+    }
+
+    /// The neighbor AS (leftmost), if any.
+    pub fn first_as(&self) -> Option<Asn> {
+        match self.segments.first()? {
+            AsSegment::Sequence(v) => v.first().copied(),
+            AsSegment::Set(v) => v.first().copied(),
+        }
+    }
+
+    /// Returns a new path with `asn` prepended (as eBGP forwarding does).
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(AsSegment::Sequence(v)) => v.insert(0, asn),
+            _ => segments.insert(0, AsSegment::Sequence(vec![asn])),
+        }
+        AsPath { segments }
+    }
+
+    /// True if the path contains `asn` anywhere (loop detection).
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| match s {
+            AsSegment::Sequence(v) | AsSegment::Set(v) => v.contains(&asn),
+        })
+    }
+}
+
+/// A decoded path attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathAttribute {
+    /// ORIGIN (1), well-known mandatory.
+    Origin(Origin),
+    /// AS_PATH (2), well-known mandatory.
+    AsPath(AsPath),
+    /// NEXT_HOP (3), well-known mandatory for IPv4 unicast.
+    NextHop(Ipv4Address),
+    /// MULTI_EXIT_DISC (4), optional non-transitive.
+    Med(u32),
+    /// LOCAL_PREF (5), well-known (iBGP).
+    LocalPref(u32),
+    /// ATOMIC_AGGREGATE (6).
+    AtomicAggregate,
+    /// AGGREGATOR (7): (asn, aggregator id).
+    Aggregator(Asn, Ipv4Address),
+    /// COMMUNITIES (8), RFC 1997.
+    Communities(Vec<Community>),
+    /// MP_REACH_NLRI (14), RFC 4760 — used for IPv6 announcements.
+    MpReach {
+        /// Address family.
+        afi: Afi,
+        /// Subsequent address family.
+        safi: Safi,
+        /// Next-hop address.
+        next_hop: IpAddress,
+        /// Announced NLRI.
+        nlri: Vec<Nlri>,
+    },
+    /// MP_UNREACH_NLRI (15), RFC 4760.
+    MpUnreach {
+        /// Address family.
+        afi: Afi,
+        /// Subsequent address family.
+        safi: Safi,
+        /// Withdrawn NLRI.
+        nlri: Vec<Nlri>,
+    },
+    /// EXTENDED COMMUNITIES (16), RFC 4360 — Stellar's signaling channel.
+    ExtendedCommunities(Vec<ExtendedCommunity>),
+    /// LARGE_COMMUNITIES (32), RFC 8092.
+    LargeCommunities(Vec<LargeCommunity>),
+    /// Unrecognized attribute carried verbatim (flags, type, value).
+    Unknown {
+        /// Original flag byte.
+        flags: u8,
+        /// Attribute type code.
+        type_code: u8,
+        /// Raw value.
+        value: Vec<u8>,
+    },
+}
+
+impl PathAttribute {
+    /// The attribute's type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            PathAttribute::Origin(_) => 1,
+            PathAttribute::AsPath(_) => 2,
+            PathAttribute::NextHop(_) => 3,
+            PathAttribute::Med(_) => 4,
+            PathAttribute::LocalPref(_) => 5,
+            PathAttribute::AtomicAggregate => 6,
+            PathAttribute::Aggregator(..) => 7,
+            PathAttribute::Communities(_) => 8,
+            PathAttribute::MpReach { .. } => 14,
+            PathAttribute::MpUnreach { .. } => 15,
+            PathAttribute::ExtendedCommunities(_) => 16,
+            PathAttribute::LargeCommunities(_) => 32,
+            PathAttribute::Unknown { type_code, .. } => *type_code,
+        }
+    }
+
+    fn flags(&self) -> u8 {
+        match self {
+            PathAttribute::Origin(_)
+            | PathAttribute::AsPath(_)
+            | PathAttribute::NextHop(_)
+            | PathAttribute::LocalPref(_)
+            | PathAttribute::AtomicAggregate => FLAG_TRANSITIVE,
+            PathAttribute::Med(_) => FLAG_OPTIONAL,
+            PathAttribute::Aggregator(..)
+            | PathAttribute::Communities(_)
+            | PathAttribute::ExtendedCommunities(_)
+            | PathAttribute::LargeCommunities(_) => FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            PathAttribute::MpReach { .. } | PathAttribute::MpUnreach { .. } => FLAG_OPTIONAL,
+            PathAttribute::Unknown { flags, .. } => *flags,
+        }
+    }
+
+    /// Encodes the attribute (flags, type, length, value). `add_path`
+    /// controls path-id encoding inside MP_REACH/MP_UNREACH bodies.
+    pub fn encode<B: BufMut>(&self, add_path: bool, buf: &mut B) -> BgpResult<()> {
+        let mut body = BytesMut::new();
+        match self {
+            PathAttribute::Origin(o) => body.put_u8(o.value()),
+            PathAttribute::AsPath(path) => {
+                for seg in &path.segments {
+                    let (ty, asns) = match seg {
+                        AsSegment::Set(v) => (1u8, v),
+                        AsSegment::Sequence(v) => (2u8, v),
+                    };
+                    body.put_u8(ty);
+                    body.put_u8(asns.len() as u8);
+                    for a in asns {
+                        body.put_u32(a.0);
+                    }
+                }
+            }
+            PathAttribute::NextHop(a) => body.put_slice(&a.octets()),
+            PathAttribute::Med(v) | PathAttribute::LocalPref(v) => body.put_u32(*v),
+            PathAttribute::AtomicAggregate => {}
+            PathAttribute::Aggregator(asn, id) => {
+                body.put_u32(asn.0);
+                body.put_slice(&id.octets());
+            }
+            PathAttribute::Communities(cs) => {
+                for c in cs {
+                    body.put_u32(c.0);
+                }
+            }
+            PathAttribute::MpReach {
+                afi,
+                safi,
+                next_hop,
+                nlri: entries,
+            } => {
+                body.put_u16(afi.value());
+                body.put_u8(safi.value());
+                match next_hop {
+                    IpAddress::V4(a) => {
+                        body.put_u8(4);
+                        body.put_slice(&a.octets());
+                    }
+                    IpAddress::V6(a) => {
+                        body.put_u8(16);
+                        body.put_slice(&a.octets());
+                    }
+                }
+                body.put_u8(0); // reserved
+                match afi {
+                    Afi::Ipv4 => nlri::encode_v4(entries, add_path, &mut body)?,
+                    Afi::Ipv6 => nlri::encode_v6(entries, add_path, &mut body)?,
+                }
+            }
+            PathAttribute::MpUnreach {
+                afi,
+                safi,
+                nlri: entries,
+            } => {
+                body.put_u16(afi.value());
+                body.put_u8(safi.value());
+                match afi {
+                    Afi::Ipv4 => nlri::encode_v4(entries, add_path, &mut body)?,
+                    Afi::Ipv6 => nlri::encode_v6(entries, add_path, &mut body)?,
+                }
+            }
+            PathAttribute::ExtendedCommunities(ecs) => {
+                for ec in ecs {
+                    body.put_slice(&ec.encode());
+                }
+            }
+            PathAttribute::LargeCommunities(lcs) => {
+                for lc in lcs {
+                    body.put_slice(&lc.encode());
+                }
+            }
+            PathAttribute::Unknown { value, .. } => body.put_slice(value),
+        }
+        let mut flags = self.flags();
+        if body.len() > 255 {
+            flags |= FLAG_EXT_LEN;
+        }
+        buf.put_u8(flags);
+        buf.put_u8(self.type_code());
+        if flags & FLAG_EXT_LEN != 0 {
+            buf.put_u16(body.len() as u16);
+        } else {
+            buf.put_u8(body.len() as u8);
+        }
+        buf.put_slice(&body);
+        Ok(())
+    }
+
+    /// Decodes one attribute, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8], add_path: bool) -> BgpResult<(Self, usize)> {
+        if buf.len() < 3 {
+            return Err(BgpError::Truncated {
+                what: "path attribute header",
+            });
+        }
+        let flags = buf[0];
+        let type_code = buf[1];
+        let (len, hdr) = if flags & FLAG_EXT_LEN != 0 {
+            if buf.len() < 4 {
+                return Err(BgpError::Truncated {
+                    what: "path attribute extended length",
+                });
+            }
+            (u16::from_be_bytes([buf[2], buf[3]]) as usize, 4)
+        } else {
+            (buf[2] as usize, 3)
+        };
+        if buf.len() < hdr + len {
+            return Err(BgpError::Truncated {
+                what: "path attribute value",
+            });
+        }
+        let v = &buf[hdr..hdr + len];
+        let attr = match type_code {
+            1 => {
+                if len != 1 {
+                    return Err(BgpError::update(5, "bad ORIGIN length"));
+                }
+                PathAttribute::Origin(
+                    Origin::from_value(v[0]).ok_or(BgpError::update(6, "invalid ORIGIN"))?,
+                )
+            }
+            2 => {
+                let mut segments = Vec::new();
+                let mut rest = v;
+                while !rest.is_empty() {
+                    if rest.len() < 2 {
+                        return Err(BgpError::update(11, "truncated AS_PATH segment"));
+                    }
+                    let seg_type = rest[0];
+                    let count = rest[1] as usize;
+                    let need = 2 + 4 * count;
+                    if rest.len() < need {
+                        return Err(BgpError::update(11, "truncated AS_PATH asns"));
+                    }
+                    let asns: Vec<Asn> = rest[2..need]
+                        .chunks_exact(4)
+                        .map(|c| Asn(u32::from_be_bytes([c[0], c[1], c[2], c[3]])))
+                        .collect();
+                    segments.push(match seg_type {
+                        1 => AsSegment::Set(asns),
+                        2 => AsSegment::Sequence(asns),
+                        _ => return Err(BgpError::update(11, "unknown AS_PATH segment type")),
+                    });
+                    rest = &rest[need..];
+                }
+                PathAttribute::AsPath(AsPath { segments })
+            }
+            3 => {
+                if len != 4 {
+                    return Err(BgpError::update(8, "bad NEXT_HOP length"));
+                }
+                PathAttribute::NextHop(Ipv4Address([v[0], v[1], v[2], v[3]]))
+            }
+            4 | 5 => {
+                if len != 4 {
+                    return Err(BgpError::update(5, "bad 32-bit attribute length"));
+                }
+                let val = u32::from_be_bytes([v[0], v[1], v[2], v[3]]);
+                if type_code == 4 {
+                    PathAttribute::Med(val)
+                } else {
+                    PathAttribute::LocalPref(val)
+                }
+            }
+            6 => {
+                if len != 0 {
+                    return Err(BgpError::update(5, "bad ATOMIC_AGGREGATE length"));
+                }
+                PathAttribute::AtomicAggregate
+            }
+            7 => {
+                if len != 8 {
+                    return Err(BgpError::update(5, "bad AGGREGATOR length"));
+                }
+                PathAttribute::Aggregator(
+                    Asn(u32::from_be_bytes([v[0], v[1], v[2], v[3]])),
+                    Ipv4Address([v[4], v[5], v[6], v[7]]),
+                )
+            }
+            8 => {
+                if len % 4 != 0 {
+                    return Err(BgpError::update(5, "bad COMMUNITIES length"));
+                }
+                PathAttribute::Communities(
+                    v.chunks_exact(4)
+                        .map(|c| Community(u32::from_be_bytes([c[0], c[1], c[2], c[3]])))
+                        .collect(),
+                )
+            }
+            14 => {
+                if len < 5 {
+                    return Err(BgpError::update(5, "truncated MP_REACH"));
+                }
+                let afi = Afi::from_value(u16::from_be_bytes([v[0], v[1]]))
+                    .ok_or(BgpError::update(9, "unknown AFI"))?;
+                let safi = Safi::from_value(v[2]).ok_or(BgpError::update(9, "unknown SAFI"))?;
+                let nh_len = v[3] as usize;
+                if v.len() < 4 + nh_len + 1 {
+                    return Err(BgpError::update(5, "truncated MP_REACH next hop"));
+                }
+                let nh_bytes = &v[4..4 + nh_len];
+                let next_hop = match nh_len {
+                    4 => IpAddress::V4(Ipv4Address([
+                        nh_bytes[0],
+                        nh_bytes[1],
+                        nh_bytes[2],
+                        nh_bytes[3],
+                    ])),
+                    16 | 32 => {
+                        let mut o = [0u8; 16];
+                        o.copy_from_slice(&nh_bytes[..16]);
+                        IpAddress::V6(Ipv6Address(o))
+                    }
+                    _ => return Err(BgpError::update(8, "bad MP next hop length")),
+                };
+                let nlri_bytes = &v[4 + nh_len + 1..];
+                let entries = match afi {
+                    Afi::Ipv4 => nlri::decode_v4(nlri_bytes, add_path)?,
+                    Afi::Ipv6 => nlri::decode_v6(nlri_bytes, add_path)?,
+                };
+                PathAttribute::MpReach {
+                    afi,
+                    safi,
+                    next_hop,
+                    nlri: entries,
+                }
+            }
+            15 => {
+                if len < 3 {
+                    return Err(BgpError::update(5, "truncated MP_UNREACH"));
+                }
+                let afi = Afi::from_value(u16::from_be_bytes([v[0], v[1]]))
+                    .ok_or(BgpError::update(9, "unknown AFI"))?;
+                let safi = Safi::from_value(v[2]).ok_or(BgpError::update(9, "unknown SAFI"))?;
+                let entries = match afi {
+                    Afi::Ipv4 => nlri::decode_v4(&v[3..], add_path)?,
+                    Afi::Ipv6 => nlri::decode_v6(&v[3..], add_path)?,
+                };
+                PathAttribute::MpUnreach {
+                    afi,
+                    safi,
+                    nlri: entries,
+                }
+            }
+            16 => {
+                if len % 8 != 0 {
+                    return Err(BgpError::update(5, "bad EXTENDED_COMMUNITIES length"));
+                }
+                let mut ecs = Vec::with_capacity(len / 8);
+                for c in v.chunks_exact(8) {
+                    ecs.push(ExtendedCommunity::decode(c)?);
+                }
+                PathAttribute::ExtendedCommunities(ecs)
+            }
+            32 => {
+                if len % 12 != 0 {
+                    return Err(BgpError::update(5, "bad LARGE_COMMUNITIES length"));
+                }
+                let mut lcs = Vec::with_capacity(len / 12);
+                for c in v.chunks_exact(12) {
+                    lcs.push(LargeCommunity::decode(c)?);
+                }
+                PathAttribute::LargeCommunities(lcs)
+            }
+            _ => PathAttribute::Unknown {
+                flags,
+                type_code,
+                value: v.to_vec(),
+            },
+        };
+        Ok((attr, hdr + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(attr: &PathAttribute, add_path: bool) {
+        let mut buf = BytesMut::new();
+        attr.encode(add_path, &mut buf).unwrap();
+        let (d, used) = PathAttribute::decode(&buf, add_path).unwrap();
+        assert_eq!(used, buf.len(), "{attr:?}");
+        assert_eq!(&d, attr);
+    }
+
+    #[test]
+    fn simple_attributes_round_trip() {
+        round_trip(&PathAttribute::Origin(Origin::Igp), false);
+        round_trip(&PathAttribute::NextHop(Ipv4Address::new(80, 81, 192, 1)), false);
+        round_trip(&PathAttribute::Med(100), false);
+        round_trip(&PathAttribute::LocalPref(200), false);
+        round_trip(&PathAttribute::AtomicAggregate, false);
+        round_trip(
+            &PathAttribute::Aggregator(Asn(4_200_000_000), Ipv4Address::new(10, 0, 0, 1)),
+            false,
+        );
+    }
+
+    #[test]
+    fn as_path_round_trip_with_4octet_asns() {
+        let path = AsPath {
+            segments: vec![
+                AsSegment::Sequence(vec![Asn(64500), Asn(4_200_000_123)]),
+                AsSegment::Set(vec![Asn(1), Asn(2), Asn(3)]),
+            ],
+        };
+        round_trip(&PathAttribute::AsPath(path.clone()), false);
+        assert_eq!(path.path_len(), 3);
+        assert_eq!(path.first_as(), Some(Asn(64500)));
+        assert_eq!(path.origin_as(), Some(Asn(3)));
+    }
+
+    #[test]
+    fn as_path_helpers() {
+        let p = AsPath::sequence([10, 20, 30]);
+        assert!(p.contains(Asn(20)));
+        assert!(!p.contains(Asn(99)));
+        let q = p.prepend(Asn(5));
+        assert_eq!(q.first_as(), Some(Asn(5)));
+        assert_eq!(q.path_len(), 4);
+        // Prepending to an empty path creates a sequence.
+        let e = AsPath::empty().prepend(Asn(7));
+        assert_eq!(e.path_len(), 1);
+        assert_eq!(e.origin_as(), Some(Asn(7)));
+        assert_eq!(AsPath::empty().path_len(), 0);
+        assert_eq!(AsPath::empty().origin_as(), None);
+    }
+
+    #[test]
+    fn communities_round_trip() {
+        round_trip(
+            &PathAttribute::Communities(vec![
+                Community::BLACKHOLE,
+                Community::new(6695, 666),
+                Community::NO_EXPORT,
+            ]),
+            false,
+        );
+        round_trip(
+            &PathAttribute::ExtendedCommunities(vec![ExtendedCommunity::TwoOctetAs {
+                subtype: 0xbb,
+                asn: 6695,
+                local: 0x0201_007b,
+                transitive: true,
+            }]),
+            false,
+        );
+        round_trip(
+            &PathAttribute::LargeCommunities(vec![LargeCommunity::new(6695, 2, 123)]),
+            false,
+        );
+    }
+
+    #[test]
+    fn mp_reach_v6_round_trip_with_add_path() {
+        let attr = PathAttribute::MpReach {
+            afi: Afi::Ipv6,
+            safi: Safi::Unicast,
+            next_hop: IpAddress::V6("2001:db8::ffff".parse().unwrap()),
+            nlri: vec![Nlri::with_path_id("2001:db8::1/128".parse().unwrap(), 3)],
+        };
+        round_trip(&attr, true);
+        let attr = PathAttribute::MpUnreach {
+            afi: Afi::Ipv6,
+            safi: Safi::Unicast,
+            nlri: vec![Nlri::plain("2001:db8::/32".parse().unwrap())],
+        };
+        round_trip(&attr, false);
+    }
+
+    #[test]
+    fn extended_length_attributes_round_trip() {
+        // >255 bytes of communities forces the extended-length flag.
+        let cs: Vec<Community> = (0..100).map(|i| Community::new(6695, i)).collect();
+        let attr = PathAttribute::Communities(cs);
+        let mut buf = BytesMut::new();
+        attr.encode(false, &mut buf).unwrap();
+        assert!(buf[0] & FLAG_EXT_LEN != 0);
+        let (d, _) = PathAttribute::decode(&buf, false).unwrap();
+        assert_eq!(d, attr);
+    }
+
+    #[test]
+    fn unknown_attributes_are_preserved() {
+        let attr = PathAttribute::Unknown {
+            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE | FLAG_PARTIAL,
+            type_code: 99,
+            value: vec![1, 2, 3, 4],
+        };
+        round_trip(&attr, false);
+    }
+
+    #[test]
+    fn malformed_attributes_are_rejected() {
+        // ORIGIN with length 2.
+        let bad = [FLAG_TRANSITIVE, 1, 2, 0, 0];
+        assert!(PathAttribute::decode(&bad, false).is_err());
+        // Unknown ORIGIN value.
+        let bad = [FLAG_TRANSITIVE, 1, 1, 9];
+        assert!(PathAttribute::decode(&bad, false).is_err());
+        // Truncated value.
+        let bad = [FLAG_TRANSITIVE, 3, 4, 1, 2];
+        assert!(PathAttribute::decode(&bad, false).is_err());
+        // Truncated header.
+        assert!(PathAttribute::decode(&[0x40, 1], false).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! BGP capabilities advertisement (RFC 5492) with the capabilities Stellar
+//! needs: multiprotocol extensions, 4-octet AS numbers, and ADD-PATH.
+
+use crate::error::{BgpError, BgpResult};
+use crate::types::{Afi, Safi};
+use bytes::BufMut;
+
+/// ADD-PATH send/receive mode (RFC 7911 §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddPathMode {
+    /// Able to receive multiple paths (1).
+    Receive,
+    /// Able to send multiple paths (2).
+    Send,
+    /// Both (3).
+    Both,
+}
+
+impl AddPathMode {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            AddPathMode::Receive => 1,
+            AddPathMode::Send => 2,
+            AddPathMode::Both => 3,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(AddPathMode::Receive),
+            2 => Some(AddPathMode::Send),
+            3 => Some(AddPathMode::Both),
+            _ => None,
+        }
+    }
+
+    /// True if the speaker can send multiple paths.
+    pub fn can_send(&self) -> bool {
+        matches!(self, AddPathMode::Send | AddPathMode::Both)
+    }
+
+    /// True if the speaker can receive multiple paths.
+    pub fn can_receive(&self) -> bool {
+        matches!(self, AddPathMode::Receive | AddPathMode::Both)
+    }
+}
+
+/// A single capability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Capability {
+    /// Multiprotocol extensions (code 1, RFC 4760).
+    Multiprotocol {
+        /// Address family.
+        afi: Afi,
+        /// Subsequent address family.
+        safi: Safi,
+    },
+    /// Four-octet AS numbers (code 65, RFC 6793).
+    FourOctetAs {
+        /// The speaker's AS number.
+        asn: u32,
+    },
+    /// ADD-PATH (code 69, RFC 7911); one entry per (afi, safi).
+    AddPath {
+        /// Per-family modes.
+        families: Vec<(Afi, Safi, AddPathMode)>,
+    },
+    /// Route refresh (code 2, RFC 2918).
+    RouteRefresh,
+    /// Unknown capability, preserved verbatim.
+    Unknown {
+        /// Capability code.
+        code: u8,
+        /// Raw value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl Capability {
+    /// Capability code.
+    pub fn code(&self) -> u8 {
+        match self {
+            Capability::Multiprotocol { .. } => 1,
+            Capability::RouteRefresh => 2,
+            Capability::FourOctetAs { .. } => 65,
+            Capability::AddPath { .. } => 69,
+            Capability::Unknown { code, .. } => *code,
+        }
+    }
+
+    /// Encodes as a TLV (code, length, value).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        match self {
+            Capability::Multiprotocol { afi, safi } => {
+                buf.put_u8(1);
+                buf.put_u8(4);
+                buf.put_u16(afi.value());
+                buf.put_u8(0);
+                buf.put_u8(safi.value());
+            }
+            Capability::RouteRefresh => {
+                buf.put_u8(2);
+                buf.put_u8(0);
+            }
+            Capability::FourOctetAs { asn } => {
+                buf.put_u8(65);
+                buf.put_u8(4);
+                buf.put_u32(*asn);
+            }
+            Capability::AddPath { families } => {
+                buf.put_u8(69);
+                buf.put_u8((families.len() * 4) as u8);
+                for (afi, safi, mode) in families {
+                    buf.put_u16(afi.value());
+                    buf.put_u8(safi.value());
+                    buf.put_u8(mode.value());
+                }
+            }
+            Capability::Unknown { code, value } => {
+                buf.put_u8(*code);
+                buf.put_u8(value.len() as u8);
+                buf.put_slice(value);
+            }
+        }
+    }
+
+    /// Decodes one capability TLV, returning it and the bytes consumed.
+    pub fn decode(buf: &[u8]) -> BgpResult<(Self, usize)> {
+        if buf.len() < 2 {
+            return Err(BgpError::Truncated { what: "capability" });
+        }
+        let code = buf[0];
+        let len = buf[1] as usize;
+        if buf.len() < 2 + len {
+            return Err(BgpError::Truncated { what: "capability" });
+        }
+        let v = &buf[2..2 + len];
+        let cap = match code {
+            1 => {
+                if len != 4 {
+                    return Err(BgpError::open(0, "bad multiprotocol capability length"));
+                }
+                let afi = Afi::from_value(u16::from_be_bytes([v[0], v[1]]))
+                    .ok_or(BgpError::open(0, "unknown AFI"))?;
+                let safi =
+                    Safi::from_value(v[3]).ok_or(BgpError::open(0, "unknown SAFI"))?;
+                Capability::Multiprotocol { afi, safi }
+            }
+            2 => Capability::RouteRefresh,
+            65 => {
+                if len != 4 {
+                    return Err(BgpError::open(0, "bad 4-octet-AS capability length"));
+                }
+                Capability::FourOctetAs {
+                    asn: u32::from_be_bytes([v[0], v[1], v[2], v[3]]),
+                }
+            }
+            69 => {
+                if len % 4 != 0 {
+                    return Err(BgpError::open(0, "bad ADD-PATH capability length"));
+                }
+                let mut families = Vec::with_capacity(len / 4);
+                for chunk in v.chunks_exact(4) {
+                    let afi = Afi::from_value(u16::from_be_bytes([chunk[0], chunk[1]]))
+                        .ok_or(BgpError::open(0, "unknown AFI in ADD-PATH"))?;
+                    let safi = Safi::from_value(chunk[2])
+                        .ok_or(BgpError::open(0, "unknown SAFI in ADD-PATH"))?;
+                    let mode = AddPathMode::from_value(chunk[3])
+                        .ok_or(BgpError::open(0, "unknown ADD-PATH mode"))?;
+                    families.push((afi, safi, mode));
+                }
+                Capability::AddPath { families }
+            }
+            _ => Capability::Unknown {
+                code,
+                value: v.to_vec(),
+            },
+        };
+        Ok((cap, 2 + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn round_trip(c: &Capability) {
+        let mut buf = BytesMut::new();
+        c.encode(&mut buf);
+        let (d, used) = Capability::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(&d, c);
+    }
+
+    #[test]
+    fn all_capabilities_round_trip() {
+        round_trip(&Capability::Multiprotocol {
+            afi: Afi::Ipv4,
+            safi: Safi::Unicast,
+        });
+        round_trip(&Capability::Multiprotocol {
+            afi: Afi::Ipv6,
+            safi: Safi::Unicast,
+        });
+        round_trip(&Capability::RouteRefresh);
+        round_trip(&Capability::FourOctetAs { asn: 4_210_000_000 });
+        round_trip(&Capability::AddPath {
+            families: vec![
+                (Afi::Ipv4, Safi::Unicast, AddPathMode::Both),
+                (Afi::Ipv6, Safi::Unicast, AddPathMode::Send),
+            ],
+        });
+        round_trip(&Capability::Unknown {
+            code: 200,
+            value: vec![1, 2, 3],
+        });
+    }
+
+    #[test]
+    fn add_path_modes() {
+        assert!(AddPathMode::Both.can_send() && AddPathMode::Both.can_receive());
+        assert!(AddPathMode::Send.can_send() && !AddPathMode::Send.can_receive());
+        assert!(!AddPathMode::Receive.can_send() && AddPathMode::Receive.can_receive());
+        assert_eq!(AddPathMode::from_value(0), None);
+        assert_eq!(AddPathMode::from_value(4), None);
+    }
+
+    #[test]
+    fn truncated_and_malformed_are_rejected() {
+        assert!(Capability::decode(&[1]).is_err());
+        assert!(Capability::decode(&[1, 4, 0]).is_err()); // length beyond buffer
+        assert!(Capability::decode(&[1, 3, 0, 1, 1]).is_err()); // MP must be 4
+        assert!(Capability::decode(&[69, 3, 0, 1, 1]).is_err()); // not multiple of 4
+    }
+}

@@ -1,0 +1,159 @@
+//! Standard BGP communities (RFC 1997) and well-known values, including the
+//! BLACKHOLE community (RFC 7999) that triggers RTBH, plus large
+//! communities (RFC 8092).
+
+use crate::error::{BgpError, BgpResult};
+use crate::types::Asn;
+use core::fmt;
+use core::str::FromStr;
+
+/// A standard 32-bit community, conventionally written `asn:value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Community(pub u32);
+
+impl Community {
+    /// BLACKHOLE (RFC 7999): 0xFFFF029A, i.e. 65535:666. Announcing a
+    /// prefix with this community asks peers to discard traffic to it —
+    /// the signal classic RTBH is built on (§2.2).
+    pub const BLACKHOLE: Community = Community(0xFFFF_029A);
+    /// NO_EXPORT (RFC 1997).
+    pub const NO_EXPORT: Community = Community(0xFFFF_FF01);
+    /// NO_ADVERTISE (RFC 1997).
+    pub const NO_ADVERTISE: Community = Community(0xFFFF_FF02);
+    /// GRACEFUL_SHUTDOWN (RFC 8326).
+    pub const GRACEFUL_SHUTDOWN: Community = Community(0xFFFF_0000);
+
+    /// Builds `asn:value` (the ASN must fit 16 bits).
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community((u32::from(asn) << 16) | u32::from(value))
+    }
+
+    /// The high 16 bits, conventionally an AS number.
+    pub fn asn(&self) -> u16 {
+        (self.0 >> 16) as u16
+    }
+
+    /// The low 16 bits.
+    pub fn value(&self) -> u16 {
+        self.0 as u16
+    }
+
+    /// True if this is the RFC 7999 BLACKHOLE community or the
+    /// conventional `<ixp-asn>:666` form IXPs documented before the RFC
+    /// (§2.2's `IXP_ASN:666`).
+    pub fn is_blackhole(&self, ixp_asn: Asn) -> bool {
+        *self == Self::BLACKHOLE
+            || (self.value() == 666 && u32::from(self.asn()) == ixp_asn.0)
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn(), self.value())
+    }
+}
+
+impl FromStr for Community {
+    type Err = BgpError;
+
+    fn from_str(s: &str) -> BgpResult<Self> {
+        let (a, v) = s.split_once(':').ok_or(BgpError::Truncated {
+            what: "community string",
+        })?;
+        let asn: u16 = a.parse().map_err(|_| BgpError::Truncated {
+            what: "community asn",
+        })?;
+        let val: u16 = v.parse().map_err(|_| BgpError::Truncated {
+            what: "community value",
+        })?;
+        Ok(Community::new(asn, val))
+    }
+}
+
+/// A large community (RFC 8092): `global:data1:data2` with 32-bit parts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LargeCommunity {
+    /// Global administrator (an ASN).
+    pub global: u32,
+    /// First data part.
+    pub data1: u32,
+    /// Second data part.
+    pub data2: u32,
+}
+
+impl LargeCommunity {
+    /// Constructs a large community.
+    pub fn new(global: u32, data1: u32, data2: u32) -> Self {
+        LargeCommunity {
+            global,
+            data1,
+            data2,
+        }
+    }
+
+    /// Encodes to 12 bytes.
+    pub fn encode(&self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[0..4].copy_from_slice(&self.global.to_be_bytes());
+        out[4..8].copy_from_slice(&self.data1.to_be_bytes());
+        out[8..12].copy_from_slice(&self.data2.to_be_bytes());
+        out
+    }
+
+    /// Decodes from 12 bytes.
+    pub fn decode(b: &[u8]) -> BgpResult<Self> {
+        if b.len() < 12 {
+            return Err(BgpError::Truncated {
+                what: "large community",
+            });
+        }
+        Ok(LargeCommunity {
+            global: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            data1: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+            data2: u32::from_be_bytes([b[8], b[9], b[10], b[11]]),
+        })
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.data1, self.data2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackhole_is_65535_666() {
+        assert_eq!(Community::BLACKHOLE.asn(), 65535);
+        assert_eq!(Community::BLACKHOLE.value(), 666);
+        assert_eq!(Community::BLACKHOLE.to_string(), "65535:666");
+    }
+
+    #[test]
+    fn ixp_specific_blackhole_is_recognized() {
+        let ixp = Asn(6695); // a real IXP ASN size
+        assert!(Community::new(6695, 666).is_blackhole(ixp));
+        assert!(Community::BLACKHOLE.is_blackhole(ixp));
+        assert!(!Community::new(6695, 667).is_blackhole(ixp));
+        assert!(!Community::new(6696, 666).is_blackhole(ixp));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let c = Community::new(64500, 123);
+        assert_eq!(c.to_string().parse::<Community>().unwrap(), c);
+        assert!("not-a-community".parse::<Community>().is_err());
+        assert!("70000:1".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn large_community_round_trip() {
+        let lc = LargeCommunity::new(4_200_000_000, 2, 123);
+        assert_eq!(LargeCommunity::decode(&lc.encode()).unwrap(), lc);
+        assert_eq!(lc.to_string(), "4200000000:2:123");
+        assert!(LargeCommunity::decode(&[0u8; 11]).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! BGP error handling, aligned with RFC 4271 §6 NOTIFICATION error codes so
+//! that any decode failure can be turned into the NOTIFICATION a real
+//! speaker would send.
+
+use core::fmt;
+
+/// Top-level NOTIFICATION error codes (RFC 4271 §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Message header error (1).
+    MessageHeader,
+    /// OPEN message error (2).
+    OpenMessage,
+    /// UPDATE message error (3).
+    UpdateMessage,
+    /// Hold timer expired (4).
+    HoldTimerExpired,
+    /// FSM error (5).
+    FiniteStateMachine,
+    /// Cease (6).
+    Cease,
+}
+
+impl ErrorCode {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            ErrorCode::MessageHeader => 1,
+            ErrorCode::OpenMessage => 2,
+            ErrorCode::UpdateMessage => 3,
+            ErrorCode::HoldTimerExpired => 4,
+            ErrorCode::FiniteStateMachine => 5,
+            ErrorCode::Cease => 6,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::MessageHeader,
+            2 => ErrorCode::OpenMessage,
+            3 => ErrorCode::UpdateMessage,
+            4 => ErrorCode::HoldTimerExpired,
+            5 => ErrorCode::FiniteStateMachine,
+            6 => ErrorCode::Cease,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors raised by the codecs and the FSM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BgpError {
+    /// Input ended before the structure was complete.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// A structurally invalid message.
+    Malformed {
+        /// NOTIFICATION error code this maps to.
+        code: ErrorCode,
+        /// Sub-code (RFC 4271 §6), 0 if unspecific.
+        subcode: u8,
+        /// Description.
+        detail: &'static str,
+    },
+    /// The connection is not in a state that allows the operation.
+    BadState {
+        /// Description.
+        detail: &'static str,
+    },
+}
+
+impl BgpError {
+    /// Shorthand for header errors.
+    pub fn header(subcode: u8, detail: &'static str) -> Self {
+        BgpError::Malformed {
+            code: ErrorCode::MessageHeader,
+            subcode,
+            detail,
+        }
+    }
+
+    /// Shorthand for OPEN errors.
+    pub fn open(subcode: u8, detail: &'static str) -> Self {
+        BgpError::Malformed {
+            code: ErrorCode::OpenMessage,
+            subcode,
+            detail,
+        }
+    }
+
+    /// Shorthand for UPDATE errors.
+    pub fn update(subcode: u8, detail: &'static str) -> Self {
+        BgpError::Malformed {
+            code: ErrorCode::UpdateMessage,
+            subcode,
+            detail,
+        }
+    }
+
+    /// The NOTIFICATION (code, subcode) a speaker should send for this
+    /// error, if any.
+    pub fn notification_codes(&self) -> Option<(u8, u8)> {
+        match self {
+            BgpError::Malformed { code, subcode, .. } => Some((code.value(), *subcode)),
+            BgpError::Truncated { .. } => Some((ErrorCode::MessageHeader.value(), 2)),
+            BgpError::BadState { .. } => Some((ErrorCode::FiniteStateMachine.value(), 0)),
+        }
+    }
+}
+
+impl fmt::Display for BgpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BgpError::Truncated { what } => write!(f, "truncated {what}"),
+            BgpError::Malformed {
+                code,
+                subcode,
+                detail,
+            } => write!(f, "malformed message ({code:?}/{subcode}): {detail}"),
+            BgpError::BadState { detail } => write!(f, "bad state: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for BgpError {}
+
+/// Result alias for this crate.
+pub type BgpResult<T> = Result<T, BgpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip() {
+        for v in 1..=6u8 {
+            assert_eq!(ErrorCode::from_value(v).unwrap().value(), v);
+        }
+        assert!(ErrorCode::from_value(0).is_none());
+        assert!(ErrorCode::from_value(7).is_none());
+    }
+
+    #[test]
+    fn notification_mapping() {
+        assert_eq!(
+            BgpError::update(3, "missing attribute").notification_codes(),
+            Some((3, 3))
+        );
+        assert_eq!(
+            BgpError::Truncated { what: "open" }.notification_codes(),
+            Some((1, 2))
+        );
+        assert_eq!(
+            BgpError::BadState { detail: "x" }.notification_codes(),
+            Some((5, 0))
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = BgpError::open(2, "bad peer AS");
+        assert!(e.to_string().contains("bad peer AS"));
+    }
+}

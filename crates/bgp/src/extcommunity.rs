@@ -1,0 +1,218 @@
+//! BGP extended communities (RFC 4360).
+//!
+//! Stellar signals blackholing rules with extended communities (§4.2.1):
+//! they "provide a sufficiently large numbering space and allow us to
+//! define a distinct community namespace for blackholing rules". This
+//! module implements the generic 8-byte codec; the Stellar-specific rule
+//! encoding lives in `stellar-core::signal`.
+
+use crate::error::{BgpError, BgpResult};
+use core::fmt;
+
+/// High-order type bit: community is non-transitive across ASes.
+pub const FLAG_NON_TRANSITIVE: u8 = 0x40;
+
+/// An extended community (8 bytes on the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExtendedCommunity {
+    /// Two-octet-AS specific (type 0x00/0x40): `asn(2) : local(4)`.
+    TwoOctetAs {
+        /// Sub-type (semantics namespace).
+        subtype: u8,
+        /// Global administrator (a 2-octet ASN).
+        asn: u16,
+        /// Local administrator value.
+        local: u32,
+        /// True if transitive across ASes.
+        transitive: bool,
+    },
+    /// IPv4-address specific (type 0x01/0x41): `addr(4) : local(2)`.
+    Ipv4Addr {
+        /// Sub-type.
+        subtype: u8,
+        /// Global administrator (an IPv4 address as u32).
+        addr: u32,
+        /// Local administrator value.
+        local: u16,
+        /// True if transitive.
+        transitive: bool,
+    },
+    /// Four-octet-AS specific (type 0x02/0x42): `asn(4) : local(2)`.
+    FourOctetAs {
+        /// Sub-type.
+        subtype: u8,
+        /// Global administrator (a 4-octet ASN).
+        asn: u32,
+        /// Local administrator value.
+        local: u16,
+        /// True if transitive.
+        transitive: bool,
+    },
+    /// Anything else, preserved verbatim.
+    Raw([u8; 8]),
+}
+
+impl ExtendedCommunity {
+    /// Encodes to the 8-byte wire form.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        match *self {
+            ExtendedCommunity::TwoOctetAs {
+                subtype,
+                asn,
+                local,
+                transitive,
+            } => {
+                b[0] = if transitive { 0x00 } else { FLAG_NON_TRANSITIVE };
+                b[1] = subtype;
+                b[2..4].copy_from_slice(&asn.to_be_bytes());
+                b[4..8].copy_from_slice(&local.to_be_bytes());
+            }
+            ExtendedCommunity::Ipv4Addr {
+                subtype,
+                addr,
+                local,
+                transitive,
+            } => {
+                b[0] = 0x01 | if transitive { 0 } else { FLAG_NON_TRANSITIVE };
+                b[1] = subtype;
+                b[2..6].copy_from_slice(&addr.to_be_bytes());
+                b[6..8].copy_from_slice(&local.to_be_bytes());
+            }
+            ExtendedCommunity::FourOctetAs {
+                subtype,
+                asn,
+                local,
+                transitive,
+            } => {
+                b[0] = 0x02 | if transitive { 0 } else { FLAG_NON_TRANSITIVE };
+                b[1] = subtype;
+                b[2..6].copy_from_slice(&asn.to_be_bytes());
+                b[6..8].copy_from_slice(&local.to_be_bytes());
+            }
+            ExtendedCommunity::Raw(raw) => b = raw,
+        }
+        b
+    }
+
+    /// Decodes from 8 wire bytes.
+    pub fn decode(b: &[u8]) -> BgpResult<Self> {
+        if b.len() < 8 {
+            return Err(BgpError::Truncated {
+                what: "extended community",
+            });
+        }
+        let transitive = b[0] & FLAG_NON_TRANSITIVE == 0;
+        let base_type = b[0] & 0x3f;
+        Ok(match base_type {
+            0x00 => ExtendedCommunity::TwoOctetAs {
+                subtype: b[1],
+                asn: u16::from_be_bytes([b[2], b[3]]),
+                local: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+                transitive,
+            },
+            0x01 => ExtendedCommunity::Ipv4Addr {
+                subtype: b[1],
+                addr: u32::from_be_bytes([b[2], b[3], b[4], b[5]]),
+                local: u16::from_be_bytes([b[6], b[7]]),
+                transitive,
+            },
+            0x02 => ExtendedCommunity::FourOctetAs {
+                subtype: b[1],
+                asn: u32::from_be_bytes([b[2], b[3], b[4], b[5]]),
+                local: u16::from_be_bytes([b[6], b[7]]),
+                transitive,
+            },
+            _ => {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&b[..8]);
+                ExtendedCommunity::Raw(raw)
+            }
+        })
+    }
+}
+
+impl fmt::Display for ExtendedCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtendedCommunity::TwoOctetAs {
+                subtype,
+                asn,
+                local,
+                ..
+            } => write!(f, "ext:{subtype:#04x}:{asn}:{local}"),
+            ExtendedCommunity::Ipv4Addr {
+                subtype,
+                addr,
+                local,
+                ..
+            } => write!(f, "ext-ip:{subtype:#04x}:{addr:#010x}:{local}"),
+            ExtendedCommunity::FourOctetAs {
+                subtype,
+                asn,
+                local,
+                ..
+            } => write!(f, "ext4:{subtype:#04x}:{asn}:{local}"),
+            ExtendedCommunity::Raw(raw) => {
+                write!(f, "ext-raw:")?;
+                for b in raw {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_octet_as_round_trip() {
+        let ec = ExtendedCommunity::TwoOctetAs {
+            subtype: 0xbb,
+            asn: 6695,
+            local: 0x0201_007b,
+            transitive: true,
+        };
+        assert_eq!(ExtendedCommunity::decode(&ec.encode()).unwrap(), ec);
+    }
+
+    #[test]
+    fn non_transitive_flag_round_trips() {
+        let ec = ExtendedCommunity::FourOctetAs {
+            subtype: 1,
+            asn: 4_200_000_001,
+            local: 7,
+            transitive: false,
+        };
+        let wire = ec.encode();
+        assert_eq!(wire[0] & FLAG_NON_TRANSITIVE, FLAG_NON_TRANSITIVE);
+        assert_eq!(ExtendedCommunity::decode(&wire).unwrap(), ec);
+    }
+
+    #[test]
+    fn ipv4_addr_specific_round_trip() {
+        let ec = ExtendedCommunity::Ipv4Addr {
+            subtype: 2,
+            addr: 0xc000_0201,
+            local: 666,
+            transitive: true,
+        };
+        assert_eq!(ExtendedCommunity::decode(&ec.encode()).unwrap(), ec);
+    }
+
+    #[test]
+    fn unknown_types_are_preserved() {
+        let raw = [0x43u8, 0x99, 1, 2, 3, 4, 5, 6];
+        let ec = ExtendedCommunity::decode(&raw).unwrap();
+        assert_eq!(ec, ExtendedCommunity::Raw(raw));
+        assert_eq!(ec.encode(), raw);
+    }
+
+    #[test]
+    fn short_input_is_rejected() {
+        assert!(ExtendedCommunity::decode(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! The BGP session finite-state machine (RFC 4271 §8), event-driven and
+//! clocked by explicit timestamps so it runs deterministically inside the
+//! discrete-event emulation.
+//!
+//! The machine is transport-agnostic: it consumes [`BgpEvent`]s and emits
+//! [`FsmAction`]s; [`crate::session::Session`] maps both onto wire bytes.
+
+use crate::error::BgpError;
+use crate::notification::NotificationMessage;
+use crate::open::OpenMessage;
+use core::fmt;
+
+/// Session states (RFC 4271 §8.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Initial state; refuses all connections.
+    Idle,
+    /// Waiting for the transport to come up (we initiate).
+    Connect,
+    /// Waiting for the peer to initiate.
+    Active,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPENs exchanged, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+impl fmt::Display for SessionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SessionState::Idle => "Idle",
+            SessionState::Connect => "Connect",
+            SessionState::Active => "Active",
+            SessionState::OpenSent => "OpenSent",
+            SessionState::OpenConfirm => "OpenConfirm",
+            SessionState::Established => "Established",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Events driving the machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BgpEvent {
+    /// Operator starts the session (active open).
+    ManualStart,
+    /// Operator starts the session passively (wait for the peer).
+    ManualStartPassive,
+    /// Operator stops the session.
+    ManualStop,
+    /// The transport connection is up.
+    TcpConfirmed,
+    /// The transport connection was lost.
+    TcpClosed,
+    /// Received an OPEN message.
+    RecvOpen(OpenMessage),
+    /// Received a KEEPALIVE.
+    RecvKeepalive,
+    /// Received an UPDATE (payload handled by the session layer).
+    RecvUpdate,
+    /// Received a NOTIFICATION.
+    RecvNotification(NotificationMessage),
+    /// The hold timer expired.
+    HoldTimerExpired,
+    /// The keepalive timer fired.
+    KeepaliveTimerExpired,
+    /// A decode error occurred on the stream.
+    DecodeError(BgpError),
+}
+
+/// Actions the machine instructs the session layer to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsmAction {
+    /// Send our OPEN.
+    SendOpen,
+    /// Send a KEEPALIVE.
+    SendKeepalive,
+    /// Send a NOTIFICATION and drop the connection.
+    SendNotification(NotificationMessage),
+    /// The session reached Established.
+    SessionUp,
+    /// The session left Established (peer routes must be flushed —
+    /// this is what makes Stellar rules implicitly withdraw when a member's
+    /// session dies, §4.2.1).
+    SessionDown,
+    /// Process the pending UPDATE (session layer holds the payload).
+    ProcessUpdate,
+}
+
+/// The state machine. Hold/keepalive timing uses microsecond timestamps
+/// supplied by the caller.
+#[derive(Debug)]
+pub struct BgpFsm {
+    state: SessionState,
+    /// Negotiated hold time (seconds); min of both OPENs.
+    hold_time_s: u16,
+    /// Our configured hold time.
+    configured_hold_s: u16,
+    last_recv_us: u64,
+    last_keepalive_sent_us: u64,
+}
+
+impl BgpFsm {
+    /// Creates a machine in Idle with the given configured hold time.
+    pub fn new(configured_hold_s: u16) -> Self {
+        BgpFsm {
+            state: SessionState::Idle,
+            hold_time_s: configured_hold_s,
+            configured_hold_s,
+            last_recv_us: 0,
+            last_keepalive_sent_us: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The negotiated hold time in seconds.
+    pub fn hold_time_s(&self) -> u16 {
+        self.hold_time_s
+    }
+
+    /// Handles an event at time `now_us`, returning the actions to take.
+    pub fn handle(&mut self, event: BgpEvent, now_us: u64) -> Vec<FsmAction> {
+        use BgpEvent as E;
+        use FsmAction as A;
+        use SessionState as S;
+        match (&self.state, event) {
+            (S::Idle, E::ManualStart) => {
+                self.state = S::Connect;
+                vec![]
+            }
+            (S::Idle, E::ManualStartPassive) => {
+                self.state = S::Active;
+                vec![]
+            }
+            (S::Connect, E::TcpConfirmed) => {
+                self.state = S::OpenSent;
+                vec![A::SendOpen]
+            }
+            (S::Active, E::TcpConfirmed) => {
+                // Passive side: wait for the peer's OPEN before sending ours.
+                vec![]
+            }
+            (S::Active, E::RecvOpen(open)) => {
+                self.negotiate_hold(open.hold_time);
+                self.last_recv_us = now_us;
+                self.state = S::OpenConfirm;
+                vec![A::SendOpen, A::SendKeepalive]
+            }
+            (S::OpenSent, E::RecvOpen(open)) => {
+                self.negotiate_hold(open.hold_time);
+                self.last_recv_us = now_us;
+                self.state = S::OpenConfirm;
+                vec![A::SendKeepalive]
+            }
+            (S::OpenConfirm, E::RecvKeepalive) => {
+                self.last_recv_us = now_us;
+                self.last_keepalive_sent_us = now_us;
+                self.state = S::Established;
+                vec![A::SessionUp]
+            }
+            (S::Established, E::RecvKeepalive) => {
+                self.last_recv_us = now_us;
+                vec![]
+            }
+            (S::Established, E::RecvUpdate) => {
+                self.last_recv_us = now_us;
+                vec![A::ProcessUpdate]
+            }
+            (S::Established, E::KeepaliveTimerExpired) => {
+                self.last_keepalive_sent_us = now_us;
+                vec![A::SendKeepalive]
+            }
+            (_, E::HoldTimerExpired) => {
+                let was_up = self.state == S::Established;
+                self.state = S::Idle;
+                let mut acts = vec![A::SendNotification(NotificationMessage::hold_timer_expired())];
+                if was_up {
+                    acts.push(A::SessionDown);
+                }
+                acts
+            }
+            (_, E::RecvNotification(_)) | (_, E::TcpClosed) => {
+                let was_up = self.state == S::Established;
+                self.state = S::Idle;
+                if was_up {
+                    vec![A::SessionDown]
+                } else {
+                    vec![]
+                }
+            }
+            (_, E::ManualStop) => {
+                let was_up = self.state == S::Established;
+                self.state = S::Idle;
+                let mut acts = vec![A::SendNotification(NotificationMessage::cease())];
+                if was_up {
+                    acts.push(A::SessionDown);
+                }
+                acts
+            }
+            (_, E::DecodeError(e)) => {
+                let was_up = self.state == S::Established;
+                self.state = S::Idle;
+                let mut acts = Vec::new();
+                if let Some(n) = NotificationMessage::from_error(&e) {
+                    acts.push(A::SendNotification(n));
+                }
+                if was_up {
+                    acts.push(A::SessionDown);
+                }
+                acts
+            }
+            // Unexpected event in this state: FSM error per RFC 4271 §6.6.
+            (s, e) => {
+                // Benign no-ops (e.g. duplicate keepalives while opening).
+                if matches!(e, E::RecvKeepalive | E::TcpConfirmed) {
+                    return vec![];
+                }
+                let was_up = *s == S::Established;
+                self.state = S::Idle;
+                let mut acts = vec![A::SendNotification(NotificationMessage {
+                    code: crate::error::ErrorCode::FiniteStateMachine,
+                    subcode: 0,
+                    data: vec![],
+                })];
+                if was_up {
+                    acts.push(A::SessionDown);
+                }
+                acts
+            }
+        }
+    }
+
+    /// Clock tick: checks hold/keepalive timers at `now_us`.
+    pub fn tick(&mut self, now_us: u64) -> Vec<FsmAction> {
+        if self.hold_time_s == 0 {
+            return vec![]; // timers disabled
+        }
+        let hold_us = u64::from(self.hold_time_s) * 1_000_000;
+        let keepalive_us = hold_us / 3;
+        match self.state {
+            SessionState::Established | SessionState::OpenConfirm => {
+                if now_us.saturating_sub(self.last_recv_us) > hold_us {
+                    return self.handle(BgpEvent::HoldTimerExpired, now_us);
+                }
+                if self.state == SessionState::Established
+                    && now_us.saturating_sub(self.last_keepalive_sent_us) >= keepalive_us
+                {
+                    return self.handle(BgpEvent::KeepaliveTimerExpired, now_us);
+                }
+                vec![]
+            }
+            _ => vec![],
+        }
+    }
+
+    fn negotiate_hold(&mut self, peer_hold_s: u16) {
+        self.hold_time_s = self.configured_hold_s.min(peer_hold_s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Asn;
+    use stellar_net::addr::Ipv4Address;
+
+    fn open(hold: u16) -> OpenMessage {
+        OpenMessage {
+            asn: Asn(64500),
+            hold_time: hold,
+            bgp_id: Ipv4Address::new(1, 1, 1, 1),
+            capabilities: vec![],
+        }
+    }
+
+    #[test]
+    fn active_open_happy_path() {
+        let mut fsm = BgpFsm::new(90);
+        assert_eq!(fsm.state(), SessionState::Idle);
+        assert!(fsm.handle(BgpEvent::ManualStart, 0).is_empty());
+        assert_eq!(fsm.state(), SessionState::Connect);
+        assert_eq!(fsm.handle(BgpEvent::TcpConfirmed, 0), vec![FsmAction::SendOpen]);
+        assert_eq!(fsm.state(), SessionState::OpenSent);
+        assert_eq!(
+            fsm.handle(BgpEvent::RecvOpen(open(90)), 1),
+            vec![FsmAction::SendKeepalive]
+        );
+        assert_eq!(fsm.state(), SessionState::OpenConfirm);
+        assert_eq!(
+            fsm.handle(BgpEvent::RecvKeepalive, 2),
+            vec![FsmAction::SessionUp]
+        );
+        assert_eq!(fsm.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn passive_open_happy_path() {
+        let mut fsm = BgpFsm::new(90);
+        fsm.handle(BgpEvent::ManualStartPassive, 0);
+        assert_eq!(fsm.state(), SessionState::Active);
+        fsm.handle(BgpEvent::TcpConfirmed, 0);
+        assert_eq!(fsm.state(), SessionState::Active);
+        let acts = fsm.handle(BgpEvent::RecvOpen(open(90)), 1);
+        assert_eq!(acts, vec![FsmAction::SendOpen, FsmAction::SendKeepalive]);
+        assert_eq!(fsm.state(), SessionState::OpenConfirm);
+        fsm.handle(BgpEvent::RecvKeepalive, 2);
+        assert_eq!(fsm.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn hold_time_negotiates_to_minimum() {
+        let mut fsm = BgpFsm::new(90);
+        fsm.handle(BgpEvent::ManualStart, 0);
+        fsm.handle(BgpEvent::TcpConfirmed, 0);
+        fsm.handle(BgpEvent::RecvOpen(open(30)), 0);
+        assert_eq!(fsm.hold_time_s(), 30);
+    }
+
+    fn established() -> BgpFsm {
+        let mut fsm = BgpFsm::new(9);
+        fsm.handle(BgpEvent::ManualStart, 0);
+        fsm.handle(BgpEvent::TcpConfirmed, 0);
+        fsm.handle(BgpEvent::RecvOpen(open(9)), 0);
+        fsm.handle(BgpEvent::RecvKeepalive, 0);
+        fsm
+    }
+
+    #[test]
+    fn hold_timer_tears_session_down() {
+        let mut fsm = established();
+        // 9s hold => keepalives every 3s; stop feeding input.
+        let acts = fsm.tick(9_000_001);
+        assert!(acts.contains(&FsmAction::SendNotification(
+            NotificationMessage::hold_timer_expired()
+        )));
+        assert!(acts.contains(&FsmAction::SessionDown));
+        assert_eq!(fsm.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn keepalive_timer_fires_before_hold() {
+        let mut fsm = established();
+        let acts = fsm.tick(3_000_000);
+        assert_eq!(acts, vec![FsmAction::SendKeepalive]);
+        // Receiving traffic refreshes hold.
+        fsm.handle(BgpEvent::RecvUpdate, 4_000_000);
+        let acts = fsm.tick(9_500_000); // 5.5s since last recv < 9s hold
+        assert_eq!(acts, vec![FsmAction::SendKeepalive]);
+        assert_eq!(fsm.state(), SessionState::Established);
+    }
+
+    #[test]
+    fn updates_are_processed_only_when_established() {
+        let mut fsm = established();
+        assert_eq!(
+            fsm.handle(BgpEvent::RecvUpdate, 1),
+            vec![FsmAction::ProcessUpdate]
+        );
+        // An UPDATE in OpenSent is an FSM error.
+        let mut fsm = BgpFsm::new(90);
+        fsm.handle(BgpEvent::ManualStart, 0);
+        fsm.handle(BgpEvent::TcpConfirmed, 0);
+        let acts = fsm.handle(BgpEvent::RecvUpdate, 1);
+        assert!(matches!(acts[0], FsmAction::SendNotification(_)));
+        assert_eq!(fsm.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn notification_and_stop_reset_to_idle() {
+        let mut fsm = established();
+        let acts = fsm.handle(BgpEvent::RecvNotification(NotificationMessage::cease()), 1);
+        assert_eq!(acts, vec![FsmAction::SessionDown]);
+        assert_eq!(fsm.state(), SessionState::Idle);
+
+        let mut fsm = established();
+        let acts = fsm.handle(BgpEvent::ManualStop, 1);
+        assert!(acts.contains(&FsmAction::SessionDown));
+        assert_eq!(fsm.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn decode_error_sends_mapped_notification() {
+        let mut fsm = established();
+        let acts = fsm.handle(
+            BgpEvent::DecodeError(BgpError::update(3, "missing attr")),
+            1,
+        );
+        match &acts[0] {
+            FsmAction::SendNotification(n) => {
+                assert_eq!(n.code, crate::error::ErrorCode::UpdateMessage);
+                assert_eq!(n.subcode, 3);
+            }
+            other => panic!("expected notification, got {other:?}"),
+        }
+        assert!(acts.contains(&FsmAction::SessionDown));
+    }
+
+    #[test]
+    fn zero_hold_time_disables_timers() {
+        let mut fsm = BgpFsm::new(0);
+        fsm.handle(BgpEvent::ManualStart, 0);
+        fsm.handle(BgpEvent::TcpConfirmed, 0);
+        fsm.handle(BgpEvent::RecvOpen(open(0)), 0);
+        fsm.handle(BgpEvent::RecvKeepalive, 0);
+        assert_eq!(fsm.state(), SessionState::Established);
+        assert!(fsm.tick(u64::MAX / 2).is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! BGP message framing: the 19-byte header (16-byte marker, 2-byte length,
+//! 1-byte type) and the top-level [`Message`] enum.
+
+use crate::error::{BgpError, BgpResult};
+use crate::notification::NotificationMessage;
+use crate::open::OpenMessage;
+use crate::update::UpdateMessage;
+use bytes::{BufMut, BytesMut};
+
+/// Header length.
+pub const HEADER_LEN: usize = 19;
+/// Maximum message length (RFC 4271).
+pub const MAX_LEN: usize = 4096;
+
+/// Per-session decode context: which optional wire features were
+/// negotiated. NLRI bytes are uninterpretable without it (RFC 7911 §5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCtx {
+    /// ADD-PATH negotiated for IPv4/IPv6 unicast.
+    pub add_path: bool,
+}
+
+/// A framed BGP message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// OPEN (type 1).
+    Open(OpenMessage),
+    /// UPDATE (type 2).
+    Update(UpdateMessage),
+    /// NOTIFICATION (type 3).
+    Notification(NotificationMessage),
+    /// KEEPALIVE (type 4).
+    Keepalive,
+    /// ROUTE-REFRESH (type 5, RFC 2918): (afi, reserved, safi).
+    RouteRefresh {
+        /// Address family.
+        afi: u16,
+        /// Subsequent address family.
+        safi: u8,
+    },
+}
+
+impl Message {
+    /// Message type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Message::Open(_) => 1,
+            Message::Update(_) => 2,
+            Message::Notification(_) => 3,
+            Message::Keepalive => 4,
+            Message::RouteRefresh { .. } => 5,
+        }
+    }
+
+    /// Encodes the message with its header.
+    pub fn encode(&self, ctx: DecodeCtx) -> BgpResult<Vec<u8>> {
+        let mut body = BytesMut::new();
+        match self {
+            Message::Open(m) => m.encode(&mut body),
+            Message::Update(m) => m.encode(ctx.add_path, &mut body)?,
+            Message::Notification(m) => m.encode(&mut body),
+            Message::Keepalive => {}
+            Message::RouteRefresh { afi, safi } => {
+                body.put_u16(*afi);
+                body.put_u8(0);
+                body.put_u8(*safi);
+            }
+        }
+        let total = HEADER_LEN + body.len();
+        if total > MAX_LEN {
+            return Err(BgpError::header(1, "message exceeds 4096 bytes"));
+        }
+        let mut out = BytesMut::with_capacity(total);
+        out.put_slice(&[0xffu8; 16]);
+        out.put_u16(total as u16);
+        out.put_u8(self.type_code());
+        out.put_slice(&body);
+        Ok(out.to_vec())
+    }
+
+    /// Decodes one message from the front of `buf`. Returns the message and
+    /// the total bytes consumed, or `Ok(None)` if `buf` does not yet hold a
+    /// complete message (stream reassembly).
+    pub fn decode(buf: &[u8], ctx: DecodeCtx) -> BgpResult<Option<(Message, usize)>> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if buf[..16] != [0xffu8; 16] {
+            return Err(BgpError::header(1, "connection not synchronized"));
+        }
+        let len = u16::from_be_bytes([buf[16], buf[17]]) as usize;
+        if !(HEADER_LEN..=MAX_LEN).contains(&len) {
+            return Err(BgpError::header(2, "bad message length"));
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let body = &buf[HEADER_LEN..len];
+        let msg = match buf[18] {
+            1 => Message::Open(OpenMessage::decode(body)?),
+            2 => Message::Update(UpdateMessage::decode(body, ctx.add_path)?),
+            3 => Message::Notification(NotificationMessage::decode(body)?),
+            4 => {
+                if !body.is_empty() {
+                    return Err(BgpError::header(2, "keepalive with body"));
+                }
+                Message::Keepalive
+            }
+            5 => {
+                if body.len() != 4 {
+                    return Err(BgpError::header(2, "bad route-refresh length"));
+                }
+                Message::RouteRefresh {
+                    afi: u16::from_be_bytes([body[0], body[1]]),
+                    safi: body[3],
+                }
+            }
+            _ => return Err(BgpError::header(3, "bad message type")),
+        };
+        Ok(Some((msg, len)))
+    }
+}
+
+/// Reassembles a byte stream into messages: a stateful wrapper around
+/// [`Message::decode`] for transports that deliver arbitrary segments.
+#[derive(Debug, Default)]
+pub struct MessageReader {
+    buf: Vec<u8>,
+}
+
+impl MessageReader {
+    /// Creates an empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete message, if any. On a framing error the
+    /// buffer is poisoned (cleared) because resynchronization within a BGP
+    /// stream is impossible — the real protocol tears the session down.
+    pub fn next(&mut self, ctx: DecodeCtx) -> BgpResult<Option<Message>> {
+        match Message::decode(&self.buf, ctx) {
+            Ok(Some((msg, used))) => {
+                self.buf.drain(..used);
+                Ok(Some(msg))
+            }
+            Ok(None) => Ok(None),
+            Err(e) => {
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{AsPath, PathAttribute};
+    use crate::types::Asn;
+    use stellar_net::addr::Ipv4Address;
+
+    fn sample_update() -> Message {
+        Message::Update(UpdateMessage::announce(
+            "100.10.10.0/24".parse().unwrap(),
+            Ipv4Address::new(80, 81, 192, 10),
+            PathAttribute::AsPath(AsPath::sequence([64500])),
+        ))
+    }
+
+    #[test]
+    fn keepalive_round_trip() {
+        let wire = Message::Keepalive.encode(DecodeCtx::default()).unwrap();
+        assert_eq!(wire.len(), HEADER_LEN);
+        let (m, used) = Message::decode(&wire, DecodeCtx::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(m, Message::Keepalive);
+    }
+
+    #[test]
+    fn all_message_types_round_trip() {
+        let ctx = DecodeCtx::default();
+        let msgs = vec![
+            Message::Open(OpenMessage {
+                asn: Asn(64500),
+                hold_time: 90,
+                bgp_id: Ipv4Address::new(1, 2, 3, 4),
+                capabilities: vec![],
+            }),
+            sample_update(),
+            Message::Notification(NotificationMessage::cease()),
+            Message::Keepalive,
+            Message::RouteRefresh { afi: 1, safi: 1 },
+        ];
+        for m in msgs {
+            let wire = m.encode(ctx).unwrap();
+            let (d, used) = Message::decode(&wire, ctx).unwrap().unwrap();
+            assert_eq!(used, wire.len());
+            assert_eq!(d, m);
+        }
+    }
+
+    #[test]
+    fn partial_input_returns_none() {
+        let wire = sample_update().encode(DecodeCtx::default()).unwrap();
+        for cut in [0, 5, HEADER_LEN - 1, HEADER_LEN, wire.len() - 1] {
+            assert_eq!(
+                Message::decode(&wire[..cut], DecodeCtx::default()).unwrap(),
+                None,
+                "cut={cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_marker_and_type_are_fatal() {
+        let mut wire = Message::Keepalive.encode(DecodeCtx::default()).unwrap();
+        wire[0] = 0;
+        assert!(Message::decode(&wire, DecodeCtx::default()).is_err());
+        let mut wire = Message::Keepalive.encode(DecodeCtx::default()).unwrap();
+        wire[18] = 9;
+        assert!(Message::decode(&wire, DecodeCtx::default()).is_err());
+    }
+
+    #[test]
+    fn reader_reassembles_fragmented_stream() {
+        let ctx = DecodeCtx::default();
+        let mut stream = Vec::new();
+        stream.extend(sample_update().encode(ctx).unwrap());
+        stream.extend(Message::Keepalive.encode(ctx).unwrap());
+        stream.extend(sample_update().encode(ctx).unwrap());
+
+        let mut reader = MessageReader::new();
+        let mut got = Vec::new();
+        // Feed 7 bytes at a time.
+        for chunk in stream.chunks(7) {
+            reader.push(chunk);
+            while let Some(m) = reader.next(ctx).unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1], Message::Keepalive);
+        assert_eq!(reader.pending(), 0);
+    }
+
+    #[test]
+    fn reader_poisons_on_framing_error() {
+        let mut reader = MessageReader::new();
+        reader.push(&[0u8; 32]);
+        assert!(reader.next(DecodeCtx::default()).is_err());
+        assert_eq!(reader.pending(), 0);
+    }
+}

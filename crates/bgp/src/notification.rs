@@ -1,0 +1,119 @@
+//! NOTIFICATION message (RFC 4271 §4.5).
+
+use crate::error::{BgpError, BgpResult, ErrorCode};
+use bytes::BufMut;
+use core::fmt;
+
+/// A NOTIFICATION message: sent when a fatal error closes the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMessage {
+    /// Error code.
+    pub code: ErrorCode,
+    /// Error sub-code.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+impl NotificationMessage {
+    /// Builds a notification for a codec/FSM error, if it maps to one.
+    pub fn from_error(err: &BgpError) -> Option<NotificationMessage> {
+        let (code, subcode) = err.notification_codes()?;
+        Some(NotificationMessage {
+            code: ErrorCode::from_value(code)?,
+            subcode,
+            data: Vec::new(),
+        })
+    }
+
+    /// A Cease notification (administrative shutdown, RFC 4486).
+    pub fn cease() -> NotificationMessage {
+        NotificationMessage {
+            code: ErrorCode::Cease,
+            subcode: 2, // administrative shutdown
+            data: Vec::new(),
+        }
+    }
+
+    /// A hold-timer-expired notification.
+    pub fn hold_timer_expired() -> NotificationMessage {
+        NotificationMessage {
+            code: ErrorCode::HoldTimerExpired,
+            subcode: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Encodes the message body.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.code.value());
+        buf.put_u8(self.subcode);
+        buf.put_slice(&self.data);
+    }
+
+    /// Decodes a message body.
+    pub fn decode(buf: &[u8]) -> BgpResult<NotificationMessage> {
+        if buf.len() < 2 {
+            return Err(BgpError::Truncated {
+                what: "notification",
+            });
+        }
+        let code = ErrorCode::from_value(buf[0]).ok_or(BgpError::Malformed {
+            code: ErrorCode::MessageHeader,
+            subcode: 0,
+            detail: "unknown notification code",
+        })?;
+        Ok(NotificationMessage {
+            code,
+            subcode: buf[1],
+            data: buf[2..].to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for NotificationMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NOTIFICATION {:?}/{}", self.code, self.subcode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn round_trip() {
+        let n = NotificationMessage {
+            code: ErrorCode::UpdateMessage,
+            subcode: 3,
+            data: vec![1, 2, 3],
+        };
+        let mut buf = BytesMut::new();
+        n.encode(&mut buf);
+        assert_eq!(NotificationMessage::decode(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn from_error_maps_codes() {
+        let e = BgpError::update(3, "missing well-known attribute");
+        let n = NotificationMessage::from_error(&e).unwrap();
+        assert_eq!(n.code, ErrorCode::UpdateMessage);
+        assert_eq!(n.subcode, 3);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(NotificationMessage::cease().code, ErrorCode::Cease);
+        assert_eq!(
+            NotificationMessage::hold_timer_expired().code,
+            ErrorCode::HoldTimerExpired
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(NotificationMessage::decode(&[1]).is_err());
+        assert!(NotificationMessage::decode(&[99, 0]).is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! OPEN message (RFC 4271 §4.2) with capability negotiation (RFC 5492).
+
+use crate::capability::Capability;
+use crate::error::{BgpError, BgpResult};
+use crate::types::Asn;
+use bytes::{BufMut, BytesMut};
+use stellar_net::addr::Ipv4Address;
+
+/// An OPEN message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// Sender's AS number (4-octet; the 2-octet field carries AS_TRANS when
+    /// it does not fit).
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 or >= 3).
+    pub hold_time: u16,
+    /// BGP identifier (router id).
+    pub bgp_id: Ipv4Address,
+    /// Advertised capabilities.
+    pub capabilities: Vec<Capability>,
+}
+
+impl OpenMessage {
+    /// Encodes the message body (without the 19-byte message header).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(4); // version
+        let two_octet = if self.asn.is_two_octet() {
+            self.asn.0 as u16
+        } else {
+            Asn::TRANS.0 as u16
+        };
+        buf.put_u16(two_octet);
+        buf.put_u16(self.hold_time);
+        buf.put_slice(&self.bgp_id.octets());
+        // Optional parameters: one parameter of type 2 (capabilities).
+        let mut caps = BytesMut::new();
+        for c in &self.capabilities {
+            c.encode(&mut caps);
+        }
+        if caps.is_empty() {
+            buf.put_u8(0);
+        } else {
+            buf.put_u8((caps.len() + 2) as u8);
+            buf.put_u8(2); // parameter type: capabilities
+            buf.put_u8(caps.len() as u8);
+            buf.put_slice(&caps);
+        }
+    }
+
+    /// Decodes a message body.
+    pub fn decode(buf: &[u8]) -> BgpResult<OpenMessage> {
+        if buf.len() < 10 {
+            return Err(BgpError::Truncated { what: "open" });
+        }
+        if buf[0] != 4 {
+            return Err(BgpError::open(1, "unsupported BGP version"));
+        }
+        let two_octet = u16::from_be_bytes([buf[1], buf[2]]);
+        let hold_time = u16::from_be_bytes([buf[3], buf[4]]);
+        if hold_time == 1 || hold_time == 2 {
+            return Err(BgpError::open(6, "hold time must be 0 or >= 3"));
+        }
+        let bgp_id = Ipv4Address([buf[5], buf[6], buf[7], buf[8]]);
+        let opt_len = buf[9] as usize;
+        if buf.len() < 10 + opt_len {
+            return Err(BgpError::Truncated { what: "open optional parameters" });
+        }
+        let mut capabilities = Vec::new();
+        let mut rest = &buf[10..10 + opt_len];
+        while !rest.is_empty() {
+            if rest.len() < 2 {
+                return Err(BgpError::Truncated { what: "open parameter" });
+            }
+            let ptype = rest[0];
+            let plen = rest[1] as usize;
+            if rest.len() < 2 + plen {
+                return Err(BgpError::Truncated { what: "open parameter body" });
+            }
+            if ptype == 2 {
+                let mut caps = &rest[2..2 + plen];
+                while !caps.is_empty() {
+                    let (cap, used) = Capability::decode(caps)?;
+                    capabilities.push(cap);
+                    caps = &caps[used..];
+                }
+            }
+            // Unknown parameter types are skipped (RFC 5492 behaviour).
+            rest = &rest[2 + plen..];
+        }
+        // Resolve the real ASN: prefer the 4-octet capability.
+        let asn = capabilities
+            .iter()
+            .find_map(|c| match c {
+                Capability::FourOctetAs { asn } => Some(Asn(*asn)),
+                _ => None,
+            })
+            .unwrap_or(Asn(u32::from(two_octet)));
+        Ok(OpenMessage {
+            asn,
+            hold_time,
+            bgp_id,
+            capabilities,
+        })
+    }
+
+    /// The ADD-PATH capability's families, if advertised.
+    pub fn add_path_families(
+        &self,
+    ) -> Option<&[(crate::types::Afi, crate::types::Safi, crate::capability::AddPathMode)]> {
+        self.capabilities.iter().find_map(|c| match c {
+            Capability::AddPath { families } => Some(families.as_slice()),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::AddPathMode;
+    use crate::types::{Afi, Safi};
+
+    fn sample() -> OpenMessage {
+        OpenMessage {
+            asn: Asn(64500),
+            hold_time: 90,
+            bgp_id: Ipv4Address::new(80, 81, 192, 10),
+            capabilities: vec![
+                Capability::Multiprotocol {
+                    afi: Afi::Ipv4,
+                    safi: Safi::Unicast,
+                },
+                Capability::FourOctetAs { asn: 64500 },
+                Capability::AddPath {
+                    families: vec![(Afi::Ipv4, Safi::Unicast, AddPathMode::Both)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        let d = OpenMessage::decode(&buf).unwrap();
+        assert_eq!(d, m);
+        assert!(d.add_path_families().is_some());
+    }
+
+    #[test]
+    fn four_octet_asn_survives_via_capability() {
+        let mut m = sample();
+        m.asn = Asn(4_200_000_777);
+        m.capabilities = vec![Capability::FourOctetAs { asn: 4_200_000_777 }];
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        // The 2-octet field must carry AS_TRANS.
+        assert_eq!(u16::from_be_bytes([buf[1], buf[2]]), Asn::TRANS.0 as u16);
+        let d = OpenMessage::decode(&buf).unwrap();
+        assert_eq!(d.asn, Asn(4_200_000_777));
+    }
+
+    #[test]
+    fn no_capabilities_encodes_zero_opt_len() {
+        let m = OpenMessage {
+            asn: Asn(64500),
+            hold_time: 0,
+            bgp_id: Ipv4Address::new(1, 1, 1, 1),
+            capabilities: vec![],
+        };
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        assert_eq!(buf[9], 0);
+        let d = OpenMessage::decode(&buf).unwrap();
+        assert_eq!(d, m);
+        assert!(d.add_path_families().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_hold_time() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        let mut raw = buf.to_vec();
+        raw[0] = 3;
+        assert!(OpenMessage::decode(&raw).is_err());
+        let mut m = sample();
+        m.hold_time = 2;
+        let mut buf = BytesMut::new();
+        m.encode(&mut buf);
+        assert!(OpenMessage::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        for cut in [5, 9, buf.len() - 1] {
+            assert!(OpenMessage::decode(&buf[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

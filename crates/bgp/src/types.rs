@@ -1,0 +1,163 @@
+//! Basic BGP scalar types.
+
+use core::fmt;
+
+/// An Autonomous System number (4-octet, RFC 6793).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS_TRANS (23456), the 2-octet stand-in for 4-octet ASNs.
+    pub const TRANS: Asn = Asn(23456);
+
+    /// True if the ASN fits in two octets.
+    pub fn is_two_octet(&self) -> bool {
+        self.0 <= 0xffff
+    }
+
+    /// True for private-use ranges (64512–65534 and the 4-octet range).
+    pub fn is_private(&self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+/// Address Family Identifier (RFC 4760).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Afi {
+    /// IPv4 (1).
+    Ipv4,
+    /// IPv6 (2).
+    Ipv6,
+}
+
+impl Afi {
+    /// Wire value.
+    pub fn value(&self) -> u16 {
+        match self {
+            Afi::Ipv4 => 1,
+            Afi::Ipv6 => 2,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u16) -> Option<Self> {
+        match v {
+            1 => Some(Afi::Ipv4),
+            2 => Some(Afi::Ipv6),
+            _ => None,
+        }
+    }
+}
+
+/// Subsequent Address Family Identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Safi {
+    /// Unicast (1).
+    Unicast,
+    /// Multicast (2) — decoded but unused here.
+    Multicast,
+}
+
+impl Safi {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            Safi::Unicast => 1,
+            Safi::Multicast => 2,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Safi::Unicast),
+            2 => Some(Safi::Multicast),
+            _ => None,
+        }
+    }
+}
+
+/// The ORIGIN path attribute's value (RFC 4271 §5.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Origin {
+    /// IGP (0) — most preferred in the decision process.
+    Igp,
+    /// EGP (1).
+    Egp,
+    /// INCOMPLETE (2).
+    Incomplete,
+}
+
+impl Origin {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            Origin::Igp => 0,
+            Origin::Egp => 1,
+            Origin::Incomplete => 2,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Origin::Igp),
+            1 => Some(Origin::Egp),
+            2 => Some(Origin::Incomplete),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_properties() {
+        assert!(Asn(64512).is_private());
+        assert!(Asn(65534).is_private());
+        assert!(!Asn(64511).is_private());
+        assert!(!Asn(3320).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+        assert!(Asn(65535).is_two_octet());
+        assert!(!Asn(65536).is_two_octet());
+        assert_eq!(Asn(3320).to_string(), "AS3320");
+    }
+
+    #[test]
+    fn afi_safi_origin_round_trip() {
+        for afi in [Afi::Ipv4, Afi::Ipv6] {
+            assert_eq!(Afi::from_value(afi.value()), Some(afi));
+        }
+        assert_eq!(Afi::from_value(3), None);
+        for safi in [Safi::Unicast, Safi::Multicast] {
+            assert_eq!(Safi::from_value(safi.value()), Some(safi));
+        }
+        assert_eq!(Safi::from_value(99), None);
+        for o in [Origin::Igp, Origin::Egp, Origin::Incomplete] {
+            assert_eq!(Origin::from_value(o.value()), Some(o));
+        }
+        assert_eq!(Origin::from_value(3), None);
+    }
+
+    #[test]
+    fn origin_preference_order() {
+        // Lower origin value is preferred by the decision process; the Ord
+        // derive must match the wire order.
+        assert!(Origin::Igp < Origin::Egp);
+        assert!(Origin::Egp < Origin::Incomplete);
+    }
+}

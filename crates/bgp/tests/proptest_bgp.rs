@@ -1,0 +1,173 @@
+//! Property tests: BGP message encode→decode is the identity for arbitrary
+//! well-formed messages, including ADD-PATH NLRI and all community types.
+
+use proptest::prelude::*;
+use stellar_bgp::attr::{AsPath, AsSegment, PathAttribute};
+use stellar_bgp::community::{Community, LargeCommunity};
+use stellar_bgp::extcommunity::ExtendedCommunity;
+use stellar_bgp::message::{DecodeCtx, Message};
+use stellar_bgp::nlri::Nlri;
+use stellar_bgp::notification::NotificationMessage;
+use stellar_bgp::open::OpenMessage;
+use stellar_bgp::types::{Asn, Origin};
+use stellar_bgp::update::UpdateMessage;
+use stellar_net::addr::Ipv4Address;
+use stellar_net::prefix::{Ipv4Prefix, Prefix};
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<[u8; 4]>(), 0u8..=32).prop_map(|(o, len)| {
+        Prefix::V4(Ipv4Prefix::new(Ipv4Address(o), len).unwrap())
+    })
+}
+
+fn arb_nlri(add_path: bool) -> impl Strategy<Value = Nlri> {
+    (arb_prefix(), any::<u32>()).prop_map(move |(p, id)| {
+        if add_path {
+            Nlri::with_path_id(p, id)
+        } else {
+            Nlri::plain(p)
+        }
+    })
+}
+
+fn arb_as_path() -> impl Strategy<Value = AsPath> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::collection::vec(any::<u32>(), 1..6)
+                .prop_map(|v| AsSegment::Sequence(v.into_iter().map(Asn).collect())),
+            proptest::collection::vec(any::<u32>(), 1..4)
+                .prop_map(|v| AsSegment::Set(v.into_iter().map(Asn).collect())),
+        ],
+        0..3,
+    )
+    .prop_map(|segments| AsPath { segments })
+}
+
+fn arb_attrs() -> impl Strategy<Value = Vec<PathAttribute>> {
+    (
+        arb_as_path(),
+        any::<[u8; 4]>(),
+        proptest::collection::vec(any::<u32>(), 0..8),
+        proptest::collection::vec((any::<u8>(), any::<u16>(), any::<u32>()), 0..4),
+        proptest::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..4),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(|(path, nh, comms, ecs, lcs, med)| {
+            let mut attrs = vec![
+                PathAttribute::Origin(Origin::Igp),
+                PathAttribute::AsPath(path),
+                PathAttribute::NextHop(Ipv4Address(nh)),
+            ];
+            if !comms.is_empty() {
+                attrs.push(PathAttribute::Communities(
+                    comms.into_iter().map(Community).collect(),
+                ));
+            }
+            if !ecs.is_empty() {
+                attrs.push(PathAttribute::ExtendedCommunities(
+                    ecs.into_iter()
+                        .map(|(st, asn, local)| ExtendedCommunity::TwoOctetAs {
+                            subtype: st,
+                            asn,
+                            local,
+                            transitive: true,
+                        })
+                        .collect(),
+                ));
+            }
+            if !lcs.is_empty() {
+                attrs.push(PathAttribute::LargeCommunities(
+                    lcs.into_iter()
+                        .map(|(g, d1, d2)| LargeCommunity::new(g, d1, d2))
+                        .collect(),
+                ));
+            }
+            if let Some(m) = med {
+                attrs.push(PathAttribute::Med(m));
+            }
+            attrs
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn update_round_trip_plain(
+        attrs in arb_attrs(),
+        nlri in proptest::collection::vec(arb_nlri(false), 1..8),
+        withdrawn in proptest::collection::vec(arb_nlri(false), 0..8),
+    ) {
+        let u = UpdateMessage { withdrawn, attrs, nlri };
+        let ctx = DecodeCtx { add_path: false };
+        let wire = Message::Update(u.clone()).encode(ctx).unwrap();
+        let (m, used) = Message::decode(&wire, ctx).unwrap().unwrap();
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(m, Message::Update(u));
+    }
+
+    #[test]
+    fn update_round_trip_add_path(
+        attrs in arb_attrs(),
+        nlri in proptest::collection::vec(arb_nlri(true), 1..8),
+        withdrawn in proptest::collection::vec(arb_nlri(true), 0..8),
+    ) {
+        let u = UpdateMessage { withdrawn, attrs, nlri };
+        let ctx = DecodeCtx { add_path: true };
+        let wire = Message::Update(u.clone()).encode(ctx).unwrap();
+        let (m, _) = Message::decode(&wire, ctx).unwrap().unwrap();
+        prop_assert_eq!(m, Message::Update(u));
+    }
+
+    #[test]
+    fn notification_round_trip(code in 1u8..=6, subcode in any::<u8>(), data in proptest::collection::vec(any::<u8>(), 0..32)) {
+        let n = NotificationMessage {
+            code: stellar_bgp::error::ErrorCode::from_value(code).unwrap(),
+            subcode,
+            data,
+        };
+        let ctx = DecodeCtx::default();
+        let wire = Message::Notification(n.clone()).encode(ctx).unwrap();
+        let (m, _) = Message::decode(&wire, ctx).unwrap().unwrap();
+        prop_assert_eq!(m, Message::Notification(n));
+    }
+
+    #[test]
+    fn open_round_trip(asn in 1u32..=u32::MAX, hold in prop_oneof![Just(0u16), 3u16..=u16::MAX], id in any::<[u8;4]>()) {
+        let o = OpenMessage {
+            asn: Asn(asn),
+            hold_time: hold,
+            bgp_id: Ipv4Address(id),
+            capabilities: vec![stellar_bgp::capability::Capability::FourOctetAs { asn }],
+        };
+        let ctx = DecodeCtx::default();
+        let wire = Message::Open(o.clone()).encode(ctx).unwrap();
+        let (m, _) = Message::decode(&wire, ctx).unwrap().unwrap();
+        prop_assert_eq!(m, Message::Open(o));
+    }
+
+    #[test]
+    fn stream_reassembly_is_chunk_invariant(
+        attrs in arb_attrs(),
+        nlri in proptest::collection::vec(arb_nlri(false), 1..4),
+        chunk in 1usize..64,
+    ) {
+        let u = UpdateMessage { withdrawn: vec![], attrs, nlri };
+        let ctx = DecodeCtx::default();
+        let mut stream = Vec::new();
+        for _ in 0..3 {
+            stream.extend(Message::Update(u.clone()).encode(ctx).unwrap());
+            stream.extend(Message::Keepalive.encode(ctx).unwrap());
+        }
+        let mut reader = stellar_bgp::message::MessageReader::new();
+        let mut count = 0;
+        for c in stream.chunks(chunk) {
+            reader.push(c);
+            while let Some(_m) = reader.next(ctx).unwrap() {
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, 6);
+        prop_assert_eq!(reader.pending(), 0);
+    }
+}

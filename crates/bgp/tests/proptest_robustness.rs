@@ -1,0 +1,77 @@
+//! Robustness: the decoder must never panic on arbitrary input — it
+//! either parses a message, asks for more bytes, or returns a typed error
+//! that maps to a NOTIFICATION. (The fuzz-style safety net behind the
+//! route server's exposure to 800+ member sessions.)
+
+use proptest::prelude::*;
+use stellar_bgp::error::BgpError;
+use stellar_bgp::message::{DecodeCtx, Message, MessageReader, HEADER_LEN};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512), add_path in any::<bool>()) {
+        let ctx = DecodeCtx { add_path };
+        // Any outcome is fine; panicking is not.
+        let _ = Message::decode(&data, ctx);
+    }
+
+    #[test]
+    fn decode_never_panics_on_corrupted_valid_frames(
+        flip_at in 0usize..64,
+        flip_bits in 1u8..=255,
+        add_path in any::<bool>(),
+    ) {
+        // Start from a valid KEEPALIVE+OPEN stream and corrupt one byte.
+        let ctx = DecodeCtx { add_path };
+        let mut stream = Message::Keepalive.encode(DecodeCtx::default()).unwrap();
+        stream.extend(
+            Message::Open(stellar_bgp::open::OpenMessage {
+                asn: stellar_bgp::types::Asn(64500),
+                hold_time: 90,
+                bgp_id: stellar_net::addr::Ipv4Address::new(1, 2, 3, 4),
+                capabilities: vec![stellar_bgp::capability::Capability::FourOctetAs {
+                    asn: 64500,
+                }],
+            })
+            .encode(DecodeCtx::default())
+            .unwrap(),
+        );
+        let idx = flip_at % stream.len();
+        stream[idx] ^= flip_bits;
+        let mut reader = MessageReader::new();
+        reader.push(&stream);
+        // Drain until error or exhaustion; must not panic or loop.
+        let mut guard = 0;
+        loop {
+            match reader.next(ctx) {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    // Errors must map to NOTIFICATION codes.
+                    let ok = e.notification_codes().is_some()
+                        || matches!(e, BgpError::BadState { .. });
+                    prop_assert!(ok, "unmappable error");
+                    break;
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 16, "reader did not terminate");
+        }
+    }
+
+    #[test]
+    fn header_length_field_is_always_respected(len in 0u16..=5000) {
+        // A frame claiming `len` bytes: decode must never read past it
+        // nor accept lengths outside [19, 4096].
+        let mut frame = vec![0xffu8; 16];
+        frame.extend(len.to_be_bytes());
+        frame.push(4); // KEEPALIVE
+        frame.resize(HEADER_LEN.max(len as usize) + 8, 0);
+        let r = Message::decode(&frame, DecodeCtx::default());
+        if !(HEADER_LEN as u16..=4096).contains(&len) {
+            prop_assert!(r.is_err(), "length {len} accepted");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Session-level property tests: two speakers over an in-memory byte
+//! transport must reach Established and deliver every UPDATE intact, no
+//! matter how the transport fragments the stream.
+
+use proptest::prelude::*;
+use stellar_bgp::attr::{AsPath, PathAttribute};
+use stellar_bgp::capability::AddPathMode;
+use stellar_bgp::community::Community;
+use stellar_bgp::session::{drive_pair, Session, SessionConfig};
+use stellar_bgp::types::Asn;
+use stellar_bgp::update::UpdateMessage;
+use stellar_net::addr::Ipv4Address;
+use stellar_net::prefix::{Ipv4Prefix, Prefix};
+
+fn sessions(add_path: bool) -> (Session, Session) {
+    let mut a = SessionConfig::ebgp(Asn(64500), Ipv4Address::new(10, 0, 0, 1));
+    let mut b = SessionConfig::ebgp(Asn(64501), Ipv4Address::new(10, 0, 0, 2));
+    if add_path {
+        a.add_path = Some(AddPathMode::Both);
+        b.add_path = Some(AddPathMode::Both);
+    }
+    b.passive = true;
+    (Session::new(a), Session::new(b))
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMessage> {
+    (
+        proptest::collection::vec((any::<[u8; 4]>(), 8u8..=32), 1..5),
+        proptest::collection::vec(any::<u32>(), 0..4),
+        1u32..100_000,
+    )
+        .prop_map(|(prefixes, comms, asn)| {
+            let mut u = UpdateMessage::announce(
+                Prefix::V4(Ipv4Prefix::new(Ipv4Address(prefixes[0].0), prefixes[0].1).unwrap()),
+                Ipv4Address::new(80, 81, 192, 1),
+                PathAttribute::AsPath(AsPath::sequence([asn])),
+            );
+            u.nlri = prefixes
+                .into_iter()
+                .map(|(o, l)| {
+                    stellar_bgp::nlri::Nlri::plain(Prefix::V4(
+                        Ipv4Prefix::new(Ipv4Address(o), l).unwrap(),
+                    ))
+                })
+                .collect();
+            if !comms.is_empty() {
+                u.add_communities(&comms.into_iter().map(Community).collect::<Vec<_>>());
+            }
+            u
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn updates_survive_arbitrary_fragmentation(
+        updates in proptest::collection::vec(arb_update(), 1..8),
+        chunk in 1usize..80,
+    ) {
+        let (mut a, mut b) = sessions(false);
+        drive_pair(&mut a, &mut b, 0);
+        prop_assert!(a.is_established() && b.is_established());
+
+        // a sends every update; the wire is re-chunked arbitrarily.
+        let mut stream = Vec::new();
+        for u in &updates {
+            stream.extend(a.send_update(u).unwrap());
+        }
+        let mut received = Vec::new();
+        for piece in stream.chunks(chunk) {
+            let out = b.on_bytes(piece, 1);
+            received.extend(out.updates);
+            prop_assert!(!out.session_down, "session died mid-stream");
+        }
+        prop_assert_eq!(received, updates);
+        prop_assert!(b.is_established());
+    }
+
+    #[test]
+    fn keepalive_cadence_never_kills_a_live_session(
+        steps in proptest::collection::vec(1_000_000u64..29_000_000, 5..40),
+    ) {
+        // Relay ticks at irregular (but < hold/3) intervals: the session
+        // must stay Established throughout.
+        let (mut a, mut b) = sessions(false);
+        drive_pair(&mut a, &mut b, 0);
+        let mut t = 0u64;
+        for dt in steps {
+            t += dt;
+            let out_a = a.tick(t);
+            for seg in out_a.to_send {
+                b.on_bytes(&seg, t);
+            }
+            let out_b = b.tick(t);
+            for seg in out_b.to_send {
+                a.on_bytes(&seg, t);
+            }
+            prop_assert!(a.is_established(), "a died at t={t}");
+            prop_assert!(b.is_established(), "b died at t={t}");
+        }
+    }
+
+    #[test]
+    fn add_path_sessions_deliver_path_ids(
+        ids in proptest::collection::btree_set(any::<u32>(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        let (mut a, mut b) = sessions(true);
+        drive_pair(&mut a, &mut b, 0);
+        prop_assert!(a.add_path_negotiated());
+        let prefix: Prefix = "100.10.10.10/32".parse().unwrap();
+        let mut u = UpdateMessage::announce(
+            prefix,
+            Ipv4Address::new(80, 81, 192, 1),
+            PathAttribute::AsPath(AsPath::sequence([64500])),
+        );
+        u.nlri = ids
+            .iter()
+            .map(|id| stellar_bgp::nlri::Nlri::with_path_id(prefix, *id))
+            .collect();
+        let wire = a.send_update(&u).unwrap();
+        let mut got = Vec::new();
+        for piece in wire.chunks(chunk) {
+            got.extend(b.on_bytes(piece, 1).updates);
+        }
+        prop_assert_eq!(got.len(), 1);
+        let got_ids: std::collections::BTreeSet<u32> =
+            got[0].nlri.iter().filter_map(|n| n.path_id).collect();
+        prop_assert_eq!(got_ids, ids);
+    }
+}

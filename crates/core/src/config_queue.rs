@@ -1,0 +1,161 @@
+//! The blackholing manager's configuration-change queue (§4.4).
+//!
+//! "To limit the number of configuration changes within any time interval
+//! to a rate that is manageable by the switch hardware, the queue uses a
+//! Token Bucket algorithm. This ensures that the configurable Maximum
+//! Burst Size (MBS) and a reasonable long-term rate limit is never
+//! exceeded." Fig. 10(b) measures the waiting time this queue induces at
+//! dequeue rates of 4/s and 5/s.
+
+use crate::controller::AbstractChange;
+use std::collections::VecDeque;
+use stellar_dataplane::shaper::WorkBucket;
+
+/// A change waiting in the queue.
+#[derive(Debug, Clone)]
+pub struct QueuedChange {
+    /// The abstract configuration change.
+    pub change: AbstractChange,
+    /// When it was enqueued.
+    pub enqueued_us: u64,
+}
+
+/// The token-bucket change queue.
+#[derive(Debug)]
+pub struct ConfigChangeQueue {
+    bucket: WorkBucket,
+    queue: VecDeque<QueuedChange>,
+    wait_log_us: Vec<u64>,
+}
+
+impl ConfigChangeQueue {
+    /// A queue dequeuing at `rate_per_s` with maximum burst size `mbs`.
+    pub fn new(rate_per_s: f64, mbs: u32) -> Self {
+        ConfigChangeQueue {
+            bucket: WorkBucket::new(rate_per_s, mbs),
+            queue: VecDeque::new(),
+            wait_log_us: Vec::new(),
+        }
+    }
+
+    /// The production configuration at the paper's measured sustainable
+    /// rate (4.33 updates/s fits under the 15 % CPU cap; the bench sweeps
+    /// 4/s and 5/s as Fig. 10b does).
+    pub fn production(rate_per_s: f64) -> Self {
+        ConfigChangeQueue::new(rate_per_s, 2)
+    }
+
+    /// Enqueues a change at `now_us`.
+    pub fn enqueue(&mut self, change: AbstractChange, now_us: u64) {
+        self.queue.push_back(QueuedChange {
+            change,
+            enqueued_us: now_us,
+        });
+    }
+
+    /// Dequeues every change the token bucket allows at `now_us`,
+    /// returning each with the time it waited.
+    pub fn dequeue_ready(&mut self, now_us: u64) -> Vec<(AbstractChange, u64)> {
+        let mut out = Vec::new();
+        while let Some(front) = self.queue.front() {
+            debug_assert!(front.enqueued_us <= now_us);
+            if !self.bucket.try_take(now_us) {
+                break;
+            }
+            let qc = self.queue.pop_front().expect("front exists");
+            let waited = now_us - qc.enqueued_us;
+            self.wait_log_us.push(waited);
+            out.push((qc.change, waited));
+        }
+        out
+    }
+
+    /// Changes currently waiting.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// All recorded waiting times (µs) — the Fig. 10(b) sample.
+    pub fn wait_log_us(&self) -> &[u64] {
+        &self.wait_log_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::StellarSignal;
+    use stellar_bgp::types::Asn;
+
+    fn change(i: u64) -> AbstractChange {
+        AbstractChange::RemoveRule {
+            rule_id: i,
+            owner: Asn(64500),
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = ConfigChangeQueue::new(100.0, 100);
+        for i in 0..5 {
+            q.enqueue(change(i), 0);
+        }
+        let got = q.dequeue_ready(1);
+        let ids: Vec<u64> = got
+            .iter()
+            .map(|(c, _)| match c {
+                AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.backlog(), 0);
+    }
+
+    #[test]
+    fn rate_limit_throttles_bursts() {
+        // 4/s, MBS 2: a burst of 10 drains 2 immediately, then 4/s.
+        let mut q = ConfigChangeQueue::production(4.0);
+        for i in 0..10 {
+            q.enqueue(change(i), 0);
+        }
+        assert_eq!(q.dequeue_ready(0).len(), 2);
+        assert_eq!(q.backlog(), 8);
+        // After 1 s, four more.
+        assert_eq!(q.dequeue_ready(1_000_000).len(), 4);
+        // After another second the rest drain.
+        assert_eq!(q.dequeue_ready(2_000_000).len(), 4);
+        assert_eq!(q.backlog(), 0);
+    }
+
+    #[test]
+    fn waiting_times_are_recorded() {
+        let mut q = ConfigChangeQueue::new(1.0, 1);
+        q.enqueue(change(0), 0);
+        q.enqueue(change(1), 0);
+        assert_eq!(q.dequeue_ready(0).len(), 1);
+        assert!(q.dequeue_ready(500_000).is_empty());
+        let got = q.dequeue_ready(1_000_000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 1_000_000);
+        assert_eq!(q.wait_log_us(), &[0, 1_000_000]);
+    }
+
+    #[test]
+    fn add_changes_flow_through_too() {
+        let mut q = ConfigChangeQueue::new(10.0, 10);
+        let rule = crate::rule::BlackholingRule {
+            id: 1,
+            owner: Asn(64500),
+            victim: "100.10.10.10/32".parse().unwrap(),
+            signal: StellarSignal::drop_udp_src(123),
+        };
+        q.enqueue(AbstractChange::AddRule(rule.clone()), 5);
+        let got = q.dequeue_ready(10);
+        assert_eq!(got.len(), 1);
+        match &got[0].0 {
+            AbstractChange::AddRule(r) => assert_eq!(*r, rule),
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The blackholing controller (§4.3/§4.4): a passive iBGP listener behind
+//! the route server that turns signaled blackholing rules into abstract
+//! configuration changes.
+//!
+//! "The blackholing controller implements a BGP parser and a BGP
+//! processor. ... the controller calculates differences between RIB
+//! snapshots. Essentially, these differences represent a set of abstract,
+//! i.e., still hardware-independent, configuration changes."
+//!
+//! The controller is fed ADD-PATH-tagged updates so it can "honor the
+//! same prefix from different member ASes with diverging blackholing
+//! rules".
+
+use crate::portal::CustomerPortal;
+use crate::rule::BlackholingRule;
+use crate::signal::StellarSignal;
+use std::collections::HashMap;
+use stellar_bgp::attr::PathAttribute;
+use stellar_bgp::types::Asn;
+use stellar_bgp::update::UpdateMessage;
+use stellar_net::prefix::Prefix;
+
+/// A hardware-independent configuration change (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbstractChange {
+    /// Install a blackholing rule.
+    AddRule(BlackholingRule),
+    /// Remove a previously installed rule.
+    RemoveRule {
+        /// The rule to remove.
+        rule_id: u64,
+        /// The owner whose egress port holds it.
+        owner: Asn,
+    },
+}
+
+/// One announced path's blackholing state.
+#[derive(Debug, Default)]
+struct PathRules {
+    owner: Option<Asn>,
+    /// Signal → installed rule id.
+    rules: HashMap<StellarSignal, u64>,
+}
+
+/// The blackholing controller.
+pub struct BlackholingController {
+    ixp_asn: Asn,
+    portal: CustomerPortal,
+    paths: HashMap<(Prefix, Option<u32>), PathRules>,
+    next_rule_id: u64,
+}
+
+impl BlackholingController {
+    /// Creates a controller with the IXP's standard rule catalog.
+    pub fn new(ixp_asn: Asn) -> Self {
+        BlackholingController {
+            ixp_asn,
+            portal: CustomerPortal::with_standard_catalog(ixp_asn),
+            paths: HashMap::new(),
+            next_rule_id: 1,
+        }
+    }
+
+    /// Mutable access to the rule catalog (the customer portal).
+    pub fn portal_mut(&mut self) -> &mut CustomerPortal {
+        &mut self.portal
+    }
+
+    /// Read access to the catalog.
+    pub fn portal(&self) -> &CustomerPortal {
+        &self.portal
+    }
+
+    /// Total rules the controller believes are installed.
+    pub fn rule_count(&self) -> usize {
+        self.paths.values().map(|p| p.rules.len()).sum()
+    }
+
+    /// Processes one update from the route server's southbound feed and
+    /// returns the abstract configuration changes it implies.
+    pub fn process_update(&mut self, update: &UpdateMessage) -> Vec<AbstractChange> {
+        let mut changes = Vec::new();
+        // Withdrawals: every rule attached to the path goes away —
+        // including the implicit-withdraw-on-session-failure case, where
+        // the route server withdraws on the member's behalf (§4.2.1).
+        // IPv6 withdrawals arrive in MP_UNREACH_NLRI.
+        let mut withdrawals = update.withdrawn.clone();
+        for a in &update.attrs {
+            if let PathAttribute::MpUnreach { nlri, .. } = a {
+                withdrawals.extend(nlri.iter().copied());
+            }
+        }
+        for w in &withdrawals {
+            let key = (w.prefix, w.path_id);
+            if let Some(path) = self.paths.remove(&key) {
+                let owner = path.owner.unwrap_or(Asn(0));
+                for (_, rule_id) in path.rules {
+                    changes.push(AbstractChange::RemoveRule { rule_id, owner });
+                }
+            }
+        }
+        // Announcements: diff desired signals against installed rules.
+        let owner = update.attrs.iter().find_map(|a| match a {
+            PathAttribute::AsPath(p) => p.origin_as(),
+            _ => None,
+        });
+        let ecs = update.extended_communities();
+        // IPv6 announcements arrive in MP_REACH_NLRI.
+        let mut announcements = update.nlri.clone();
+        for a in &update.attrs {
+            if let PathAttribute::MpReach { nlri, .. } = a {
+                announcements.extend(nlri.iter().copied());
+            }
+        }
+        for n in &announcements {
+            let key = (n.prefix, n.path_id);
+            let Some(owner) = owner else {
+                // No origin AS: cannot attribute rules; treat as plain
+                // route (and drop any stale rules for the path).
+                if let Some(path) = self.paths.remove(&key) {
+                    let o = path.owner.unwrap_or(Asn(0));
+                    for (_, rule_id) in path.rules {
+                        changes.push(AbstractChange::RemoveRule { rule_id, owner: o });
+                    }
+                }
+                continue;
+            };
+            let desired = StellarSignal::extract(ecs, self.ixp_asn, &self.portal, owner);
+            let path = self.paths.entry(key).or_default();
+            path.owner = Some(owner);
+            // Removals: installed but no longer desired.
+            let stale: Vec<StellarSignal> = path
+                .rules
+                .keys()
+                .filter(|s| !desired.contains(s))
+                .copied()
+                .collect();
+            for s in stale {
+                let rule_id = path.rules.remove(&s).expect("key present");
+                changes.push(AbstractChange::RemoveRule { rule_id, owner });
+            }
+            // Additions: desired but not installed.
+            for s in desired {
+                if path.rules.contains_key(&s) {
+                    continue;
+                }
+                let id = self.next_rule_id;
+                self.next_rule_id += 1;
+                path.rules.insert(s, id);
+                changes.push(AbstractChange::AddRule(BlackholingRule {
+                    id,
+                    owner,
+                    victim: n.prefix,
+                    signal: s,
+                }));
+            }
+            if path.rules.is_empty() && path.owner.is_some() {
+                // Plain route with no rules: no need to track it.
+                self.paths.remove(&key);
+            }
+        }
+        changes
+    }
+
+    /// The iBGP session to the route server died: fall back to plain
+    /// forwarding by removing every rule (availability first, §4.1.2).
+    pub fn session_down(&mut self) -> Vec<AbstractChange> {
+        let mut changes = Vec::new();
+        for (_, path) in self.paths.drain() {
+            let owner = path.owner.unwrap_or(Asn(0));
+            for (_, rule_id) in path.rules {
+                changes.push(AbstractChange::RemoveRule { rule_id, owner });
+            }
+        }
+        changes.sort_by_key(|c| match c {
+            AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+            AbstractChange::AddRule(r) => r.id,
+        });
+        changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleAction;
+    use stellar_bgp::attr::AsPath;
+    use stellar_bgp::nlri::Nlri;
+    use stellar_net::addr::Ipv4Address;
+
+    const IXP: Asn = Asn(6695);
+    const OWNER: Asn = Asn(64500);
+
+    fn victim() -> Prefix {
+        "100.10.10.10/32".parse().unwrap()
+    }
+
+    fn update_with_signals(signals: &[StellarSignal], path_id: u32) -> UpdateMessage {
+        let mut u = UpdateMessage::announce(
+            victim(),
+            Ipv4Address::new(80, 81, 192, 10),
+            PathAttribute::AsPath(AsPath::sequence([OWNER.0])),
+        );
+        u.nlri = vec![Nlri::with_path_id(victim(), path_id)];
+        let ecs: Vec<_> = signals.iter().map(|s| s.encode(IXP)).collect();
+        if !ecs.is_empty() {
+            u.add_extended_communities(&ecs);
+        }
+        u
+    }
+
+    #[test]
+    fn new_signal_produces_add_rule() {
+        let mut c = BlackholingController::new(IXP);
+        let changes = c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        assert_eq!(changes.len(), 1);
+        match &changes[0] {
+            AbstractChange::AddRule(r) => {
+                assert_eq!(r.owner, OWNER);
+                assert_eq!(r.victim, victim());
+                assert_eq!(r.signal, StellarSignal::drop_udp_src(123));
+            }
+            other => panic!("expected add, got {other:?}"),
+        }
+        assert_eq!(c.rule_count(), 1);
+        // Re-announcing the same state is idempotent.
+        let changes = c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        assert!(changes.is_empty());
+    }
+
+    #[test]
+    fn signal_change_swaps_rules() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(&[StellarSignal::shape_udp_src(123, 200)], 1));
+        // Member escalates from shaping to dropping (the Fig. 10c story).
+        let changes = c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        assert_eq!(changes.len(), 2);
+        assert!(matches!(changes[0], AbstractChange::RemoveRule { .. }));
+        match &changes[1] {
+            AbstractChange::AddRule(r) => assert_eq!(r.signal.action, RuleAction::Drop),
+            other => panic!("expected add, got {other:?}"),
+        }
+        assert_eq!(c.rule_count(), 1);
+    }
+
+    #[test]
+    fn withdrawal_removes_all_rules_for_the_path() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(
+            &[StellarSignal::drop_udp_src(123), StellarSignal::drop_udp_src(53)],
+            1,
+        ));
+        assert_eq!(c.rule_count(), 2);
+        let mut w = UpdateMessage::default();
+        w.withdrawn = vec![Nlri::with_path_id(victim(), 1)];
+        let changes = c.process_update(&w);
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|ch| matches!(ch, AbstractChange::RemoveRule { owner, .. } if *owner == OWNER)));
+        assert_eq!(c.rule_count(), 0);
+    }
+
+    #[test]
+    fn reannounce_without_signals_clears_rules() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        let changes = c.process_update(&update_with_signals(&[], 1));
+        assert_eq!(changes.len(), 1);
+        assert!(matches!(changes[0], AbstractChange::RemoveRule { .. }));
+        assert_eq!(c.rule_count(), 0);
+    }
+
+    #[test]
+    fn distinct_paths_hold_distinct_rules() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(53)], 2));
+        assert_eq!(c.rule_count(), 2);
+        // Withdrawing path 1 leaves path 2 intact.
+        let mut w = UpdateMessage::default();
+        w.withdrawn = vec![Nlri::with_path_id(victim(), 1)];
+        c.process_update(&w);
+        assert_eq!(c.rule_count(), 1);
+    }
+
+    #[test]
+    fn session_down_flushes_everything() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(53)], 2));
+        let changes = c.session_down();
+        assert_eq!(changes.len(), 2);
+        assert_eq!(c.rule_count(), 0);
+        assert!(c.session_down().is_empty());
+    }
+
+    #[test]
+    fn predefined_reference_resolves_through_portal() {
+        let mut c = BlackholingController::new(IXP);
+        let id = crate::portal::CustomerPortal::predefined_id(
+            stellar_net::amplification::AmpProtocol::Ntp,
+        );
+        let reference = crate::portal::CustomerPortal::reference_signal(id);
+        let changes = c.process_update(&update_with_signals(&[reference], 1));
+        assert_eq!(changes.len(), 1);
+        match &changes[0] {
+            AbstractChange::AddRule(r) => {
+                assert_eq!(r.signal, StellarSignal::drop_udp_src(123));
+            }
+            other => panic!("expected add, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn update_without_origin_as_is_inert() {
+        let mut c = BlackholingController::new(IXP);
+        let mut u = update_with_signals(&[StellarSignal::drop_udp_src(123)], 1);
+        u.attrs.retain(|a| !matches!(a, PathAttribute::AsPath(_)));
+        u.attrs.push(PathAttribute::AsPath(AsPath::empty()));
+        let changes = c.process_update(&u);
+        assert!(changes.is_empty());
+        assert_eq!(c.rule_count(), 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # stellar-core
+//!
+//! Advanced Blackholing and its system realization **Stellar** (§3–§4):
+//! the paper's primary contribution.
+//!
+//! The three layers of Fig. 5:
+//!
+//! - **Signaling** — [`signal`] defines the extended-community grammar
+//!   members use to express blackholing rules over plain BGP (§4.2.1,
+//!   §4.3), [`portal`] the self-service catalog of predefined and custom
+//!   rules;
+//! - **Management** — [`controller`] (the blackholing controller: a
+//!   passive iBGP + ADD-PATH listener that diffs RIB snapshots into
+//!   abstract configuration changes), [`config_queue`] (the token-bucket
+//!   change queue of §4.4), and [`manager`] / [`qos_manager`] /
+//!   [`sdn_manager`] (compilation to hardware-specific configuration,
+//!   with admission control against the hardware information base);
+//! - **Filtering** — realized by `stellar-dataplane`; [`telemetry`]
+//!   surfaces its counters back to members.
+//!
+//! [`rtbh`] implements the classic RTBH baseline the paper measures
+//! against, [`mitigation`] the qualitative comparison models behind
+//! Table 1, [`system`] the end-to-end facade, and [`scenario`] the
+//! reusable attack/mitigation experiments behind Figs. 2c, 3c and 10c.
+
+pub mod config_queue;
+pub mod controller;
+pub mod detector;
+pub mod manager;
+pub mod mitigation;
+pub mod portal;
+pub mod qos_manager;
+pub mod rtbh;
+pub mod rule;
+pub mod scenario;
+pub mod sdn_manager;
+pub mod signal;
+pub mod system;
+pub mod telemetry;
+
+pub use config_queue::{ConfigChangeQueue, QueuedChange};
+pub use controller::{AbstractChange, BlackholingController};
+pub use detector::{Detection, DetectorConfig, SignatureDetector};
+pub use manager::{AdmissionError, NetworkManager};
+pub use portal::CustomerPortal;
+pub use qos_manager::QosNetworkManager;
+pub use rule::{BlackholingRule, RuleAction};
+pub use sdn_manager::SdnNetworkManager;
+pub use signal::{MatchKind, StellarSignal};
+pub use system::StellarSystem;

@@ -1,0 +1,77 @@
+//! The network-manager abstraction (§4.4): compiles abstract
+//! configuration changes into hardware-specific ones, while doing
+//! "admission control" against the hardware information base so "the
+//! hardware resource limitations of the IXP's forwarding hardware are
+//! respected" (§4.1.2).
+
+use crate::controller::AbstractChange;
+
+/// Why a change was refused by admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The vendor's per-port rule limit would be exceeded.
+    PerPortLimit,
+    /// The L3–L4 TCAM criteria pool would be exceeded (Fig. 9's F1).
+    TcamL34Exhausted,
+    /// The MAC filter pool would be exceeded (Fig. 9's F2).
+    TcamMacExhausted,
+    /// The rule's owner has no port on this fabric.
+    UnknownOwner,
+    /// Removal referenced a rule that is not installed.
+    NoSuchRule,
+    /// The SDN flow table is full.
+    TableFull,
+}
+
+impl AdmissionError {
+    /// Human-readable description.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            AdmissionError::PerPortLimit => "per-port rule limit reached",
+            AdmissionError::TcamL34Exhausted => "L3-L4 TCAM criteria pool exhausted (F1)",
+            AdmissionError::TcamMacExhausted => "MAC filter pool exhausted (F2)",
+            AdmissionError::UnknownOwner => "rule owner has no port on this fabric",
+            AdmissionError::NoSuchRule => "rule not installed",
+            AdmissionError::TableFull => "SDN flow table full",
+        }
+    }
+}
+
+/// A network manager: one hardware-specific compilation backend
+/// (§4.4 names two realized options — vendor QoS and SDN).
+pub trait NetworkManager {
+    /// The fabric this manager programs.
+    type Fabric;
+
+    /// Compiles and applies one abstract change. Must be all-or-nothing:
+    /// a refused change leaves the fabric untouched (traffic keeps
+    /// forwarding — availability first).
+    fn apply(
+        &mut self,
+        fabric: &mut Self::Fabric,
+        change: &AbstractChange,
+        now_us: u64,
+    ) -> Result<(), AdmissionError>;
+
+    /// Rules currently installed through this manager.
+    fn installed_rules(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_have_descriptions() {
+        for e in [
+            AdmissionError::PerPortLimit,
+            AdmissionError::TcamL34Exhausted,
+            AdmissionError::TcamMacExhausted,
+            AdmissionError::UnknownOwner,
+            AdmissionError::NoSuchRule,
+            AdmissionError::TableFull,
+        ] {
+            assert!(!e.describe().is_empty());
+        }
+    }
+}

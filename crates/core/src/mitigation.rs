@@ -1,0 +1,446 @@
+//! The mitigation-technique comparison behind Table 1.
+//!
+//! Each technique is modelled by (a) a data-plane effect on a common
+//! reference attack (where is traffic dropped, at what granularity) and
+//! (b) operational parameters (signaling fan-out, setup time, cost,
+//! resource footprint). A common scenario is run under every technique
+//! and the measured outcomes are mapped onto the paper's ✓/•/✗ symbols.
+
+use core::fmt;
+
+/// The five techniques of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// Traffic scrubbing service.
+    Tss,
+    /// Router ACL filters at the victim's own border.
+    Acl,
+    /// Remotely triggered black hole.
+    Rtbh,
+    /// BGP Flowspec (inter-domain).
+    Flowspec,
+    /// Advanced Blackholing (Stellar).
+    AdvancedBlackholing,
+}
+
+/// All techniques in the paper's column order.
+pub const ALL: [Technique; 5] = [
+    Technique::Tss,
+    Technique::Acl,
+    Technique::Rtbh,
+    Technique::Flowspec,
+    Technique::AdvancedBlackholing,
+];
+
+impl Technique {
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::Tss => "TSS",
+            Technique::Acl => "ACL filters",
+            Technique::Rtbh => "RTBH",
+            Technique::Flowspec => "Flowspec",
+            Technique::AdvancedBlackholing => "Advanced BH",
+        }
+    }
+}
+
+/// The paper's rating symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rating {
+    /// Advantage.
+    Good,
+    /// Neutral.
+    Neutral,
+    /// Disadvantage.
+    Bad,
+}
+
+impl fmt::Display for Rating {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rating::Good => "+",
+            Rating::Neutral => "o",
+            Rating::Bad => "-",
+        })
+    }
+}
+
+/// Measured/derived properties of one technique under the reference
+/// scenario (1 Gbps amplification attack on a member with a 1 Gbps port,
+/// 30 % of peers cooperative).
+#[derive(Debug, Clone)]
+pub struct TechniqueOutcome {
+    /// Which technique.
+    pub technique: Technique,
+    /// Fraction of attack traffic removed before the victim's bottleneck.
+    pub attack_removed: f64,
+    /// Fraction of *legitimate* traffic lost (collateral damage).
+    pub collateral: f64,
+    /// Whether the technique can express L4-grade filters at all
+    /// (Table 1's Granularity row rates expressiveness; RTBH cannot go
+    /// below a destination prefix).
+    pub fine_grained: bool,
+    /// Number of parties that must act on the victim's signal.
+    pub signaling_parties: usize,
+    /// Number of third-party networks whose cooperation is required.
+    pub cooperating_parties: usize,
+    /// Whether mitigation consumes third parties' device resources.
+    pub shares_third_party_resources: bool,
+    /// Attack-status feedback: 1 full, 0.5 vendor-dependent, 0 none.
+    pub telemetry: f64,
+    /// Largest attack (bps) the approach absorbs without new investment.
+    pub max_absorbable_bps: f64,
+    /// Whether dedicated new hardware/subscription is needed.
+    pub needs_new_resources: bool,
+    /// Added forwarding-path latency (reroute penalty), seconds.
+    pub added_latency_s: f64,
+    /// Time from decision to active mitigation, seconds.
+    pub reaction_time_s: f64,
+    /// Recurring cost, arbitrary units/year (0 cheap .. 100 TSS-class).
+    pub recurring_cost: f64,
+}
+
+/// Parameters of the reference scenario used to derive outcomes.
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceScenario {
+    /// Attack volume (bps).
+    pub attack_bps: f64,
+    /// Benign volume (bps).
+    pub benign_bps: f64,
+    /// Victim port capacity (bps).
+    pub victim_port_bps: f64,
+    /// Fraction of peers that honor inter-domain signals (RTBH /
+    /// Flowspec).
+    pub peer_compliance: f64,
+    /// IXP platform spare capacity (bps).
+    pub ixp_capacity_bps: f64,
+}
+
+impl Default for ReferenceScenario {
+    fn default() -> Self {
+        ReferenceScenario {
+            attack_bps: 1e9,
+            benign_bps: 200e6,
+            victim_port_bps: 1e9,
+            peer_compliance: 0.30, // §2.4
+            ixp_capacity_bps: 25e12, // DE-CIX connected capacity [21]
+        }
+    }
+}
+
+/// Congestion loss for the traffic mix that reaches a bottleneck link:
+/// returns the fraction of *benign* traffic lost.
+fn congestion_collateral(attack_bps: f64, benign_bps: f64, capacity_bps: f64) -> f64 {
+    let offered = attack_bps + benign_bps;
+    if offered <= capacity_bps {
+        0.0
+    } else {
+        1.0 - capacity_bps / offered
+    }
+}
+
+/// Evaluates one technique under the scenario.
+pub fn evaluate(technique: Technique, s: &ReferenceScenario) -> TechniqueOutcome {
+    match technique {
+        Technique::Tss => TechniqueOutcome {
+            technique,
+            attack_removed: 0.98, // DPI-grade filtering once traffic arrives
+            collateral: 0.01,
+            fine_grained: true,
+            signaling_parties: 1, // the scrubbing provider
+            cooperating_parties: 0,
+            shares_third_party_resources: false,
+            telemetry: 1.0,
+            // Scrubbing clusters top out well below Tbps ("does not cope
+            // with Tbps-level attacks", §1.1).
+            max_absorbable_bps: 80e9,
+            needs_new_resources: true,
+            added_latency_s: 0.030, // reroute via scrubbing center
+            reaction_time_s: 3600.0, // subscription + DNS/BGP diversion
+            recurring_cost: 100.0,
+        },
+        Technique::Acl => {
+            // Filtering happens at the victim's own border: precise, but
+            // the attack has already crossed the congested port.
+            let collateral =
+                congestion_collateral(s.attack_bps, s.benign_bps, s.victim_port_bps);
+            TechniqueOutcome {
+                technique,
+                attack_removed: 1.0, // at the router — too late
+                collateral,
+                fine_grained: true,
+                signaling_parties: 1, // own NOC
+                cooperating_parties: 0,
+                shares_third_party_resources: false,
+                telemetry: 0.0,
+                // Line-rate hardware, but management "typically does
+                // not scale well" (§1.1): rate as neutral.
+                max_absorbable_bps: 200e9,
+                needs_new_resources: true,             // rule management tooling
+                added_latency_s: 0.0,
+                reaction_time_s: 900.0, // manual vendor-specific config
+                recurring_cost: 20.0,
+            }
+        }
+        Technique::Rtbh => TechniqueOutcome {
+            technique,
+            // Only honoring peers' share of the attack is removed (§2.4).
+            attack_removed: s.peer_compliance,
+            // Honoring peers drop *all* victim traffic: their share of
+            // the benign traffic is collateral.
+            collateral: s.peer_compliance,
+            fine_grained: false,
+            signaling_parties: 650, // one-to-all (every RS peer)
+            cooperating_parties: 650,
+            shares_third_party_resources: false,
+            telemetry: 0.0,
+            max_absorbable_bps: s.ixp_capacity_bps,
+            needs_new_resources: false,
+            added_latency_s: 0.0,
+            reaction_time_s: 60.0,
+            recurring_cost: 0.0,
+        },
+        Technique::Flowspec => TechniqueOutcome {
+            technique,
+            // Fine-grained, but only deploying peers filter; adoption in
+            // the inter-domain setting is the compliance fraction.
+            attack_removed: s.peer_compliance,
+            collateral: 0.0,
+            fine_grained: true,
+            signaling_parties: 650,
+            cooperating_parties: 650,
+            shares_third_party_resources: true, // peers' TCAM/CPU
+            telemetry: 0.5,                     // vendor-specific (§1.1)
+            max_absorbable_bps: s.ixp_capacity_bps,
+            needs_new_resources: true, // scarce router TCAM, not the owner's
+            added_latency_s: 0.0,
+            reaction_time_s: 60.0,
+            recurring_cost: 5.0,
+        },
+        Technique::AdvancedBlackholing => TechniqueOutcome {
+            technique,
+            attack_removed: 1.0, // dropped at the IXP, before the port
+            collateral: 0.0,     // L4-scoped rule
+            fine_grained: true,
+            signaling_parties: 1, // one-to-IXP (§3.2)
+            cooperating_parties: 0,
+            shares_third_party_resources: false,
+            telemetry: 1.0, // shaping sample + discard counters
+            max_absorbable_bps: s.ixp_capacity_bps,
+            needs_new_resources: false, // existing ER hardware (§4.1.2)
+            added_latency_s: 0.0,
+            reaction_time_s: 1.0, // Fig. 10(b): 70 % < 1 s
+            recurring_cost: 1.0,
+        },
+    }
+}
+
+/// The Table 1 criteria (rows), in the paper's order.
+pub const CRITERIA: [&str; 10] = [
+    "Granularity",
+    "Signaling complexity",
+    "Cooperation",
+    "Resource sharing",
+    "Telemetry",
+    "Scalability",
+    "Resources",
+    "Performance",
+    "Reaction time",
+    "Costs",
+];
+
+/// Residual collateral damage under this outcome: explicit collateral
+/// plus congestion loss from whatever attack share was not removed
+/// before the victim's port.
+pub fn effective_collateral(outcome: &TechniqueOutcome, s: &ReferenceScenario) -> f64 {
+    outcome.collateral.max(congestion_collateral(
+        (1.0 - outcome.attack_removed) * s.attack_bps,
+        s.benign_bps,
+        s.victim_port_bps,
+    ))
+}
+
+/// Maps an outcome onto the paper's per-criterion symbols.
+pub fn rate(outcome: &TechniqueOutcome, _s: &ReferenceScenario) -> Vec<(&'static str, Rating)> {
+    vec![
+        (
+            "Granularity",
+            if outcome.fine_grained {
+                Rating::Good
+            } else {
+                Rating::Bad
+            },
+        ),
+        (
+            "Signaling complexity",
+            if outcome.signaling_parties <= 1 && outcome.reaction_time_s <= 60.0 {
+                Rating::Good
+            } else {
+                Rating::Bad
+            },
+        ),
+        (
+            "Cooperation",
+            match outcome.cooperating_parties {
+                0 if outcome.technique == Technique::AdvancedBlackholing => Rating::Good,
+                0 => Rating::Neutral,
+                _ => Rating::Bad,
+            },
+        ),
+        (
+            "Resource sharing",
+            if outcome.shares_third_party_resources {
+                Rating::Bad
+            } else {
+                Rating::Good
+            },
+        ),
+        (
+            "Telemetry",
+            if outcome.telemetry >= 1.0 {
+                Rating::Good
+            } else if outcome.telemetry > 0.0 {
+                Rating::Neutral
+            } else {
+                Rating::Bad
+            },
+        ),
+        (
+            "Scalability",
+            if outcome.max_absorbable_bps >= 2e12 {
+                Rating::Good
+            } else if outcome.max_absorbable_bps >= 100e9 {
+                Rating::Neutral
+            } else {
+                Rating::Bad
+            },
+        ),
+        (
+            "Resources",
+            if outcome.needs_new_resources {
+                Rating::Bad
+            } else {
+                Rating::Good
+            },
+        ),
+        (
+            "Performance",
+            if outcome.added_latency_s > 0.001 {
+                Rating::Bad
+            } else {
+                Rating::Good
+            },
+        ),
+        (
+            "Reaction time",
+            if outcome.reaction_time_s <= 60.0 {
+                Rating::Good
+            } else {
+                Rating::Bad
+            },
+        ),
+        (
+            "Costs",
+            if outcome.recurring_cost <= 5.0 {
+                Rating::Good
+            } else if outcome.recurring_cost <= 30.0 {
+                Rating::Neutral
+            } else {
+                Rating::Bad
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Vec<(Technique, Vec<(&'static str, Rating)>)> {
+        let s = ReferenceScenario::default();
+        ALL.iter()
+            .map(|t| (*t, rate(&evaluate(*t, &s), &s)))
+            .collect()
+    }
+
+    fn lookup(rows: &[(&'static str, Rating)], criterion: &str) -> Rating {
+        rows.iter()
+            .find(|(c, _)| *c == criterion)
+            .map(|(_, r)| *r)
+            .expect("criterion exists")
+    }
+
+    #[test]
+    fn advanced_blackholing_is_good_everywhere() {
+        // Table 1's right-most column: all ✓.
+        let t = table();
+        let (_, advbh) = t.iter().find(|(t, _)| *t == Technique::AdvancedBlackholing).unwrap();
+        for (criterion, rating) in advbh {
+            assert_eq!(*rating, Rating::Good, "AdvBH should be ✓ on {criterion}");
+        }
+    }
+
+    #[test]
+    fn rtbh_matches_paper_column() {
+        let t = table();
+        let (_, rtbh) = t.iter().find(|(t, _)| *t == Technique::Rtbh).unwrap();
+        assert_eq!(lookup(rtbh, "Granularity"), Rating::Bad);
+        assert_eq!(lookup(rtbh, "Signaling complexity"), Rating::Bad);
+        assert_eq!(lookup(rtbh, "Cooperation"), Rating::Bad);
+        assert_eq!(lookup(rtbh, "Resource sharing"), Rating::Good);
+        assert_eq!(lookup(rtbh, "Telemetry"), Rating::Bad);
+        assert_eq!(lookup(rtbh, "Scalability"), Rating::Good);
+        assert_eq!(lookup(rtbh, "Reaction time"), Rating::Good);
+        assert_eq!(lookup(rtbh, "Costs"), Rating::Good);
+    }
+
+    #[test]
+    fn tss_is_finegrained_but_costly_and_slow() {
+        let t = table();
+        let (_, tss) = t.iter().find(|(t, _)| *t == Technique::Tss).unwrap();
+        assert_eq!(lookup(tss, "Granularity"), Rating::Good);
+        assert_eq!(lookup(tss, "Telemetry"), Rating::Good);
+        assert_eq!(lookup(tss, "Scalability"), Rating::Bad);
+        assert_eq!(lookup(tss, "Costs"), Rating::Bad);
+        assert_eq!(lookup(tss, "Performance"), Rating::Bad);
+        assert_eq!(lookup(tss, "Reaction time"), Rating::Bad);
+        assert_eq!(lookup(tss, "Resources"), Rating::Bad);
+    }
+
+    #[test]
+    fn flowspec_shares_resources_and_needs_cooperation() {
+        let t = table();
+        let (_, fs) = t.iter().find(|(t, _)| *t == Technique::Flowspec).unwrap();
+        assert_eq!(lookup(fs, "Resource sharing"), Rating::Bad);
+        assert_eq!(lookup(fs, "Cooperation"), Rating::Bad);
+        assert_eq!(lookup(fs, "Granularity"), Rating::Good);
+        assert_eq!(lookup(fs, "Telemetry"), Rating::Neutral);
+        assert_eq!(lookup(fs, "Scalability"), Rating::Good);
+        assert_eq!(lookup(fs, "Resources"), Rating::Bad);
+    }
+
+    #[test]
+    fn acl_collateral_comes_from_port_congestion() {
+        let s = ReferenceScenario::default();
+        let acl = evaluate(Technique::Acl, &s);
+        // 1 Gbps attack + 0.2 benign into a 1 Gbps port: ~17 % loss.
+        assert!(acl.collateral > 0.1 && acl.collateral < 0.25, "{}", acl.collateral);
+        let t = table();
+        let (_, acl) = t.iter().find(|(t, _)| *t == Technique::Acl).unwrap();
+        assert_eq!(lookup(acl, "Granularity"), Rating::Good);
+        assert_eq!(lookup(acl, "Scalability"), Rating::Neutral);
+        assert_eq!(lookup(acl, "Performance"), Rating::Good);
+    }
+
+    #[test]
+    fn rtbh_effectiveness_tracks_compliance() {
+        let mut s = ReferenceScenario::default();
+        s.peer_compliance = 0.30;
+        let r = evaluate(Technique::Rtbh, &s);
+        assert!((r.attack_removed - 0.30).abs() < 1e-12);
+        s.peer_compliance = 1.0;
+        let r = evaluate(Technique::Rtbh, &s);
+        assert!((r.attack_removed - 1.0).abs() < 1e-12);
+    }
+}

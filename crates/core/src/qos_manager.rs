@@ -1,0 +1,188 @@
+//! The QoS network manager (§4.4 "Option 1", §4.5): compiles abstract
+//! changes into vendor QoS policies on the victim's **egress** member
+//! port. Egress placement means "an update from one IXP member only
+//! causes changes to the port configuration of exactly this IXP member" —
+//! causality is maintained and only one port is touched per change.
+
+use crate::controller::AbstractChange;
+use crate::manager::{AdmissionError, NetworkManager};
+use std::collections::HashMap;
+use stellar_bgp::types::Asn;
+use stellar_dataplane::switch::{EdgeRouter, InstallError, PortId};
+use stellar_dataplane::tcam::TcamVerdict;
+
+/// The QoS-policy compilation backend.
+#[derive(Debug, Default)]
+pub struct QosNetworkManager {
+    owner_ports: HashMap<Asn, PortId>,
+    rule_ports: HashMap<u64, PortId>,
+}
+
+impl QosNetworkManager {
+    /// Creates a manager knowing each member's egress port.
+    pub fn new(owner_ports: HashMap<Asn, PortId>) -> Self {
+        QosNetworkManager {
+            owner_ports,
+            rule_ports: HashMap::new(),
+        }
+    }
+
+    /// Registers a member → port mapping.
+    pub fn register_owner(&mut self, owner: Asn, port: PortId) {
+        self.owner_ports.insert(owner, port);
+    }
+
+    /// The port a rule was installed on.
+    pub fn port_of_rule(&self, rule_id: u64) -> Option<PortId> {
+        self.rule_ports.get(&rule_id).copied()
+    }
+}
+
+impl NetworkManager for QosNetworkManager {
+    type Fabric = EdgeRouter;
+
+    fn apply(
+        &mut self,
+        router: &mut EdgeRouter,
+        change: &AbstractChange,
+        now_us: u64,
+    ) -> Result<(), AdmissionError> {
+        match change {
+            AbstractChange::AddRule(rule) => {
+                let port = *self
+                    .owner_ports
+                    .get(&rule.owner)
+                    .ok_or(AdmissionError::UnknownOwner)?;
+                match router.install_rule(port, rule.to_filter_rule(), now_us) {
+                    Ok(()) => {
+                        self.rule_ports.insert(rule.id, port);
+                        Ok(())
+                    }
+                    Err(InstallError::NoSuchPort) => Err(AdmissionError::UnknownOwner),
+                    Err(InstallError::PerPortLimit) => Err(AdmissionError::PerPortLimit),
+                    Err(InstallError::Tcam(TcamVerdict::F1)) => {
+                        Err(AdmissionError::TcamL34Exhausted)
+                    }
+                    Err(InstallError::Tcam(TcamVerdict::F2)) => {
+                        Err(AdmissionError::TcamMacExhausted)
+                    }
+                    Err(InstallError::Tcam(TcamVerdict::Ok)) => {
+                        unreachable!("Ok is not an error verdict")
+                    }
+                }
+            }
+            AbstractChange::RemoveRule { rule_id, .. } => {
+                let port = self
+                    .rule_ports
+                    .remove(rule_id)
+                    .ok_or(AdmissionError::NoSuchRule)?;
+                if router.remove_rule(port, *rule_id, now_us) {
+                    Ok(())
+                } else {
+                    Err(AdmissionError::NoSuchRule)
+                }
+            }
+        }
+    }
+
+    fn installed_rules(&self) -> usize {
+        self.rule_ports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::BlackholingRule;
+    use crate::signal::StellarSignal;
+    use stellar_dataplane::hardware::HardwareInfoBase;
+    use stellar_dataplane::port::MemberPort;
+    use stellar_net::mac::MacAddr;
+
+    fn setup() -> (EdgeRouter, QosNetworkManager) {
+        let mut router = EdgeRouter::new(HardwareInfoBase::lab_switch());
+        router.add_port(
+            PortId(1),
+            MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
+        );
+        let mut mgr = QosNetworkManager::default();
+        mgr.register_owner(Asn(64500), PortId(1));
+        (router, mgr)
+    }
+
+    fn rule(id: u64, owner: u32) -> AbstractChange {
+        AbstractChange::AddRule(BlackholingRule {
+            id,
+            owner: Asn(owner),
+            victim: "100.10.10.10/32".parse().unwrap(),
+            signal: StellarSignal::drop_udp_src(123),
+        })
+    }
+
+    #[test]
+    fn add_then_remove_round_trips() {
+        let (mut router, mut mgr) = setup();
+        mgr.apply(&mut router, &rule(1, 64500), 0).unwrap();
+        assert_eq!(mgr.installed_rules(), 1);
+        assert_eq!(router.total_rules(), 1);
+        assert_eq!(mgr.port_of_rule(1), Some(PortId(1)));
+        mgr.apply(
+            &mut router,
+            &AbstractChange::RemoveRule {
+                rule_id: 1,
+                owner: Asn(64500),
+            },
+            1,
+        )
+        .unwrap();
+        assert_eq!(mgr.installed_rules(), 0);
+        assert_eq!(router.total_rules(), 0);
+    }
+
+    #[test]
+    fn unknown_owner_is_refused() {
+        let (mut router, mut mgr) = setup();
+        assert_eq!(
+            mgr.apply(&mut router, &rule(1, 9999), 0),
+            Err(AdmissionError::UnknownOwner)
+        );
+        assert_eq!(router.total_rules(), 0);
+    }
+
+    #[test]
+    fn removing_unknown_rule_is_refused() {
+        let (mut router, mut mgr) = setup();
+        assert_eq!(
+            mgr.apply(
+                &mut router,
+                &AbstractChange::RemoveRule {
+                    rule_id: 42,
+                    owner: Asn(64500)
+                },
+                0
+            ),
+            Err(AdmissionError::NoSuchRule)
+        );
+    }
+
+    #[test]
+    fn per_port_limit_maps_to_admission_error() {
+        let (mut router, mut mgr) = setup(); // lab: 8 rules/port
+        for i in 0..8 {
+            let ch = AbstractChange::AddRule(BlackholingRule {
+                id: i,
+                owner: Asn(64500),
+                victim: "100.10.10.10/32".parse().unwrap(),
+                signal: StellarSignal::drop_udp_src(i as u16),
+            });
+            mgr.apply(&mut router, &ch, 0).unwrap();
+        }
+        assert_eq!(
+            mgr.apply(&mut router, &rule(99, 64500), 0),
+            Err(AdmissionError::PerPortLimit)
+        );
+        // Fabric untouched by the refused change.
+        assert_eq!(router.total_rules(), 8);
+        assert_eq!(mgr.installed_rules(), 8);
+    }
+}

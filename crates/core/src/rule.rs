@@ -1,0 +1,103 @@
+//! Blackholing rules: the manager-facing representation of one installed
+//! filter (§3.2: "fine-grained filter rules are instantiated by the IXP
+//! on behalf of a member who owns the IP address under attack").
+
+use crate::signal::StellarSignal;
+use stellar_bgp::types::Asn;
+use stellar_dataplane::filter::{Action, FilterRule, MatchSpec};
+use stellar_net::prefix::Prefix;
+
+/// What to do with traffic matching a blackholing rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleAction {
+    /// Discard at the IXP (zero-length queue).
+    Drop,
+    /// Rate-limit to `rate_bps`, passing a telemetry sample through.
+    Shape {
+        /// Shaping rate in bits per second.
+        rate_bps: u64,
+    },
+}
+
+impl RuleAction {
+    /// The dataplane action.
+    pub fn to_dataplane(self) -> Action {
+        match self {
+            RuleAction::Drop => Action::Drop,
+            RuleAction::Shape { rate_bps } => Action::Shape { rate_bps },
+        }
+    }
+}
+
+/// A fully resolved blackholing rule, ready for compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlackholingRule {
+    /// Stable id assigned by the controller.
+    pub id: u64,
+    /// The member that owns the victim prefix (and thus the egress port
+    /// the rule is installed on).
+    pub owner: Asn,
+    /// The victim prefix (typically a /32).
+    pub victim: Prefix,
+    /// The signal this rule realizes.
+    pub signal: StellarSignal,
+}
+
+impl BlackholingRule {
+    /// The dataplane match spec (victim-scoped).
+    pub fn match_spec(&self) -> MatchSpec {
+        self.signal.to_match_spec(self.victim)
+    }
+
+    /// Compiles to a dataplane filter rule. Blackholing rules evaluate
+    /// before any default QoS policy (priority 100).
+    pub fn to_filter_rule(&self) -> FilterRule {
+        FilterRule::new(
+            self.id,
+            self.match_spec(),
+            self.signal.action.to_dataplane(),
+            100,
+        )
+    }
+
+    /// TCAM criteria this rule will consume: `(mac, l34)`.
+    pub fn criteria(&self) -> (usize, usize) {
+        let spec = self.match_spec();
+        (spec.mac_criteria(), spec.l34_criteria())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_to_victim_scoped_filter() {
+        let rule = BlackholingRule {
+            id: 7,
+            owner: Asn(64500),
+            victim: "100.10.10.10/32".parse().unwrap(),
+            signal: StellarSignal::drop_udp_src(123),
+        };
+        let f = rule.to_filter_rule();
+        assert_eq!(f.id, 7);
+        assert_eq!(f.action, Action::Drop);
+        assert_eq!(f.priority, 100);
+        assert_eq!(f.spec.dst_ip, Some("100.10.10.10/32".parse().unwrap()));
+        assert_eq!(rule.criteria(), (0, 3));
+    }
+
+    #[test]
+    fn shape_action_carries_rate() {
+        let rule = BlackholingRule {
+            id: 1,
+            owner: Asn(64500),
+            victim: "100.10.10.10/32".parse().unwrap(),
+            signal: StellarSignal::shape_udp_src(123, 200),
+        };
+        assert_eq!(
+            rule.to_filter_rule().action,
+            Action::Shape { rate_bps: 200_000_000 }
+        );
+    }
+}

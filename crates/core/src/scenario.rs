@@ -1,0 +1,489 @@
+//! Reusable end-to-end attack/mitigation experiments — the machinery
+//! behind Figs. 2(c), 3(c) and 10(c). The bench binaries parameterize and
+//! print these; integration tests assert their shapes.
+
+use crate::rtbh::{blackhole_announcement, RtbhFilter};
+use crate::signal::StellarSignal;
+use crate::system::StellarSystem;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use stellar_bgp::types::Asn;
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_dataplane::switch::OfferedAggregate;
+use stellar_net::addr::{IpAddress, Ipv4Address};
+use stellar_net::amplification::AmpProtocol;
+use stellar_net::flow::FlowKey;
+use stellar_net::prefix::Prefix;
+use stellar_net::proto::IpProtocol;
+use stellar_sim::collector::{FlowCollector, TimeSeries};
+use stellar_sim::time::{secs, SimTime};
+use stellar_sim::topology::{generic_members, IxpTopology, MemberSpec};
+use stellar_sim::traffic::{BenignWebMix, BooterService, SourcePoint, TrafficSource};
+
+/// The victim used by all scenarios: the "experimental AS" of §2.4.
+pub const VICTIM_ASN: Asn = Asn(64500);
+
+/// The attacked /32.
+pub fn victim_ip() -> Ipv4Address {
+    Ipv4Address::new(100, 10, 10, 10)
+}
+
+/// The victim host prefix.
+pub fn victim_prefix() -> Prefix {
+    Prefix::host(IpAddress::V4(victim_ip()))
+}
+
+/// Mitigation plan for the booter experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MitigationPlan {
+    /// Let the attack run (baseline).
+    None,
+    /// Classic RTBH: announce the /32 with the blackhole community at
+    /// this time (Fig. 3c: 280 s after the attack starts).
+    Rtbh {
+        /// When the victim signals.
+        announce_at: SimTime,
+    },
+    /// Stellar: shape for telemetry, then drop (Fig. 10c).
+    Stellar {
+        /// When the shaping signal is sent.
+        shape_at: SimTime,
+        /// Shaping rate in Mbps (200 in the paper).
+        shape_rate_mbps: u32,
+        /// When the member escalates to a full UDP drop.
+        drop_at: SimTime,
+    },
+}
+
+/// Output of one booter run.
+#[derive(Debug)]
+pub struct BooterRun {
+    /// Traffic delivered to the victim's port, Mbps per bucket.
+    pub delivered_mbps: TimeSeries,
+    /// Distinct peers delivering traffic per bucket.
+    pub peers: TimeSeries,
+    /// For RTBH: how many sources honored the signal.
+    pub honoring_sources: usize,
+    /// Total attack sources.
+    pub attack_sources: usize,
+}
+
+/// Parameters of the booter experiment (§2.4 / §5.3).
+#[derive(Debug, Clone)]
+pub struct BooterParams {
+    /// Total IXP members (the victim peers with all of them).
+    pub n_members: usize,
+    /// Member ports the attack arrives through (~40 in Fig. 3c, ~60 in
+    /// Fig. 10c).
+    pub n_reflector_members: usize,
+    /// Attack peak in bits/second (≈1 Gbps).
+    pub peak_bps: f64,
+    /// When the attack starts.
+    pub attack_start: SimTime,
+    /// When the attack stops.
+    pub attack_end: SimTime,
+    /// Total experiment duration.
+    pub duration: SimTime,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BooterParams {
+    /// Fig. 3(c) setup: ~40 peers, RTBH at t = 380 s (280 s into the
+    /// attack).
+    pub fn fig3c() -> (Self, MitigationPlan) {
+        (
+            BooterParams {
+                n_members: 120,
+                n_reflector_members: 40,
+                peak_bps: 1e9,
+                attack_start: secs(100),
+                attack_end: secs(900),
+                duration: secs(900),
+                seed: 0x3c,
+            },
+            MitigationPlan::Rtbh {
+                announce_at: secs(380),
+            },
+        )
+    }
+
+    /// Fig. 10(c) setup: ~60 peers, shape at t = 300 s, drop at t = 500 s.
+    pub fn fig10c() -> (Self, MitigationPlan) {
+        (
+            BooterParams {
+                n_members: 120,
+                n_reflector_members: 60,
+                peak_bps: 1e9,
+                attack_start: secs(100),
+                attack_end: secs(900),
+                duration: secs(900),
+                seed: 0x10c,
+            },
+            MitigationPlan::Stellar {
+                shape_at: secs(300),
+                shape_rate_mbps: 200,
+                drop_at: secs(500),
+            },
+        )
+    }
+}
+
+fn build_system(params: &BooterParams) -> StellarSystem {
+    let mut specs = vec![MemberSpec {
+        asn: VICTIM_ASN.0,
+        capacity_bps: 10_000_000_000, // the experimental AS's 10G port
+        prefixes: vec![Prefix::V4(
+            stellar_net::prefix::Ipv4Prefix::new(Ipv4Address::new(100, 10, 10, 0), 24)
+                .expect("valid"),
+        )],
+    }];
+    specs.extend(generic_members(VICTIM_ASN.0 + 1, params.n_members - 1));
+    let ixp = IxpTopology::build(&specs, HardwareInfoBase::production_er());
+    StellarSystem::new(ixp, 4.33)
+}
+
+fn reflector_points(system: &StellarSystem, n: usize) -> Vec<SourcePoint> {
+    system
+        .ixp
+        .members
+        .iter()
+        .filter(|(asn, _)| **asn != VICTIM_ASN)
+        .take(n)
+        .enumerate()
+        .map(|(i, (_, info))| SourcePoint {
+            mac: info.mac,
+            ip: Ipv4Address::from_u32(
+                u32::from_be_bytes([198, 51, 100, 0]) + (i as u32 % 250) + 1,
+            ),
+        })
+        .collect()
+}
+
+/// A small always-on background (keepalives, ARP-ish chatter) so the
+/// post-mitigation plots show the residual the paper mentions.
+fn background_offers(system: &StellarSystem, t0: SimTime, t1: SimTime) -> Vec<OfferedAggregate> {
+    let victim = system.ixp.member(VICTIM_ASN).expect("victim exists");
+    let dt_s = (t1 - t0) as f64 / 1e6;
+    let mut out = Vec::new();
+    for (i, (asn, info)) in system.ixp.members.iter().enumerate() {
+        if *asn == VICTIM_ASN || i % 40 != 3 {
+            continue; // a few chatty peers only
+        }
+        let bytes = (0.5e6 * dt_s / 8.0) as u64; // 0.5 Mbps each
+        out.push(OfferedAggregate {
+            key: FlowKey {
+                src_mac: info.mac,
+                dst_mac: victim.mac,
+                src_ip: IpAddress::V4(info.peering_ip),
+                dst_ip: IpAddress::V4(victim_ip()),
+                protocol: IpProtocol::ICMP,
+                src_port: 0,
+                dst_port: 0,
+            },
+            bytes,
+            packets: bytes / 64 + 1,
+        });
+    }
+    out
+}
+
+/// Runs the booter experiment under the given mitigation plan.
+pub fn run_booter(params: &BooterParams, plan: MitigationPlan) -> BooterRun {
+    let mut system = build_system(params);
+    let reflectors = reflector_points(&system, params.n_reflector_members);
+    let reflector_asns: Vec<u32> = system
+        .ixp
+        .members
+        .keys()
+        .filter(|a| **a != VICTIM_ASN)
+        .take(params.n_reflector_members)
+        .map(|a| a.0)
+        .collect();
+    let mut booter = BooterService::order(
+        AmpProtocol::Ntp,
+        victim_ip(),
+        system.ixp.member(VICTIM_ASN).expect("victim").mac,
+        params.peak_bps,
+        reflectors,
+        params.attack_start,
+        params.attack_end,
+    );
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut collector = FlowCollector::new();
+    let mut rtbh: Option<RtbhFilter> = None;
+    let mut shaped = false;
+    let mut dropped = false;
+
+    let tick = secs(1);
+    let victim_port = system.ixp.member(VICTIM_ASN).expect("victim").port;
+    let mut t = 0;
+    while t < params.duration {
+        let t1 = t + tick;
+        // Control-plane actions at their scheduled times.
+        match plan {
+            MitigationPlan::Rtbh { announce_at } if rtbh.is_none() && t >= announce_at => {
+                // The victim announces the /32 + blackhole community; the
+                // route server reflects it; honoring members null their
+                // traffic.
+                let u = blackhole_announcement(&system.ixp, VICTIM_ASN, victim_prefix());
+                system.ixp.route_server.handle_update(VICTIM_ASN, &u, t);
+                rtbh = Some(RtbhFilter::from_sources(
+                    victim_prefix(),
+                    &reflector_asns,
+                    &system.ixp.honoring,
+                ));
+            }
+            MitigationPlan::Stellar {
+                shape_at,
+                shape_rate_mbps,
+                drop_at,
+            } => {
+                if !shaped && t >= shape_at {
+                    shaped = true;
+                    system.member_signal(
+                        VICTIM_ASN,
+                        victim_prefix(),
+                        &[StellarSignal::shape_udp_src(123, shape_rate_mbps)],
+                        t,
+                    );
+                }
+                if !dropped && t >= drop_at {
+                    dropped = true;
+                    // Escalate: drop all UDP towards the victim.
+                    system.member_signal(
+                        VICTIM_ASN,
+                        victim_prefix(),
+                        &[StellarSignal {
+                            kind: crate::signal::MatchKind::AllUdp,
+                            port: 0,
+                            action: crate::rule::RuleAction::Drop,
+                        }],
+                        t,
+                    );
+                }
+            }
+            _ => {}
+        }
+        system.pump(t);
+
+        // Data plane.
+        let mut offers = booter.generate(t, t1, &mut rng);
+        offers.extend(background_offers(&system, t, t1));
+        if let Some(f) = &rtbh {
+            offers = offers.iter().filter_map(|o| f.filter(o)).collect();
+        }
+        let results = system.traffic_tick(&offers, t1, tick);
+        if let Some(r) = results.get(&victim_port) {
+            for (key, bytes, packets) in &r.delivered {
+                collector.record(*key, t, t1, *bytes, *packets);
+            }
+        }
+        t = t1;
+    }
+
+    let bucket = secs(10);
+    let delivered = collector.rate_series(0, params.duration, bucket, |_| true);
+    BooterRun {
+        delivered_mbps: TimeSeries {
+            start_us: delivered.start_us,
+            bucket_us: delivered.bucket_us,
+            values: delivered.values.iter().map(|v| v / 1e6).collect(),
+        },
+        peers: collector.peer_count_series(0, params.duration, bucket, |r| {
+            // Count peers contributing real traffic, not just keepalive
+            // noise.
+            r.rate_bps() > 2e5
+        }),
+        honoring_sources: rtbh.map(|f| f.honoring_count()).unwrap_or(0),
+        attack_sources: params.n_reflector_members,
+    }
+}
+
+/// Output of the memcached collateral-damage scenario (Fig. 2c).
+#[derive(Debug)]
+pub struct CollateralRun {
+    /// Per-minute traffic share by characteristic port, towards the
+    /// victim member (normalized per bucket).
+    pub shares: Vec<BTreeMap<u16, f64>>,
+    /// Minute labels ("20:00" ...).
+    pub labels: Vec<String>,
+}
+
+/// Runs the Fig. 2(c) scenario: a web service under a memcached
+/// amplification attack starting at minute 21 of a 60-minute window.
+/// `stellar_at_minute` optionally installs the fine-grained drop rule,
+/// showing the shares returning to the pre-attack mix.
+pub fn run_memcached_collateral(stellar_at_minute: Option<u32>, seed: u64) -> CollateralRun {
+    let params = BooterParams {
+        n_members: 60,
+        n_reflector_members: 30,
+        peak_bps: 40e9, // "traffic levels of up to 40 Gbps"
+        attack_start: secs(21 * 60),
+        attack_end: secs(60 * 60),
+        duration: secs(60 * 60),
+        seed,
+    };
+    let mut system = build_system(&params);
+    let victim = system.ixp.member(VICTIM_ASN).expect("victim");
+    let victim_mac = victim.mac;
+
+    let web_sources: Vec<SourcePoint> = system
+        .ixp
+        .members
+        .iter()
+        .filter(|(asn, _)| **asn != VICTIM_ASN)
+        .take(12)
+        .map(|(_, info)| SourcePoint {
+            mac: info.mac,
+            ip: info.peering_ip,
+        })
+        .collect();
+    let mut web = BenignWebMix::fig2c(
+        victim_ip(),
+        victim_mac,
+        400e6,
+        web_sources,
+        (0, params.duration),
+    );
+    let mut attack = stellar_sim::traffic::AmplificationAttack {
+        protocol: AmpProtocol::Memcached,
+        target_ip: victim_ip(),
+        target_mac: victim_mac,
+        rate_bps: params.peak_bps,
+        reflectors: reflector_points(&system, params.n_reflector_members),
+        active: (params.attack_start, params.attack_end),
+        ramp_us: secs(60),
+    };
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut collector = FlowCollector::new();
+    let tick = secs(2);
+    let mut stellar_signaled = false;
+    let mut t = 0;
+    while t < params.duration {
+        let t1 = t + tick;
+        if let Some(minute) = stellar_at_minute {
+            if !stellar_signaled && t >= secs(u64::from(minute) * 60) {
+                stellar_signaled = true;
+                system.member_signal(
+                    VICTIM_ASN,
+                    victim_prefix(),
+                    &[StellarSignal::drop_udp_src(stellar_net::ports::MEMCACHED)],
+                    t,
+                );
+            }
+        }
+        system.pump(t);
+        let mut offers = web.generate(t, t1, &mut rng);
+        offers.extend(attack.generate(t, t1, &mut rng));
+        // Fig. 2(c) plots traffic *towards* the member as seen by the
+        // IXP's flow export — i.e. at IXP ingress. Post-mitigation, the
+        // dropped share vanishes from the egress; model both by
+        // collecting deliveries at the victim port.
+        let results = system.traffic_tick(&offers, t1, tick);
+        let victim_port = system.ixp.member(VICTIM_ASN).expect("victim").port;
+        if let Some(r) = results.get(&victim_port) {
+            for (key, bytes, packets) in &r.delivered {
+                collector.record(*key, t, t1, *bytes, *packets);
+            }
+        }
+        t = t1;
+    }
+
+    // Per-minute port shares.
+    let mut shares = Vec::new();
+    let mut labels = Vec::new();
+    for m in 0..60u64 {
+        let (lo, hi) = (secs(m * 60), secs((m + 1) * 60));
+        let s = collector.port_shares(
+            |r| r.start_us >= lo && r.start_us < hi,
+            0.01,
+        );
+        shares.push(s);
+        labels.push(format!("20:{m:02}"));
+    }
+    CollateralRun { shares, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_attack_saturates_and_rtbh_is_ineffective() {
+        let (params, plan) = BooterParams::fig3c();
+        let run = run_booter(&params, plan);
+        // Peak before mitigation approaches 1 Gbps.
+        let peak = run.delivered_mbps.mean_between(300.0, 370.0);
+        assert!(peak > 800.0, "pre-RTBH level {peak}");
+        // After RTBH, traffic drops but stays in the paper's 600-800 Mbps
+        // band: most members do not honor.
+        let after = run.delivered_mbps.mean_between(500.0, 800.0);
+        assert!(after > 550.0 && after < 850.0, "post-RTBH level {after}");
+        // Peers decrease by roughly the honoring share (~25 %).
+        let peers_before = run.peers.mean_between(300.0, 370.0);
+        let peers_after = run.peers.mean_between(500.0, 800.0);
+        assert!(peers_after < peers_before);
+        assert!(
+            peers_after > peers_before * 0.5,
+            "peers {peers_before} -> {peers_after}"
+        );
+        assert!(run.honoring_sources > 0);
+    }
+
+    #[test]
+    fn stellar_shapes_then_drops() {
+        let (params, plan) = BooterParams::fig10c();
+        let run = run_booter(&params, plan);
+        // Full attack before mitigation.
+        let before = run.delivered_mbps.mean_between(200.0, 290.0);
+        assert!(before > 800.0, "pre-mitigation {before}");
+        // Shaped window: ~200 Mbps telemetry.
+        let shaped = run.delivered_mbps.mean_between(320.0, 490.0);
+        assert!(
+            (150.0..=260.0).contains(&shaped),
+            "shaped level {shaped}"
+        );
+        // Peers stay constant while shaping (every reflector's sample
+        // passes).
+        let peers_attack = run.peers.mean_between(200.0, 290.0);
+        let peers_shaped = run.peers.mean_between(320.0, 490.0);
+        assert!(
+            (peers_shaped - peers_attack).abs() <= peers_attack * 0.15,
+            "peers {peers_attack} vs shaped {peers_shaped}"
+        );
+        // Dropped: near zero.
+        let after = run.delivered_mbps.mean_between(520.0, 890.0);
+        assert!(after < 20.0, "post-drop level {after}");
+        let peers_after = run.peers.mean_between(520.0, 890.0);
+        assert!(peers_after < peers_attack * 0.3, "peers after {peers_after}");
+    }
+
+    #[test]
+    fn memcached_attack_dominates_port_shares() {
+        let run = run_memcached_collateral(None, 1);
+        // Minute 10 (pre-attack): HTTPS dominates.
+        let pre = &run.shares[10];
+        assert!(pre.get(&443).copied().unwrap_or(0.0) > 0.4, "{pre:?}");
+        assert!(pre.get(&11211).copied().unwrap_or(0.0) < 0.01);
+        // Minute 40 (during attack): port 11211 + fragments dominate.
+        let during = &run.shares[40];
+        let memc = during.get(&11211).copied().unwrap_or(0.0)
+            + during.get(&0).copied().unwrap_or(0.0);
+        assert!(memc > 0.8, "{during:?}");
+        assert_eq!(run.labels[21], "20:21");
+    }
+
+    #[test]
+    fn stellar_restores_web_shares() {
+        let run = run_memcached_collateral(Some(35), 1);
+        // Minute 45 (post-mitigation): web mix is back.
+        let post = &run.shares[45];
+        let memc = post.get(&11211).copied().unwrap_or(0.0)
+            + post.get(&0).copied().unwrap_or(0.0);
+        assert!(memc < 0.05, "{post:?}");
+        assert!(post.get(&443).copied().unwrap_or(0.0) > 0.4);
+    }
+}

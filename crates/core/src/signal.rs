@@ -1,0 +1,403 @@
+//! The Stellar signaling grammar: blackholing rules encoded in BGP
+//! extended communities (§4.2.1/§4.3).
+//!
+//! §5.3's example: "we send a BGP update for the IP (/32 prefix) tagged
+//! with BGP community IXP:2:123. Hereby, 2 refers to UDP source traffic
+//! and 123 to port 123."
+//!
+//! ## Wire encoding
+//!
+//! A signal is a transitive two-octet-AS-specific extended community
+//! (RFC 4360) in the IXP's namespace:
+//!
+//! ```text
+//! type 0x00 | subtype 0xBB | IXP-ASN (2 bytes) | local admin (4 bytes)
+//! local admin = match_kind (1) | action (1) | port (2)
+//! ```
+//!
+//! `match_kind` selects what the rule matches towards the signaled
+//! prefix (the paper's "2" = UDP source port). `action` 0 means drop;
+//! `k` in 1..=250 means shape to `k × 10 Mbps` (so `20` is the 200 Mbps
+//! telemetry rate of Fig. 10c). `port` is the L4 port for port-scoped
+//! kinds, or a predefined-rule catalog id for [`MatchKind::Predefined`].
+
+use crate::rule::RuleAction;
+use stellar_bgp::extcommunity::ExtendedCommunity;
+use stellar_bgp::types::Asn;
+use stellar_dataplane::filter::{MatchSpec, PortMatch};
+use stellar_net::prefix::Prefix;
+use stellar_net::proto::IpProtocol;
+
+/// The extended-community subtype carrying Stellar blackholing rules.
+pub const STELLAR_SUBTYPE: u8 = 0xbb;
+
+/// What a blackholing rule matches, towards the signaled prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MatchKind {
+    /// UDP traffic with the given destination port (1).
+    UdpDstPort,
+    /// UDP traffic with the given source port (2) — the amplification
+    /// case from the paper's example.
+    UdpSrcPort,
+    /// TCP traffic with the given destination port (3).
+    TcpDstPort,
+    /// TCP traffic with the given source port (4).
+    TcpSrcPort,
+    /// All UDP traffic (5).
+    AllUdp,
+    /// All TCP traffic (6).
+    AllTcp,
+    /// All traffic — the hardware-realized equivalent of RTBH, minus the
+    /// cooperation problem (7).
+    AllTraffic,
+    /// A predefined catalog rule; the port field carries the catalog id
+    /// (8).
+    Predefined,
+}
+
+impl MatchKind {
+    /// Wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            MatchKind::UdpDstPort => 1,
+            MatchKind::UdpSrcPort => 2,
+            MatchKind::TcpDstPort => 3,
+            MatchKind::TcpSrcPort => 4,
+            MatchKind::AllUdp => 5,
+            MatchKind::AllTcp => 6,
+            MatchKind::AllTraffic => 7,
+            MatchKind::Predefined => 8,
+        }
+    }
+
+    /// From wire value.
+    pub fn from_value(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => MatchKind::UdpDstPort,
+            2 => MatchKind::UdpSrcPort,
+            3 => MatchKind::TcpDstPort,
+            4 => MatchKind::TcpSrcPort,
+            5 => MatchKind::AllUdp,
+            6 => MatchKind::AllTcp,
+            7 => MatchKind::AllTraffic,
+            8 => MatchKind::Predefined,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed Stellar signal: one blackholing rule request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StellarSignal {
+    /// What to match.
+    pub kind: MatchKind,
+    /// Port (or catalog id for [`MatchKind::Predefined`]).
+    pub port: u16,
+    /// What to do with matches.
+    pub action: RuleAction,
+}
+
+impl StellarSignal {
+    /// A drop rule for UDP traffic *from* `port` (the amplification
+    /// pattern).
+    pub fn drop_udp_src(port: u16) -> Self {
+        StellarSignal {
+            kind: MatchKind::UdpSrcPort,
+            port,
+            action: RuleAction::Drop,
+        }
+    }
+
+    /// A shaping rule for UDP traffic from `port` at `rate_mbps_x10 × 10`
+    /// Mbps.
+    pub fn shape_udp_src(port: u16, rate_mbps: u32) -> Self {
+        StellarSignal {
+            kind: MatchKind::UdpSrcPort,
+            port,
+            action: RuleAction::Shape {
+                rate_bps: u64::from(rate_mbps) * 1_000_000,
+            },
+        }
+    }
+
+    /// A drop-everything rule (hardware RTBH).
+    pub fn drop_all() -> Self {
+        StellarSignal {
+            kind: MatchKind::AllTraffic,
+            port: 0,
+            action: RuleAction::Drop,
+        }
+    }
+
+    /// Encodes to the extended community (see module docs). Shape rates
+    /// round to 10 Mbps granularity; rates above 2.5 Gbps saturate.
+    pub fn encode(&self, ixp_asn: Asn) -> ExtendedCommunity {
+        let action_byte: u8 = match self.action {
+            RuleAction::Drop => 0,
+            RuleAction::Shape { rate_bps } => {
+                ((rate_bps / 10_000_000).clamp(1, 250)) as u8
+            }
+        };
+        let local = (u32::from(self.kind.value()) << 24)
+            | (u32::from(action_byte) << 16)
+            | u32::from(self.port);
+        ExtendedCommunity::TwoOctetAs {
+            subtype: STELLAR_SUBTYPE,
+            asn: ixp_asn.0 as u16,
+            local,
+            transitive: true,
+        }
+    }
+
+    /// Decodes a Stellar signal from an extended community, if it is one
+    /// (right subtype and IXP namespace).
+    pub fn decode(ec: &ExtendedCommunity, ixp_asn: Asn) -> Option<StellarSignal> {
+        let ExtendedCommunity::TwoOctetAs {
+            subtype,
+            asn,
+            local,
+            transitive: _,
+        } = ec
+        else {
+            return None;
+        };
+        if *subtype != STELLAR_SUBTYPE || u32::from(*asn) != ixp_asn.0 {
+            return None;
+        }
+        let kind = MatchKind::from_value((local >> 24) as u8)?;
+        let action_byte = ((local >> 16) & 0xff) as u8;
+        let port = (local & 0xffff) as u16;
+        let action = if action_byte == 0 {
+            RuleAction::Drop
+        } else {
+            RuleAction::Shape {
+                rate_bps: u64::from(action_byte) * 10_000_000,
+            }
+        };
+        Some(StellarSignal { kind, port, action })
+    }
+
+    /// Extracts all Stellar signals from an update's extended
+    /// communities, resolving predefined references through `catalog`.
+    pub fn extract(
+        ecs: &[ExtendedCommunity],
+        ixp_asn: Asn,
+        catalog: &crate::portal::CustomerPortal,
+        owner: Asn,
+    ) -> Vec<StellarSignal> {
+        let mut out = Vec::new();
+        for ec in ecs {
+            let Some(sig) = StellarSignal::decode(ec, ixp_asn) else {
+                continue;
+            };
+            if sig.kind == MatchKind::Predefined {
+                out.extend(catalog.resolve(owner, sig.port));
+            } else {
+                out.push(sig);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Compiles the signal to a dataplane match spec scoped to traffic
+    /// towards `victim`.
+    pub fn to_match_spec(&self, victim: Prefix) -> MatchSpec {
+        let mut spec = MatchSpec::to_destination(victim);
+        match self.kind {
+            MatchKind::UdpDstPort => {
+                spec.protocol = Some(IpProtocol::UDP);
+                spec.dst_port = Some(PortMatch::Exact(self.port));
+            }
+            MatchKind::UdpSrcPort => {
+                spec.protocol = Some(IpProtocol::UDP);
+                spec.src_port = Some(PortMatch::Exact(self.port));
+            }
+            MatchKind::TcpDstPort => {
+                spec.protocol = Some(IpProtocol::TCP);
+                spec.dst_port = Some(PortMatch::Exact(self.port));
+            }
+            MatchKind::TcpSrcPort => {
+                spec.protocol = Some(IpProtocol::TCP);
+                spec.src_port = Some(PortMatch::Exact(self.port));
+            }
+            MatchKind::AllUdp => {
+                spec.protocol = Some(IpProtocol::UDP);
+            }
+            MatchKind::AllTcp => {
+                spec.protocol = Some(IpProtocol::TCP);
+            }
+            MatchKind::AllTraffic | MatchKind::Predefined => {}
+        }
+        spec
+    }
+}
+
+// StellarSignal ordering: by kind, then port, then action kind/rate, so
+// `extract`'s dedup is stable.
+impl PartialOrd for StellarSignal {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for StellarSignal {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = (self.kind, self.port, action_key(&self.action));
+        let b = (other.kind, other.port, action_key(&other.action));
+        a.cmp(&b)
+    }
+}
+
+fn action_key(a: &RuleAction) -> (u8, u64) {
+    match a {
+        RuleAction::Drop => (0, 0),
+        RuleAction::Shape { rate_bps } => (1, *rate_bps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portal::CustomerPortal;
+
+    const IXP: Asn = Asn(6695);
+
+    #[test]
+    fn paper_example_encodes_as_ixp_2_123() {
+        // IXP:2:123 — UDP source port 123.
+        let sig = StellarSignal::drop_udp_src(123);
+        let ec = sig.encode(IXP);
+        match ec {
+            ExtendedCommunity::TwoOctetAs {
+                subtype,
+                asn,
+                local,
+                transitive,
+            } => {
+                assert_eq!(subtype, STELLAR_SUBTYPE);
+                assert_eq!(asn, 6695);
+                assert_eq!(local >> 24, 2); // UDP source
+                assert_eq!(local & 0xffff, 123); // port 123
+                assert!(transitive);
+            }
+            _ => panic!("wrong community type"),
+        }
+        assert_eq!(StellarSignal::decode(&ec, IXP), Some(sig));
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            MatchKind::UdpDstPort,
+            MatchKind::UdpSrcPort,
+            MatchKind::TcpDstPort,
+            MatchKind::TcpSrcPort,
+            MatchKind::AllUdp,
+            MatchKind::AllTcp,
+            MatchKind::AllTraffic,
+            MatchKind::Predefined,
+        ] {
+            for action in [
+                RuleAction::Drop,
+                RuleAction::Shape { rate_bps: 200_000_000 },
+            ] {
+                let sig = StellarSignal {
+                    kind,
+                    port: 11211,
+                    action,
+                };
+                let dec = StellarSignal::decode(&sig.encode(IXP), IXP).unwrap();
+                assert_eq!(dec, sig, "{kind:?} {action:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_rate_granularity() {
+        // 200 Mbps encodes exactly (action byte 20).
+        let sig = StellarSignal::shape_udp_src(123, 200);
+        let dec = StellarSignal::decode(&sig.encode(IXP), IXP).unwrap();
+        assert_eq!(dec.action, RuleAction::Shape { rate_bps: 200_000_000 });
+        // 3 Gbps saturates to 2.5 Gbps.
+        let sig = StellarSignal {
+            kind: MatchKind::AllUdp,
+            port: 0,
+            action: RuleAction::Shape { rate_bps: 3_000_000_000 },
+        };
+        let dec = StellarSignal::decode(&sig.encode(IXP), IXP).unwrap();
+        assert_eq!(dec.action, RuleAction::Shape { rate_bps: 2_500_000_000 });
+    }
+
+    #[test]
+    fn foreign_communities_are_ignored() {
+        // Wrong subtype.
+        let ec = ExtendedCommunity::TwoOctetAs {
+            subtype: 0x02,
+            asn: 6695,
+            local: 0x0200_007b,
+            transitive: true,
+        };
+        assert_eq!(StellarSignal::decode(&ec, IXP), None);
+        // Wrong ASN namespace.
+        let ec = StellarSignal::drop_udp_src(123).encode(Asn(9999));
+        assert_eq!(StellarSignal::decode(&ec, IXP), None);
+        // Unknown match kind.
+        let ec = ExtendedCommunity::TwoOctetAs {
+            subtype: STELLAR_SUBTYPE,
+            asn: 6695,
+            local: 0xff00_0000,
+            transitive: true,
+        };
+        assert_eq!(StellarSignal::decode(&ec, IXP), None);
+    }
+
+    #[test]
+    fn extract_dedups_and_resolves_predefined() {
+        let mut portal = CustomerPortal::with_standard_catalog(IXP);
+        let owner = Asn(64500);
+        let custom = portal.define_custom(
+            owner,
+            vec![StellarSignal::drop_udp_src(53), StellarSignal::drop_udp_src(123)],
+        );
+        let ecs = vec![
+            StellarSignal::drop_udp_src(123).encode(IXP),
+            StellarSignal::drop_udp_src(123).encode(IXP), // duplicate
+            StellarSignal {
+                kind: MatchKind::Predefined,
+                port: custom,
+                action: RuleAction::Drop,
+            }
+            .encode(IXP),
+            ExtendedCommunity::Raw([0x43, 0, 0, 0, 0, 0, 0, 0]), // foreign
+        ];
+        let sigs = StellarSignal::extract(&ecs, IXP, &portal, owner);
+        // 123 (deduped across direct + custom) and 53.
+        assert_eq!(sigs.len(), 2);
+        assert!(sigs.contains(&StellarSignal::drop_udp_src(53)));
+        assert!(sigs.contains(&StellarSignal::drop_udp_src(123)));
+    }
+
+    #[test]
+    fn match_specs_scope_to_victim() {
+        let victim: Prefix = "100.10.10.10/32".parse().unwrap();
+        let spec = StellarSignal::drop_udp_src(123).to_match_spec(victim);
+        assert_eq!(spec.dst_ip, Some(victim));
+        assert_eq!(spec.protocol, Some(IpProtocol::UDP));
+        assert_eq!(spec.src_port, Some(PortMatch::Exact(123)));
+        assert_eq!(spec.l34_criteria(), 3);
+
+        let spec = StellarSignal::drop_all().to_match_spec(victim);
+        assert_eq!(spec.l34_criteria(), 1);
+        assert_eq!(spec.protocol, None);
+
+        let spec = StellarSignal {
+            kind: MatchKind::AllTcp,
+            port: 0,
+            action: RuleAction::Drop,
+        }
+        .to_match_spec(victim);
+        assert_eq!(spec.protocol, Some(IpProtocol::TCP));
+        assert_eq!(spec.src_port, None);
+    }
+}

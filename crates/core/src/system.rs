@@ -1,0 +1,282 @@
+//! The end-to-end Stellar system (Fig. 5): signaling → management →
+//! filtering, wired over a real IXP topology.
+//!
+//! This facade is what the examples and benches drive: a member sends one
+//! BGP UPDATE; the route server validates it and feeds the blackholing
+//! controller; the controller diffs its RIB into abstract changes; the
+//! token-bucket queue meters them; the QoS network manager compiles them
+//! onto the victim's egress port.
+
+use crate::config_queue::ConfigChangeQueue;
+use crate::controller::{AbstractChange, BlackholingController};
+use crate::manager::{AdmissionError, NetworkManager};
+use crate::qos_manager::QosNetworkManager;
+use crate::signal::StellarSignal;
+use crate::telemetry::{rule_telemetry, RuleTelemetry};
+use std::collections::BTreeMap;
+use stellar_bgp::types::Asn;
+use stellar_dataplane::qos::TickResult;
+use stellar_dataplane::switch::{OfferedAggregate, PortId};
+use stellar_net::prefix::Prefix;
+use stellar_routeserver::policy::RejectReason;
+use stellar_sim::topology::IxpTopology;
+
+/// Outcome of one member signal.
+#[derive(Debug, Default)]
+pub struct SignalOutcome {
+    /// Changes accepted into the configuration queue.
+    pub queued_changes: usize,
+    /// Import-policy rejections, if any.
+    pub rejections: Vec<(Prefix, RejectReason)>,
+}
+
+/// The assembled system.
+pub struct StellarSystem {
+    /// The IXP (route server + switching fabric + members).
+    pub ixp: IxpTopology,
+    /// The blackholing controller.
+    pub controller: BlackholingController,
+    /// The token-bucket configuration queue.
+    pub queue: ConfigChangeQueue,
+    /// The QoS network manager.
+    pub manager: QosNetworkManager,
+    /// Changes refused by admission control (kept for operator review).
+    pub refused: Vec<(AbstractChange, AdmissionError)>,
+}
+
+impl StellarSystem {
+    /// Wires Stellar onto an IXP. `queue_rate_per_s` is the configuration
+    /// change rate (4.33/s fits the production CPU cap, §5.1).
+    pub fn new(ixp: IxpTopology, queue_rate_per_s: f64) -> Self {
+        let ixp_asn = ixp.route_server.config().ixp_asn;
+        let mut manager = QosNetworkManager::default();
+        for (asn, info) in &ixp.members {
+            manager.register_owner(*asn, info.port);
+        }
+        StellarSystem {
+            ixp,
+            controller: BlackholingController::new(ixp_asn),
+            queue: ConfigChangeQueue::production(queue_rate_per_s),
+            manager,
+            refused: Vec::new(),
+        }
+    }
+
+    /// A member signals Advanced Blackholing: announces `victim` tagged
+    /// with the given rules' extended communities. One BGP UPDATE, no
+    /// cooperation from any other member (§3.3).
+    pub fn member_signal(
+        &mut self,
+        member: Asn,
+        victim: Prefix,
+        signals: &[StellarSignal],
+        now_us: u64,
+    ) -> SignalOutcome {
+        let ixp_asn = self.ixp.route_server.config().ixp_asn;
+        let mut update = self.ixp.announcement(member, victim);
+        let ecs: Vec<_> = signals.iter().map(|s| s.encode(ixp_asn)).collect();
+        update.add_extended_communities(&ecs);
+        let rs_out = self.ixp.route_server.handle_update(member, &update, now_us);
+        let mut outcome = SignalOutcome {
+            rejections: rs_out.rejections,
+            ..Default::default()
+        };
+        for cu in &rs_out.controller_updates {
+            for change in self.controller.process_update(cu) {
+                self.queue.enqueue(change, now_us);
+                outcome.queued_changes += 1;
+            }
+        }
+        outcome
+    }
+
+    /// A member withdraws its signal (attack over): the /32 is withdrawn
+    /// and every rule attached to it is queued for removal.
+    pub fn member_withdraw(&mut self, member: Asn, victim: Prefix, now_us: u64) -> SignalOutcome {
+        let update = match victim {
+            Prefix::V4(_) => stellar_bgp::update::UpdateMessage::withdraw(victim),
+            Prefix::V6(_) => stellar_bgp::update::UpdateMessage {
+                withdrawn: vec![],
+                attrs: vec![stellar_bgp::attr::PathAttribute::MpUnreach {
+                    afi: stellar_bgp::types::Afi::Ipv6,
+                    safi: stellar_bgp::types::Safi::Unicast,
+                    nlri: vec![stellar_bgp::nlri::Nlri::plain(victim)],
+                }],
+                nlri: vec![],
+            },
+        };
+        let rs_out = self.ixp.route_server.handle_update(member, &update, now_us);
+        let mut outcome = SignalOutcome::default();
+        for cu in &rs_out.controller_updates {
+            for change in self.controller.process_update(cu) {
+                self.queue.enqueue(change, now_us);
+                outcome.queued_changes += 1;
+            }
+        }
+        outcome
+    }
+
+    /// Pumps the configuration queue: dequeues what the token bucket
+    /// allows and applies it to the fabric. Returns how many changes were
+    /// applied.
+    pub fn pump(&mut self, now_us: u64) -> usize {
+        let ready = self.queue.dequeue_ready(now_us);
+        let mut applied = 0;
+        for (change, _waited) in ready {
+            match self.manager.apply(&mut self.ixp.router, &change, now_us) {
+                Ok(()) => applied += 1,
+                Err(e) => self.refused.push((change, e)),
+            }
+        }
+        applied
+    }
+
+    /// Pushes one tick of traffic through the fabric.
+    pub fn traffic_tick(
+        &mut self,
+        offers: &[OfferedAggregate],
+        tick_end_us: u64,
+        tick_us: u64,
+    ) -> BTreeMap<PortId, TickResult> {
+        self.ixp.router.process_tick(offers, tick_end_us, tick_us)
+    }
+
+    /// Telemetry for the given rules (§3.1).
+    pub fn telemetry(&self, rule_ids: &[u64]) -> Vec<RuleTelemetry> {
+        rule_telemetry(&self.ixp.router, &self.manager, rule_ids)
+    }
+
+    /// Rules currently active in hardware.
+    pub fn active_rules(&self) -> usize {
+        self.manager.installed_rules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_dataplane::hardware::HardwareInfoBase;
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::flow::FlowKey;
+    use stellar_net::mac::MacAddr;
+    use stellar_net::prefix::{Ipv4Prefix, Prefix};
+    use stellar_net::proto::IpProtocol;
+    use stellar_sim::topology::{generic_members, MemberSpec};
+
+    fn system() -> StellarSystem {
+        let mut specs = generic_members(64501, 9);
+        specs.insert(
+            0,
+            MemberSpec {
+                asn: 64500,
+                capacity_bps: 1_000_000_000,
+                prefixes: vec![Prefix::V4(
+                    Ipv4Prefix::new(Ipv4Address::new(100, 10, 10, 0), 24).unwrap(),
+                )],
+            },
+        );
+        let ixp = IxpTopology::build(&specs, HardwareInfoBase::lab_switch());
+        StellarSystem::new(ixp, 100.0)
+    }
+
+    fn victim() -> Prefix {
+        "100.10.10.10/32".parse().unwrap()
+    }
+
+    fn ntp_offer(bytes: u64) -> OfferedAggregate {
+        OfferedAggregate {
+            key: FlowKey {
+                src_mac: MacAddr::for_member(64505, 1),
+                dst_mac: MacAddr::for_member(64500, 1),
+                src_ip: IpAddress::V4(Ipv4Address::new(198, 51, 100, 7)),
+                dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, 10)),
+                protocol: IpProtocol::UDP,
+                src_port: 123,
+                dst_port: 40000,
+            },
+            bytes,
+            packets: bytes / 1400 + 1,
+        }
+    }
+
+    #[test]
+    fn end_to_end_signal_installs_rule_and_drops_attack() {
+        let mut sys = system();
+        let out = sys.member_signal(Asn(64500), victim(), &[StellarSignal::drop_udp_src(123)], 0);
+        assert!(out.rejections.is_empty(), "{:?}", out.rejections);
+        assert_eq!(out.queued_changes, 1);
+        assert_eq!(sys.active_rules(), 0); // not yet pumped
+        assert_eq!(sys.pump(0), 1);
+        assert_eq!(sys.active_rules(), 1);
+
+        let results = sys.traffic_tick(&[ntp_offer(1_000_000)], 1_000_000, 1_000_000);
+        let port = sys.ixp.member(Asn(64500)).unwrap().port;
+        assert_eq!(results[&port].counters.dropped_bytes, 1_000_000);
+        assert_eq!(results[&port].counters.forwarded_bytes, 0);
+
+        // Telemetry shows the discarded volume.
+        let t = sys.telemetry(&[1]);
+        assert_eq!(t[0].discarded_bytes, 1_000_000);
+    }
+
+    #[test]
+    fn withdraw_removes_rule_and_traffic_flows_again() {
+        let mut sys = system();
+        sys.member_signal(Asn(64500), victim(), &[StellarSignal::drop_udp_src(123)], 0);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 1);
+        let out = sys.member_withdraw(Asn(64500), victim(), 1_000_000);
+        assert_eq!(out.queued_changes, 1);
+        sys.pump(1_000_000);
+        assert_eq!(sys.active_rules(), 0);
+        let results = sys.traffic_tick(&[ntp_offer(500)], 2_000_000, 1_000_000);
+        let port = sys.ixp.member(Asn(64500)).unwrap().port;
+        assert_eq!(results[&port].counters.forwarded_bytes, 500);
+    }
+
+    #[test]
+    fn signal_for_unowned_prefix_is_rejected() {
+        let mut sys = system();
+        // 64501 does not own 100.10.10.0/24.
+        let out = sys.member_signal(Asn(64501), victim(), &[StellarSignal::drop_udp_src(123)], 0);
+        assert_eq!(out.queued_changes, 0);
+        assert!(!out.rejections.is_empty());
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 0);
+    }
+
+    #[test]
+    fn queue_rate_limits_installation() {
+        let mut sys = system();
+        // Signal five distinct rules at t=0 with a slow queue.
+        sys.queue = ConfigChangeQueue::production(1.0); // 1/s, MBS 2
+        let signals: Vec<StellarSignal> =
+            [123u16, 53, 389, 11211, 19].iter().map(|p| StellarSignal::drop_udp_src(*p)).collect();
+        let out = sys.member_signal(Asn(64500), victim(), &signals, 0);
+        assert_eq!(out.queued_changes, 5);
+        assert_eq!(sys.pump(0), 2); // MBS
+        assert_eq!(sys.pump(1_000_000), 1);
+        assert_eq!(sys.pump(2_000_000), 1);
+        assert_eq!(sys.pump(3_000_000), 1);
+        assert_eq!(sys.active_rules(), 5);
+    }
+
+    #[test]
+    fn shaping_signal_gives_telemetry_sample() {
+        let mut sys = system();
+        sys.member_signal(
+            Asn(64500),
+            victim(),
+            &[StellarSignal::shape_udp_src(123, 200)],
+            0,
+        );
+        sys.pump(0);
+        // 1 Gbps attack for one second into the 1 Gbps port.
+        let results = sys.traffic_tick(&[ntp_offer(125_000_000)], 1_000_000, 1_000_000);
+        let port = sys.ixp.member(Asn(64500)).unwrap().port;
+        let c = &results[&port].counters;
+        // ~200 Mbps passes as telemetry, the rest is shaped away.
+        assert!(c.shaped_bytes > 20_000_000 && c.shaped_bytes < 30_000_000);
+        assert!(c.shape_dropped_bytes > 90_000_000);
+    }
+}

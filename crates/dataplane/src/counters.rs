@@ -1,0 +1,104 @@
+//! Telemetry counters.
+//!
+//! Per-queue and per-rule counters are what turns Advanced Blackholing
+//! from an all-or-nothing drop into a mitigation with feedback: "traffic
+//! statistics about the discarded traffic should be made available to
+//! inform operational decisions" (§3.1, Telemetry).
+
+/// Byte/packet counters for one egress port, split by queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Bytes forwarded to the member.
+    pub forwarded_bytes: u64,
+    /// Packets forwarded to the member.
+    pub forwarded_packets: u64,
+    /// Bytes discarded by drop rules.
+    pub dropped_bytes: u64,
+    /// Packets discarded by drop rules.
+    pub dropped_packets: u64,
+    /// Bytes that entered a shaping queue and were passed on.
+    pub shaped_bytes: u64,
+    /// Bytes discarded by shaping queues (over the rate limit).
+    pub shape_dropped_bytes: u64,
+    /// Bytes lost to egress congestion (forwarding queue overflow) — the
+    /// collateral damage RTBH cannot avoid and Stellar prevents.
+    pub congestion_dropped_bytes: u64,
+}
+
+impl PortCounters {
+    /// Total bytes discarded for any reason.
+    pub fn total_discarded_bytes(&self) -> u64 {
+        self.dropped_bytes + self.shape_dropped_bytes + self.congestion_dropped_bytes
+    }
+
+    /// Adds another counter set into this one.
+    pub fn absorb(&mut self, o: &PortCounters) {
+        self.forwarded_bytes += o.forwarded_bytes;
+        self.forwarded_packets += o.forwarded_packets;
+        self.dropped_bytes += o.dropped_bytes;
+        self.dropped_packets += o.dropped_packets;
+        self.shaped_bytes += o.shaped_bytes;
+        self.shape_dropped_bytes += o.shape_dropped_bytes;
+        self.congestion_dropped_bytes += o.congestion_dropped_bytes;
+    }
+}
+
+/// Counters for one installed rule — the member-visible telemetry of a
+/// blackholing rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleCounters {
+    /// Bytes that matched the rule.
+    pub matched_bytes: u64,
+    /// Packets that matched the rule.
+    pub matched_packets: u64,
+    /// Of the matched bytes, how many were discarded.
+    pub discarded_bytes: u64,
+    /// Of the matched bytes, how many were passed on (shaped sample).
+    pub passed_bytes: u64,
+}
+
+impl RuleCounters {
+    /// Fraction of matched traffic that was discarded.
+    pub fn discard_ratio(&self) -> f64 {
+        if self.matched_bytes == 0 {
+            0.0
+        } else {
+            self.discarded_bytes as f64 / self.matched_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_all_fields() {
+        let mut a = PortCounters {
+            forwarded_bytes: 1,
+            forwarded_packets: 2,
+            dropped_bytes: 3,
+            dropped_packets: 4,
+            shaped_bytes: 5,
+            shape_dropped_bytes: 6,
+            congestion_dropped_bytes: 7,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.forwarded_bytes, 2);
+        assert_eq!(a.congestion_dropped_bytes, 14);
+        assert_eq!(a.total_discarded_bytes(), 6 + 12 + 14);
+    }
+
+    #[test]
+    fn discard_ratio_handles_zero() {
+        let r = RuleCounters::default();
+        assert_eq!(r.discard_ratio(), 0.0);
+        let r = RuleCounters {
+            matched_bytes: 100,
+            matched_packets: 1,
+            discarded_bytes: 75,
+            passed_bytes: 25,
+        };
+        assert!((r.discard_ratio() - 0.75).abs() < 1e-12);
+    }
+}

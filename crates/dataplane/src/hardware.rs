@@ -1,0 +1,107 @@
+//! The Hardware Information Base (§4.4): "Each network manager has access
+//! to a description of the hardware limitations via a hardware information
+//! base", so the configuration compiler "can ensure that the limitations
+//! are respected".
+
+/// Static description of one edge-router platform.
+#[derive(Debug, Clone)]
+pub struct HardwareInfoBase {
+    /// Number of member ports on the ER ("more than 350 member ports"
+    /// on L-IXP's densest ER, §5.1).
+    pub member_ports: u16,
+    /// Chip-wide pool of L3–L4 filter criteria (exhaustion ⇒ F1).
+    pub l34_criteria_pool: usize,
+    /// Chip-wide pool of MAC filter criteria (exhaustion ⇒ F2).
+    pub mac_filter_pool: usize,
+    /// Maximum QoS rules per port (vendor limit).
+    pub max_rules_per_port: usize,
+    /// CPU-seconds per rule update on the control plane.
+    pub cpu_cost_per_update_s: f64,
+    /// Baseline CPU fraction for configuration tasks.
+    pub cpu_baseline_fraction: f64,
+    /// Hard CPU cap for configuration tasks.
+    pub cpu_cap_fraction: f64,
+}
+
+impl HardwareInfoBase {
+    /// The production ER used in §5.1's lab evaluation, with TCAM pools
+    /// calibrated from Fig. 9 (see DESIGN.md):
+    ///
+    /// with P = 350 ports and N = 5 (95th percentile of parallel RTBHs per
+    /// port), the unique budgets consistent with all three adoption grids
+    /// are ≈1.9·P·N L3–L4 criteria and ≈5·P·N MAC filters.
+    pub fn production_er() -> Self {
+        let p = 350usize;
+        let n = 5usize;
+        HardwareInfoBase {
+            member_ports: p as u16,
+            l34_criteria_pool: (19 * p * n) / 10, // 1.9·P·N = 3325
+            mac_filter_pool: 5 * p * n,           // 5·P·N   = 8750
+            max_rules_per_port: 256,
+            cpu_cost_per_update_s: 0.03,
+            cpu_baseline_fraction: 0.02,
+            cpu_cap_fraction: 0.15,
+        }
+    }
+
+    /// A small lab switch for tests: tight limits that are easy to hit.
+    pub fn lab_switch() -> Self {
+        HardwareInfoBase {
+            member_ports: 8,
+            l34_criteria_pool: 64,
+            mac_filter_pool: 32,
+            max_rules_per_port: 8,
+            cpu_cost_per_update_s: 0.03,
+            cpu_baseline_fraction: 0.02,
+            cpu_cap_fraction: 0.15,
+        }
+    }
+
+    /// The control-plane CPU model for this platform.
+    pub fn cpu_model(&self) -> crate::cpu::ControlPlaneCpu {
+        crate::cpu::ControlPlaneCpu::new(
+            self.cpu_cost_per_update_s,
+            self.cpu_baseline_fraction,
+            self.cpu_cap_fraction,
+        )
+    }
+
+    /// The TCAM model for this platform.
+    pub fn tcam(&self) -> crate::tcam::Tcam {
+        crate::tcam::Tcam::new(self.l34_criteria_pool, self.mac_filter_pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_calibration_matches_design() {
+        let hib = HardwareInfoBase::production_er();
+        assert_eq!(hib.member_ports, 350);
+        assert_eq!(hib.l34_criteria_pool, 3325);
+        assert_eq!(hib.mac_filter_pool, 8750);
+        // Fig. 9 feasibility spot checks (P·N units; see DESIGN.md):
+        let pn = 350 * 5;
+        // 20% adoption, max load (10N MAC, 4N L3-L4): both fit.
+        assert!(2 * pn <= hib.mac_filter_pool);
+        assert!((8 * pn) / 10 <= hib.l34_criteria_pool);
+        // 60% adoption: 10N MAC exceeds, 8N fits.
+        assert!(6 * pn > hib.mac_filter_pool);
+        assert!((48 * pn) / 10 <= hib.mac_filter_pool);
+        // 100% adoption: 2N L3-L4 exceeds, N fits.
+        assert!(2 * pn > hib.l34_criteria_pool);
+        assert!(pn <= hib.l34_criteria_pool);
+    }
+
+    #[test]
+    fn derived_models_use_hib_parameters() {
+        let hib = HardwareInfoBase::production_er();
+        let cpu = hib.cpu_model();
+        assert!((cpu.max_update_rate() - 4.333).abs() < 0.01);
+        let tcam = hib.tcam();
+        assert_eq!(tcam.l34_free(), 3325);
+        assert_eq!(tcam.mac_free(), 8750);
+    }
+}

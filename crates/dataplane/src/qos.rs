@@ -1,0 +1,349 @@
+//! Per-port QoS policies (§4.5, Fig. 8): classification into the three
+//! queues — drop, shape, forward — applied on the IXP **egress** towards
+//! the member port.
+
+use crate::counters::{PortCounters, RuleCounters};
+use crate::filter::{Action, FilterRule};
+use crate::queue;
+use crate::shaper::TokenBucket;
+use std::collections::HashMap;
+use stellar_net::flow::FlowKey;
+
+/// One offered traffic aggregate within a tick.
+#[derive(Debug, Clone, Copy)]
+pub struct Offer {
+    /// Flow key.
+    pub key: FlowKey,
+    /// Bytes offered this tick.
+    pub bytes: u64,
+    /// Packets offered this tick.
+    pub packets: u64,
+}
+
+/// Result of pushing one tick of traffic through a port's policy.
+#[derive(Debug, Default)]
+pub struct TickResult {
+    /// Traffic delivered to the member: `(key, bytes, packets)`.
+    pub delivered: Vec<(FlowKey, u64, u64)>,
+    /// Counter deltas for this tick.
+    pub counters: PortCounters,
+}
+
+/// The QoS policy of one member port.
+#[derive(Debug, Default)]
+pub struct QosPolicy {
+    rules: Vec<FilterRule>,
+    shapers: HashMap<u64, TokenBucket>,
+    rule_counters: HashMap<u64, RuleCounters>,
+}
+
+/// Default burst allowance for shaping queues: one second at the shaping
+/// rate, so ticks up to 1 s see the full configured rate (the bucket
+/// starts empty, so this is a smoothing window, not a free burst).
+fn shaper_burst(rate_bps: u64) -> u64 {
+    (rate_bps / 8).max(1500)
+}
+
+impl QosPolicy {
+    /// An empty (forward-everything) policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a rule, replacing any rule with the same id.
+    pub fn install(&mut self, rule: FilterRule) {
+        self.remove(rule.id);
+        if let Action::Shape { rate_bps } = rule.action {
+            self.shapers
+                .insert(rule.id, TokenBucket::new(rate_bps, shaper_burst(rate_bps)));
+        }
+        self.rule_counters.entry(rule.id).or_default();
+        self.rules.push(rule);
+        // Stable order: priority, then id, so classification is
+        // deterministic.
+        self.rules.sort_by_key(|r| (r.priority, r.id));
+    }
+
+    /// Removes a rule by id. Returns true if it existed.
+    pub fn remove(&mut self, rule_id: u64) -> bool {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.id != rule_id);
+        self.shapers.remove(&rule_id);
+        before != self.rules.len()
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The installed rules in evaluation order.
+    pub fn rules(&self) -> &[FilterRule] {
+        &self.rules
+    }
+
+    /// Telemetry counters for a rule.
+    pub fn rule_counters(&self, rule_id: u64) -> Option<&RuleCounters> {
+        self.rule_counters.get(&rule_id)
+    }
+
+    /// First matching rule for a key, if any.
+    pub fn classify(&self, key: &FlowKey) -> Option<&FilterRule> {
+        self.rules.iter().find(|r| r.spec.matches(key))
+    }
+
+    /// Pushes one tick of offered aggregates through the policy.
+    /// `tick_end_us` clocks the shapers; `tick_us` is the tick duration;
+    /// `capacity_bps` is the member port capacity.
+    pub fn apply_tick(
+        &mut self,
+        offers: &[Offer],
+        tick_end_us: u64,
+        tick_us: u64,
+        capacity_bps: u64,
+    ) -> TickResult {
+        let mut result = TickResult::default();
+        // Phase 1: classification into drop / shape / forward. Offers
+        // matching the same shaping rule are grouped so the shaped rate
+        // is shared proportionally across flows within the tick — a real
+        // shaping queue lets every contending flow keep a share, which is
+        // why "the number of peers remains constant" while shaping
+        // (§5.3).
+        let mut to_forward: Vec<(FlowKey, u64, u64)> = Vec::new();
+        let mut shape_groups: HashMap<u64, Vec<(FlowKey, u64, u64)>> = HashMap::new();
+        for offer in offers {
+            let rule = self.rules.iter().find(|r| r.spec.matches(&offer.key));
+            match rule.map(|r| (r.id, r.action)) {
+                Some((id, Action::Drop)) => {
+                    result.counters.dropped_bytes += offer.bytes;
+                    result.counters.dropped_packets += offer.packets;
+                    let rc = self.rule_counters.entry(id).or_default();
+                    rc.matched_bytes += offer.bytes;
+                    rc.matched_packets += offer.packets;
+                    rc.discarded_bytes += offer.bytes;
+                }
+                Some((id, Action::Shape { .. })) => {
+                    shape_groups
+                        .entry(id)
+                        .or_default()
+                        .push((offer.key, offer.bytes, offer.packets));
+                }
+                Some((id, Action::Forward)) => {
+                    let rc = self.rule_counters.entry(id).or_default();
+                    rc.matched_bytes += offer.bytes;
+                    rc.matched_packets += offer.packets;
+                    rc.passed_bytes += offer.bytes;
+                    to_forward.push((offer.key, offer.bytes, offer.packets));
+                }
+                None => to_forward.push((offer.key, offer.bytes, offer.packets)),
+            }
+        }
+        // Sort groups by rule id so the tick result is deterministic
+        // regardless of hash order.
+        let mut shape_ids: Vec<u64> = shape_groups.keys().copied().collect();
+        shape_ids.sort_unstable();
+        for id in shape_ids {
+            let group = shape_groups.remove(&id).expect("key exists");
+            let total: u64 = group.iter().map(|(_, b, _)| b).sum();
+            let shaper = self.shapers.get_mut(&id).expect("shaper exists for rule");
+            let admitted_total = shaper.admit(total, tick_end_us);
+            let byte_offers: Vec<u64> = group.iter().map(|(_, b, _)| *b).collect();
+            let split = queue::drain_proportional(&byte_offers, admitted_total);
+            let rc = self.rule_counters.entry(id).or_default();
+            rc.matched_bytes += total;
+            rc.matched_packets += group.iter().map(|(_, _, p)| p).sum::<u64>();
+            rc.discarded_bytes += total - admitted_total;
+            rc.passed_bytes += admitted_total;
+            result.counters.shaped_bytes += admitted_total;
+            result.counters.shape_dropped_bytes += total - admitted_total;
+            for ((key, bytes, packets), (fwd, _dropped)) in group.into_iter().zip(split) {
+                if fwd > 0 {
+                    let pkts = if bytes == 0 { 0 } else { (packets * fwd / bytes).max(1) };
+                    to_forward.push((key, fwd, pkts));
+                }
+            }
+        }
+        // Phase 2: the forwarding queue at port capacity.
+        let budget = queue::capacity_bytes(capacity_bps, tick_us);
+        let byte_offers: Vec<u64> = to_forward.iter().map(|(_, b, _)| *b).collect();
+        let drained = queue::drain_proportional(&byte_offers, budget);
+        for ((key, bytes, packets), (fwd, dropped)) in to_forward.into_iter().zip(drained) {
+            if fwd > 0 {
+                let pkts = if bytes == 0 { 0 } else { (packets * fwd / bytes).max(1) };
+                result.counters.forwarded_bytes += fwd;
+                result.counters.forwarded_packets += pkts;
+                result.delivered.push((key, fwd, pkts));
+            }
+            result.counters.congestion_dropped_bytes += dropped;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{MatchSpec, PortMatch};
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::mac::MacAddr;
+    use stellar_net::ports;
+    use stellar_net::proto::IpProtocol;
+
+    fn key(src_port: u16) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(64500, 1),
+            dst_mac: MacAddr::for_member(64501, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
+            dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, 10)),
+            protocol: IpProtocol::UDP,
+            src_port,
+            dst_port: 443,
+        }
+    }
+
+    fn ntp_drop_rule(id: u64) -> FilterRule {
+        FilterRule::new(
+            id,
+            MatchSpec::proto_src_port_to(
+                "100.10.10.10/32".parse().unwrap(),
+                IpProtocol::UDP,
+                ports::NTP,
+            ),
+            Action::Drop,
+            10,
+        )
+    }
+
+    #[test]
+    fn empty_policy_forwards_up_to_capacity() {
+        let mut p = QosPolicy::new();
+        let offers = [Offer {
+            key: key(443),
+            bytes: 1000,
+            packets: 2,
+        }];
+        let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
+        assert_eq!(r.delivered.len(), 1);
+        assert_eq!(r.counters.forwarded_bytes, 1000);
+        assert_eq!(r.counters.total_discarded_bytes(), 0);
+    }
+
+    #[test]
+    fn drop_rule_removes_matching_traffic_only() {
+        let mut p = QosPolicy::new();
+        p.install(ntp_drop_rule(1));
+        let offers = [
+            Offer { key: key(ports::NTP), bytes: 10_000, packets: 10 },
+            Offer { key: key(ports::HTTPS), bytes: 5_000, packets: 5 },
+        ];
+        let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
+        assert_eq!(r.counters.dropped_bytes, 10_000);
+        assert_eq!(r.counters.forwarded_bytes, 5_000);
+        assert_eq!(r.delivered.len(), 1);
+        assert_eq!(r.delivered[0].0.src_port, ports::HTTPS);
+        let rc = p.rule_counters(1).unwrap();
+        assert_eq!(rc.matched_bytes, 10_000);
+        assert_eq!(rc.discard_ratio(), 1.0);
+    }
+
+    #[test]
+    fn shape_rule_limits_matching_traffic() {
+        let mut p = QosPolicy::new();
+        p.install(FilterRule::new(
+            2,
+            MatchSpec::proto_src_port_to(
+                "100.10.10.10/32".parse().unwrap(),
+                IpProtocol::UDP,
+                ports::NTP,
+            ),
+            Action::Shape { rate_bps: 200_000_000 },
+            10,
+        ));
+        // Offer 1 Gbps of NTP for 5 seconds in 100 ms ticks.
+        let mut shaped_total = 0u64;
+        for tick in 1..=50u64 {
+            let offers = [Offer { key: key(ports::NTP), bytes: 12_500_000, packets: 8900 }];
+            let r = p.apply_tick(&offers, tick * 100_000, 100_000, 10_000_000_000);
+            shaped_total += r.counters.shaped_bytes;
+        }
+        let rate = shaped_total as f64 * 8.0 / 5.0;
+        assert!((rate - 200e6).abs() / 200e6 < 0.1, "rate {rate}");
+        let rc = p.rule_counters(2).unwrap();
+        assert!(rc.discard_ratio() > 0.7);
+        assert!(rc.passed_bytes > 0);
+    }
+
+    #[test]
+    fn congestion_drops_when_port_overloaded() {
+        let mut p = QosPolicy::new();
+        // 10 Gbps offered into a 1 Gbps port for one 1 s tick.
+        let offers = [Offer { key: key(ports::HTTPS), bytes: 1_250_000_000, packets: 1_000_000 }];
+        let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
+        assert_eq!(r.counters.forwarded_bytes, 125_000_000);
+        assert_eq!(r.counters.congestion_dropped_bytes, 1_125_000_000);
+    }
+
+    #[test]
+    fn priority_orders_rule_evaluation() {
+        let mut p = QosPolicy::new();
+        // A forward rule at higher priority shields NTP from the drop rule.
+        p.install(ntp_drop_rule(1));
+        p.install(FilterRule::new(
+            2,
+            MatchSpec::proto_src_port_to(
+                "100.10.10.10/32".parse().unwrap(),
+                IpProtocol::UDP,
+                ports::NTP,
+            ),
+            Action::Forward,
+            5,
+        ));
+        let got = p.classify(&key(ports::NTP)).unwrap();
+        assert_eq!(got.id, 2);
+        let offers = [Offer { key: key(ports::NTP), bytes: 100, packets: 1 }];
+        let r = p.apply_tick(&offers, 1, 1_000_000, 1_000_000_000);
+        assert_eq!(r.counters.forwarded_bytes, 100);
+        assert_eq!(r.counters.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn install_replaces_same_id_and_remove_works() {
+        let mut p = QosPolicy::new();
+        p.install(ntp_drop_rule(7));
+        p.install(FilterRule::new(
+            7,
+            MatchSpec::to_destination("100.10.10.10/32".parse().unwrap()),
+            Action::Forward,
+            1,
+        ));
+        assert_eq!(p.rule_count(), 1);
+        assert!(p.remove(7));
+        assert!(!p.remove(7));
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn shaped_and_forwarded_share_port_capacity() {
+        let mut p = QosPolicy::new();
+        p.install(FilterRule::new(
+            3,
+            MatchSpec {
+                src_port: Some(PortMatch::Exact(ports::NTP)),
+                protocol: Some(IpProtocol::UDP),
+                ..Default::default()
+            },
+            Action::Shape { rate_bps: 800_000_000 },
+            10,
+        ));
+        // 1 Gbps NTP (shaped to 800 Mbps) + 600 Mbps web into a 1 Gbps
+        // port: forwarding queue must congest.
+        let offers = [
+            Offer { key: key(ports::NTP), bytes: 125_000_000, packets: 10_000 },
+            Offer { key: key(ports::HTTPS), bytes: 75_000_000, packets: 7_000 },
+        ];
+        let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
+        assert!(r.counters.congestion_dropped_bytes > 0);
+        let total_delivered: u64 = r.delivered.iter().map(|(_, b, _)| b).sum();
+        assert!(total_delivered <= 125_000_000);
+    }
+}

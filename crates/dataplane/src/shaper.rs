@@ -1,0 +1,198 @@
+//! Token-bucket shaping, used both for the shaping queue of the QoS
+//! policy (Fig. 8: "Variable shaping rate") and by the blackholing
+//! manager's configuration-change queue (§4.4).
+
+/// A byte-accounting token bucket: sustained rate `rate_bps` with a burst
+/// allowance of `burst_bytes`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: u64,
+    tokens: f64,
+    last_us: u64,
+}
+
+impl TokenBucket {
+    /// Creates an empty bucket: shaping starts enforcing immediately
+    /// rather than granting a free initial burst. `burst_bytes` must be at
+    /// least one batching interval's worth of rate, or batch-mode callers
+    /// will see less than the configured rate.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens: 0.0,
+            last_us: 0,
+        }
+    }
+
+    /// The configured sustained rate.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// The configured maximum burst size in bytes.
+    pub fn burst_bytes(&self) -> u64 {
+        self.burst_bytes
+    }
+
+    /// Changes the rate (a Stellar rule update can retune the shaper
+    /// without resetting accumulated tokens beyond the burst cap).
+    pub fn set_rate(&mut self, rate_bps: u64) {
+        self.rate_bps = rate_bps;
+    }
+
+    fn refill(&mut self, now_us: u64) {
+        debug_assert!(now_us >= self.last_us, "time must not go backwards");
+        let dt_s = (now_us - self.last_us) as f64 / 1e6;
+        self.tokens =
+            (self.tokens + dt_s * self.rate_bps as f64 / 8.0).min(self.burst_bytes as f64);
+        self.last_us = now_us;
+    }
+
+    /// Offers `bytes` at time `now_us`; returns how many are admitted
+    /// (the rest are dropped by the shaping queue — its backlog is bounded
+    /// and the emulation treats overflow as loss, which is what a congested
+    /// shaper converges to).
+    pub fn admit(&mut self, bytes: u64, now_us: u64) -> u64 {
+        self.refill(now_us);
+        let admitted = (bytes as f64).min(self.tokens);
+        self.tokens -= admitted;
+        admitted.floor() as u64
+    }
+
+    /// Tokens currently available (bytes).
+    pub fn available(&mut self, now_us: u64) -> u64 {
+        self.refill(now_us);
+        self.tokens.floor() as u64
+    }
+}
+
+/// A discrete-work token bucket (units instead of bytes) used by the
+/// blackholing controller's configuration-change queue: a configurable
+/// Maximum Burst Size and a long-term rate that "is never exceeded" (§4.4).
+#[derive(Debug, Clone)]
+pub struct WorkBucket {
+    rate_per_s: f64,
+    max_burst: u32,
+    tokens: f64,
+    last_us: u64,
+}
+
+impl WorkBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(rate_per_s: f64, max_burst: u32) -> Self {
+        WorkBucket {
+            rate_per_s,
+            max_burst,
+            tokens: max_burst as f64,
+            last_us: 0,
+        }
+    }
+
+    /// Tries to take one unit of work at `now_us`.
+    ///
+    /// Carryover between polls is clamped at the MBS, but the refill for
+    /// the elapsed interval is granted in full — so a caller polling the
+    /// queue every second at rate 4/s drains 4 per poll, not MBS per
+    /// poll. Instantaneous bursts are bounded by `MBS + rate × gap`.
+    pub fn try_take(&mut self, now_us: u64) -> bool {
+        debug_assert!(now_us >= self.last_us);
+        if now_us > self.last_us {
+            let dt_s = (now_us - self.last_us) as f64 / 1e6;
+            self.tokens = self.tokens.min(self.max_burst as f64) + dt_s * self.rate_per_s;
+            self.last_us = now_us;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The configured long-term rate.
+    pub fn rate_per_s(&self) -> f64 {
+        self.rate_per_s
+    }
+
+    /// The configured maximum burst size.
+    pub fn max_burst(&self) -> u32 {
+        self.max_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sustained_rate_is_respected() {
+        // 200 Mbps shaper (the telemetry rate of Fig. 10c), zero burst
+        // headroom beyond one tick's worth.
+        let mut tb = TokenBucket::new(200_000_000, 25_000_000 / 10);
+        let mut admitted = 0u64;
+        // Offer 1 Gbps for 10 seconds in 100 ms ticks.
+        for tick in 1..=100u64 {
+            let now = tick * 100_000;
+            admitted += tb.admit(12_500_000, now); // 1 Gbps * 100 ms = 12.5 MB
+        }
+        let rate = admitted as f64 * 8.0 / 10.0;
+        assert!(
+            (rate - 200e6).abs() / 200e6 < 0.05,
+            "shaped rate {rate} not ~200 Mbps"
+        );
+    }
+
+    #[test]
+    fn under_offered_traffic_passes_untouched() {
+        let mut tb = TokenBucket::new(1_000_000_000, 12_500_000);
+        for tick in 1..=50u64 {
+            let now = tick * 100_000;
+            // Offer 100 Mbps against a 1 Gbps shaper.
+            let admitted = tb.admit(1_250_000, now);
+            assert_eq!(admitted, 1_250_000);
+        }
+    }
+
+    #[test]
+    fn burst_is_bounded() {
+        let mut tb = TokenBucket::new(8_000, 1_000); // 1 KB/s, 1 KB burst
+        // After a long idle period the bucket holds exactly the burst.
+        assert_eq!(tb.available(1_000_000_000), 1_000);
+        assert_eq!(tb.admit(5_000, 1_000_000_000), 1_000);
+        assert_eq!(tb.admit(5_000, 1_000_000_000), 0);
+    }
+
+    #[test]
+    fn rate_can_be_retuned() {
+        let mut tb = TokenBucket::new(8_000, 1_000);
+        tb.admit(10_000, 1); // drain
+        tb.set_rate(80_000); // 10 KB/s
+        let got = tb.admit(10_000, 1 + 100_000); // 100 ms later
+        assert!((900..=1000).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn work_bucket_enforces_rate_and_burst() {
+        // 4 updates/s, MBS 2 (the Fig. 10b configuration at 4/s).
+        let mut wb = WorkBucket::new(4.0, 2);
+        // Initial burst of 2 is available immediately.
+        assert!(wb.try_take(0));
+        assert!(wb.try_take(0));
+        assert!(!wb.try_take(0));
+        // After 250 ms exactly one more token.
+        assert!(wb.try_take(250_000));
+        assert!(!wb.try_take(250_001));
+        // Long-term: over 10 s at most 2 + 40 takes succeed.
+        let mut wb = WorkBucket::new(4.0, 2);
+        let mut ok = 0;
+        for ms in 0..10_000u64 {
+            if wb.try_take(ms * 1000) {
+                ok += 1;
+            }
+        }
+        assert!(ok <= 42, "{ok} > rate*time + burst");
+        assert!(ok >= 40);
+    }
+}

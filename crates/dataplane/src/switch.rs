@@ -1,0 +1,471 @@
+//! The edge router: member ports + TCAM + control-plane CPU.
+//!
+//! IXPs "often deploy routers but configure them to act as switches"
+//! (§5.1 fn. 5): the ER forwards on L2 (destination MAC → member port)
+//! while its QoS machinery implements Stellar's filtering layer.
+
+use crate::cpu::ControlPlaneCpu;
+use crate::filter::FilterRule;
+use crate::hardware::HardwareInfoBase;
+use crate::port::MemberPort;
+use crate::qos::{Offer, TickResult};
+use crate::tcam::{Tcam, TcamHandle, TcamVerdict};
+use std::collections::{BTreeMap, HashMap};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::packet::Packet;
+
+/// Identifies a member port on the ER.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u16);
+
+/// One tick's worth of traffic belonging to one flow.
+#[derive(Debug, Clone, Copy)]
+pub struct OfferedAggregate {
+    /// Flow key; `dst_mac` selects the egress port.
+    pub key: FlowKey,
+    /// Bytes in this tick.
+    pub bytes: u64,
+    /// Packets in this tick.
+    pub packets: u64,
+}
+
+/// Errors installing a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallError {
+    /// No such port.
+    NoSuchPort,
+    /// The vendor's per-port rule limit would be exceeded.
+    PerPortLimit,
+    /// TCAM exhaustion (F1/F2, Fig. 9).
+    Tcam(TcamVerdict),
+}
+
+/// Fate of a single packet on the functional path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketVerdict {
+    /// Delivered to the member on this port.
+    Delivered(PortId),
+    /// Discarded by a drop rule.
+    Dropped,
+    /// Queued behind a shaping rule (per-packet path reports the match;
+    /// rate enforcement happens on the aggregate path).
+    Shaped(PortId),
+    /// No port knows this destination MAC.
+    Unroutable,
+}
+
+/// The edge router.
+#[derive(Debug)]
+pub struct EdgeRouter {
+    hib: HardwareInfoBase,
+    ports: BTreeMap<PortId, MemberPort>,
+    mac_to_port: HashMap<MacAddr, PortId>,
+    tcam: Tcam,
+    cpu: ControlPlaneCpu,
+    handles: HashMap<(PortId, u64), TcamHandle>,
+}
+
+impl EdgeRouter {
+    /// Creates an ER from a hardware description.
+    pub fn new(hib: HardwareInfoBase) -> Self {
+        let tcam = hib.tcam();
+        let cpu = hib.cpu_model();
+        EdgeRouter {
+            hib,
+            ports: BTreeMap::new(),
+            mac_to_port: HashMap::new(),
+            tcam,
+            cpu,
+            handles: HashMap::new(),
+        }
+    }
+
+    /// Adds a member port. Panics if the port id is taken (topology bug).
+    pub fn add_port(&mut self, id: PortId, port: MemberPort) {
+        assert!(
+            !self.ports.contains_key(&id),
+            "duplicate port id {id:?} in topology"
+        );
+        self.mac_to_port.insert(port.mac, id);
+        self.ports.insert(id, port);
+    }
+
+    /// The port a MAC address is attached to.
+    pub fn port_of_mac(&self, mac: MacAddr) -> Option<PortId> {
+        self.mac_to_port.get(&mac).copied()
+    }
+
+    /// Immutable access to a port.
+    pub fn port(&self, id: PortId) -> Option<&MemberPort> {
+        self.ports.get(&id)
+    }
+
+    /// Mutable access to a port.
+    pub fn port_mut(&mut self, id: PortId) -> Option<&mut MemberPort> {
+        self.ports.get_mut(&id)
+    }
+
+    /// Iterates over all ports.
+    pub fn ports(&self) -> impl Iterator<Item = (&PortId, &MemberPort)> {
+        self.ports.iter()
+    }
+
+    /// The TCAM (read access for scaling experiments).
+    pub fn tcam(&self) -> &Tcam {
+        self.tcam_ref()
+    }
+
+    fn tcam_ref(&self) -> &Tcam {
+        &self.tcam
+    }
+
+    /// The control-plane CPU model.
+    pub fn cpu_mut(&mut self) -> &mut ControlPlaneCpu {
+        &mut self.cpu
+    }
+
+    /// Installs a rule on a port's egress policy, charging TCAM and CPU.
+    /// All-or-nothing: on any failure neither the TCAM nor the policy is
+    /// modified.
+    pub fn install_rule(
+        &mut self,
+        port_id: PortId,
+        rule: FilterRule,
+        now_us: u64,
+    ) -> Result<(), InstallError> {
+        let port = self.ports.get(&port_id).ok_or(InstallError::NoSuchPort)?;
+        let replacing = self.handles.contains_key(&(port_id, rule.id));
+        if !replacing && port.policy.rule_count() >= self.hib.max_rules_per_port {
+            return Err(InstallError::PerPortLimit);
+        }
+        // Release the old allocation first when replacing, so retuning a
+        // rule never double-charges the TCAM.
+        if let Some(old) = self.handles.remove(&(port_id, rule.id)) {
+            self.tcam.free(old);
+        }
+        let handle = self.tcam.alloc(&rule.spec).map_err(InstallError::Tcam)?;
+        self.handles.insert((port_id, rule.id), handle);
+        self.ports
+            .get_mut(&port_id)
+            .expect("port existence checked")
+            .policy
+            .install(rule);
+        self.cpu.record_update(now_us);
+        Ok(())
+    }
+
+    /// Removes a rule, releasing its TCAM allocation.
+    pub fn remove_rule(&mut self, port_id: PortId, rule_id: u64, now_us: u64) -> bool {
+        let Some(port) = self.ports.get_mut(&port_id) else {
+            return false;
+        };
+        let removed = port.policy.remove(rule_id);
+        if removed {
+            if let Some(h) = self.handles.remove(&(port_id, rule_id)) {
+                self.tcam.free(h);
+            }
+            self.cpu.record_update(now_us);
+        }
+        removed
+    }
+
+    /// Removes every rule on a port (fallback-to-forwarding resilience,
+    /// §4.1.2). Returns how many rules were removed.
+    pub fn flush_port(&mut self, port_id: PortId, now_us: u64) -> usize {
+        let Some(port) = self.ports.get_mut(&port_id) else {
+            return 0;
+        };
+        let ids: Vec<u64> = port.policy.rules().iter().map(|r| r.id).collect();
+        for id in &ids {
+            port.policy.remove(*id);
+            if let Some(h) = self.handles.remove(&(port_id, *id)) {
+                self.tcam.free(h);
+            }
+        }
+        if !ids.is_empty() {
+            self.cpu.record_update(now_us);
+        }
+        ids.len()
+    }
+
+    /// Pushes one tick of traffic through the fabric. Aggregates are
+    /// routed to their destination-MAC port and pushed through that port's
+    /// egress policy. Returns per-port results.
+    pub fn process_tick(
+        &mut self,
+        offers: &[OfferedAggregate],
+        tick_end_us: u64,
+        tick_us: u64,
+    ) -> BTreeMap<PortId, TickResult> {
+        let mut per_port: BTreeMap<PortId, Vec<Offer>> = BTreeMap::new();
+        for o in offers {
+            if let Some(pid) = self.mac_to_port.get(&o.key.dst_mac) {
+                per_port.entry(*pid).or_default().push(Offer {
+                    key: o.key,
+                    bytes: o.bytes,
+                    packets: o.packets,
+                });
+            }
+            // Unroutable aggregates vanish (no port = no delivery), as on
+            // a real fabric with no FDB entry and unicast flooding off.
+        }
+        let mut results = BTreeMap::new();
+        for (pid, offers) in per_port {
+            let port = self.ports.get_mut(&pid).expect("port exists");
+            results.insert(pid, port.process_tick(&offers, tick_end_us, tick_us));
+        }
+        results
+    }
+
+    /// Functional per-packet path (§5.2): decodes real wire bytes,
+    /// classifies them against the egress port's policy, and reports the
+    /// packet's fate.
+    pub fn process_packet(&self, wire: &[u8]) -> Result<PacketVerdict, stellar_net::NetError> {
+        let packet = Packet::decode(wire)?;
+        let key = packet.flow_key();
+        let Some(pid) = self.mac_to_port.get(&key.dst_mac) else {
+            return Ok(PacketVerdict::Unroutable);
+        };
+        let port = self.ports.get(pid).expect("port exists");
+        match port.policy.classify(&key).map(|r| r.action) {
+            Some(crate::filter::Action::Drop) => Ok(PacketVerdict::Dropped),
+            Some(crate::filter::Action::Shape { .. }) => Ok(PacketVerdict::Shaped(*pid)),
+            _ => Ok(PacketVerdict::Delivered(*pid)),
+        }
+    }
+
+    /// Total rules installed across all ports.
+    pub fn total_rules(&self) -> usize {
+        self.ports.values().map(|p| p.policy.rule_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{Action, MatchSpec};
+    use stellar_net::addr::Ipv4Address;
+    use stellar_net::proto::IpProtocol;
+
+    fn router_with_two_ports() -> EdgeRouter {
+        let mut er = EdgeRouter::new(HardwareInfoBase::lab_switch());
+        er.add_port(
+            PortId(1),
+            MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
+        );
+        er.add_port(
+            PortId(2),
+            MemberPort::new(64501, MacAddr::for_member(64501, 1), 10_000_000_000),
+        );
+        er
+    }
+
+    fn ntp_flow(dst_member: u32, bytes: u64) -> OfferedAggregate {
+        OfferedAggregate {
+            key: FlowKey {
+                src_mac: MacAddr::for_member(64502, 1),
+                dst_mac: MacAddr::for_member(dst_member, 1),
+                src_ip: stellar_net::addr::IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
+                dst_ip: stellar_net::addr::IpAddress::V4(Ipv4Address::new(100, 10, 10, 10)),
+                protocol: IpProtocol::UDP,
+                src_port: 123,
+                dst_port: 44444,
+            },
+            bytes,
+            packets: bytes / 1000 + 1,
+        }
+    }
+
+    #[test]
+    fn traffic_routes_to_destination_port() {
+        let mut er = router_with_two_ports();
+        let res = er.process_tick(&[ntp_flow(64500, 1000), ntp_flow(64501, 2000)], 1_000_000, 1_000_000);
+        assert_eq!(res[&PortId(1)].counters.forwarded_bytes, 1000);
+        assert_eq!(res[&PortId(2)].counters.forwarded_bytes, 2000);
+        // Unroutable destination disappears.
+        let res = er.process_tick(&[ntp_flow(9999, 500)], 2_000_000, 1_000_000);
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn install_rule_charges_tcam_and_cpu() {
+        let mut er = router_with_two_ports();
+        let rule = FilterRule::new(
+            1,
+            MatchSpec::proto_src_port_to("100.10.10.10/32".parse().unwrap(), IpProtocol::UDP, 123),
+            Action::Drop,
+            10,
+        );
+        er.install_rule(PortId(1), rule.clone(), 0).unwrap();
+        assert_eq!(er.tcam().l34_used(), 3);
+        assert_eq!(er.total_rules(), 1);
+        let res = er.process_tick(&[ntp_flow(64500, 1000)], 1_000_000, 1_000_000);
+        assert_eq!(res[&PortId(1)].counters.dropped_bytes, 1000);
+        assert!(er.remove_rule(PortId(1), 1, 2));
+        assert_eq!(er.tcam().l34_used(), 0);
+        let (rate, _) = er.cpu_mut().sample_window(5_000_000);
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn replacing_a_rule_does_not_leak_tcam() {
+        let mut er = router_with_two_ports();
+        let mk = |rate| {
+            FilterRule::new(
+                1,
+                MatchSpec::proto_src_port_to(
+                    "100.10.10.10/32".parse().unwrap(),
+                    IpProtocol::UDP,
+                    123,
+                ),
+                Action::Shape { rate_bps: rate },
+                10,
+            )
+        };
+        er.install_rule(PortId(1), mk(200_000_000), 0).unwrap();
+        let used = er.tcam().l34_used();
+        er.install_rule(PortId(1), mk(100_000_000), 1).unwrap();
+        assert_eq!(er.tcam().l34_used(), used);
+        assert_eq!(er.total_rules(), 1);
+    }
+
+    #[test]
+    fn per_port_limit_is_enforced() {
+        let mut er = router_with_two_ports(); // lab: 8 rules/port
+        for i in 0..8u64 {
+            let rule = FilterRule::new(
+                i,
+                MatchSpec::proto_src_port_to(
+                    "100.10.10.10/32".parse().unwrap(),
+                    IpProtocol::UDP,
+                    i as u16,
+                ),
+                Action::Drop,
+                10,
+            );
+            er.install_rule(PortId(1), rule, 0).unwrap();
+        }
+        let extra = FilterRule::new(
+            99,
+            MatchSpec::to_destination("100.10.10.10/32".parse().unwrap()),
+            Action::Drop,
+            10,
+        );
+        assert_eq!(
+            er.install_rule(PortId(1), extra, 0),
+            Err(InstallError::PerPortLimit)
+        );
+    }
+
+    #[test]
+    fn tcam_exhaustion_fails_and_rolls_back() {
+        let mut er = router_with_two_ports(); // lab: 64 L3-L4 criteria
+        let mut installed = 0;
+        // Rules with 5 L3-L4 criteria each across the two ports.
+        'outer: for port in [PortId(1), PortId(2)] {
+            for i in 0..8u64 {
+                let rule = FilterRule::new(
+                    1000 + installed as u64 * 10 + i,
+                    MatchSpec {
+                        src_ip: Some("203.0.113.0/24".parse().unwrap()),
+                        dst_ip: Some("100.10.10.10/32".parse().unwrap()),
+                        protocol: Some(IpProtocol::UDP),
+                        src_port: Some(crate::filter::PortMatch::Exact(i as u16)),
+                        dst_port: Some(crate::filter::PortMatch::Exact(443)),
+                        ..Default::default()
+                    },
+                    Action::Drop,
+                    10,
+                );
+                match er.install_rule(port, rule, 0) {
+                    Ok(()) => installed += 1,
+                    Err(InstallError::Tcam(TcamVerdict::F1)) => break 'outer,
+                    Err(e) => panic!("unexpected error {e:?}"),
+                }
+            }
+        }
+        assert_eq!(installed, 12); // 64 / 5 = 12 rules fit
+        assert_eq!(er.total_rules(), 12);
+        assert_eq!(er.tcam().l34_used(), 60);
+    }
+
+    #[test]
+    fn flush_port_releases_everything() {
+        let mut er = router_with_two_ports();
+        for i in 0..4u64 {
+            let rule = FilterRule::new(
+                i,
+                MatchSpec::proto_src_port_to(
+                    "100.10.10.10/32".parse().unwrap(),
+                    IpProtocol::UDP,
+                    i as u16,
+                ),
+                Action::Drop,
+                10,
+            );
+            er.install_rule(PortId(1), rule, 0).unwrap();
+        }
+        assert_eq!(er.flush_port(PortId(1), 1), 4);
+        assert_eq!(er.total_rules(), 0);
+        assert_eq!(er.tcam().l34_used(), 0);
+        assert_eq!(er.flush_port(PortId(1), 2), 0);
+    }
+
+    #[test]
+    fn per_packet_path_agrees_with_policy() {
+        let mut er = router_with_two_ports();
+        er.install_rule(
+            PortId(1),
+            FilterRule::new(
+                1,
+                MatchSpec::proto_src_port_to(
+                    "100.10.10.10/32".parse().unwrap(),
+                    IpProtocol::UDP,
+                    123,
+                ),
+                Action::Drop,
+                10,
+            ),
+            0,
+        )
+        .unwrap();
+        let ntp = Packet::udp_v4(
+            MacAddr::for_member(64502, 1),
+            MacAddr::for_member(64500, 1),
+            Ipv4Address::new(203, 0, 113, 7),
+            Ipv4Address::new(100, 10, 10, 10),
+            123,
+            44444,
+            vec![0; 64],
+        );
+        assert_eq!(er.process_packet(&ntp.encode()).unwrap(), PacketVerdict::Dropped);
+        let https = Packet::tcp_v4(
+            MacAddr::for_member(64502, 1),
+            MacAddr::for_member(64500, 1),
+            Ipv4Address::new(198, 51, 100, 1),
+            Ipv4Address::new(100, 10, 10, 10),
+            51000,
+            443,
+            stellar_net::tcp::TcpFlags::SYN,
+            vec![],
+        );
+        assert_eq!(
+            er.process_packet(&https.encode()).unwrap(),
+            PacketVerdict::Delivered(PortId(1))
+        );
+        let unroutable = Packet::udp_v4(
+            MacAddr::for_member(64502, 1),
+            MacAddr::for_member(7777, 1),
+            Ipv4Address::new(1, 1, 1, 1),
+            Ipv4Address::new(2, 2, 2, 2),
+            1,
+            2,
+            vec![],
+        );
+        assert_eq!(
+            er.process_packet(&unroutable.encode()).unwrap(),
+            PacketVerdict::Unroutable
+        );
+    }
+}

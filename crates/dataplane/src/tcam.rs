@@ -1,0 +1,226 @@
+//! The TCAM resource model (§5.1).
+//!
+//! "The TCAM is used to implement matching header information in hardware.
+//! Its size and update behavior constitute the main resource bottleneck of
+//! Stellar." The model exposes the two exhaustion modes of Fig. 9:
+//!
+//! - **F1** — the chip-wide pool of L3–L4 filter criteria for QoS policies
+//!   is exceeded;
+//! - **F2** — the pool of MAC (L2) filters is exceeded. The pool is shared
+//!   by all ports of the edge router, which is why "an increased adoption
+//!   rate leads to less available filters per port" (Fig. 9 caption).
+//!
+//! When both pools would be exceeded the paper's grids report F1; the
+//! model checks F1 first to match.
+
+use crate::filter::MatchSpec;
+use std::collections::HashMap;
+
+/// Outcome of a feasibility check or allocation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcamVerdict {
+    /// Sufficient resources.
+    Ok,
+    /// L3–L4 criteria pool exceeded.
+    F1,
+    /// MAC filter pool exceeded.
+    F2,
+}
+
+impl TcamVerdict {
+    /// The label used in Fig. 9's grids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TcamVerdict::Ok => "OK",
+            TcamVerdict::F1 => "F1",
+            TcamVerdict::F2 => "F2",
+        }
+    }
+}
+
+/// Identifier of an allocation, used to free it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcamHandle(u64);
+
+/// The TCAM of one edge router.
+#[derive(Debug)]
+pub struct Tcam {
+    l34_capacity: usize,
+    mac_capacity: usize,
+    l34_used: usize,
+    mac_used: usize,
+    next_handle: u64,
+    allocations: HashMap<TcamHandle, (usize, usize)>,
+}
+
+impl Tcam {
+    /// Creates a TCAM with the given chip-wide pools.
+    pub fn new(l34_capacity: usize, mac_capacity: usize) -> Self {
+        Tcam {
+            l34_capacity,
+            mac_capacity,
+            l34_used: 0,
+            mac_used: 0,
+            next_handle: 1,
+            allocations: HashMap::new(),
+        }
+    }
+
+    /// L3–L4 criteria currently in use.
+    pub fn l34_used(&self) -> usize {
+        self.l34_used
+    }
+
+    /// MAC criteria currently in use.
+    pub fn mac_used(&self) -> usize {
+        self.mac_used
+    }
+
+    /// Remaining L3–L4 criteria.
+    pub fn l34_free(&self) -> usize {
+        self.l34_capacity - self.l34_used
+    }
+
+    /// Remaining MAC criteria.
+    pub fn mac_free(&self) -> usize {
+        self.mac_capacity - self.mac_used
+    }
+
+    /// Checks whether an *additional* load of `(mac, l34)` criteria fits,
+    /// without allocating. F1 is checked before F2, matching Fig. 9.
+    pub fn check(&self, mac: usize, l34: usize) -> TcamVerdict {
+        if self.l34_used + l34 > self.l34_capacity {
+            TcamVerdict::F1
+        } else if self.mac_used + mac > self.mac_capacity {
+            TcamVerdict::F2
+        } else {
+            TcamVerdict::Ok
+        }
+    }
+
+    /// Allocates the criteria a match spec needs. On exhaustion nothing is
+    /// allocated (all-or-nothing, so rollback is trivial).
+    pub fn alloc(&mut self, spec: &MatchSpec) -> Result<TcamHandle, TcamVerdict> {
+        self.alloc_raw(spec.mac_criteria(), spec.l34_criteria())
+    }
+
+    /// Allocates raw criteria counts.
+    pub fn alloc_raw(&mut self, mac: usize, l34: usize) -> Result<TcamHandle, TcamVerdict> {
+        match self.check(mac, l34) {
+            TcamVerdict::Ok => {
+                self.l34_used += l34;
+                self.mac_used += mac;
+                let h = TcamHandle(self.next_handle);
+                self.next_handle += 1;
+                self.allocations.insert(h, (mac, l34));
+                Ok(h)
+            }
+            v => Err(v),
+        }
+    }
+
+    /// Frees an allocation. Unknown handles are ignored (idempotent).
+    pub fn free(&mut self, handle: TcamHandle) {
+        if let Some((mac, l34)) = self.allocations.remove(&handle) {
+            self.mac_used -= mac;
+            self.l34_used -= l34;
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn allocation_count(&self) -> usize {
+        self.allocations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::PortMatch;
+    use stellar_net::mac::MacAddr;
+    use stellar_net::proto::IpProtocol;
+
+    fn spec(macs: usize, l34: usize) -> MatchSpec {
+        let mut s = MatchSpec::default();
+        if macs >= 1 {
+            s.src_mac = Some(MacAddr::for_member(64500, 1));
+        }
+        if macs >= 2 {
+            s.dst_mac = Some(MacAddr::for_member(64501, 1));
+        }
+        if l34 >= 1 {
+            s.dst_ip = Some("100.10.10.10/32".parse().unwrap());
+        }
+        if l34 >= 2 {
+            s.protocol = Some(IpProtocol::UDP);
+        }
+        if l34 >= 3 {
+            s.src_port = Some(PortMatch::Exact(123));
+        }
+        s
+    }
+
+    #[test]
+    fn allocation_and_free_conserve_pools() {
+        let mut t = Tcam::new(10, 10);
+        let h1 = t.alloc(&spec(1, 3)).unwrap();
+        let h2 = t.alloc(&spec(2, 2)).unwrap();
+        assert_eq!(t.mac_used(), 3);
+        assert_eq!(t.l34_used(), 5);
+        assert_eq!(t.allocation_count(), 2);
+        t.free(h1);
+        assert_eq!(t.mac_used(), 2);
+        assert_eq!(t.l34_used(), 2);
+        t.free(h2);
+        assert_eq!(t.mac_used(), 0);
+        assert_eq!(t.l34_used(), 0);
+        // Double free is a no-op.
+        t.free(h2);
+        assert_eq!(t.mac_used(), 0);
+    }
+
+    #[test]
+    fn f1_fires_on_l34_exhaustion() {
+        let mut t = Tcam::new(5, 100);
+        t.alloc_raw(0, 4).unwrap();
+        assert_eq!(t.check(0, 2), TcamVerdict::F1);
+        assert_eq!(t.alloc_raw(0, 2).unwrap_err(), TcamVerdict::F1);
+        // Nothing was allocated by the failed attempt.
+        assert_eq!(t.l34_used(), 4);
+        assert_eq!(t.alloc_raw(0, 1).map(|_| ()), Ok(()));
+    }
+
+    #[test]
+    fn f2_fires_on_mac_exhaustion() {
+        let mut t = Tcam::new(100, 5);
+        t.alloc_raw(5, 0).unwrap();
+        assert_eq!(t.check(1, 0), TcamVerdict::F2);
+        assert_eq!(t.alloc_raw(1, 0).unwrap_err(), TcamVerdict::F2);
+    }
+
+    #[test]
+    fn f1_takes_precedence_over_f2() {
+        // Both pools would overflow: the paper's grids report F1.
+        let t = Tcam::new(1, 1);
+        assert_eq!(t.check(2, 2), TcamVerdict::F1);
+    }
+
+    #[test]
+    fn exact_fit_is_ok() {
+        let mut t = Tcam::new(3, 2);
+        assert_eq!(t.check(2, 3), TcamVerdict::Ok);
+        t.alloc_raw(2, 3).unwrap();
+        assert_eq!(t.l34_free(), 0);
+        assert_eq!(t.mac_free(), 0);
+        assert_eq!(t.check(0, 0), TcamVerdict::Ok);
+        assert_eq!(t.check(0, 1), TcamVerdict::F1);
+        assert_eq!(t.check(1, 0), TcamVerdict::F2);
+    }
+
+    #[test]
+    fn verdict_labels_match_figure() {
+        assert_eq!(TcamVerdict::Ok.label(), "OK");
+        assert_eq!(TcamVerdict::F1.label(), "F1");
+        assert_eq!(TcamVerdict::F2.label(), "F2");
+    }
+}

@@ -1,0 +1,333 @@
+//! IPv4 and IPv6 addresses.
+//!
+//! Thin newtypes over raw octets rather than `std::net` types so that the
+//! codecs stay byte-oriented, ordering is big-endian-lexicographic, and the
+//! types can grow protocol-specific helpers (e.g. deterministic synthesis of
+//! member addresses for the emulation) without orphan-rule friction.
+
+use crate::error::{NetError, NetResult};
+use core::fmt;
+use core::str::FromStr;
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv4Address(pub [u8; 4]);
+
+impl Ipv4Address {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Address = Ipv4Address([0; 4]);
+
+    /// Builds an address from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Address([a, b, c, d])
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(&self) -> [u8; 4] {
+        self.0
+    }
+
+    /// The address as a host-order `u32`.
+    pub const fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Builds an address from a host-order `u32`.
+    pub const fn from_u32(v: u32) -> Self {
+        Ipv4Address(v.to_be_bytes())
+    }
+
+    /// True if this is a private (RFC 1918) address.
+    pub fn is_private(&self) -> bool {
+        let o = self.0;
+        o[0] == 10
+            || (o[0] == 172 && (16..=31).contains(&o[1]))
+            || (o[0] == 192 && o[1] == 168)
+    }
+
+    /// True if this is a loopback address (127.0.0.0/8).
+    pub fn is_loopback(&self) -> bool {
+        self.0[0] == 127
+    }
+
+    /// True for multicast (224.0.0.0/4).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0xf0 == 0xe0
+    }
+}
+
+impl fmt::Display for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv4Address {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> NetResult<Self> {
+        let mut octets = [0u8; 4];
+        let mut parts = s.split('.');
+        for o in octets.iter_mut() {
+            let p = parts.next().ok_or(NetError::Parse { what: "ipv4" })?;
+            if p.is_empty() || p.len() > 3 {
+                return Err(NetError::Parse { what: "ipv4" });
+            }
+            *o = p.parse().map_err(|_| NetError::Parse { what: "ipv4" })?;
+        }
+        if parts.next().is_some() {
+            return Err(NetError::Parse { what: "ipv4" });
+        }
+        Ok(Ipv4Address(octets))
+    }
+}
+
+impl From<[u8; 4]> for Ipv4Address {
+    fn from(o: [u8; 4]) -> Self {
+        Ipv4Address(o)
+    }
+}
+
+/// An IPv6 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv6Address(pub [u8; 16]);
+
+impl Ipv6Address {
+    /// The unspecified address `::`.
+    pub const UNSPECIFIED: Ipv6Address = Ipv6Address([0; 16]);
+
+    /// Builds an address from eight 16-bit groups.
+    pub fn from_groups(g: [u16; 8]) -> Self {
+        let mut o = [0u8; 16];
+        for (i, v) in g.iter().enumerate() {
+            o[2 * i..2 * i + 2].copy_from_slice(&v.to_be_bytes());
+        }
+        Ipv6Address(o)
+    }
+
+    /// Returns the eight 16-bit groups.
+    pub fn groups(&self) -> [u16; 8] {
+        let mut g = [0u16; 8];
+        for (i, v) in g.iter_mut().enumerate() {
+            *v = u16::from_be_bytes([self.0[2 * i], self.0[2 * i + 1]]);
+        }
+        g
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(&self) -> [u8; 16] {
+        self.0
+    }
+
+    /// True for multicast (ff00::/8).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] == 0xff
+    }
+}
+
+impl fmt::Display for Ipv6Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Uncompressed canonical-ish form; compression of zero runs is a
+        // presentation nicety the emulation does not need.
+        let g = self.groups();
+        write!(
+            f,
+            "{:x}:{:x}:{:x}:{:x}:{:x}:{:x}:{:x}:{:x}",
+            g[0], g[1], g[2], g[3], g[4], g[5], g[6], g[7]
+        )
+    }
+}
+
+impl fmt::Debug for Ipv6Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for Ipv6Address {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> NetResult<Self> {
+        // Supports the full uncompressed form plus a single "::" run.
+        let err = NetError::Parse { what: "ipv6" };
+        let halves: Vec<&str> = s.split("::").collect();
+        let parse_groups = |part: &str| -> NetResult<Vec<u16>> {
+            if part.is_empty() {
+                return Ok(Vec::new());
+            }
+            part.split(':')
+                .map(|g| u16::from_str_radix(g, 16).map_err(|_| err.clone()))
+                .collect()
+        };
+        let groups: [u16; 8] = match halves.as_slice() {
+            [only] => {
+                let g = parse_groups(only)?;
+                g.try_into().map_err(|_| err.clone())?
+            }
+            [head, tail] => {
+                let h = parse_groups(head)?;
+                let t = parse_groups(tail)?;
+                if h.len() + t.len() >= 8 {
+                    return Err(err);
+                }
+                let mut g = [0u16; 8];
+                g[..h.len()].copy_from_slice(&h);
+                g[8 - t.len()..].copy_from_slice(&t);
+                g
+            }
+            _ => return Err(err),
+        };
+        Ok(Ipv6Address::from_groups(groups))
+    }
+}
+
+impl From<[u8; 16]> for Ipv6Address {
+    fn from(o: [u8; 16]) -> Self {
+        Ipv6Address(o)
+    }
+}
+
+/// Either an IPv4 or IPv6 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IpAddress {
+    /// IPv4 variant.
+    V4(Ipv4Address),
+    /// IPv6 variant.
+    V6(Ipv6Address),
+}
+
+impl IpAddress {
+    /// True if this is an IPv4 address.
+    pub fn is_v4(&self) -> bool {
+        matches!(self, IpAddress::V4(_))
+    }
+
+    /// True if this is an IPv6 address.
+    pub fn is_v6(&self) -> bool {
+        matches!(self, IpAddress::V6(_))
+    }
+
+    /// Returns the IPv4 address if this is one.
+    pub fn as_v4(&self) -> Option<Ipv4Address> {
+        match self {
+            IpAddress::V4(a) => Some(*a),
+            IpAddress::V6(_) => None,
+        }
+    }
+
+    /// Returns the IPv6 address if this is one.
+    pub fn as_v6(&self) -> Option<Ipv6Address> {
+        match self {
+            IpAddress::V6(a) => Some(*a),
+            IpAddress::V4(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for IpAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpAddress::V4(a) => a.fmt(f),
+            IpAddress::V6(a) => a.fmt(f),
+        }
+    }
+}
+
+impl fmt::Debug for IpAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Ipv4Address> for IpAddress {
+    fn from(a: Ipv4Address) -> Self {
+        IpAddress::V4(a)
+    }
+}
+
+impl From<Ipv6Address> for IpAddress {
+    fn from(a: Ipv6Address) -> Self {
+        IpAddress::V6(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_display_parse_round_trip() {
+        let a = Ipv4Address::new(100, 10, 10, 10);
+        assert_eq!(a.to_string(), "100.10.10.10");
+        assert_eq!("100.10.10.10".parse::<Ipv4Address>().unwrap(), a);
+    }
+
+    #[test]
+    fn ipv4_parse_rejects_bad_inputs() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3"] {
+            assert!(s.parse::<Ipv4Address>().is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn ipv4_u32_round_trip_and_ordering() {
+        let a = Ipv4Address::new(10, 0, 0, 1);
+        assert_eq!(Ipv4Address::from_u32(a.to_u32()), a);
+        assert!(Ipv4Address::new(10, 0, 0, 1) < Ipv4Address::new(10, 0, 0, 2));
+        assert!(Ipv4Address::new(9, 255, 255, 255) < Ipv4Address::new(10, 0, 0, 0));
+    }
+
+    #[test]
+    fn ipv4_classification() {
+        assert!(Ipv4Address::new(10, 1, 2, 3).is_private());
+        assert!(Ipv4Address::new(172, 16, 0, 1).is_private());
+        assert!(Ipv4Address::new(172, 32, 0, 1).is_private() == false);
+        assert!(Ipv4Address::new(192, 168, 1, 1).is_private());
+        assert!(Ipv4Address::new(127, 0, 0, 1).is_loopback());
+        assert!(Ipv4Address::new(224, 0, 0, 1).is_multicast());
+        assert!(!Ipv4Address::new(8, 8, 8, 8).is_private());
+    }
+
+    #[test]
+    fn ipv6_groups_round_trip() {
+        let g = [0x2001, 0xdb8, 0, 0, 0, 0, 0, 0x1];
+        let a = Ipv6Address::from_groups(g);
+        assert_eq!(a.groups(), g);
+    }
+
+    #[test]
+    fn ipv6_parse_uncompressed_and_compressed() {
+        let a: Ipv6Address = "2001:db8:0:0:0:0:0:1".parse().unwrap();
+        let b: Ipv6Address = "2001:db8::1".parse().unwrap();
+        assert_eq!(a, b);
+        let c: Ipv6Address = "::1".parse().unwrap();
+        assert_eq!(c.groups(), [0, 0, 0, 0, 0, 0, 0, 1]);
+        let d: Ipv6Address = "ff02::".parse().unwrap();
+        assert!(d.is_multicast());
+    }
+
+    #[test]
+    fn ipv6_parse_rejects_bad_inputs() {
+        for s in ["", ":::", "2001:db8", "1:2:3:4:5:6:7:8:9", "2001::db8::1"] {
+            assert!(s.parse::<Ipv6Address>().is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn ip_address_accessors() {
+        let v4: IpAddress = Ipv4Address::new(1, 2, 3, 4).into();
+        let v6: IpAddress = Ipv6Address::UNSPECIFIED.into();
+        assert!(v4.is_v4() && !v4.is_v6());
+        assert!(v6.is_v6() && !v6.is_v4());
+        assert_eq!(v4.as_v4(), Some(Ipv4Address::new(1, 2, 3, 4)));
+        assert_eq!(v4.as_v6(), None);
+        assert_eq!(v6.as_v6(), Some(Ipv6Address::UNSPECIFIED));
+    }
+}

@@ -1,0 +1,197 @@
+//! Models of UDP reflection/amplification protocols (§1, [64, 73]).
+//!
+//! An amplification attack sends small requests with a spoofed source (the
+//! victim) to open reflectors; the reflectors' large responses converge on
+//! the victim. Each protocol is characterized by its service port, a typical
+//! request size, and a bandwidth amplification factor (BAF). Values follow
+//! Rossow (NDSS'14) and US-CERT TA14-017A; memcached's extreme factor is
+//! from the paper's §1 ("a request of 15 bytes can trigger a 750 Kbytes
+//! response", i.e. 50,000×).
+
+use crate::ports;
+
+/// A reflection/amplification protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AmpProtocol {
+    /// NTP `monlist` (port 123).
+    Ntp,
+    /// DNS open resolver / DNSSEC ANY (port 53).
+    Dns,
+    /// memcached (port 11211).
+    Memcached,
+    /// CLDAP (port 389).
+    Ldap,
+    /// Chargen (port 19).
+    Chargen,
+    /// SSDP (port 1900).
+    Ssdp,
+}
+
+/// All modelled protocols, roughly in Fig. 3(a) prominence order.
+pub const ALL: [AmpProtocol; 6] = [
+    AmpProtocol::Ntp,
+    AmpProtocol::Ldap,
+    AmpProtocol::Memcached,
+    AmpProtocol::Dns,
+    AmpProtocol::Chargen,
+    AmpProtocol::Ssdp,
+];
+
+impl AmpProtocol {
+    /// The UDP service port; response traffic arrives *from* this source
+    /// port, which is what Stellar's fine-grained rules match.
+    pub fn port(&self) -> u16 {
+        match self {
+            AmpProtocol::Ntp => ports::NTP,
+            AmpProtocol::Dns => ports::DNS,
+            AmpProtocol::Memcached => ports::MEMCACHED,
+            AmpProtocol::Ldap => ports::LDAP,
+            AmpProtocol::Chargen => ports::CHARGEN,
+            AmpProtocol::Ssdp => ports::SSDP,
+        }
+    }
+
+    /// Bandwidth amplification factor (response bytes per request byte).
+    pub fn amplification_factor(&self) -> f64 {
+        match self {
+            AmpProtocol::Ntp => 556.9,
+            AmpProtocol::Dns => 54.6,
+            AmpProtocol::Memcached => 50_000.0,
+            AmpProtocol::Ldap => 63.9,
+            AmpProtocol::Chargen => 358.8,
+            AmpProtocol::Ssdp => 30.8,
+        }
+    }
+
+    /// Typical attacker request size in bytes (UDP payload).
+    pub fn request_size(&self) -> usize {
+        match self {
+            AmpProtocol::Ntp => 8,      // monlist request
+            AmpProtocol::Dns => 60,     // ANY query with EDNS0
+            AmpProtocol::Memcached => 15,
+            AmpProtocol::Ldap => 52,
+            AmpProtocol::Chargen => 1,
+            AmpProtocol::Ssdp => 90,
+        }
+    }
+
+    /// Expected total response bytes for one request.
+    pub fn response_size(&self) -> usize {
+        (self.request_size() as f64 * self.amplification_factor()).round() as usize
+    }
+
+    /// Typical size of one response UDP *datagram* in bytes. Protocols
+    /// differ in how the amplified response is packetized:
+    /// NTP `monlist` streams many ~468-byte datagrams; memcached attacks
+    /// observed in the wild (and in Fig. 2c, which shows source port
+    /// 11211 dominating) send MTU-sized value chunks; DNS ANY/DNSSEC and
+    /// CLDAP return one large datagram that IP-fragments on the wire.
+    pub fn datagram_size(&self) -> usize {
+        match self {
+            AmpProtocol::Ntp => 468,
+            AmpProtocol::Dns => 3276,
+            AmpProtocol::Memcached => 1400,
+            AmpProtocol::Ldap => 3321,
+            AmpProtocol::Chargen => 359,
+            AmpProtocol::Ssdp => 320,
+        }
+    }
+
+    /// Number of datagrams per response.
+    pub fn datagrams_per_response(&self) -> usize {
+        self.response_size().div_ceil(self.datagram_size()).max(1)
+    }
+
+    /// On-the-wire packet size (a datagram larger than the MTU fragments
+    /// into ~MTU-sized packets).
+    pub fn response_packet_size(&self) -> usize {
+        self.datagram_size().min(1480)
+    }
+
+    /// IP fragments one datagram occupies on the wire.
+    pub fn fragments_per_datagram(&self) -> usize {
+        self.datagram_size().div_ceil(1480).max(1)
+    }
+
+    /// Fraction of response *bytes* that appear with source port 0 in
+    /// flow records, because non-first fragments carry no transport
+    /// header. Large-datagram protocols (DNS, CLDAP) therefore feed the
+    /// "port 0" bar of Fig. 3(a); NTP and memcached do not fragment.
+    pub fn fragmented_share(&self) -> f64 {
+        let frags = self.fragments_per_datagram() as f64;
+        (frags - 1.0) / frags
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AmpProtocol::Ntp => "ntp",
+            AmpProtocol::Dns => "dns",
+            AmpProtocol::Memcached => "memcached",
+            AmpProtocol::Ldap => "cldap",
+            AmpProtocol::Chargen => "chargen",
+            AmpProtocol::Ssdp => "ssdp",
+        }
+    }
+
+    /// Requests per second an attacker must send to make the victim receive
+    /// `target_bps` bits per second of response traffic.
+    pub fn requests_per_second_for(&self, target_bps: f64) -> f64 {
+        target_bps / 8.0 / self.response_size() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcached_matches_paper_example() {
+        // §1: a request of 15 bytes can trigger a 750 KB response.
+        let m = AmpProtocol::Memcached;
+        assert_eq!(m.request_size(), 15);
+        assert_eq!(m.response_size(), 750_000);
+        assert_eq!(m.port(), 11211);
+    }
+
+    #[test]
+    fn factors_exceed_one_and_ports_are_amplification_prone(){
+        for p in ALL {
+            assert!(p.amplification_factor() > 1.0, "{p:?}");
+            assert!(crate::ports::is_amplification_prone(p.port()), "{p:?}");
+            assert!(p.response_size() > p.request_size(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn fragmentation_model_is_consistent() {
+        // NTP monlist: many small datagrams, no fragmentation — which is
+        // why shaping on UDP source 123 catches the whole attack (§5.3).
+        let n = AmpProtocol::Ntp;
+        assert!(n.datagrams_per_response() > 5);
+        assert_eq!(n.fragments_per_datagram(), 1);
+        assert_eq!(n.fragmented_share(), 0.0);
+        // memcached: MTU-sized chunks, port 11211 visible (Fig. 2c).
+        let m = AmpProtocol::Memcached;
+        assert!(m.datagrams_per_response() > 500);
+        assert_eq!(m.fragmented_share(), 0.0);
+        // DNS/CLDAP: one large datagram => 3 fragments => 2/3 of bytes
+        // appear as port 0.
+        for p in [AmpProtocol::Dns, AmpProtocol::Ldap] {
+            assert_eq!(p.fragments_per_datagram(), 3, "{p:?}");
+            assert!((p.fragmented_share() - 2.0 / 3.0).abs() < 1e-9);
+        }
+        // chargen/ssdp fit in one packet.
+        assert_eq!(AmpProtocol::Chargen.fragmented_share(), 0.0);
+        assert_eq!(AmpProtocol::Ssdp.fragmented_share(), 0.0);
+    }
+
+    #[test]
+    fn request_rate_for_target_bandwidth() {
+        // 1 Gbps via NTP: 1e9/8 bytes/s over 4455-byte responses.
+        let ntp = AmpProtocol::Ntp;
+        let rps = ntp.requests_per_second_for(1e9);
+        let recomputed = rps * ntp.response_size() as f64 * 8.0;
+        assert!((recomputed - 1e9).abs() / 1e9 < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by all codecs in this crate.
+
+use core::fmt;
+
+/// Errors produced while decoding or constructing packet data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The input buffer is shorter than the minimum size of the structure.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes required (may be a lower bound).
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A field carries a value that is not valid for the structure.
+    Malformed {
+        /// What was being decoded.
+        what: &'static str,
+        /// Human-readable description of the problem.
+        detail: &'static str,
+    },
+    /// A checksum did not verify.
+    BadChecksum {
+        /// Which header failed verification.
+        what: &'static str,
+    },
+    /// A prefix length is out of range for the address family.
+    BadPrefixLen {
+        /// The offending length.
+        len: u8,
+        /// The maximum for the family (32 or 128).
+        max: u8,
+    },
+    /// Failed to parse a textual representation.
+    Parse {
+        /// What was being parsed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated { what, need, have } => {
+                write!(f, "truncated {what}: need {need} bytes, have {have}")
+            }
+            NetError::Malformed { what, detail } => write!(f, "malformed {what}: {detail}"),
+            NetError::BadChecksum { what } => write!(f, "bad checksum in {what}"),
+            NetError::BadPrefixLen { len, max } => {
+                write!(f, "prefix length {len} exceeds maximum {max}")
+            }
+            NetError::Parse { what } => write!(f, "failed to parse {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias used by all decoders in this crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Checks that `buf` holds at least `need` bytes before field extraction.
+pub(crate) fn ensure_len(what: &'static str, buf: &[u8], need: usize) -> NetResult<()> {
+    if buf.len() < need {
+        Err(NetError::Truncated {
+            what,
+            need,
+            have: buf.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = NetError::Truncated {
+            what: "ipv4 header",
+            need: 20,
+            have: 7,
+        };
+        assert_eq!(e.to_string(), "truncated ipv4 header: need 20 bytes, have 7");
+        let e = NetError::BadChecksum { what: "udp" };
+        assert_eq!(e.to_string(), "bad checksum in udp");
+        let e = NetError::BadPrefixLen { len: 40, max: 32 };
+        assert_eq!(e.to_string(), "prefix length 40 exceeds maximum 32");
+    }
+
+    #[test]
+    fn ensure_len_accepts_exact_and_larger() {
+        assert!(ensure_len("x", &[0u8; 4], 4).is_ok());
+        assert!(ensure_len("x", &[0u8; 5], 4).is_ok());
+        assert!(ensure_len("x", &[0u8; 3], 4).is_err());
+    }
+}

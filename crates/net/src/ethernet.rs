@@ -1,0 +1,143 @@
+//! Ethernet II framing.
+
+use crate::error::{ensure_len, NetError, NetResult};
+use crate::mac::MacAddr;
+use bytes::BufMut;
+use core::fmt;
+
+/// Length of an Ethernet II header (no 802.1Q tag).
+pub const HEADER_LEN: usize = 14;
+
+/// Ethernet II EtherType values used in the emulation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EtherType(pub u16);
+
+impl EtherType {
+    /// IPv4 (0x0800).
+    pub const IPV4: EtherType = EtherType(0x0800);
+    /// ARP (0x0806) — appears as residual traffic in Fig. 10(c).
+    pub const ARP: EtherType = EtherType(0x0806);
+    /// IPv6 (0x86dd).
+    pub const IPV6: EtherType = EtherType(0x86dd);
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EtherType::IPV4 => f.write_str("ipv4"),
+            EtherType::ARP => f.write_str("arp"),
+            EtherType::IPV6 => f.write_str("ipv6"),
+            EtherType(v) => write!(f, "ethertype-{v:#06x}"),
+        }
+    }
+}
+
+impl fmt::Debug for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An Ethernet II header.
+///
+/// On the IXP peering LAN, the source MAC identifies the sending member's
+/// router — which is what the dataplane's L2 filters match to implement
+/// per-source blackholing rules (RTBH policy control and Stellar's
+/// MAC-scoped rules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Encodes the header into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_slice(&self.dst.octets());
+        buf.put_slice(&self.src.octets());
+        buf.put_u16(self.ethertype.0);
+    }
+
+    /// Decodes a header from the front of `buf`, returning it together with
+    /// the number of bytes consumed.
+    pub fn decode(buf: &[u8]) -> NetResult<(Self, usize)> {
+        ensure_len("ethernet header", buf, HEADER_LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        let ethertype = EtherType(u16::from_be_bytes([buf[12], buf[13]]));
+        if ethertype.0 < 0x0600 {
+            // 802.3 length field rather than an EtherType; unsupported.
+            return Err(NetError::Malformed {
+                what: "ethernet header",
+                detail: "802.3 length framing is not supported",
+            });
+        }
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> EthernetHeader {
+        EthernetHeader {
+            dst: MacAddr([0x02, 0, 0, 0, 0, 1]),
+            src: MacAddr([0x02, 0, 0, 0, 0, 2]),
+            ethertype: EtherType::IPV4,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = sample();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (d, used) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn decode_rejects_short_buffer() {
+        let err = EthernetHeader::decode(&[0u8; 13]).unwrap_err();
+        assert!(matches!(err, NetError::Truncated { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_8023_length_framing() {
+        let mut buf = BytesMut::new();
+        let mut h = sample();
+        h.ethertype = EtherType(0x0100); // a length, not an EtherType
+        h.encode(&mut buf);
+        assert!(matches!(
+            EthernetHeader::decode(&buf),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_ignores_trailing_payload() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        buf.extend_from_slice(&[0xaa; 32]);
+        let (d, used) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(d, sample());
+    }
+}

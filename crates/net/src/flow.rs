@@ -1,0 +1,187 @@
+//! Flow keys and IPFIX-like flow records.
+//!
+//! The paper's measurement study (§2.3) is built on IPFIX data exported by
+//! the IXP platform; the emulation reproduces that pipeline with
+//! [`FlowRecord`]s emitted by the traffic generators and aggregated by the
+//! collector. A record describes an aggregate of packets sharing a key over
+//! a time interval — the same abstraction real flow export uses.
+
+use crate::addr::IpAddress;
+use crate::mac::MacAddr;
+use crate::proto::IpProtocol;
+use core::fmt;
+
+/// The 7-tuple identifying a flow on the IXP fabric: L2 endpoints (member
+/// router MACs) plus the classic 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source member-router MAC (identifies the ingress member).
+    pub src_mac: MacAddr,
+    /// Destination member-router MAC (identifies the egress member).
+    pub dst_mac: MacAddr,
+    /// Source IP address.
+    pub src_ip: IpAddress,
+    /// Destination IP address.
+    pub dst_ip: IpAddress,
+    /// Transport protocol.
+    pub protocol: IpProtocol,
+    /// Source port (0 for portless protocols and for fragments).
+    pub src_port: u16,
+    /// Destination port (0 for portless protocols and for fragments).
+    pub dst_port: u16,
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} -> {}:{} ({} -> {})",
+            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port,
+            self.src_mac, self.dst_mac
+        )
+    }
+}
+
+/// An aggregate flow record over one export interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The flow key.
+    pub key: FlowKey,
+    /// First packet timestamp, microseconds of simulation time.
+    pub start_us: u64,
+    /// Last packet timestamp, microseconds of simulation time.
+    pub end_us: u64,
+    /// Total bytes in the interval.
+    pub bytes: u64,
+    /// Total packets in the interval.
+    pub packets: u64,
+}
+
+impl FlowRecord {
+    /// Duration covered by the record, in microseconds (at least 1 so that
+    /// rates are always well-defined).
+    pub fn duration_us(&self) -> u64 {
+        (self.end_us.saturating_sub(self.start_us)).max(1)
+    }
+
+    /// Mean rate in bits per second over the record's duration.
+    pub fn rate_bps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / (self.duration_us() as f64 / 1_000_000.0)
+    }
+
+    /// Mean packet size in bytes.
+    pub fn mean_packet_size(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Merges another record with the same key into this one.
+    pub fn merge(&mut self, other: &FlowRecord) {
+        debug_assert_eq!(self.key, other.key);
+        self.start_us = self.start_us.min(other.start_us);
+        self.end_us = self.end_us.max(other.end_us);
+        self.bytes += other.bytes;
+        self.packets += other.packets;
+    }
+}
+
+/// Direction of traffic relative to an IXP member, used when slicing
+/// collected records for per-member analyses (Fig. 2c looks at traffic
+/// *towards* the member under attack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Traffic entering the IXP from the member (member is the source).
+    FromMember,
+    /// Traffic leaving the IXP towards the member (member is the target).
+    ToMember,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Address;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(64500, 1),
+            dst_mac: MacAddr::for_member(64501, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
+            dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, 10)),
+            protocol: IpProtocol::UDP,
+            src_port: 123,
+            dst_port: 47123,
+        }
+    }
+
+    #[test]
+    fn rate_and_mean_size() {
+        let r = FlowRecord {
+            key: key(),
+            start_us: 0,
+            end_us: 1_000_000,
+            bytes: 125_000, // 1 Mbit over 1 s
+            packets: 250,
+        };
+        assert!((r.rate_bps() - 1_000_000.0).abs() < 1e-6);
+        assert!((r.mean_packet_size() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_rate_is_finite() {
+        let r = FlowRecord {
+            key: key(),
+            start_us: 5,
+            end_us: 5,
+            bytes: 100,
+            packets: 1,
+        };
+        assert!(r.rate_bps().is_finite());
+        assert_eq!(r.duration_us(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_and_extends_interval() {
+        let mut a = FlowRecord {
+            key: key(),
+            start_us: 100,
+            end_us: 200,
+            bytes: 10,
+            packets: 1,
+        };
+        let b = FlowRecord {
+            key: key(),
+            start_us: 50,
+            end_us: 400,
+            bytes: 30,
+            packets: 3,
+        };
+        a.merge(&b);
+        assert_eq!(a.start_us, 50);
+        assert_eq!(a.end_us, 400);
+        assert_eq!(a.bytes, 40);
+        assert_eq!(a.packets, 4);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = key().to_string();
+        assert!(s.contains("udp"));
+        assert!(s.contains("203.0.113.7:123"));
+        assert!(s.contains("100.10.10.10:47123"));
+    }
+
+    #[test]
+    fn zero_packet_mean_size_is_zero() {
+        let r = FlowRecord {
+            key: key(),
+            start_us: 0,
+            end_us: 1,
+            bytes: 0,
+            packets: 0,
+        };
+        assert_eq!(r.mean_packet_size(), 0.0);
+    }
+}

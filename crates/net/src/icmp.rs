@@ -1,0 +1,123 @@
+//! Minimal ICMPv4 codec — enough for echo and unreachable messages, which
+//! appear as background noise in the emulation's benign traffic mix.
+
+use crate::error::{ensure_len, NetResult};
+use bytes::BufMut;
+
+/// ICMP header length (type, code, checksum, rest-of-header).
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message types used in the emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Anything else.
+    Other(u8),
+}
+
+impl IcmpType {
+    /// The wire value.
+    pub fn value(&self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(v) => *v,
+        }
+    }
+
+    /// Maps a wire value back to the enum.
+    pub fn from_value(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+}
+
+/// An ICMPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Sub-code.
+    pub code: u8,
+    /// Checksum (carried verbatim).
+    pub checksum: u16,
+    /// The type-specific "rest of header" word (identifier/sequence for
+    /// echo messages).
+    pub rest: u32,
+}
+
+impl IcmpHeader {
+    /// Builds an echo-request header.
+    pub fn echo_request(ident: u16, seq: u16) -> Self {
+        IcmpHeader {
+            icmp_type: IcmpType::EchoRequest,
+            code: 0,
+            checksum: 0,
+            rest: (u32::from(ident) << 16) | u32::from(seq),
+        }
+    }
+
+    /// Encodes the header.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.icmp_type.value());
+        buf.put_u8(self.code);
+        buf.put_u16(self.checksum);
+        buf.put_u32(self.rest);
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> NetResult<(Self, usize)> {
+        ensure_len("icmp header", buf, HEADER_LEN)?;
+        Ok((
+            IcmpHeader {
+                icmp_type: IcmpType::from_value(buf[0]),
+                code: buf[1],
+                checksum: u16::from_be_bytes([buf[2], buf[3]]),
+                rest: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            },
+            HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = IcmpHeader::echo_request(0x1234, 7);
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, used) = IcmpHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn type_values_round_trip() {
+        for v in 0u8..=255 {
+            assert_eq!(IcmpType::from_value(v).value(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert!(IcmpHeader::decode(&[0u8; 7]).is_err());
+    }
+}

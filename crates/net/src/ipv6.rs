@@ -1,0 +1,135 @@
+//! IPv6 fixed header codec (RFC 8200). Extension headers are not modelled;
+//! less than 1 % of the paper's blackholing traffic is IPv6 (§2.3 fn. 4),
+//! but the signaling and filtering layers are family-agnostic, so the
+//! header format is implemented for completeness.
+
+use crate::addr::Ipv6Address;
+use crate::error::{ensure_len, NetError, NetResult};
+use crate::proto::IpProtocol;
+use bytes::BufMut;
+
+/// Fixed header length.
+pub const HEADER_LEN: usize = 40;
+
+/// An IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length in bytes (everything after the fixed header).
+    pub payload_len: u16,
+    /// Next header (transport protocol, extension headers unsupported).
+    pub next_header: IpProtocol,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Address,
+    /// Destination address.
+    pub dst: Ipv6Address,
+}
+
+impl Ipv6Header {
+    /// Convenience constructor.
+    pub fn new(src: Ipv6Address, dst: Ipv6Address, next_header: IpProtocol, payload_len: usize) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: payload_len as u16,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Encodes the header.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let word0: u32 =
+            (6u32 << 28) | (u32::from(self.traffic_class) << 20) | (self.flow_label & 0xf_ffff);
+        buf.put_u32(word0);
+        buf.put_u16(self.payload_len);
+        buf.put_u8(self.next_header.0);
+        buf.put_u8(self.hop_limit);
+        buf.put_slice(&self.src.octets());
+        buf.put_slice(&self.dst.octets());
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> NetResult<(Self, usize)> {
+        ensure_len("ipv6 header", buf, HEADER_LEN)?;
+        let word0 = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if word0 >> 28 != 6 {
+            return Err(NetError::Malformed {
+                what: "ipv6 header",
+                detail: "version is not 6",
+            });
+        }
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&buf[8..24]);
+        dst.copy_from_slice(&buf[24..40]);
+        Ok((
+            Ipv6Header {
+                traffic_class: ((word0 >> 20) & 0xff) as u8,
+                flow_label: word0 & 0xf_ffff,
+                payload_len: u16::from_be_bytes([buf[4], buf[5]]),
+                next_header: IpProtocol(buf[6]),
+                hop_limit: buf[7],
+                src: Ipv6Address(src),
+                dst: Ipv6Address(dst),
+            },
+            HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> Ipv6Header {
+        let mut h = Ipv6Header::new(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            IpProtocol::UDP,
+            64,
+        );
+        h.traffic_class = 0xb8;
+        h.flow_label = 0xbeef;
+        h
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = sample();
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (d, used) = Ipv6Header::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(d, h);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_short_buffer() {
+        let mut buf = BytesMut::new();
+        sample().encode(&mut buf);
+        let mut raw = buf.to_vec();
+        raw[0] = 0x45;
+        assert!(matches!(Ipv6Header::decode(&raw), Err(NetError::Malformed { .. })));
+        assert!(Ipv6Header::decode(&raw[..20]).is_err());
+    }
+
+    #[test]
+    fn flow_label_is_masked_to_20_bits() {
+        let mut h = sample();
+        h.flow_label = 0xfff_ffff; // wider than the field
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, _) = Ipv6Header::decode(&buf).unwrap();
+        assert_eq!(d.flow_label, 0xf_ffff);
+    }
+}

@@ -1,0 +1,149 @@
+//! IEEE 802 MAC addresses.
+
+use crate::error::{NetError, NetResult};
+use core::fmt;
+use core::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// MAC addresses identify member router ports on the IXP peering LAN; the
+/// dataplane's L2 filter rules (used by RTBH policy control and Stellar's
+/// per-source filtering) match on them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as "unspecified".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds an address from raw octets.
+    pub const fn new(o: [u8; 6]) -> Self {
+        MacAddr(o)
+    }
+
+    /// Returns the raw octets.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group bit (I/G, least-significant bit of the first
+    /// octet) is set, i.e. the address is multicast or broadcast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if the address is unicast (group bit clear).
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// True if the locally-administered bit (U/L) is set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Deterministically derives a locally-administered unicast MAC for the
+    /// router of IXP member `asn` on port `port`. Used when synthesizing
+    /// topologies so that every member has a stable, recognizable MAC.
+    pub fn for_member(asn: u32, port: u16) -> Self {
+        let a = asn.to_be_bytes();
+        let p = port.to_be_bytes();
+        // 0x02 => locally administered, unicast.
+        MacAddr([0x02, a[1], a[2], a[3], p[0], p[1]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> NetResult<Self> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for o in octets.iter_mut() {
+            let part = parts.next().ok_or(NetError::Parse { what: "mac" })?;
+            if part.len() != 2 {
+                return Err(NetError::Parse { what: "mac" });
+            }
+            *o = u8::from_str_radix(part, 16).map_err(|_| NetError::Parse { what: "mac" })?;
+        }
+        if parts.next().is_some() {
+            return Err(NetError::Parse { what: "mac" });
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(o: [u8; 6]) -> Self {
+        MacAddr(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_fromstr() {
+        let m = MacAddr([0x02, 0x1a, 0x2b, 0x3c, 0x4d, 0x5e]);
+        let s = m.to_string();
+        assert_eq!(s, "02:1a:2b:3c:4d:5e");
+        assert_eq!(s.parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<MacAddr>().is_err());
+        assert!("02:1a:2b:3c:4d".parse::<MacAddr>().is_err());
+        assert!("02:1a:2b:3c:4d:5e:6f".parse::<MacAddr>().is_err());
+        assert!("02:1a:2b:3c:4d:zz".parse::<MacAddr>().is_err());
+        assert!("021a:2b:3c:4d:5e".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn broadcast_and_multicast_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        let multicast = MacAddr([0x01, 0, 0x5e, 0, 0, 1]);
+        assert!(multicast.is_multicast());
+        assert!(!multicast.is_broadcast());
+        let unicast = MacAddr([0x02, 0, 0, 0, 0, 1]);
+        assert!(unicast.is_unicast());
+        assert!(unicast.is_local());
+    }
+
+    #[test]
+    fn member_macs_are_stable_unicast_and_distinct() {
+        let a = MacAddr::for_member(64500, 1);
+        let b = MacAddr::for_member(64500, 2);
+        let c = MacAddr::for_member(64501, 1);
+        assert_eq!(a, MacAddr::for_member(64500, 1));
+        assert!(a.is_unicast() && a.is_local());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,458 @@
+//! Fully composed packets: Ethernet + IP + transport + payload.
+//!
+//! [`Packet`] is the per-packet representation used by the dataplane's
+//! functional path (QoS classification of real bytes, §5.2 lab checks).
+//! The emulation's high-rate path works on aggregate [`crate::flow`]
+//! records instead; property tests assert that both paths classify
+//! identically.
+
+use crate::addr::{IpAddress, Ipv4Address, Ipv6Address};
+use crate::checksum;
+use crate::error::{NetError, NetResult};
+use crate::ethernet::{EtherType, EthernetHeader};
+use crate::flow::FlowKey;
+use crate::icmp::IcmpHeader;
+use crate::ipv4::Ipv4Header;
+use crate::ipv6::Ipv6Header;
+use crate::mac::MacAddr;
+use crate::proto::IpProtocol;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use bytes::{BufMut, BytesMut};
+
+/// The IP layer of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpHeader {
+    /// IPv4.
+    V4(Ipv4Header),
+    /// IPv6.
+    V6(Ipv6Header),
+}
+
+impl IpHeader {
+    /// Source address.
+    pub fn src(&self) -> IpAddress {
+        match self {
+            IpHeader::V4(h) => IpAddress::V4(h.src),
+            IpHeader::V6(h) => IpAddress::V6(h.src),
+        }
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> IpAddress {
+        match self {
+            IpHeader::V4(h) => IpAddress::V4(h.dst),
+            IpHeader::V6(h) => IpAddress::V6(h.dst),
+        }
+    }
+
+    /// Transport protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        match self {
+            IpHeader::V4(h) => h.protocol,
+            IpHeader::V6(h) => h.next_header,
+        }
+    }
+}
+
+/// The transport layer of a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum L4Header {
+    /// UDP.
+    Udp(UdpHeader),
+    /// TCP.
+    Tcp(TcpHeader),
+    /// ICMP.
+    Icmp(IcmpHeader),
+    /// Unparsed transport (protocol without a codec here); bytes preserved.
+    Raw(Vec<u8>),
+}
+
+impl L4Header {
+    /// Source port, if the transport has ports.
+    pub fn src_port(&self) -> Option<u16> {
+        match self {
+            L4Header::Udp(h) => Some(h.src_port),
+            L4Header::Tcp(h) => Some(h.src_port),
+            _ => None,
+        }
+    }
+
+    /// Destination port, if the transport has ports.
+    pub fn dst_port(&self) -> Option<u16> {
+        match self {
+            L4Header::Udp(h) => Some(h.dst_port),
+            L4Header::Tcp(h) => Some(h.dst_port),
+            _ => None,
+        }
+    }
+}
+
+/// A complete L2–L4 packet with payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Ethernet header.
+    pub eth: EthernetHeader,
+    /// IP header.
+    pub ip: IpHeader,
+    /// Transport header.
+    pub l4: L4Header,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Builds an IPv4/UDP packet with correct lengths and checksums.
+    pub fn udp_v4(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Self {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        let ip = Ipv4Header::new(src, dst, IpProtocol::UDP, udp.length as usize);
+        Packet {
+            eth: EthernetHeader {
+                dst: dst_mac,
+                src: src_mac,
+                ethertype: EtherType::IPV4,
+            },
+            ip: IpHeader::V4(ip),
+            l4: L4Header::Udp(udp),
+            payload,
+        }
+    }
+
+    /// Builds an IPv4/TCP packet with correct lengths.
+    pub fn tcp_v4(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        src_port: u16,
+        dst_port: u16,
+        flags: u8,
+        payload: Vec<u8>,
+    ) -> Self {
+        let tcp = TcpHeader::new(src_port, dst_port, flags);
+        let ip = Ipv4Header::new(
+            src,
+            dst,
+            IpProtocol::TCP,
+            tcp.header_len() + payload.len(),
+        );
+        Packet {
+            eth: EthernetHeader {
+                dst: dst_mac,
+                src: src_mac,
+                ethertype: EtherType::IPV4,
+            },
+            ip: IpHeader::V4(ip),
+            l4: L4Header::Tcp(tcp),
+            payload,
+        }
+    }
+
+    /// Builds an IPv6/UDP packet.
+    pub fn udp_v6(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src: Ipv6Address,
+        dst: Ipv6Address,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Self {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        let ip = Ipv6Header::new(src, dst, IpProtocol::UDP, udp.length as usize);
+        Packet {
+            eth: EthernetHeader {
+                dst: dst_mac,
+                src: src_mac,
+                ethertype: EtherType::IPV6,
+            },
+            ip: IpHeader::V6(ip),
+            l4: L4Header::Udp(udp),
+            payload,
+        }
+    }
+
+    /// Serializes the packet to wire bytes, computing transport checksums.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64 + self.payload.len());
+        self.eth.encode(&mut buf);
+        match &self.ip {
+            IpHeader::V4(h) => h.encode(&mut buf),
+            IpHeader::V6(h) => h.encode(&mut buf),
+        }
+        // Serialize transport + payload separately to compute checksums.
+        let mut seg = BytesMut::new();
+        match &self.l4 {
+            L4Header::Udp(h) => {
+                let mut hh = *h;
+                hh.checksum = 0;
+                hh.encode(&mut seg);
+                seg.put_slice(&self.payload);
+                let ck = self.transport_checksum(&seg);
+                // RFC 768: a computed zero checksum is transmitted as 0xffff.
+                let ck = if ck == 0 { 0xffff } else { ck };
+                seg[6..8].copy_from_slice(&ck.to_be_bytes());
+            }
+            L4Header::Tcp(h) => {
+                let mut hh = h.clone();
+                hh.checksum = 0;
+                hh.encode(&mut seg);
+                seg.put_slice(&self.payload);
+                let ck = self.transport_checksum(&seg);
+                seg[16..18].copy_from_slice(&ck.to_be_bytes());
+            }
+            L4Header::Icmp(h) => {
+                let mut hh = *h;
+                hh.checksum = 0;
+                hh.encode(&mut seg);
+                seg.put_slice(&self.payload);
+                let ck = checksum::checksum(&seg);
+                seg[2..4].copy_from_slice(&ck.to_be_bytes());
+            }
+            L4Header::Raw(raw) => {
+                seg.put_slice(raw);
+                seg.put_slice(&self.payload);
+            }
+        }
+        buf.put_slice(&seg);
+        buf.to_vec()
+    }
+
+    fn transport_checksum(&self, segment: &[u8]) -> u16 {
+        match &self.ip {
+            IpHeader::V4(h) => checksum::pseudo_header_v4(h.src, h.dst, h.protocol, segment),
+            IpHeader::V6(h) => {
+                checksum::pseudo_header_v6(h.src, h.dst, h.next_header, segment)
+            }
+        }
+    }
+
+    /// Parses a packet from wire bytes.
+    pub fn decode(buf: &[u8]) -> NetResult<Packet> {
+        let (eth, mut off) = EthernetHeader::decode(buf)?;
+        let (ip, ip_len) = match eth.ethertype {
+            EtherType::IPV4 => {
+                let (h, n) = Ipv4Header::decode(&buf[off..])?;
+                (IpHeader::V4(h), n)
+            }
+            EtherType::IPV6 => {
+                let (h, n) = Ipv6Header::decode(&buf[off..])?;
+                (IpHeader::V6(h), n)
+            }
+            _ => {
+                return Err(NetError::Malformed {
+                    what: "packet",
+                    detail: "unsupported ethertype",
+                })
+            }
+        };
+        off += ip_len;
+        let l4_and_payload = &buf[off..];
+        let (l4, l4_len) = match ip.protocol() {
+            IpProtocol::UDP => {
+                let (h, n) = UdpHeader::decode(l4_and_payload)?;
+                (L4Header::Udp(h), n)
+            }
+            IpProtocol::TCP => {
+                let (h, n) = TcpHeader::decode(l4_and_payload)?;
+                (L4Header::Tcp(h), n)
+            }
+            IpProtocol::ICMP => {
+                let (h, n) = IcmpHeader::decode(l4_and_payload)?;
+                (L4Header::Icmp(h), n)
+            }
+            _ => (L4Header::Raw(l4_and_payload.to_vec()), l4_and_payload.len()),
+        };
+        let payload = l4_and_payload[l4_len..].to_vec();
+        Ok(Packet {
+            eth,
+            ip,
+            l4,
+            payload,
+        })
+    }
+
+    /// Total wire length in bytes.
+    pub fn wire_len(&self) -> usize {
+        // Cheap but exact: encode_len mirrors encode's layout.
+        let ip_len = match &self.ip {
+            IpHeader::V4(_) => crate::ipv4::HEADER_LEN,
+            IpHeader::V6(_) => crate::ipv6::HEADER_LEN,
+        };
+        let l4_len = match &self.l4 {
+            L4Header::Udp(_) => crate::udp::HEADER_LEN,
+            L4Header::Tcp(h) => h.header_len(),
+            L4Header::Icmp(_) => crate::icmp::HEADER_LEN,
+            L4Header::Raw(raw) => raw.len(),
+        };
+        crate::ethernet::HEADER_LEN + ip_len + l4_len + self.payload.len()
+    }
+
+    /// Extracts the flow key the dataplane and flow collector use.
+    pub fn flow_key(&self) -> FlowKey {
+        FlowKey {
+            src_mac: self.eth.src,
+            dst_mac: self.eth.dst,
+            src_ip: self.ip.src(),
+            dst_ip: self.ip.dst(),
+            protocol: self.ip.protocol(),
+            src_port: self.l4.src_port().unwrap_or(0),
+            dst_port: self.l4.dst_port().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (MacAddr::for_member(64500, 1), MacAddr::for_member(64501, 1))
+    }
+
+    #[test]
+    fn udp_v4_encode_decode_round_trip() {
+        let (s, d) = macs();
+        let p = Packet::udp_v4(
+            s,
+            d,
+            Ipv4Address::new(203, 0, 113, 7),
+            Ipv4Address::new(100, 10, 10, 10),
+            123,
+            47123,
+            vec![0xab; 468],
+        );
+        let wire = p.encode();
+        assert_eq!(wire.len(), p.wire_len());
+        let q = Packet::decode(&wire).unwrap();
+        assert_eq!(q.flow_key(), p.flow_key());
+        assert_eq!(q.payload, p.payload);
+        // The decoded UDP checksum must verify against the pseudo-header.
+        if let (IpHeader::V4(ip), L4Header::Udp(_)) = (&q.ip, &q.l4) {
+            let seg = &wire[14 + 20..];
+            assert_eq!(
+                checksum::pseudo_header_v4(ip.src, ip.dst, ip.protocol, seg),
+                0
+            );
+        } else {
+            panic!("wrong layers");
+        }
+    }
+
+    #[test]
+    fn tcp_v4_encode_decode_round_trip() {
+        let (s, d) = macs();
+        let p = Packet::tcp_v4(
+            s,
+            d,
+            Ipv4Address::new(198, 51, 100, 9),
+            Ipv4Address::new(100, 10, 10, 10),
+            51000,
+            443,
+            crate::tcp::TcpFlags::SYN,
+            vec![],
+        );
+        let wire = p.encode();
+        let q = Packet::decode(&wire).unwrap();
+        assert_eq!(q.flow_key(), p.flow_key());
+        match q.l4 {
+            L4Header::Tcp(h) => assert!(h.flags.is_syn_only()),
+            _ => panic!("expected tcp"),
+        }
+    }
+
+    #[test]
+    fn udp_v6_encode_decode_round_trip() {
+        let (s, d) = macs();
+        let p = Packet::udp_v6(
+            s,
+            d,
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            53,
+            55000,
+            vec![1, 2, 3],
+        );
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(q.flow_key(), p.flow_key());
+        assert_eq!(q.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn flow_key_uses_zero_for_portless_protocols() {
+        let (s, d) = macs();
+        let mut p = Packet::udp_v4(
+            s,
+            d,
+            Ipv4Address::new(1, 1, 1, 1),
+            Ipv4Address::new(2, 2, 2, 2),
+            9,
+            9,
+            vec![],
+        );
+        p.l4 = L4Header::Icmp(IcmpHeader::echo_request(1, 1));
+        if let IpHeader::V4(ref mut h) = p.ip {
+            h.protocol = IpProtocol::ICMP;
+            h.total_len = (crate::ipv4::HEADER_LEN + crate::icmp::HEADER_LEN) as u16;
+        }
+        let k = p.flow_key();
+        assert_eq!(k.src_port, 0);
+        assert_eq!(k.dst_port, 0);
+        // And it survives the wire.
+        let q = Packet::decode(&p.encode()).unwrap();
+        assert_eq!(q.flow_key(), k);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_ethertype() {
+        let (s, d) = macs();
+        let mut wire = Packet::udp_v4(
+            s,
+            d,
+            Ipv4Address::new(1, 1, 1, 1),
+            Ipv4Address::new(2, 2, 2, 2),
+            1,
+            2,
+            vec![],
+        )
+        .encode();
+        wire[12] = 0x88;
+        wire[13] = 0xcc; // LLDP
+        assert!(Packet::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn raw_transport_round_trips() {
+        let (s, d) = macs();
+        let gre_bytes = vec![0u8, 0, 0x08, 0];
+        let ip = Ipv4Header::new(
+            Ipv4Address::new(1, 1, 1, 1),
+            Ipv4Address::new(2, 2, 2, 2),
+            IpProtocol::GRE,
+            gre_bytes.len(),
+        );
+        let p = Packet {
+            eth: EthernetHeader {
+                dst: d,
+                src: s,
+                ethertype: EtherType::IPV4,
+            },
+            ip: IpHeader::V4(ip),
+            l4: L4Header::Raw(gre_bytes.clone()),
+            payload: vec![],
+        };
+        let q = Packet::decode(&p.encode()).unwrap();
+        match q.l4 {
+            L4Header::Raw(raw) => assert_eq!(raw, gre_bytes),
+            _ => panic!("expected raw"),
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Well-known transport ports, with emphasis on the amplification-prone
+//! UDP services the paper's measurement study highlights (§2.3, Fig. 3a).
+
+/// HTTP.
+pub const HTTP: u16 = 80;
+/// HTTPS.
+pub const HTTPS: u16 = 443;
+/// HTTP alternate, common for web backends (appears in Fig. 2c).
+pub const HTTP_ALT: u16 = 8080;
+/// RTMP streaming (appears in Fig. 2c).
+pub const RTMP: u16 = 1935;
+/// DNS ("domain").
+pub const DNS: u16 = 53;
+/// NTP.
+pub const NTP: u16 = 123;
+/// Chargen.
+pub const CHARGEN: u16 = 19;
+/// CLDAP/LDAP.
+pub const LDAP: u16 = 389;
+/// memcached.
+pub const MEMCACHED: u16 = 11211;
+/// SSDP.
+pub const SSDP: u16 = 1900;
+/// SNMP.
+pub const SNMP: u16 = 161;
+/// Port 0 — unassigned; in the wild it marks fragmented amplification
+/// responses whose flow records lose the original port.
+pub const UNASSIGNED: u16 = 0;
+
+/// The six UDP source ports Fig. 3(a) reports as dominating blackholed
+/// traffic, in the paper's plotting order.
+pub const FIG3A_PORTS: [u16; 6] = [UNASSIGNED, NTP, LDAP, MEMCACHED, DNS, CHARGEN];
+
+/// Human-readable label for a UDP source port, matching the paper's axis
+/// annotations ("0 (unass.)", "123 (ntp)", ...).
+pub fn port_label(port: u16) -> String {
+    let name = match port {
+        UNASSIGNED => "unass.",
+        NTP => "ntp",
+        LDAP => "ldap",
+        MEMCACHED => "memc.",
+        DNS => "domain",
+        CHARGEN => "chargen",
+        SSDP => "ssdp",
+        SNMP => "snmp",
+        HTTP => "http",
+        HTTPS => "https",
+        HTTP_ALT => "http-alt",
+        RTMP => "rtmp",
+        _ => return port.to_string(),
+    };
+    format!("{port} ({name})")
+}
+
+/// True if `port` is one of the UDP services known to be highly susceptible
+/// to amplification abuse.
+pub fn is_amplification_prone(port: u16) -> bool {
+    matches!(
+        port,
+        NTP | DNS | CHARGEN | LDAP | MEMCACHED | SSDP | SNMP | UNASSIGNED
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_annotations() {
+        assert_eq!(port_label(0), "0 (unass.)");
+        assert_eq!(port_label(123), "123 (ntp)");
+        assert_eq!(port_label(11211), "11211 (memc.)");
+        assert_eq!(port_label(53), "53 (domain)");
+        assert_eq!(port_label(4444), "4444");
+    }
+
+    #[test]
+    fn amplification_classification() {
+        for p in FIG3A_PORTS {
+            assert!(is_amplification_prone(p), "{p} should be amplification-prone");
+        }
+        assert!(!is_amplification_prone(HTTP));
+        assert!(!is_amplification_prone(HTTPS));
+    }
+}

@@ -1,0 +1,85 @@
+//! IP protocol numbers (the `protocol`/`next header` field).
+
+use core::fmt;
+
+/// An IP protocol number.
+///
+/// Blackholing rules match on this field; the paper's signaling grammar
+/// encodes it in the extended community (e.g. `IXP:2:123` where `2` selects
+/// UDP-source matching).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IpProtocol(pub u8);
+
+impl IpProtocol {
+    /// ICMP (1).
+    pub const ICMP: IpProtocol = IpProtocol(1);
+    /// IGMP (2).
+    pub const IGMP: IpProtocol = IpProtocol(2);
+    /// TCP (6).
+    pub const TCP: IpProtocol = IpProtocol(6);
+    /// UDP (17).
+    pub const UDP: IpProtocol = IpProtocol(17);
+    /// GRE (47).
+    pub const GRE: IpProtocol = IpProtocol(47);
+    /// ESP (50).
+    pub const ESP: IpProtocol = IpProtocol(50);
+    /// ICMPv6 (58).
+    pub const ICMPV6: IpProtocol = IpProtocol(58);
+
+    /// True if the protocol carries 16-bit source/destination ports in the
+    /// first four bytes of its header (TCP and UDP).
+    pub fn has_ports(&self) -> bool {
+        matches!(*self, IpProtocol::TCP | IpProtocol::UDP)
+    }
+
+    /// Well-known name, if any.
+    pub fn name(&self) -> Option<&'static str> {
+        Some(match *self {
+            IpProtocol::ICMP => "icmp",
+            IpProtocol::IGMP => "igmp",
+            IpProtocol::TCP => "tcp",
+            IpProtocol::UDP => "udp",
+            IpProtocol::GRE => "gre",
+            IpProtocol::ESP => "esp",
+            IpProtocol::ICMPV6 => "icmpv6",
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.name() {
+            Some(n) => f.write_str(n),
+            None => write!(f, "proto-{}", self.0),
+        }
+    }
+}
+
+impl fmt::Debug for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        IpProtocol(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_ports() {
+        assert_eq!(IpProtocol::TCP.to_string(), "tcp");
+        assert_eq!(IpProtocol::UDP.to_string(), "udp");
+        assert_eq!(IpProtocol(200).to_string(), "proto-200");
+        assert!(IpProtocol::TCP.has_ports());
+        assert!(IpProtocol::UDP.has_ports());
+        assert!(!IpProtocol::ICMP.has_ports());
+        assert!(!IpProtocol::GRE.has_ports());
+    }
+}

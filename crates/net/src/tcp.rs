@@ -1,0 +1,194 @@
+//! TCP header codec (RFC 793, options opaque).
+
+use crate::error::{ensure_len, NetError, NetResult};
+use bytes::BufMut;
+use core::fmt;
+
+/// Minimum TCP header length (no options).
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+    /// URG.
+    pub const URG: u8 = 0x20;
+
+    /// True if the given bit is set.
+    pub fn has(&self, bit: u8) -> bool {
+        self.0 & bit != 0
+    }
+
+    /// True for a connection-opening SYN without ACK. The trickle of SYNs
+    /// into a blackhole is the "small fraction of TCP control packets" that
+    /// §2.3 identifies as evidence of collateral damage.
+    pub fn is_syn_only(&self) -> bool {
+        self.has(Self::SYN) && !self.has(Self::ACK)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::SYN, "S"),
+            (Self::ACK, "A"),
+            (Self::FIN, "F"),
+            (Self::RST, "R"),
+            (Self::PSH, "P"),
+            (Self::URG, "U"),
+        ];
+        for (bit, n) in names {
+            if self.has(bit) {
+                f.write_str(n)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A TCP header. Options are preserved as raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum (carried verbatim).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Raw option bytes, padded to a 4-byte multiple.
+    pub options: Vec<u8>,
+}
+
+impl TcpHeader {
+    /// Builds a minimal header with the given flags.
+    pub fn new(src_port: u16, dst_port: u16, flags: u8) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags(flags),
+            window: 65535,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+
+    /// Header length including options.
+    pub fn header_len(&self) -> usize {
+        MIN_HEADER_LEN + self.options.len()
+    }
+
+    /// Encodes the header.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        debug_assert!(self.options.len() % 4 == 0, "options must be padded");
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        let data_offset = (self.header_len() / 4) as u8;
+        buf.put_u8(data_offset << 4);
+        buf.put_u8(self.flags.0);
+        buf.put_u16(self.window);
+        buf.put_u16(self.checksum);
+        buf.put_u16(self.urgent);
+        buf.put_slice(&self.options);
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> NetResult<(Self, usize)> {
+        ensure_len("tcp header", buf, MIN_HEADER_LEN)?;
+        let data_offset = (buf[12] >> 4) as usize * 4;
+        if data_offset < MIN_HEADER_LEN {
+            return Err(NetError::Malformed {
+                what: "tcp header",
+                detail: "data offset shorter than minimum header",
+            });
+        }
+        ensure_len("tcp header options", buf, data_offset)?;
+        Ok((
+            TcpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+                ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+                flags: TcpFlags(buf[13]),
+                window: u16::from_be_bytes([buf[14], buf[15]]),
+                checksum: u16::from_be_bytes([buf[16], buf[17]]),
+                urgent: u16::from_be_bytes([buf[18], buf[19]]),
+                options: buf[MIN_HEADER_LEN..data_offset].to_vec(),
+            },
+            data_offset,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn encode_decode_round_trip_without_options() {
+        let h = TcpHeader::new(51000, 443, TcpFlags::SYN);
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, used) = TcpHeader::decode(&buf).unwrap();
+        assert_eq!(used, MIN_HEADER_LEN);
+        assert_eq!(d, h);
+        assert!(d.flags.is_syn_only());
+    }
+
+    #[test]
+    fn encode_decode_round_trip_with_options() {
+        let mut h = TcpHeader::new(51000, 443, TcpFlags::SYN | TcpFlags::ACK);
+        h.options = vec![2, 4, 5, 0xb4, 1, 1, 1, 0]; // MSS + padding
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, used) = TcpHeader::decode(&buf).unwrap();
+        assert_eq!(used, 28);
+        assert_eq!(d, h);
+        assert!(!d.flags.is_syn_only());
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let h = TcpHeader::new(1, 2, 0);
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let mut raw = buf.to_vec();
+        raw[12] = 0x40; // data offset 4 words = 16 bytes < 20
+        assert!(matches!(TcpHeader::decode(&raw), Err(NetError::Malformed { .. })));
+        raw[12] = 0xf0; // data offset 60 bytes, buffer too short
+        assert!(matches!(TcpHeader::decode(&raw), Err(NetError::Truncated { .. })));
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(TcpFlags(TcpFlags::SYN | TcpFlags::ACK).to_string(), "SA");
+        assert_eq!(TcpFlags(TcpFlags::RST).to_string(), "R");
+        assert_eq!(TcpFlags::default().to_string(), "");
+    }
+}

@@ -1,0 +1,98 @@
+//! UDP header codec (RFC 768).
+
+use crate::error::{ensure_len, NetError, NetResult};
+use bytes::BufMut;
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A UDP header. The checksum field is carried verbatim; computing it
+/// requires the IP pseudo-header, which [`crate::packet::Packet`] owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port — the field amplification attacks are identified by
+    /// (NTP 123, DNS 53, memcached 11211, ...).
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload in bytes.
+    pub length: u16,
+    /// Checksum over pseudo-header + segment (0 = not computed).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Builds a header for a payload of `payload_len` bytes, checksum unset.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: (HEADER_LEN + payload_len) as u16,
+            checksum: 0,
+        }
+    }
+
+    /// Payload length implied by the length field.
+    pub fn payload_len(&self) -> usize {
+        (self.length as usize).saturating_sub(HEADER_LEN)
+    }
+
+    /// Encodes the header.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.length);
+        buf.put_u16(self.checksum);
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode(buf: &[u8]) -> NetResult<(Self, usize)> {
+        ensure_len("udp header", buf, HEADER_LEN)?;
+        let length = u16::from_be_bytes([buf[4], buf[5]]);
+        if (length as usize) < HEADER_LEN {
+            return Err(NetError::Malformed {
+                what: "udp header",
+                detail: "length shorter than header",
+            });
+        }
+        Ok((
+            UdpHeader {
+                src_port: u16::from_be_bytes([buf[0], buf[1]]),
+                dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+                length,
+                checksum: u16::from_be_bytes([buf[6], buf[7]]),
+            },
+            HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = UdpHeader::new(123, 40000, 468);
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, used) = UdpHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(d, h);
+        assert_eq!(d.payload_len(), 468);
+    }
+
+    #[test]
+    fn rejects_short_buffer_and_bad_length() {
+        assert!(UdpHeader::decode(&[0u8; 7]).is_err());
+        let mut h = UdpHeader::new(1, 2, 0);
+        h.length = 3;
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert!(matches!(
+            UdpHeader::decode(&buf),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests: every codec in stellar-net satisfies `decode ∘ encode = id`,
+//! and prefix containment obeys its lattice laws.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use stellar_net::addr::{Ipv4Address, Ipv6Address};
+use stellar_net::ethernet::{EtherType, EthernetHeader};
+use stellar_net::ipv4::Ipv4Header;
+use stellar_net::ipv6::Ipv6Header;
+use stellar_net::mac::MacAddr;
+use stellar_net::packet::Packet;
+use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix};
+use stellar_net::proto::IpProtocol;
+use stellar_net::tcp::TcpHeader;
+use stellar_net::udp::UdpHeader;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Address> {
+    any::<[u8; 4]>().prop_map(Ipv4Address)
+}
+
+fn arb_ipv6() -> impl Strategy<Value = Ipv6Address> {
+    any::<[u8; 16]>().prop_map(Ipv6Address)
+}
+
+proptest! {
+    #[test]
+    fn mac_display_parse_round_trip(mac in arb_mac()) {
+        let parsed: MacAddr = mac.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, mac);
+    }
+
+    #[test]
+    fn ipv4_display_parse_round_trip(a in arb_ipv4()) {
+        let parsed: Ipv4Address = a.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn ipv6_display_parse_round_trip(a in arb_ipv6()) {
+        let parsed: Ipv6Address = a.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn ethernet_round_trip(dst in arb_mac(), src in arb_mac(), et in 0x0600u16..=0xffff) {
+        let h = EthernetHeader { dst, src, ethertype: EtherType(et) };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, n) = EthernetHeader::decode(&buf).unwrap();
+        prop_assert_eq!(n, buf.len());
+        prop_assert_eq!(d, h);
+    }
+
+    #[test]
+    fn ipv4_header_round_trip(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        tos in any::<u8>(), ident in any::<u16>(), ttl in any::<u8>(),
+        proto in any::<u8>(), payload_len in 0usize..1400,
+        df in any::<bool>(), mf in any::<bool>(), frag in 0u16..0x2000,
+    ) {
+        let mut h = Ipv4Header::new(src, dst, IpProtocol(proto), payload_len);
+        h.tos = tos;
+        h.ident = ident;
+        h.ttl = ttl;
+        h.dont_frag = df;
+        h.more_frags = mf;
+        h.frag_offset = frag;
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, _) = Ipv4Header::decode(&buf).unwrap();
+        prop_assert_eq!(d, h);
+    }
+
+    #[test]
+    fn ipv6_header_round_trip(
+        src in arb_ipv6(), dst in arb_ipv6(),
+        tc in any::<u8>(), fl in 0u32..0x10_0000, nh in any::<u8>(),
+        hl in any::<u8>(), plen in any::<u16>(),
+    ) {
+        let h = Ipv6Header {
+            traffic_class: tc, flow_label: fl, payload_len: plen,
+            next_header: IpProtocol(nh), hop_limit: hl, src, dst,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, _) = Ipv6Header::decode(&buf).unwrap();
+        prop_assert_eq!(d, h);
+    }
+
+    #[test]
+    fn udp_round_trip(sp in any::<u16>(), dp in any::<u16>(), plen in 0usize..60000, ck in any::<u16>()) {
+        let mut h = UdpHeader::new(sp, dp, plen);
+        h.checksum = ck;
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, _) = UdpHeader::decode(&buf).unwrap();
+        prop_assert_eq!(d, h);
+    }
+
+    #[test]
+    fn tcp_round_trip(
+        sp in any::<u16>(), dp in any::<u16>(), seq in any::<u32>(), ack in any::<u32>(),
+        flags in any::<u8>(), win in any::<u16>(), opt_words in 0usize..=10,
+    ) {
+        let mut h = TcpHeader::new(sp, dp, flags);
+        h.seq = seq;
+        h.ack = ack;
+        h.window = win;
+        h.options = vec![1u8; opt_words * 4];
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        let (d, n) = TcpHeader::decode(&buf).unwrap();
+        prop_assert_eq!(n, h.header_len());
+        prop_assert_eq!(d, h);
+    }
+
+    #[test]
+    fn full_udp_packet_round_trip(
+        smac in arb_mac(), dmac in arb_mac(),
+        sip in arb_ipv4(), dip in arb_ipv4(),
+        sp in any::<u16>(), dp in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1200),
+    ) {
+        let p = Packet::udp_v4(smac, dmac, sip, dip, sp, dp, payload);
+        let wire = p.encode();
+        prop_assert_eq!(wire.len(), p.wire_len());
+        let q = Packet::decode(&wire).unwrap();
+        prop_assert_eq!(q.flow_key(), p.flow_key());
+        prop_assert_eq!(q.payload, p.payload);
+    }
+
+    #[test]
+    fn prefix_contains_its_own_hosts(a in arb_ipv4(), len in 0u8..=32, i in any::<u64>()) {
+        let p = Ipv4Prefix::new(a, len).unwrap();
+        prop_assert!(p.contains(p.nth_host(i)));
+    }
+
+    #[test]
+    fn prefix_covers_is_reflexive_and_antisymmetric(a in arb_ipv4(), la in 0u8..=32, b in arb_ipv4(), lb in 0u8..=32) {
+        let pa = Ipv4Prefix::new(a, la).unwrap();
+        let pb = Ipv4Prefix::new(b, lb).unwrap();
+        prop_assert!(pa.covers(&pa));
+        if pa.covers(&pb) && pb.covers(&pa) {
+            prop_assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn prefix_parent_covers_child(a in arb_ipv4(), len in 1u8..=32) {
+        let p = Ipv4Prefix::new(a, len).unwrap();
+        let parent = p.parent().unwrap();
+        prop_assert!(parent.covers(&p));
+        prop_assert!(p.is_more_specific_than(&parent));
+    }
+
+    #[test]
+    fn prefix_display_parse_round_trip(a in arb_ipv4(), len in 0u8..=32) {
+        let p = Ipv4Prefix::new(a, len).unwrap();
+        let parsed: Ipv4Prefix = p.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn v6_prefix_canonicalization_is_idempotent(a in arb_ipv6(), len in 0u8..=128) {
+        let p = Ipv6Prefix::new(a, len).unwrap();
+        let q = Ipv6Prefix::new(p.addr(), len).unwrap();
+        prop_assert_eq!(p, q);
+        prop_assert!(p.contains(a));
+    }
+}

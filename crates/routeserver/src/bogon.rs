@@ -1,0 +1,85 @@
+//! Bogon filtering: prefixes that must never appear in inter-domain
+//! routing (\[28\] in the paper).
+//!
+//! The documentation TEST-NET ranges (192.0.2.0/24 etc.) are deliberately
+//! *not* listed: the emulation uses them as synthetic public address
+//! space, exactly because no real network owns them.
+
+use stellar_net::prefix::Prefix;
+
+/// The filtered IPv4 bogon ranges.
+pub fn bogon_list_v4() -> Vec<Prefix> {
+    [
+        "0.0.0.0/8",       // "this" network
+        "10.0.0.0/8",      // RFC 1918
+        "100.64.0.0/10",   // CGN shared space
+        "127.0.0.0/8",     // loopback
+        "169.254.0.0/16",  // link local
+        "172.16.0.0/12",   // RFC 1918
+        "192.168.0.0/16",  // RFC 1918
+        "224.0.0.0/4",     // multicast
+        "240.0.0.0/4",     // reserved
+    ]
+    .iter()
+    .map(|s| s.parse().expect("static bogon list parses"))
+    .collect()
+}
+
+/// The filtered IPv6 bogon ranges (a pragmatic subset).
+pub fn bogon_list_v6() -> Vec<Prefix> {
+    ["::/8", "fc00::/7", "fe80::/10", "ff00::/8"]
+        .iter()
+        .map(|s| s.parse().expect("static bogon list parses"))
+        .collect()
+}
+
+/// True if `prefix` falls inside (or equals) a bogon range.
+pub fn is_bogon(prefix: &Prefix) -> bool {
+    let list = if prefix.is_v4() {
+        bogon_list_v4()
+    } else {
+        bogon_list_v6()
+    };
+    list.iter().any(|b| b.covers(prefix))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn private_space_is_bogon() {
+        assert!(is_bogon(&p("10.1.2.0/24")));
+        assert!(is_bogon(&p("192.168.0.0/16")));
+        assert!(is_bogon(&p("172.20.0.0/16")));
+        assert!(is_bogon(&p("127.0.0.1/32")));
+        assert!(is_bogon(&p("224.1.2.3/32")));
+        assert!(is_bogon(&p("100.64.1.0/24")));
+    }
+
+    #[test]
+    fn public_space_is_not_bogon() {
+        assert!(!is_bogon(&p("100.10.10.0/24"))); // 100.0.0.0/10 side of 100/8
+        assert!(!is_bogon(&p("8.8.8.0/24")));
+        assert!(!is_bogon(&p("203.0.113.0/24"))); // TEST-NET-3: synthetic public
+        assert!(!is_bogon(&p("172.32.0.0/16"))); // just outside RFC1918
+    }
+
+    #[test]
+    fn covering_a_bogon_is_not_itself_bogon() {
+        // A /6 containing 10/8 is not inside any bogon range.
+        assert!(!is_bogon(&p("8.0.0.0/6")));
+    }
+
+    #[test]
+    fn v6_bogons() {
+        assert!(is_bogon(&p("fe80::/64")));
+        assert!(is_bogon(&p("fc00::1/128")));
+        assert!(is_bogon(&p("ff02::/16")));
+        assert!(!is_bogon(&p("2001:db8::/32")));
+    }
+}

@@ -1,0 +1,155 @@
+//! Route-server action communities: the per-peer announcement control
+//! members attach to their announcements (§2.2 "selective advertisements
+//! to certain peers or advertisements to all/none").
+//!
+//! The conventional encoding at large European IXPs:
+//!
+//! - `0:<ixp-asn>`   — announce to **no** peer (then whitelist),
+//! - `<ixp-asn>:<peer-asn>` — **do** announce to that peer,
+//! - `0:<peer-asn>`  — do **not** announce to that peer,
+//! - no action community — announce to all.
+//!
+//! Fig. 3(b) classifies blackholing announcements by the scope these
+//! communities express: "All", "All−k" (all except k peers), or an
+//! explicit whitelist of k peers.
+
+use stellar_bgp::community::Community;
+use stellar_bgp::types::Asn;
+
+/// Whether an announcement tagged with `communities` should be exported to
+/// `target`. `ixp_asn` is the route server's AS (must fit 16 bits for the
+/// classic encoding).
+pub fn should_announce(communities: &[Community], target: Asn, ixp_asn: Asn) -> bool {
+    let ixp16 = ixp_asn.0 as u16;
+    let target16 = target.0 as u16;
+    let block_all = communities
+        .iter()
+        .any(|c| c.asn() == 0 && c.value() == ixp16);
+    let explicit_allow = communities
+        .iter()
+        .any(|c| c.asn() == ixp16 && c.value() == target16);
+    let explicit_block = communities
+        .iter()
+        .any(|c| c.asn() == 0 && c.value() == target16 && c.value() != ixp16);
+    if explicit_block {
+        return false;
+    }
+    if block_all {
+        return explicit_allow;
+    }
+    true
+}
+
+/// The export scope a community set expresses over a peer population.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyScope {
+    /// Announce to every peer.
+    All,
+    /// Announce to all but `n` peers.
+    AllExcept(usize),
+    /// Announce only to `n` explicitly whitelisted peers.
+    Only(usize),
+}
+
+impl PolicyScope {
+    /// The label used on Fig. 3(b)'s x-axis.
+    pub fn label(&self) -> String {
+        match self {
+            PolicyScope::All => "All".to_string(),
+            PolicyScope::AllExcept(n) => format!("All-{n}"),
+            PolicyScope::Only(n) => format!("{n}"),
+        }
+    }
+}
+
+/// Classifies a community set the way Fig. 3(b) does.
+pub fn classify_scope(communities: &[Community], ixp_asn: Asn) -> PolicyScope {
+    let ixp16 = ixp_asn.0 as u16;
+    let block_all = communities
+        .iter()
+        .any(|c| c.asn() == 0 && c.value() == ixp16);
+    if block_all {
+        let allowed = communities
+            .iter()
+            .filter(|c| c.asn() == ixp16 && c.value() != 666)
+            .count();
+        PolicyScope::Only(allowed)
+    } else {
+        let blocked = communities
+            .iter()
+            .filter(|c| c.asn() == 0 && c.value() != ixp16)
+            .count();
+        if blocked == 0 {
+            PolicyScope::All
+        } else {
+            PolicyScope::AllExcept(blocked)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IXP: Asn = Asn(6695);
+
+    #[test]
+    fn default_is_announce_to_all() {
+        assert!(should_announce(&[], Asn(64500), IXP));
+        assert!(should_announce(&[Community::BLACKHOLE], Asn(64500), IXP));
+        assert_eq!(classify_scope(&[], IXP), PolicyScope::All);
+    }
+
+    #[test]
+    fn block_one_peer() {
+        let cs = [Community::new(0, 64500)];
+        assert!(!should_announce(&cs, Asn(64500), IXP));
+        assert!(should_announce(&cs, Asn(64501), IXP));
+        assert_eq!(classify_scope(&cs, IXP), PolicyScope::AllExcept(1));
+        assert_eq!(classify_scope(&cs, IXP).label(), "All-1");
+    }
+
+    #[test]
+    fn announce_to_none_with_whitelist() {
+        let cs = [
+            Community::new(0, 6695),      // block all
+            Community::new(6695, 64500),  // allow 64500
+            Community::new(6695, 64501),  // allow 64501
+        ];
+        assert!(should_announce(&cs, Asn(64500), IXP));
+        assert!(should_announce(&cs, Asn(64501), IXP));
+        assert!(!should_announce(&cs, Asn(64502), IXP));
+        assert_eq!(classify_scope(&cs, IXP), PolicyScope::Only(2));
+        assert_eq!(classify_scope(&cs, IXP).label(), "2");
+    }
+
+    #[test]
+    fn explicit_block_beats_everything() {
+        let cs = [
+            Community::new(0, 6695),
+            Community::new(6695, 64500),
+            Community::new(0, 64500),
+        ];
+        assert!(!should_announce(&cs, Asn(64500), IXP));
+    }
+
+    #[test]
+    fn blackhole_community_does_not_affect_scope() {
+        // IXP:666 is the blackhole tag, not a whitelist entry.
+        let cs = [Community::new(6695, 666)];
+        assert_eq!(classify_scope(&cs, IXP), PolicyScope::All);
+        let cs = [
+            Community::new(0, 6695),
+            Community::new(6695, 666),
+            Community::new(6695, 64500),
+        ];
+        assert_eq!(classify_scope(&cs, IXP), PolicyScope::Only(1));
+    }
+
+    #[test]
+    fn multiple_excludes_classify_as_all_minus_k() {
+        let cs: Vec<Community> = (0..5).map(|i| Community::new(0, 64500 + i)).collect();
+        assert_eq!(classify_scope(&cs, IXP), PolicyScope::AllExcept(5));
+        assert_eq!(classify_scope(&cs, IXP).label(), "All-5");
+    }
+}

@@ -1,0 +1,269 @@
+//! The route server's import policy: routing hygiene (§4.3).
+
+use crate::bogon;
+use crate::irr::IrrDb;
+use crate::rpki::{RpkiStatus, RpkiTable};
+use stellar_bgp::community::Community;
+use stellar_bgp::types::Asn;
+use stellar_net::prefix::Prefix;
+
+/// Why an announcement was rejected on import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The prefix is in a bogon range.
+    Bogon,
+    /// More specific than /24 (IPv4) or /48 (IPv6) without a blackhole
+    /// community — the default-filter behaviour that makes plain
+    /// more-specifics unusable and RTBH need an exception (§1.1).
+    TooSpecific,
+    /// No IRR route object authorizes this origin for this prefix.
+    IrrMismatch,
+    /// RPKI validation returned Invalid.
+    RpkiInvalid,
+    /// The AS_PATH's first hop is not the announcing peer.
+    PathMismatch,
+    /// The peer exceeded its max-prefix limit.
+    MaxPrefixExceeded,
+}
+
+impl RejectReason {
+    /// Human-readable description.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            RejectReason::Bogon => "prefix is a bogon",
+            RejectReason::TooSpecific => "more specific than /24 without blackhole community",
+            RejectReason::IrrMismatch => "no IRR route object for this origin",
+            RejectReason::RpkiInvalid => "RPKI invalid",
+            RejectReason::PathMismatch => "AS_PATH does not start with the announcing peer",
+            RejectReason::MaxPrefixExceeded => "peer exceeded its max-prefix limit",
+        }
+    }
+}
+
+/// The import policy of the route server.
+#[derive(Debug, Default)]
+pub struct ImportPolicy {
+    /// IRR database.
+    pub irr: IrrDb,
+    /// RPKI ROA table.
+    pub rpki: RpkiTable,
+    /// Reject RPKI-invalid announcements (production default: true).
+    pub reject_rpki_invalid: bool,
+    /// Maximum prefixes accepted per peer (max-prefix protection, the
+    /// standard guard against route-table flooding \[51\]). `None`
+    /// disables the check.
+    pub max_prefixes_per_peer: Option<usize>,
+}
+
+impl ImportPolicy {
+    /// A policy with empty databases that rejects RPKI-invalids.
+    pub fn new(irr: IrrDb, rpki: RpkiTable) -> Self {
+        ImportPolicy {
+            irr,
+            rpki,
+            reject_rpki_invalid: true,
+            max_prefixes_per_peer: Some(10_000),
+        }
+    }
+
+    /// Validates an announcement of `prefix` by `peer` whose AS_PATH
+    /// starts with `first_as` and originates at `origin`, tagged with
+    /// `communities`. `ixp_asn` identifies the IXP's blackhole community.
+    /// `ixp_service_signal` is true when the update carries an
+    /// IXP-namespace extended community (a Stellar blackholing signal) —
+    /// those announcements get the same more-specific exception as RTBH,
+    /// since the /32 only reaches the blackholing controller.
+    pub fn validate(
+        &self,
+        peer: Asn,
+        first_as: Option<Asn>,
+        origin: Option<Asn>,
+        prefix: &Prefix,
+        communities: &[Community],
+        ixp_service_signal: bool,
+        ixp_asn: Asn,
+    ) -> Result<(), RejectReason> {
+        if bogon::is_bogon(prefix) {
+            return Err(RejectReason::Bogon);
+        }
+        if let Some(first) = first_as {
+            if first != peer {
+                return Err(RejectReason::PathMismatch);
+            }
+        }
+        let is_blackhole = communities.iter().any(|c| c.is_blackhole(ixp_asn));
+        if prefix.needs_blackhole_exception() && !is_blackhole && !ixp_service_signal {
+            return Err(RejectReason::TooSpecific);
+        }
+        let origin = origin.unwrap_or(peer);
+        if !self.irr.validates(prefix, origin) {
+            return Err(RejectReason::IrrMismatch);
+        }
+        if self.reject_rpki_invalid
+            && self.rpki.validate(prefix, origin) == RpkiStatus::Invalid
+        {
+            return Err(RejectReason::RpkiInvalid);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rpki::Roa;
+
+    const IXP: Asn = Asn(6695);
+    const MEMBER: Asn = Asn(64500);
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn policy() -> ImportPolicy {
+        let mut irr = IrrDb::new();
+        irr.register(p("100.10.10.0/24"), MEMBER);
+        let mut rpki = RpkiTable::new();
+        rpki.add(Roa {
+            prefix: p("100.10.10.0/24"),
+            max_len: 32,
+            asn: MEMBER,
+        });
+        ImportPolicy::new(irr, rpki)
+    }
+
+    #[test]
+    fn registered_announcement_is_accepted() {
+        let pol = policy();
+        assert_eq!(
+            pol.validate(MEMBER, Some(MEMBER), Some(MEMBER), &p("100.10.10.0/24"), &[], false, IXP),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn bogons_are_rejected() {
+        let pol = policy();
+        assert_eq!(
+            pol.validate(MEMBER, Some(MEMBER), Some(MEMBER), &p("10.0.0.0/8"), &[], false, IXP),
+            Err(RejectReason::Bogon)
+        );
+    }
+
+    #[test]
+    fn host_routes_need_the_blackhole_community() {
+        let pol = policy();
+        // /32 without the community: rejected as too specific.
+        assert_eq!(
+            pol.validate(MEMBER, Some(MEMBER), Some(MEMBER), &p("100.10.10.10/32"), &[], false, IXP),
+            Err(RejectReason::TooSpecific)
+        );
+        // With the well-known BLACKHOLE community: accepted.
+        assert_eq!(
+            pol.validate(
+                MEMBER,
+                Some(MEMBER),
+                Some(MEMBER),
+                &p("100.10.10.10/32"),
+                &[Community::BLACKHOLE],
+                false,
+                IXP
+            ),
+            Ok(())
+        );
+        // With the IXP-specific variant: accepted too.
+        assert_eq!(
+            pol.validate(
+                MEMBER,
+                Some(MEMBER),
+                Some(MEMBER),
+                &p("100.10.10.10/32"),
+                &[Community::new(6695, 666)],
+                false,
+                IXP
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn hijacks_are_rejected_by_irr() {
+        let pol = policy();
+        // A different member announcing someone else's prefix.
+        assert_eq!(
+            pol.validate(
+                Asn(64999),
+                Some(Asn(64999)),
+                Some(Asn(64999)),
+                &p("100.10.10.0/24"),
+                &[],
+                false,
+                IXP
+            ),
+            Err(RejectReason::IrrMismatch)
+        );
+    }
+
+    #[test]
+    fn rpki_invalid_is_rejected_when_enabled() {
+        let mut pol = policy();
+        // Register the hijacker in the IRR so RPKI is the deciding check.
+        pol.irr.register(p("100.10.10.0/24"), Asn(64999));
+        assert_eq!(
+            pol.validate(
+                Asn(64999),
+                Some(Asn(64999)),
+                Some(Asn(64999)),
+                &p("100.10.10.0/24"),
+                &[],
+                false,
+                IXP
+            ),
+            Err(RejectReason::RpkiInvalid)
+        );
+        pol.reject_rpki_invalid = false;
+        assert_eq!(
+            pol.validate(
+                Asn(64999),
+                Some(Asn(64999)),
+                Some(Asn(64999)),
+                &p("100.10.10.0/24"),
+                &[],
+                false,
+                IXP
+            ),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn path_spoofing_is_rejected() {
+        let pol = policy();
+        assert_eq!(
+            pol.validate(
+                MEMBER,
+                Some(Asn(64999)),
+                Some(MEMBER),
+                &p("100.10.10.0/24"),
+                &[],
+                false,
+                IXP
+            ),
+            Err(RejectReason::PathMismatch)
+        );
+    }
+
+    #[test]
+    fn reject_reasons_have_descriptions() {
+        for r in [
+            RejectReason::Bogon,
+            RejectReason::TooSpecific,
+            RejectReason::IrrMismatch,
+            RejectReason::RpkiInvalid,
+            RejectReason::PathMismatch,
+            RejectReason::MaxPrefixExceeded,
+        ] {
+            assert!(!r.describe().is_empty());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Route-server invariants under arbitrary member behaviour:
+//! - handle_update never panics,
+//! - every controller-feed message is wire-encodable under ADD-PATH,
+//! - every export is wire-encodable on a plain session,
+//! - exports never leak action communities and never target the sender.
+
+use proptest::prelude::*;
+use stellar_bgp::attr::{AsPath, PathAttribute};
+use stellar_bgp::community::Community;
+use stellar_bgp::message::{DecodeCtx, Message};
+use stellar_bgp::types::Asn;
+use stellar_bgp::update::UpdateMessage;
+use stellar_net::addr::Ipv4Address;
+use stellar_net::prefix::{Ipv4Prefix, Prefix};
+use stellar_routeserver::irr::IrrDb;
+use stellar_routeserver::policy::ImportPolicy;
+use stellar_routeserver::rpki::RpkiTable;
+use stellar_routeserver::server::{RouteServer, RouteServerConfig};
+
+fn server() -> RouteServer {
+    let mut irr = IrrDb::new();
+    // Broad route objects so a good share of generated updates validates.
+    for a in 0..8u32 {
+        irr.register(
+            Prefix::V4(Ipv4Prefix::new(Ipv4Address::new(100 + a as u8, 0, 0, 0), 8).unwrap()),
+            Asn(64500 + a),
+        );
+    }
+    let mut rs = RouteServer::new(
+        RouteServerConfig::l_ixp(),
+        ImportPolicy::new(irr, RpkiTable::new()),
+    );
+    for a in 0..8u32 {
+        rs.add_peer(Asn(64500 + a), Ipv4Address::new(80, 81, 192, a as u8 + 1));
+    }
+    rs
+}
+
+fn arb_update() -> impl Strategy<Value = (u32, UpdateMessage)> {
+    (
+        0u32..8,                                   // peer index
+        any::<[u8; 4]>(),                          // prefix bits
+        8u8..=32,                                  // prefix len
+        proptest::collection::vec(any::<u32>(), 0..4), // communities
+        any::<bool>(),                             // spoof first AS?
+        any::<bool>(),                             // blackhole tag?
+        any::<bool>(),                             // withdraw instead?
+    )
+        .prop_map(|(peer, octets, len, comms, spoof, blackhole, withdraw)| {
+            let asn = 64500 + peer;
+            let prefix =
+                Prefix::V4(Ipv4Prefix::new(Ipv4Address(octets), len).unwrap());
+            let u = if withdraw {
+                UpdateMessage::withdraw(prefix)
+            } else {
+                let first = if spoof { asn + 1 } else { asn };
+                let mut u = UpdateMessage::announce(
+                    prefix,
+                    Ipv4Address::new(80, 81, 192, peer as u8 + 1),
+                    PathAttribute::AsPath(AsPath::sequence([first])),
+                );
+                let mut cs: Vec<Community> = comms.into_iter().map(Community).collect();
+                if blackhole {
+                    cs.push(Community::new(6695, 666));
+                }
+                if !cs.is_empty() {
+                    u.add_communities(&cs);
+                }
+                u
+            };
+            (peer, u)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn outputs_are_wire_clean_under_arbitrary_inputs(
+        updates in proptest::collection::vec(arb_update(), 1..24),
+    ) {
+        let mut rs = server();
+        let plain = DecodeCtx { add_path: false };
+        let add_path = DecodeCtx { add_path: true };
+        for (t, (peer, u)) in updates.into_iter().enumerate() {
+            let sender = Asn(64500 + peer);
+            let out = rs.handle_update(sender, &u, t as u64);
+            for (target, export) in &out.exports {
+                // Never export back to the sender.
+                prop_assert_ne!(*target, sender);
+                // Exports must encode on a plain eBGP session.
+                let wire = Message::Update(export.clone()).encode(plain);
+                prop_assert!(wire.is_ok(), "export not encodable: {export:?}");
+                // Action communities must be stripped.
+                for c in export.communities() {
+                    prop_assert!(
+                        c.asn() != 0,
+                        "action community {c} leaked in export"
+                    );
+                }
+            }
+            for feed in &out.controller_updates {
+                // The controller feed must encode under ADD-PATH, and
+                // every announced/withdrawn entry must carry a path id.
+                let wire = Message::Update(feed.clone()).encode(add_path);
+                prop_assert!(wire.is_ok(), "feed not encodable: {feed:?}");
+                for n in feed.nlri.iter().chain(feed.withdrawn.iter()) {
+                    prop_assert!(n.path_id.is_some());
+                }
+            }
+        }
+        // Tearing every peer down afterwards must also be clean.
+        for a in 0..8u32 {
+            let out = rs.peer_down(Asn(64500 + a));
+            for (_, export) in &out.exports {
+                prop_assert!(Message::Update(export.clone()).encode(plain).is_ok());
+            }
+            for feed in &out.controller_updates {
+                prop_assert!(Message::Update(feed.clone()).encode(add_path).is_ok());
+            }
+        }
+    }
+}

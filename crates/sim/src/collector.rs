@@ -1,0 +1,406 @@
+//! IPFIX-like flow collection and the time-series / distribution queries
+//! the paper's measurement study runs over it (§2.3).
+
+use crate::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+use stellar_net::flow::{FlowKey, FlowRecord};
+use stellar_net::ports;
+
+/// A regular time series of per-bucket values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Start of the first bucket.
+    pub start_us: SimTime,
+    /// Bucket width.
+    pub bucket_us: SimTime,
+    /// One value per bucket.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// `(t_seconds, value)` pairs with `t` at bucket centers.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let t = self.start_us + self.bucket_us * i as u64 + self.bucket_us / 2;
+                (t as f64 / 1e6, *v)
+            })
+            .collect()
+    }
+
+    /// Maximum value (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean over buckets within `[from_s, to_s)` of the series.
+    pub fn mean_between(&self, from_s: f64, to_s: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .points()
+            .into_iter()
+            .filter(|(t, _)| *t >= from_s && *t < to_s)
+            .map(|(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+/// The "characteristic" port of a flow for distribution plots: the
+/// well-known service port if either end uses one, else the lower port
+/// (the convention flow-analysis pipelines use so client-side ephemeral
+/// ports do not dominate).
+pub fn characteristic_port(key: &FlowKey) -> u16 {
+    let well_known = |p: u16| p < 1024 || ports::is_amplification_prone(p) || p == ports::HTTP_ALT || p == ports::RTMP;
+    match (well_known(key.src_port), well_known(key.dst_port)) {
+        (true, _) => key.src_port,
+        (false, true) => key.dst_port,
+        (false, false) => key.src_port.min(key.dst_port),
+    }
+}
+
+/// Collects flow records and answers the study's queries.
+///
+/// Real IXP flow export is *sampled* (IPFIX/sFlow at 1-in-N packets);
+/// a sampling rate can be configured, in which case observations are
+/// thinned deterministically and scaled back up by N — the estimator
+/// production collectors use. Rates and shares stay unbiased; rare flows
+/// may vanish, exactly as in real exports.
+#[derive(Debug, Default)]
+pub struct FlowCollector {
+    records: Vec<FlowRecord>,
+    /// 1-in-N packet sampling; 0 or 1 = unsampled.
+    sample_n: u64,
+    /// Deterministic sampling phase accumulator per flow key hash.
+    seed: u64,
+}
+
+impl FlowCollector {
+    /// An empty, unsampled collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A collector sampling 1-in-`n` packets (deterministic, seeded).
+    pub fn with_sampling(n: u64, seed: u64) -> Self {
+        FlowCollector {
+            records: Vec::new(),
+            sample_n: n,
+            seed,
+        }
+    }
+
+    fn hash(&self, key: &FlowKey, start_us: SimTime) -> u64 {
+        // SplitMix64 over the key's identifying fields.
+        let mut z = self.seed
+            ^ u64::from_le_bytes({
+                let o = key.src_mac.octets();
+                [o[0], o[1], o[2], o[3], o[4], o[5], key.src_port as u8, (key.src_port >> 8) as u8]
+            })
+            ^ start_us.rotate_left(17)
+            ^ (u64::from(key.dst_port) << 32);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Records one aggregate observation, applying packet sampling if
+    /// configured.
+    pub fn record(&mut self, key: FlowKey, start_us: SimTime, end_us: SimTime, bytes: u64, packets: u64) {
+        let (bytes, packets) = if self.sample_n > 1 {
+            // Expected sampled packets; use a deterministic Bernoulli
+            // remainder so small flows are kept or dropped whole.
+            let n = self.sample_n;
+            let kept = packets / n;
+            let remainder = packets % n;
+            let extra = if remainder > 0 && self.hash(&key, start_us) % n < remainder {
+                1
+            } else {
+                0
+            };
+            let kept = kept + extra;
+            if kept == 0 {
+                return; // flow invisible to the sampled export
+            }
+            // Scale back up by N (the standard sampled-flow estimator).
+            let mean_pkt = bytes / packets.max(1);
+            (kept * n * mean_pkt, kept * n)
+        } else {
+            (bytes, packets)
+        };
+        self.records.push(FlowRecord {
+            key,
+            start_us,
+            end_us,
+            bytes,
+            packets,
+        });
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Rate time series (bits/second per bucket) over records accepted by
+    /// `filter`. Records are attributed to the bucket of their start time
+    /// (records are generated per-tick, so they never span buckets when
+    /// `bucket_us` is a multiple of the tick).
+    pub fn rate_series(
+        &self,
+        start_us: SimTime,
+        end_us: SimTime,
+        bucket_us: SimTime,
+        mut filter: impl FnMut(&FlowRecord) -> bool,
+    ) -> TimeSeries {
+        assert!(bucket_us > 0 && end_us > start_us);
+        let n = ((end_us - start_us).div_ceil(bucket_us)) as usize;
+        let mut bytes = vec![0u64; n];
+        for r in &self.records {
+            if r.start_us < start_us || r.start_us >= end_us || !filter(r) {
+                continue;
+            }
+            let idx = ((r.start_us - start_us) / bucket_us) as usize;
+            bytes[idx] += r.bytes;
+        }
+        TimeSeries {
+            start_us,
+            bucket_us,
+            values: bytes
+                .into_iter()
+                .map(|b| b as f64 * 8.0 / (bucket_us as f64 / 1e6))
+                .collect(),
+        }
+    }
+
+    /// Byte share by characteristic port over records accepted by
+    /// `filter`, normalized to 1.0. Ports below `min_share` are folded
+    /// into `u16::MAX` ("others").
+    pub fn port_shares(
+        &self,
+        mut filter: impl FnMut(&FlowRecord) -> bool,
+        min_share: f64,
+    ) -> BTreeMap<u16, f64> {
+        let mut by_port: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for r in &self.records {
+            if !filter(r) {
+                continue;
+            }
+            *by_port.entry(characteristic_port(&r.key)).or_insert(0) += r.bytes;
+            total += r.bytes;
+        }
+        let mut out = BTreeMap::new();
+        if total == 0 {
+            return out;
+        }
+        let mut others = 0.0;
+        for (port, b) in by_port {
+            let share = b as f64 / total as f64;
+            if share >= min_share {
+                out.insert(port, share);
+            } else {
+                others += share;
+            }
+        }
+        if others > 0.0 {
+            out.insert(u16::MAX, others);
+        }
+        out
+    }
+
+    /// Per-bucket count of distinct source member MACs ("#peers" in
+    /// Figs. 3c/10c) over records accepted by `filter`.
+    pub fn peer_count_series(
+        &self,
+        start_us: SimTime,
+        end_us: SimTime,
+        bucket_us: SimTime,
+        mut filter: impl FnMut(&FlowRecord) -> bool,
+    ) -> TimeSeries {
+        assert!(bucket_us > 0 && end_us > start_us);
+        let n = ((end_us - start_us).div_ceil(bucket_us)) as usize;
+        let mut sets: Vec<BTreeSet<[u8; 6]>> = vec![BTreeSet::new(); n];
+        for r in &self.records {
+            if r.start_us < start_us || r.start_us >= end_us || r.bytes == 0 || !filter(r) {
+                continue;
+            }
+            let idx = ((r.start_us - start_us) / bucket_us) as usize;
+            sets[idx].insert(r.key.src_mac.octets());
+        }
+        TimeSeries {
+            start_us,
+            bucket_us,
+            values: sets.into_iter().map(|s| s.len() as f64).collect(),
+        }
+    }
+
+    /// Fraction of bytes (over `filter`ed records) whose transport
+    /// protocol is `proto` — the UDP-vs-TCP split of §2.3.
+    pub fn protocol_share(
+        &self,
+        proto: stellar_net::proto::IpProtocol,
+        mut filter: impl FnMut(&FlowRecord) -> bool,
+    ) -> f64 {
+        let mut hit = 0u64;
+        let mut total = 0u64;
+        for r in &self.records {
+            if !filter(r) {
+                continue;
+            }
+            total += r.bytes;
+            if r.key.protocol == proto {
+                hit += r.bytes;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hit as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::mac::MacAddr;
+    use stellar_net::proto::IpProtocol;
+
+    fn key(src_member: u32, src_port: u16, dst_port: u16, proto: IpProtocol) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(src_member, 1),
+            dst_mac: MacAddr::for_member(64500, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 1)),
+            dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, 10)),
+            protocol: proto,
+            src_port,
+            dst_port,
+        }
+    }
+
+    #[test]
+    fn characteristic_port_prefers_service_side() {
+        // Client → server: dst is the service port.
+        assert_eq!(characteristic_port(&key(1, 51000, 443, IpProtocol::TCP)), 443);
+        // Amplification response: src is the service port.
+        assert_eq!(characteristic_port(&key(1, 11211, 47000, IpProtocol::UDP)), 11211);
+        // Both well-known: src wins (responses dominate by bytes).
+        assert_eq!(characteristic_port(&key(1, 123, 80, IpProtocol::UDP)), 123);
+        // Neither: lower port.
+        assert_eq!(characteristic_port(&key(1, 40000, 39999, IpProtocol::UDP)), 39999);
+    }
+
+    #[test]
+    fn rate_series_buckets_bytes() {
+        let mut c = FlowCollector::new();
+        // 1 MB in bucket 0, 2 MB in bucket 1 (1-second buckets).
+        c.record(key(1, 123, 40000, IpProtocol::UDP), 0, 500_000, 1_000_000, 100);
+        c.record(key(1, 123, 40000, IpProtocol::UDP), 1_200_000, 1_500_000, 2_000_000, 100);
+        let s = c.rate_series(0, 2_000_000, 1_000_000, |_| true);
+        assert_eq!(s.values.len(), 2);
+        assert!((s.values[0] - 8e6).abs() < 1.0);
+        assert!((s.values[1] - 16e6).abs() < 1.0);
+        assert!((s.max() - 16e6).abs() < 1.0);
+        let pts = s.points();
+        assert!((pts[0].0 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn port_shares_normalize_and_fold_small() {
+        let mut c = FlowCollector::new();
+        c.record(key(1, 11211, 40000, IpProtocol::UDP), 0, 1, 900, 1);
+        c.record(key(1, 51000, 443, IpProtocol::TCP), 0, 1, 90, 1);
+        c.record(key(1, 51000, 8080, IpProtocol::TCP), 0, 1, 10, 1);
+        let shares = c.port_shares(|_| true, 0.05);
+        assert!((shares[&11211] - 0.9).abs() < 1e-9);
+        assert!((shares[&443] - 0.09).abs() < 1e-9);
+        assert!((shares[&u16::MAX] - 0.01).abs() < 1e-9);
+        let total: f64 = shares.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peer_counts_are_distinct_per_bucket() {
+        let mut c = FlowCollector::new();
+        for m in 0..5u32 {
+            c.record(key(m, 123, 40000, IpProtocol::UDP), 0, 1, 100, 1);
+            // Same members again in the same bucket: still 5 distinct.
+            c.record(key(m, 123, 40000, IpProtocol::UDP), 100, 101, 100, 1);
+        }
+        c.record(key(0, 123, 40000, IpProtocol::UDP), 1_000_000, 1_000_001, 100, 1);
+        let s = c.peer_count_series(0, 2_000_000, 1_000_000, |_| true);
+        assert_eq!(s.values, vec![5.0, 1.0]);
+    }
+
+    #[test]
+    fn protocol_share_splits_udp_tcp() {
+        let mut c = FlowCollector::new();
+        c.record(key(1, 123, 4000, IpProtocol::UDP), 0, 1, 999, 1);
+        c.record(key(1, 51000, 443, IpProtocol::TCP), 0, 1, 1, 1);
+        assert!((c.protocol_share(IpProtocol::UDP, |_| true) - 0.999).abs() < 1e-9);
+        assert!((c.protocol_share(IpProtocol::TCP, |_| true) - 0.001).abs() < 1e-9);
+        assert_eq!(c.protocol_share(IpProtocol::ICMP, |_| true), 0.0);
+    }
+
+    #[test]
+    fn sampling_is_unbiased_for_large_flows_and_thins_small_ones() {
+        // A large flow: the scaled estimate stays within a few percent.
+        let mut c = FlowCollector::with_sampling(100, 7);
+        for t in 0..100u64 {
+            c.record(
+                key(1, 123, 40000, IpProtocol::UDP),
+                t * 1_000_000,
+                t * 1_000_000 + 1,
+                1_000_000, // 1000 packets of 1000B per tick
+                1000,
+            );
+        }
+        let est: u64 = c.records().iter().map(|r| r.bytes).sum();
+        let truth = 100_000_000u64;
+        let err = (est as f64 - truth as f64).abs() / truth as f64;
+        assert!(err < 0.05, "estimate off by {err}");
+
+        // A tiny flow (1 packet) usually vanishes under 1-in-100 sampling.
+        let mut c = FlowCollector::with_sampling(100, 7);
+        let mut seen = 0;
+        for t in 0..100u64 {
+            c.record(key(2, 53, 4000, IpProtocol::UDP), t, t + 1, 100, 1);
+            seen = c.len();
+        }
+        assert!(seen < 15, "tiny flow sampled {seen}/100 times");
+        // And unsampled collectors keep everything.
+        let mut c = FlowCollector::new();
+        c.record(key(2, 53, 4000, IpProtocol::UDP), 0, 1, 100, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.records()[0].bytes, 100);
+    }
+
+    #[test]
+    fn mean_between_selects_window() {
+        let s = TimeSeries {
+            start_us: 0,
+            bucket_us: 1_000_000,
+            values: vec![10.0, 20.0, 30.0, 40.0],
+        };
+        // Buckets centered at 0.5, 1.5, 2.5, 3.5 s.
+        assert!((s.mean_between(1.0, 3.0) - 25.0).abs() < 1e-9);
+        assert!(s.mean_between(10.0, 20.0).is_nan());
+    }
+}

@@ -1,0 +1,225 @@
+//! A deterministic discrete-event scheduler.
+//!
+//! Events are `FnOnce(&mut S, &mut Scheduler)` closures over the
+//! experiment state `S`; handlers schedule follow-up events through the
+//! [`Scheduler`] handle. Ties at the same timestamp run in scheduling
+//! order (a strictly increasing sequence number breaks them), so runs are
+//! reproducible regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Handler<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
+
+struct Scheduled<S> {
+    at: SimTime,
+    seq: u64,
+    handler: Handler<S>,
+}
+
+impl<S> PartialEq for Scheduled<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Scheduled<S> {}
+impl<S> PartialOrd for Scheduled<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Scheduled<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Handle through which event handlers schedule more events.
+pub struct Scheduler<S> {
+    now: SimTime,
+    pending: Vec<(SimTime, Handler<S>)>,
+}
+
+impl<S> Scheduler<S> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `handler` to run at absolute time `at` (clamped to now).
+    pub fn at(&mut self, at: SimTime, handler: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static) {
+        self.pending.push((at.max(self.now), Box::new(handler)));
+    }
+
+    /// Schedules `handler` to run `delay` after now.
+    pub fn after(
+        &mut self,
+        delay: SimTime,
+        handler: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        self.at(self.now + delay, handler);
+    }
+}
+
+/// The discrete-event engine.
+pub struct Engine<S> {
+    queue: BinaryHeap<Reverse<Scheduled<S>>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<S> Default for Engine<S> {
+    fn default() -> Self {
+        Engine {
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an empty engine at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at absolute time `at`.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            handler: Box::new(handler),
+        }));
+    }
+
+    /// Runs until the queue is empty or `until` is reached. Returns the
+    /// number of events executed.
+    pub fn run(&mut self, state: &mut S, until: SimTime) -> usize {
+        let mut executed = 0;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            let mut sched = Scheduler {
+                now: self.now,
+                pending: Vec::new(),
+            };
+            (ev.handler)(state, &mut sched);
+            for (at, h) in sched.pending {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(Reverse(Scheduled { at, seq, handler: h }));
+            }
+            executed += 1;
+        }
+        self.now = self.now.max(until.min(self.now.max(until)));
+        executed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Drives a fixed-tick loop from `start` to `end` (exclusive of the final
+/// partial tick): calls `f(tick_start, tick_end, state)` for every tick.
+/// This is the pattern the traffic experiments use.
+pub fn run_ticks<S>(
+    state: &mut S,
+    start: SimTime,
+    end: SimTime,
+    tick: SimTime,
+    mut f: impl FnMut(&mut S, SimTime, SimTime),
+) {
+    assert!(tick > 0, "tick must be positive");
+    let mut t = start;
+    while t < end {
+        let t1 = (t + tick).min(end);
+        f(state, t, t1);
+        t = t1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule(20, |s: &mut Vec<&str>, _| s.push("b"));
+        eng.schedule(10, |s, _| s.push("a"));
+        eng.schedule(20, |s, _| s.push("c"));
+        let n = eng.run(&mut log, 100);
+        assert_eq!(n, 3);
+        assert_eq!(log, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        fn recurse(s: &mut Vec<u64>, sched: &mut Scheduler<Vec<u64>>) {
+            s.push(sched.now());
+            if sched.now() < 50 {
+                sched.after(10, recurse);
+            }
+        }
+        eng.schedule(10, recurse);
+        eng.run(&mut log, 1000);
+        assert_eq!(log, vec![10, 20, 30, 40, 50]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn run_stops_at_until_and_resumes() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for t in [5u64, 15, 25] {
+            eng.schedule(t, move |s: &mut Vec<u64>, _| s.push(t));
+        }
+        eng.run(&mut log, 20);
+        assert_eq!(log, vec![5, 15]);
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut log, 30);
+        assert_eq!(log, vec![5, 15, 25]);
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule(50, |s: &mut Vec<u64>, sched| {
+            s.push(sched.now());
+            // "Yesterday" clamps to now.
+            sched.at(1, |s, sched| s.push(sched.now()));
+        });
+        eng.run(&mut log, 100);
+        assert_eq!(log, vec![50, 50]);
+    }
+
+    #[test]
+    fn tick_driver_covers_range_exactly() {
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        run_ticks(&mut spans, 0, 1_050, 250, |s, a, b| s.push((a, b)));
+        assert_eq!(spans, vec![(0, 250), (250, 500), (500, 750), (750, 1000), (1000, 1050)]);
+    }
+}

@@ -1,0 +1,143 @@
+//! The RTBH compliance model.
+//!
+//! §2.4: "almost 70 % of these IXP members do not honor the blackholing
+//! community. Among the possible reasons are: (a) they choose to not
+//! participate in RTBH, (b) they do not accept updates for more specific
+//! prefixes than /24 ..., or (c) they made a mistake in their
+//! configuration."
+//!
+//! Whether a member honors is a stable property of that member (a network
+//! either has the exceptions configured or it does not), so the model
+//! assigns each ASN a deterministic, seed-dependent decision rather than
+//! re-rolling per announcement.
+
+use stellar_bgp::types::Asn;
+
+/// Why a member ignores RTBH signals (the paper's three hypotheses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IgnoreReason {
+    /// Chooses not to participate in RTBH.
+    NotParticipating,
+    /// Default filters reject more-specifics than /24.
+    FiltersMoreSpecifics,
+    /// Configuration mistake ("fat-finger error").
+    Misconfiguration,
+}
+
+/// Deterministic per-member RTBH compliance.
+#[derive(Debug, Clone)]
+pub struct HonoringModel {
+    honor_fraction: f64,
+    seed: u64,
+}
+
+impl HonoringModel {
+    /// Default seed for the paper-calibrated model.
+    pub const DEFAULT_SEED: u64 = 0x57e1_1a00_57e1_1a00;
+
+    /// The paper's measured compliance: ~30 % honor (§2.4).
+    pub fn paper() -> Self {
+        HonoringModel::new(0.30, Self::DEFAULT_SEED)
+    }
+
+    /// A model where `honor_fraction` of members honor signals.
+    pub fn new(honor_fraction: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&honor_fraction));
+        HonoringModel {
+            honor_fraction,
+            seed,
+        }
+    }
+
+    fn hash(&self, asn: Asn) -> u64 {
+        // SplitMix64 over (seed ^ asn).
+        let mut z = self.seed ^ (u64::from(asn.0)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True if this member honors RTBH blackhole announcements.
+    pub fn honors(&self, asn: Asn) -> bool {
+        let unit = (self.hash(asn) >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.honor_fraction
+    }
+
+    /// For a non-honoring member, the (deterministic) reason, weighted
+    /// towards the filtering explanation the paper considers most likely.
+    pub fn ignore_reason(&self, asn: Asn) -> Option<IgnoreReason> {
+        if self.honors(asn) {
+            return None;
+        }
+        Some(match self.hash(asn.0.wrapping_add(1).into()) % 10 {
+            0..=1 => IgnoreReason::NotParticipating,
+            2..=8 => IgnoreReason::FiltersMoreSpecifics,
+            _ => IgnoreReason::Misconfiguration,
+        })
+    }
+
+    /// The configured honoring fraction.
+    pub fn honor_fraction(&self) -> f64 {
+        self.honor_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_stable() {
+        let m = HonoringModel::new(0.3, 42);
+        for asn in 1..100u32 {
+            assert_eq!(m.honors(Asn(asn)), m.honors(Asn(asn)));
+        }
+    }
+
+    #[test]
+    fn fraction_is_approximately_respected() {
+        let m = HonoringModel::new(0.30, 7);
+        let honoring = (1..=10_000u32).filter(|&a| m.honors(Asn(a))).count();
+        let frac = honoring as f64 / 10_000.0;
+        assert!((frac - 0.30).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn extremes() {
+        let all = HonoringModel::new(1.0, 1);
+        let none = HonoringModel::new(0.0, 1);
+        for a in 1..50u32 {
+            assert!(all.honors(Asn(a)));
+            assert!(!none.honors(Asn(a)));
+            assert_eq!(all.ignore_reason(Asn(a)), None);
+            assert!(none.ignore_reason(Asn(a)).is_some());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_assignments() {
+        let a = HonoringModel::new(0.5, 1);
+        let b = HonoringModel::new(0.5, 2);
+        let differing = (1..=1000u32)
+            .filter(|&x| a.honors(Asn(x)) != b.honors(Asn(x)))
+            .count();
+        assert!(differing > 100, "only {differing} differ");
+    }
+
+    #[test]
+    fn ignore_reasons_are_mostly_filtering() {
+        let m = HonoringModel::new(0.0, 3);
+        let mut filters = 0;
+        let mut total = 0;
+        for a in 1..=1000u32 {
+            if let Some(r) = m.ignore_reason(Asn(a)) {
+                total += 1;
+                if r == IgnoreReason::FiltersMoreSpecifics {
+                    filters += 1;
+                }
+            }
+        }
+        assert_eq!(total, 1000);
+        assert!(filters as f64 / total as f64 > 0.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! The simulation clock: `u64` microseconds since experiment start.
+
+/// A point in simulation time, in microseconds.
+pub type SimTime = u64;
+
+/// Converts seconds to simulation time.
+pub const fn secs(s: u64) -> SimTime {
+    s * 1_000_000
+}
+
+/// Converts milliseconds to simulation time.
+pub const fn millis(ms: u64) -> SimTime {
+    ms * 1_000
+}
+
+/// Converts simulation time to (fractional) seconds.
+pub fn us_to_secs(t: SimTime) -> f64 {
+    t as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(secs(3), 3_000_000);
+        assert_eq!(millis(250), 250_000);
+        assert!((us_to_secs(secs(90)) - 90.0).abs() < 1e-12);
+        assert_eq!(us_to_secs(0), 0.0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Flow-level workload generators.
+//!
+//! These stand in for the production IPFIX traces and the booter service
+//! of §2.3/§2.4/§5.3. Generators emit [`OfferedAggregate`]s per tick; the
+//! dataplane consumes them and the collector records what survives.
+
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use stellar_dataplane::switch::OfferedAggregate;
+use stellar_net::addr::{IpAddress, Ipv4Address};
+use stellar_net::amplification::AmpProtocol;
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::ports;
+use stellar_net::proto::IpProtocol;
+
+/// Anything that can produce traffic for a tick.
+pub trait TrafficSource {
+    /// Produces the aggregates for `[t0, t1)`.
+    fn generate(&mut self, t0: SimTime, t1: SimTime, rng: &mut SmallRng) -> Vec<OfferedAggregate>;
+}
+
+/// A traffic endpoint: the member router (MAC) it enters the fabric from
+/// and a representative source IP behind it.
+#[derive(Debug, Clone, Copy)]
+pub struct SourcePoint {
+    /// Member-router MAC on the peering LAN.
+    pub mac: MacAddr,
+    /// Source IP.
+    pub ip: Ipv4Address,
+}
+
+/// The benign web mix of Fig. 2(c): HTTPS/HTTP/RTMP towards a hosted
+/// service, with client-side ephemeral source ports.
+#[derive(Debug, Clone)]
+pub struct BenignWebMix {
+    /// The victim service's IP.
+    pub target_ip: Ipv4Address,
+    /// The victim member's router MAC (egress port selector).
+    pub target_mac: MacAddr,
+    /// Aggregate offered rate in bits/second.
+    pub rate_bps: f64,
+    /// `(dst service port, share)` mix; shares should sum to 1.
+    pub port_mix: Vec<(u16, f64)>,
+    /// Client populations (one per sending member).
+    pub sources: Vec<SourcePoint>,
+    /// Active window.
+    pub active: (SimTime, SimTime),
+}
+
+impl BenignWebMix {
+    /// The Fig. 2(c) pre-attack mix: mostly 443, some 80/8080, a little
+    /// RTMP.
+    pub fn fig2c(target_ip: Ipv4Address, target_mac: MacAddr, rate_bps: f64, sources: Vec<SourcePoint>, active: (SimTime, SimTime)) -> Self {
+        BenignWebMix {
+            target_ip,
+            target_mac,
+            rate_bps,
+            port_mix: vec![
+                (ports::HTTPS, 0.55),
+                (ports::HTTP, 0.25),
+                (ports::HTTP_ALT, 0.12),
+                (ports::RTMP, 0.08),
+            ],
+            sources,
+            active,
+        }
+    }
+}
+
+impl TrafficSource for BenignWebMix {
+    fn generate(&mut self, t0: SimTime, t1: SimTime, rng: &mut SmallRng) -> Vec<OfferedAggregate> {
+        if t1 <= self.active.0 || t0 >= self.active.1 || self.sources.is_empty() {
+            return Vec::new();
+        }
+        let overlap_us = t1.min(self.active.1) - t0.max(self.active.0);
+        let dt_s = overlap_us as f64 / 1e6;
+        // ±5 % per-tick load noise.
+        let noise = 1.0 + (rng.random::<f64>() - 0.5) * 0.1;
+        let total_bytes = self.rate_bps * dt_s / 8.0 * noise;
+        let mut out = Vec::new();
+        for (port, share) in &self.port_mix {
+            let port_bytes = total_bytes * share;
+            let per_src = (port_bytes / self.sources.len() as f64).round() as u64;
+            if per_src == 0 {
+                continue;
+            }
+            for s in &self.sources {
+                let key = FlowKey {
+                    src_mac: s.mac,
+                    dst_mac: self.target_mac,
+                    src_ip: IpAddress::V4(s.ip),
+                    dst_ip: IpAddress::V4(self.target_ip),
+                    protocol: IpProtocol::TCP,
+                    src_port: 49152 + (s.ip.to_u32() % 16000) as u16,
+                    dst_port: *port,
+                };
+                out.push(OfferedAggregate {
+                    key,
+                    bytes: per_src,
+                    packets: (per_src / 900).max(1),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A reflection/amplification attack: spoofed-source responses converging
+/// on the victim from many reflectors, with fragment records on port 0.
+#[derive(Debug, Clone)]
+pub struct AmplificationAttack {
+    /// The abused protocol.
+    pub protocol: AmpProtocol,
+    /// Victim IP.
+    pub target_ip: Ipv4Address,
+    /// Victim member's router MAC.
+    pub target_mac: MacAddr,
+    /// Received attack rate at the victim in bits/second.
+    pub rate_bps: f64,
+    /// Reflector populations (one entry per contributing member port).
+    pub reflectors: Vec<SourcePoint>,
+    /// Active window.
+    pub active: (SimTime, SimTime),
+    /// Ramp-up time to reach full rate after start.
+    pub ramp_us: SimTime,
+}
+
+impl TrafficSource for AmplificationAttack {
+    fn generate(&mut self, t0: SimTime, t1: SimTime, rng: &mut SmallRng) -> Vec<OfferedAggregate> {
+        if t1 <= self.active.0 || t0 >= self.active.1 || self.reflectors.is_empty() {
+            return Vec::new();
+        }
+        let overlap_us = t1.min(self.active.1) - t0.max(self.active.0);
+        let dt_s = overlap_us as f64 / 1e6;
+        // Linear ramp to full rate.
+        let since_start = t0.saturating_sub(self.active.0);
+        let ramp = if self.ramp_us == 0 {
+            1.0
+        } else {
+            (since_start as f64 / self.ramp_us as f64).min(1.0)
+        };
+        let noise = 1.0 + (rng.random::<f64>() - 0.5) * 0.1;
+        let total_bytes = self.rate_bps * ramp * dt_s / 8.0 * noise;
+        let frag_share = self.protocol.fragmented_share();
+        let pkt_size = self.protocol.response_packet_size() as u64;
+        let mut out = Vec::new();
+        let per_reflector = total_bytes / self.reflectors.len() as f64;
+        for r in &self.reflectors {
+            let svc_bytes = (per_reflector * (1.0 - frag_share)).round() as u64;
+            let frag_bytes = (per_reflector * frag_share).round() as u64;
+            if svc_bytes > 0 {
+                out.push(OfferedAggregate {
+                    key: FlowKey {
+                        src_mac: r.mac,
+                        dst_mac: self.target_mac,
+                        src_ip: IpAddress::V4(r.ip),
+                        dst_ip: IpAddress::V4(self.target_ip),
+                        protocol: IpProtocol::UDP,
+                        src_port: self.protocol.port(),
+                        dst_port: 40000 + (r.ip.to_u32() % 20000) as u16,
+                    },
+                    bytes: svc_bytes,
+                    packets: (svc_bytes / pkt_size).max(1),
+                });
+            }
+            if frag_bytes > 0 {
+                // Non-first fragments: no transport header, flow records
+                // show port 0 (Fig. 3a's dominant bar).
+                out.push(OfferedAggregate {
+                    key: FlowKey {
+                        src_mac: r.mac,
+                        dst_mac: self.target_mac,
+                        src_ip: IpAddress::V4(r.ip),
+                        dst_ip: IpAddress::V4(self.target_ip),
+                        protocol: IpProtocol::UDP,
+                        src_port: 0,
+                        dst_port: 0,
+                    },
+                    bytes: frag_bytes,
+                    packets: (frag_bytes / pkt_size).max(1),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A DDoS-for-hire ("booter") service, as used for the controlled
+/// experiments (§2.4: "we request a short-duration attack ... of peak
+/// traffic of about 1 Gbps"; traffic arrives "from almost 40 different
+/// peers").
+#[derive(Debug, Clone)]
+pub struct BooterService {
+    attack: AmplificationAttack,
+}
+
+impl BooterService {
+    /// Orders an attack: `peak_bps` of `protocol` reflection against
+    /// `target`, reflected through `reflector_members` member ports.
+    pub fn order(
+        protocol: AmpProtocol,
+        target_ip: Ipv4Address,
+        target_mac: MacAddr,
+        peak_bps: f64,
+        reflector_members: Vec<SourcePoint>,
+        start: SimTime,
+        end: SimTime,
+    ) -> Self {
+        BooterService {
+            attack: AmplificationAttack {
+                protocol,
+                target_ip,
+                target_mac,
+                rate_bps: peak_bps,
+                reflectors: reflector_members,
+                active: (start, end),
+                ramp_us: 20_000_000, // booters ramp over ~20 s
+            },
+        }
+    }
+
+    /// The number of member ports the attack arrives through.
+    pub fn peer_count(&self) -> usize {
+        self.attack.reflectors.len()
+    }
+}
+
+impl TrafficSource for BooterService {
+    fn generate(&mut self, t0: SimTime, t1: SimTime, rng: &mut SmallRng) -> Vec<OfferedAggregate> {
+        self.attack.generate(t0, t1, rng)
+    }
+}
+
+/// Builds `n` reflector source points spread over member ASNs starting at
+/// `base_asn`, with source IPs drawn from `pool`.
+pub fn reflector_pool(base_asn: u32, n: usize, pool: stellar_net::prefix::Ipv4Prefix) -> Vec<SourcePoint> {
+    (0..n)
+        .map(|i| SourcePoint {
+            mac: MacAddr::for_member(base_asn + i as u32, 1),
+            ip: pool.nth_host(i as u64 * 7 + 3),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    fn target() -> (Ipv4Address, MacAddr) {
+        (Ipv4Address::new(100, 10, 10, 10), MacAddr::for_member(64500, 1))
+    }
+
+    #[test]
+    fn web_mix_produces_configured_rate_and_ports() {
+        let (ip, mac) = target();
+        let sources = reflector_pool(65000, 4, "203.0.113.0/24".parse().unwrap());
+        let mut mix = BenignWebMix::fig2c(ip, mac, 100e6, sources, (0, 10_000_000));
+        let mut r = rng();
+        let mut total = 0u64;
+        let mut https = 0u64;
+        for t in 0..100u64 {
+            for agg in mix.generate(t * 100_000, (t + 1) * 100_000, &mut r) {
+                assert_eq!(agg.key.dst_mac, mac);
+                assert_eq!(agg.key.protocol, IpProtocol::TCP);
+                total += agg.bytes;
+                if agg.key.dst_port == ports::HTTPS {
+                    https += agg.bytes;
+                }
+            }
+        }
+        let rate = total as f64 * 8.0 / 10.0;
+        assert!((rate - 100e6).abs() / 100e6 < 0.05, "rate {rate}");
+        let https_share = https as f64 / total as f64;
+        assert!((https_share - 0.55).abs() < 0.05, "https {https_share}");
+    }
+
+    #[test]
+    fn generators_respect_their_window() {
+        let (ip, mac) = target();
+        let sources = reflector_pool(65000, 2, "203.0.113.0/24".parse().unwrap());
+        let mut mix = BenignWebMix::fig2c(ip, mac, 100e6, sources, (5_000_000, 6_000_000));
+        let mut r = rng();
+        assert!(mix.generate(0, 1_000_000, &mut r).is_empty());
+        assert!(!mix.generate(5_000_000, 5_100_000, &mut r).is_empty());
+        assert!(mix.generate(6_000_000, 7_000_000, &mut r).is_empty());
+    }
+
+    #[test]
+    fn ntp_attack_uses_source_port_123() {
+        let (ip, mac) = target();
+        let reflectors = reflector_pool(65100, 10, "198.51.100.0/24".parse().unwrap());
+        let mut atk = AmplificationAttack {
+            protocol: AmpProtocol::Ntp,
+            target_ip: ip,
+            target_mac: mac,
+            rate_bps: 1e9,
+            reflectors,
+            active: (0, 10_000_000),
+            ramp_us: 0,
+        };
+        let mut r = rng();
+        let aggs = atk.generate(1_000_000, 1_100_000, &mut r);
+        assert!(!aggs.is_empty());
+        let svc: u64 = aggs
+            .iter()
+            .filter(|a| a.key.src_port == 123)
+            .map(|a| a.bytes)
+            .sum();
+        let frag: u64 = aggs
+            .iter()
+            .filter(|a| a.key.src_port == 0)
+            .map(|a| a.bytes)
+            .sum();
+        // NTP responses (4455 B) fragment: ~2/3 of bytes are port-0
+        // fragments, ~1/3 carries the NTP source port.
+        let frag_share = frag as f64 / (svc + frag) as f64;
+        assert!((frag_share - AmpProtocol::Ntp.fragmented_share()).abs() < 0.05);
+        // Distinct member MACs = 10 peers.
+        let macs: std::collections::BTreeSet<_> =
+            aggs.iter().map(|a| a.key.src_mac.octets()).collect();
+        assert_eq!(macs.len(), 10);
+    }
+
+    #[test]
+    fn booter_ramps_to_peak() {
+        let (ip, mac) = target();
+        let reflectors = reflector_pool(65100, 40, "198.51.100.0/24".parse().unwrap());
+        let mut booter = BooterService::order(
+            AmpProtocol::Ntp, ip, mac, 1e9, reflectors, 0, 600_000_000,
+        );
+        assert_eq!(booter.peer_count(), 40);
+        let mut r = rng();
+        let early: u64 = booter
+            .generate(1_000_000, 2_000_000, &mut r)
+            .iter()
+            .map(|a| a.bytes)
+            .sum();
+        let late: u64 = booter
+            .generate(100_000_000, 101_000_000, &mut r)
+            .iter()
+            .map(|a| a.bytes)
+            .sum();
+        assert!(early < late / 5, "ramp not visible: early {early}, late {late}");
+        let late_rate = late as f64 * 8.0;
+        assert!((late_rate - 1e9).abs() / 1e9 < 0.1, "late rate {late_rate}");
+    }
+
+    #[test]
+    fn fragmenting_protocols_emit_port_zero_records() {
+        let (ip, mac) = target();
+        let reflectors = reflector_pool(65100, 5, "198.51.100.0/24".parse().unwrap());
+        let mk = |proto: AmpProtocol| AmplificationAttack {
+            protocol: proto,
+            target_ip: ip,
+            target_mac: mac,
+            rate_bps: 40e9,
+            reflectors: reflectors.clone(),
+            active: (0, 1_000_000),
+            ramp_us: 0,
+        };
+        let mut r = rng();
+        // DNS: one big datagram → 2/3 of bytes land on port 0.
+        let aggs = mk(AmpProtocol::Dns).generate(0, 1_000_000, &mut r);
+        let frag: u64 = aggs.iter().filter(|a| a.key.src_port == 0).map(|a| a.bytes).sum();
+        let total: u64 = aggs.iter().map(|a| a.bytes).sum();
+        let share = frag as f64 / total as f64;
+        assert!((share - 2.0 / 3.0).abs() < 0.05, "dns frag share {share}");
+        // memcached: MTU-sized chunks → the 11211 signature stays visible
+        // (what Fig. 2c shows).
+        let aggs = mk(AmpProtocol::Memcached).generate(0, 1_000_000, &mut r);
+        assert!(aggs.iter().all(|a| a.key.src_port == 11211));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (ip, mac) = target();
+        let reflectors = reflector_pool(65100, 3, "198.51.100.0/24".parse().unwrap());
+        let mk = || AmplificationAttack {
+            protocol: AmpProtocol::Dns,
+            target_ip: ip,
+            target_mac: mac,
+            rate_bps: 1e8,
+            reflectors: reflectors.clone(),
+            active: (0, 1_000_000),
+            ramp_us: 0,
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut ra = rng();
+        let mut rb = rng();
+        let ga: Vec<u64> = a.generate(0, 100_000, &mut ra).iter().map(|x| x.bytes).collect();
+        let gb: Vec<u64> = b.generate(0, 100_000, &mut rb).iter().map(|x| x.bytes).collect();
+        assert_eq!(ga, gb);
+    }
+}

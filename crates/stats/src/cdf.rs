@@ -1,0 +1,108 @@
+//! Empirical cumulative distribution functions (Fig. 10b).
+
+/// An empirical CDF over a sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF from a sample (NaNs are rejected).
+    pub fn new(mut xs: Vec<f64>) -> Ecdf {
+        assert!(!xs.is_empty(), "ECDF needs at least one sample");
+        assert!(xs.iter().all(|v| !v.is_nan()), "ECDF input must not contain NaN");
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        Ecdf { sorted: xs }
+    }
+
+    /// P(X <= x).
+    pub fn at(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we test
+        // v <= x.
+        let count = self.sorted.partition_point(|v| *v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0..=1) as the smallest sample value v with
+    /// P(X <= v) >= q.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: constructor rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Evaluates the CDF at each of `points`, yielding `(x, P(X<=x))`
+    /// pairs — the series a plot like Fig. 10(b) needs.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.at(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_steps_match_sample() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(e.at(0.5), 0.0);
+        assert_eq!(e.at(1.0), 0.25);
+        assert_eq!(e.at(2.0), 0.75);
+        assert_eq!(e.at(3.0), 0.75);
+        assert_eq!(e.at(4.0), 1.0);
+        assert_eq!(e.at(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_inverse_of_cdf() {
+        let e = Ecdf::new((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.quantile(0.5), 50.0);
+        assert_eq!(e.quantile(0.95), 95.0);
+        assert_eq!(e.quantile(1.0), 100.0);
+        assert_eq!(e.quantile(0.0), 1.0);
+        // P(X <= quantile(q)) >= q for all q.
+        for q in [0.01, 0.25, 0.7, 0.95, 0.99] {
+            assert!(e.at(e.quantile(q)) >= q);
+        }
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let e = Ecdf::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let pts: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let s = e.series(&pts);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        Ecdf::new(vec![]);
+    }
+}

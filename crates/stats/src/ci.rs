@@ -1,0 +1,91 @@
+//! Confidence intervals for sample means (the 95 % error bars of Fig. 3a).
+
+use crate::describe::{mean, std_dev};
+use crate::special::student_t_quantile;
+
+/// A sample mean with a symmetric confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the interval.
+    pub half_width: f64,
+    /// Confidence level used (e.g. 0.95).
+    pub level: f64,
+}
+
+impl MeanCi {
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// True if `v` lies within the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        v >= self.lo() && v <= self.hi()
+    }
+}
+
+/// Two-sided confidence interval for the mean at the given level using the
+/// Student-t critical value.
+pub fn mean_ci(xs: &[f64], level: f64) -> MeanCi {
+    assert!(xs.len() >= 2, "need >=2 samples for a CI");
+    assert!(level > 0.0 && level < 1.0);
+    let df = (xs.len() - 1) as f64;
+    let tcrit = student_t_quantile(0.5 + level / 2.0, df);
+    let se = std_dev(xs) / (xs.len() as f64).sqrt();
+    MeanCi {
+        mean: mean(xs),
+        half_width: tcrit * se,
+        level,
+    }
+}
+
+/// The conventional 95 % interval.
+pub fn mean_ci95(xs: &[f64]) -> MeanCi {
+    mean_ci(xs, 0.95)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_contains_mean_and_is_symmetric() {
+        let xs = [9.8, 10.1, 10.0, 9.9, 10.2, 10.0];
+        let ci = mean_ci95(&xs);
+        assert!(ci.contains(ci.mean));
+        assert!((ci.hi() - ci.mean - (ci.mean - ci.lo())).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let c90 = mean_ci(&xs, 0.90);
+        let c99 = mean_ci(&xs, 0.99);
+        assert!(c99.half_width > c90.half_width);
+    }
+
+    #[test]
+    fn known_critical_value() {
+        // n=11 -> df=10 -> t_crit(97.5%) = 2.2281; sd=1, se=1/sqrt(11).
+        let xs: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let ci = mean_ci95(&xs);
+        let sd = crate::describe::std_dev(&xs);
+        let expected = 2.2281 * sd / (11f64).sqrt();
+        assert!((ci.half_width - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn more_samples_shrink_interval() {
+        let small: Vec<f64> = (0..10).map(|i| (i % 5) as f64).collect();
+        let big: Vec<f64> = (0..1000).map(|i| (i % 5) as f64).collect();
+        assert!(mean_ci95(&big).half_width < mean_ci95(&small).half_width);
+    }
+}

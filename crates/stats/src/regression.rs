@@ -1,0 +1,144 @@
+//! Ordinary least-squares linear regression with confidence bands.
+//!
+//! Fig. 10(a) plots control-plane CPU usage against the rule-update rate as
+//! a linear regression with a 95 % confidence interval; this module
+//! implements that fit, including the standard errors needed for the band
+//! and for inverting the fit ("at 15 % CPU the ER handles a median of 4.33
+//! updates per second").
+
+use crate::describe::mean;
+use crate::special::student_t_quantile;
+
+/// An OLS fit `y = intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r2: f64,
+    /// Residual standard error.
+    pub resid_se: f64,
+    /// Standard error of the slope.
+    pub slope_se: f64,
+    /// Standard error of the intercept.
+    pub intercept_se: f64,
+    /// Number of points fitted.
+    pub n: usize,
+    /// Mean of the predictor (needed for prediction bands).
+    pub x_mean: f64,
+    /// Sum of squared deviations of the predictor.
+    pub sxx: f64,
+}
+
+impl OlsFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Half-width of the 95 % confidence band for the *mean response*
+    /// at `x`.
+    pub fn ci95_half_width(&self, x: f64) -> f64 {
+        let df = (self.n - 2) as f64;
+        let t = student_t_quantile(0.975, df);
+        let d = x - self.x_mean;
+        t * self.resid_se * (1.0 / self.n as f64 + d * d / self.sxx).sqrt()
+    }
+
+    /// Solves `predict(x) = y` for `x` — e.g. "which update rate reaches
+    /// the 15 % CPU cap".
+    pub fn solve_for_x(&self, y: f64) -> f64 {
+        assert!(self.slope != 0.0, "cannot invert a flat fit");
+        (y - self.intercept) / self.slope
+    }
+}
+
+/// Fits `y = a + b x` by least squares. Requires at least three points and
+/// non-degenerate x.
+pub fn ols(x: &[f64], y: &[f64]) -> OlsFit {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    assert!(x.len() >= 3, "need >=3 points");
+    let n = x.len() as f64;
+    let xm = mean(x);
+    let ym = mean(y);
+    let sxx: f64 = x.iter().map(|v| (v - xm) * (v - xm)).sum();
+    assert!(sxx > 0.0, "x must not be constant");
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - xm) * (b - ym)).sum();
+    let slope = sxy / sxx;
+    let intercept = ym - slope * xm;
+    let ss_tot: f64 = y.iter().map(|v| (v - ym) * (v - ym)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let e = b - (intercept + slope * a);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let resid_se = (ss_res / (n - 2.0)).sqrt();
+    let slope_se = resid_se / sxx.sqrt();
+    let intercept_se = resid_se * (1.0 / n + xm * xm / sxx).sqrt();
+    OlsFit {
+        slope,
+        intercept,
+        r2,
+        resid_se,
+        slope_se,
+        intercept_se,
+        n: x.len(),
+        x_mean: xm,
+        sxx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 2.0).collect();
+        let f = ols(&x, &y);
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!(f.resid_se < 1e-9);
+        assert!((f.predict(4.0) - 14.0).abs() < 1e-12);
+        assert!((f.solve_for_x(14.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_fit_is_close() {
+        // Deterministic pseudo-noise.
+        let x: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 1.5 * v + 0.5 + ((i * 37 % 17) as f64 - 8.0) / 40.0)
+            .collect();
+        let f = ols(&x, &y);
+        assert!((f.slope - 1.5).abs() < 0.05);
+        assert!((f.intercept - 0.5).abs() < 0.2);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn ci_band_is_narrowest_at_x_mean() {
+        let x: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * 2.0 + (v % 3.0)).collect();
+        let f = ols(&x, &y);
+        let at_mean = f.ci95_half_width(f.x_mean);
+        assert!(at_mean <= f.ci95_half_width(0.0));
+        assert!(at_mean <= f.ci95_half_width(19.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "x must not be constant")]
+    fn constant_x_panics() {
+        ols(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+}

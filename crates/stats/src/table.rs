@@ -1,0 +1,121 @@
+//! Plain-text rendering of tables and time series, shared by the bench
+//! binaries so every experiment prints in a consistent, diffable format.
+
+/// Renders an aligned text table. The first row is treated as the header.
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = row.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:<w$}"));
+            if i + 1 < cols {
+                line.push_str("  ");
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a `(t, value)` time series as `t<sep>value` lines with a header,
+/// suitable for piping into a plotting tool.
+pub fn render_series(name: &str, unit: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name} [{unit}]\n");
+    for (t, v) in series {
+        out.push_str(&format!("{t:.3}\t{v:.3}\n"));
+    }
+    out
+}
+
+/// Renders a horizontal ASCII bar of `frac` (0..=1) with the given width —
+/// used to give the figure binaries a quick visual of distributions.
+pub fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Formats a bit rate with an adaptive unit.
+pub fn fmt_bps(bps: f64) -> String {
+    if bps >= 1e9 {
+        format!("{:.2} Gbps", bps / 1e9)
+    } else if bps >= 1e6 {
+        format!("{:.1} Mbps", bps / 1e6)
+    } else if bps >= 1e3 {
+        format!("{:.1} Kbps", bps / 1e3)
+    } else {
+        format!("{bps:.0} bps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rows = vec![
+            vec!["port".to_string(), "share".to_string()],
+            vec!["123 (ntp)".to_string(), "25.0%".to_string()],
+            vec!["0".to_string(), "12.5%".to_string()],
+        ];
+        let t = render_table(&rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].starts_with("port"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "share" column starts at the same offset in every row.
+        let off = lines[0].find("share").unwrap();
+        assert_eq!(&lines[2][off..off + 5], "25.0%");
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn series_renders_header_and_rows() {
+        let s = render_series("attack", "Mbps", &[(0.0, 1.0), (1.0, 2.0)]);
+        assert!(s.starts_with("# attack [Mbps]\n"));
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn bar_clamps_and_scales() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(7.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "....");
+    }
+
+    #[test]
+    fn bps_formatting() {
+        assert_eq!(fmt_bps(1.2e9), "1.20 Gbps");
+        assert_eq!(fmt_bps(3.5e6), "3.5 Mbps");
+        assert_eq!(fmt_bps(9_000.0), "9.0 Kbps");
+        assert_eq!(fmt_bps(500.0), "500 bps");
+    }
+}

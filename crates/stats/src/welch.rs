@@ -1,0 +1,111 @@
+//! Welch's unequal-variances t-test.
+//!
+//! §2.3 of the paper: "Significant differences are identified by using a
+//! one-tailed Welch's unequal variances t-test with significance level
+//! 0.02". This module reproduces exactly that test for comparing a port's
+//! traffic share across RTBH events vs. non-blackholed traffic.
+
+use crate::describe::{mean, variance};
+use crate::special::student_t_cdf;
+
+/// Outcome of a Welch t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WelchResult {
+    /// The t statistic (positive when sample A's mean exceeds B's).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// One-tailed p-value for the alternative "mean(A) > mean(B)".
+    pub p_one_tailed: f64,
+}
+
+impl WelchResult {
+    /// True if the one-tailed test rejects H0 at significance `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_one_tailed < alpha
+    }
+}
+
+/// Runs a one-tailed Welch's t-test for the alternative hypothesis
+/// `mean(a) > mean(b)`. Both samples need at least two observations.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "need >=2 samples per group");
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    // Identical constant samples: define t = 0 (no evidence either way).
+    if se2 == 0.0 {
+        return WelchResult {
+            t: 0.0,
+            df: na + nb - 2.0,
+            p_one_tailed: 0.5,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2 * se2
+        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let p = 1.0 - student_t_cdf(t, df);
+    WelchResult {
+        t,
+        df,
+        p_one_tailed: p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_separated_samples_are_significant() {
+        let a = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8];
+        let b = [1.0, 1.2, 0.9, 1.1, 1.05, 0.95];
+        let r = welch_t_test(&a, &b);
+        assert!(r.t > 10.0);
+        assert!(r.significant_at(0.02));
+        assert!(r.p_one_tailed < 1e-6);
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        let a = [5.0, 5.1, 4.9, 5.05, 4.95, 5.02, 4.98, 5.0];
+        let b = [5.0, 5.08, 4.92, 5.03, 4.97, 5.01, 4.99, 5.0];
+        let r = welch_t_test(&a, &b);
+        assert!(!r.significant_at(0.02));
+        assert!(r.p_one_tailed > 0.1);
+    }
+
+    #[test]
+    fn one_tailed_direction_matters() {
+        let lo = [1.0, 1.1, 0.9, 1.05];
+        let hi = [3.0, 3.1, 2.9, 3.05];
+        // Alternative mean(lo) > mean(hi) is false: p should be ~1.
+        let r = welch_t_test(&lo, &hi);
+        assert!(r.p_one_tailed > 0.98);
+        // And the reverse is highly significant.
+        let r = welch_t_test(&hi, &lo);
+        assert!(r.p_one_tailed < 0.001);
+    }
+
+    #[test]
+    fn textbook_welch_example() {
+        // Classic example with unequal variances (e.g. from Welch 1947
+        // style data): check df lies between min(n)-1 and n1+n2-2.
+        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
+        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9];
+        let r = welch_t_test(&b, &a);
+        assert!(r.df > 14.0 && r.df < 28.0);
+        assert!(r.t > 2.0);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn degenerate_constant_samples() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [2.0, 2.0, 2.0];
+        let r = welch_t_test(&a, &b);
+        assert_eq!(r.t, 0.0);
+        assert_eq!(r.p_one_tailed, 0.5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Cross-crate integration tests: the full Stellar pipeline from a
+//! member's BGP announcement to hardware filters and telemetry,
+//! including the failure-injection paths DESIGN.md calls out.
+
+use stellar::bgp::types::Asn;
+use stellar::core::config_queue::ConfigChangeQueue;
+use stellar::core::signal::{MatchKind, StellarSignal};
+use stellar::core::system::StellarSystem;
+use stellar::core::rule::RuleAction;
+use stellar::dataplane::hardware::HardwareInfoBase;
+use stellar::dataplane::switch::OfferedAggregate;
+use stellar::net::addr::{IpAddress, Ipv4Address};
+use stellar::net::flow::FlowKey;
+use stellar::net::mac::MacAddr;
+use stellar::net::prefix::Prefix;
+use stellar::net::proto::IpProtocol;
+use stellar::sim::topology::{generic_members, IxpTopology, MemberSpec};
+
+const VICTIM: Asn = Asn(64500);
+
+fn system(n_members: usize) -> StellarSystem {
+    let mut specs = vec![MemberSpec {
+        asn: VICTIM.0,
+        capacity_bps: 1_000_000_000,
+        prefixes: vec!["100.50.0.0/16".parse().unwrap()],
+    }];
+    specs.extend(generic_members(VICTIM.0 + 1, n_members - 1));
+    StellarSystem::new(
+        IxpTopology::build(&specs, HardwareInfoBase::lab_switch()),
+        1000.0,
+    )
+}
+
+fn victim_prefix() -> Prefix {
+    "100.50.0.10/32".parse().unwrap()
+}
+
+fn flow(src_port: u16, proto: IpProtocol, bytes: u64) -> OfferedAggregate {
+    OfferedAggregate {
+        key: FlowKey {
+            src_mac: MacAddr::for_member(VICTIM.0 + 2, 1),
+            dst_mac: MacAddr::for_member(VICTIM.0, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(198, 51, 100, 1)),
+            dst_ip: IpAddress::V4(Ipv4Address::new(100, 50, 0, 10)),
+            protocol: proto,
+            src_port,
+            dst_port: if proto == IpProtocol::TCP { 443 } else { 40000 },
+        },
+        bytes,
+        packets: bytes / 1000 + 1,
+    }
+}
+
+#[test]
+fn multi_rule_signal_filters_only_matching_traffic() {
+    let mut sys = system(6);
+    let out = sys.member_signal(
+        VICTIM,
+        victim_prefix(),
+        &[
+            StellarSignal::drop_udp_src(123),
+            StellarSignal::drop_udp_src(11211),
+            StellarSignal::shape_udp_src(53, 100),
+        ],
+        0,
+    );
+    assert!(out.rejections.is_empty());
+    assert_eq!(out.queued_changes, 3);
+    sys.pump(10_000);
+    assert_eq!(sys.active_rules(), 3);
+
+    let offers = [
+        flow(123, IpProtocol::UDP, 10_000_000),
+        flow(11211, IpProtocol::UDP, 10_000_000),
+        flow(53, IpProtocol::UDP, 50_000_000), // 400 Mbps over 1s
+        flow(51000, IpProtocol::TCP, 5_000_000),
+    ];
+    let port = sys.ixp.member(VICTIM).unwrap().port;
+    let r = sys.traffic_tick(&offers, 1_000_000, 1_000_000);
+    let c = &r[&port].counters;
+    // NTP + memcached dropped entirely.
+    assert_eq!(c.dropped_bytes, 20_000_000);
+    // DNS shaped to ~100 Mbps = 12.5 MB.
+    assert!(c.shaped_bytes > 11_000_000 && c.shaped_bytes < 14_000_000);
+    // Web untouched.
+    let web: u64 = r[&port]
+        .delivered
+        .iter()
+        .filter(|(k, _, _)| k.protocol == IpProtocol::TCP)
+        .map(|(_, b, _)| *b)
+        .sum();
+    assert_eq!(web, 5_000_000);
+}
+
+#[test]
+fn only_the_prefix_owner_can_signal() {
+    let mut sys = system(6);
+    // Another member signals for the victim's prefix: rejected by the
+    // IRR check, nothing installed.
+    let out = sys.member_signal(Asn(VICTIM.0 + 1), victim_prefix(), &[StellarSignal::drop_all()], 0);
+    assert_eq!(out.queued_changes, 0);
+    assert!(!out.rejections.is_empty());
+    sys.pump(10_000);
+    assert_eq!(sys.active_rules(), 0);
+}
+
+#[test]
+fn admission_control_refuses_over_limit_without_breaking_forwarding() {
+    let mut sys = system(4); // lab switch: 8 rules per port
+    // Ask for 10 distinct port rules: 8 installed, 2 refused.
+    let signals: Vec<StellarSignal> = (1..=10u16).map(StellarSignal::drop_udp_src).collect();
+    let out = sys.member_signal(VICTIM, victim_prefix(), &signals, 0);
+    assert_eq!(out.queued_changes, 10);
+    sys.pump(100_000);
+    assert_eq!(sys.active_rules(), 8);
+    assert_eq!(sys.refused.len(), 2);
+    // Forwarding still works for unmatched traffic (fallback-to-forward).
+    let port = sys.ixp.member(VICTIM).unwrap().port;
+    let r = sys.traffic_tick(&[flow(51000, IpProtocol::TCP, 1000)], 1_000_000, 1_000_000);
+    assert_eq!(r[&port].counters.forwarded_bytes, 1000);
+}
+
+#[test]
+fn member_session_down_implicitly_withdraws_rules() {
+    let mut sys = system(6);
+    sys.member_signal(VICTIM, victim_prefix(), &[StellarSignal::drop_udp_src(123)], 0);
+    sys.pump(10_000);
+    assert_eq!(sys.active_rules(), 1);
+    // The victim's BGP session to the route server dies: the route
+    // server flushes its routes, which must cascade into rule removal.
+    let rs_out = sys.ixp.route_server.peer_down(VICTIM);
+    for cu in &rs_out.controller_updates {
+        for change in sys.controller.process_update(cu) {
+            sys.queue.enqueue(change, 1_000_000);
+        }
+    }
+    sys.pump(1_000_000);
+    assert_eq!(sys.active_rules(), 0);
+    // Traffic flows again (resilience: fall back to plain forwarding).
+    let port = sys.ixp.member(VICTIM).unwrap().port;
+    let r = sys.traffic_tick(&[flow(123, IpProtocol::UDP, 777)], 2_000_000, 1_000_000);
+    assert_eq!(r[&port].counters.forwarded_bytes, 777);
+}
+
+#[test]
+fn controller_session_down_falls_back_to_forwarding() {
+    let mut sys = system(6);
+    sys.member_signal(
+        VICTIM,
+        victim_prefix(),
+        &[StellarSignal::drop_udp_src(123), StellarSignal::drop_udp_src(53)],
+        0,
+    );
+    sys.pump(10_000);
+    assert_eq!(sys.active_rules(), 2);
+    // The controller's iBGP session dies: every rule must be removed
+    // (availability beats mitigation, §4.1.2).
+    for change in sys.controller.session_down() {
+        sys.queue.enqueue(change, 1_000_000);
+    }
+    sys.pump(1_000_000);
+    assert_eq!(sys.active_rules(), 0);
+}
+
+#[test]
+fn signal_update_replaces_rules_atomically() {
+    let mut sys = system(6);
+    sys.member_signal(
+        VICTIM,
+        victim_prefix(),
+        &[StellarSignal::shape_udp_src(123, 200)],
+        0,
+    );
+    sys.pump(10_000);
+    // Escalate to drop (Fig. 10c's second step): re-announce.
+    let out = sys.member_signal(
+        VICTIM,
+        victim_prefix(),
+        &[StellarSignal {
+            kind: MatchKind::UdpSrcPort,
+            port: 123,
+            action: RuleAction::Drop,
+        }],
+        1_000_000,
+    );
+    assert_eq!(out.queued_changes, 2); // remove shape + add drop
+    sys.pump(1_100_000);
+    assert_eq!(sys.active_rules(), 1);
+    let port = sys.ixp.member(VICTIM).unwrap().port;
+    let r = sys.traffic_tick(&[flow(123, IpProtocol::UDP, 9999)], 2_000_000, 1_000_000);
+    assert_eq!(r[&port].counters.dropped_bytes, 9999);
+    assert_eq!(r[&port].counters.shaped_bytes, 0);
+}
+
+#[test]
+fn queue_rate_limit_defers_but_never_loses_changes() {
+    let mut sys = system(6);
+    sys.queue = ConfigChangeQueue::production(2.0); // slow: 2/s, MBS 2
+    let signals: Vec<StellarSignal> = (1..=6u16).map(StellarSignal::drop_udp_src).collect();
+    sys.member_signal(VICTIM, victim_prefix(), &signals, 0);
+    let mut installed = 0;
+    for t in 0..4u64 {
+        installed += sys.pump(t * 1_000_000);
+    }
+    assert_eq!(installed, 6);
+    assert_eq!(sys.active_rules(), 6);
+    assert_eq!(sys.queue.backlog(), 0);
+}
+
+#[test]
+fn two_victims_get_independent_rules() {
+    let mut sys = system(6);
+    let other = Asn(VICTIM.0 + 1);
+    let other_prefix = {
+        let p = sys.ixp.member(other).unwrap().prefixes[0];
+        match p {
+            Prefix::V4(p4) => Prefix::V4(
+                stellar::net::prefix::Ipv4Prefix::host(p4.nth_host(10)),
+            ),
+            _ => unreachable!(),
+        }
+    };
+    sys.member_signal(VICTIM, victim_prefix(), &[StellarSignal::drop_udp_src(123)], 0);
+    sys.member_signal(other, other_prefix, &[StellarSignal::drop_udp_src(53)], 0);
+    sys.pump(10_000);
+    assert_eq!(sys.active_rules(), 2);
+    // Withdrawing one leaves the other active.
+    sys.member_withdraw(VICTIM, victim_prefix(), 1_000_000);
+    sys.pump(1_000_000);
+    assert_eq!(sys.active_rules(), 1);
+}

@@ -1,0 +1,103 @@
+//! Shape checks for the paper's experiments: every figure's qualitative
+//! claim holds in the reproduction (who wins, by roughly what factor,
+//! where transitions fall) — the cross-crate counterpart of the
+//! per-module tests, run on the bench harness's own generators.
+
+use stellar::stats::describe::median;
+use stellar_bench::{fig10ab, fig3a, fig3b, fig9};
+
+#[test]
+fn fig3a_all_ports_significant_and_ranked() {
+    let study = fig3a::run(140, 99);
+    for p in stellar::net::ports::FIG3A_PORTS {
+        let w = study.welch(p).unwrap();
+        assert!(w.significant_at(0.02), "port {p}");
+    }
+    // Port 0 (fragments) and 123 (NTP) are the two most prominent bars.
+    let mean = |p: u16| study.rtbh.ci(p).mean;
+    let mut means: Vec<(u16, f64)> = stellar::net::ports::FIG3A_PORTS
+        .iter()
+        .map(|p| (*p, mean(*p)))
+        .collect();
+    means.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top2: Vec<u16> = means.iter().take(2).map(|(p, _)| *p).collect();
+    assert!(top2.contains(&0) && top2.contains(&123), "{means:?}");
+}
+
+#[test]
+fn fig3b_all_scope_dominates() {
+    let shares = fig3b::run(50_000, 99);
+    assert!(shares["All"] > 0.9);
+    // The long tail exists but is small.
+    let tail: f64 = shares
+        .iter()
+        .filter(|(l, _)| *l != "All")
+        .map(|(_, v)| v)
+        .sum();
+    assert!(tail < 0.08);
+}
+
+#[test]
+fn fig9_transitions_fall_where_the_paper_says() {
+    use stellar::dataplane::hardware::HardwareInfoBase;
+    use stellar::dataplane::tcam::TcamVerdict;
+    let hib = HardwareInfoBase::production_er();
+    let ok_cells = |a: f64| {
+        fig9::grid(&hib, a)
+            .iter()
+            .flatten()
+            .filter(|v| **v == TcamVerdict::Ok)
+            .count()
+    };
+    // 20 %: everything feasible; 60 %: headroom to 8N MAC / 3N L3-L4;
+    // 100 %: margin shrinks but a workable region remains.
+    assert_eq!(ok_cells(0.2), 30);
+    assert_eq!(ok_cells(0.6), 20);
+    assert_eq!(ok_cells(1.0), 6);
+}
+
+#[test]
+fn fig10a_median_max_rate_is_4_33() {
+    let samples = fig10ab::run_cpu_sweep(8);
+    let fit = fig10ab::fit(&samples);
+    // Derive the per-window max rate from repeated fits on subsamples to
+    // get a median, like the paper's wording.
+    let mut rates = Vec::new();
+    for chunk in samples.chunks(38) {
+        if chunk.len() >= 10 {
+            rates.push(fig10ab::fit(chunk).solve_for_x(0.15));
+        }
+    }
+    let med = median(&rates);
+    assert!((med - 4.33).abs() < 0.4, "median max rate {med}");
+    assert!(fit.r2 > 0.9);
+}
+
+#[test]
+fn fig10b_quantiles() {
+    let trace = fig10ab::rtbh_trace(99);
+    let cdf = fig10ab::replay(&trace, 4.0);
+    assert!(cdf.at(1.0) >= 0.70);
+    assert!(cdf.quantile(0.95) < 100.0);
+}
+
+#[test]
+fn table1_advbh_dominates() {
+    use stellar::core::mitigation::{evaluate, rate, Rating, ReferenceScenario, ALL};
+    let s = ReferenceScenario::default();
+    let score = |t| {
+        rate(&evaluate(t, &s), &s)
+            .iter()
+            .map(|(_, r)| match r {
+                Rating::Good => 2,
+                Rating::Neutral => 1,
+                Rating::Bad => 0,
+            })
+            .sum::<i32>()
+    };
+    let advbh = score(stellar::core::mitigation::Technique::AdvancedBlackholing);
+    for t in ALL {
+        assert!(score(t) <= advbh, "{t:?} should not beat Advanced BH");
+    }
+    assert_eq!(advbh, 20); // all ten criteria Good
+}

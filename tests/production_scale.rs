@@ -1,0 +1,110 @@
+//! Production-scale smoke test: the full system at L-IXP-like dimensions
+//! (350 members on the densest ER, §5.1) — bring-up, mass signaling at
+//! the paper's sustainable update rate, traffic, and teardown.
+
+use stellar::bgp::types::Asn;
+use stellar::core::signal::StellarSignal;
+use stellar::core::system::StellarSystem;
+use stellar::dataplane::hardware::HardwareInfoBase;
+use stellar::dataplane::switch::OfferedAggregate;
+use stellar::net::addr::{IpAddress, Ipv4Address};
+use stellar::net::flow::FlowKey;
+use stellar::net::mac::MacAddr;
+use stellar::net::prefix::Prefix;
+use stellar::net::proto::IpProtocol;
+use stellar::sim::topology::{generic_members, IxpTopology};
+
+#[test]
+fn full_platform_brings_up_and_mitigates_many_members() {
+    let n = 350usize;
+    let mut ixp = IxpTopology::build(&generic_members(64500, n), HardwareInfoBase::production_er());
+    // Every member announces its prefix; all validate against the IRR.
+    let accepted = ixp.announce_all(0);
+    assert_eq!(accepted, n);
+
+    let mut sys = StellarSystem::new(ixp, 4.33);
+    // 40 members come under attack and signal simultaneously (a carpet
+    // attack): the config queue must meter this into the hardware.
+    let victims: Vec<(Asn, Prefix)> = sys
+        .ixp
+        .members
+        .iter()
+        .take(40)
+        .map(|(asn, info)| {
+            let host = match info.prefixes[0] {
+                Prefix::V4(p) => Prefix::V4(stellar::net::prefix::Ipv4Prefix::host(p.nth_host(10))),
+                Prefix::V6(_) => unreachable!("generic members are v4"),
+            };
+            (*asn, host)
+        })
+        .collect();
+    let mut queued = 0;
+    for (asn, victim) in &victims {
+        let out = sys.member_signal(*asn, *victim, &[StellarSignal::drop_udp_src(123)], 0);
+        assert!(out.rejections.is_empty(), "{asn}: {:?}", out.rejections);
+        queued += out.queued_changes;
+    }
+    assert_eq!(queued, 40);
+
+    // At 4.33 changes/s the queue drains 40 changes in ~9-10 s.
+    let mut applied = 0;
+    let mut t = 0u64;
+    while applied < 40 {
+        t += 1_000_000;
+        applied += sys.pump(t);
+        assert!(t < 20_000_000, "queue too slow: {applied} applied at t={t}");
+    }
+    assert_eq!(sys.active_rules(), 40);
+    assert!(t >= 8_000_000, "rate limit not enforced (drained at t={t})");
+    assert!(sys.refused.is_empty());
+
+    // TCAM accounting: 40 rules x 3 L3-L4 criteria.
+    assert_eq!(sys.ixp.router.tcam().l34_used(), 120);
+
+    // Traffic to every victim: attack dropped, web forwarded, everywhere.
+    let offers: Vec<OfferedAggregate> = victims
+        .iter()
+        .flat_map(|(asn, victim)| {
+            let dst_ip = match victim {
+                Prefix::V4(p) => p.addr(),
+                _ => unreachable!(),
+            };
+            let dst_mac = sys.ixp.member(*asn).unwrap().mac;
+            let mk = |src_port: u16, proto: IpProtocol, bytes: u64| OfferedAggregate {
+                key: FlowKey {
+                    src_mac: MacAddr::for_member(70000, 1),
+                    dst_mac,
+                    src_ip: IpAddress::V4(Ipv4Address::new(198, 51, 100, 1)),
+                    dst_ip: IpAddress::V4(dst_ip),
+                    protocol: proto,
+                    src_port,
+                    dst_port: 443,
+                },
+                bytes,
+                packets: bytes / 1000 + 1,
+            };
+            vec![mk(123, IpProtocol::UDP, 1_000_000), mk(51000, IpProtocol::TCP, 10_000)]
+        })
+        .collect();
+    let results = sys.traffic_tick(&offers, t + 1_000_000, 1_000_000);
+    let mut dropped = 0u64;
+    let mut forwarded = 0u64;
+    for r in results.values() {
+        dropped += r.counters.dropped_bytes;
+        forwarded += r.counters.forwarded_bytes;
+    }
+    assert_eq!(dropped, 40 * 1_000_000);
+    assert_eq!(forwarded, 40 * 10_000);
+
+    // Teardown: everyone withdraws; the platform returns to zero rules.
+    for (asn, victim) in &victims {
+        sys.member_withdraw(*asn, *victim, t + 2_000_000);
+    }
+    let mut t2 = t + 2_000_000;
+    while sys.active_rules() > 0 {
+        t2 += 1_000_000;
+        sys.pump(t2);
+        assert!(t2 < t + 30_000_000, "teardown stalled");
+    }
+    assert_eq!(sys.ixp.router.tcam().l34_used(), 0);
+}

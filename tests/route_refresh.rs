@@ -1,0 +1,91 @@
+//! ROUTE-REFRESH (RFC 2918) end to end: a member that flushed its RIB —
+//! or just fixed the import filters it had fat-fingered (§2.4 reason (c))
+//! — resynchronizes its view without bouncing the session.
+
+use stellar::bgp::community::Community;
+use stellar::bgp::session::{drive_pair, Session, SessionConfig};
+use stellar::bgp::types::Asn;
+use stellar::net::addr::Ipv4Address;
+use stellar::sim::topology::{generic_members, IxpTopology};
+use stellar::dataplane::hardware::HardwareInfoBase;
+
+#[test]
+fn refresh_request_surfaces_on_the_session() {
+    let mut a = Session::new(SessionConfig::ebgp(Asn(64500), Ipv4Address::new(10, 0, 0, 1)));
+    let mut b = {
+        let mut c = SessionConfig::ebgp(Asn(64501), Ipv4Address::new(10, 0, 0, 2));
+        c.passive = true;
+        Session::new(c)
+    };
+    // Before Established, sending is refused.
+    assert!(a.send_route_refresh().is_err());
+    drive_pair(&mut a, &mut b, 0);
+    let wire = a.send_route_refresh().unwrap();
+    let out = b.on_bytes(&wire, 1);
+    assert!(out.refresh_requested);
+    assert!(out.updates.is_empty());
+    assert!(b.is_established());
+}
+
+#[test]
+fn route_server_rebuilds_a_members_view() {
+    let mut ixp = IxpTopology::build(&generic_members(64500, 12), HardwareInfoBase::lab_switch());
+    assert_eq!(ixp.announce_all(0), 12);
+    // One member also blackholes a /32.
+    let victim_prefix = match ixp.members[&Asn(64500)].prefixes[0] {
+        stellar::net::prefix::Prefix::V4(p) => {
+            stellar::net::prefix::Prefix::V4(stellar::net::prefix::Ipv4Prefix::host(p.nth_host(9)))
+        }
+        _ => unreachable!(),
+    };
+    let mut bh = ixp.announcement(Asn(64500), victim_prefix);
+    bh.add_communities(&[Community::BLACKHOLE]);
+    let out = ixp.route_server.handle_update(Asn(64500), &bh, 1);
+    assert!(out.rejections.is_empty());
+
+    // Member 64501 flushed everything and asks for a refresh.
+    let refreshed = ixp.route_server.refresh_exports(Asn(64501));
+    // It gets the other 11 members' prefixes plus the blackhole /32,
+    // minus its own route.
+    assert_eq!(refreshed.len(), 12);
+    // The blackhole route still carries the rewritten next hop and the
+    // community.
+    let bh_route = refreshed
+        .iter()
+        .find(|u| u.nlri.first().map(|n| n.prefix) == Some(victim_prefix))
+        .expect("blackhole present in refresh");
+    assert_eq!(
+        bh_route.next_hop(),
+        Some(ixp.route_server.config().blackhole_next_hop)
+    );
+    assert!(bh_route
+        .communities()
+        .iter()
+        .any(|c| c.is_blackhole(ixp.route_server.config().ixp_asn)));
+    // Its own prefix is not reflected back.
+    let own = ixp.members[&Asn(64501)].prefixes[0];
+    assert!(refreshed
+        .iter()
+        .all(|u| u.nlri.first().map(|n| n.prefix) != Some(own)));
+    // Unknown peers get nothing.
+    assert!(ixp.route_server.refresh_exports(Asn(9999)).is_empty());
+}
+
+#[test]
+fn refresh_respects_action_community_scope() {
+    let mut ixp = IxpTopology::build(&generic_members(64500, 4), HardwareInfoBase::lab_switch());
+    // 64500 announces, excluding 64502 via an action community.
+    let prefix = ixp.members[&Asn(64500)].prefixes[0];
+    let mut u = ixp.announcement(Asn(64500), prefix);
+    u.add_communities(&[Community::new(0, 64502)]);
+    ixp.route_server.handle_update(Asn(64500), &u, 0);
+
+    let for_64501 = ixp.route_server.refresh_exports(Asn(64501));
+    let for_64502 = ixp.route_server.refresh_exports(Asn(64502));
+    assert!(for_64501
+        .iter()
+        .any(|m| m.nlri.first().map(|n| n.prefix) == Some(prefix)));
+    assert!(for_64502
+        .iter()
+        .all(|m| m.nlri.first().map(|n| n.prefix) != Some(prefix)));
+}
