@@ -49,7 +49,11 @@ fn bench(c: &mut Criterion) {
     let big = Message::Update(add_path_update(64));
     let big_wire = big.encode(ap_ctx).unwrap();
     c.bench_function("bgp/decode_add_path_64", |b| {
-        b.iter(|| Message::decode(black_box(&big_wire), ap_ctx).unwrap().unwrap())
+        b.iter(|| {
+            Message::decode(black_box(&big_wire), ap_ctx)
+                .unwrap()
+                .unwrap()
+        })
     });
     c.bench_function("bgp/reader_stream_100_msgs", |b| {
         let mut stream = Vec::new();

@@ -1,0 +1,217 @@
+//! Linear scan vs the compiled tuple-space engine (`stellar-classify`).
+//!
+//! Four variants at 10 / 100 / 1k / 10k installed rules, all classifying
+//! the same 1 000-key batch:
+//!
+//! * `linear`   — first-match scan over the priority-sorted rule list
+//!   (the seed dataplane's hot path),
+//! * `compiled` — per-key [`ClassifyEngine::classify`],
+//! * `batch`    — one [`ClassifyEngine::classify_batch`] call,
+//! * `sharded`  — the batch split into 8 port-group shards fanned out
+//!   over scoped worker threads.
+//!
+//! A final `report` target reads the collected summaries and dumps a
+//! machine-readable comparison (ns/key and speedup over linear) to
+//! `results/bench_classify.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use stellar_bench::output;
+use stellar_classify::sharded::{classify_shards, ShardRequest};
+use stellar_classify::{ClassifyEngine, MatchSpec, PortMatch, RuleEntry};
+use stellar_net::addr::{IpAddress, Ipv4Address};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::prefix::{Ipv4Prefix, Prefix};
+use stellar_net::proto::IpProtocol;
+
+const RULE_COUNTS: [usize; 4] = [10, 100, 1_000, 10_000];
+const KEY_COUNT: usize = 1_000;
+const SHARDS: usize = 8;
+
+/// Amplification source ports a Stellar member would drop (NTP, DNS,
+/// chargen, memcached).
+const AMP_PORTS: [u16; 4] = [123, 53, 19, 11211];
+
+fn victim(i: usize) -> Ipv4Address {
+    Ipv4Address::new(
+        100,
+        (i / 65_536) as u8,
+        ((i / 256) % 256) as u8,
+        (i % 256) as u8,
+    )
+}
+
+fn host_prefix(addr: Ipv4Address) -> Prefix {
+    Prefix::V4(Ipv4Prefix::new(addr, 32).unwrap())
+}
+
+/// A Stellar-realistic rule mix: mostly fine-grained advanced-blackholing
+/// rules (victim /32 + UDP + amplification source port), plus plain
+/// destination blackholes, dst-port-range scrubs and src-prefix scoped
+/// drops. The mix exercises exact, prefix and range dimensions while
+/// keeping the tuple count small, as real rule sets do.
+fn rules(n: usize) -> Vec<RuleEntry> {
+    (0..n)
+        .map(|i| {
+            let dst = host_prefix(victim(i));
+            let spec = match i % 10 {
+                // 40%: victim /32, UDP, exact amplification source port.
+                0..=3 => MatchSpec::proto_src_port_to(
+                    dst,
+                    IpProtocol::UDP,
+                    AMP_PORTS[i % AMP_PORTS.len()],
+                ),
+                // 30%: plain destination blackhole.
+                4..=6 => MatchSpec::to_destination(dst),
+                // 20%: destination + TCP + destination port range.
+                7..=8 => MatchSpec {
+                    protocol: Some(IpProtocol::TCP),
+                    dst_port: Some(PortMatch::Range(0, 1023)),
+                    ..MatchSpec::to_destination(dst)
+                },
+                // 10%: source-prefix scoped drop towards the victim.
+                _ => MatchSpec {
+                    src_ip: Some(Prefix::V4(
+                        Ipv4Prefix::new(Ipv4Address::new(203, (i % 200) as u8, 0, 0), 16).unwrap(),
+                    )),
+                    ..MatchSpec::to_destination(dst)
+                },
+            };
+            RuleEntry::new(i as u64, 10, spec)
+        })
+        .collect()
+}
+
+/// Half the keys hit installed victims (with amplification ports so the
+/// fine-grained rules fire), half miss entirely — misses are the linear
+/// scan's worst case and the common case under attack traffic churn.
+fn keys(n_rules: usize) -> Vec<FlowKey> {
+    (0..KEY_COUNT)
+        .map(|i| {
+            let dst = if i % 2 == 0 {
+                victim((i * 7) % n_rules)
+            } else {
+                Ipv4Address::new(198, 51, (i % 256) as u8, (i / 256) as u8)
+            };
+            FlowKey {
+                src_mac: MacAddr::for_member(64500 + (i % 4) as u32, 1),
+                dst_mac: MacAddr::for_member(64510, 1),
+                src_ip: IpAddress::V4(Ipv4Address::new(203, (i % 200) as u8, 7, 9)),
+                dst_ip: IpAddress::V4(dst),
+                protocol: IpProtocol::UDP,
+                src_port: AMP_PORTS[i % AMP_PORTS.len()],
+                dst_port: 44_444,
+            }
+        })
+        .collect()
+}
+
+/// The seed hot path: first match over rules sorted by `(priority, id)`.
+fn linear_classify(sorted: &[RuleEntry], key: &FlowKey) -> Option<u64> {
+    sorted.iter().find(|e| e.spec.matches(key)).map(|e| e.id)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    group.throughput(Throughput::Elements(KEY_COUNT as u64));
+    for n in RULE_COUNTS {
+        let entries = rules(n);
+        let mut sorted = entries.clone();
+        sorted.sort_by_key(|e| (e.priority, e.id));
+        let engine = ClassifyEngine::compile(entries.iter().cloned());
+        let batch = keys(n);
+
+        group.bench_function(format!("linear/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for key in &batch {
+                    if linear_classify(black_box(&sorted), key).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        group.bench_function(format!("compiled/{n}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for key in &batch {
+                    if black_box(&engine).classify(key).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        group.bench_function(format!("batch/{n}"), |b| {
+            b.iter(|| black_box(&engine).classify_batch(black_box(&batch)))
+        });
+
+        let shard_len = KEY_COUNT.div_ceil(SHARDS);
+        group.bench_function(format!("sharded/{n}"), |b| {
+            b.iter(|| {
+                let requests: Vec<ShardRequest<'_>> = batch
+                    .chunks(shard_len)
+                    .map(|chunk| ShardRequest {
+                        engine: &engine,
+                        keys: chunk,
+                    })
+                    .collect();
+                classify_shards(requests, SHARDS)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Reads the summaries recorded by `bench` and writes a machine-readable
+/// comparison to `results/bench_classify.json`.
+fn report(c: &mut Criterion) {
+    let per_key = |mode: &str, n: usize| {
+        c.summaries()
+            .iter()
+            .find(|s| s.name == format!("classify/{mode}/{n}"))
+            .map(|s| s.ns_per_iter / KEY_COUNT as f64)
+    };
+    let mut rows = Vec::new();
+    for n in RULE_COUNTS {
+        let linear = per_key("linear", n);
+        let compiled = per_key("compiled", n);
+        let batch = per_key("batch", n);
+        let sharded = per_key("sharded", n);
+        let speedup = |v: Option<f64>| match (linear, v) {
+            (Some(l), Some(x)) if x > 0.0 => serde_json::json!(l / x),
+            _ => serde_json::json!(null),
+        };
+        rows.push(serde_json::json!({
+            "rules": n,
+            "keys_per_iter": KEY_COUNT,
+            "linear_ns_per_key": serde_json::json!(linear),
+            "compiled_ns_per_key": serde_json::json!(compiled),
+            "batch_ns_per_key": serde_json::json!(batch),
+            "sharded_ns_per_key": serde_json::json!(sharded),
+            "speedup_compiled_vs_linear": speedup(compiled),
+            "speedup_batch_vs_linear": speedup(batch),
+            "speedup_sharded_vs_linear": speedup(sharded),
+        }));
+    }
+    output::banner(
+        "bench_classify",
+        "compiled tuple-space classification vs linear scan",
+    );
+    output::write_json(
+        "bench_classify",
+        &serde_json::json!({
+            "bench": "classify",
+            "workload": "1000-key batch, 50% hits, Stellar-style rule mix",
+            "shards": SHARDS,
+            "results": serde_json::json!(rows),
+        }),
+    );
+}
+
+criterion_group!(benches, bench, report);
+criterion_main!(benches);

@@ -21,7 +21,10 @@ fn signaled_update(path_id: u32, port: u16) -> UpdateMessage {
         Ipv4Address::new(80, 81, 192, 10),
         PathAttribute::AsPath(AsPath::sequence([64500])),
     );
-    u.nlri = vec![Nlri::with_path_id("100.10.10.10/32".parse().unwrap(), path_id)];
+    u.nlri = vec![Nlri::with_path_id(
+        "100.10.10.10/32".parse().unwrap(),
+        path_id,
+    )];
     u.add_extended_communities(&[StellarSignal::drop_udp_src(port).encode(Asn(6695))]);
     u
 }
@@ -58,12 +61,8 @@ fn bench(c: &mut Criterion) {
             },
             |mut sys| {
                 let victim = "131.0.0.10/32".parse().unwrap();
-                let out = sys.member_signal(
-                    Asn(64500),
-                    victim,
-                    &[StellarSignal::drop_udp_src(123)],
-                    0,
-                );
+                let out =
+                    sys.member_signal(Asn(64500), victim, &[StellarSignal::drop_udp_src(123)], 0);
                 assert!(out.rejections.is_empty());
                 sys.pump(0);
                 assert_eq!(sys.active_rules(), 1);

@@ -82,7 +82,12 @@ fn main() {
             format!("{:.2}%", pool_used * 100.0),
             format!("{install_s:.1}s"),
             format!("{} total", fmt_bps(carried * 8.0 / attack_secs)),
-            if p.ports_touched == 1 { "1 port/update" } else { "n ports/update" }.to_string(),
+            if p.ports_touched == 1 {
+                "1 port/update"
+            } else {
+                "n ports/update"
+            }
+            .to_string(),
         ]);
         json.push(serde_json::json!({
             "placement": p.name,

@@ -47,9 +47,7 @@ fn main() {
         fit.n
     );
     let max_rate = fit.solve_for_x(0.15);
-    println!(
-        "15% CPU cap is reached at {max_rate:.2} updates/s (paper: median 4.33/s)."
-    );
+    println!("15% CPU cap is reached at {max_rate:.2} updates/s (paper: median 4.33/s).");
 
     let json = serde_json::json!({
         "samples": samples,

@@ -14,7 +14,10 @@ fn main() {
     let hib = HardwareInfoBase::production_er();
     println!(
         "Platform: {} member ports, L3-L4 criteria pool {}, MAC filter pool {}, N = {}\n",
-        hib.member_ports, hib.l34_criteria_pool, hib.mac_filter_pool, fig9::N
+        hib.member_ports,
+        hib.l34_criteria_pool,
+        hib.mac_filter_pool,
+        fig9::N
     );
 
     let mut json = Vec::new();
@@ -22,7 +25,11 @@ fn main() {
         let g = fig9::grid(&hib, adoption);
         println!("{title}");
         println!("{}", fig9::render(&g));
-        let ok = g.iter().flatten().filter(|v| **v == TcamVerdict::Ok).count();
+        let ok = g
+            .iter()
+            .flatten()
+            .filter(|v| **v == TcamVerdict::Ok)
+            .count();
         println!("feasible cells: {ok}/30\n");
         json.push(serde_json::json!({
             "adoption": adoption,

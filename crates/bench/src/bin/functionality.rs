@@ -84,7 +84,7 @@ fn main() {
         flow(51000, IpProtocol::TCP, ip_b, 0.35e9),
     ];
     let label = |p: u16, proto: IpProtocol, ip: &str| format!("{proto} src {p} -> {ip}");
-    let names = vec![
+    let names = [
         label(123, IpProtocol::UDP, "A"),
         label(53, IpProtocol::UDP, "A"),
         label(51000, IpProtocol::TCP, "A (benign)"),
@@ -137,10 +137,24 @@ fn main() {
     push_row("drop NTP, shape DNS@200M", &rates, &mut rows);
 
     // Phase 3: remove rules — flows share the congested port again.
-    mgr.apply(&mut er, &AbstractChange::RemoveRule { rule_id: 1, owner: Asn(64500) }, t)
-        .expect("remove");
-    mgr.apply(&mut er, &AbstractChange::RemoveRule { rule_id: 2, owner: Asn(64500) }, t)
-        .expect("remove");
+    mgr.apply(
+        &mut er,
+        &AbstractChange::RemoveRule {
+            rule_id: 1,
+            owner: Asn(64500),
+        },
+        t,
+    )
+    .expect("remove");
+    mgr.apply(
+        &mut er,
+        &AbstractChange::RemoveRule {
+            rule_id: 2,
+            owner: Asn(64500),
+        },
+        t,
+    )
+    .expect("remove");
     let rates = run(&mut er, &offers, &mut t);
     push_row("rules removed (congested)", &rates, &mut rows);
 

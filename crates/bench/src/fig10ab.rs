@@ -120,7 +120,11 @@ mod tests {
         let fit = fit(&samples);
         // Slope ~3 % per update/s, intercept ~2 %.
         assert!((fit.slope - 0.03).abs() < 0.005, "slope {}", fit.slope);
-        assert!((fit.intercept - 0.02).abs() < 0.01, "intercept {}", fit.intercept);
+        assert!(
+            (fit.intercept - 0.02).abs() < 0.01,
+            "intercept {}",
+            fit.intercept
+        );
         assert!(fit.r2 > 0.9, "r2 {}", fit.r2);
         // The 15 % cap solves to ~4.33 updates/s.
         let max_rate = fit.solve_for_x(0.15);

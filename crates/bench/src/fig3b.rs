@@ -101,8 +101,8 @@ pub fn non_honoring_share(n_members: usize, seed: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
-    use stellar_routeserver::control::PolicyScope;
     use super::*;
+    use stellar_routeserver::control::PolicyScope;
 
     #[test]
     fn measured_shares_match_generated_distribution() {

@@ -11,10 +11,20 @@ pub fn banner(id: &str, title: &str) {
     println!("==============================================================");
 }
 
-/// Writes a JSON result file under `results/` (best effort: failures to
-/// write are reported but do not abort the experiment).
+/// The workspace-root `results/` directory. Experiment binaries run from
+/// the workspace root, but `cargo bench` runs with the package directory
+/// as cwd, so anchor on this crate's manifest dir instead of cwd.
+fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+/// Writes a JSON result file under the workspace `results/` directory
+/// (best effort: failures to write are reported but do not abort the
+/// experiment).
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
-    let dir = PathBuf::from("results");
+    let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("note: could not create results dir: {e}");
         return;
@@ -40,10 +50,10 @@ mod tests {
     fn json_write_smoke() {
         // Round-trips through a temp dir by changing cwd is risky in
         // parallel tests; just exercise serialization.
-        #[derive(Serialize)]
         struct S {
             a: u32,
         }
+        serde::impl_serialize_struct!(S { a });
         let s = serde_json::to_string(&S { a: 7 }).unwrap();
         assert_eq!(s, "{\"a\":7}");
         banner("TEST", "banner smoke");

@@ -46,9 +46,7 @@ impl AsPath {
     /// A path consisting of a single sequence.
     pub fn sequence(asns: impl IntoIterator<Item = u32>) -> Self {
         AsPath {
-            segments: vec![AsSegment::Sequence(
-                asns.into_iter().map(Asn).collect(),
-            )],
+            segments: vec![AsSegment::Sequence(asns.into_iter().map(Asn).collect())],
         }
     }
 
@@ -485,7 +483,10 @@ mod tests {
     #[test]
     fn simple_attributes_round_trip() {
         round_trip(&PathAttribute::Origin(Origin::Igp), false);
-        round_trip(&PathAttribute::NextHop(Ipv4Address::new(80, 81, 192, 1)), false);
+        round_trip(
+            &PathAttribute::NextHop(Ipv4Address::new(80, 81, 192, 1)),
+            false,
+        );
         round_trip(&PathAttribute::Med(100), false);
         round_trip(&PathAttribute::LocalPref(200), false);
         round_trip(&PathAttribute::AtomicAggregate, false);

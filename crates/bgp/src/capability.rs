@@ -144,8 +144,7 @@ impl Capability {
                 }
                 let afi = Afi::from_value(u16::from_be_bytes([v[0], v[1]]))
                     .ok_or(BgpError::open(0, "unknown AFI"))?;
-                let safi =
-                    Safi::from_value(v[3]).ok_or(BgpError::open(0, "unknown SAFI"))?;
+                let safi = Safi::from_value(v[3]).ok_or(BgpError::open(0, "unknown SAFI"))?;
                 Capability::Multiprotocol { afi, safi }
             }
             2 => Capability::RouteRefresh,
@@ -158,7 +157,7 @@ impl Capability {
                 }
             }
             69 => {
-                if len % 4 != 0 {
+                if !len.is_multiple_of(4) {
                     return Err(BgpError::open(0, "bad ADD-PATH capability length"));
                 }
                 let mut families = Vec::with_capacity(len / 4);

@@ -42,8 +42,7 @@ impl Community {
     /// conventional `<ixp-asn>:666` form IXPs documented before the RFC
     /// (§2.2's `IXP_ASN:666`).
     pub fn is_blackhole(&self, ixp_asn: Asn) -> bool {
-        *self == Self::BLACKHOLE
-            || (self.value() == 666 && u32::from(self.asn()) == ixp_asn.0)
+        *self == Self::BLACKHOLE || (self.value() == 666 && u32::from(self.asn()) == ixp_asn.0)
     }
 }
 

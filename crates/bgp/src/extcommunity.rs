@@ -63,7 +63,11 @@ impl ExtendedCommunity {
                 local,
                 transitive,
             } => {
-                b[0] = if transitive { 0x00 } else { FLAG_NON_TRANSITIVE };
+                b[0] = if transitive {
+                    0x00
+                } else {
+                    FLAG_NON_TRANSITIVE
+                };
                 b[1] = subtype;
                 b[2..4].copy_from_slice(&asn.to_be_bytes());
                 b[4..8].copy_from_slice(&local.to_be_bytes());

@@ -179,7 +179,9 @@ impl BgpFsm {
             (_, E::HoldTimerExpired) => {
                 let was_up = self.state == S::Established;
                 self.state = S::Idle;
-                let mut acts = vec![A::SendNotification(NotificationMessage::hold_timer_expired())];
+                let mut acts = vec![A::SendNotification(
+                    NotificationMessage::hold_timer_expired(),
+                )];
                 if was_up {
                     acts.push(A::SessionDown);
                 }
@@ -285,7 +287,10 @@ mod tests {
         assert_eq!(fsm.state(), SessionState::Idle);
         assert!(fsm.handle(BgpEvent::ManualStart, 0).is_empty());
         assert_eq!(fsm.state(), SessionState::Connect);
-        assert_eq!(fsm.handle(BgpEvent::TcpConfirmed, 0), vec![FsmAction::SendOpen]);
+        assert_eq!(
+            fsm.handle(BgpEvent::TcpConfirmed, 0),
+            vec![FsmAction::SendOpen]
+        );
         assert_eq!(fsm.state(), SessionState::OpenSent);
         assert_eq!(
             fsm.handle(BgpEvent::RecvOpen(open(90)), 1),

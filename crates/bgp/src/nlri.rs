@@ -54,7 +54,10 @@ pub fn encode_v4<B: BufMut>(entries: &[Nlri], add_path: bool, buf: &mut B) -> Bg
             (true, Some(id)) => buf.put_u32(id),
             (false, None) => {}
             _ => {
-                return Err(BgpError::update(0, "path-id presence disagrees with session"));
+                return Err(BgpError::update(
+                    0,
+                    "path-id presence disagrees with session",
+                ));
             }
         }
         buf.put_u8(p.len());
@@ -79,7 +82,9 @@ pub fn decode_v4(mut buf: &[u8], add_path: bool) -> BgpResult<Vec<Nlri>> {
             None
         };
         if buf.is_empty() {
-            return Err(BgpError::Truncated { what: "nlri length" });
+            return Err(BgpError::Truncated {
+                what: "nlri length",
+            });
         }
         let len = buf[0];
         if len > 32 {
@@ -87,7 +92,9 @@ pub fn decode_v4(mut buf: &[u8], add_path: bool) -> BgpResult<Vec<Nlri>> {
         }
         let nbytes = len.div_ceil(8) as usize;
         if buf.len() < 1 + nbytes {
-            return Err(BgpError::Truncated { what: "nlri prefix" });
+            return Err(BgpError::Truncated {
+                what: "nlri prefix",
+            });
         }
         let mut octets = [0u8; 4];
         octets[..nbytes].copy_from_slice(&buf[1..1 + nbytes]);
@@ -115,7 +122,10 @@ pub fn encode_v6<B: BufMut>(entries: &[Nlri], add_path: bool, buf: &mut B) -> Bg
             (true, Some(id)) => buf.put_u32(id),
             (false, None) => {}
             _ => {
-                return Err(BgpError::update(0, "path-id presence disagrees with session"));
+                return Err(BgpError::update(
+                    0,
+                    "path-id presence disagrees with session",
+                ));
             }
         }
         buf.put_u8(p.len());
@@ -140,7 +150,9 @@ pub fn decode_v6(mut buf: &[u8], add_path: bool) -> BgpResult<Vec<Nlri>> {
             None
         };
         if buf.is_empty() {
-            return Err(BgpError::Truncated { what: "nlri length" });
+            return Err(BgpError::Truncated {
+                what: "nlri length",
+            });
         }
         let len = buf[0];
         if len > 128 {
@@ -148,7 +160,9 @@ pub fn decode_v6(mut buf: &[u8], add_path: bool) -> BgpResult<Vec<Nlri>> {
         }
         let nbytes = len.div_ceil(8) as usize;
         if buf.len() < 1 + nbytes {
-            return Err(BgpError::Truncated { what: "nlri prefix" });
+            return Err(BgpError::Truncated {
+                what: "nlri prefix",
+            });
         }
         let mut octets = [0u8; 16];
         octets[..nbytes].copy_from_slice(&buf[1..1 + nbytes]);
@@ -217,9 +231,8 @@ mod tests {
         encode_v4(&entries, false, &mut buf).unwrap();
         // Decoding non-add-path bytes as add-path must fail or mis-parse,
         // never silently succeed with the same result.
-        match decode_v4(&buf, true) {
-            Ok(decoded) => assert_ne!(decoded, entries),
-            Err(_) => {}
+        if let Ok(decoded) = decode_v4(&buf, true) {
+            assert_ne!(decoded, entries);
         }
     }
 
@@ -254,7 +267,12 @@ mod tests {
     #[test]
     fn family_mixups_are_rejected() {
         let mut buf = BytesMut::new();
-        assert!(encode_v4(&[Nlri::plain("2001:db8::/32".parse().unwrap())], false, &mut buf).is_err());
+        assert!(encode_v4(
+            &[Nlri::plain("2001:db8::/32".parse().unwrap())],
+            false,
+            &mut buf
+        )
+        .is_err());
         assert!(encode_v6(&[Nlri::plain(v4("1.0.0.0/8"))], false, &mut buf).is_err());
     }
 }

@@ -63,18 +63,24 @@ impl OpenMessage {
         let bgp_id = Ipv4Address([buf[5], buf[6], buf[7], buf[8]]);
         let opt_len = buf[9] as usize;
         if buf.len() < 10 + opt_len {
-            return Err(BgpError::Truncated { what: "open optional parameters" });
+            return Err(BgpError::Truncated {
+                what: "open optional parameters",
+            });
         }
         let mut capabilities = Vec::new();
         let mut rest = &buf[10..10 + opt_len];
         while !rest.is_empty() {
             if rest.len() < 2 {
-                return Err(BgpError::Truncated { what: "open parameter" });
+                return Err(BgpError::Truncated {
+                    what: "open parameter",
+                });
             }
             let ptype = rest[0];
             let plen = rest[1] as usize;
             if rest.len() < 2 + plen {
-                return Err(BgpError::Truncated { what: "open parameter body" });
+                return Err(BgpError::Truncated {
+                    what: "open parameter body",
+                });
             }
             if ptype == 2 {
                 let mut caps = &rest[2..2 + plen];
@@ -106,7 +112,13 @@ impl OpenMessage {
     /// The ADD-PATH capability's families, if advertised.
     pub fn add_path_families(
         &self,
-    ) -> Option<&[(crate::types::Afi, crate::types::Safi, crate::capability::AddPathMode)]> {
+    ) -> Option<
+        &[(
+            crate::types::Afi,
+            crate::types::Safi,
+            crate::capability::AddPathMode,
+        )],
+    > {
         self.capabilities.iter().find_map(|c| match c {
             Capability::AddPath { families } => Some(families.as_slice()),
             _ => None,

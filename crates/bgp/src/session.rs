@@ -233,11 +233,12 @@ impl Session {
                 self.run_actions(acts, now_us)
             }
             Message::RouteRefresh { .. } => {
-                let mut out = SessionOutput::default();
                 // Only meaningful on an established session; earlier it is
                 // silently ignored (benign, like a stray keepalive).
-                out.refresh_requested = self.is_established();
-                out
+                SessionOutput {
+                    refresh_requested: self.is_established(),
+                    ..Default::default()
+                }
             }
         }
     }
@@ -296,7 +297,8 @@ impl Session {
             match a {
                 FsmAction::SendOpen => {
                     let m = Message::Open(self.local_open());
-                    out.to_send.push(m.encode(DecodeCtx::default()).expect("open encodes"));
+                    out.to_send
+                        .push(m.encode(DecodeCtx::default()).expect("open encodes"));
                 }
                 FsmAction::SendKeepalive => {
                     out.to_send

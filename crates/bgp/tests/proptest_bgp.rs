@@ -15,9 +15,8 @@ use stellar_net::addr::Ipv4Address;
 use stellar_net::prefix::{Ipv4Prefix, Prefix};
 
 fn arb_prefix() -> impl Strategy<Value = Prefix> {
-    (any::<[u8; 4]>(), 0u8..=32).prop_map(|(o, len)| {
-        Prefix::V4(Ipv4Prefix::new(Ipv4Address(o), len).unwrap())
-    })
+    (any::<[u8; 4]>(), 0u8..=32)
+        .prop_map(|(o, len)| Prefix::V4(Ipv4Prefix::new(Ipv4Address(o), len).unwrap()))
 }
 
 fn arb_nlri(add_path: bool) -> impl Strategy<Value = Nlri> {

@@ -1,0 +1,578 @@
+//! The compiled classification engine: tuple-space search over
+//! [`MatchSpec`]s.
+//!
+//! A linear scan evaluates every installed rule per flow. Real rule sets
+//! are highly regular, though: almost all of Stellar's rules share a
+//! handful of *shapes* ("dst /32 + protocol + exact source port",
+//! "dst /32 only", ...). Tuple-space search exploits that regularity by
+//! grouping rules into **tuples** — one per distinct wildcard-mask
+//! signature — and storing each tuple's rules in a hash table keyed by
+//! the concrete values of the signature's exact-match fields. A lookup
+//! masks the flow key once per tuple and probes one bucket, so its cost
+//! scales with the number of distinct signatures, not the number of
+//! rules.
+//!
+//! Port *ranges* and anything else a hash cannot express stay inside the
+//! tuple as residuals: the hash probe only prefilters, and every
+//! candidate is confirmed with the full [`MatchSpec::matches`] predicate
+//! before it can win. That makes the engine behavior-identical to the
+//! linear scan by construction — the hash can produce false positives
+//! (rejected by the confirmation) but never false negatives, because
+//! every hashed dimension is a necessary condition of the spec.
+//!
+//! First-match semantics: the winning rule is the matching rule with the
+//! minimal `(priority, id)` rank — exactly what a `find` over rules
+//! sorted by `(priority, id)` returns. Tuples are visited in ascending
+//! order of their minimal rank so the search can stop as soon as the
+//! best match so far outranks everything a later tuple could contain.
+
+use crate::spec::{MatchSpec, PortMatch};
+use std::collections::HashMap;
+use stellar_net::addr::IpAddress;
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+use stellar_net::proto::IpProtocol;
+
+/// Stable rule identifier (assigned by the manager).
+pub type RuleId = u64;
+
+/// Evaluation rank: lower wins, ties broken by id — the same order a
+/// linear scan over rules sorted by `(priority, id)` evaluates in.
+type Rank = (u16, RuleId);
+
+/// One rule as the engine sees it: identity, evaluation priority, and the
+/// match spec. Actions live with the caller (the engine answers "which
+/// rule", not "what to do").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleEntry {
+    /// Stable rule identifier.
+    pub id: RuleId,
+    /// Lower value = evaluated earlier.
+    pub priority: u16,
+    /// Match specification.
+    pub spec: MatchSpec,
+}
+
+impl RuleEntry {
+    /// Creates an entry.
+    pub fn new(id: RuleId, priority: u16, spec: MatchSpec) -> Self {
+        RuleEntry { id, priority, spec }
+    }
+}
+
+/// How a port dimension participates in a tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum PortDim {
+    /// Wildcard: not part of the tuple key.
+    Wild,
+    /// Exact port: hashed.
+    Exact,
+    /// Port range: residual, confirmed in-bucket.
+    Range,
+}
+
+impl PortDim {
+    fn of(pm: Option<&PortMatch>) -> Self {
+        match pm {
+            None => PortDim::Wild,
+            Some(PortMatch::Exact(_)) => PortDim::Exact,
+            Some(PortMatch::Range(..)) => PortDim::Range,
+        }
+    }
+}
+
+/// The wildcard-mask signature of a spec: which fields are constrained,
+/// and for prefixes, the family and mask length. Specs with equal
+/// signatures land in the same tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TupleSig {
+    src_mac: bool,
+    dst_mac: bool,
+    /// `(is_v4, prefix_len)` when constrained.
+    src_ip: Option<(bool, u8)>,
+    dst_ip: Option<(bool, u8)>,
+    protocol: bool,
+    src_port: PortDim,
+    dst_port: PortDim,
+}
+
+impl TupleSig {
+    fn of(spec: &MatchSpec) -> Self {
+        let ip_sig = |p: &Option<Prefix>| p.as_ref().map(|p| (p.is_v4(), p.len()));
+        TupleSig {
+            src_mac: spec.src_mac.is_some(),
+            dst_mac: spec.dst_mac.is_some(),
+            src_ip: ip_sig(&spec.src_ip),
+            dst_ip: ip_sig(&spec.dst_ip),
+            protocol: spec.protocol.is_some(),
+            src_port: PortDim::of(spec.src_port.as_ref()),
+            dst_port: PortDim::of(spec.dst_port.as_ref()),
+        }
+    }
+
+    /// True if any port dimension is constrained — such rules can never
+    /// match a portless protocol, so those flows skip the tuple outright.
+    fn needs_ports(&self) -> bool {
+        self.src_port != PortDim::Wild || self.dst_port != PortDim::Wild
+    }
+}
+
+/// The concrete hashed values of a signature's exact fields. Wildcard and
+/// residual dimensions are `None` on both the rule side and the flow
+/// side, so they never desynchronize the probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TupleKey {
+    src_mac: Option<MacAddr>,
+    dst_mac: Option<MacAddr>,
+    /// Masked network address (already canonical on the rule side).
+    src_ip: Option<IpAddress>,
+    dst_ip: Option<IpAddress>,
+    protocol: Option<IpProtocol>,
+    src_port: Option<u16>,
+    dst_port: Option<u16>,
+}
+
+/// Masks `addr` to the tuple's prefix dimension; `None` when the address
+/// family disagrees (the tuple cannot match such flows at all).
+fn mask_ip(addr: IpAddress, is_v4: bool, len: u8) -> Option<IpAddress> {
+    match (addr, is_v4) {
+        (IpAddress::V4(a), true) => Ipv4Prefix::new(a, len)
+            .ok()
+            .map(|p| IpAddress::V4(p.addr())),
+        (IpAddress::V6(a), false) => Ipv6Prefix::new(a, len)
+            .ok()
+            .map(|p| IpAddress::V6(p.addr())),
+        _ => None,
+    }
+}
+
+impl TupleKey {
+    /// The bucket key a rule is stored under.
+    fn for_rule(spec: &MatchSpec) -> Self {
+        let exact_port = |pm: &Option<PortMatch>| match pm {
+            Some(PortMatch::Exact(p)) => Some(*p),
+            _ => None,
+        };
+        TupleKey {
+            src_mac: spec.src_mac,
+            dst_mac: spec.dst_mac,
+            src_ip: spec.src_ip.as_ref().map(|p| p.network()),
+            dst_ip: spec.dst_ip.as_ref().map(|p| p.network()),
+            protocol: spec.protocol,
+            src_port: exact_port(&spec.src_port),
+            dst_port: exact_port(&spec.dst_port),
+        }
+    }
+
+    /// The bucket key a flow probes a tuple with, or `None` when the
+    /// tuple provably cannot match the flow (family mismatch, port
+    /// criteria on a portless protocol).
+    fn for_flow(sig: &TupleSig, key: &FlowKey) -> Option<Self> {
+        if sig.needs_ports() && !key.protocol.has_ports() {
+            return None;
+        }
+        let mask_dim = |dim: Option<(bool, u8)>, addr: IpAddress| match dim {
+            None => Some(None),
+            Some((is_v4, len)) => mask_ip(addr, is_v4, len).map(Some),
+        };
+        Some(TupleKey {
+            src_mac: sig.src_mac.then_some(key.src_mac),
+            dst_mac: sig.dst_mac.then_some(key.dst_mac),
+            src_ip: mask_dim(sig.src_ip, key.src_ip)?,
+            dst_ip: mask_dim(sig.dst_ip, key.dst_ip)?,
+            protocol: sig.protocol.then_some(key.protocol),
+            src_port: (sig.src_port == PortDim::Exact).then_some(key.src_port),
+            dst_port: (sig.dst_port == PortDim::Exact).then_some(key.dst_port),
+        })
+    }
+}
+
+/// One tuple: all rules sharing a signature, bucketed by exact values.
+#[derive(Debug)]
+struct Tuple {
+    /// Minimal rank across the tuple — the best any rule in here can do.
+    min_rank: Rank,
+    /// Rules in the tuple (across all buckets).
+    len: usize,
+    /// Bucket lists are kept sorted ascending by rank.
+    buckets: HashMap<TupleKey, Vec<Rank>>,
+}
+
+/// The compiled classification engine. See the module docs for the
+/// data-structure story; the API is plain: [`insert`](Self::insert) /
+/// [`remove`](Self::remove) rules incrementally (or
+/// [`compile`](Self::compile) a whole set), then
+/// [`classify`](Self::classify) keys one at a time or in
+/// [batches](Self::classify_batch).
+#[derive(Debug, Default)]
+pub struct ClassifyEngine {
+    /// Rule store plus each rule's location for O(1) removal.
+    rules: HashMap<RuleId, (RuleEntry, TupleSig, TupleKey)>,
+    tuples: HashMap<TupleSig, Tuple>,
+    /// Signatures in ascending `min_rank` order — the probe order.
+    order: Vec<TupleSig>,
+}
+
+impl ClassifyEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Compiles a rule set in one go. Later entries replace earlier ones
+    /// with the same id, matching incremental `insert` semantics.
+    pub fn compile(entries: impl IntoIterator<Item = RuleEntry>) -> Self {
+        let mut engine = Self::new();
+        for e in entries {
+            engine.insert(e);
+        }
+        engine
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of distinct tuples (wildcard-mask signatures) — the factor
+    /// a lookup's cost actually scales with.
+    pub fn tuple_count(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Installs a rule, replacing any rule with the same id.
+    pub fn insert(&mut self, entry: RuleEntry) {
+        self.remove(entry.id);
+        let sig = TupleSig::of(&entry.spec);
+        let key = TupleKey::for_rule(&entry.spec);
+        let rank: Rank = (entry.priority, entry.id);
+        let tuple = self.tuples.entry(sig).or_insert(Tuple {
+            min_rank: rank,
+            len: 0,
+            buckets: HashMap::new(),
+        });
+        let bucket = tuple.buckets.entry(key).or_default();
+        let pos = bucket.partition_point(|r| *r < rank);
+        bucket.insert(pos, rank);
+        tuple.len += 1;
+        tuple.min_rank = tuple.min_rank.min(rank);
+        self.rules.insert(entry.id, (entry, sig, key));
+        self.rebuild_order();
+    }
+
+    /// Removes a rule by id. Returns true if it existed.
+    pub fn remove(&mut self, id: RuleId) -> bool {
+        let Some((entry, sig, key)) = self.rules.remove(&id) else {
+            return false;
+        };
+        let rank: Rank = (entry.priority, id);
+        let tuple = self.tuples.get_mut(&sig).expect("rule location is in sync");
+        let bucket = tuple
+            .buckets
+            .get_mut(&key)
+            .expect("rule location is in sync");
+        bucket.retain(|r| *r != rank);
+        if bucket.is_empty() {
+            tuple.buckets.remove(&key);
+        }
+        tuple.len -= 1;
+        if tuple.len == 0 {
+            self.tuples.remove(&sig);
+        } else if tuple.min_rank == rank {
+            tuple.min_rank = tuple
+                .buckets
+                .values()
+                .filter_map(|b| b.first())
+                .copied()
+                .min()
+                .expect("non-empty tuple has a minimal rank");
+        }
+        self.rebuild_order();
+        true
+    }
+
+    /// Removes every rule, returning the removed ids in evaluation order.
+    pub fn clear(&mut self) -> Vec<RuleId> {
+        let mut ranks: Vec<Rank> = self
+            .rules
+            .values()
+            .map(|(e, _, _)| (e.priority, e.id))
+            .collect();
+        ranks.sort_unstable();
+        self.rules.clear();
+        self.tuples.clear();
+        self.order.clear();
+        ranks.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// The first matching rule id for a key (minimal `(priority, id)`
+    /// among matching rules), if any.
+    pub fn classify(&self, key: &FlowKey) -> Option<RuleId> {
+        let mut best: Option<Rank> = None;
+        for sig in &self.order {
+            let tuple = &self.tuples[sig];
+            if best.is_some_and(|b| b <= tuple.min_rank) {
+                // Everything from here on has a worse minimal rank.
+                break;
+            }
+            let Some(probe) = TupleKey::for_flow(sig, key) else {
+                continue;
+            };
+            let Some(bucket) = tuple.buckets.get(&probe) else {
+                continue;
+            };
+            for rank in bucket {
+                if best.is_some_and(|b| b <= *rank) {
+                    break;
+                }
+                // Confirm with the full predicate: the hash probe is only
+                // a prefilter (residual ranges are checked here).
+                if self.rules[&rank.1].0.spec.matches(key) {
+                    best = Some(*rank);
+                    break;
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Classifies a batch of keys. Equivalent to mapping
+    /// [`classify`](Self::classify), amortizing the probe-order setup.
+    pub fn classify_batch(&self, keys: &[FlowKey]) -> Vec<Option<RuleId>> {
+        keys.iter().map(|k| self.classify(k)).collect()
+    }
+
+    /// The installed entry for an id.
+    pub fn rule(&self, id: RuleId) -> Option<&RuleEntry> {
+        self.rules.get(&id).map(|(e, _, _)| e)
+    }
+
+    fn rebuild_order(&mut self) {
+        self.order.clear();
+        self.order.extend(self.tuples.keys().copied());
+        let tuples = &self.tuples;
+        self.order.sort_unstable_by_key(|sig| tuples[sig].min_rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::ports;
+
+    fn key(dst: [u8; 4], proto: IpProtocol, src_port: u16) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(64500, 1),
+            dst_mac: MacAddr::for_member(64501, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
+            dst_ip: IpAddress::V4(Ipv4Address(dst)),
+            protocol: proto,
+            src_port,
+            dst_port: 44444,
+        }
+    }
+
+    /// The reference semantics the engine must reproduce exactly.
+    fn linear(entries: &[RuleEntry], key: &FlowKey) -> Option<RuleId> {
+        let mut sorted: Vec<&RuleEntry> = entries.iter().collect();
+        sorted.sort_by_key(|e| (e.priority, e.id));
+        sorted.iter().find(|e| e.spec.matches(key)).map(|e| e.id)
+    }
+
+    fn ntp_entry(id: RuleId, priority: u16, dst: &str) -> RuleEntry {
+        RuleEntry::new(
+            id,
+            priority,
+            MatchSpec::proto_src_port_to(dst.parse().unwrap(), IpProtocol::UDP, ports::NTP),
+        )
+    }
+
+    #[test]
+    fn empty_engine_matches_nothing() {
+        let e = ClassifyEngine::new();
+        assert!(e.is_empty());
+        assert_eq!(e.classify(&key([1, 2, 3, 4], IpProtocol::UDP, 123)), None);
+    }
+
+    #[test]
+    fn same_signature_rules_share_a_tuple() {
+        let mut e = ClassifyEngine::new();
+        for i in 0..50u64 {
+            e.insert(ntp_entry(i, 10, &format!("100.10.10.{i}/32")));
+        }
+        assert_eq!(e.len(), 50);
+        assert_eq!(e.tuple_count(), 1);
+        assert_eq!(
+            e.classify(&key([100, 10, 10, 7], IpProtocol::UDP, ports::NTP)),
+            Some(7)
+        );
+        assert_eq!(
+            e.classify(&key([100, 10, 10, 7], IpProtocol::UDP, ports::DNS)),
+            None
+        );
+    }
+
+    #[test]
+    fn first_match_rank_is_priority_then_id() {
+        let mut e = ClassifyEngine::new();
+        // Same flow matched by three rules with different (priority, id).
+        e.insert(ntp_entry(9, 10, "100.10.10.10/32"));
+        e.insert(RuleEntry::new(
+            5,
+            10,
+            MatchSpec::to_destination("100.10.10.10/32".parse().unwrap()),
+        ));
+        let k = key([100, 10, 10, 10], IpProtocol::UDP, ports::NTP);
+        // Tie on priority: lower id wins.
+        assert_eq!(e.classify(&k), Some(5));
+        // A strictly better priority beats both.
+        e.insert(RuleEntry::new(
+            20,
+            1,
+            MatchSpec::to_destination("100.10.10.0/24".parse().unwrap()),
+        ));
+        assert_eq!(e.classify(&k), Some(20));
+    }
+
+    #[test]
+    fn range_residuals_are_confirmed_in_bucket() {
+        let mut e = ClassifyEngine::new();
+        e.insert(RuleEntry::new(
+            1,
+            10,
+            MatchSpec {
+                protocol: Some(IpProtocol::UDP),
+                src_port: Some(PortMatch::Range(8000, 8100)),
+                ..Default::default()
+            },
+        ));
+        assert_eq!(
+            e.classify(&key([1, 1, 1, 1], IpProtocol::UDP, 8050)),
+            Some(1)
+        );
+        assert_eq!(e.classify(&key([1, 1, 1, 1], IpProtocol::UDP, 7999)), None);
+        // Port criterion never matches a portless protocol, even though
+        // the ICMP flow key carries src_port 0.
+        e.insert(RuleEntry::new(
+            2,
+            10,
+            MatchSpec {
+                src_port: Some(PortMatch::Range(0, 65535)),
+                ..Default::default()
+            },
+        ));
+        assert_eq!(e.classify(&key([1, 1, 1, 1], IpProtocol::ICMP, 0)), None);
+    }
+
+    #[test]
+    fn match_all_and_family_mismatch() {
+        let mut e = ClassifyEngine::new();
+        e.insert(RuleEntry::new(7, 50, MatchSpec::default()));
+        e.insert(RuleEntry::new(
+            8,
+            10,
+            MatchSpec::to_destination("2001:db8::1/128".parse().unwrap()),
+        ));
+        // The v6 rule cannot match a v4 flow; the match-all catches it.
+        assert_eq!(e.classify(&key([9, 9, 9, 9], IpProtocol::TCP, 80)), Some(7));
+        let mut v6key = key([0, 0, 0, 0], IpProtocol::UDP, 123);
+        v6key.dst_ip = IpAddress::V6("2001:db8::1".parse().unwrap());
+        assert_eq!(e.classify(&v6key), Some(8));
+    }
+
+    #[test]
+    fn insert_replaces_and_remove_restores_earlier_match() {
+        let mut e = ClassifyEngine::new();
+        e.insert(ntp_entry(1, 10, "100.10.10.10/32"));
+        e.insert(RuleEntry::new(
+            2,
+            5,
+            MatchSpec::to_destination("100.10.10.10/32".parse().unwrap()),
+        ));
+        let k = key([100, 10, 10, 10], IpProtocol::UDP, ports::NTP);
+        assert_eq!(e.classify(&k), Some(2));
+        // Replace rule 2 with a spec that no longer matches the flow.
+        e.insert(RuleEntry::new(
+            2,
+            5,
+            MatchSpec::to_destination("100.99.99.99/32".parse().unwrap()),
+        ));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.classify(&k), Some(1));
+        // Removing rule 1 leaves nothing matching.
+        assert!(e.remove(1));
+        assert!(!e.remove(1));
+        assert_eq!(e.classify(&k), None);
+        assert_eq!(e.tuple_count(), 1);
+    }
+
+    #[test]
+    fn incremental_mutations_track_recompilation() {
+        // After any interleaving of inserts and removes, the engine must
+        // agree with compiling the surviving set from scratch.
+        let mut e = ClassifyEngine::new();
+        let mut live: Vec<RuleEntry> = Vec::new();
+        let specs = [
+            MatchSpec::to_destination("100.10.0.0/16".parse().unwrap()),
+            MatchSpec::proto_src_port_to("100.10.10.10/32".parse().unwrap(), IpProtocol::UDP, 123),
+            MatchSpec {
+                protocol: Some(IpProtocol::TCP),
+                dst_port: Some(PortMatch::Range(0, 1023)),
+                ..Default::default()
+            },
+            MatchSpec::default(),
+        ];
+        for (i, spec) in specs.iter().enumerate() {
+            let entry = RuleEntry::new(i as u64, (specs.len() - i) as u16, spec.clone());
+            e.insert(entry.clone());
+            live.push(entry);
+        }
+        e.remove(1);
+        live.retain(|r| r.id != 1);
+        let keys = [
+            key([100, 10, 10, 10], IpProtocol::UDP, 123),
+            key([100, 10, 20, 30], IpProtocol::TCP, 80),
+            key([9, 9, 9, 9], IpProtocol::ICMP, 0),
+        ];
+        let fresh = ClassifyEngine::compile(live.iter().cloned());
+        for k in &keys {
+            assert_eq!(e.classify(k), fresh.classify(k));
+            assert_eq!(e.classify(k), linear(&live, k));
+        }
+    }
+
+    #[test]
+    fn clear_returns_ids_in_evaluation_order() {
+        let mut e = ClassifyEngine::new();
+        e.insert(ntp_entry(3, 20, "100.10.10.3/32"));
+        e.insert(ntp_entry(1, 10, "100.10.10.1/32"));
+        e.insert(ntp_entry(2, 10, "100.10.10.2/32"));
+        assert_eq!(e.clear(), vec![1, 2, 3]);
+        assert!(e.is_empty());
+        assert_eq!(e.tuple_count(), 0);
+        assert_eq!(e.clear(), Vec::<RuleId>::new());
+    }
+
+    #[test]
+    fn batch_agrees_with_single_key() {
+        let mut e = ClassifyEngine::new();
+        e.insert(ntp_entry(1, 10, "100.10.10.10/32"));
+        e.insert(RuleEntry::new(2, 90, MatchSpec::default()));
+        let keys = vec![
+            key([100, 10, 10, 10], IpProtocol::UDP, ports::NTP),
+            key([100, 10, 10, 11], IpProtocol::UDP, ports::NTP),
+            key([1, 2, 3, 4], IpProtocol::ICMP, 0),
+        ];
+        let batch = e.classify_batch(&keys);
+        let singles: Vec<_> = keys.iter().map(|k| e.classify(k)).collect();
+        assert_eq!(batch, singles);
+        assert_eq!(batch, vec![Some(1), Some(2), Some(2)]);
+    }
+}

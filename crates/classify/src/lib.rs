@@ -1,0 +1,33 @@
+//! # stellar-classify
+//!
+//! The flow-classification engine for the dataplane hot path.
+//!
+//! The naive way to apply Stellar's blackholing rules is a linear scan of
+//! every installed rule per flow — `O(rules)` per lookup, which is what
+//! real switch silicon avoids with TCAMs. This crate provides the
+//! software analogue: rules are **compiled** into a tuple-space search
+//! structure (Srinivasan et al., SIGCOMM '99) that groups rules by their
+//! wildcard-mask signature and hashes the exact-match fields, so a lookup
+//! costs `O(distinct signatures)` hash probes instead of `O(rules)`
+//! comparisons.
+//!
+//! Three layers:
+//!
+//! - [`spec`] — the match language itself ([`spec::MatchSpec`],
+//!   [`spec::PortMatch`]): the "blackholing rules" of §3.2 of the paper,
+//!   matched against [`FlowKey`](stellar_net::flow::FlowKey)s. Lives here
+//!   (rather than in the dataplane crate) so the engine and the hardware
+//!   emulation share one definition; `stellar-dataplane` re-exports it.
+//! - [`engine`] — the compiled [`engine::ClassifyEngine`]: first-match
+//!   (priority, id) semantics identical to a linear scan over rules sorted
+//!   by `(priority, id)`, incremental insert/remove, single-key and batch
+//!   lookups.
+//! - [`sharded`] — a scoped-thread front-end that fans independent shards
+//!   (one per port group) out across workers.
+
+pub mod engine;
+pub mod sharded;
+pub mod spec;
+
+pub use engine::{ClassifyEngine, RuleEntry, RuleId};
+pub use spec::{MatchSpec, PortMatch};

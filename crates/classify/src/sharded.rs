@@ -1,0 +1,155 @@
+//! Sharded parallel front-end for classification.
+//!
+//! The dataplane's natural unit of parallelism is the port group: every
+//! member port owns an independent engine (its egress policy), so ticks
+//! for different ports never contend. [`parallel_shards`] fans a vector
+//! of such independent shards out over scoped worker threads
+//! (`std::thread::scope`), preserving input order in the output;
+//! [`classify_shards`] specializes it to "one batch of keys per engine".
+//!
+//! Scoped threads let shards borrow the engines (and, in the switch, hold
+//! `&mut` to each port) without any `'static` or `Arc` ceremony, and the
+//! scope joins every worker before returning, so a panicking shard
+//! propagates instead of being lost.
+
+use crate::engine::{ClassifyEngine, RuleId};
+use stellar_net::flow::FlowKey;
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` over every shard, using up to `max_workers` scoped threads,
+/// and returns the results in input order. With one shard (or one
+/// worker) everything runs inline on the caller's thread — no spawn cost
+/// on the common small-topology path.
+pub fn parallel_shards<T, R, F>(shards: Vec<T>, max_workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = shards.len();
+    if n <= 1 || max_workers <= 1 {
+        return shards.into_iter().map(f).collect();
+    }
+    let workers = max_workers.min(n);
+    let chunk_len = n.div_ceil(workers);
+    // Contiguous chunks, preserving order: chunk i holds shards
+    // [i*chunk_len, (i+1)*chunk_len).
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = shards;
+    while !rest.is_empty() {
+        let tail = rest.split_off(chunk_len.min(rest.len()));
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("classification shard panicked"))
+            .collect()
+    })
+}
+
+/// One port group's classification work: its engine and the flow keys
+/// offered to it this tick.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRequest<'a> {
+    /// The port group's compiled engine.
+    pub engine: &'a ClassifyEngine,
+    /// Keys to classify against it.
+    pub keys: &'a [FlowKey],
+}
+
+/// Classifies every shard's batch in parallel; result `i` is the verdict
+/// vector for `requests[i]`.
+pub fn classify_shards(
+    requests: Vec<ShardRequest<'_>>,
+    max_workers: usize,
+) -> Vec<Vec<Option<RuleId>>> {
+    parallel_shards(requests, max_workers, |req| {
+        req.engine.classify_batch(req.keys)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::RuleEntry;
+    use crate::spec::MatchSpec;
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::mac::MacAddr;
+    use stellar_net::proto::IpProtocol;
+
+    fn key(dst: [u8; 4]) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(64500, 1),
+            dst_mac: MacAddr::for_member(64501, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
+            dst_ip: IpAddress::V4(Ipv4Address(dst)),
+            protocol: IpProtocol::UDP,
+            src_port: 123,
+            dst_port: 44444,
+        }
+    }
+
+    #[test]
+    fn parallel_shards_preserves_order() {
+        for workers in [1, 2, 3, 16] {
+            let out = parallel_shards((0..37u64).collect(), workers, |x| x * 2);
+            assert_eq!(out, (0..37u64).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_shards_empty_and_single() {
+        assert_eq!(
+            parallel_shards(Vec::<u8>::new(), 4, |x| x),
+            Vec::<u8>::new()
+        );
+        assert_eq!(parallel_shards(vec![5u8], 4, |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn sharded_lookup_agrees_with_direct() {
+        // Three "port groups" with different rule sets.
+        let engines: Vec<ClassifyEngine> = (0..3u64)
+            .map(|g| {
+                ClassifyEngine::compile((0..10).map(|i| {
+                    RuleEntry::new(
+                        g * 100 + i,
+                        10,
+                        MatchSpec::to_destination(format!("100.{g}.{i}.0/24").parse().unwrap()),
+                    )
+                }))
+            })
+            .collect();
+        let batches: Vec<Vec<FlowKey>> = (0..3u8)
+            .map(|g| (0..20u8).map(|i| key([100, g, i % 12, 7])).collect())
+            .collect();
+        let requests: Vec<ShardRequest<'_>> = engines
+            .iter()
+            .zip(&batches)
+            .map(|(engine, keys)| ShardRequest { engine, keys })
+            .collect();
+        let sharded = classify_shards(requests, 4);
+        for ((engine, keys), got) in engines.iter().zip(&batches).zip(&sharded) {
+            assert_eq!(got, &engine.classify_batch(keys));
+        }
+        // Group 0 key for dst 100.0.5.7 hits rule id 5; group 1's
+        // equivalent hits its own group's rule.
+        assert_eq!(sharded[0][5], Some(5));
+        assert_eq!(sharded[1][5], Some(105));
+        // Keys whose third octet exceeds the rule range (rules cover
+        // .0 to .9, keys reach .11) miss.
+        assert_eq!(sharded[1][10], None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property tests: the compiled tuple-space engine is behavior-identical
+//! to the naive first-match linear scan — same matched rule id, same
+//! (priority, id) first-match semantics — across wildcard, exact, port
+//! range, prefix and mixed-family cases, under both whole-set compilation
+//! and arbitrary interleavings of incremental insert/remove.
+
+use proptest::prelude::*;
+use stellar_classify::sharded::{classify_shards, ShardRequest};
+use stellar_classify::{ClassifyEngine, MatchSpec, PortMatch, RuleEntry};
+use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+use stellar_net::proto::IpProtocol;
+
+/// The reference semantics: first match over rules sorted by
+/// `(priority, id)`.
+fn linear(entries: &[RuleEntry], key: &FlowKey) -> Option<u64> {
+    let mut sorted: Vec<&RuleEntry> = entries.iter().collect();
+    sorted.sort_by_key(|e| (e.priority, e.id));
+    sorted.iter().find(|e| e.spec.matches(key)).map(|e| e.id)
+}
+
+/// A deliberately tiny v6 pool so v6 rules and keys actually collide.
+fn v6(last: u8) -> Ipv6Address {
+    let mut o = [0u8; 16];
+    o[0] = 0x20;
+    o[1] = 0x01;
+    o[15] = last;
+    Ipv6Address(o)
+}
+
+/// Addresses from a small pool so prefixes of every length get hits.
+fn arb_ip() -> impl Strategy<Value = IpAddress> {
+    prop_oneof![
+        (0u8..3, 0u8..3, 0u8..3, 0u8..3)
+            .prop_map(|(a, b, c, d)| IpAddress::V4(Ipv4Address::new(a, b, c, d))),
+        (0u8..2).prop_map(|x| IpAddress::V6(v6(x))),
+    ]
+}
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        ((0u8..3, 0u8..3, 0u8..3, 0u8..3), 0u8..=32).prop_map(|((a, b, c, d), l)| {
+            Prefix::V4(Ipv4Prefix::new(Ipv4Address::new(a, b, c, d), l).unwrap())
+        }),
+        (0u8..2, 0u8..=128).prop_map(|(x, l)| Prefix::V6(Ipv6Prefix::new(v6(x), l).unwrap())),
+    ]
+}
+
+fn arb_proto() -> impl Strategy<Value = IpProtocol> {
+    prop_oneof![
+        Just(IpProtocol::UDP),
+        Just(IpProtocol::TCP),
+        Just(IpProtocol::ICMP),
+    ]
+}
+
+/// Ports from a small pool, as exact matches and as (possibly empty-ish)
+/// ranges, so range residuals and boundary hits occur.
+fn arb_port_match() -> impl Strategy<Value = PortMatch> {
+    prop_oneof![
+        (0u16..8).prop_map(PortMatch::Exact),
+        (0u16..8, 0u16..8).prop_map(|(a, b)| PortMatch::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = MatchSpec> {
+    (
+        proptest::option::of(0u32..4),
+        proptest::option::of(0u32..4),
+        proptest::option::of(arb_prefix()),
+        proptest::option::of(arb_prefix()),
+        proptest::option::of(arb_proto()),
+        proptest::option::of(arb_port_match()),
+        proptest::option::of(arb_port_match()),
+    )
+        .prop_map(|(sm, dm, sip, dip, proto, sp, dp)| MatchSpec {
+            src_mac: sm.map(|m| MacAddr::for_member(64500 + m, 1)),
+            dst_mac: dm.map(|m| MacAddr::for_member(64500 + m, 1)),
+            src_ip: sip,
+            dst_ip: dip,
+            protocol: proto,
+            src_port: sp,
+            dst_port: dp,
+        })
+}
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (
+        0u32..4,
+        0u32..4,
+        arb_ip(),
+        arb_ip(),
+        arb_proto(),
+        0u16..8,
+        0u16..8,
+    )
+        .prop_map(|(sm, dm, sip, dip, proto, sp, dp)| FlowKey {
+            src_mac: MacAddr::for_member(64500 + sm, 1),
+            dst_mac: MacAddr::for_member(64500 + dm, 1),
+            src_ip: sip,
+            dst_ip: dip,
+            protocol: proto,
+            src_port: sp,
+            dst_port: dp,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_agrees_with_linear_scan(
+        specs in proptest::collection::vec((arb_spec(), 0u16..4), 0..12),
+        keys in proptest::collection::vec(arb_key(), 1..16),
+    ) {
+        let entries: Vec<RuleEntry> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (spec, prio))| RuleEntry::new(i as u64, prio, spec))
+            .collect();
+        let engine = ClassifyEngine::compile(entries.iter().cloned());
+        let batch = engine.classify_batch(&keys);
+        for (key, verdict) in keys.iter().zip(&batch) {
+            // Single-key, batch and the reference scan all agree.
+            prop_assert_eq!(engine.classify(key), *verdict);
+            prop_assert_eq!(*verdict, linear(&entries, key));
+        }
+    }
+
+    #[test]
+    fn incremental_updates_match_recompilation(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..8, arb_spec(), 0u16..4),
+            1..24,
+        ),
+        keys in proptest::collection::vec(arb_key(), 1..12),
+    ) {
+        let mut engine = ClassifyEngine::new();
+        let mut model: Vec<RuleEntry> = Vec::new();
+        for (insert, id, spec, prio) in ops {
+            if insert {
+                let entry = RuleEntry::new(id, prio, spec);
+                model.retain(|e| e.id != id);
+                model.push(entry.clone());
+                engine.insert(entry);
+            } else {
+                let existed = model.iter().any(|e| e.id == id);
+                model.retain(|e| e.id != id);
+                prop_assert_eq!(engine.remove(id), existed);
+            }
+        }
+        prop_assert_eq!(engine.len(), model.len());
+        // The incrementally-maintained engine equals a from-scratch
+        // compilation of the surviving set, and both equal the scan.
+        let fresh = ClassifyEngine::compile(model.iter().cloned());
+        for key in &keys {
+            prop_assert_eq!(engine.classify(key), fresh.classify(key));
+            prop_assert_eq!(engine.classify(key), linear(&model, key));
+        }
+    }
+
+    #[test]
+    fn sharded_front_end_agrees(
+        shards in proptest::collection::vec(
+            (
+                proptest::collection::vec((arb_spec(), 0u16..4), 0..6),
+                proptest::collection::vec(arb_key(), 0..8),
+            ),
+            1..5,
+        ),
+        workers in 1usize..5,
+    ) {
+        let compiled: Vec<(ClassifyEngine, Vec<FlowKey>)> = shards
+            .into_iter()
+            .map(|(specs, keys)| {
+                let engine = ClassifyEngine::compile(
+                    specs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(i, (spec, prio))| RuleEntry::new(i as u64, prio, spec)),
+                );
+                (engine, keys)
+            })
+            .collect();
+        let requests: Vec<ShardRequest<'_>> = compiled
+            .iter()
+            .map(|(engine, keys)| ShardRequest { engine, keys })
+            .collect();
+        let results = classify_shards(requests, workers);
+        prop_assert_eq!(results.len(), compiled.len());
+        for ((engine, keys), got) in compiled.iter().zip(&results) {
+            prop_assert_eq!(got, &engine.classify_batch(keys));
+        }
+    }
+}

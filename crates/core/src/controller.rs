@@ -212,7 +212,8 @@ mod tests {
     #[test]
     fn new_signal_produces_add_rule() {
         let mut c = BlackholingController::new(IXP);
-        let changes = c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        let changes =
+            c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
         assert_eq!(changes.len(), 1);
         match &changes[0] {
             AbstractChange::AddRule(r) => {
@@ -224,16 +225,21 @@ mod tests {
         }
         assert_eq!(c.rule_count(), 1);
         // Re-announcing the same state is idempotent.
-        let changes = c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        let changes =
+            c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
         assert!(changes.is_empty());
     }
 
     #[test]
     fn signal_change_swaps_rules() {
         let mut c = BlackholingController::new(IXP);
-        c.process_update(&update_with_signals(&[StellarSignal::shape_udp_src(123, 200)], 1));
+        c.process_update(&update_with_signals(
+            &[StellarSignal::shape_udp_src(123, 200)],
+            1,
+        ));
         // Member escalates from shaping to dropping (the Fig. 10c story).
-        let changes = c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        let changes =
+            c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
         assert_eq!(changes.len(), 2);
         assert!(matches!(changes[0], AbstractChange::RemoveRule { .. }));
         match &changes[1] {
@@ -247,15 +253,22 @@ mod tests {
     fn withdrawal_removes_all_rules_for_the_path() {
         let mut c = BlackholingController::new(IXP);
         c.process_update(&update_with_signals(
-            &[StellarSignal::drop_udp_src(123), StellarSignal::drop_udp_src(53)],
+            &[
+                StellarSignal::drop_udp_src(123),
+                StellarSignal::drop_udp_src(53),
+            ],
             1,
         ));
         assert_eq!(c.rule_count(), 2);
-        let mut w = UpdateMessage::default();
-        w.withdrawn = vec![Nlri::with_path_id(victim(), 1)];
+        let w = UpdateMessage {
+            withdrawn: vec![Nlri::with_path_id(victim(), 1)],
+            ..Default::default()
+        };
         let changes = c.process_update(&w);
         assert_eq!(changes.len(), 2);
-        assert!(changes.iter().all(|ch| matches!(ch, AbstractChange::RemoveRule { owner, .. } if *owner == OWNER)));
+        assert!(changes
+            .iter()
+            .all(|ch| matches!(ch, AbstractChange::RemoveRule { owner, .. } if *owner == OWNER)));
         assert_eq!(c.rule_count(), 0);
     }
 
@@ -276,8 +289,10 @@ mod tests {
         c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(53)], 2));
         assert_eq!(c.rule_count(), 2);
         // Withdrawing path 1 leaves path 2 intact.
-        let mut w = UpdateMessage::default();
-        w.withdrawn = vec![Nlri::with_path_id(victim(), 1)];
+        let w = UpdateMessage {
+            withdrawn: vec![Nlri::with_path_id(victim(), 1)],
+            ..Default::default()
+        };
         c.process_update(&w);
         assert_eq!(c.rule_count(), 1);
     }

@@ -10,8 +10,8 @@
 //! monitoring pipeline (a scrubbing center receiving the 200 Mbps sample,
 //! or the member's own NOC tooling) can close the loop automatically.
 
-use crate::signal::{MatchKind, StellarSignal};
 use crate::rule::RuleAction;
+use crate::signal::{MatchKind, StellarSignal};
 use std::collections::HashMap;
 use stellar_net::flow::FlowKey;
 use stellar_net::ports;

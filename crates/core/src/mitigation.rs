@@ -123,7 +123,7 @@ impl Default for ReferenceScenario {
             attack_bps: 1e9,
             benign_bps: 200e6,
             victim_port_bps: 1e9,
-            peer_compliance: 0.30, // §2.4
+            peer_compliance: 0.30,   // §2.4
             ixp_capacity_bps: 25e12, // DE-CIX connected capacity [21]
         }
     }
@@ -156,15 +156,14 @@ pub fn evaluate(technique: Technique, s: &ReferenceScenario) -> TechniqueOutcome
             // with Tbps-level attacks", §1.1).
             max_absorbable_bps: 80e9,
             needs_new_resources: true,
-            added_latency_s: 0.030, // reroute via scrubbing center
+            added_latency_s: 0.030,  // reroute via scrubbing center
             reaction_time_s: 3600.0, // subscription + DNS/BGP diversion
             recurring_cost: 100.0,
         },
         Technique::Acl => {
             // Filtering happens at the victim's own border: precise, but
             // the attack has already crossed the congested port.
-            let collateral =
-                congestion_collateral(s.attack_bps, s.benign_bps, s.victim_port_bps);
+            let collateral = congestion_collateral(s.attack_bps, s.benign_bps, s.victim_port_bps);
             TechniqueOutcome {
                 technique,
                 attack_removed: 1.0, // at the router — too late
@@ -177,7 +176,7 @@ pub fn evaluate(technique: Technique, s: &ReferenceScenario) -> TechniqueOutcome
                 // Line-rate hardware, but management "typically does
                 // not scale well" (§1.1): rate as neutral.
                 max_absorbable_bps: 200e9,
-                needs_new_resources: true,             // rule management tooling
+                needs_new_resources: true, // rule management tooling
                 added_latency_s: 0.0,
                 reaction_time_s: 900.0, // manual vendor-specific config
                 recurring_cost: 20.0,
@@ -375,7 +374,10 @@ mod tests {
     fn advanced_blackholing_is_good_everywhere() {
         // Table 1's right-most column: all ✓.
         let t = table();
-        let (_, advbh) = t.iter().find(|(t, _)| *t == Technique::AdvancedBlackholing).unwrap();
+        let (_, advbh) = t
+            .iter()
+            .find(|(t, _)| *t == Technique::AdvancedBlackholing)
+            .unwrap();
         for (criterion, rating) in advbh {
             assert_eq!(*rating, Rating::Good, "AdvBH should be ✓ on {criterion}");
         }
@@ -425,7 +427,11 @@ mod tests {
         let s = ReferenceScenario::default();
         let acl = evaluate(Technique::Acl, &s);
         // 1 Gbps attack + 0.2 benign into a 1 Gbps port: ~17 % loss.
-        assert!(acl.collateral > 0.1 && acl.collateral < 0.25, "{}", acl.collateral);
+        assert!(
+            acl.collateral > 0.1 && acl.collateral < 0.25,
+            "{}",
+            acl.collateral
+        );
         let t = table();
         let (_, acl) = t.iter().find(|(t, _)| *t == Technique::Acl).unwrap();
         assert_eq!(lookup(acl, "Granularity"), Rating::Good);
@@ -435,8 +441,10 @@ mod tests {
 
     #[test]
     fn rtbh_effectiveness_tracks_compliance() {
-        let mut s = ReferenceScenario::default();
-        s.peer_compliance = 0.30;
+        let mut s = ReferenceScenario {
+            peer_compliance: 0.30,
+            ..Default::default()
+        };
         let r = evaluate(Technique::Rtbh, &s);
         assert!((r.attack_removed - 0.30).abs() < 1e-12);
         s.peer_compliance = 1.0;

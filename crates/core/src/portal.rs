@@ -81,10 +81,7 @@ impl CustomerPortal {
         if let Some(sigs) = self.predefined.get(&id) {
             return sigs.clone();
         }
-        self.custom
-            .get(&(member, id))
-            .cloned()
-            .unwrap_or_default()
+        self.custom.get(&(member, id)).cloned().unwrap_or_default()
     }
 
     /// The signal a member sends to invoke catalog entry `id`.

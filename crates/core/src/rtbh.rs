@@ -7,6 +7,7 @@
 //! more-specific and act on the community) stop delivering traffic —
 //! which is why RTBH removes only ~25–40 % of the attack in §2.4.
 
+use std::collections::BTreeSet;
 use stellar_bgp::community::Community;
 use stellar_bgp::types::Asn;
 use stellar_bgp::update::UpdateMessage;
@@ -15,7 +16,6 @@ use stellar_net::mac::MacAddr;
 use stellar_net::prefix::Prefix;
 use stellar_sim::honoring::HonoringModel;
 use stellar_sim::topology::IxpTopology;
-use std::collections::BTreeSet;
 
 /// The data-plane effect of an active RTBH: traffic towards `victim`
 /// from honoring source members is discarded at the null interface.
@@ -57,11 +57,7 @@ impl RtbhFilter {
 
     /// Builds a filter directly from a honoring model over a source list
     /// (for scenarios without a full topology).
-    pub fn from_sources(
-        victim: Prefix,
-        source_asns: &[u32],
-        honoring: &HonoringModel,
-    ) -> Self {
+    pub fn from_sources(victim: Prefix, source_asns: &[u32], honoring: &HonoringModel) -> Self {
         let honoring_macs = source_asns
             .iter()
             .filter(|a| honoring.honors(Asn(**a)))
@@ -162,12 +158,15 @@ mod tests {
         web.key.dst_port = 443;
         assert!(f.filter(&web).is_none());
         // Traffic to a different IP in the covering /24 passes.
-        assert!(f.filter(&agg(65000, Ipv4Address::new(100, 10, 10, 11))).is_some());
+        assert!(f
+            .filter(&agg(65000, Ipv4Address::new(100, 10, 10, 11)))
+            .is_some());
     }
 
     #[test]
     fn build_from_topology_and_announcement_shape() {
-        let mut ixp = IxpTopology::build(&generic_members(64500, 20), HardwareInfoBase::lab_switch());
+        let mut ixp =
+            IxpTopology::build(&generic_members(64500, 20), HardwareInfoBase::lab_switch());
         ixp.honoring = HonoringModel::new(0.3, 1);
         let victim: Prefix = "100.10.10.10/32".parse().unwrap();
         let f = RtbhFilter::build(&ixp, Asn(64500), victim, &[70000, 70001]);

@@ -97,7 +97,9 @@ mod tests {
         };
         assert_eq!(
             rule.to_filter_rule().action,
-            Action::Shape { rate_bps: 200_000_000 }
+            Action::Shape {
+                rate_bps: 200_000_000
+            }
         );
     }
 }

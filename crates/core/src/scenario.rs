@@ -154,9 +154,7 @@ fn reflector_points(system: &StellarSystem, n: usize) -> Vec<SourcePoint> {
         .enumerate()
         .map(|(i, (_, info))| SourcePoint {
             mac: info.mac,
-            ip: Ipv4Address::from_u32(
-                u32::from_be_bytes([198, 51, 100, 0]) + (i as u32 % 250) + 1,
-            ),
+            ip: Ipv4Address::from_u32(u32::from_be_bytes([198, 51, 100, 0]) + (i as u32 % 250) + 1),
         })
         .collect()
 }
@@ -397,10 +395,7 @@ pub fn run_memcached_collateral(stellar_at_minute: Option<u32>, seed: u64) -> Co
     let mut labels = Vec::new();
     for m in 0..60u64 {
         let (lo, hi) = (secs(m * 60), secs((m + 1) * 60));
-        let s = collector.port_shares(
-            |r| r.start_us >= lo && r.start_us < hi,
-            0.01,
-        );
+        let s = collector.port_shares(|r| r.start_us >= lo && r.start_us < hi, 0.01);
         shares.push(s);
         labels.push(format!("20:{m:02}"));
     }
@@ -442,10 +437,7 @@ mod tests {
         assert!(before > 800.0, "pre-mitigation {before}");
         // Shaped window: ~200 Mbps telemetry.
         let shaped = run.delivered_mbps.mean_between(320.0, 490.0);
-        assert!(
-            (150.0..=260.0).contains(&shaped),
-            "shaped level {shaped}"
-        );
+        assert!((150.0..=260.0).contains(&shaped), "shaped level {shaped}");
         // Peers stay constant while shaping (every reflector's sample
         // passes).
         let peers_attack = run.peers.mean_between(200.0, 290.0);
@@ -458,7 +450,10 @@ mod tests {
         let after = run.delivered_mbps.mean_between(520.0, 890.0);
         assert!(after < 20.0, "post-drop level {after}");
         let peers_after = run.peers.mean_between(520.0, 890.0);
-        assert!(peers_after < peers_attack * 0.3, "peers after {peers_after}");
+        assert!(
+            peers_after < peers_attack * 0.3,
+            "peers after {peers_after}"
+        );
     }
 
     #[test]
@@ -470,8 +465,8 @@ mod tests {
         assert!(pre.get(&11211).copied().unwrap_or(0.0) < 0.01);
         // Minute 40 (during attack): port 11211 + fragments dominate.
         let during = &run.shares[40];
-        let memc = during.get(&11211).copied().unwrap_or(0.0)
-            + during.get(&0).copied().unwrap_or(0.0);
+        let memc =
+            during.get(&11211).copied().unwrap_or(0.0) + during.get(&0).copied().unwrap_or(0.0);
         assert!(memc > 0.8, "{during:?}");
         assert_eq!(run.labels[21], "20:21");
     }
@@ -481,8 +476,7 @@ mod tests {
         let run = run_memcached_collateral(Some(35), 1);
         // Minute 45 (post-mitigation): web mix is back.
         let post = &run.shares[45];
-        let memc = post.get(&11211).copied().unwrap_or(0.0)
-            + post.get(&0).copied().unwrap_or(0.0);
+        let memc = post.get(&11211).copied().unwrap_or(0.0) + post.get(&0).copied().unwrap_or(0.0);
         assert!(memc < 0.05, "{post:?}");
         assert!(post.get(&443).copied().unwrap_or(0.0) > 0.4);
     }

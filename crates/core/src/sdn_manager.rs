@@ -31,15 +31,13 @@ impl NetworkManager for SdnNetworkManager {
         _now_us: u64,
     ) -> Result<(), AdmissionError> {
         match change {
-            AbstractChange::AddRule(rule) => {
-                match table.install_rule(&rule.to_filter_rule()) {
-                    Ok(()) => {
-                        self.installed.insert(rule.id);
-                        Ok(())
-                    }
-                    Err(FlowError::TableFull) => Err(AdmissionError::TableFull),
+            AbstractChange::AddRule(rule) => match table.install_rule(&rule.to_filter_rule()) {
+                Ok(()) => {
+                    self.installed.insert(rule.id);
+                    Ok(())
                 }
-            }
+                Err(FlowError::TableFull) => Err(AdmissionError::TableFull),
+            },
             AbstractChange::RemoveRule { rule_id, .. } => {
                 if self.installed.remove(rule_id) && table.remove(*rule_id) {
                     Ok(())
@@ -96,7 +94,10 @@ mod tests {
         assert_eq!(table.counters(1).unwrap().discarded_bytes, 100);
         mgr.apply(
             &mut table,
-            &AbstractChange::RemoveRule { rule_id: 1, owner: Asn(64500) },
+            &AbstractChange::RemoveRule {
+                rule_id: 1,
+                owner: Asn(64500),
+            },
             1,
         )
         .unwrap();
@@ -123,7 +124,10 @@ mod tests {
         assert_eq!(
             mgr.apply(
                 &mut table,
-                &AbstractChange::RemoveRule { rule_id: 9, owner: Asn(1) },
+                &AbstractChange::RemoveRule {
+                    rule_id: 9,
+                    owner: Asn(1)
+                },
                 0
             ),
             Err(AdmissionError::NoSuchRule)

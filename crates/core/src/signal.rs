@@ -134,9 +134,7 @@ impl StellarSignal {
     pub fn encode(&self, ixp_asn: Asn) -> ExtendedCommunity {
         let action_byte: u8 = match self.action {
             RuleAction::Drop => 0,
-            RuleAction::Shape { rate_bps } => {
-                ((rate_bps / 10_000_000).clamp(1, 250)) as u8
-            }
+            RuleAction::Shape { rate_bps } => ((rate_bps / 10_000_000).clamp(1, 250)) as u8,
         };
         let local = (u32::from(self.kind.value()) << 24)
             | (u32::from(action_byte) << 16)
@@ -300,7 +298,9 @@ mod tests {
         ] {
             for action in [
                 RuleAction::Drop,
-                RuleAction::Shape { rate_bps: 200_000_000 },
+                RuleAction::Shape {
+                    rate_bps: 200_000_000,
+                },
             ] {
                 let sig = StellarSignal {
                     kind,
@@ -318,15 +318,27 @@ mod tests {
         // 200 Mbps encodes exactly (action byte 20).
         let sig = StellarSignal::shape_udp_src(123, 200);
         let dec = StellarSignal::decode(&sig.encode(IXP), IXP).unwrap();
-        assert_eq!(dec.action, RuleAction::Shape { rate_bps: 200_000_000 });
+        assert_eq!(
+            dec.action,
+            RuleAction::Shape {
+                rate_bps: 200_000_000
+            }
+        );
         // 3 Gbps saturates to 2.5 Gbps.
         let sig = StellarSignal {
             kind: MatchKind::AllUdp,
             port: 0,
-            action: RuleAction::Shape { rate_bps: 3_000_000_000 },
+            action: RuleAction::Shape {
+                rate_bps: 3_000_000_000,
+            },
         };
         let dec = StellarSignal::decode(&sig.encode(IXP), IXP).unwrap();
-        assert_eq!(dec.action, RuleAction::Shape { rate_bps: 2_500_000_000 });
+        assert_eq!(
+            dec.action,
+            RuleAction::Shape {
+                rate_bps: 2_500_000_000
+            }
+        );
     }
 
     #[test]
@@ -358,7 +370,10 @@ mod tests {
         let owner = Asn(64500);
         let custom = portal.define_custom(
             owner,
-            vec![StellarSignal::drop_udp_src(53), StellarSignal::drop_udp_src(123)],
+            vec![
+                StellarSignal::drop_udp_src(53),
+                StellarSignal::drop_udp_src(123),
+            ],
         );
         let ecs = vec![
             StellarSignal::drop_udp_src(123).encode(IXP),

@@ -250,8 +250,10 @@ mod tests {
         let mut sys = system();
         // Signal five distinct rules at t=0 with a slow queue.
         sys.queue = ConfigChangeQueue::production(1.0); // 1/s, MBS 2
-        let signals: Vec<StellarSignal> =
-            [123u16, 53, 389, 11211, 19].iter().map(|p| StellarSignal::drop_udp_src(*p)).collect();
+        let signals: Vec<StellarSignal> = [123u16, 53, 389, 11211, 19]
+            .iter()
+            .map(|p| StellarSignal::drop_udp_src(*p))
+            .collect();
         let out = sys.member_signal(Asn(64500), victim(), &signals, 0);
         assert_eq!(out.queued_changes, 5);
         assert_eq!(sys.pump(0), 2); // MBS

@@ -41,9 +41,7 @@ fn arb_signal() -> impl Strategy<Value = StellarSignal> {
 }
 
 fn arb_victim() -> impl Strategy<Value = Prefix> {
-    any::<[u8; 4]>().prop_map(|o| {
-        Prefix::V4(Ipv4Prefix::host(Ipv4Address(o)))
-    })
+    any::<[u8; 4]>().prop_map(|o| Prefix::V4(Ipv4Prefix::host(Ipv4Address(o))))
 }
 
 fn update_with(signals: &[StellarSignal], victim: Prefix, path_id: u32) -> UpdateMessage {
@@ -108,8 +106,10 @@ proptest! {
         let second = ctl.process_update(&u);
         prop_assert!(second.is_empty(), "controller not idempotent: {second:?}");
         // Withdrawal drains everything.
-        let mut w = UpdateMessage::default();
-        w.withdrawn = vec![Nlri::with_path_id(victim, 1)];
+        let w = UpdateMessage {
+            withdrawn: vec![Nlri::with_path_id(victim, 1)],
+            ..Default::default()
+        };
         let removed = ctl.process_update(&w);
         prop_assert_eq!(removed.len(), sigs.len());
         prop_assert_eq!(ctl.rule_count(), 0);

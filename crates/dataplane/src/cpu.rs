@@ -133,8 +133,7 @@ mod tests {
         // Not constant.
         assert_ne!(measurement_jitter(1, 0.01), measurement_jitter(2, 0.01));
         // Roughly centered.
-        let mean: f64 =
-            (0..10_000).map(|k| measurement_jitter(k, 1.0)).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|k| measurement_jitter(k, 1.0)).sum::<f64>() / 10_000.0;
         assert!(mean.abs() < 0.05);
     }
 }

@@ -1,150 +1,13 @@
 //! L2–L4 filter rules: the "blackholing rules" of §3.2, matched in
 //! hardware against packet headers.
+//!
+//! The match language ([`MatchSpec`], [`PortMatch`]) lives in
+//! `stellar-classify` next to the compiled lookup engine and is
+//! re-exported here, so dataplane callers keep their `filter::` paths.
+//! This module adds what the hardware emulation layers on top: the
+//! [`Action`] taken on a match and the prioritized [`FilterRule`].
 
-use core::fmt;
-use stellar_net::flow::FlowKey;
-use stellar_net::mac::MacAddr;
-use stellar_net::packet::Packet;
-use stellar_net::prefix::Prefix;
-use stellar_net::proto::IpProtocol;
-
-/// A transport-port match: exact or an inclusive range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum PortMatch {
-    /// Exactly this port.
-    Exact(u16),
-    /// Any port in `lo..=hi`.
-    Range(u16, u16),
-}
-
-impl PortMatch {
-    /// True if `port` satisfies the match.
-    pub fn matches(&self, port: u16) -> bool {
-        match self {
-            PortMatch::Exact(p) => port == *p,
-            PortMatch::Range(lo, hi) => (*lo..=*hi).contains(&port),
-        }
-    }
-}
-
-impl fmt::Display for PortMatch {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PortMatch::Exact(p) => write!(f, "{p}"),
-            PortMatch::Range(lo, hi) => write!(f, "{lo}-{hi}"),
-        }
-    }
-}
-
-/// The match half of a blackholing rule: any combination of L2–L4 header
-/// fields (§3.2: "MAC and IP address (IPv4 and IPv6), transport protocol,
-/// or TCP/UDP port"). `None` fields are wildcards.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub struct MatchSpec {
-    /// Source member-router MAC (per-source filtering / RTBH policy
-    /// control).
-    pub src_mac: Option<MacAddr>,
-    /// Destination member-router MAC.
-    pub dst_mac: Option<MacAddr>,
-    /// Source IP prefix.
-    pub src_ip: Option<Prefix>,
-    /// Destination IP prefix (the victim, typically a /32).
-    pub dst_ip: Option<Prefix>,
-    /// Transport protocol.
-    pub protocol: Option<IpProtocol>,
-    /// Source transport port (what amplification responses are identified
-    /// by, e.g. UDP source 123).
-    pub src_port: Option<PortMatch>,
-    /// Destination transport port.
-    pub dst_port: Option<PortMatch>,
-}
-
-impl MatchSpec {
-    /// A spec matching all traffic towards `dst` (what RTBH does).
-    pub fn to_destination(dst: Prefix) -> Self {
-        MatchSpec {
-            dst_ip: Some(dst),
-            ..Default::default()
-        }
-    }
-
-    /// A spec matching `proto` traffic from source port `src_port`
-    /// towards `dst` — the paper's running example (UDP source 123 → the
-    /// attacked /32).
-    pub fn proto_src_port_to(dst: Prefix, proto: IpProtocol, src_port: u16) -> Self {
-        MatchSpec {
-            dst_ip: Some(dst),
-            protocol: Some(proto),
-            src_port: Some(PortMatch::Exact(src_port)),
-            ..Default::default()
-        }
-    }
-
-    /// True if the flow key satisfies every non-wildcard field.
-    pub fn matches(&self, key: &FlowKey) -> bool {
-        if let Some(m) = self.src_mac {
-            if key.src_mac != m {
-                return false;
-            }
-        }
-        if let Some(m) = self.dst_mac {
-            if key.dst_mac != m {
-                return false;
-            }
-        }
-        if let Some(p) = &self.src_ip {
-            if !p.contains(key.src_ip) {
-                return false;
-            }
-        }
-        if let Some(p) = &self.dst_ip {
-            if !p.contains(key.dst_ip) {
-                return false;
-            }
-        }
-        if let Some(proto) = self.protocol {
-            if key.protocol != proto {
-                return false;
-            }
-        }
-        if let Some(pm) = &self.src_port {
-            if !key.protocol.has_ports() || !pm.matches(key.src_port) {
-                return false;
-            }
-        }
-        if let Some(pm) = &self.dst_port {
-            if !key.protocol.has_ports() || !pm.matches(key.dst_port) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Per-packet path: parses nothing, reuses the packet's flow key so the
-    /// two classification paths agree by construction of `FlowKey`.
-    pub fn matches_packet(&self, packet: &Packet) -> bool {
-        self.matches(&packet.flow_key())
-    }
-
-    /// Number of MAC (L2) filter criteria this spec consumes in hardware.
-    pub fn mac_criteria(&self) -> usize {
-        usize::from(self.src_mac.is_some()) + usize::from(self.dst_mac.is_some())
-    }
-
-    /// Number of L3–L4 filter criteria this spec consumes in hardware.
-    pub fn l34_criteria(&self) -> usize {
-        usize::from(self.src_ip.is_some())
-            + usize::from(self.dst_ip.is_some())
-            + usize::from(self.protocol.is_some())
-            + usize::from(self.src_port.is_some())
-            + usize::from(self.dst_port.is_some())
-    }
-
-    /// True if every field is a wildcard (matches everything).
-    pub fn is_match_all(&self) -> bool {
-        self.mac_criteria() + self.l34_criteria() == 0
-    }
-}
+pub use stellar_classify::spec::{MatchSpec, PortMatch};
 
 /// What to do with matching traffic (Fig. 8's three queues).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -185,124 +48,45 @@ impl FilterRule {
             priority,
         }
     }
+
+    /// This rule as the classification engine sees it (identity, priority
+    /// and match; the action stays with the policy).
+    pub fn entry(&self) -> stellar_classify::RuleEntry {
+        stellar_classify::RuleEntry::new(self.id, self.priority, self.spec.clone())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stellar_net::addr::{IpAddress, Ipv4Address};
-    use stellar_net::ports;
+    use stellar_net::proto::IpProtocol;
 
-    fn key(src_port: u16, proto: IpProtocol) -> FlowKey {
-        FlowKey {
-            src_mac: MacAddr::for_member(64500, 1),
-            dst_mac: MacAddr::for_member(64501, 1),
-            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
-            dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, 10)),
-            protocol: proto,
-            src_port,
-            dst_port: 44444,
-        }
-    }
+    // MatchSpec/PortMatch behaviour is tested where they live, in
+    // `stellar_classify::spec`; these tests pin the re-export paths and
+    // the rule wrapper.
 
     #[test]
-    fn wildcard_spec_matches_everything() {
-        let spec = MatchSpec::default();
-        assert!(spec.is_match_all());
-        assert!(spec.matches(&key(123, IpProtocol::UDP)));
-        assert!(spec.matches(&key(0, IpProtocol::ICMP)));
-    }
-
-    #[test]
-    fn destination_spec_matches_only_victim() {
-        let spec = MatchSpec::to_destination("100.10.10.10/32".parse().unwrap());
-        assert!(spec.matches(&key(123, IpProtocol::UDP)));
-        let mut other = key(123, IpProtocol::UDP);
-        other.dst_ip = IpAddress::V4(Ipv4Address::new(100, 10, 10, 11));
-        assert!(!spec.matches(&other));
-        assert_eq!(spec.l34_criteria(), 1);
-        assert_eq!(spec.mac_criteria(), 0);
-    }
-
-    #[test]
-    fn ntp_rule_matches_only_ntp_source() {
-        let spec = MatchSpec::proto_src_port_to(
-            "100.10.10.10/32".parse().unwrap(),
-            IpProtocol::UDP,
-            ports::NTP,
-        );
-        assert!(spec.matches(&key(ports::NTP, IpProtocol::UDP)));
-        assert!(!spec.matches(&key(ports::DNS, IpProtocol::UDP)));
-        // Same port number but TCP: no match.
-        assert!(!spec.matches(&key(ports::NTP, IpProtocol::TCP)));
-        assert_eq!(spec.l34_criteria(), 3);
-    }
-
-    #[test]
-    fn port_match_on_portless_protocol_never_matches() {
+    fn reexported_match_language_is_usable() {
         let spec = MatchSpec {
-            src_port: Some(PortMatch::Exact(0)),
-            ..Default::default()
-        };
-        // An ICMP flow key has src_port 0, but port criteria must not
-        // apply to portless protocols.
-        assert!(!spec.matches(&key(0, IpProtocol::ICMP)));
-        assert!(spec.matches(&key(0, IpProtocol::UDP)));
-    }
-
-    #[test]
-    fn port_ranges() {
-        let pm = PortMatch::Range(8000, 8100);
-        assert!(pm.matches(8000) && pm.matches(8100) && pm.matches(8080));
-        assert!(!pm.matches(7999) && !pm.matches(8101));
-        assert_eq!(pm.to_string(), "8000-8100");
-        assert_eq!(PortMatch::Exact(123).to_string(), "123");
-    }
-
-    #[test]
-    fn mac_criteria_counting() {
-        let spec = MatchSpec {
-            src_mac: Some(MacAddr::for_member(64500, 1)),
-            dst_mac: Some(MacAddr::for_member(64501, 1)),
-            dst_ip: Some("100.10.10.10/32".parse().unwrap()),
             protocol: Some(IpProtocol::UDP),
-            src_port: Some(PortMatch::Exact(123)),
+            src_port: Some(PortMatch::Range(8000, 8100)),
             ..Default::default()
         };
-        assert_eq!(spec.mac_criteria(), 2);
-        assert_eq!(spec.l34_criteria(), 3);
+        assert_eq!(spec.l34_criteria(), 2);
         assert!(!spec.is_match_all());
     }
 
     #[test]
-    fn packet_and_flow_paths_agree() {
-        let p = Packet::udp_v4(
-            MacAddr::for_member(64500, 1),
-            MacAddr::for_member(64501, 1),
-            Ipv4Address::new(203, 0, 113, 7),
-            Ipv4Address::new(100, 10, 10, 10),
-            ports::NTP,
-            44444,
-            vec![0; 64],
+    fn rule_entry_mirrors_the_rule() {
+        let rule = FilterRule::new(
+            42,
+            MatchSpec::to_destination("100.10.10.10/32".parse().unwrap()),
+            Action::Drop,
+            7,
         );
-        let spec = MatchSpec::proto_src_port_to(
-            "100.10.10.10/32".parse().unwrap(),
-            IpProtocol::UDP,
-            ports::NTP,
-        );
-        assert_eq!(spec.matches_packet(&p), spec.matches(&p.flow_key()));
-        assert!(spec.matches_packet(&p));
-    }
-
-    #[test]
-    fn src_mac_scoping() {
-        let spec = MatchSpec {
-            src_mac: Some(MacAddr::for_member(64500, 1)),
-            ..Default::default()
-        };
-        assert!(spec.matches(&key(123, IpProtocol::UDP)));
-        let mut other = key(123, IpProtocol::UDP);
-        other.src_mac = MacAddr::for_member(64502, 1);
-        assert!(!spec.matches(&other));
+        let entry = rule.entry();
+        assert_eq!(entry.id, 42);
+        assert_eq!(entry.priority, 7);
+        assert_eq!(entry.spec, rule.spec);
     }
 }

@@ -140,11 +140,7 @@ mod tests {
     fn drop_ntp(id: u64, priority: u16) -> FilterRule {
         FilterRule::new(
             id,
-            MatchSpec::proto_src_port_to(
-                "100.10.10.10/32".parse().unwrap(),
-                IpProtocol::UDP,
-                123,
-            ),
+            MatchSpec::proto_src_port_to("100.10.10.10/32".parse().unwrap(), IpProtocol::UDP, 123),
             Action::Drop,
             priority,
         )
@@ -176,11 +172,7 @@ mod tests {
         t.install_rule(&drop_ntp(1, 10)).unwrap();
         t.install_rule(&FilterRule::new(
             2,
-            MatchSpec::proto_src_port_to(
-                "100.10.10.10/32".parse().unwrap(),
-                IpProtocol::UDP,
-                123,
-            ),
+            MatchSpec::proto_src_port_to("100.10.10.10/32".parse().unwrap(), IpProtocol::UDP, 123),
             Action::Forward,
             5,
         ))

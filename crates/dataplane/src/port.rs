@@ -34,12 +34,7 @@ impl MemberPort {
 
     /// Pushes one tick of traffic destined to this port through the
     /// policy; returns delivered aggregates and accumulates counters.
-    pub fn process_tick(
-        &mut self,
-        offers: &[Offer],
-        tick_end_us: u64,
-        tick_us: u64,
-    ) -> TickResult {
+    pub fn process_tick(&mut self, offers: &[Offer], tick_end_us: u64, tick_us: u64) -> TickResult {
         let result = self
             .policy
             .apply_tick(offers, tick_end_us, tick_us, self.capacity_bps);

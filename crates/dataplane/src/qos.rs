@@ -7,6 +7,7 @@ use crate::filter::{Action, FilterRule};
 use crate::queue;
 use crate::shaper::TokenBucket;
 use std::collections::HashMap;
+use stellar_classify::ClassifyEngine;
 use stellar_net::flow::FlowKey;
 
 /// One offered traffic aggregate within a tick.
@@ -30,9 +31,18 @@ pub struct TickResult {
 }
 
 /// The QoS policy of one member port.
+///
+/// Rules are kept both as a priority-sorted list (the canonical,
+/// inspectable form) and compiled into a [`ClassifyEngine`] (the lookup
+/// form used on the hot path). The engine is maintained incrementally on
+/// [`install`](Self::install) / [`remove`](Self::remove) and is
+/// behavior-identical to a first-match scan of the sorted list.
 #[derive(Debug, Default)]
 pub struct QosPolicy {
     rules: Vec<FilterRule>,
+    /// Rule id → index into `rules` (rebuilt whenever `rules` changes).
+    by_id: HashMap<u64, usize>,
+    engine: ClassifyEngine,
     shapers: HashMap<u64, TokenBucket>,
     rule_counters: HashMap<u64, RuleCounters>,
 }
@@ -58,10 +68,12 @@ impl QosPolicy {
                 .insert(rule.id, TokenBucket::new(rate_bps, shaper_burst(rate_bps)));
         }
         self.rule_counters.entry(rule.id).or_default();
+        self.engine.insert(rule.entry());
         self.rules.push(rule);
         // Stable order: priority, then id, so classification is
         // deterministic.
         self.rules.sort_by_key(|r| (r.priority, r.id));
+        self.reindex();
     }
 
     /// Removes a rule by id. Returns true if it existed.
@@ -69,7 +81,33 @@ impl QosPolicy {
         let before = self.rules.len();
         self.rules.retain(|r| r.id != rule_id);
         self.shapers.remove(&rule_id);
-        before != self.rules.len()
+        self.engine.remove(rule_id);
+        let removed = before != self.rules.len();
+        if removed {
+            self.reindex();
+        }
+        removed
+    }
+
+    /// Removes every rule, returning the removed ids in evaluation order
+    /// (fallback-to-forwarding resilience, §4.1.2).
+    pub fn clear(&mut self) -> Vec<u64> {
+        let ids = self.engine.clear();
+        self.rules.clear();
+        self.by_id.clear();
+        self.shapers.clear();
+        ids
+    }
+
+    fn reindex(&mut self) {
+        self.by_id.clear();
+        for (i, r) in self.rules.iter().enumerate() {
+            self.by_id.insert(r.id, i);
+        }
+    }
+
+    fn rule_by_id(&self, id: u64) -> Option<&FilterRule> {
+        self.by_id.get(&id).map(|&i| &self.rules[i])
     }
 
     /// Number of installed rules.
@@ -87,9 +125,10 @@ impl QosPolicy {
         self.rule_counters.get(&rule_id)
     }
 
-    /// First matching rule for a key, if any.
+    /// First matching rule for a key, if any. Served by the compiled
+    /// engine; identical to `rules.iter().find(|r| r.spec.matches(key))`.
     pub fn classify(&self, key: &FlowKey) -> Option<&FilterRule> {
-        self.rules.iter().find(|r| r.spec.matches(key))
+        self.engine.classify(key).and_then(|id| self.rule_by_id(id))
     }
 
     /// Pushes one tick of offered aggregates through the policy.
@@ -111,8 +150,12 @@ impl QosPolicy {
         // (§5.3).
         let mut to_forward: Vec<(FlowKey, u64, u64)> = Vec::new();
         let mut shape_groups: HashMap<u64, Vec<(FlowKey, u64, u64)>> = HashMap::new();
-        for offer in offers {
-            let rule = self.rules.iter().find(|r| r.spec.matches(&offer.key));
+        // One batched engine pass classifies the whole tick; the per-offer
+        // loop below only dispatches on the verdicts.
+        let keys: Vec<FlowKey> = offers.iter().map(|o| o.key).collect();
+        let verdicts = self.engine.classify_batch(&keys);
+        for (offer, verdict) in offers.iter().zip(verdicts) {
+            let rule = verdict.and_then(|id| self.rule_by_id(id));
             match rule.map(|r| (r.id, r.action)) {
                 Some((id, Action::Drop)) => {
                     result.counters.dropped_bytes += offer.bytes;
@@ -123,10 +166,11 @@ impl QosPolicy {
                     rc.discarded_bytes += offer.bytes;
                 }
                 Some((id, Action::Shape { .. })) => {
-                    shape_groups
-                        .entry(id)
-                        .or_default()
-                        .push((offer.key, offer.bytes, offer.packets));
+                    shape_groups.entry(id).or_default().push((
+                        offer.key,
+                        offer.bytes,
+                        offer.packets,
+                    ));
                 }
                 Some((id, Action::Forward)) => {
                     let rc = self.rule_counters.entry(id).or_default();
@@ -158,7 +202,7 @@ impl QosPolicy {
             result.counters.shape_dropped_bytes += total - admitted_total;
             for ((key, bytes, packets), (fwd, _dropped)) in group.into_iter().zip(split) {
                 if fwd > 0 {
-                    let pkts = if bytes == 0 { 0 } else { (packets * fwd / bytes).max(1) };
+                    let pkts = (packets * fwd).checked_div(bytes).map_or(0, |p| p.max(1));
                     to_forward.push((key, fwd, pkts));
                 }
             }
@@ -169,7 +213,7 @@ impl QosPolicy {
         let drained = queue::drain_proportional(&byte_offers, budget);
         for ((key, bytes, packets), (fwd, dropped)) in to_forward.into_iter().zip(drained) {
             if fwd > 0 {
-                let pkts = if bytes == 0 { 0 } else { (packets * fwd / bytes).max(1) };
+                let pkts = (packets * fwd).checked_div(bytes).map_or(0, |p| p.max(1));
                 result.counters.forwarded_bytes += fwd;
                 result.counters.forwarded_packets += pkts;
                 result.delivered.push((key, fwd, pkts));
@@ -233,8 +277,16 @@ mod tests {
         let mut p = QosPolicy::new();
         p.install(ntp_drop_rule(1));
         let offers = [
-            Offer { key: key(ports::NTP), bytes: 10_000, packets: 10 },
-            Offer { key: key(ports::HTTPS), bytes: 5_000, packets: 5 },
+            Offer {
+                key: key(ports::NTP),
+                bytes: 10_000,
+                packets: 10,
+            },
+            Offer {
+                key: key(ports::HTTPS),
+                bytes: 5_000,
+                packets: 5,
+            },
         ];
         let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
         assert_eq!(r.counters.dropped_bytes, 10_000);
@@ -256,13 +308,19 @@ mod tests {
                 IpProtocol::UDP,
                 ports::NTP,
             ),
-            Action::Shape { rate_bps: 200_000_000 },
+            Action::Shape {
+                rate_bps: 200_000_000,
+            },
             10,
         ));
         // Offer 1 Gbps of NTP for 5 seconds in 100 ms ticks.
         let mut shaped_total = 0u64;
         for tick in 1..=50u64 {
-            let offers = [Offer { key: key(ports::NTP), bytes: 12_500_000, packets: 8900 }];
+            let offers = [Offer {
+                key: key(ports::NTP),
+                bytes: 12_500_000,
+                packets: 8900,
+            }];
             let r = p.apply_tick(&offers, tick * 100_000, 100_000, 10_000_000_000);
             shaped_total += r.counters.shaped_bytes;
         }
@@ -277,7 +335,11 @@ mod tests {
     fn congestion_drops_when_port_overloaded() {
         let mut p = QosPolicy::new();
         // 10 Gbps offered into a 1 Gbps port for one 1 s tick.
-        let offers = [Offer { key: key(ports::HTTPS), bytes: 1_250_000_000, packets: 1_000_000 }];
+        let offers = [Offer {
+            key: key(ports::HTTPS),
+            bytes: 1_250_000_000,
+            packets: 1_000_000,
+        }];
         let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
         assert_eq!(r.counters.forwarded_bytes, 125_000_000);
         assert_eq!(r.counters.congestion_dropped_bytes, 1_125_000_000);
@@ -300,7 +362,11 @@ mod tests {
         ));
         let got = p.classify(&key(ports::NTP)).unwrap();
         assert_eq!(got.id, 2);
-        let offers = [Offer { key: key(ports::NTP), bytes: 100, packets: 1 }];
+        let offers = [Offer {
+            key: key(ports::NTP),
+            bytes: 100,
+            packets: 1,
+        }];
         let r = p.apply_tick(&offers, 1, 1_000_000, 1_000_000_000);
         assert_eq!(r.counters.forwarded_bytes, 100);
         assert_eq!(r.counters.dropped_bytes, 0);
@@ -332,14 +398,24 @@ mod tests {
                 protocol: Some(IpProtocol::UDP),
                 ..Default::default()
             },
-            Action::Shape { rate_bps: 800_000_000 },
+            Action::Shape {
+                rate_bps: 800_000_000,
+            },
             10,
         ));
         // 1 Gbps NTP (shaped to 800 Mbps) + 600 Mbps web into a 1 Gbps
         // port: forwarding queue must congest.
         let offers = [
-            Offer { key: key(ports::NTP), bytes: 125_000_000, packets: 10_000 },
-            Offer { key: key(ports::HTTPS), bytes: 75_000_000, packets: 7_000 },
+            Offer {
+                key: key(ports::NTP),
+                bytes: 125_000_000,
+                packets: 10_000,
+            },
+            Offer {
+                key: key(ports::HTTPS),
+                bytes: 75_000_000,
+                packets: 7_000,
+            },
         ];
         let r = p.apply_tick(&offers, 1_000_000, 1_000_000, 1_000_000_000);
         assert!(r.counters.congestion_dropped_bytes > 0);

@@ -158,7 +158,7 @@ mod tests {
     #[test]
     fn burst_is_bounded() {
         let mut tb = TokenBucket::new(8_000, 1_000); // 1 KB/s, 1 KB burst
-        // After a long idle period the bucket holds exactly the burst.
+                                                     // After a long idle period the bucket holds exactly the burst.
         assert_eq!(tb.available(1_000_000_000), 1_000);
         assert_eq!(tb.admit(5_000, 1_000_000_000), 1_000);
         assert_eq!(tb.admit(5_000, 1_000_000_000), 0);

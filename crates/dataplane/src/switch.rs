@@ -11,6 +11,7 @@ use crate::port::MemberPort;
 use crate::qos::{Offer, TickResult};
 use crate::tcam::{Tcam, TcamHandle, TcamVerdict};
 use std::collections::{BTreeMap, HashMap};
+use stellar_classify::sharded;
 use stellar_net::flow::FlowKey;
 use stellar_net::mac::MacAddr;
 use stellar_net::packet::Packet;
@@ -176,9 +177,10 @@ impl EdgeRouter {
         let Some(port) = self.ports.get_mut(&port_id) else {
             return 0;
         };
-        let ids: Vec<u64> = port.policy.rules().iter().map(|r| r.id).collect();
+        // The policy clears its compiled engine and reports what was
+        // installed, so nothing re-walks the rule list here.
+        let ids = port.policy.clear();
         for id in &ids {
-            port.policy.remove(*id);
             if let Some(h) = self.handles.remove(&(port_id, *id)) {
                 self.tcam.free(h);
             }
@@ -192,6 +194,10 @@ impl EdgeRouter {
     /// Pushes one tick of traffic through the fabric. Aggregates are
     /// routed to their destination-MAC port and pushed through that port's
     /// egress policy. Returns per-port results.
+    ///
+    /// Ports are independent shards — each owns its policy, shapers and
+    /// counters — so their ticks run in parallel on scoped workers via the
+    /// `stellar-classify` sharded front-end (one shard per port group).
     pub fn process_tick(
         &mut self,
         offers: &[OfferedAggregate],
@@ -210,12 +216,17 @@ impl EdgeRouter {
             // Unroutable aggregates vanish (no port = no delivery), as on
             // a real fabric with no FDB entry and unicast flooding off.
         }
-        let mut results = BTreeMap::new();
-        for (pid, offers) in per_port {
-            let port = self.ports.get_mut(&pid).expect("port exists");
-            results.insert(pid, port.process_tick(&offers, tick_end_us, tick_us));
+        let mut shards: Vec<(PortId, &mut MemberPort, Vec<Offer>)> = Vec::new();
+        for (pid, port) in self.ports.iter_mut() {
+            if let Some(offers) = per_port.remove(pid) {
+                shards.push((*pid, port, offers));
+            }
         }
-        results
+        sharded::parallel_shards(shards, sharded::default_workers(), |(pid, port, offers)| {
+            (pid, port.process_tick(&offers, tick_end_us, tick_us))
+        })
+        .into_iter()
+        .collect()
     }
 
     /// Functional per-packet path (§5.2): decodes real wire bytes,
@@ -280,7 +291,11 @@ mod tests {
     #[test]
     fn traffic_routes_to_destination_port() {
         let mut er = router_with_two_ports();
-        let res = er.process_tick(&[ntp_flow(64500, 1000), ntp_flow(64501, 2000)], 1_000_000, 1_000_000);
+        let res = er.process_tick(
+            &[ntp_flow(64500, 1000), ntp_flow(64501, 2000)],
+            1_000_000,
+            1_000_000,
+        );
         assert_eq!(res[&PortId(1)].counters.forwarded_bytes, 1000);
         assert_eq!(res[&PortId(2)].counters.forwarded_bytes, 2000);
         // Unroutable destination disappears.
@@ -439,7 +454,10 @@ mod tests {
             44444,
             vec![0; 64],
         );
-        assert_eq!(er.process_packet(&ntp.encode()).unwrap(), PacketVerdict::Dropped);
+        assert_eq!(
+            er.process_packet(&ntp.encode()).unwrap(),
+            PacketVerdict::Dropped
+        );
         let https = Packet::tcp_v4(
             MacAddr::for_member(64502, 1),
             MacAddr::for_member(64500, 1),

@@ -22,7 +22,11 @@ fn arb_key() -> impl Strategy<Value = FlowKey> {
         0u32..8,
         any::<[u8; 4]>(),
         any::<[u8; 4]>(),
-        prop_oneof![Just(IpProtocol::UDP), Just(IpProtocol::TCP), Just(IpProtocol::ICMP)],
+        prop_oneof![
+            Just(IpProtocol::UDP),
+            Just(IpProtocol::TCP),
+            Just(IpProtocol::ICMP)
+        ],
         any::<u16>(),
         any::<u16>(),
     )
@@ -128,9 +132,8 @@ proptest! {
         let mut t = Tcam::new(200, 200);
         let mut handles = Vec::new();
         for (mac, l34) in ops {
-            match t.alloc_raw(mac, l34) {
-                Ok(h) => handles.push((h, mac, l34)),
-                Err(_) => {}
+            if let Ok(h) = t.alloc_raw(mac, l34) {
+                handles.push((h, mac, l34));
             }
         }
         let expect_mac: usize = handles.iter().map(|(_, m, _)| m).sum();

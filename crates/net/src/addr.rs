@@ -40,9 +40,7 @@ impl Ipv4Address {
     /// True if this is a private (RFC 1918) address.
     pub fn is_private(&self) -> bool {
         let o = self.0;
-        o[0] == 10
-            || (o[0] == 172 && (16..=31).contains(&o[1]))
-            || (o[0] == 192 && o[1] == 168)
+        o[0] == 10 || (o[0] == 172 && (16..=31).contains(&o[1])) || (o[0] == 192 && o[1] == 168)
     }
 
     /// True if this is a loopback address (127.0.0.0/8).
@@ -288,7 +286,7 @@ mod tests {
     fn ipv4_classification() {
         assert!(Ipv4Address::new(10, 1, 2, 3).is_private());
         assert!(Ipv4Address::new(172, 16, 0, 1).is_private());
-        assert!(Ipv4Address::new(172, 32, 0, 1).is_private() == false);
+        assert!(!Ipv4Address::new(172, 32, 0, 1).is_private());
         assert!(Ipv4Address::new(192, 168, 1, 1).is_private());
         assert!(Ipv4Address::new(127, 0, 0, 1).is_loopback());
         assert!(Ipv4Address::new(224, 0, 0, 1).is_multicast());

@@ -66,8 +66,8 @@ impl AmpProtocol {
     /// Typical attacker request size in bytes (UDP payload).
     pub fn request_size(&self) -> usize {
         match self {
-            AmpProtocol::Ntp => 8,      // monlist request
-            AmpProtocol::Dns => 60,     // ANY query with EDNS0
+            AmpProtocol::Ntp => 8,  // monlist request
+            AmpProtocol::Dns => 60, // ANY query with EDNS0
             AmpProtocol::Memcached => 15,
             AmpProtocol::Ldap => 52,
             AmpProtocol::Chargen => 1,
@@ -155,7 +155,7 @@ mod tests {
     }
 
     #[test]
-    fn factors_exceed_one_and_ports_are_amplification_prone(){
+    fn factors_exceed_one_and_ports_are_amplification_prone() {
         for p in ALL {
             assert!(p.amplification_factor() > 1.0, "{p:?}");
             assert!(crate::ports::is_amplification_prone(p.port()), "{p:?}");

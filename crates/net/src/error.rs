@@ -85,7 +85,10 @@ mod tests {
             need: 20,
             have: 7,
         };
-        assert_eq!(e.to_string(), "truncated ipv4 header: need 20 bytes, have 7");
+        assert_eq!(
+            e.to_string(),
+            "truncated ipv4 header: need 20 bytes, have 7"
+        );
         let e = NetError::BadChecksum { what: "udp" };
         assert_eq!(e.to_string(), "bad checksum in udp");
         let e = NetError::BadPrefixLen { len: 40, max: 32 };

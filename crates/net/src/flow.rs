@@ -36,8 +36,13 @@ impl fmt::Display for FlowKey {
         write!(
             f,
             "{} {}:{} -> {}:{} ({} -> {})",
-            self.protocol, self.src_ip, self.src_port, self.dst_ip, self.dst_port,
-            self.src_mac, self.dst_mac
+            self.protocol,
+            self.src_ip,
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            self.src_mac,
+            self.dst_mac
         )
     }
 }

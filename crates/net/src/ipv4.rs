@@ -39,7 +39,12 @@ pub struct Ipv4Header {
 
 impl Ipv4Header {
     /// Convenience constructor for an unfragmented datagram.
-    pub fn new(src: Ipv4Address, dst: Ipv4Address, protocol: IpProtocol, payload_len: usize) -> Self {
+    pub fn new(
+        src: Ipv4Address,
+        dst: Ipv4Address,
+        protocol: IpProtocol,
+        payload_len: usize,
+    ) -> Self {
         Ipv4Header {
             tos: 0,
             total_len: (HEADER_LEN + payload_len) as u16,
@@ -108,7 +113,9 @@ impl Ipv4Header {
             });
         }
         if checksum::checksum(&buf[..HEADER_LEN]) != 0 {
-            return Err(NetError::BadChecksum { what: "ipv4 header" });
+            return Err(NetError::BadChecksum {
+                what: "ipv4 header",
+            });
         }
         let total_len = u16::from_be_bytes([buf[2], buf[3]]);
         if (total_len as usize) < HEADER_LEN {
@@ -183,10 +190,16 @@ mod tests {
         sample().encode(&mut buf);
         let mut raw = buf.to_vec();
         raw[0] = 0x65; // version 6
-        assert!(matches!(Ipv4Header::decode(&raw), Err(NetError::Malformed { .. })));
+        assert!(matches!(
+            Ipv4Header::decode(&raw),
+            Err(NetError::Malformed { .. })
+        ));
         raw[0] = 0x46; // IHL 6 => options present; checksum now wrong too,
                        // but the IHL check fires first.
-        assert!(matches!(Ipv4Header::decode(&raw), Err(NetError::Malformed { .. })));
+        assert!(matches!(
+            Ipv4Header::decode(&raw),
+            Err(NetError::Malformed { .. })
+        ));
     }
 
     #[test]

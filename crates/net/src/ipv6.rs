@@ -32,7 +32,12 @@ pub struct Ipv6Header {
 
 impl Ipv6Header {
     /// Convenience constructor.
-    pub fn new(src: Ipv6Address, dst: Ipv6Address, next_header: IpProtocol, payload_len: usize) -> Self {
+    pub fn new(
+        src: Ipv6Address,
+        dst: Ipv6Address,
+        next_header: IpProtocol,
+        payload_len: usize,
+    ) -> Self {
         Ipv6Header {
             traffic_class: 0,
             flow_label: 0,
@@ -119,7 +124,10 @@ mod tests {
         sample().encode(&mut buf);
         let mut raw = buf.to_vec();
         raw[0] = 0x45;
-        assert!(matches!(Ipv6Header::decode(&raw), Err(NetError::Malformed { .. })));
+        assert!(matches!(
+            Ipv6Header::decode(&raw),
+            Err(NetError::Malformed { .. })
+        ));
         assert!(Ipv6Header::decode(&raw[..20]).is_err());
     }
 

@@ -127,6 +127,7 @@ impl Packet {
     }
 
     /// Builds an IPv4/TCP packet with correct lengths.
+    #[allow(clippy::too_many_arguments)] // mirrors the on-wire field order
     pub fn tcp_v4(
         src_mac: MacAddr,
         dst_mac: MacAddr,
@@ -138,12 +139,7 @@ impl Packet {
         payload: Vec<u8>,
     ) -> Self {
         let tcp = TcpHeader::new(src_port, dst_port, flags);
-        let ip = Ipv4Header::new(
-            src,
-            dst,
-            IpProtocol::TCP,
-            tcp.header_len() + payload.len(),
-        );
+        let ip = Ipv4Header::new(src, dst, IpProtocol::TCP, tcp.header_len() + payload.len());
         Packet {
             eth: EthernetHeader {
                 dst: dst_mac,
@@ -229,9 +225,7 @@ impl Packet {
     fn transport_checksum(&self, segment: &[u8]) -> u16 {
         match &self.ip {
             IpHeader::V4(h) => checksum::pseudo_header_v4(h.src, h.dst, h.protocol, segment),
-            IpHeader::V6(h) => {
-                checksum::pseudo_header_v6(h.src, h.dst, h.next_header, segment)
-            }
+            IpHeader::V6(h) => checksum::pseudo_header_v6(h.src, h.dst, h.next_header, segment),
         }
     }
 

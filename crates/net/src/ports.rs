@@ -77,7 +77,10 @@ mod tests {
     #[test]
     fn amplification_classification() {
         for p in FIG3A_PORTS {
-            assert!(is_amplification_prone(p), "{p} should be amplification-prone");
+            assert!(
+                is_amplification_prone(p),
+                "{p} should be amplification-prone"
+            );
         }
         assert!(!is_amplification_prone(HTTP));
         assert!(!is_amplification_prone(HTTPS));

@@ -44,6 +44,7 @@ impl Ipv4Prefix {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a mask length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -127,7 +128,9 @@ impl FromStr for Ipv4Prefix {
     type Err = NetError;
 
     fn from_str(s: &str) -> NetResult<Self> {
-        let (a, l) = s.split_once('/').ok_or(NetError::Parse { what: "prefix" })?;
+        let (a, l) = s
+            .split_once('/')
+            .ok_or(NetError::Parse { what: "prefix" })?;
         let addr: Ipv4Address = a.parse()?;
         let len: u8 = l.parse().map_err(|_| NetError::Parse { what: "prefix" })?;
         Ipv4Prefix::new(addr, len)
@@ -179,6 +182,7 @@ impl Ipv6Prefix {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a mask length, not a container
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -226,7 +230,9 @@ impl FromStr for Ipv6Prefix {
     type Err = NetError;
 
     fn from_str(s: &str) -> NetResult<Self> {
-        let (a, l) = s.split_once('/').ok_or(NetError::Parse { what: "prefix" })?;
+        let (a, l) = s
+            .split_once('/')
+            .ok_or(NetError::Parse { what: "prefix" })?;
         let addr: Ipv6Address = a.parse()?;
         let len: u8 = l.parse().map_err(|_| NetError::Parse { what: "prefix" })?;
         Ipv6Prefix::new(addr, len)
@@ -252,6 +258,7 @@ impl Prefix {
     }
 
     /// Prefix length in bits.
+    #[allow(clippy::len_without_is_empty)] // a mask length, not a container
     pub fn len(&self) -> u8 {
         match self {
             Prefix::V4(p) => p.len(),
@@ -428,7 +435,10 @@ mod tests {
         assert!(v4.is_host() && v6.is_host());
         assert!(v4.needs_blackhole_exception());
         assert!(v6.needs_blackhole_exception());
-        assert!(!"100.10.10.0/24".parse::<Prefix>().unwrap().needs_blackhole_exception());
+        assert!(!"100.10.10.0/24"
+            .parse::<Prefix>()
+            .unwrap()
+            .needs_blackhole_exception());
         assert!(!v4.covers(&v6));
         assert!(!v4.contains(IpAddress::V6(Ipv6Address::UNSPECIFIED)));
     }

@@ -103,7 +103,10 @@ impl TcpHeader {
 
     /// Encodes the header.
     pub fn encode<B: BufMut>(&self, buf: &mut B) {
-        debug_assert!(self.options.len() % 4 == 0, "options must be padded");
+        debug_assert!(
+            self.options.len().is_multiple_of(4),
+            "options must be padded"
+        );
         buf.put_u16(self.src_port);
         buf.put_u16(self.dst_port);
         buf.put_u32(self.seq);
@@ -180,9 +183,15 @@ mod tests {
         h.encode(&mut buf);
         let mut raw = buf.to_vec();
         raw[12] = 0x40; // data offset 4 words = 16 bytes < 20
-        assert!(matches!(TcpHeader::decode(&raw), Err(NetError::Malformed { .. })));
+        assert!(matches!(
+            TcpHeader::decode(&raw),
+            Err(NetError::Malformed { .. })
+        ));
         raw[12] = 0xf0; // data offset 60 bytes, buffer too short
-        assert!(matches!(TcpHeader::decode(&raw), Err(NetError::Truncated { .. })));
+        assert!(matches!(
+            TcpHeader::decode(&raw),
+            Err(NetError::Truncated { .. })
+        ));
     }
 
     #[test]

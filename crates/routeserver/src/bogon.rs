@@ -10,15 +10,15 @@ use stellar_net::prefix::Prefix;
 /// The filtered IPv4 bogon ranges.
 pub fn bogon_list_v4() -> Vec<Prefix> {
     [
-        "0.0.0.0/8",       // "this" network
-        "10.0.0.0/8",      // RFC 1918
-        "100.64.0.0/10",   // CGN shared space
-        "127.0.0.0/8",     // loopback
-        "169.254.0.0/16",  // link local
-        "172.16.0.0/12",   // RFC 1918
-        "192.168.0.0/16",  // RFC 1918
-        "224.0.0.0/4",     // multicast
-        "240.0.0.0/4",     // reserved
+        "0.0.0.0/8",      // "this" network
+        "10.0.0.0/8",     // RFC 1918
+        "100.64.0.0/10",  // CGN shared space
+        "127.0.0.0/8",    // loopback
+        "169.254.0.0/16", // link local
+        "172.16.0.0/12",  // RFC 1918
+        "192.168.0.0/16", // RFC 1918
+        "224.0.0.0/4",    // multicast
+        "240.0.0.0/4",    // reserved
     ]
     .iter()
     .map(|s| s.parse().expect("static bogon list parses"))

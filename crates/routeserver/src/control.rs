@@ -112,9 +112,9 @@ mod tests {
     #[test]
     fn announce_to_none_with_whitelist() {
         let cs = [
-            Community::new(0, 6695),      // block all
-            Community::new(6695, 64500),  // allow 64500
-            Community::new(6695, 64501),  // allow 64501
+            Community::new(0, 6695),     // block all
+            Community::new(6695, 64500), // allow 64500
+            Community::new(6695, 64501), // allow 64501
         ];
         assert!(should_announce(&cs, Asn(64500), IXP));
         assert!(should_announce(&cs, Asn(64501), IXP));

@@ -73,6 +73,7 @@ impl ImportPolicy {
     /// IXP-namespace extended community (a Stellar blackholing signal) —
     /// those announcements get the same more-specific exception as RTBH,
     /// since the /32 only reaches the blackholing controller.
+    #[allow(clippy::too_many_arguments)] // one argument per validation input
     pub fn validate(
         &self,
         peer: Asn,
@@ -99,9 +100,7 @@ impl ImportPolicy {
         if !self.irr.validates(prefix, origin) {
             return Err(RejectReason::IrrMismatch);
         }
-        if self.reject_rpki_invalid
-            && self.rpki.validate(prefix, origin) == RpkiStatus::Invalid
-        {
+        if self.reject_rpki_invalid && self.rpki.validate(prefix, origin) == RpkiStatus::Invalid {
             return Err(RejectReason::RpkiInvalid);
         }
         Ok(())
@@ -136,7 +135,15 @@ mod tests {
     fn registered_announcement_is_accepted() {
         let pol = policy();
         assert_eq!(
-            pol.validate(MEMBER, Some(MEMBER), Some(MEMBER), &p("100.10.10.0/24"), &[], false, IXP),
+            pol.validate(
+                MEMBER,
+                Some(MEMBER),
+                Some(MEMBER),
+                &p("100.10.10.0/24"),
+                &[],
+                false,
+                IXP
+            ),
             Ok(())
         );
     }
@@ -145,7 +152,15 @@ mod tests {
     fn bogons_are_rejected() {
         let pol = policy();
         assert_eq!(
-            pol.validate(MEMBER, Some(MEMBER), Some(MEMBER), &p("10.0.0.0/8"), &[], false, IXP),
+            pol.validate(
+                MEMBER,
+                Some(MEMBER),
+                Some(MEMBER),
+                &p("10.0.0.0/8"),
+                &[],
+                false,
+                IXP
+            ),
             Err(RejectReason::Bogon)
         );
     }
@@ -155,7 +170,15 @@ mod tests {
         let pol = policy();
         // /32 without the community: rejected as too specific.
         assert_eq!(
-            pol.validate(MEMBER, Some(MEMBER), Some(MEMBER), &p("100.10.10.10/32"), &[], false, IXP),
+            pol.validate(
+                MEMBER,
+                Some(MEMBER),
+                Some(MEMBER),
+                &p("100.10.10.10/32"),
+                &[],
+                false,
+                IXP
+            ),
             Err(RejectReason::TooSpecific)
         );
         // With the well-known BLACKHOLE community: accepted.

@@ -91,13 +91,25 @@ mod tests {
             max_len: 32,
             asn: Asn(64500),
         });
-        assert_eq!(t.validate(&p("100.10.10.0/24"), Asn(64500)), RpkiStatus::Valid);
+        assert_eq!(
+            t.validate(&p("100.10.10.0/24"), Asn(64500)),
+            RpkiStatus::Valid
+        );
         // max_len 32 covers the blackhole /32.
-        assert_eq!(t.validate(&p("100.10.10.10/32"), Asn(64500)), RpkiStatus::Valid);
+        assert_eq!(
+            t.validate(&p("100.10.10.10/32"), Asn(64500)),
+            RpkiStatus::Valid
+        );
         // Wrong origin: covered but unauthorized.
-        assert_eq!(t.validate(&p("100.10.10.0/24"), Asn(666)), RpkiStatus::Invalid);
+        assert_eq!(
+            t.validate(&p("100.10.10.0/24"), Asn(666)),
+            RpkiStatus::Invalid
+        );
         // No ROA at all.
-        assert_eq!(t.validate(&p("9.9.9.0/24"), Asn(64500)), RpkiStatus::NotFound);
+        assert_eq!(
+            t.validate(&p("9.9.9.0/24"), Asn(64500)),
+            RpkiStatus::NotFound
+        );
     }
 
     #[test]
@@ -108,17 +120,31 @@ mod tests {
             max_len: 24,
             asn: Asn(64500),
         });
-        assert_eq!(t.validate(&p("100.10.10.0/24"), Asn(64500)), RpkiStatus::Valid);
+        assert_eq!(
+            t.validate(&p("100.10.10.0/24"), Asn(64500)),
+            RpkiStatus::Valid
+        );
         // A /32 exceeds max_len 24: Invalid even for the right origin —
         // why RTBH deployments need ROAs with max_len 32 (or none).
-        assert_eq!(t.validate(&p("100.10.10.10/32"), Asn(64500)), RpkiStatus::Invalid);
+        assert_eq!(
+            t.validate(&p("100.10.10.10/32"), Asn(64500)),
+            RpkiStatus::Invalid
+        );
     }
 
     #[test]
     fn multiple_roas_any_valid_wins() {
         let mut t = RpkiTable::new();
-        t.add(Roa { prefix: p("100.10.10.0/24"), max_len: 32, asn: Asn(1) });
-        t.add(Roa { prefix: p("100.10.10.0/24"), max_len: 32, asn: Asn(2) });
+        t.add(Roa {
+            prefix: p("100.10.10.0/24"),
+            max_len: 32,
+            asn: Asn(1),
+        });
+        t.add(Roa {
+            prefix: p("100.10.10.0/24"),
+            max_len: 32,
+            asn: Asn(2),
+        });
         assert_eq!(t.validate(&p("100.10.10.0/24"), Asn(2)), RpkiStatus::Valid);
         assert_eq!(t.len(), 2);
     }

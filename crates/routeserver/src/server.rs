@@ -16,9 +16,9 @@ use stellar_bgp::community::Community;
 use stellar_bgp::nlri::Nlri;
 use stellar_bgp::rib::{AdjRibIn, PeerId};
 use stellar_bgp::types::Asn;
+use stellar_bgp::types::{Afi, Safi};
 use stellar_bgp::update::UpdateMessage;
 use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
-use stellar_bgp::types::{Afi, Safi};
 use stellar_net::prefix::Prefix;
 
 /// Static route-server configuration.
@@ -134,7 +134,13 @@ impl RouteServer {
     pub fn routes_for(&self, prefix: Prefix) -> Vec<stellar_bgp::rib::Route> {
         self.peers
             .values()
-            .flat_map(|p| p.rib.routes_for(prefix).into_iter().cloned().collect::<Vec<_>>())
+            .flat_map(|p| {
+                p.rib
+                    .routes_for(prefix)
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
             .collect()
     }
 
@@ -165,15 +171,20 @@ impl RouteServer {
             }
         }
         for w in &withdrawals {
-            let delta = self.peers.get_mut(&peer).expect("peer exists").rib.apply_update(
-                peer_id,
-                &UpdateMessage {
-                    withdrawn: vec![*w],
-                    attrs: vec![],
-                    nlri: vec![],
-                },
-                now_us,
-            );
+            let delta = self
+                .peers
+                .get_mut(&peer)
+                .expect("peer exists")
+                .rib
+                .apply_update(
+                    peer_id,
+                    &UpdateMessage {
+                        withdrawn: vec![*w],
+                        attrs: vec![],
+                        nlri: vec![],
+                    },
+                    now_us,
+                );
             if delta.withdrawn.is_empty() {
                 continue; // nothing was actually removed
             }
@@ -224,7 +235,8 @@ impl RouteServer {
                         .rejected
                         .entry(RejectReason::MaxPrefixExceeded.describe())
                         .or_insert(0) += 1;
-                    out.rejections.push((n.prefix, RejectReason::MaxPrefixExceeded));
+                    out.rejections
+                        .push((n.prefix, RejectReason::MaxPrefixExceeded));
                     continue;
                 }
             }
@@ -275,14 +287,11 @@ impl RouteServer {
             // Controller feed: every accepted path, ADD-PATH tagged,
             // with the *original* attributes (the controller needs the
             // extended communities and true next hop).
-            let pid = *self
-                .path_ids
-                .entry((peer, n.prefix))
-                .or_insert_with(|| {
-                    let id = self.next_path_id;
-                    self.next_path_id += 1;
-                    id
-                });
+            let pid = *self.path_ids.entry((peer, n.prefix)).or_insert_with(|| {
+                let id = self.next_path_id;
+                self.next_path_id += 1;
+                id
+            });
             out.controller_updates
                 .push(controller_feed(update, *n, *mp_next_hop, pid));
         }
@@ -363,16 +372,20 @@ impl RouteServer {
         let mut attrs: Vec<PathAttribute> = original
             .attrs
             .iter()
+            .filter(|a| {
+                !matches!(
+                    a,
+                    PathAttribute::MpReach { .. } | PathAttribute::MpUnreach { .. }
+                )
+            })
             .cloned()
-            .filter(|a| !matches!(a, PathAttribute::MpReach { .. } | PathAttribute::MpUnreach { .. }))
             .map(|a| match a {
                 PathAttribute::Communities(cs) => PathAttribute::Communities(
                     cs.into_iter()
                         .filter(|c| {
                             // Strip action communities; keep blackhole and
                             // informational ones.
-                            let action = (c.asn() == 0)
-                                || (c.asn() == ixp16 && c.value() != 666);
+                            let action = (c.asn() == 0) || (c.asn() == ixp16 && c.value() != 666);
                             !action || c.is_blackhole(self.config.ixp_asn)
                         })
                         .collect::<Vec<Community>>(),
@@ -472,7 +485,10 @@ fn controller_feed(
                 .attrs
                 .iter()
                 .filter(|a| {
-                    !matches!(a, PathAttribute::MpReach { .. } | PathAttribute::MpUnreach { .. })
+                    !matches!(
+                        a,
+                        PathAttribute::MpReach { .. } | PathAttribute::MpUnreach { .. }
+                    )
                 })
                 .cloned()
                 .collect();
@@ -498,15 +514,10 @@ mod tests {
     use crate::rpki::RpkiTable;
     use stellar_bgp::attr::AsPath;
 
-
-
     fn server_with_peers(peers: &[u32]) -> RouteServer {
         let mut irr = IrrDb::new();
         for &p in peers {
-            irr.register(
-                format!("100.{}.0.0/16", p % 200).parse().unwrap(),
-                Asn(p),
-            );
+            irr.register(format!("100.{}.0.0/16", p % 200).parse().unwrap(), Asn(p));
         }
         irr.register("100.10.10.0/24".parse().unwrap(), Asn(64500));
         let policy = ImportPolicy::new(irr, RpkiTable::new());

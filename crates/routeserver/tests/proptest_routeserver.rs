@@ -38,18 +38,17 @@ fn server() -> RouteServer {
 
 fn arb_update() -> impl Strategy<Value = (u32, UpdateMessage)> {
     (
-        0u32..8,                                   // peer index
-        any::<[u8; 4]>(),                          // prefix bits
-        8u8..=32,                                  // prefix len
+        0u32..8,                                       // peer index
+        any::<[u8; 4]>(),                              // prefix bits
+        8u8..=32,                                      // prefix len
         proptest::collection::vec(any::<u32>(), 0..4), // communities
-        any::<bool>(),                             // spoof first AS?
-        any::<bool>(),                             // blackhole tag?
-        any::<bool>(),                             // withdraw instead?
+        any::<bool>(),                                 // spoof first AS?
+        any::<bool>(),                                 // blackhole tag?
+        any::<bool>(),                                 // withdraw instead?
     )
         .prop_map(|(peer, octets, len, comms, spoof, blackhole, withdraw)| {
             let asn = 64500 + peer;
-            let prefix =
-                Prefix::V4(Ipv4Prefix::new(Ipv4Address(octets), len).unwrap());
+            let prefix = Prefix::V4(Ipv4Prefix::new(Ipv4Address(octets), len).unwrap());
             let u = if withdraw {
                 UpdateMessage::withdraw(prefix)
             } else {

@@ -56,7 +56,9 @@ impl TimeSeries {
 /// (the convention flow-analysis pipelines use so client-side ephemeral
 /// ports do not dominate).
 pub fn characteristic_port(key: &FlowKey) -> u16 {
-    let well_known = |p: u16| p < 1024 || ports::is_amplification_prone(p) || p == ports::HTTP_ALT || p == ports::RTMP;
+    let well_known = |p: u16| {
+        p < 1024 || ports::is_amplification_prone(p) || p == ports::HTTP_ALT || p == ports::RTMP
+    };
     match (well_known(key.src_port), well_known(key.dst_port)) {
         (true, _) => key.src_port,
         (false, true) => key.dst_port,
@@ -100,7 +102,16 @@ impl FlowCollector {
         let mut z = self.seed
             ^ u64::from_le_bytes({
                 let o = key.src_mac.octets();
-                [o[0], o[1], o[2], o[3], o[4], o[5], key.src_port as u8, (key.src_port >> 8) as u8]
+                [
+                    o[0],
+                    o[1],
+                    o[2],
+                    o[3],
+                    o[4],
+                    o[5],
+                    key.src_port as u8,
+                    (key.src_port >> 8) as u8,
+                ]
             })
             ^ start_us.rotate_left(17)
             ^ (u64::from(key.dst_port) << 32);
@@ -111,7 +122,14 @@ impl FlowCollector {
 
     /// Records one aggregate observation, applying packet sampling if
     /// configured.
-    pub fn record(&mut self, key: FlowKey, start_us: SimTime, end_us: SimTime, bytes: u64, packets: u64) {
+    pub fn record(
+        &mut self,
+        key: FlowKey,
+        start_us: SimTime,
+        end_us: SimTime,
+        bytes: u64,
+        packets: u64,
+    ) {
         let (bytes, packets) = if self.sample_n > 1 {
             // Expected sampled packets; use a deterministic Bernoulli
             // remainder so small flows are kept or dropped whole.
@@ -298,21 +316,42 @@ mod tests {
     #[test]
     fn characteristic_port_prefers_service_side() {
         // Client → server: dst is the service port.
-        assert_eq!(characteristic_port(&key(1, 51000, 443, IpProtocol::TCP)), 443);
+        assert_eq!(
+            characteristic_port(&key(1, 51000, 443, IpProtocol::TCP)),
+            443
+        );
         // Amplification response: src is the service port.
-        assert_eq!(characteristic_port(&key(1, 11211, 47000, IpProtocol::UDP)), 11211);
+        assert_eq!(
+            characteristic_port(&key(1, 11211, 47000, IpProtocol::UDP)),
+            11211
+        );
         // Both well-known: src wins (responses dominate by bytes).
         assert_eq!(characteristic_port(&key(1, 123, 80, IpProtocol::UDP)), 123);
         // Neither: lower port.
-        assert_eq!(characteristic_port(&key(1, 40000, 39999, IpProtocol::UDP)), 39999);
+        assert_eq!(
+            characteristic_port(&key(1, 40000, 39999, IpProtocol::UDP)),
+            39999
+        );
     }
 
     #[test]
     fn rate_series_buckets_bytes() {
         let mut c = FlowCollector::new();
         // 1 MB in bucket 0, 2 MB in bucket 1 (1-second buckets).
-        c.record(key(1, 123, 40000, IpProtocol::UDP), 0, 500_000, 1_000_000, 100);
-        c.record(key(1, 123, 40000, IpProtocol::UDP), 1_200_000, 1_500_000, 2_000_000, 100);
+        c.record(
+            key(1, 123, 40000, IpProtocol::UDP),
+            0,
+            500_000,
+            1_000_000,
+            100,
+        );
+        c.record(
+            key(1, 123, 40000, IpProtocol::UDP),
+            1_200_000,
+            1_500_000,
+            2_000_000,
+            100,
+        );
         let s = c.rate_series(0, 2_000_000, 1_000_000, |_| true);
         assert_eq!(s.values.len(), 2);
         assert!((s.values[0] - 8e6).abs() < 1.0);
@@ -344,7 +383,13 @@ mod tests {
             // Same members again in the same bucket: still 5 distinct.
             c.record(key(m, 123, 40000, IpProtocol::UDP), 100, 101, 100, 1);
         }
-        c.record(key(0, 123, 40000, IpProtocol::UDP), 1_000_000, 1_000_001, 100, 1);
+        c.record(
+            key(0, 123, 40000, IpProtocol::UDP),
+            1_000_000,
+            1_000_001,
+            100,
+            1,
+        );
         let s = c.peer_count_series(0, 2_000_000, 1_000_000, |_| true);
         assert_eq!(s.values, vec![5.0, 1.0]);
     }

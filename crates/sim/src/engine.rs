@@ -124,7 +124,11 @@ impl<S> Engine<S> {
             for (at, h) in sched.pending {
                 let seq = self.seq;
                 self.seq += 1;
-                self.queue.push(Reverse(Scheduled { at, seq, handler: h }));
+                self.queue.push(Reverse(Scheduled {
+                    at,
+                    seq,
+                    handler: h,
+                }));
             }
             executed += 1;
         }
@@ -220,6 +224,9 @@ mod tests {
     fn tick_driver_covers_range_exactly() {
         let mut spans: Vec<(u64, u64)> = Vec::new();
         run_ticks(&mut spans, 0, 1_050, 250, |s, a, b| s.push((a, b)));
-        assert_eq!(spans, vec![(0, 250), (250, 500), (500, 750), (750, 1000), (1000, 1050)]);
+        assert_eq!(
+            spans,
+            vec![(0, 250), (250, 500), (500, 750), (750, 1000), (1000, 1050)]
+        );
     }
 }

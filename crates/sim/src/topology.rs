@@ -98,7 +98,8 @@ impl IxpTopology {
                 },
             );
         }
-        let mut route_server = RouteServer::new(rs_config, ImportPolicy::new(irr, RpkiTable::new()));
+        let mut route_server =
+            RouteServer::new(rs_config, ImportPolicy::new(irr, RpkiTable::new()));
         for (asn, info) in &members {
             route_server.add_peer(*asn, info.peering_ip);
         }
@@ -129,13 +130,10 @@ impl IxpTopology {
             Prefix::V6(_) => {
                 // Synthesize a stable v6 peering address from the v4 one.
                 let o = info.peering_ip.octets();
-                let nh: stellar_net::addr::Ipv6Address = format!(
-                    "2001:7f8:0:1::{:x}:{:x}",
-                    u16::from(o[2]),
-                    u16::from(o[3])
-                )
-                .parse()
-                .expect("synthesized address parses");
+                let nh: stellar_net::addr::Ipv6Address =
+                    format!("2001:7f8:0:1::{:x}:{:x}", u16::from(o[2]), u16::from(o[3]))
+                        .parse()
+                        .expect("synthesized address parses");
                 UpdateMessage {
                     withdrawn: vec![],
                     attrs: vec![
@@ -206,10 +204,7 @@ mod tests {
         // Every member has a port and the MAC maps back to it.
         for (asn, info) in &ixp.members {
             assert_eq!(ixp.router.port_of_mac(info.mac), Some(info.port));
-            assert_eq!(
-                ixp.router.port(info.port).unwrap().member_asn,
-                asn.0
-            );
+            assert_eq!(ixp.router.port(info.port).unwrap().member_asn, asn.0);
         }
         let accepted = ixp.announce_all(0);
         assert_eq!(accepted, 10);

@@ -52,7 +52,13 @@ pub struct BenignWebMix {
 impl BenignWebMix {
     /// The Fig. 2(c) pre-attack mix: mostly 443, some 80/8080, a little
     /// RTMP.
-    pub fn fig2c(target_ip: Ipv4Address, target_mac: MacAddr, rate_bps: f64, sources: Vec<SourcePoint>, active: (SimTime, SimTime)) -> Self {
+    pub fn fig2c(
+        target_ip: Ipv4Address,
+        target_mac: MacAddr,
+        rate_bps: f64,
+        sources: Vec<SourcePoint>,
+        active: (SimTime, SimTime),
+    ) -> Self {
         BenignWebMix {
             target_ip,
             target_mac,
@@ -235,7 +241,11 @@ impl TrafficSource for BooterService {
 
 /// Builds `n` reflector source points spread over member ASNs starting at
 /// `base_asn`, with source IPs drawn from `pool`.
-pub fn reflector_pool(base_asn: u32, n: usize, pool: stellar_net::prefix::Ipv4Prefix) -> Vec<SourcePoint> {
+pub fn reflector_pool(
+    base_asn: u32,
+    n: usize,
+    pool: stellar_net::prefix::Ipv4Prefix,
+) -> Vec<SourcePoint> {
     (0..n)
         .map(|i| SourcePoint {
             mac: MacAddr::for_member(base_asn + i as u32, 1),
@@ -254,7 +264,10 @@ mod tests {
     }
 
     fn target() -> (Ipv4Address, MacAddr) {
-        (Ipv4Address::new(100, 10, 10, 10), MacAddr::for_member(64500, 1))
+        (
+            Ipv4Address::new(100, 10, 10, 10),
+            MacAddr::for_member(64500, 1),
+        )
     }
 
     #[test]
@@ -332,9 +345,8 @@ mod tests {
     fn booter_ramps_to_peak() {
         let (ip, mac) = target();
         let reflectors = reflector_pool(65100, 40, "198.51.100.0/24".parse().unwrap());
-        let mut booter = BooterService::order(
-            AmpProtocol::Ntp, ip, mac, 1e9, reflectors, 0, 600_000_000,
-        );
+        let mut booter =
+            BooterService::order(AmpProtocol::Ntp, ip, mac, 1e9, reflectors, 0, 600_000_000);
         assert_eq!(booter.peer_count(), 40);
         let mut r = rng();
         let early: u64 = booter
@@ -347,7 +359,10 @@ mod tests {
             .iter()
             .map(|a| a.bytes)
             .sum();
-        assert!(early < late / 5, "ramp not visible: early {early}, late {late}");
+        assert!(
+            early < late / 5,
+            "ramp not visible: early {early}, late {late}"
+        );
         let late_rate = late as f64 * 8.0;
         assert!((late_rate - 1e9).abs() / 1e9 < 0.1, "late rate {late_rate}");
     }
@@ -368,7 +383,11 @@ mod tests {
         let mut r = rng();
         // DNS: one big datagram → 2/3 of bytes land on port 0.
         let aggs = mk(AmpProtocol::Dns).generate(0, 1_000_000, &mut r);
-        let frag: u64 = aggs.iter().filter(|a| a.key.src_port == 0).map(|a| a.bytes).sum();
+        let frag: u64 = aggs
+            .iter()
+            .filter(|a| a.key.src_port == 0)
+            .map(|a| a.bytes)
+            .sum();
         let total: u64 = aggs.iter().map(|a| a.bytes).sum();
         let share = frag as f64 / total as f64;
         assert!((share - 2.0 / 3.0).abs() < 0.05, "dns frag share {share}");
@@ -395,8 +414,16 @@ mod tests {
         let mut b = mk();
         let mut ra = rng();
         let mut rb = rng();
-        let ga: Vec<u64> = a.generate(0, 100_000, &mut ra).iter().map(|x| x.bytes).collect();
-        let gb: Vec<u64> = b.generate(0, 100_000, &mut rb).iter().map(|x| x.bytes).collect();
+        let ga: Vec<u64> = a
+            .generate(0, 100_000, &mut ra)
+            .iter()
+            .map(|x| x.bytes)
+            .collect();
+        let gb: Vec<u64> = b
+            .generate(0, 100_000, &mut rb)
+            .iter()
+            .map(|x| x.bytes)
+            .collect();
         assert_eq!(ga, gb);
     }
 }

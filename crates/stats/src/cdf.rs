@@ -10,7 +10,10 @@ impl Ecdf {
     /// Builds the ECDF from a sample (NaNs are rejected).
     pub fn new(mut xs: Vec<f64>) -> Ecdf {
         assert!(!xs.is_empty(), "ECDF needs at least one sample");
-        assert!(xs.iter().all(|v| !v.is_nan()), "ECDF input must not contain NaN");
+        assert!(
+            xs.iter().all(|v| !v.is_nan()),
+            "ECDF input must not contain NaN"
+        );
         xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Ecdf { sorted: xs }
     }

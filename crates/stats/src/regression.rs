@@ -77,7 +77,11 @@ pub fn ols(x: &[f64], y: &[f64]) -> OlsFit {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     let resid_se = (ss_res / (n - 2.0)).sqrt();
     let slope_se = resid_se / sxx.sqrt();
     let intercept_se = resid_se * (1.0 / n + xm * xm / sxx).sqrt();

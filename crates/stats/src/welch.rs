@@ -43,8 +43,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> WelchResult {
         };
     }
     let t = (ma - mb) / se2.sqrt();
-    let df = se2 * se2
-        / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na) * (va / na) / (na - 1.0) + (vb / nb) * (vb / nb) / (nb - 1.0));
     let p = 1.0 - student_t_cdf(t, df);
     WelchResult {
         t,
@@ -92,8 +91,14 @@ mod tests {
     fn textbook_welch_example() {
         // Classic example with unequal variances (e.g. from Welch 1947
         // style data): check df lies between min(n)-1 and n1+n2-2.
-        let a = [27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4];
-        let b = [27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9];
+        let a = [
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ];
+        let b = [
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
+        ];
         let r = welch_t_test(&b, &a);
         assert!(r.df > 14.0 && r.df < 28.0);
         assert!(r.t > 2.0);

@@ -17,8 +17,8 @@
 
 use stellar::bgp::types::Asn;
 use stellar::core::detector::{DetectorConfig, SignatureDetector};
-use stellar::core::signal::{MatchKind, StellarSignal};
 use stellar::core::rule::RuleAction;
+use stellar::core::signal::{MatchKind, StellarSignal};
 use stellar::core::system::StellarSystem;
 use stellar::dataplane::hardware::HardwareInfoBase;
 use stellar::dataplane::switch::OfferedAggregate;
@@ -48,7 +48,10 @@ fn flow(src_port: u16, proto: IpProtocol, mbps: u64) -> OfferedAggregate {
 }
 
 fn main() {
-    let ixp = IxpTopology::build(&generic_members(VICTIM.0, 10), HardwareInfoBase::lab_switch());
+    let ixp = IxpTopology::build(
+        &generic_members(VICTIM.0, 10),
+        HardwareInfoBase::lab_switch(),
+    );
     let mut system = StellarSystem::new(ixp, 100.0);
     let victim_prefix = "131.0.0.10/32".parse().unwrap();
     let port = system.ixp.member(VICTIM).unwrap().port;
@@ -96,7 +99,9 @@ fn main() {
                     &[StellarSignal {
                         kind: MatchKind::AllUdp,
                         port: 0,
-                        action: RuleAction::Shape { rate_bps: 200_000_000 },
+                        action: RuleAction::Shape {
+                            rate_bps: 200_000_000,
+                        },
                     }],
                     t_us,
                 );

@@ -72,9 +72,9 @@ fn main() {
     // id gets nothing.
     let out = system.member_signal(
         Asn(64501),
-        stellar::net::prefix::Prefix::host(IpAddress::V4(
-            stellar::net::addr::Ipv4Address::new(131, 1, 0, 10),
-        )),
+        stellar::net::prefix::Prefix::host(IpAddress::V4(stellar::net::addr::Ipv4Address::new(
+            131, 1, 0, 10,
+        ))),
         &[CustomerPortal::reference_signal(custom_id)],
         3_000_000,
     );

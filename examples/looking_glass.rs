@@ -43,7 +43,11 @@ fn main() {
     rs.add_peer(Asn(64502), Ipv4Address::new(80, 81, 192, 3));
 
     // A legitimate announcement.
-    let out = rs.handle_update(Asn(64500), &announce("100.10.10.0/24", 64500, [80, 81, 192, 1]), 0);
+    let out = rs.handle_update(
+        Asn(64500),
+        &announce("100.10.10.0/24", 64500, [80, 81, 192, 1]),
+        0,
+    );
     println!(
         "AS64500 announces 100.10.10.0/24: exported to {} peers, {} rejections",
         out.exports.len(),
@@ -51,7 +55,11 @@ fn main() {
     );
 
     // A hijack attempt: AS64501 announcing someone else's prefix.
-    let out = rs.handle_update(Asn(64501), &announce("100.10.10.0/24", 64501, [80, 81, 192, 2]), 1);
+    let out = rs.handle_update(
+        Asn(64501),
+        &announce("100.10.10.0/24", 64501, [80, 81, 192, 2]),
+        1,
+    );
     println!(
         "AS64501 hijack attempt: {} exports, rejected: {:?}",
         out.exports.len(),
@@ -74,5 +82,9 @@ fn main() {
         let views = looking_glass::query(&rs, prefix.parse().unwrap());
         print!("{}", looking_glass::render(prefix.parse().unwrap(), &views));
     }
-    println!("\nimport stats: {} accepted, rejected: {:?}", rs.stats().accepted, rs.stats().rejected);
+    println!(
+        "\nimport stats: {} accepted, rejected: {:?}",
+        rs.stats().accepted,
+        rs.stats().rejected
+    );
 }

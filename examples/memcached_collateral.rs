@@ -38,7 +38,10 @@ fn main() {
     // Quantify the collateral RTBH would have caused in the same window.
     let web_ports = [443u16, 80, 8080, 1935];
     let post = &mitigated.shares[45];
-    let web_share: f64 = web_ports.iter().map(|p| post.get(p).copied().unwrap_or(0.0)).sum();
+    let web_share: f64 = web_ports
+        .iter()
+        .map(|p| post.get(p).copied().unwrap_or(0.0))
+        .sum();
     println!(
         "\nAt 20:45 with Stellar, {:.0}% of delivered traffic is the web mix {}",
         web_share * 100.0,

@@ -24,7 +24,10 @@ fn main() {
     let victim_asn = Asn(64500);
     let victim_ip = Ipv4Address::new(131, 0, 0, 10);
     let victim_prefix = stellar::net::prefix::Prefix::host(IpAddress::V4(victim_ip));
-    println!("IXP up: {} members, route server, Stellar controller.", system.ixp.members.len());
+    println!(
+        "IXP up: {} members, route server, Stellar controller.",
+        system.ixp.members.len()
+    );
 
     // 2. An NTP amplification attack: 1 Gbps of UDP source-port-123
     //    traffic converging on the victim's 10 Gbps port.

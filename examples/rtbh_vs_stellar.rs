@@ -27,11 +27,17 @@ fn main() {
         vec![
             "attack peak at victim".to_string(),
             format!("{:.0} Mbps", rtbh.delivered_mbps.mean_between(300.0, 370.0)),
-            format!("{:.0} Mbps", stellar.delivered_mbps.mean_between(200.0, 290.0)),
+            format!(
+                "{:.0} Mbps",
+                stellar.delivered_mbps.mean_between(200.0, 290.0)
+            ),
         ],
         vec![
             "level after mitigation".to_string(),
-            format!("{:.0} Mbps (RTBH at 380s)", rtbh.delivered_mbps.mean_between(500.0, 880.0)),
+            format!(
+                "{:.0} Mbps (RTBH at 380s)",
+                rtbh.delivered_mbps.mean_between(500.0, 880.0)
+            ),
             format!(
                 "{:.0} Mbps shaped, then {:.1} Mbps dropped",
                 stellar.delivered_mbps.mean_between(320.0, 490.0),

@@ -2,11 +2,11 @@
 //! talking over real encoded BGP byte streams (not in-process shortcuts),
 //! including ADD-PATH negotiation on the controller's iBGP session.
 
+use stellar::bgp::attr::{AsPath, PathAttribute};
 use stellar::bgp::community::Community;
 use stellar::bgp::session::{drive_pair, Session, SessionConfig};
 use stellar::bgp::types::Asn;
 use stellar::bgp::update::UpdateMessage;
-use stellar::bgp::attr::{AsPath, PathAttribute};
 use stellar::core::controller::{AbstractChange, BlackholingController};
 use stellar::core::signal::StellarSignal;
 use stellar::net::addr::Ipv4Address;
@@ -21,7 +21,10 @@ const MEMBER: Asn = Asn(64500);
 fn route_server() -> RouteServer {
     let mut irr = IrrDb::new();
     irr.register("100.10.10.0/24".parse().unwrap(), MEMBER);
-    let mut rs = RouteServer::new(RouteServerConfig::l_ixp(), ImportPolicy::new(irr, RpkiTable::new()));
+    let mut rs = RouteServer::new(
+        RouteServerConfig::l_ixp(),
+        ImportPolicy::new(irr, RpkiTable::new()),
+    );
     rs.add_peer(MEMBER, Ipv4Address::new(80, 81, 192, 1));
     rs.add_peer(Asn(64501), Ipv4Address::new(80, 81, 192, 2));
     rs

@@ -35,7 +35,10 @@ fn flow(src_port: u16, proto: IpProtocol, mbps: u64) -> OfferedAggregate {
 
 #[test]
 fn shape_sample_detect_escalate() {
-    let ixp = IxpTopology::build(&generic_members(VICTIM.0, 8), HardwareInfoBase::lab_switch());
+    let ixp = IxpTopology::build(
+        &generic_members(VICTIM.0, 8),
+        HardwareInfoBase::lab_switch(),
+    );
     let mut system = StellarSystem::new(ixp, 1000.0);
     let victim_prefix = "131.0.0.10/32".parse().unwrap();
     let port = system.ixp.member(VICTIM).unwrap().port;
@@ -52,7 +55,9 @@ fn shape_sample_detect_escalate() {
         &[StellarSignal {
             kind: MatchKind::AllUdp,
             port: 0,
-            action: RuleAction::Shape { rate_bps: 200_000_000 },
+            action: RuleAction::Shape {
+                rate_bps: 200_000_000,
+            },
         }],
         0,
     );
@@ -89,10 +94,6 @@ fn shape_sample_detect_escalate() {
     let c = &r[&port].counters;
     assert_eq!(c.dropped_bytes, 900 * 125_000);
     assert_eq!(c.shaped_bytes, 0);
-    let benign: u64 = r[&port]
-        .delivered
-        .iter()
-        .map(|(_, b, _)| *b)
-        .sum();
+    let benign: u64 = r[&port].delivered.iter().map(|(_, b, _)| *b).sum();
     assert_eq!(benign, 160 * 125_000);
 }

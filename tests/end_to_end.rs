@@ -4,9 +4,9 @@
 
 use stellar::bgp::types::Asn;
 use stellar::core::config_queue::ConfigChangeQueue;
+use stellar::core::rule::RuleAction;
 use stellar::core::signal::{MatchKind, StellarSignal};
 use stellar::core::system::StellarSystem;
-use stellar::core::rule::RuleAction;
 use stellar::dataplane::hardware::HardwareInfoBase;
 use stellar::dataplane::switch::OfferedAggregate;
 use stellar::net::addr::{IpAddress, Ipv4Address};
@@ -97,7 +97,12 @@ fn only_the_prefix_owner_can_signal() {
     let mut sys = system(6);
     // Another member signals for the victim's prefix: rejected by the
     // IRR check, nothing installed.
-    let out = sys.member_signal(Asn(VICTIM.0 + 1), victim_prefix(), &[StellarSignal::drop_all()], 0);
+    let out = sys.member_signal(
+        Asn(VICTIM.0 + 1),
+        victim_prefix(),
+        &[StellarSignal::drop_all()],
+        0,
+    );
     assert_eq!(out.queued_changes, 0);
     assert!(!out.rejections.is_empty());
     sys.pump(10_000);
@@ -107,7 +112,7 @@ fn only_the_prefix_owner_can_signal() {
 #[test]
 fn admission_control_refuses_over_limit_without_breaking_forwarding() {
     let mut sys = system(4); // lab switch: 8 rules per port
-    // Ask for 10 distinct port rules: 8 installed, 2 refused.
+                             // Ask for 10 distinct port rules: 8 installed, 2 refused.
     let signals: Vec<StellarSignal> = (1..=10u16).map(StellarSignal::drop_udp_src).collect();
     let out = sys.member_signal(VICTIM, victim_prefix(), &signals, 0);
     assert_eq!(out.queued_changes, 10);
@@ -123,7 +128,12 @@ fn admission_control_refuses_over_limit_without_breaking_forwarding() {
 #[test]
 fn member_session_down_implicitly_withdraws_rules() {
     let mut sys = system(6);
-    sys.member_signal(VICTIM, victim_prefix(), &[StellarSignal::drop_udp_src(123)], 0);
+    sys.member_signal(
+        VICTIM,
+        victim_prefix(),
+        &[StellarSignal::drop_udp_src(123)],
+        0,
+    );
     sys.pump(10_000);
     assert_eq!(sys.active_rules(), 1);
     // The victim's BGP session to the route server dies: the route
@@ -148,7 +158,10 @@ fn controller_session_down_falls_back_to_forwarding() {
     sys.member_signal(
         VICTIM,
         victim_prefix(),
-        &[StellarSignal::drop_udp_src(123), StellarSignal::drop_udp_src(53)],
+        &[
+            StellarSignal::drop_udp_src(123),
+            StellarSignal::drop_udp_src(53),
+        ],
         0,
     );
     sys.pump(10_000);
@@ -214,13 +227,16 @@ fn two_victims_get_independent_rules() {
     let other_prefix = {
         let p = sys.ixp.member(other).unwrap().prefixes[0];
         match p {
-            Prefix::V4(p4) => Prefix::V4(
-                stellar::net::prefix::Ipv4Prefix::host(p4.nth_host(10)),
-            ),
+            Prefix::V4(p4) => Prefix::V4(stellar::net::prefix::Ipv4Prefix::host(p4.nth_host(10))),
             _ => unreachable!(),
         }
     };
-    sys.member_signal(VICTIM, victim_prefix(), &[StellarSignal::drop_udp_src(123)], 0);
+    sys.member_signal(
+        VICTIM,
+        victim_prefix(),
+        &[StellarSignal::drop_udp_src(123)],
+        0,
+    );
     sys.member_signal(other, other_prefix, &[StellarSignal::drop_udp_src(53)], 0);
     sys.pump(10_000);
     assert_eq!(sys.active_rules(), 2);

@@ -17,7 +17,10 @@ use stellar::sim::topology::{generic_members, IxpTopology};
 #[test]
 fn full_platform_brings_up_and_mitigates_many_members() {
     let n = 350usize;
-    let mut ixp = IxpTopology::build(&generic_members(64500, n), HardwareInfoBase::production_er());
+    let mut ixp = IxpTopology::build(
+        &generic_members(64500, n),
+        HardwareInfoBase::production_er(),
+    );
     // Every member announces its prefix; all validate against the IRR.
     let accepted = ixp.announce_all(0);
     assert_eq!(accepted, n);
@@ -83,7 +86,10 @@ fn full_platform_brings_up_and_mitigates_many_members() {
                 bytes,
                 packets: bytes / 1000 + 1,
             };
-            vec![mk(123, IpProtocol::UDP, 1_000_000), mk(51000, IpProtocol::TCP, 10_000)]
+            vec![
+                mk(123, IpProtocol::UDP, 1_000_000),
+                mk(51000, IpProtocol::TCP, 10_000),
+            ]
         })
         .collect();
     let results = sys.traffic_tick(&offers, t + 1_000_000, 1_000_000);

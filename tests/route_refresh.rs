@@ -5,13 +5,16 @@
 use stellar::bgp::community::Community;
 use stellar::bgp::session::{drive_pair, Session, SessionConfig};
 use stellar::bgp::types::Asn;
+use stellar::dataplane::hardware::HardwareInfoBase;
 use stellar::net::addr::Ipv4Address;
 use stellar::sim::topology::{generic_members, IxpTopology};
-use stellar::dataplane::hardware::HardwareInfoBase;
 
 #[test]
 fn refresh_request_surfaces_on_the_session() {
-    let mut a = Session::new(SessionConfig::ebgp(Asn(64500), Ipv4Address::new(10, 0, 0, 1)));
+    let mut a = Session::new(SessionConfig::ebgp(
+        Asn(64500),
+        Ipv4Address::new(10, 0, 0, 1),
+    ));
     let mut b = {
         let mut c = SessionConfig::ebgp(Asn(64501), Ipv4Address::new(10, 0, 0, 2));
         c.passive = true;

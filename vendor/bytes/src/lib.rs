@@ -1,0 +1,200 @@
+//! Offline-compatible subset of the `bytes` crate.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the handful of external dependencies are vendored as minimal
+//! API-compatible implementations. This crate provides the [`BufMut`]
+//! trait and the [`BytesMut`] growable buffer with exactly the surface
+//! the workspace codecs use (big-endian `put_*` writers plus slice
+//! access). Semantics match the upstream crate for that subset.
+
+use core::ops::{Deref, DerefMut};
+
+/// A trait for values that allow sequential writing of bytes.
+///
+/// All multi-byte integer writers use network (big-endian) byte order,
+/// matching the upstream `bytes` crate.
+pub trait BufMut {
+    /// Appends raw bytes to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16` in big-endian order.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u32` in big-endian order.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64` in big-endian order.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u128` in big-endian order.
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `i32` in big-endian order.
+    fn put_i32(&mut self, v: i32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+/// A growable byte buffer, API-compatible with `bytes::BytesMut` for the
+/// operations the workspace uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.inner.reserve(additional);
+    }
+
+    /// Appends raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, yielding the written bytes ("freeze" in the
+    /// upstream crate returns an immutable `Bytes`; a `Vec<u8>` serves the
+    /// same role here).
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+
+    /// Splits off and returns the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.inner.split_off(at);
+        let head = core::mem::replace(&mut self.inner, rest);
+        BytesMut { inner: head }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.inner
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut { inner: v.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_writers_are_big_endian() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x01);
+        b.put_u16(0x0203);
+        b.put_u32(0x0405_0607);
+        b.put_slice(&[0xaa, 0xbb]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7, 0xaa, 0xbb]);
+        assert_eq!(b.len(), 9);
+        assert_eq!(b.to_vec(), b.freeze());
+    }
+
+    #[test]
+    fn vec_impl_and_split() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u16(0xbeef);
+        assert_eq!(v, vec![0xbe, 0xef]);
+        let mut b = BytesMut::from(vec![1, 2, 3, 4]);
+        let head = b.split_to(1);
+        assert_eq!(&head[..], &[1]);
+        assert_eq!(&b[..], &[2, 3, 4]);
+    }
+}

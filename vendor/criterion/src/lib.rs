@@ -1,0 +1,287 @@
+//! Offline-compatible subset of the `criterion` benchmark framework.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the criterion API surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput, `Bencher::iter` / `iter_batched`)
+//! on top of a straightforward wall-clock measurement loop: calibrate
+//! the per-iteration cost during a warm-up phase, pick an iteration
+//! count that fills the measurement window, then report the mean.
+//!
+//! Measurements are recorded on the [`Criterion`] value and can be read
+//! back via [`Criterion::summaries`], which benches use to dump
+//! machine-readable result files.
+//!
+//! Environment knobs: `STELLAR_BENCH_WARMUP_MS` and
+//! `STELLAR_BENCH_MEASURE_MS` override the default 200 ms warm-up and
+//! 700 ms measurement windows.
+
+use std::time::{Duration, Instant};
+
+/// Measurement throughput annotation, used to report per-element rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The vendored harness
+/// re-runs setup per batch regardless; the hint is accepted for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark id (`group/name` for grouped benches).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations in the measurement window.
+    pub iters: u64,
+    /// Throughput annotation, if the group set one.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    results: Vec<Summary>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = |var: &str, default_ms: u64| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default_ms)
+        };
+        Criterion {
+            warmup: Duration::from_millis(ms("STELLAR_BENCH_WARMUP_MS", 200)),
+            measure: Duration::from_millis(ms("STELLAR_BENCH_MEASURE_MS", 700)),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// All measurements recorded so far, in execution order.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, name: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let summary = Summary {
+            name,
+            ns_per_iter: bencher.ns_per_iter,
+            iters: bencher.iters,
+            throughput,
+        };
+        let per_elem = match summary.throughput {
+            Some(Throughput::Elements(n)) if n > 0 => {
+                format!(" ({:.1} ns/elem)", summary.ns_per_iter / n as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<50} {:>14.1} ns/iter{per_elem}",
+            summary.name, summary.ns_per_iter
+        );
+        self.results.push(summary);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.to_string());
+        self.criterion.run_one(name, self.throughput, f);
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs the measurement loop.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a loop.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up doubles the batch size until the warm-up window is
+        // spent, which also calibrates the per-iteration cost.
+        let mut batch: u64 = 1;
+        let mut spent = Duration::ZERO;
+        let mut last_per_iter = f64::MAX;
+        while spent < self.warmup {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            spent += dt;
+            last_per_iter = dt.as_nanos() as f64 / batch as f64;
+            if dt < self.warmup / 8 {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        // Pick an iteration count that fills the measurement window.
+        let target_ns = self.measure.as_nanos() as f64;
+        let iters = (target_ns / last_per_iter.max(1.0)).ceil().max(1.0) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let dt = t0.elapsed();
+        self.ns_per_iter = dt.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Measures `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Calibrate with one warm-up pass.
+        let warm_deadline = Instant::now() + self.warmup;
+        let mut last_ns = f64::MAX;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            last_ns = t0.elapsed().as_nanos() as f64;
+        }
+        let target_ns = self.measure.as_nanos() as f64;
+        let iters = (target_ns / last_ns.max(1.0)).ceil().clamp(1.0, 1e7) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Like [`Bencher::iter`] but lets the routine consume a reference to
+    /// pre-built state (API-compat shim for `iter_with_large_drop`).
+    pub fn iter_with_large_drop<R>(&mut self, routine: impl FnMut() -> R) {
+        self.iter(routine);
+    }
+}
+
+/// Re-export of [`std::hint::black_box`], as upstream criterion provides.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures_and_records() {
+        let mut c = Criterion {
+            warmup: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(c.summaries().len(), 2);
+        assert_eq!(c.summaries()[0].name, "noop");
+        assert_eq!(c.summaries()[1].name, "grp/batched");
+        assert!(c.summaries()[0].ns_per_iter > 0.0);
+        assert_eq!(c.summaries()[1].throughput, Some(Throughput::Elements(10)));
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline-compatible subset of `serde`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! supplies the slice of serde the workspace uses: the [`Serialize`]
+//! trait, implemented by converting values into a self-describing
+//! [`Content`] tree that `serde_json` (the sibling vendored crate)
+//! renders as JSON. The full `Serializer`/`Deserializer` machinery and
+//! the derive macros are intentionally out of scope; types that need
+//! `Serialize` implement it directly (see [`impl_serialize_struct!`] for
+//! a derive-like shorthand).
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing serialized value — the data model every
+/// [`Serialize`] impl lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can be serialized into the [`Content`] data model.
+pub trait Serialize {
+    /// Lowers `self` into the serialization data model.
+    fn to_content(&self) -> Content;
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Content::Seq(vec![$($name.to_content()),+])
+            }
+        }
+    )+};
+}
+impl_serialize_tuple!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        // Deterministic output regardless of hash order.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+/// Derive-like shorthand: implements [`Serialize`] for a struct by
+/// listing its fields.
+///
+/// ```
+/// struct Point { x: f64, y: f64 }
+/// serde::impl_serialize_struct!(Point { x, y });
+/// ```
+#[macro_export]
+macro_rules! impl_serialize_struct {
+    ($name:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $name {
+            fn to_content(&self) -> $crate::Content {
+                $crate::Content::Map(vec![
+                    $((stringify!($field).to_string(), self.$field.to_content())),+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_lower_to_expected_variants() {
+        assert_eq!(5u32.to_content(), Content::U64(5));
+        assert_eq!((-5i32).to_content(), Content::I64(-5));
+        assert_eq!(true.to_content(), Content::Bool(true));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+        assert_eq!(
+            vec![1u8, 2].to_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+        assert_eq!(
+            (1u8, "a").to_content(),
+            Content::Seq(vec![Content::U64(1), Content::Str("a".into())])
+        );
+    }
+
+    #[test]
+    fn struct_shorthand_macro() {
+        struct P {
+            x: u32,
+            y: f64,
+        }
+        impl_serialize_struct!(P { x, y });
+        let c = P { x: 1, y: 2.5 }.to_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("x".into(), Content::U64(1)),
+                ("y".into(), Content::F64(2.5)),
+            ])
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Offline-compatible subset of `serde_json`.
+//!
+//! Renders the vendored `serde` crate's [`Content`](serde::Content) data
+//! model as JSON text. Provides [`Value`], the [`json!`] macro (object /
+//! array / expression forms with string-literal keys, which is every form
+//! this workspace uses), and [`to_string`] / [`to_string_pretty`].
+
+use serde::Serialize;
+use std::fmt;
+
+/// A JSON value (alias of the serde data-model type).
+pub type Value = serde::Content;
+
+/// Serialization error. The vendored data model is always serializable,
+/// so this is never actually produced; it exists for API compatibility.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any serializable value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+    v.to_content()
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(v: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &v.to_content(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{}` on f64 is shortest-round-trip; always valid JSON.
+                out.push_str(&x.to_string());
+            } else {
+                // serde_json renders non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(out, s),
+        Value::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i| {
+                write_value(out, &items[i], indent, depth + 1);
+            })
+        }
+        Value::Map(entries) => {
+            write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i| {
+                let (k, val) = &entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            })
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    n: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports the forms used in
+/// this workspace: `json!({"key": expr, ...})`, `json!([expr, ...])`,
+/// `json!(null)`, and `json!(expr)` for any `Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Map(vec![
+            $(($key.to_string(), $crate::to_value(&$val))),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Seq(vec![$($crate::to_value(&$val)),*])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = json!({
+            "a": 1,
+            "b": json!([1.5, true, "x\"y"]),
+            "c": Option::<u8>::None,
+        });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.5,true,"x\"y"],"c":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering() {
+        let v = json!({"k": [1, 2]});
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1,\n    2\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn expression_and_tuple_values() {
+        let pairs = vec![("a".to_string(), 1.0f64), ("b".to_string(), 2.0)];
+        let v = json!({ "pairs": pairs, "neg": -3i64 });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"pairs":[["a",1],["b",2]],"neg":-3}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+}
