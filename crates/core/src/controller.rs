@@ -34,6 +34,24 @@ pub enum AbstractChange {
     },
 }
 
+/// What [`BlackholingController::degrade_rule`] did with a rule that
+/// persistently failed TCAM admission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradeOutcome {
+    /// The rule was replaced by a coarser one carrying the same id;
+    /// install this instead.
+    Degraded(BlackholingRule),
+    /// The coarser signal already exists on the path under another rule
+    /// id: the failing rule was dropped from desired state — its traffic
+    /// is covered by the surviving rule.
+    Merged,
+    /// Already at the bottom of the ladder (drop-all would not fit);
+    /// the rule was dropped from desired state.
+    Exhausted,
+    /// The rule id is not in desired state (already withdrawn).
+    Unknown,
+}
+
 /// One announced path's blackholing state.
 #[derive(Debug, Default)]
 struct PathRules {
@@ -94,7 +112,11 @@ impl BlackholingController {
             let key = (w.prefix, w.path_id);
             if let Some(path) = self.paths.remove(&key) {
                 let owner = path.owner.unwrap_or(Asn(0));
-                for (_, rule_id) in path.rules {
+                // Sorted by rule id so emission order is deterministic
+                // (rule maps are hash maps with per-instance seeds).
+                let mut ids: Vec<u64> = path.rules.into_values().collect();
+                ids.sort_unstable();
+                for rule_id in ids {
                     changes.push(AbstractChange::RemoveRule { rule_id, owner });
                 }
             }
@@ -119,7 +141,9 @@ impl BlackholingController {
                 // route (and drop any stale rules for the path).
                 if let Some(path) = self.paths.remove(&key) {
                     let o = path.owner.unwrap_or(Asn(0));
-                    for (_, rule_id) in path.rules {
+                    let mut ids: Vec<u64> = path.rules.into_values().collect();
+                    ids.sort_unstable();
+                    for rule_id in ids {
                         changes.push(AbstractChange::RemoveRule { rule_id, owner: o });
                     }
                 }
@@ -128,15 +152,17 @@ impl BlackholingController {
             let desired = StellarSignal::extract(ecs, self.ixp_asn, &self.portal, owner);
             let path = self.paths.entry(key).or_default();
             path.owner = Some(owner);
-            // Removals: installed but no longer desired.
-            let stale: Vec<StellarSignal> = path
+            // Removals: installed but no longer desired, in rule-id
+            // order (deterministic across runs).
+            let mut stale: Vec<(u64, StellarSignal)> = path
                 .rules
-                .keys()
-                .filter(|s| !desired.contains(s))
-                .copied()
+                .iter()
+                .filter(|(s, _)| !desired.contains(s))
+                .map(|(s, id)| (*id, *s))
                 .collect();
-            for s in stale {
-                let rule_id = path.rules.remove(&s).expect("key present");
+            stale.sort_unstable_by_key(|(id, _)| *id);
+            for (rule_id, s) in stale {
+                path.rules.remove(&s).expect("key present");
                 changes.push(AbstractChange::RemoveRule { rule_id, owner });
             }
             // Additions: desired but not installed.
@@ -160,6 +186,83 @@ impl BlackholingController {
             }
         }
         changes
+    }
+
+    /// A snapshot of every rule the controller currently wants installed,
+    /// sorted by rule id. This is the desired-state side of the
+    /// reconciliation diff.
+    pub fn desired_rules(&self) -> Vec<BlackholingRule> {
+        let mut out = Vec::new();
+        for ((prefix, _), path) in &self.paths {
+            let owner = path.owner.unwrap_or(Asn(0));
+            for (signal, id) in &path.rules {
+                out.push(BlackholingRule {
+                    id: *id,
+                    owner,
+                    victim: *prefix,
+                    signal: *signal,
+                });
+            }
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Admission control permanently refused `rule_id`: drop it from
+    /// desired state so `rule_count()` and telemetry reflect what is
+    /// actually in hardware, and the reconciler does not keep trying to
+    /// repair an uninstallable rule. Returns whether the id was known.
+    pub fn rule_refused(&mut self, rule_id: u64) -> bool {
+        let mut found = false;
+        self.paths.retain(|_, path| {
+            path.rules.retain(|_, id| {
+                let hit = *id == rule_id;
+                found |= hit;
+                !hit
+            });
+            !path.rules.is_empty()
+        });
+        found
+    }
+
+    /// Steps `rule_id` one rung down the degradation ladder
+    /// ([`StellarSignal::degrade`]), keeping the same rule id so
+    /// telemetry references stay valid. Desired state is updated in
+    /// place; the caller installs the returned coarser rule.
+    pub fn degrade_rule(&mut self, rule_id: u64) -> DegradeOutcome {
+        let key = self
+            .paths
+            .iter()
+            .find_map(|(k, path)| path.rules.values().any(|id| *id == rule_id).then_some(*k));
+        let Some(key) = key else {
+            return DegradeOutcome::Unknown;
+        };
+        let path = self.paths.get_mut(&key).expect("key just found");
+        let signal = *path
+            .rules
+            .iter()
+            .find(|(_, id)| **id == rule_id)
+            .expect("id just found")
+            .0;
+        let owner = path.owner.unwrap_or(Asn(0));
+        path.rules.remove(&signal);
+        let outcome = match signal.degrade() {
+            None => DegradeOutcome::Exhausted,
+            Some(next) if path.rules.contains_key(&next) => DegradeOutcome::Merged,
+            Some(next) => {
+                path.rules.insert(next, rule_id);
+                DegradeOutcome::Degraded(BlackholingRule {
+                    id: rule_id,
+                    owner,
+                    victim: key.0,
+                    signal: next,
+                })
+            }
+        };
+        if self.paths.get(&key).is_some_and(|p| p.rules.is_empty()) {
+            self.paths.remove(&key);
+        }
+        outcome
     }
 
     /// The iBGP session to the route server died: fall back to plain
@@ -323,6 +426,75 @@ mod tests {
             }
             other => panic!("expected add, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn refused_rule_leaves_desired_state() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(
+            &[
+                StellarSignal::drop_udp_src(123),
+                StellarSignal::drop_udp_src(53),
+            ],
+            1,
+        ));
+        assert_eq!(c.rule_count(), 2);
+        let refused = c.desired_rules()[0].id;
+        assert!(c.rule_refused(refused));
+        assert_eq!(c.rule_count(), 1);
+        assert!(c.desired_rules().iter().all(|r| r.id != refused));
+        // Unknown ids are reported as such.
+        assert!(!c.rule_refused(refused));
+    }
+
+    #[test]
+    fn degrade_rule_walks_the_ladder_in_place() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(&[StellarSignal::drop_udp_src(123)], 1));
+        let id = c.desired_rules()[0].id;
+        // 3 criteria → 2: widen to all-UDP, same id.
+        match c.degrade_rule(id) {
+            DegradeOutcome::Degraded(r) => {
+                assert_eq!(r.id, id);
+                assert_eq!(r.signal.kind, crate::signal::MatchKind::AllUdp);
+                assert_eq!(r.victim, victim());
+                assert_eq!(r.owner, OWNER);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(c.rule_count(), 1);
+        // 2 → 1: RTBH-style drop-all.
+        match c.degrade_rule(id) {
+            DegradeOutcome::Degraded(r) => assert_eq!(r.signal, StellarSignal::drop_all()),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        // Bottom of the ladder: the rule leaves desired state.
+        assert_eq!(c.degrade_rule(id), DegradeOutcome::Exhausted);
+        assert_eq!(c.rule_count(), 0);
+        assert_eq!(c.degrade_rule(id), DegradeOutcome::Unknown);
+    }
+
+    #[test]
+    fn degrade_merges_into_existing_coarser_rule() {
+        let mut c = BlackholingController::new(IXP);
+        c.process_update(&update_with_signals(
+            &[
+                StellarSignal::drop_udp_src(123),
+                StellarSignal {
+                    kind: crate::signal::MatchKind::AllUdp,
+                    port: 0,
+                    action: RuleAction::Drop,
+                },
+            ],
+            1,
+        ));
+        let fine = c
+            .desired_rules()
+            .into_iter()
+            .find(|r| r.signal == StellarSignal::drop_udp_src(123))
+            .unwrap();
+        assert_eq!(c.degrade_rule(fine.id), DegradeOutcome::Merged);
+        assert_eq!(c.rule_count(), 1);
     }
 
     #[test]

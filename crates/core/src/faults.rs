@@ -1,0 +1,426 @@
+//! Deterministic fault injection and the recovery vocabulary of the
+//! self-healing control plane.
+//!
+//! The paper's availability claim (§4.1.2) is that Stellar keeps the
+//! fabric forwarding through controller crashes, iBGP session failures
+//! and hardware-resource exhaustion. This module supplies the failure
+//! side of that bargain as *data*: a [`FaultPlan`] is a seeded, sorted
+//! script of [`FaultEvent`]s that [`crate::system::StellarSystem`]
+//! consumes while pumping its configuration queue. Everything is
+//! deterministic — the same seed and the same signal sequence produce
+//! byte-identical [`RecoveryEvent`] logs, which is what the acceptance
+//! tests diff.
+
+use crate::controller::AbstractChange;
+use crate::manager::AdmissionError;
+use crate::signal::StellarSignal;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The switch's configuration interface goes dark for `duration_us`:
+    /// every change applied in the window fails with
+    /// [`AdmissionError::Transient`] without touching the fabric.
+    InstallBrownout {
+        /// How long the brownout lasts.
+        duration_us: u64,
+    },
+    /// The edge router power-cycles: TCAM and every port policy are
+    /// wiped while the ports keep forwarding (fallback to plain
+    /// forwarding — availability first).
+    RouterRestart,
+    /// The iBGP session between route server and blackholing controller
+    /// drops: the controller flushes desired state and queues removals.
+    SessionDown,
+    /// The session comes back: the controller resynchronizes from the
+    /// route server's live RIB. Flaps are scripted as a Down/Up pair so
+    /// recovery timing stays explicit and deterministic.
+    SessionUp,
+}
+
+/// A fault scheduled at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at_us: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Shape of a generated fault plan.
+#[derive(Debug, Clone)]
+pub struct FaultPlanConfig {
+    /// Faults are scheduled in `[0, horizon_us)`.
+    pub horizon_us: u64,
+    /// Number of edge-router restarts.
+    pub restarts: u32,
+    /// Number of iBGP session flaps (each a Down/Up pair).
+    pub flaps: u32,
+    /// Number of install brownouts.
+    pub brownouts: u32,
+    /// Brownout durations are drawn from `[1, max_brownout_us]`.
+    pub max_brownout_us: u64,
+    /// Session flap outages are drawn from `[1, max_flap_us]`.
+    pub max_flap_us: u64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            horizon_us: 10_000_000,
+            restarts: 1,
+            flaps: 1,
+            brownouts: 2,
+            max_brownout_us: 1_000_000,
+            max_flap_us: 2_000_000,
+        }
+    }
+}
+
+/// A sorted, deterministic script of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A hand-written plan; events are stably sorted by time (ties keep
+    /// the order given).
+    pub fn scripted(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_us);
+        FaultPlan { events }
+    }
+
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Generates a plan from a seed. Identical `(seed, cfg)` pairs yield
+    /// identical plans on every platform (the vendored `SmallRng` is
+    /// stable).
+    pub fn generate(seed: u64, cfg: &FaultPlanConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let horizon = cfg.horizon_us.max(1);
+        for _ in 0..cfg.restarts {
+            events.push(FaultEvent {
+                at_us: rng.random_range(0..horizon),
+                kind: FaultKind::RouterRestart,
+            });
+        }
+        for _ in 0..cfg.flaps {
+            let down = rng.random_range(0..horizon);
+            let outage = rng.random_range(1..=cfg.max_flap_us.max(1));
+            events.push(FaultEvent {
+                at_us: down,
+                kind: FaultKind::SessionDown,
+            });
+            events.push(FaultEvent {
+                at_us: down.saturating_add(outage),
+                kind: FaultKind::SessionUp,
+            });
+        }
+        for _ in 0..cfg.brownouts {
+            events.push(FaultEvent {
+                at_us: rng.random_range(0..horizon),
+                kind: FaultKind::InstallBrownout {
+                    duration_us: rng.random_range(1..=cfg.max_brownout_us.max(1)),
+                },
+            });
+        }
+        FaultPlan::scripted(events)
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The time after which no scripted fault is active any more: the
+    /// last event time plus any brownout tail. Reconciliation after this
+    /// point must converge.
+    pub fn quiescent_after_us(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::InstallBrownout { duration_us } => e.at_us.saturating_add(duration_us),
+                _ => e.at_us,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Walks a [`FaultPlan`] as simulation time advances and tracks which
+/// faults are currently active.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cursor: usize,
+    brownout_until_us: u64,
+}
+
+impl FaultInjector {
+    /// An injector over `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            cursor: 0,
+            brownout_until_us: 0,
+        }
+    }
+
+    /// An injector that never faults.
+    pub fn idle() -> Self {
+        FaultInjector::default()
+    }
+
+    /// Returns the events due at or before `now_us` (at most once each)
+    /// and arms any brownout windows they open.
+    pub fn poll(&mut self, now_us: u64) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while let Some(ev) = self.plan.events.get(self.cursor) {
+            if ev.at_us > now_us {
+                break;
+            }
+            if let FaultKind::InstallBrownout { duration_us } = ev.kind {
+                self.brownout_until_us = self
+                    .brownout_until_us
+                    .max(ev.at_us.saturating_add(duration_us));
+            }
+            fired.push(*ev);
+            self.cursor += 1;
+        }
+        fired
+    }
+
+    /// Whether a configuration change applied at `now_us` hits a
+    /// brownout window.
+    pub fn install_faulted(&self, now_us: u64) -> bool {
+        now_us < self.brownout_until_us
+    }
+
+    /// Whether every scripted event has fired.
+    pub fn drained(&self) -> bool {
+        self.cursor == self.plan.events.len()
+    }
+
+    /// See [`FaultPlan::quiescent_after_us`].
+    pub fn quiescent_after_us(&self) -> u64 {
+        self.plan.quiescent_after_us()
+    }
+}
+
+/// Retry policy for refused configuration changes: exponential backoff
+/// with bounded attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Backoff after the first failed attempt.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling.
+    pub max_backoff_us: u64,
+    /// Total apply attempts before a change is dead-lettered (or
+    /// degraded, for TCAM exhaustion).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// Defaults sized for the production queue (≈4.33 changes/s): first
+    /// retry after 250 ms (about one token), doubling to a 8 s ceiling,
+    /// five attempts total.
+    fn default() -> Self {
+        RetryPolicy {
+            base_backoff_us: 250_000,
+            max_backoff_us: 8_000_000,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff after `attempt` failures (1-based): `base × 2^(n-1)`,
+    /// capped.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        self.base_backoff_us
+            .saturating_mul(1u64 << shift)
+            .min(self.max_backoff_us)
+    }
+}
+
+/// A change that permanently failed: kept for operator review with the
+/// reason and the effort spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The refused change.
+    pub change: AbstractChange,
+    /// The final refusal.
+    pub error: AdmissionError,
+    /// Apply attempts made.
+    pub attempts: u32,
+    /// When it was given up on.
+    pub at_us: u64,
+}
+
+/// One entry in the system's recovery log. The log is plain data so two
+/// runs under the same seed can be compared for equality — the
+/// determinism acceptance criterion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// A scripted fault fired.
+    FaultInjected {
+        /// When it was scheduled.
+        at_us: u64,
+        /// What it was.
+        kind: FaultKind,
+    },
+    /// The edge router restarted, losing this many installed rules.
+    RouterRestarted {
+        /// When.
+        at_us: u64,
+        /// Hardware rules wiped.
+        rules_lost: usize,
+    },
+    /// A failed change was parked for retry.
+    Retried {
+        /// When the attempt failed.
+        at_us: u64,
+        /// Rule id the change concerns.
+        rule_id: u64,
+        /// Failed attempts so far.
+        attempt: u32,
+        /// Why it failed.
+        error: AdmissionError,
+    },
+    /// A rule was stepped down the degradation ladder.
+    Degraded {
+        /// When.
+        at_us: u64,
+        /// The rule (id preserved across the step).
+        rule_id: u64,
+        /// The coarser replacement signature.
+        to: StellarSignal,
+    },
+    /// A change was given up on.
+    DeadLettered {
+        /// When.
+        at_us: u64,
+        /// Rule id the change concerns.
+        rule_id: u64,
+        /// The final refusal.
+        error: AdmissionError,
+    },
+    /// The controller resynchronized from the route server after a
+    /// session came back.
+    Resynced {
+        /// When.
+        at_us: u64,
+        /// Configuration changes the resync produced.
+        changes: usize,
+    },
+    /// A reconciliation pass queued repairs.
+    RepairsQueued {
+        /// When.
+        at_us: u64,
+        /// Missing desired rules re-queued for install.
+        adds: usize,
+        /// Undesired installed rules queued for removal.
+        removes: usize,
+        /// Manager bookkeeping entries pruned (vanished from hardware).
+        pruned: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_plans_are_deterministic_and_sorted() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(42, &cfg);
+        let b = FaultPlan::generate(42, &cfg);
+        assert_eq!(a.events(), b.events());
+        assert!(a.events().windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        let c = FaultPlan::generate(43, &cfg);
+        assert_ne!(a.events(), c.events(), "different seeds differ");
+        // 1 restart + 1 flap (two events) + 2 brownouts.
+        assert_eq!(a.events().len(), 5);
+    }
+
+    #[test]
+    fn flaps_pair_down_before_up() {
+        let cfg = FaultPlanConfig {
+            restarts: 0,
+            brownouts: 0,
+            flaps: 3,
+            ..Default::default()
+        };
+        let plan = FaultPlan::generate(7, &cfg);
+        let downs = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::SessionDown)
+            .count();
+        let ups = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::SessionUp)
+            .count();
+        assert_eq!(downs, 3);
+        assert_eq!(ups, 3);
+        // At any prefix of the timeline, downs >= ups.
+        let mut balance = 0i32;
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::SessionDown => balance += 1,
+                FaultKind::SessionUp => balance -= 1,
+                _ => {}
+            }
+            assert!(balance >= 0, "an Up fired before its Down");
+        }
+    }
+
+    #[test]
+    fn injector_fires_each_event_once_and_tracks_brownouts() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                at_us: 100,
+                kind: FaultKind::InstallBrownout { duration_us: 50 },
+            },
+            FaultEvent {
+                at_us: 200,
+                kind: FaultKind::RouterRestart,
+            },
+        ]);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.install_faulted(100));
+        assert!(inj.poll(99).is_empty());
+        assert_eq!(inj.poll(100).len(), 1);
+        assert!(inj.install_faulted(100));
+        assert!(inj.install_faulted(149));
+        assert!(!inj.install_faulted(150));
+        assert!(!inj.drained());
+        assert_eq!(inj.poll(1000).len(), 1);
+        assert!(inj.poll(2000).is_empty());
+        assert!(inj.drained());
+        assert_eq!(inj.quiescent_after_us(), 200);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            base_backoff_us: 100,
+            max_backoff_us: 500,
+            max_attempts: 5,
+        };
+        assert_eq!(p.backoff_us(1), 100);
+        assert_eq!(p.backoff_us(2), 200);
+        assert_eq!(p.backoff_us(3), 400);
+        assert_eq!(p.backoff_us(4), 500);
+        assert_eq!(p.backoff_us(40), 500, "huge attempts do not overflow");
+    }
+}

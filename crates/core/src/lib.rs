@@ -22,10 +22,14 @@
 //! against, [`mitigation`] the qualitative comparison models behind
 //! Table 1, [`system`] the end-to-end facade, and [`scenario`] the
 //! reusable attack/mitigation experiments behind Figs. 2c, 3c and 10c.
+//! [`faults`] is the deterministic fault-injection harness behind the
+//! self-healing control plane (retry, reconciliation, graceful
+//! degradation — the §4.1.2 availability claim under test).
 
 pub mod config_queue;
 pub mod controller;
 pub mod detector;
+pub mod faults;
 pub mod manager;
 pub mod mitigation;
 pub mod portal;
@@ -39,12 +43,16 @@ pub mod system;
 pub mod telemetry;
 
 pub use config_queue::{ConfigChangeQueue, QueuedChange};
-pub use controller::{AbstractChange, BlackholingController};
+pub use controller::{AbstractChange, BlackholingController, DegradeOutcome};
 pub use detector::{Detection, DetectorConfig, SignatureDetector};
+pub use faults::{
+    DeadLetter, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, RecoveryEvent,
+    RetryPolicy,
+};
 pub use manager::{AdmissionError, NetworkManager};
 pub use portal::CustomerPortal;
 pub use qos_manager::QosNetworkManager;
 pub use rule::{BlackholingRule, RuleAction};
 pub use sdn_manager::SdnNetworkManager;
 pub use signal::{MatchKind, StellarSignal};
-pub use system::StellarSystem;
+pub use system::{ReconcileReport, StellarSystem};

@@ -21,6 +21,10 @@ pub enum AdmissionError {
     NoSuchRule,
     /// The SDN flow table is full.
     TableFull,
+    /// The switch's configuration interface was momentarily unavailable
+    /// (management-session brownout): the change failed without touching
+    /// the fabric and will succeed when retried.
+    Transient,
 }
 
 impl AdmissionError {
@@ -33,7 +37,31 @@ impl AdmissionError {
             AdmissionError::UnknownOwner => "rule owner has no port on this fabric",
             AdmissionError::NoSuchRule => "rule not installed",
             AdmissionError::TableFull => "SDN flow table full",
+            AdmissionError::Transient => "switch configuration interface unavailable",
         }
+    }
+
+    /// A fault that clears by itself — retry unconditionally.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AdmissionError::Transient)
+    }
+
+    /// A capacity refusal that concurrent removals may clear — worth a
+    /// bounded number of retries, then a dead letter.
+    pub fn is_capacity(&self) -> bool {
+        matches!(
+            self,
+            AdmissionError::PerPortLimit | AdmissionError::TableFull
+        )
+    }
+
+    /// A TCAM exhaustion verdict (Fig. 9's F1/F2) — the degradation
+    /// ladder can trade match precision for fewer criteria.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            AdmissionError::TcamL34Exhausted | AdmissionError::TcamMacExhausted
+        )
     }
 }
 
@@ -70,8 +98,23 @@ mod tests {
             AdmissionError::UnknownOwner,
             AdmissionError::NoSuchRule,
             AdmissionError::TableFull,
+            AdmissionError::Transient,
         ] {
             assert!(!e.describe().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_classes_partition_sensibly() {
+        assert!(AdmissionError::Transient.is_transient());
+        assert!(AdmissionError::PerPortLimit.is_capacity());
+        assert!(AdmissionError::TableFull.is_capacity());
+        assert!(AdmissionError::TcamL34Exhausted.is_degradable());
+        assert!(AdmissionError::TcamMacExhausted.is_degradable());
+        for permanent in [AdmissionError::UnknownOwner, AdmissionError::NoSuchRule] {
+            assert!(!permanent.is_transient());
+            assert!(!permanent.is_capacity());
+            assert!(!permanent.is_degradable());
         }
     }
 }

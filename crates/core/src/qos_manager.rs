@@ -36,6 +36,26 @@ impl QosNetworkManager {
     pub fn port_of_rule(&self, rule_id: u64) -> Option<PortId> {
         self.rule_ports.get(&rule_id).copied()
     }
+
+    /// Forgets rules whose hardware entries vanished out from under the
+    /// manager — an edge-router restart wipes every port policy while
+    /// this bookkeeping survives, and until the two are squared the
+    /// manager would refuse re-adds as duplicates and mis-route removals.
+    /// Returns the forgotten rule ids, sorted. The reconciler calls this
+    /// before diffing desired against installed state.
+    pub fn prune_vanished(&mut self, router: &EdgeRouter) -> Vec<u64> {
+        let mut gone: Vec<u64> = self
+            .rule_ports
+            .iter()
+            .filter(|(id, port)| router.port(**port).is_none_or(|p| !p.policy.contains(**id)))
+            .map(|(id, _)| *id)
+            .collect();
+        gone.sort_unstable();
+        for id in &gone {
+            self.rule_ports.remove(id);
+        }
+        gone
+    }
 }
 
 impl NetworkManager for QosNetworkManager {
@@ -163,6 +183,22 @@ mod tests {
             ),
             Err(AdmissionError::NoSuchRule)
         );
+    }
+
+    #[test]
+    fn prune_vanished_squares_bookkeeping_after_restart() {
+        let (mut router, mut mgr) = setup();
+        mgr.apply(&mut router, &rule(1, 64500), 0).unwrap();
+        mgr.apply(&mut router, &rule(2, 64500), 0).unwrap();
+        // Nothing vanished yet.
+        assert!(mgr.prune_vanished(&router).is_empty());
+        router.restart(1);
+        assert_eq!(mgr.installed_rules(), 2); // stale bookkeeping
+        assert_eq!(mgr.prune_vanished(&router), vec![1, 2]);
+        assert_eq!(mgr.installed_rules(), 0);
+        // Re-adding the same ids now succeeds.
+        mgr.apply(&mut router, &rule(1, 64500), 2).unwrap();
+        assert_eq!(router.total_rules(), 1);
     }
 
     #[test]

@@ -199,6 +199,34 @@ impl StellarSignal {
         out
     }
 
+    /// One step down the degradation ladder (availability first, §4.1.2):
+    /// when a signature persistently fails TCAM admission, trade match
+    /// precision for fewer L3–L4 criteria rather than leave the victim
+    /// unprotected. Port-scoped kinds widen to their protocol (3 → 2
+    /// criteria, keeping the action); protocol-wide kinds fall back to a
+    /// classic-RTBH-style drop of all traffic towards the victim (2 → 1,
+    /// a shape action hardens to drop — the coarse rule exists to keep
+    /// the port alive, not to preserve telemetry). A drop-all that still
+    /// does not fit has nowhere coarser to go.
+    pub fn degrade(&self) -> Option<StellarSignal> {
+        Some(match self.kind {
+            MatchKind::UdpDstPort | MatchKind::UdpSrcPort => StellarSignal {
+                kind: MatchKind::AllUdp,
+                port: 0,
+                action: self.action,
+            },
+            MatchKind::TcpDstPort | MatchKind::TcpSrcPort => StellarSignal {
+                kind: MatchKind::AllTcp,
+                port: 0,
+                action: self.action,
+            },
+            MatchKind::AllUdp | MatchKind::AllTcp | MatchKind::Predefined => {
+                StellarSignal::drop_all()
+            }
+            MatchKind::AllTraffic => return None,
+        })
+    }
+
     /// Compiles the signal to a dataplane match spec scoped to traffic
     /// towards `victim`.
     pub fn to_match_spec(&self, victim: Prefix) -> MatchSpec {
@@ -391,6 +419,57 @@ mod tests {
         assert_eq!(sigs.len(), 2);
         assert!(sigs.contains(&StellarSignal::drop_udp_src(53)));
         assert!(sigs.contains(&StellarSignal::drop_udp_src(123)));
+    }
+
+    #[test]
+    fn degradation_ladder_monotonically_sheds_criteria() {
+        let victim: Prefix = "100.10.10.10/32".parse().unwrap();
+        for kind in [
+            MatchKind::UdpDstPort,
+            MatchKind::UdpSrcPort,
+            MatchKind::TcpDstPort,
+            MatchKind::TcpSrcPort,
+            MatchKind::AllUdp,
+            MatchKind::AllTcp,
+        ] {
+            let mut sig = StellarSignal {
+                kind,
+                port: 123,
+                action: RuleAction::Drop,
+            };
+            let mut criteria = sig.to_match_spec(victim).l34_criteria();
+            let mut steps = 0;
+            while let Some(next) = sig.degrade() {
+                let next_criteria = next.to_match_spec(victim).l34_criteria();
+                assert!(
+                    next_criteria < criteria,
+                    "{kind:?}: {criteria} -> {next_criteria} did not shed criteria"
+                );
+                criteria = next_criteria;
+                sig = next;
+                steps += 1;
+                assert!(steps <= 3, "ladder must terminate");
+            }
+            // Every ladder bottoms out at the RTBH-style drop-all.
+            assert_eq!(sig, StellarSignal::drop_all());
+        }
+        // Port-scoped degradation keeps the action; the final step to
+        // drop-all hardens shaping to dropping.
+        let shaped = StellarSignal::shape_udp_src(123, 200);
+        let coarser = shaped.degrade().unwrap();
+        assert_eq!(coarser.kind, MatchKind::AllUdp);
+        assert_eq!(coarser.action, shaped.action);
+        assert_eq!(coarser.degrade().unwrap().action, RuleAction::Drop);
+        assert_eq!(StellarSignal::drop_all().degrade(), None);
+        // An unresolved Predefined reference (extract() normally resolves
+        // them before the manager ever sees one) falls straight back to
+        // the drop-all.
+        let pre = StellarSignal {
+            kind: MatchKind::Predefined,
+            port: 1,
+            action: RuleAction::Drop,
+        };
+        assert_eq!(pre.degrade(), Some(StellarSignal::drop_all()));
     }
 
     #[test]

@@ -6,14 +6,28 @@
 //! controller; the controller diffs its RIB into abstract changes; the
 //! token-bucket queue meters them; the QoS network manager compiles them
 //! onto the victim's egress port.
+//!
+//! The facade is also where the control plane self-heals (§4.1.2's
+//! availability-first posture made concrete):
+//!
+//! - a [`FaultInjector`] replays a scripted [`crate::faults::FaultPlan`]
+//!   (brownouts, edge-router restarts, iBGP session flaps) as the queue
+//!   is pumped;
+//! - refused changes retry with exponential backoff under a
+//!   [`RetryPolicy`]; TCAM-exhausted rules step down the degradation
+//!   ladder; permanent failures land in [`StellarSystem::dead_letters`];
+//! - [`StellarSystem::reconcile`] periodically diffs the controller's
+//!   desired rule set against the hardware and queues repairs, so a
+//!   restart converges back instead of diverging forever.
 
-use crate::config_queue::ConfigChangeQueue;
-use crate::controller::{AbstractChange, BlackholingController};
+use crate::config_queue::{ConfigChangeQueue, QueuedChange};
+use crate::controller::{AbstractChange, BlackholingController, DegradeOutcome};
+use crate::faults::{DeadLetter, FaultEvent, FaultInjector, FaultKind, RecoveryEvent, RetryPolicy};
 use crate::manager::{AdmissionError, NetworkManager};
 use crate::qos_manager::QosNetworkManager;
 use crate::signal::StellarSignal;
 use crate::telemetry::{rule_telemetry, RuleTelemetry};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use stellar_bgp::types::Asn;
 use stellar_dataplane::qos::TickResult;
 use stellar_dataplane::switch::{OfferedAggregate, PortId};
@@ -30,6 +44,24 @@ pub struct SignalOutcome {
     pub rejections: Vec<(Prefix, RejectReason)>,
 }
 
+/// What one reconciliation pass found and queued.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Desired rules missing from hardware, queued for install.
+    pub adds: usize,
+    /// Hardware rules absent from desired state, queued for removal.
+    pub removes: usize,
+    /// Manager bookkeeping entries pruned (hardware entry vanished).
+    pub pruned: usize,
+}
+
+impl ReconcileReport {
+    /// No repairs were needed.
+    pub fn is_clean(&self) -> bool {
+        self.adds == 0 && self.removes == 0 && self.pruned == 0
+    }
+}
+
 /// The assembled system.
 pub struct StellarSystem {
     /// The IXP (route server + switching fabric + members).
@@ -40,8 +72,16 @@ pub struct StellarSystem {
     pub queue: ConfigChangeQueue,
     /// The QoS network manager.
     pub manager: QosNetworkManager,
-    /// Changes refused by admission control (kept for operator review).
-    pub refused: Vec<(AbstractChange, AdmissionError)>,
+    /// Retry/backoff policy for refused changes.
+    pub retry: RetryPolicy,
+    /// The fault injector driving scripted failures (idle by default).
+    pub injector: FaultInjector,
+    /// Changes that permanently failed, with reason and effort spent
+    /// (kept for operator review).
+    pub dead_letters: Vec<DeadLetter>,
+    /// The recovery event log: plain data, identical across runs with
+    /// the same seed and workload.
+    pub log: Vec<RecoveryEvent>,
 }
 
 impl StellarSystem {
@@ -58,8 +98,16 @@ impl StellarSystem {
             controller: BlackholingController::new(ixp_asn),
             queue: ConfigChangeQueue::production(queue_rate_per_s),
             manager,
-            refused: Vec::new(),
+            retry: RetryPolicy::default(),
+            injector: FaultInjector::idle(),
+            dead_letters: Vec::new(),
+            log: Vec::new(),
         }
+    }
+
+    /// Arms a fault plan (replacing any previous injector state).
+    pub fn inject_faults(&mut self, plan: crate::faults::FaultPlan) {
+        self.injector = FaultInjector::new(plan);
     }
 
     /// A member signals Advanced Blackholing: announces `victim` tagged
@@ -82,10 +130,12 @@ impl StellarSystem {
             ..Default::default()
         };
         for cu in &rs_out.controller_updates {
-            for change in self.controller.process_update(cu) {
-                self.queue.enqueue(change, now_us);
-                outcome.queued_changes += 1;
-            }
+            let changes = self.controller.process_update(cu);
+            outcome.queued_changes += changes.len();
+            // One emission carrying several changes is a same-path swap
+            // (e.g. shape→drop escalation): dequeue it atomically so the
+            // victim is never unprotected between Remove and Add.
+            self.queue.enqueue_group(changes, now_us);
         }
         outcome
     }
@@ -108,27 +158,233 @@ impl StellarSystem {
         let rs_out = self.ixp.route_server.handle_update(member, &update, now_us);
         let mut outcome = SignalOutcome::default();
         for cu in &rs_out.controller_updates {
-            for change in self.controller.process_update(cu) {
-                self.queue.enqueue(change, now_us);
-                outcome.queued_changes += 1;
-            }
+            let changes = self.controller.process_update(cu);
+            outcome.queued_changes += changes.len();
+            self.queue.enqueue_group(changes, now_us);
         }
         outcome
     }
 
-    /// Pumps the configuration queue: dequeues what the token bucket
-    /// allows and applies it to the fabric. Returns how many changes were
-    /// applied.
+    /// Pumps the configuration queue: fires any scripted faults due by
+    /// `now_us`, dequeues what the token bucket allows and applies it to
+    /// the fabric. Refusals go through the failure-handling ladder
+    /// (retry → degrade → dead-letter) instead of being dropped. Returns
+    /// how many changes were applied.
     pub fn pump(&mut self, now_us: u64) -> usize {
-        let ready = self.queue.dequeue_ready(now_us);
+        self.poll_faults(now_us);
+        let ready = self.queue.dequeue_ready_queued(now_us);
         let mut applied = 0;
-        for (change, _waited) in ready {
-            match self.manager.apply(&mut self.ixp.router, &change, now_us) {
+        for qc in ready {
+            // A brownout makes the configuration interface unavailable:
+            // the change fails without touching the fabric.
+            let result = if self.injector.install_faulted(now_us) {
+                Err(AdmissionError::Transient)
+            } else {
+                self.manager.apply(&mut self.ixp.router, &qc.change, now_us)
+            };
+            match result {
                 Ok(()) => applied += 1,
-                Err(e) => self.refused.push((change, e)),
+                Err(e) => self.handle_failure(qc, e, now_us),
             }
         }
         applied
+    }
+
+    /// Fires scripted faults due by `now_us` and reacts to them.
+    fn poll_faults(&mut self, now_us: u64) {
+        for ev in self.injector.poll(now_us) {
+            self.log.push(RecoveryEvent::FaultInjected {
+                at_us: ev.at_us,
+                kind: ev.kind,
+            });
+            self.apply_fault(&ev, now_us);
+        }
+    }
+
+    fn apply_fault(&mut self, ev: &FaultEvent, now_us: u64) {
+        match ev.kind {
+            // Brownout windows are tracked by the injector itself and
+            // consulted on every apply.
+            FaultKind::InstallBrownout { .. } => {}
+            FaultKind::RouterRestart => {
+                let rules_lost = self.ixp.router.restart(now_us);
+                self.log.push(RecoveryEvent::RouterRestarted {
+                    at_us: now_us,
+                    rules_lost,
+                });
+            }
+            FaultKind::SessionDown => {
+                // The controller can no longer trust its feed: fall back
+                // to plain forwarding by removing every rule (§4.1.2).
+                let removals = self.controller.session_down();
+                self.queue.enqueue_group(removals, now_us);
+            }
+            FaultKind::SessionUp => {
+                // Resynchronize from the route server's live RIB: the
+                // routes (and their blackholing communities) survived the
+                // controller-side flap.
+                let updates = self.ixp.route_server.controller_resync();
+                let mut changes = 0;
+                for u in &updates {
+                    let emitted = self.controller.process_update(u);
+                    changes += emitted.len();
+                    self.queue.enqueue_group(emitted, now_us);
+                }
+                self.log.push(RecoveryEvent::Resynced {
+                    at_us: now_us,
+                    changes,
+                });
+            }
+        }
+    }
+
+    /// The failure-handling ladder for a refused change.
+    fn handle_failure(&mut self, qc: QueuedChange, error: AdmissionError, now_us: u64) {
+        // Removing a rule that is not installed: the desired state is
+        // already reality (e.g. a restart wiped it first) — idempotent
+        // success, not a failure.
+        if error == AdmissionError::NoSuchRule
+            && matches!(qc.change, AbstractChange::RemoveRule { .. })
+        {
+            return;
+        }
+        let rule_id = match &qc.change {
+            AbstractChange::AddRule(r) => r.id,
+            AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+        };
+        let attempts = qc.attempts + 1; // counting this one
+        let retryable = error.is_transient() || error.is_capacity() || error.is_degradable();
+        if retryable && attempts < self.retry.max_attempts {
+            let delay = self.retry.backoff_us(attempts);
+            self.log.push(RecoveryEvent::Retried {
+                at_us: now_us,
+                rule_id,
+                attempt: attempts,
+                error,
+            });
+            self.queue.requeue(qc, now_us + delay);
+            return;
+        }
+        // Retry budget exhausted (or the error was permanent). TCAM
+        // exhaustion gets one more option: trade precision for fit.
+        if error.is_degradable() {
+            if let AbstractChange::AddRule(rule) = &qc.change {
+                match self.controller.degrade_rule(rule.id) {
+                    DegradeOutcome::Degraded(coarser) => {
+                        self.log.push(RecoveryEvent::Degraded {
+                            at_us: now_us,
+                            rule_id: coarser.id,
+                            to: coarser.signal,
+                        });
+                        // Fresh change, fresh retry budget: the ladder
+                        // can descend again if the coarser rule still
+                        // does not fit.
+                        self.queue.enqueue(AbstractChange::AddRule(coarser), now_us);
+                        return;
+                    }
+                    // Covered by a surviving coarser rule, or already
+                    // withdrawn: nothing left to install.
+                    DegradeOutcome::Merged | DegradeOutcome::Unknown => return,
+                    // Bottom of the ladder: fall through to dead-letter.
+                    DegradeOutcome::Exhausted => {}
+                }
+            }
+        } else if let AbstractChange::AddRule(rule) = &qc.change {
+            // Permanent refusal: drop the rule from desired state so
+            // rule_count()/telemetry reflect hardware reality and the
+            // reconciler stops trying to repair it.
+            self.controller.rule_refused(rule.id);
+        }
+        self.log.push(RecoveryEvent::DeadLettered {
+            at_us: now_us,
+            rule_id,
+            error,
+        });
+        self.dead_letters.push(DeadLetter {
+            change: qc.change,
+            error,
+            attempts,
+            at_us: now_us,
+        });
+    }
+
+    /// Reconciliation: diffs the controller's desired rule set against
+    /// what is actually installed in hardware and queues repairs —
+    /// re-adds for desired rules that vanished (edge-router restart),
+    /// removals for hardware rules no longer desired. Changes already in
+    /// flight in the queue are not repaired twice. Run this periodically;
+    /// it is idempotent once the system has converged.
+    pub fn reconcile(&mut self, now_us: u64) -> ReconcileReport {
+        self.poll_faults(now_us);
+        let mut report = ReconcileReport {
+            pruned: self.manager.prune_vanished(&self.ixp.router).len(),
+            ..Default::default()
+        };
+        // Ground truth: what the hardware holds, per rule id.
+        let mut installed: BTreeMap<u64, PortId> = BTreeMap::new();
+        for (port_id, port) in self.ixp.router.ports() {
+            for rule in port.policy.rules() {
+                installed.insert(rule.id, *port_id);
+            }
+        }
+        // Work already on its way.
+        let mut in_flight: HashSet<u64> = HashSet::new();
+        for change in self.queue.pending() {
+            in_flight.insert(match change {
+                AbstractChange::AddRule(r) => r.id,
+                AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+            });
+        }
+        let desired = self.controller.desired_rules();
+        let desired_ids: HashSet<u64> = desired.iter().map(|r| r.id).collect();
+        // Desired but missing from hardware: re-queue the install.
+        for rule in desired {
+            if !installed.contains_key(&rule.id) && !in_flight.contains(&rule.id) {
+                self.queue.enqueue(AbstractChange::AddRule(rule), now_us);
+                report.adds += 1;
+            }
+        }
+        // Installed but not desired: queue the removal (owner looked up
+        // from the port the rule sits on).
+        for (rule_id, port_id) in installed {
+            if desired_ids.contains(&rule_id) || in_flight.contains(&rule_id) {
+                continue;
+            }
+            let owner = self
+                .ixp
+                .router
+                .port(port_id)
+                .map(|p| Asn(p.member_asn))
+                .unwrap_or(Asn(0));
+            self.queue
+                .enqueue(AbstractChange::RemoveRule { rule_id, owner }, now_us);
+            report.removes += 1;
+        }
+        if !report.is_clean() {
+            self.log.push(RecoveryEvent::RepairsQueued {
+                at_us: now_us,
+                adds: report.adds,
+                removes: report.removes,
+                pruned: report.pruned,
+            });
+        }
+        report
+    }
+
+    /// Whether desired state and hardware state agree and nothing is in
+    /// flight — the convergence predicate of the fault-soak tests.
+    pub fn is_converged(&self) -> bool {
+        if self.queue.backlog() != 0 {
+            return false;
+        }
+        let mut installed: HashSet<u64> = HashSet::new();
+        for (_, port) in self.ixp.router.ports() {
+            for rule in port.policy.rules() {
+                installed.insert(rule.id);
+            }
+        }
+        let desired = self.controller.desired_rules();
+        desired.len() == installed.len() && desired.iter().all(|r| installed.contains(&r.id))
     }
 
     /// Pushes one tick of traffic through the fabric.

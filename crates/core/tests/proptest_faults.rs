@@ -1,0 +1,137 @@
+//! Property test for the self-healing control plane: for an arbitrary
+//! seeded [`FaultPlan`] interleaved with an arbitrary signal/withdraw
+//! workload, the system converges — once the faults stop and
+//! reconciliation has run, the hardware holds exactly the controller's
+//! desired rule set, with no panics along the way.
+
+use proptest::prelude::*;
+use stellar_bgp::types::Asn;
+use stellar_core::faults::{FaultPlan, FaultPlanConfig, RetryPolicy};
+use stellar_core::signal::StellarSignal;
+use stellar_core::system::StellarSystem;
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_net::prefix::{Ipv4Prefix, Prefix};
+use stellar_sim::topology::{generic_members, IxpTopology};
+
+const BASE_ASN: u32 = 64500;
+const MEMBERS: usize = 4;
+const HORIZON_US: u64 = 6_000_000;
+
+/// One scripted member action in the workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Announce the member's victim /32 with drop rules on these ports.
+    Signal(Vec<u16>),
+    /// Withdraw the member's victim /32.
+    Withdraw,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::btree_set(1u16..500, 1..4)
+            .prop_map(|ports| Op::Signal(ports.into_iter().collect())),
+        proptest::collection::btree_set(1u16..500, 1..4)
+            .prop_map(|ports| Op::Signal(ports.into_iter().collect())),
+        proptest::collection::btree_set(1u16..500, 1..4)
+            .prop_map(|ports| Op::Signal(ports.into_iter().collect())),
+        Just(Op::Withdraw),
+    ]
+}
+
+fn arb_workload() -> impl Strategy<Value = Vec<(u64, usize, Op)>> {
+    proptest::collection::vec((0..HORIZON_US, 0..MEMBERS, arb_op()), 0..8).prop_map(|mut w| {
+        w.sort_by_key(|(t, _, _)| *t);
+        w
+    })
+}
+
+fn arb_fault_cfg() -> impl Strategy<Value = FaultPlanConfig> {
+    (0u32..=2, 0u32..=2, 0u32..=2).prop_map(|(restarts, flaps, brownouts)| FaultPlanConfig {
+        horizon_us: HORIZON_US,
+        restarts,
+        flaps,
+        brownouts,
+        max_brownout_us: 800_000,
+        max_flap_us: 1_500_000,
+    })
+}
+
+fn system() -> StellarSystem {
+    let specs = generic_members(BASE_ASN, MEMBERS);
+    let mut sys = StellarSystem::new(
+        IxpTopology::build(&specs, HardwareInfoBase::lab_switch()),
+        1000.0,
+    );
+    // A tight budget so retry tails finish well inside the drive window.
+    sys.retry = RetryPolicy {
+        base_backoff_us: 100_000,
+        max_backoff_us: 800_000,
+        max_attempts: 4,
+    };
+    sys
+}
+
+fn own_host(sys: &StellarSystem, asn: Asn) -> Prefix {
+    match sys.ixp.member(asn).unwrap().prefixes[0] {
+        Prefix::V4(p4) => Prefix::V4(Ipv4Prefix::host(p4.nth_host(10))),
+        _ => unreachable!("generic members are v4"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_faults_and_workload_always_converge(
+        seed in any::<u64>(),
+        cfg in arb_fault_cfg(),
+        workload in arb_workload(),
+    ) {
+        let mut sys = system();
+        let plan = FaultPlan::generate(seed, &cfg);
+        let quiescent = plan.quiescent_after_us();
+        sys.inject_faults(plan);
+
+        // Drive past the last fault plus the worst-case retry tail, with
+        // a reconciliation sweep every second.
+        let end = quiescent.max(HORIZON_US) + 6_000_000;
+        let mut next_op = 0usize;
+        let mut t = 0u64;
+        while t <= end {
+            while next_op < workload.len() && workload[next_op].0 <= t {
+                let (at, member, ref op) = workload[next_op];
+                let asn = Asn(BASE_ASN + member as u32);
+                let victim = own_host(&sys, asn);
+                match op {
+                    Op::Signal(ports) => {
+                        let signals: Vec<StellarSignal> =
+                            ports.iter().map(|p| StellarSignal::drop_udp_src(*p)).collect();
+                        let out = sys.member_signal(asn, victim, &signals, at.max(t));
+                        prop_assert!(out.rejections.is_empty(), "{:?}", out.rejections);
+                    }
+                    Op::Withdraw => {
+                        sys.member_withdraw(asn, victim, at.max(t));
+                    }
+                }
+                next_op += 1;
+            }
+            sys.pump(t);
+            if t.is_multiple_of(1_000_000) {
+                sys.reconcile(t);
+            }
+            t += 250_000;
+        }
+
+        prop_assert!(
+            sys.is_converged(),
+            "seed {seed} not converged: backlog={} active={} desired={} log tail={:?}",
+            sys.queue.backlog(),
+            sys.active_rules(),
+            sys.controller.rule_count(),
+            sys.log.iter().rev().take(6).collect::<Vec<_>>()
+        );
+        // Once converged, reconciliation is a no-op forever.
+        let report = sys.reconcile(end + 1_000_000);
+        prop_assert!(report.is_clean(), "reconcile not idempotent: {report:?}");
+    }
+}

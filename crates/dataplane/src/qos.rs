@@ -99,6 +99,15 @@ impl QosPolicy {
         ids
     }
 
+    /// Cold-restart reset: like [`clear`](Self::clear), but the
+    /// per-rule telemetry counters are lost too — everything a power
+    /// cycle wipes. Returns how many rules were installed.
+    pub fn reset(&mut self) -> usize {
+        let n = self.clear().len();
+        self.rule_counters.clear();
+        n
+    }
+
     fn reindex(&mut self) {
         self.by_id.clear();
         for (i, r) in self.rules.iter().enumerate() {
@@ -113,6 +122,17 @@ impl QosPolicy {
     /// Number of installed rules.
     pub fn rule_count(&self) -> usize {
         self.rules.len()
+    }
+
+    /// Whether a rule with this id is installed.
+    pub fn contains(&self, rule_id: u64) -> bool {
+        self.by_id.contains_key(&rule_id)
+    }
+
+    /// The installed rule with this id, if any (reconciliation reads
+    /// this to compare actual hardware state against desired state).
+    pub fn rule(&self, rule_id: u64) -> Option<&FilterRule> {
+        self.rule_by_id(rule_id)
     }
 
     /// The installed rules in evaluation order.

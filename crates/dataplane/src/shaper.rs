@@ -97,14 +97,22 @@ impl WorkBucket {
     /// queue every second at rate 4/s drains 4 per poll, not MBS per
     /// poll. Instantaneous bursts are bounded by `MBS + rate × gap`.
     pub fn try_take(&mut self, now_us: u64) -> bool {
+        self.try_take_n(1, now_us)
+    }
+
+    /// Tries to take `n` units atomically: either all `n` tokens are
+    /// consumed or none are. The configuration queue uses this to dequeue
+    /// a Remove/Add swap pair in one tick, so an escalation never leaves
+    /// the victim unprotected between the removal and the re-add.
+    pub fn try_take_n(&mut self, n: u32, now_us: u64) -> bool {
         debug_assert!(now_us >= self.last_us);
         if now_us > self.last_us {
             let dt_s = (now_us - self.last_us) as f64 / 1e6;
             self.tokens = self.tokens.min(self.max_burst as f64) + dt_s * self.rate_per_s;
             self.last_us = now_us;
         }
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
+        if self.tokens >= f64::from(n) {
+            self.tokens -= f64::from(n);
             true
         } else {
             false
@@ -171,6 +179,19 @@ mod tests {
         tb.set_rate(80_000); // 10 KB/s
         let got = tb.admit(10_000, 1 + 100_000); // 100 ms later
         assert!((900..=1000).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn work_bucket_take_n_is_all_or_nothing() {
+        let mut wb = WorkBucket::new(4.0, 2);
+        // 2 tokens available: a pair fits, a triple does not.
+        assert!(!wb.try_take_n(3, 0));
+        assert!(wb.try_take_n(2, 0));
+        assert!(!wb.try_take(0));
+        // The failed triple consumed nothing: after 500 ms exactly the
+        // 2 refilled tokens are there.
+        assert!(wb.try_take_n(2, 500_000));
+        assert!(!wb.try_take(500_000));
     }
 
     #[test]

@@ -191,6 +191,26 @@ impl EdgeRouter {
         ids.len()
     }
 
+    /// Cold-restarts the edge router: every volatile piece of filter
+    /// state — per-port QoS policies, rule telemetry counters, TCAM
+    /// allocations — is wiped, while the persistent configuration (ports,
+    /// MAC table, hardware description) survives, exactly as a power
+    /// cycle behaves. Traffic keeps forwarding unfiltered afterwards
+    /// (availability first, §4.1.2); the control plane must reconcile
+    /// the rules back in. Returns how many installed rules were lost.
+    pub fn restart(&mut self, now_us: u64) -> usize {
+        let mut wiped = 0;
+        for port in self.ports.values_mut() {
+            wiped += port.policy.reset();
+        }
+        self.handles.clear();
+        self.tcam.reset();
+        if wiped > 0 {
+            self.cpu.record_update(now_us);
+        }
+        wiped
+    }
+
     /// Pushes one tick of traffic through the fabric. Aggregates are
     /// routed to their destination-MAC port and pushed through that port's
     /// egress policy. Returns per-port results.
@@ -425,6 +445,44 @@ mod tests {
         assert_eq!(er.total_rules(), 0);
         assert_eq!(er.tcam().l34_used(), 0);
         assert_eq!(er.flush_port(PortId(1), 2), 0);
+    }
+
+    #[test]
+    fn restart_wipes_filters_but_keeps_forwarding() {
+        let mut er = router_with_two_ports();
+        for i in 0..3u64 {
+            let rule = FilterRule::new(
+                i,
+                MatchSpec::proto_src_port_to(
+                    "100.10.10.10/32".parse().unwrap(),
+                    IpProtocol::UDP,
+                    i as u16,
+                ),
+                Action::Drop,
+                10,
+            );
+            er.install_rule(PortId(1), rule, 0).unwrap();
+        }
+        assert_eq!(er.restart(1), 3);
+        assert_eq!(er.total_rules(), 0);
+        assert_eq!(er.tcam().l34_used(), 0);
+        assert_eq!(er.tcam().allocation_count(), 0);
+        // Ports and MAC table survive: traffic still forwards (now
+        // unfiltered — the fallback-to-forwarding posture).
+        let res = er.process_tick(&[ntp_flow(64500, 1000)], 1_000_000, 1_000_000);
+        assert_eq!(res[&PortId(1)].counters.forwarded_bytes, 1000);
+        // Rules can be reinstalled against the fresh TCAM.
+        let rule = FilterRule::new(
+            7,
+            MatchSpec::proto_src_port_to("100.10.10.10/32".parse().unwrap(), IpProtocol::UDP, 123),
+            Action::Drop,
+            10,
+        );
+        er.install_rule(PortId(1), rule, 2).unwrap();
+        assert_eq!(er.total_rules(), 1);
+        // An idle restart wipes nothing.
+        let mut fresh = router_with_two_ports();
+        assert_eq!(fresh.restart(0), 0);
     }
 
     #[test]

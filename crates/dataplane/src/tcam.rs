@@ -131,6 +131,16 @@ impl Tcam {
     pub fn allocation_count(&self) -> usize {
         self.allocations.len()
     }
+
+    /// Power-cycle reset: every allocation is lost and both pools return
+    /// to empty, as on a real ASIC after an edge-router restart. Handle
+    /// numbering keeps advancing so stale handles from before the reset
+    /// can never alias a post-reset allocation.
+    pub fn reset(&mut self) {
+        self.allocations.clear();
+        self.l34_used = 0;
+        self.mac_used = 0;
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +225,22 @@ mod tests {
         assert_eq!(t.check(0, 0), TcamVerdict::Ok);
         assert_eq!(t.check(0, 1), TcamVerdict::F1);
         assert_eq!(t.check(1, 0), TcamVerdict::F2);
+    }
+
+    #[test]
+    fn reset_returns_pools_to_empty() {
+        let mut t = Tcam::new(10, 10);
+        let h = t.alloc(&spec(2, 3)).unwrap();
+        t.alloc(&spec(1, 1)).unwrap();
+        t.reset();
+        assert_eq!(t.l34_used(), 0);
+        assert_eq!(t.mac_used(), 0);
+        assert_eq!(t.allocation_count(), 0);
+        // A stale pre-reset handle is inert after the reset.
+        t.free(h);
+        assert_eq!(t.l34_used(), 0);
+        // And the pools are usable again.
+        assert!(t.alloc(&spec(2, 3)).is_ok());
     }
 
     #[test]

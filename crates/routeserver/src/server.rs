@@ -336,6 +336,35 @@ impl RouteServer {
         out
     }
 
+    /// Rebuilds the blackholing controller's southbound view after the
+    /// controller's iBGP session comes back from a flap: replays every
+    /// route currently held in the Adj-RIBs-In as an ADD-PATH-tagged
+    /// controller-feed message, each with its stable path id. The routes
+    /// (and their blackholing communities) live in the route server, so
+    /// a controller that flushed its state on session loss re-derives
+    /// its full desired rule set from this replay.
+    pub fn controller_resync(&self) -> Vec<UpdateMessage> {
+        let mut out = Vec::new();
+        for (peer_asn, state) in &self.peers {
+            for route in state.rib.routes() {
+                let Some(pid) = self.path_ids.get(&(*peer_asn, route.nlri.prefix)) else {
+                    continue;
+                };
+                let original = UpdateMessage {
+                    withdrawn: vec![],
+                    attrs: route.attrs.clone(),
+                    nlri: vec![],
+                };
+                let mp_next_hop = route.attrs.iter().find_map(|a| match a {
+                    PathAttribute::MpReach { next_hop, .. } => Some(*next_hop),
+                    _ => None,
+                });
+                out.push(controller_feed(&original, route.nlri, mp_next_hop, *pid));
+            }
+        }
+        out
+    }
+
     /// Handles a member session going down: flushes its routes and emits
     /// the implicit withdrawals (to members and to the controller).
     pub fn peer_down(&mut self, peer: Asn) -> RouteServerOutput {
@@ -660,6 +689,31 @@ mod tests {
         let p1 = o1.controller_updates[0].nlri[0].path_id.unwrap();
         let p2 = o2.controller_updates[0].nlri[0].path_id.unwrap();
         assert_ne!(p1, p2, "ADD-PATH must distinguish the two members' paths");
+    }
+
+    #[test]
+    fn controller_resync_replays_rib_with_stable_path_ids() {
+        let mut rs = server_with_peers(&[64500, 64501]);
+        rs.handle_update(Asn(64500), &announce("100.10.10.0/24", 64500, &[]), 0);
+        let out = rs.handle_update(
+            Asn(64500),
+            &announce("100.10.10.10/32", 64500, &[Community::new(6695, 666)]),
+            1,
+        );
+        let pid = out.controller_updates[0].nlri[0].path_id.unwrap();
+        let replay = rs.controller_resync();
+        assert_eq!(replay.len(), 2);
+        // The blackhole-tagged path reappears with the same path id and
+        // its original attributes (communities intact).
+        let host = replay
+            .iter()
+            .find(|u| u.nlri[0].prefix == "100.10.10.10/32".parse().unwrap())
+            .unwrap();
+        assert_eq!(host.nlri[0].path_id, Some(pid));
+        assert!(!host.communities().is_empty());
+        // An empty server replays nothing.
+        let empty = server_with_peers(&[64500]);
+        assert!(empty.controller_resync().is_empty());
     }
 
     #[test]

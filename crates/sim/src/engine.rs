@@ -142,6 +142,31 @@ impl<S> Engine<S> {
     }
 }
 
+/// Schedules `f` to run at `at` and then every `every` units until it
+/// returns `false`. The recurrence is expressed through boxed `FnOnce`
+/// re-scheduling, so it composes with the engine's deterministic
+/// tie-breaking like any other event. This is the idiom for periodic
+/// control-plane work — queue pumping, reconciliation sweeps — in
+/// fault-scenario experiments.
+pub fn schedule_repeating<S: 'static>(
+    engine: &mut Engine<S>,
+    at: SimTime,
+    every: SimTime,
+    f: impl FnMut(&mut S, SimTime) -> bool + 'static,
+) {
+    assert!(every > 0, "period must be positive");
+    type RepeatFn<S> = Box<dyn FnMut(&mut S, SimTime) -> bool>;
+    fn tick<S: 'static>(mut f: RepeatFn<S>, every: SimTime) -> Handler<S> {
+        Box::new(move |state, sched| {
+            if f(state, sched.now()) {
+                sched.after(every, tick(f, every));
+            }
+        })
+    }
+    let handler = tick(Box::new(f), every);
+    engine.schedule(at, handler);
+}
+
 /// Drives a fixed-tick loop from `start` to `end` (exclusive of the final
 /// partial tick): calls `f(tick_start, tick_end, state)` for every tick.
 /// This is the pattern the traffic experiments use.
@@ -218,6 +243,46 @@ mod tests {
         });
         eng.run(&mut log, 100);
         assert_eq!(log, vec![50, 50]);
+    }
+
+    #[test]
+    fn repeating_events_run_until_cancelled() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        schedule_repeating(&mut eng, 10, 20, |s, now| {
+            s.push(now);
+            now < 70
+        });
+        eng.run(&mut log, 1_000);
+        assert_eq!(log, vec![10, 30, 50, 70]);
+        assert_eq!(eng.pending(), 0);
+    }
+
+    #[test]
+    fn repeating_events_interleave_deterministically() {
+        let mut eng: Engine<Vec<(u64, &'static str)>> = Engine::new();
+        let mut log = Vec::new();
+        schedule_repeating(&mut eng, 0, 10, |s, now| {
+            s.push((now, "a"));
+            now < 20
+        });
+        schedule_repeating(&mut eng, 0, 10, |s, now| {
+            s.push((now, "b"));
+            now < 20
+        });
+        eng.run(&mut log, 100);
+        // Ties break in scheduling order on every recurrence.
+        assert_eq!(
+            log,
+            vec![
+                (0, "a"),
+                (0, "b"),
+                (10, "a"),
+                (10, "b"),
+                (20, "a"),
+                (20, "b")
+            ]
+        );
     }
 
     #[test]

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --release -q --test fault_recovery -- --include-ignored (fault soak)"
+cargo test --release -q --test fault_recovery -- --include-ignored
+
 echo "All checks passed."

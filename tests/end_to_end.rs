@@ -4,6 +4,8 @@
 
 use stellar::bgp::types::Asn;
 use stellar::core::config_queue::ConfigChangeQueue;
+use stellar::core::faults::RetryPolicy;
+use stellar::core::manager::AdmissionError;
 use stellar::core::rule::RuleAction;
 use stellar::core::signal::{MatchKind, StellarSignal};
 use stellar::core::system::StellarSystem;
@@ -112,13 +114,33 @@ fn only_the_prefix_owner_can_signal() {
 #[test]
 fn admission_control_refuses_over_limit_without_breaking_forwarding() {
     let mut sys = system(4); // lab switch: 8 rules per port
-                             // Ask for 10 distinct port rules: 8 installed, 2 refused.
+    sys.retry = RetryPolicy {
+        base_backoff_us: 100_000,
+        max_backoff_us: 400_000,
+        max_attempts: 2,
+    };
+    // Ask for 10 distinct port rules: 8 install, 2 hit the per-port
+    // limit.
     let signals: Vec<StellarSignal> = (1..=10u16).map(StellarSignal::drop_udp_src).collect();
     let out = sys.member_signal(VICTIM, victim_prefix(), &signals, 0);
     assert_eq!(out.queued_changes, 10);
     sys.pump(100_000);
     assert_eq!(sys.active_rules(), 8);
-    assert_eq!(sys.refused.len(), 2);
+    // The two over-limit adds are parked for a capacity retry, not lost.
+    assert_eq!(sys.queue.backlog(), 2);
+    assert!(sys.dead_letters.is_empty());
+    // The retry also fails (nothing was removed), exhausting the budget:
+    // both land in the dead-letter log with the refusal reason...
+    sys.pump(600_000);
+    assert_eq!(sys.dead_letters.len(), 2);
+    assert!(sys
+        .dead_letters
+        .iter()
+        .all(|d| d.error == AdmissionError::PerPortLimit && d.attempts == 2));
+    // ...and the controller's desired state reflects hardware reality
+    // (no phantom rules inflating rule_count).
+    assert_eq!(sys.controller.rule_count(), 8);
+    assert!(sys.is_converged());
     // Forwarding still works for unmatched traffic (fallback-to-forward).
     let port = sys.ixp.member(VICTIM).unwrap().port;
     let r = sys.traffic_tick(&[flow(51000, IpProtocol::TCP, 1000)], 1_000_000, 1_000_000);

@@ -59,7 +59,7 @@ fn full_platform_brings_up_and_mitigates_many_members() {
     }
     assert_eq!(sys.active_rules(), 40);
     assert!(t >= 8_000_000, "rate limit not enforced (drained at t={t})");
-    assert!(sys.refused.is_empty());
+    assert!(sys.dead_letters.is_empty());
 
     // TCAM accounting: 40 rules x 3 L3-L4 criteria.
     assert_eq!(sys.ixp.router.tcam().l34_used(), 120);
