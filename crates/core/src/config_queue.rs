@@ -243,6 +243,11 @@ impl ConfigChangeQueue {
         self.queue.len() + self.deferred.len()
     }
 
+    /// Changes parked in the backoff lot only.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
     /// Every change still in flight — the reconciler consults this so it
     /// does not queue a repair for work that is already on its way.
     pub fn pending(&self) -> impl Iterator<Item = &AbstractChange> {

@@ -40,6 +40,18 @@ pub enum FaultKind {
     SessionUp,
 }
 
+impl FaultKind {
+    /// A stable metric/event label for this fault kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::InstallBrownout { .. } => "install_brownout",
+            FaultKind::RouterRestart => "router_restart",
+            FaultKind::SessionDown => "session_down",
+            FaultKind::SessionUp => "session_up",
+        }
+    }
+}
+
 /// A fault scheduled at an absolute simulation time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultEvent {

@@ -32,6 +32,7 @@ use stellar_bgp::types::Asn;
 use stellar_dataplane::qos::TickResult;
 use stellar_dataplane::switch::{OfferedAggregate, PortId};
 use stellar_net::prefix::Prefix;
+use stellar_obs::Obs;
 use stellar_routeserver::policy::RejectReason;
 use stellar_sim::topology::IxpTopology;
 
@@ -82,6 +83,11 @@ pub struct StellarSystem {
     /// The recovery event log: plain data, identical across runs with
     /// the same seed and workload.
     pub log: Vec<RecoveryEvent>,
+    /// Observability: metrics, spans and the flight recorder, all clocked
+    /// off simulation time. [`StellarSystem::observe`] scrapes the
+    /// subsystem gauges; the control-plane paths push counters, spans and
+    /// flight events inline.
+    pub obs: Obs,
 }
 
 impl StellarSystem {
@@ -102,6 +108,7 @@ impl StellarSystem {
             injector: FaultInjector::idle(),
             dead_letters: Vec::new(),
             log: Vec::new(),
+            obs: Obs::new(),
         }
     }
 
@@ -183,7 +190,29 @@ impl StellarSystem {
                 self.manager.apply(&mut self.ixp.router, &qc.change, now_us)
             };
             match result {
-                Ok(()) => applied += 1,
+                Ok(()) => {
+                    applied += 1;
+                    // End-to-end signal→installed latency: `enqueued_us`
+                    // survives retries, so this is the member-visible
+                    // reaction time, backoff included.
+                    self.obs
+                        .registry
+                        .observe("core.signal_to_install_us", now_us - qc.enqueued_us);
+                    let rule_id = match &qc.change {
+                        AbstractChange::AddRule(r) => {
+                            self.obs.registry.counter_inc("core.installs");
+                            r.id
+                        }
+                        AbstractChange::RemoveRule { rule_id, .. } => {
+                            self.obs.registry.counter_inc("core.removals");
+                            *rule_id
+                        }
+                    };
+                    if qc.attempts > 0 {
+                        // Closes the retry episode opened at first failure.
+                        self.obs.span_end("retry", rule_id, now_us);
+                    }
+                }
                 Err(e) => self.handle_failure(qc, e, now_us),
             }
         }
@@ -197,6 +226,15 @@ impl StellarSystem {
                 at_us: ev.at_us,
                 kind: ev.kind,
             });
+            self.obs
+                .registry
+                .counter_inc(&format!("core.faults.{}", ev.kind.label()));
+            let mut fields = Vec::new();
+            if let FaultKind::InstallBrownout { duration_us } = ev.kind {
+                fields.push(("duration_us".to_string(), duration_us.to_string()));
+            }
+            self.obs
+                .event(ev.at_us, &format!("fault.{}", ev.kind.label()), fields);
             self.apply_fault(&ev, now_us);
         }
     }
@@ -212,6 +250,11 @@ impl StellarSystem {
                     at_us: now_us,
                     rules_lost,
                 });
+                self.obs.event(
+                    now_us,
+                    "router_restarted",
+                    vec![("rules_lost".to_string(), rules_lost.to_string())],
+                );
             }
             FaultKind::SessionDown => {
                 // The controller can no longer trust its feed: fall back
@@ -234,6 +277,11 @@ impl StellarSystem {
                     at_us: now_us,
                     changes,
                 });
+                self.obs.event(
+                    now_us,
+                    "resynced",
+                    vec![("changes".to_string(), changes.to_string())],
+                );
             }
         }
     }
@@ -252,6 +300,11 @@ impl StellarSystem {
             AbstractChange::AddRule(r) => r.id,
             AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
         };
+        if qc.attempts == 0 {
+            // First refusal opens the retry episode; it closes on the
+            // eventual successful apply or is abandoned at dead-letter.
+            self.obs.span_start("retry", rule_id, now_us);
+        }
         let attempts = qc.attempts + 1; // counting this one
         let retryable = error.is_transient() || error.is_capacity() || error.is_degradable();
         if retryable && attempts < self.retry.max_attempts {
@@ -262,6 +315,7 @@ impl StellarSystem {
                 attempt: attempts,
                 error,
             });
+            self.obs.registry.counter_inc("core.retries");
             self.queue.requeue(qc, now_us + delay);
             return;
         }
@@ -276,6 +330,8 @@ impl StellarSystem {
                             rule_id: coarser.id,
                             to: coarser.signal,
                         });
+                        self.obs.registry.counter_inc("core.degrades");
+                        self.obs.spans.abandon("retry", rule_id);
                         // Fresh change, fresh retry budget: the ladder
                         // can descend again if the coarser rule still
                         // does not fit.
@@ -300,6 +356,17 @@ impl StellarSystem {
             rule_id,
             error,
         });
+        self.obs.registry.counter_inc("core.dead_letters");
+        self.obs.spans.abandon("retry", rule_id);
+        self.obs.event(
+            now_us,
+            "dead_letter",
+            vec![
+                ("rule_id".to_string(), rule_id.to_string()),
+                ("error".to_string(), format!("{error:?}")),
+                ("attempts".to_string(), attempts.to_string()),
+            ],
+        );
         self.dead_letters.push(DeadLetter {
             change: qc.change,
             error,
@@ -360,6 +427,16 @@ impl StellarSystem {
                 .enqueue(AbstractChange::RemoveRule { rule_id, owner }, now_us);
             report.removes += 1;
         }
+        self.obs.registry.counter_inc("core.reconcile.passes");
+        self.obs
+            .registry
+            .counter_add("core.reconcile.adds", report.adds as u64);
+        self.obs
+            .registry
+            .counter_add("core.reconcile.removes", report.removes as u64);
+        self.obs
+            .registry
+            .counter_add("core.reconcile.pruned", report.pruned as u64);
         if !report.is_clean() {
             self.log.push(RecoveryEvent::RepairsQueued {
                 at_us: now_us,
@@ -367,6 +444,12 @@ impl StellarSystem {
                 removes: report.removes,
                 pruned: report.pruned,
             });
+            // The divergence window opens at the first dirty pass (span
+            // starts are first-wins, so repeat dirty passes keep the
+            // original open time) and closes at the next clean pass.
+            self.obs.span_start("reconcile_repair", 0, now_us);
+        } else {
+            self.obs.span_end("reconcile_repair", 0, now_us);
         }
         report
     }
@@ -405,6 +488,32 @@ impl StellarSystem {
     /// Rules currently active in hardware.
     pub fn active_rules(&self) -> usize {
         self.manager.installed_rules()
+    }
+
+    /// Scrapes every subsystem's gauges into the metrics registry: TCAM
+    /// occupancy and per-port queue counters from the fabric, import
+    /// counters from the route server, backlog depths from the
+    /// configuration queue. Call before exporting a snapshot.
+    pub fn observe(&mut self, _now_us: u64) {
+        self.ixp.router.observe(&mut self.obs.registry);
+        self.ixp.route_server.observe(&mut self.obs.registry);
+        let reg = &mut self.obs.registry;
+        reg.gauge_set("core.queue.backlog", self.queue.backlog() as i64);
+        reg.gauge_set("core.queue.deferred", self.queue.deferred_len() as i64);
+        reg.gauge_set("core.active_rules", self.manager.installed_rules() as i64);
+        reg.gauge_set("core.dead_letters", self.dead_letters.len() as i64);
+    }
+
+    /// Scrapes the gauges and writes the full snapshot to `path` — the
+    /// `results/metrics_*.json` artifact the examples and the CI
+    /// determinism gate consume.
+    pub fn export_metrics(
+        &mut self,
+        path: impl AsRef<std::path::Path>,
+        now_us: u64,
+    ) -> std::io::Result<()> {
+        self.observe(now_us);
+        self.obs.export(path, now_us)
     }
 }
 

@@ -124,6 +124,11 @@ impl QosPolicy {
         self.rules.len()
     }
 
+    /// Number of active shaping queues (one token bucket per shape rule).
+    pub fn shaper_count(&self) -> usize {
+        self.shapers.len()
+    }
+
     /// Whether a rule with this id is installed.
     pub fn contains(&self, rule_id: u64) -> bool {
         self.by_id.contains_key(&rule_id)

@@ -56,9 +56,14 @@ impl TokenBucket {
     /// shaper converges to).
     pub fn admit(&mut self, bytes: u64, now_us: u64) -> u64 {
         self.refill(now_us);
-        let admitted = (bytes as f64).min(self.tokens);
+        // Floor *before* subtracting: the caller only ever sees whole
+        // bytes, so the fractional remainder must stay in the bucket.
+        // Subtracting the unfloored amount leaks up to one byte of credit
+        // per call, which at µs-tick granularity starves the shaper of a
+        // large share of its configured rate.
+        let admitted = (bytes as f64).min(self.tokens).floor();
         self.tokens -= admitted;
-        admitted.floor() as u64
+        admitted as u64
     }
 
     /// Tokens currently available (bytes).
@@ -179,6 +184,44 @@ mod tests {
         tb.set_rate(80_000); // 10 KB/s
         let got = tb.admit(10_000, 1 + 100_000); // 100 ms later
         assert!((900..=1000).contains(&got), "got {got}");
+    }
+
+    #[test]
+    fn fractional_tokens_carry_over_instead_of_leaking() {
+        // Regression: at 12 Mbps the bucket earns 1.5 bytes/µs. Polled
+        // every microsecond, the old subtract-then-floor admit erased the
+        // 0.5-byte remainder each call, admitting only 1.0 B/µs — a third
+        // of the configured rate. Over 10^6 ticks the total admitted must
+        // match rate × time to within one MTU.
+        let mut tb = TokenBucket::new(12_000_000, 1_500_000);
+        let mut admitted = 0u64;
+        for tick in 1..=1_000_000u64 {
+            admitted += tb.admit(u64::MAX / 2, tick);
+        }
+        let expected = 1_500_000u64; // 1.5 B/µs × 10^6 µs
+        assert!(
+            admitted.abs_diff(expected) <= 1_500,
+            "admitted {admitted} bytes, expected {expected} ± 1500"
+        );
+    }
+
+    #[test]
+    fn admitted_plus_refused_equals_offered() {
+        // Byte conservation: every offered byte is either admitted or
+        // refused; nothing is silently destroyed by rounding.
+        let mut tb = TokenBucket::new(7_777_777, 10_000);
+        let mut offered_total = 0u64;
+        let mut admitted_total = 0u64;
+        let mut refused_total = 0u64;
+        for tick in 1..=100_000u64 {
+            let offered = (tick * 37) % 1_400 + 64;
+            let a = tb.admit(offered, tick * 13);
+            assert!(a <= offered);
+            offered_total += offered;
+            admitted_total += a;
+            refused_total += offered - a;
+        }
+        assert_eq!(offered_total, admitted_total + refused_total);
     }
 
     #[test]

@@ -270,6 +270,36 @@ impl EdgeRouter {
     pub fn total_rules(&self) -> usize {
         self.ports.values().map(|p| p.policy.rule_count()).sum()
     }
+
+    /// Publishes the data-plane gauges: TCAM occupancy plus, per member
+    /// port, rule/shaper population and the cumulative queue counters
+    /// (forwarded, drop-rule drops, shaper passes/drops, congestion
+    /// drops). Ports iterate in `BTreeMap` order, so the gauge set is
+    /// stable across runs.
+    pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
+        self.tcam.observe(reg);
+        reg.gauge_set("dataplane.total_rules", self.total_rules() as i64);
+        for (pid, port) in &self.ports {
+            let p = format!("dataplane.port.{}", pid.0);
+            reg.gauge_set(&format!("{p}.rules"), port.policy.rule_count() as i64);
+            reg.gauge_set(
+                &format!("{p}.shape_queues"),
+                port.policy.shaper_count() as i64,
+            );
+            let c = &port.counters;
+            reg.gauge_set(&format!("{p}.forwarded_bytes"), c.forwarded_bytes as i64);
+            reg.gauge_set(&format!("{p}.dropped_bytes"), c.dropped_bytes as i64);
+            reg.gauge_set(&format!("{p}.shaped_bytes"), c.shaped_bytes as i64);
+            reg.gauge_set(
+                &format!("{p}.shape_dropped_bytes"),
+                c.shape_dropped_bytes as i64,
+            );
+            reg.gauge_set(
+                &format!("{p}.congestion_dropped_bytes"),
+                c.congestion_dropped_bytes as i64,
+            );
+        }
+    }
 }
 
 #[cfg(test)]

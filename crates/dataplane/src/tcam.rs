@@ -132,6 +132,16 @@ impl Tcam {
         self.allocations.len()
     }
 
+    /// Publishes the occupancy gauges — the Fig. 9 resource bottleneck as
+    /// live telemetry.
+    pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
+        reg.gauge_set("dataplane.tcam.l34_used", self.l34_used as i64);
+        reg.gauge_set("dataplane.tcam.l34_free", self.l34_free() as i64);
+        reg.gauge_set("dataplane.tcam.mac_used", self.mac_used as i64);
+        reg.gauge_set("dataplane.tcam.mac_free", self.mac_free() as i64);
+        reg.gauge_set("dataplane.tcam.allocations", self.allocations.len() as i64);
+    }
+
     /// Power-cycle reset: every allocation is lost and both pools return
     /// to empty, as on a real ASIC after an edge-router restart. Handle
     /// numbering keeps advancing so stale handles from before the reset

@@ -4,9 +4,16 @@ use crate::addr::{Ipv4Address, Ipv6Address};
 use crate::proto::IpProtocol;
 
 /// Incremental ones-complement sum accumulator.
+///
+/// The running sum is kept in a `u64`: each step adds at most 0xffff, so
+/// overflow would need ~2^48 words (half a petabyte) — far beyond any
+/// buffer this codebase can construct. A `u32` accumulator, by contrast,
+/// wraps after as little as 128 KiB of high-valued words and silently
+/// corrupts the checksum (the wrap discards carries that ones-complement
+/// folding is supposed to re-absorb).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Checksum {
-    sum: u32,
+    sum: u64,
 }
 
 impl Checksum {
@@ -20,16 +27,16 @@ impl Checksum {
     pub fn add_bytes(&mut self, data: &[u8]) {
         let mut chunks = data.chunks_exact(2);
         for c in &mut chunks {
-            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+            self.sum += u64::from(u16::from_be_bytes([c[0], c[1]]));
         }
         if let [last] = chunks.remainder() {
-            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+            self.sum += u64::from(u16::from_be_bytes([*last, 0]));
         }
     }
 
     /// Feeds a big-endian 16-bit word.
     pub fn add_u16(&mut self, v: u16) {
-        self.sum += u32::from(v);
+        self.sum += u64::from(v);
     }
 
     /// Feeds a big-endian 32-bit word.
@@ -113,6 +120,23 @@ mod tests {
         c.add_bytes(&data);
         c.add_u16(ck);
         assert_eq!(c.finish(), 0);
+    }
+
+    #[test]
+    fn large_high_valued_buffer_does_not_wrap() {
+        // Regression: 256 KiB of 0xff is 131072 words of 0xffff, summing
+        // to 0x1FFFE0000 — past the old u32 accumulator's range. The wrap
+        // lost a carry, folding to 0xfffe and yielding checksum 0x0001;
+        // the correct fold of an all-ones buffer is 0xffff -> checksum 0.
+        let data = vec![0xffu8; 256 * 1024];
+        assert_eq!(checksum(&data), 0x0000);
+
+        // Same buffer fed incrementally in 8 KiB chunks must agree.
+        let mut c = Checksum::new();
+        for piece in data.chunks(8 * 1024) {
+            c.add_bytes(piece);
+        }
+        assert_eq!(c.finish(), 0x0000);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Property tests for the RFC 1071 checksum against a wide-accumulator
+//! reference, including buffers large enough to have wrapped the old
+//! 32-bit running sum (≳128 KiB of high-valued words).
+
+use proptest::prelude::*;
+use stellar_net::checksum::{checksum, Checksum};
+
+/// Reference implementation: accumulate in u128 (cannot overflow for any
+/// testable buffer), fold once at the end.
+fn reference_checksum(data: &[u8]) -> u16 {
+    let mut sum: u128 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u128::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u128::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Buffers biased towards high-valued words — the worst case for
+/// accumulator overflow — at sizes straddling the old u32 wrap point.
+fn arb_large_buffer() -> impl Strategy<Value = Vec<u8>> {
+    (120_000usize..300_000, any::<u8>(), any::<u8>()).prop_map(|(len, lo, _)| {
+        (0..len)
+            .map(|i| if i % 3 == 0 { lo } else { 0xff })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn checksum_matches_wide_reference_on_large_buffers(data in arb_large_buffer()) {
+        prop_assert_eq!(checksum(&data), reference_checksum(&data));
+    }
+
+    #[test]
+    fn incremental_chunks_match_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..200_000),
+        chunk in 1usize..2_500,
+    ) {
+        // Chunks must be word-aligned: `add_bytes` zero-pads an odd
+        // trailing byte per call, so only even split points preserve the
+        // word stream.
+        let mut c = Checksum::new();
+        for piece in data.chunks(chunk * 2) {
+            c.add_bytes(piece);
+        }
+        prop_assert_eq!(c.finish(), reference_checksum(&data));
+    }
+
+    #[test]
+    fn verifying_with_checksum_included_yields_zero(
+        data in proptest::collection::vec(any::<u8>(), 0..150_000),
+    ) {
+        // Even-length verification property: sum(data ++ checksum) folds
+        // to 0xffff, i.e. finish() == 0.
+        let data = if data.len() % 2 == 1 { data[..data.len() - 1].to_vec() } else { data };
+        let ck = checksum(&data);
+        let mut c = Checksum::new();
+        c.add_bytes(&data);
+        c.add_u16(ck);
+        prop_assert_eq!(c.finish(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Log-linear histograms for latency/size distributions.
+//!
+//! Values are bucketed HdrHistogram-style: each power-of-two octave is
+//! split into `2^SUB_BITS` linear sub-buckets, bounding the relative
+//! quantile error at `2^-SUB_BITS` (6.25 % with the default 4 bits)
+//! while keeping the bucket count logarithmic in the value range. All
+//! state is integer counts, so two runs that record the same value
+//! sequence produce bit-identical histograms — the property the
+//! determinism gate diffs on.
+
+/// Sub-bucket resolution: 16 linear buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+
+/// A log-linear histogram over `u64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogLinearHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index for a value (continuous across octave boundaries).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (msb - SUB_BITS + 1) as usize * SUB + sub
+    }
+}
+
+/// Inclusive upper bound of a bucket — the histogram's representative
+/// value for every sample it holds.
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB {
+        index as u64
+    } else {
+        let block = (index / SUB) as u32;
+        let msb = block + SUB_BITS - 1;
+        let width = 1u64 << (msb - SUB_BITS);
+        let base = 1u64 << msb;
+        // `base - 1` first: the last bucket of the top octave ends at
+        // exactly u64::MAX and the naive order would overflow there.
+        (base - 1) + (index % SUB) as u64 * width + width
+    }
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (0..=1) as the upper bound of the bucket holding
+    /// the sample of that rank — within one sub-bucket width (6.25 %
+    /// relative) of the exact order statistic. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return 0;
+        }
+        // Epsilon-guarded ceil (same hazard as `Ecdf::quantile`): when
+        // q*count is mathematically integral but rounds up in f64 the
+        // naive ceil lands one rank too high.
+        let rank = q * self.count as f64;
+        let rank = ((rank - rank.abs() * 1e-12).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs in
+    /// ascending value order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_upper(i), *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_continuous_and_ordered() {
+        // Every value maps into a bucket whose range contains it, and
+        // indices are monotone in the value.
+        let mut prev = 0;
+        for v in (0..4096u64).chain([u64::MAX / 2, u64::MAX]) {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotone at {v}");
+            assert!(bucket_upper(idx) >= v, "upper bound below value at {v}");
+            if idx > 0 {
+                assert!(
+                    bucket_upper(idx - 1) < v,
+                    "value fits earlier bucket at {v}"
+                );
+            }
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_exact_percentiles_within_bucket_error() {
+        // Cross-check against stellar-stats' exact percentile on the raw
+        // sample: the histogram answer must sit within one sub-bucket
+        // (6.25 % relative) of the exact order statistic.
+        let samples: Vec<u64> = (0..10_000u64).map(|i| (i * 7919) % 1_000_000).collect();
+        let mut h = LogLinearHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let xs: Vec<f64> = samples.iter().map(|&s| s as f64).collect();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = stellar_stats::percentile(&xs, q * 100.0);
+            let got = h.quantile(q) as f64;
+            assert!(
+                got >= exact * (1.0 - 1.0 / SUB as f64) - 1.0 && got <= exact * 1.07 + 1.0,
+                "q={q}: histogram {got} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_stats_are_exact() {
+        let mut h = LogLinearHistogram::new();
+        for v in [5u64, 100, 3, 77] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 185);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn quantile_of_uniform_single_value_is_that_value() {
+        let mut h = LogLinearHistogram::new();
+        for _ in 0..1000 {
+            h.record(42);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn identical_sequences_yield_identical_histograms() {
+        let record = |h: &mut LogLinearHistogram| {
+            for i in 0..5000u64 {
+                h.record(i * i % 100_000);
+            }
+        };
+        let mut a = LogLinearHistogram::new();
+        let mut b = LogLinearHistogram::new();
+        record(&mut a);
+        record(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.buckets(), b.buckets());
+    }
+}

@@ -1,0 +1,192 @@
+//! # stellar-obs
+//!
+//! Deterministic, sim-time-driven observability for the Stellar
+//! reproduction: the paper's telemetry claim (§3.1) and its control-plane
+//! latency evaluation (Fig. 10a/b) both rest on accurate accounting and
+//! observable timing, so the repro instruments itself with
+//!
+//! - a [`MetricsRegistry`] of counters, gauges and log-linear
+//!   [`LogLinearHistogram`]s with p50/p95/p99 summaries,
+//! - a [`SpanTracker`] bracketing control-plane episodes (BGP signal →
+//!   rule installed, retry/backoff, reconcile divergence windows),
+//! - a bounded [`FlightRecorder`] ring buffer of structured events for
+//!   dumping on fault or at end-of-run,
+//!
+//! bundled behind the [`Obs`] facade plus a stable-ordering JSON
+//! [`Obs::snapshot_json`] export.
+//!
+//! **Determinism is the design constraint**: every observation is clocked
+//! off simulation microseconds — no wall clock, no `std::time::Instant`
+//! anywhere in this crate — and every container iterates in a stable
+//! order. Two runs with the same seed therefore export byte-identical
+//! snapshots, which turns observability itself into a determinism oracle:
+//! CI diffs the JSON of two identically-seeded runs and fails on any
+//! divergence.
+
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use hist::LogLinearHistogram;
+pub use recorder::{FlightEvent, FlightRecorder};
+pub use registry::MetricsRegistry;
+pub use span::SpanTracker;
+
+use serde::Content;
+use std::io;
+use std::path::Path;
+
+/// Schema tag stamped into every snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "stellar-obs/v1";
+
+/// The observability bundle a subsystem owns: registry + spans + flight
+/// recorder, with span durations flowing into `span.<name>_us`
+/// histograms automatically.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// The metrics registry.
+    pub registry: MetricsRegistry,
+    /// Span pairing state.
+    pub spans: SpanTracker,
+    /// The flight recorder.
+    pub recorder: FlightRecorder,
+}
+
+impl Obs {
+    /// An empty bundle with the default flight-recorder capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty bundle with a custom flight-recorder capacity.
+    pub fn with_recorder_capacity(cap: usize) -> Self {
+        Obs {
+            recorder: FlightRecorder::new(cap),
+            ..Default::default()
+        }
+    }
+
+    /// Opens the span `(name, key)` at `now_us`.
+    pub fn span_start(&mut self, name: &str, key: u64, now_us: u64) {
+        self.spans.start(name, key, now_us);
+    }
+
+    /// Closes the span `(name, key)` at `now_us`. The duration is
+    /// recorded into the histogram `span.<name>_us` and returned;
+    /// unmatched ends record nothing.
+    pub fn span_end(&mut self, name: &str, key: u64, now_us: u64) -> Option<u64> {
+        let d = self.spans.end(name, key, now_us)?;
+        self.registry.observe(&format!("span.{name}_us"), d);
+        Some(d)
+    }
+
+    /// Records a flight-recorder event.
+    pub fn event(&mut self, at_us: u64, kind: &str, fields: Vec<(String, String)>) {
+        self.recorder.record(at_us, kind, fields);
+    }
+
+    /// Assembles the full snapshot: schema + registry + span counts +
+    /// flight recorder, every section in stable order.
+    pub fn snapshot(&self, now_us: u64) -> Content {
+        let completed = Content::Map(
+            self.spans
+                .completed()
+                .map(|(name, n)| (name.to_string(), Content::U64(n)))
+                .collect(),
+        );
+        let open = Content::Map(
+            self.spans
+                .open_counts()
+                .into_iter()
+                .map(|(name, n)| (name, Content::U64(n)))
+                .collect(),
+        );
+        let spans = Content::Map(vec![("completed".into(), completed), ("open".into(), open)]);
+        let meta = Content::Map(vec![
+            ("schema".into(), Content::Str(SNAPSHOT_SCHEMA.into())),
+            ("now_us".into(), Content::U64(now_us)),
+        ]);
+        Content::Map(vec![
+            ("meta".into(), meta),
+            ("metrics".into(), self.registry.to_content()),
+            ("spans".into(), spans),
+            ("flight_recorder".into(), self.recorder.to_content()),
+        ])
+    }
+
+    /// The snapshot as pretty JSON text. Byte-identical across runs that
+    /// made the same observations.
+    pub fn snapshot_json(&self, now_us: u64) -> String {
+        let mut s = serde_json::to_string_pretty(&self.snapshot(now_us))
+            .expect("obs snapshot is always serializable");
+        s.push('\n');
+        s
+    }
+
+    /// Writes the snapshot to `path`, creating parent directories.
+    pub fn export(&self, path: impl AsRef<Path>, now_us: u64) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.snapshot_json(now_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_durations_flow_into_histograms() {
+        let mut o = Obs::new();
+        o.span_start("install", 1, 100);
+        o.span_start("install", 2, 200);
+        assert_eq!(o.span_end("install", 1, 600), Some(500));
+        assert_eq!(o.span_end("install", 2, 1_200), Some(1_000));
+        assert_eq!(o.span_end("install", 9, 1_300), None);
+        let h = o.registry.histogram("span.install_us").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 500);
+        assert_eq!(o.spans.completed_count("install"), 2);
+    }
+
+    #[test]
+    fn snapshot_is_reproducible_and_tagged() {
+        let drive = |o: &mut Obs| {
+            o.registry.counter_inc("core.installs");
+            o.registry.gauge_set("dataplane.tcam.l34_used", 12);
+            o.registry.observe("core.signal_to_install_us", 42_000);
+            o.span_start("retry", 5, 0);
+            o.span_end("retry", 5, 77);
+            o.event(
+                10,
+                "fault.brownout",
+                vec![("dur_us".into(), "800000".into())],
+            );
+        };
+        let mut a = Obs::new();
+        let mut b = Obs::new();
+        drive(&mut a);
+        drive(&mut b);
+        let ja = a.snapshot_json(1_000);
+        let jb = b.snapshot_json(1_000);
+        assert_eq!(ja, jb);
+        assert!(ja.contains(SNAPSHOT_SCHEMA));
+        assert!(ja.contains("span.retry_us"));
+        assert!(ja.ends_with('\n'));
+    }
+
+    #[test]
+    fn export_writes_file() {
+        let mut o = Obs::new();
+        o.registry.counter_inc("x");
+        let dir = std::env::temp_dir().join("stellar_obs_test");
+        let path = dir.join("snap.json");
+        o.export(&path, 5).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, o.snapshot_json(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,142 @@
+//! The flight recorder: a bounded ring buffer of structured events.
+//!
+//! Where metrics aggregate, the recorder keeps the *sequence* — the last
+//! N control-plane happenings with their sim-time stamps, for dumping on
+//! a fault or at end-of-run. The buffer is bounded: past the capacity the
+//! oldest event is evicted and counted, so soak runs stay O(cap) while
+//! the snapshot still says how much history was shed.
+
+use serde::Content;
+use std::collections::VecDeque;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Simulation time of the event.
+    pub at_us: u64,
+    /// Event kind, e.g. `fault.router_restart` or `rule.dead_letter`.
+    pub kind: String,
+    /// Ordered key/value detail fields.
+    pub fields: Vec<(String, String)>,
+}
+
+/// The bounded recorder.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    events: VecDeque<FlightEvent>,
+    evicted: u64,
+}
+
+/// Default capacity: enough for every event of the repo's soak runs
+/// while keeping worst-case memory small.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (minimum 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            events: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest when full.
+    pub fn record(&mut self, at_us: u64, kind: &str, fields: Vec<(String, String)>) {
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(FlightEvent {
+            at_us,
+            kind: kind.to_string(),
+            fields,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events were evicted to stay within the capacity.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Lowers the recorder into the serialization data model.
+    pub fn to_content(&self) -> Content {
+        let events = Content::Seq(
+            self.events
+                .iter()
+                .map(|e| {
+                    Content::Map(vec![
+                        ("at_us".into(), Content::U64(e.at_us)),
+                        ("kind".into(), Content::Str(e.kind.clone())),
+                        (
+                            "fields".into(),
+                            Content::Map(
+                                e.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Content::Str(v.clone())))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        Content::Map(vec![
+            ("capacity".into(), Content::U64(self.cap as u64)),
+            ("evicted".into(), Content::U64(self.evicted)),
+            ("events".into(), events),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            r.record(i, "tick", vec![("i".into(), i.to_string())]);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evicted(), 2);
+        let ats: Vec<u64> = r.events().map(|e| e.at_us).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn snapshot_preserves_event_order_and_fields() {
+        let mut r = FlightRecorder::new(8);
+        r.record(10, "fault.brownout", vec![("dur".into(), "800".into())]);
+        r.record(20, "rule.retry", vec![]);
+        let json = serde_json::to_string(&r.to_content()).unwrap();
+        let a = json.find("fault.brownout").unwrap();
+        let b = json.find("rule.retry").unwrap();
+        assert!(a < b);
+        assert!(json.contains("\"dur\""));
+        assert!(json.contains("\"evicted\":0"));
+    }
+}

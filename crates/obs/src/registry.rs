@@ -1,0 +1,170 @@
+//! The metrics registry: counters, gauges and histograms keyed by
+//! dot-separated names.
+//!
+//! Everything lives in `BTreeMap`s so iteration — and therefore the
+//! exported JSON — has one stable order regardless of insertion history
+//! or hash seeds. Time never enters the registry except as sample
+//! values: callers clock every observation off simulation microseconds,
+//! which is what makes the snapshot a determinism oracle.
+
+use crate::hist::LogLinearHistogram;
+use serde::Content;
+use std::collections::BTreeMap;
+
+/// The registry.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, LogLinearHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn counter_inc(&mut self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Sets the counter `name` to an absolute value. For pull-scraped
+    /// counters whose source of truth accumulates elsewhere (a subsystem's
+    /// own stats struct): re-scraping overwrites instead of double-counts.
+    pub fn counter_set(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_string(), v);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `name` to `v`.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a sample into the histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(v);
+    }
+
+    /// The histogram `name`, if any sample was ever recorded.
+    pub fn histogram(&self, name: &str) -> Option<&LogLinearHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Lowers the registry into the serialization data model. Histograms
+    /// carry exact count/sum/min/max, the p50/p95/p99 summary, and their
+    /// non-empty buckets.
+    pub fn to_content(&self) -> Content {
+        let counters = Content::Map(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Content::U64(*v)))
+                .collect(),
+        );
+        let gauges = Content::Map(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Content::I64(*v)))
+                .collect(),
+        );
+        let histograms = Content::Map(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    let buckets = Content::Seq(
+                        h.buckets()
+                            .into_iter()
+                            .map(|(upper, count)| {
+                                Content::Seq(vec![Content::U64(upper), Content::U64(count)])
+                            })
+                            .collect(),
+                    );
+                    let summary = Content::Map(vec![
+                        ("count".into(), Content::U64(h.count())),
+                        ("sum".into(), Content::U64(h.sum())),
+                        ("min".into(), Content::U64(h.min())),
+                        ("max".into(), Content::U64(h.max())),
+                        ("p50".into(), Content::U64(h.quantile(0.50))),
+                        ("p95".into(), Content::U64(h.quantile(0.95))),
+                        ("p99".into(), Content::U64(h.quantile(0.99))),
+                        ("buckets".into(), buckets),
+                    ]);
+                    (k.clone(), summary)
+                })
+                .collect(),
+        );
+        Content::Map(vec![
+            ("counters".into(), counters),
+            ("gauges".into(), gauges),
+            ("histograms".into(), histograms),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = MetricsRegistry::new();
+        r.counter_inc("a.b");
+        r.counter_add("a.b", 4);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("missing"), 0);
+        r.gauge_set("g", 7);
+        r.gauge_set("g", -2);
+        assert_eq!(r.gauge("g"), Some(-2));
+        assert_eq!(r.gauge("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_order_is_insertion_independent() {
+        let mut a = MetricsRegistry::new();
+        a.counter_inc("z");
+        a.counter_inc("a");
+        a.gauge_set("m", 1);
+        a.observe("h", 10);
+        let mut b = MetricsRegistry::new();
+        b.observe("h", 10);
+        b.gauge_set("m", 1);
+        b.counter_inc("a");
+        b.counter_inc("z");
+        let ja = serde_json::to_string(&a.to_content()).unwrap();
+        let jb = serde_json::to_string(&b.to_content()).unwrap();
+        assert_eq!(ja, jb);
+        // And names come out sorted.
+        assert!(ja.find("\"a\"").unwrap() < ja.find("\"z\"").unwrap());
+    }
+
+    #[test]
+    fn histogram_summary_appears_in_snapshot() {
+        let mut r = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            r.observe("lat_us", v);
+        }
+        let json = serde_json::to_string(&r.to_content()).unwrap();
+        assert!(json.contains("\"p50\""));
+        assert!(json.contains("\"p99\""));
+        assert_eq!(r.histogram("lat_us").unwrap().count(), 100);
+    }
+}

@@ -1,0 +1,121 @@
+//! Scoped spans for control-plane operations.
+//!
+//! A span brackets an episode with a beginning and an end in simulation
+//! time — a BGP signal waiting to become an installed rule, a
+//! retry/backoff episode, a reconcile divergence window. Spans are keyed
+//! by `(name, key)` so many episodes of the same kind can be in flight
+//! at once (one per rule id, say). Durations land in the owning
+//! [`crate::Obs`]'s histogram `span.<name>_us`; this tracker only keeps
+//! the pairing state.
+
+use std::collections::BTreeMap;
+
+/// Open/closed span bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct SpanTracker {
+    open: BTreeMap<(String, u64), u64>,
+    completed: BTreeMap<String, u64>,
+}
+
+impl SpanTracker {
+    /// A tracker with no spans.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the span `(name, key)` at `now_us`. A span that is already
+    /// open keeps its original start (the first signal wins — reopening
+    /// must not shrink the measured episode).
+    pub fn start(&mut self, name: &str, key: u64, now_us: u64) {
+        self.open.entry((name.to_string(), key)).or_insert(now_us);
+    }
+
+    /// Whether the span `(name, key)` is currently open.
+    pub fn is_open(&self, name: &str, key: u64) -> bool {
+        self.open.contains_key(&(name.to_string(), key))
+    }
+
+    /// Closes the span `(name, key)` at `now_us`, returning its duration.
+    /// Closing a span that was never opened returns `None` (and records
+    /// nothing — unmatched ends are a caller bug, not a panic).
+    pub fn end(&mut self, name: &str, key: u64, now_us: u64) -> Option<u64> {
+        let start = self.open.remove(&(name.to_string(), key))?;
+        *self.completed.entry(name.to_string()).or_insert(0) += 1;
+        Some(now_us.saturating_sub(start))
+    }
+
+    /// Discards an open span without completing it (e.g. the rule was
+    /// withdrawn mid-retry). Returns true if it was open.
+    pub fn abandon(&mut self, name: &str, key: u64) -> bool {
+        self.open.remove(&(name.to_string(), key)).is_some()
+    }
+
+    /// Completed-span counts per name, in name order.
+    pub fn completed(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.completed.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of completed spans for `name`.
+    pub fn completed_count(&self, name: &str) -> u64 {
+        self.completed.get(name).copied().unwrap_or(0)
+    }
+
+    /// Open-span counts per name, in name order.
+    pub fn open_counts(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (name, _) in self.open.keys() {
+            *out.entry(name.clone()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Total spans currently open.
+    pub fn open_total(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_lifecycle_measures_duration() {
+        let mut t = SpanTracker::new();
+        t.start("install", 7, 1_000);
+        assert!(t.is_open("install", 7));
+        assert_eq!(t.end("install", 7, 4_500), Some(3_500));
+        assert!(!t.is_open("install", 7));
+        assert_eq!(t.completed_count("install"), 1);
+        assert_eq!(t.end("install", 7, 9_000), None);
+    }
+
+    #[test]
+    fn reopening_keeps_the_original_start() {
+        let mut t = SpanTracker::new();
+        t.start("retry", 1, 100);
+        t.start("retry", 1, 900); // later re-open: ignored
+        assert_eq!(t.end("retry", 1, 1_000), Some(900));
+    }
+
+    #[test]
+    fn abandon_drops_without_completing() {
+        let mut t = SpanTracker::new();
+        t.start("retry", 3, 0);
+        assert!(t.abandon("retry", 3));
+        assert!(!t.abandon("retry", 3));
+        assert_eq!(t.completed_count("retry"), 0);
+        assert_eq!(t.open_total(), 0);
+    }
+
+    #[test]
+    fn open_counts_group_by_name() {
+        let mut t = SpanTracker::new();
+        t.start("a", 1, 0);
+        t.start("a", 2, 0);
+        t.start("b", 1, 0);
+        let open = t.open_counts();
+        assert_eq!(open["a"], 2);
+        assert_eq!(open["b"], 1);
+    }
+}

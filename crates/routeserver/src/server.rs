@@ -62,10 +62,31 @@ pub struct RouteServerOutput {
 /// Import statistics (exposed via the looking glass).
 #[derive(Debug, Default, Clone)]
 pub struct ImportStats {
+    /// Announcement NLRI entries received from members (accepted or not).
+    pub announced: u64,
+    /// Withdrawals that actually removed a route (explicit withdrawals
+    /// plus session-down flushes; duplicate withdrawals do not count).
+    pub withdrawn: u64,
     /// Accepted announcements.
     pub accepted: u64,
     /// Rejected announcements by reason.
     pub rejected: HashMap<&'static str, u64>,
+}
+
+impl ImportStats {
+    /// Publishes the import counters. Rejection reasons land under
+    /// `routeserver.rejected.<reason>`; the registry keys are sorted, so
+    /// the export order is stable regardless of `HashMap` iteration.
+    pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
+        reg.counter_set("routeserver.announced", self.announced);
+        reg.counter_set("routeserver.withdrawn", self.withdrawn);
+        reg.counter_set("routeserver.accepted", self.accepted);
+        let total_rejected: u64 = self.rejected.values().sum();
+        reg.counter_set("routeserver.rejected", total_rejected);
+        for (reason, n) in &self.rejected {
+            reg.counter_set(&format!("routeserver.rejected.{reason}"), *n);
+        }
+    }
 }
 
 struct PeerState {
@@ -106,6 +127,11 @@ impl RouteServer {
     /// Import statistics.
     pub fn stats(&self) -> &ImportStats {
         &self.stats
+    }
+
+    /// Publishes the import counters into a metrics registry.
+    pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
+        self.stats.observe(reg);
     }
 
     /// Mutable access to the import policy (IRR/RPKI updates).
@@ -188,6 +214,7 @@ impl RouteServer {
             if delta.withdrawn.is_empty() {
                 continue; // nothing was actually removed
             }
+            self.stats.withdrawn += 1;
             for target in self.peers.keys() {
                 if *target != peer {
                     out.exports.push((*target, withdraw_msg(w.prefix, None)));
@@ -226,6 +253,7 @@ impl RouteServer {
             }
         }
         for (n, mp_next_hop) in &announcements {
+            self.stats.announced += 1;
             // Max-prefix: counted against the peer's current Adj-RIB-In.
             if let Some(limit) = self.policy.max_prefixes_per_peer {
                 let held = self.peers.get(&peer).expect("peer exists").rib.len();
@@ -374,6 +402,7 @@ impl RouteServer {
         };
         let flushed = state.rib.flush();
         for route in flushed {
+            self.stats.withdrawn += 1;
             let prefix = route.nlri.prefix;
             for target in self.peers.keys() {
                 if *target != peer {

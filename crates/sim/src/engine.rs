@@ -67,6 +67,7 @@ pub struct Engine<S> {
     queue: BinaryHeap<Reverse<Scheduled<S>>>,
     now: SimTime,
     seq: u64,
+    executed: u64,
 }
 
 impl<S> Default for Engine<S> {
@@ -75,6 +76,7 @@ impl<S> Default for Engine<S> {
             queue: BinaryHeap::new(),
             now: 0,
             seq: 0,
+            executed: 0,
         }
     }
 }
@@ -133,12 +135,26 @@ impl<S> Engine<S> {
             executed += 1;
         }
         self.now = self.now.max(until.min(self.now.max(until)));
+        self.executed += executed as u64;
         executed
     }
 
     /// Number of pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Events executed over the engine's lifetime (across `run` calls).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Publishes the engine gauges: lifetime event count, pending queue
+    /// depth, and the simulation clock.
+    pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
+        reg.counter_set("sim.engine.executed", self.executed);
+        reg.gauge_set("sim.engine.pending", self.queue.len() as i64);
+        reg.gauge_set("sim.engine.now_us", self.now as i64);
     }
 }
 
@@ -184,6 +200,26 @@ pub fn run_ticks<S>(
         f(state, t, t1);
         t = t1;
     }
+}
+
+/// [`run_ticks`] with tick timing recorded into `reg`: each tick's
+/// sim-time duration feeds the `sim.tick_us` histogram and bumps the
+/// `sim.ticks` counter. Durations are simulation time, not wall clock —
+/// the final partial tick is the only one that differs from `tick`, and
+/// the record is identical across identically-parameterized runs.
+pub fn run_ticks_observed<S>(
+    state: &mut S,
+    start: SimTime,
+    end: SimTime,
+    tick: SimTime,
+    reg: &mut stellar_obs::MetricsRegistry,
+    mut f: impl FnMut(&mut S, SimTime, SimTime),
+) {
+    run_ticks(state, start, end, tick, |s, t0, t1| {
+        f(s, t0, t1);
+        reg.observe("sim.tick_us", t1 - t0);
+        reg.counter_inc("sim.ticks");
+    });
 }
 
 #[cfg(test)]

@@ -33,7 +33,14 @@ impl Ecdf {
         if q == 0.0 {
             return self.sorted[0];
         }
-        let idx = ((q * self.sorted.len() as f64).ceil() as usize).max(1) - 1;
+        // Epsilon-guarded ceil: `q * len` can exceed its mathematically
+        // integral value by a few ulps (e.g. q = k/len computed in f64),
+        // and a naive ceil then lands one rank too high — returning a
+        // sample strictly above the smallest one satisfying P(X<=v) >= q.
+        // The relative nudge (a few thousand ulps) is far below the gap
+        // to the next representable rank for any realistic sample size.
+        let rank = q * self.sorted.len() as f64;
+        let idx = ((rank - rank * 1e-12).ceil() as usize).max(1) - 1;
         self.sorted[idx.min(self.sorted.len() - 1)]
     }
 
@@ -89,6 +96,25 @@ mod tests {
         // P(X <= quantile(q)) >= q for all q.
         for q in [0.01, 0.25, 0.7, 0.95, 0.99] {
             assert!(e.at(e.quantile(q)) >= q);
+        }
+    }
+
+    #[test]
+    fn quantile_survives_float_rounded_integral_ranks() {
+        // Regression: for q = k/len computed in f64, q*len can round one
+        // ulp above the integer k; the naive ceil then returns the
+        // (k+1)-th sample, violating minimality. Exhaustively check every
+        // (len, k) pair in a range known to contain such roundings.
+        for len in 1usize..=512 {
+            let e = Ecdf::new((1..=len).map(|i| i as f64).collect());
+            for k in 1..=len {
+                let q = k as f64 / len as f64;
+                let got = e.quantile(q);
+                assert!(e.at(got) >= q, "len={len} k={k}: P(X<={got}) < {q}");
+                // Minimality: the k-th sample (value k) is the smallest v
+                // with at(v) >= k/len.
+                assert_eq!(got, k as f64, "len={len} k={k}: not minimal");
+            }
         }
     }
 

@@ -1,0 +1,55 @@
+//! Property tests for the ECDF quantile: `quantile(q)` must be the
+//! *smallest* sample v with `P(X <= v) >= q`, for arbitrary samples and
+//! arbitrary q — including the float-hazardous q = k/len family where
+//! `q * len` is mathematically integral but may round up in f64.
+
+use proptest::prelude::*;
+use stellar_stats::Ecdf;
+
+/// The smallest sample satisfying the quantile definition, by linear
+/// scan — the obviously-correct reference.
+fn reference_quantile(e: &Ecdf, sorted: &[f64], q: f64) -> f64 {
+    if q == 0.0 {
+        return sorted[0];
+    }
+    for &v in sorted {
+        if e.at(v) >= q {
+            return v;
+        }
+    }
+    *sorted.last().unwrap()
+}
+
+fn arb_sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0e6..1.0e6f64, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantile_is_minimal_for_arbitrary_q(xs in arb_sample(), q in 0.0..1.0f64) {
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let e = Ecdf::new(xs);
+        for q in [q, 1.0] {
+            let got = e.quantile(q);
+            prop_assert!(e.at(got) >= q, "P(X<={}) < {}", got, q);
+            let reference = reference_quantile(&e, &sorted, q);
+            prop_assert_eq!(got, reference, "not the smallest satisfying sample");
+        }
+    }
+
+    #[test]
+    fn quantile_is_minimal_for_integral_ranks(xs in arb_sample(), k in 1usize..200) {
+        // q = k/len: the rank is mathematically exactly k, the case the
+        // naive ceil got wrong when f64 rounded q*len up.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let len = xs.len();
+        let k = (k % len) + 1;
+        let q = k as f64 / len as f64;
+        let e = Ecdf::new(xs);
+        let got = e.quantile(q);
+        prop_assert!(e.at(got) >= q);
+        prop_assert_eq!(got, reference_quantile(&e, &sorted, q));
+    }
+}

@@ -16,6 +16,10 @@ use stellar::dataplane::hardware::HardwareInfoBase;
 use stellar::sim::engine::{schedule_repeating, Engine};
 use stellar::sim::topology::{generic_members, IxpTopology, MemberSpec};
 
+/// Where the metrics snapshot lands; the CI determinism gate diffs two
+/// identically-seeded exports of this file byte-for-byte.
+const METRICS_PATH: &str = "results/metrics_fault_soak.json";
+
 const VICTIM: Asn = Asn(64500);
 const END_US: u64 = 14_000_000;
 
@@ -116,6 +120,8 @@ fn run() -> Soak {
     });
 
     engine.run(&mut soak, END_US);
+    // Engine telemetry rides along in the same snapshot.
+    engine.observe(&mut soak.sys.obs.registry);
     soak
 }
 
@@ -225,12 +231,29 @@ fn main() {
         soak.sys.dead_letters.len()
     );
 
-    // Replay: the whole soak is deterministic — identical logs.
-    let replay = run();
+    // Export the observability snapshot (metrics, spans, flight
+    // recorder) for offline analysis and the CI determinism gate.
+    let mut soak = soak;
+    soak.sys
+        .export_metrics(METRICS_PATH, END_US)
+        .expect("metrics export");
+    println!("metrics snapshot written to {METRICS_PATH}");
+
+    // Replay: the whole soak is deterministic — identical logs and a
+    // byte-identical metrics snapshot.
+    let mut replay = run();
     let identical = replay.sys.log == soak.sys.log && replay.samples == soak.samples;
+    replay.sys.observe(END_US);
+    let snapshots_identical =
+        replay.sys.obs.snapshot_json(END_US) == soak.sys.obs.snapshot_json(END_US);
     println!(
-        "determinism check (replay produced identical log): {}",
+        "determinism check (replay log identical): {}",
         if identical { "PASS" } else { "FAIL" }
     );
+    println!(
+        "determinism check (metrics snapshot identical): {}",
+        if snapshots_identical { "PASS" } else { "FAIL" }
+    );
     assert!(identical, "replay diverged from first run");
+    assert!(snapshots_identical, "metrics snapshot diverged");
 }

@@ -84,4 +84,11 @@ fn main() {
     system.member_withdraw(victim_asn, victim_prefix, 4_000_000);
     system.pump(4_000_000);
     println!("t=4s  withdrawn; active rules: {}", system.active_rules());
+
+    // 7. The whole run was observed: export the metrics snapshot
+    //    (install counters, signal→install latency, TCAM occupancy,
+    //    per-port queue counters).
+    let path = "results/metrics_quickstart.json";
+    system.export_metrics(path, 4_000_000).expect("export");
+    println!("metrics snapshot written to {path}");
 }

@@ -16,4 +16,11 @@ cargo test -q
 echo "==> cargo test --release -q --test fault_recovery -- --include-ignored (fault soak)"
 cargo test --release -q --test fault_recovery -- --include-ignored
 
+echo "==> determinism gate: fault_soak metrics snapshot is byte-identical across runs"
+cargo run --release -q --example fault_soak >/dev/null
+mv results/metrics_fault_soak.json results/metrics_fault_soak.run1.json
+cargo run --release -q --example fault_soak >/dev/null
+diff results/metrics_fault_soak.run1.json results/metrics_fault_soak.json
+rm results/metrics_fault_soak.run1.json
+
 echo "All checks passed."

@@ -20,6 +20,8 @@
 //! - [`dataplane`] — TCAM, QoS policies, token-bucket shaping, OpenFlow;
 //! - [`sim`] — the deterministic discrete-event IXP emulation;
 //! - [`stats`] — Welch's t-test, confidence intervals, OLS, ECDFs;
+//! - [`obs`] — deterministic sim-time metrics, spans and the flight
+//!   recorder (byte-identical JSON snapshots across seeded runs);
 //! - [`core`] — Stellar itself: signaling, controller, managers,
 //!   telemetry, the RTBH baseline and the evaluation scenarios.
 //!
@@ -49,6 +51,7 @@ pub use stellar_bgp as bgp;
 pub use stellar_core as core;
 pub use stellar_dataplane as dataplane;
 pub use stellar_net as net;
+pub use stellar_obs as obs;
 pub use stellar_routeserver as routeserver;
 pub use stellar_sim as sim;
 pub use stellar_stats as stats;
