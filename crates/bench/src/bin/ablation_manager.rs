@@ -33,12 +33,16 @@ fn change_stream(n: usize) -> Vec<AbstractChange> {
 }
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "ABLATION",
         "QoS-policy vs. SDN network manager: identical change stream, capacity to exhaustion",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 4000,
+        },
     );
     let hib = HardwareInfoBase::production_er();
-    let stream = change_stream(4000);
+    let stream = change_stream(exp.ticks() as usize);
 
     // QoS backend: a production ER with 350 member ports.
     let mut er = EdgeRouter::new(hib.clone());
@@ -117,7 +121,7 @@ fn main() {
         er.tcam().l34_used(),
         er.tcam().l34_used() + er.tcam().l34_free(),
     );
-    output::write_json(
+    exp.write(
         "ablation_manager",
         &serde_json::json!({
             "qos_installed": qos_installed,

@@ -20,9 +20,13 @@ struct Placement {
 }
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "ABLATION",
         "Egress vs. ingress filter placement (booter scenario: 1 Gbps NTP via 60 member ports)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
     let hib = HardwareInfoBase::production_er();
     let cpu = ControlPlaneCpu::production();
@@ -110,5 +114,5 @@ fn main() {
         usize::from(hib.member_ports) - 1,
         (usize::from(hib.member_ports) - 1) as f64,
     );
-    output::write_json("ablation_placement", &json);
+    exp.write("ablation_placement", &json);
 }

@@ -6,11 +6,15 @@ use stellar_bench::{fig10ab, output};
 use stellar_stats::table::render_table;
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 10(a)",
         "Control-plane CPU usage vs. rule-update rate (5-second windows, OLS + 95% CI)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 6,
+        },
     );
-    let samples = fig10ab::run_cpu_sweep(6);
+    let samples = fig10ab::run_cpu_sweep(exp.ticks() as usize);
     let fit = fig10ab::fit(&samples);
 
     let mut rows = vec![vec![
@@ -56,5 +60,5 @@ fn main() {
         "r2": fit.r2,
         "rate_at_15pct": max_rate,
     });
-    output::write_json("fig10a", &json);
+    exp.write("fig10a", &json);
 }

@@ -6,11 +6,15 @@ use stellar_bench::{fig10ab, output};
 use stellar_stats::table::render_table;
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 10(b)",
         "Required queuing for different announcement frequencies (waiting-time CDF)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
-    let trace = fig10ab::rtbh_trace(stellar_bench::SEED);
+    let trace = fig10ab::rtbh_trace(exp.seed());
     println!("replaying {} configuration changes\n", trace.len());
     let at4 = fig10ab::replay(&trace, 4.0);
     let at5 = fig10ab::replay(&trace, 5.0);
@@ -49,5 +53,5 @@ fn main() {
         "p95_4": at4.quantile(0.95),
         "p95_5": at5.quantile(0.95),
     });
-    output::write_json("fig10b", &json);
+    exp.write("fig10b", &json);
 }

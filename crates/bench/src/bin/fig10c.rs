@@ -6,9 +6,13 @@ use stellar_core::scenario::{run_booter, BooterParams};
 use stellar_stats::table::{bar, render_table};
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 10(c)",
         "Active DDoS attack with Stellar (shape to 200 Mbps at t=300s, drop UDP at t=500s)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
     let (params, plan) = BooterParams::fig10c();
     let run = run_booter(&params, plan);
@@ -68,5 +72,5 @@ fn main() {
         "mean_shaped_mbps": shaped,
         "mean_dropped_mbps": dropped,
     });
-    output::write_json("fig10c", &json);
+    exp.write("fig10c", &json);
 }

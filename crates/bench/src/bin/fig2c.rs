@@ -40,16 +40,20 @@ fn print_run(title: &str, run: &stellar_core::scenario::CollateralRun) {
 }
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 2(c)",
         "Collateral damage of RTBH: traffic share towards the attacked member [%]",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
-    let baseline = run_memcached_collateral(None, stellar_bench::SEED);
+    let baseline = run_memcached_collateral(None, exp.seed());
     print_run(
         "memcached attack from 20:21, no mitigation (the paper's trace)",
         &baseline,
     );
-    let with_stellar = run_memcached_collateral(Some(35), stellar_bench::SEED);
+    let with_stellar = run_memcached_collateral(Some(35), exp.seed());
     print_run(
         "same attack, Stellar drop rule for UDP src 11211 installed at 20:35",
         &with_stellar,
@@ -70,5 +74,5 @@ fn main() {
             serde_json::json!({"minute": l, "shares": s.iter().map(|(p, v)| (p.to_string(), v)).collect::<Vec<_>>()})
         }).collect::<Vec<_>>(),
     });
-    output::write_json("fig2c", &json);
+    exp.write("fig2c", &json);
 }

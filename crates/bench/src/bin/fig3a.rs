@@ -7,11 +7,15 @@ use stellar_net::ports;
 use stellar_stats::table::{bar, render_table};
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 3(a)",
         "UDP source ports of blackholed traffic (two weeks of RTBH events, 95% CI, Welch t-test alpha=0.02)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 140,
+        },
     );
-    let study = fig3a::run(140, stellar_bench::SEED);
+    let study = fig3a::run(exp.ticks() as usize, exp.seed());
 
     let mut rows = vec![vec![
         "UDP src port".to_string(),
@@ -71,5 +75,5 @@ fn main() {
             })
         })
         .collect();
-    output::write_json("fig3a", &json);
+    exp.write("fig3a", &json);
 }

@@ -6,12 +6,16 @@ use stellar_bench::{fig3b, output};
 use stellar_stats::table::{bar, render_table};
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 3(b)",
         "Usage of policy control for RTBH (share of announcements by scope, log-scale in the paper)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 200_000,
+        },
     );
-    let n = 200_000;
-    let shares = fig3b::run(n, stellar_bench::SEED);
+    let n = exp.ticks() as usize;
+    let shares = fig3b::run(n, exp.seed());
 
     let mut rows = vec![vec![
         "affected ASNs".to_string(),
@@ -34,7 +38,7 @@ fn main() {
          peers to blackhole (paper: 93.97%) — yet {:.0}% of members do not honor\n\
          the community (paper: almost 70%).",
         shares.get("All").copied().unwrap_or(0.0) * 100.0,
-        fig3b::non_honoring_share(650, stellar_bench::SEED) * 100.0
+        fig3b::non_honoring_share(650, exp.seed()) * 100.0
     );
-    output::write_json("fig3b", &shares);
+    exp.write("fig3b", &shares);
 }

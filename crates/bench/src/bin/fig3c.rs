@@ -8,9 +8,13 @@ use stellar_core::scenario::{run_booter, BooterParams};
 use stellar_stats::table::{bar, render_table};
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 3(c)",
         "Active DDoS attack with classic RTBH (booter, 1 Gbps peak, RTBH at t=380s)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
     let (params, plan) = BooterParams::fig3c();
     let run = run_booter(&params, plan);
@@ -58,5 +62,5 @@ fn main() {
         "mean_before_mbps": before,
         "mean_after_mbps": after,
     });
-    output::write_json("fig3c", &json);
+    exp.write("fig3c", &json);
 }

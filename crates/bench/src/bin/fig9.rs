@@ -7,9 +7,13 @@ use stellar_dataplane::hardware::HardwareInfoBase;
 use stellar_dataplane::tcam::TcamVerdict;
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "FIG 9",
         "Stellar scaling limits by adoption rate (N = 95th pct of parallel RTBHs per port)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
     let hib = HardwareInfoBase::production_er();
     println!(
@@ -45,5 +49,5 @@ fn main() {
          can be deployed without exhausting the platform's filtering\n\
          resources (§5.1)."
     );
-    output::write_json("fig9", &json);
+    exp.write("fig9", &json);
 }

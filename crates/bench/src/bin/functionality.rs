@@ -62,9 +62,13 @@ fn run(
 }
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "§5.2",
         "Functionality: 10G generator into a 1G member port — drop/shape/forward per targeted IP",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
     let mut er = EdgeRouter::new(HardwareInfoBase::production_er());
     er.add_port(
@@ -164,5 +168,5 @@ fn main() {
          shaping-queue flows share the shaping rate; with the attack flows\n\
          handled, the benign flows to BOTH targeted IPs pass untouched."
     );
-    output::write_json("functionality", &rows);
+    exp.write("functionality", &rows);
 }

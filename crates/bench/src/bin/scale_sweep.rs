@@ -1,0 +1,376 @@
+//! Scale sweep for the dataplane tick pipeline: the legacy per-tick
+//! allocating path (`seq_old`) vs. the arena path on one thread
+//! (`seq_new`) vs. the arena path fanned over the worker pool
+//! (`parallel`), across port-count × rule-count × offered-aggregate
+//! grids.
+//!
+//! Every mode runs the same offered traffic through freshly built,
+//! identically seeded routers and must finish with byte-identical
+//! per-port counters — the sweep asserts this in-run, so the numbers it
+//! reports are for provably equivalent work. Results land in
+//! `results/bench_pipeline.json` (standard envelope) and the headline
+//! summary in `BENCH_pipeline.json` at the workspace root.
+//!
+//! `STELLAR_SWEEP_SMOKE=1` shrinks the grid and tick count for the CI
+//! gate; `STELLAR_TICK_WORKERS` pins the parallel worker count.
+
+use std::time::Duration;
+use stellar_bench::output;
+use stellar_dataplane::filter::{Action, FilterRule, MatchSpec, PortMatch};
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_dataplane::port::MemberPort;
+use stellar_dataplane::switch::{EdgeRouter, OfferedAggregate, PortId};
+use stellar_net::addr::{IpAddress, Ipv4Address};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::proto::IpProtocol;
+use stellar_sim::engine::run_ticks_timed;
+use stellar_stats::table::render_table;
+
+const TICK_US: u64 = 1_000_000;
+const WARMUP_TICKS: u64 = 3;
+
+/// One grid point of the sweep.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    ports: usize,
+    rules_per_port: usize,
+    offers_per_port: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    SeqOld,
+    SeqNew,
+    Parallel,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+fn member_asn(port: usize) -> u32 {
+    64500 + port as u32
+}
+
+/// Builds a router with `cfg.ports` 1G member ports, each carrying the
+/// same seeded mix of drop / shape / forward rules keyed on UDP source
+/// ports. Rules go straight into the port policies (the sweep measures
+/// the tick pipeline, not TCAM admission).
+fn build_router(cfg: Config, seed: u64) -> EdgeRouter {
+    let mut er = EdgeRouter::new(HardwareInfoBase::production_er());
+    for p in 0..cfg.ports {
+        let asn = member_asn(p);
+        let pid = PortId(p as u16 + 1);
+        er.add_port(
+            pid,
+            MemberPort::new(asn, MacAddr::for_member(asn, 1), 1_000_000_000),
+        );
+        let port = er.port_mut(pid).expect("port just added");
+        let mut s = seed ^ (p as u64).wrapping_mul(0x9e3779b97f4a7c15);
+        for r in 0..cfg.rules_per_port {
+            let id = (p * cfg.rules_per_port + r) as u64 + 1;
+            let src_port = (lcg(&mut s) % 1024) as u16;
+            let action = match r % 3 {
+                0 => Action::Drop,
+                1 => Action::Shape {
+                    rate_bps: 50_000_000,
+                },
+                _ => Action::Forward,
+            };
+            port.policy.install(FilterRule::new(
+                id,
+                MatchSpec {
+                    protocol: Some(IpProtocol::UDP),
+                    src_port: Some(PortMatch::Exact(src_port)),
+                    ..Default::default()
+                },
+                action,
+                (r % 16) as u16,
+            ));
+        }
+    }
+    er
+}
+
+/// The per-tick offered traffic: `offers_per_port` aggregates towards
+/// every port, UDP-heavy with source ports overlapping the rule space so
+/// all three actions fire.
+fn build_offers(cfg: Config, seed: u64) -> Vec<OfferedAggregate> {
+    let mut s = seed.wrapping_mul(0x2545f4914f6cdd1d) | 1;
+    let mut offers = Vec::with_capacity(cfg.ports * cfg.offers_per_port);
+    for p in 0..cfg.ports {
+        let asn = member_asn(p);
+        for _ in 0..cfg.offers_per_port {
+            let proto = if lcg(&mut s).is_multiple_of(4) {
+                IpProtocol::TCP
+            } else {
+                IpProtocol::UDP
+            };
+            let src_port = (lcg(&mut s) % 2048) as u16;
+            let bytes = 10_000 + lcg(&mut s) % 100_000;
+            offers.push(OfferedAggregate {
+                key: FlowKey {
+                    src_mac: MacAddr::for_member(65000 + (lcg(&mut s) % 64) as u32, 1),
+                    dst_mac: MacAddr::for_member(asn, 1),
+                    src_ip: IpAddress::V4(Ipv4Address::new(
+                        198,
+                        51,
+                        (lcg(&mut s) % 256) as u8,
+                        (lcg(&mut s) % 256) as u8,
+                    )),
+                    dst_ip: IpAddress::V4(Ipv4Address::new(
+                        100,
+                        (p / 250) as u8,
+                        (p % 250) as u8,
+                        10,
+                    )),
+                    protocol: proto,
+                    src_port,
+                    dst_port: if proto == IpProtocol::TCP { 443 } else { 40000 },
+                },
+                bytes,
+                packets: bytes / 1200 + 1,
+            });
+        }
+    }
+    offers
+}
+
+/// Cumulative per-port counters after a run — the cross-mode equality
+/// witness.
+fn fingerprint(er: &EdgeRouter) -> Vec<(u16, [u64; 6])> {
+    er.ports()
+        .map(|(pid, port)| {
+            let c = &port.counters;
+            (
+                pid.0,
+                [
+                    c.forwarded_bytes,
+                    c.forwarded_packets,
+                    c.dropped_bytes,
+                    c.dropped_packets,
+                    c.shaped_bytes,
+                    c.shape_dropped_bytes,
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Runs one (config, mode) cell: fresh router, warm-up ticks, then the
+/// timed window. Returns wall time for the timed window plus the counter
+/// fingerprint over the whole run (warm-up included — identical across
+/// modes by construction).
+fn run_mode(
+    cfg: Config,
+    mode: Mode,
+    ticks: u64,
+    seed: u64,
+    parallel_workers: usize,
+) -> (Duration, Vec<(u16, [u64; 6])>) {
+    let mut er = build_router(cfg, seed);
+    er.set_tick_workers(match mode {
+        Mode::Parallel => parallel_workers,
+        _ => 1,
+    });
+    let offers = build_offers(cfg, seed);
+    let step = |er: &mut EdgeRouter, _t0: u64, t1: u64| match mode {
+        Mode::SeqOld => {
+            er.process_tick_legacy(&offers, t1, TICK_US);
+        }
+        Mode::SeqNew | Mode::Parallel => {
+            er.process_tick_in_place(&offers, t1, TICK_US);
+        }
+    };
+    run_ticks_timed(&mut er, 0, WARMUP_TICKS * TICK_US, TICK_US, step);
+    let (executed, wall) = run_ticks_timed(
+        &mut er,
+        WARMUP_TICKS * TICK_US,
+        (WARMUP_TICKS + ticks) * TICK_US,
+        TICK_US,
+        step,
+    );
+    assert_eq!(executed, ticks);
+    (wall, fingerprint(&er))
+}
+
+fn main() {
+    let smoke = std::env::var("STELLAR_SWEEP_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let exp = output::start(
+        "SCALE SWEEP",
+        "Dataplane tick pipeline: legacy vs. arena vs. parallel, ports x rules x offers",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: if smoke { 6 } else { 40 },
+        },
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel_workers = std::env::var("STELLAR_TICK_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| stellar_classify::sharded::default_workers().max(2));
+    let configs: Vec<Config> = if smoke {
+        vec![
+            Config {
+                ports: 4,
+                rules_per_port: 16,
+                offers_per_port: 16,
+            },
+            Config {
+                ports: 16,
+                rules_per_port: 32,
+                offers_per_port: 32,
+            },
+        ]
+    } else {
+        vec![
+            Config {
+                ports: 4,
+                rules_per_port: 16,
+                offers_per_port: 16,
+            },
+            Config {
+                ports: 16,
+                rules_per_port: 32,
+                offers_per_port: 64,
+            },
+            Config {
+                ports: 64,
+                rules_per_port: 64,
+                offers_per_port: 64,
+            },
+            Config {
+                ports: 128,
+                rules_per_port: 64,
+                offers_per_port: 64,
+            },
+        ]
+    };
+    println!(
+        "host: {cores} core(s); parallel mode uses {parallel_workers} worker(s); \
+         {} tick(s)/cell after {WARMUP_TICKS} warm-up\n",
+        exp.ticks()
+    );
+
+    let mut rows = vec![vec![
+        "ports".to_string(),
+        "rules/port".to_string(),
+        "offers/port".to_string(),
+        "seq_old ms".to_string(),
+        "seq_new ms".to_string(),
+        "parallel ms".to_string(),
+        "arena x".to_string(),
+        "parallel x".to_string(),
+    ]];
+    let mut cells = Vec::new();
+    let mut best_arena_at_scale = 0.0f64;
+    let mut best_parallel_at_scale = 0.0f64;
+    for cfg in &configs {
+        let (t_old, fp_old) = run_mode(
+            *cfg,
+            Mode::SeqOld,
+            exp.ticks(),
+            exp.seed(),
+            parallel_workers,
+        );
+        let (t_new, fp_new) = run_mode(
+            *cfg,
+            Mode::SeqNew,
+            exp.ticks(),
+            exp.seed(),
+            parallel_workers,
+        );
+        let (t_par, fp_par) = run_mode(
+            *cfg,
+            Mode::Parallel,
+            exp.ticks(),
+            exp.seed(),
+            parallel_workers,
+        );
+        assert_eq!(fp_old, fp_new, "arena path diverged from legacy counters");
+        assert_eq!(
+            fp_new, fp_par,
+            "parallel path diverged from sequential counters"
+        );
+        let arena_x = t_old.as_secs_f64() / t_new.as_secs_f64().max(1e-9);
+        let parallel_x = t_new.as_secs_f64() / t_par.as_secs_f64().max(1e-9);
+        if cfg.ports >= 16 {
+            best_arena_at_scale = best_arena_at_scale.max(arena_x);
+            best_parallel_at_scale = best_parallel_at_scale.max(parallel_x);
+        }
+        rows.push(vec![
+            cfg.ports.to_string(),
+            cfg.rules_per_port.to_string(),
+            cfg.offers_per_port.to_string(),
+            format!("{:9.3}", t_old.as_secs_f64() * 1e3),
+            format!("{:9.3}", t_new.as_secs_f64() * 1e3),
+            format!("{:9.3}", t_par.as_secs_f64() * 1e3),
+            format!("{arena_x:6.2}"),
+            format!("{parallel_x:6.2}"),
+        ]);
+        cells.push(serde_json::json!({
+            "ports": cfg.ports,
+            "rules_per_port": cfg.rules_per_port,
+            "offers_per_port": cfg.offers_per_port,
+            "seq_old_ms": t_old.as_secs_f64() * 1e3,
+            "seq_new_ms": t_new.as_secs_f64() * 1e3,
+            "parallel_ms": t_par.as_secs_f64() * 1e3,
+            "arena_speedup": arena_x,
+            "parallel_speedup": parallel_x,
+            "counters_identical": true,
+        }));
+    }
+    println!("{}", render_table(&rows));
+    println!("cross-mode counter equality: OK (all cells, all three modes)");
+
+    // The acceptance thresholds: the arena alone must buy >= 1.3x on one
+    // thread; the parallel fan-out must buy >= 2.5x at >= 16 ports — but
+    // only on a host that can actually run threads in parallel.
+    let arena_ok = best_arena_at_scale >= 1.3;
+    let parallel_evaluable = cores >= 2;
+    let parallel_ok = parallel_evaluable && best_parallel_at_scale >= 2.5;
+    println!(
+        "arena speedup (>=16 ports): best {best_arena_at_scale:.2}x (target 1.3x) -> {}",
+        if arena_ok { "PASS" } else { "FAIL" }
+    );
+    if parallel_evaluable {
+        println!(
+            "parallel speedup (>=16 ports): best {best_parallel_at_scale:.2}x (target 2.5x) -> {}",
+            if parallel_ok { "PASS" } else { "FAIL" }
+        );
+    } else {
+        println!(
+            "parallel speedup (>=16 ports): best {best_parallel_at_scale:.2}x — single-core \
+             host, target not evaluable; parallel mode exercised for correctness only"
+        );
+    }
+
+    let summary = serde_json::json!({
+        "host": serde_json::json!({
+            "cores": cores,
+            "parallel_workers": parallel_workers,
+            "smoke": smoke,
+        }),
+        "cells": cells,
+        "criteria": serde_json::json!({
+            "arena_best_speedup_at_16_ports": best_arena_at_scale,
+            "arena_target": 1.3,
+            "arena_pass": arena_ok,
+            "parallel_best_speedup_at_16_ports": best_parallel_at_scale,
+            "parallel_target": 2.5,
+            "parallel_evaluable_on_this_host": parallel_evaluable,
+            "parallel_pass": if parallel_evaluable {
+                serde_json::json!(parallel_ok)
+            } else {
+                serde_json::json!(null)
+            },
+        }),
+    });
+    exp.write("bench_pipeline", &summary);
+    output::write_json_root("BENCH_pipeline.json", &summary);
+}

@@ -19,9 +19,13 @@ fn symbol(r: Rating) -> &'static str {
 }
 
 fn main() {
-    output::banner(
+    let exp = output::start(
         "TABLE 1",
         "Advanced Blackholing vs. DDoS mitigation solutions (Y advantage, X disadvantage, o neutral)",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
     );
     let scenario = ReferenceScenario::default();
     let outcomes: Vec<_> = ALL.iter().map(|t| evaluate(*t, &scenario)).collect();
@@ -86,5 +90,5 @@ fn main() {
             })
         })
         .collect();
-    output::write_json("table1", &json);
+    exp.write("table1", &json);
 }

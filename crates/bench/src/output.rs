@@ -1,4 +1,7 @@
-//! Shared output plumbing for the experiment binaries.
+//! Shared output plumbing for the experiment binaries: the banner, the
+//! `--seed` / `--ticks` command-line flags every binary accepts, and the
+//! JSON result envelope — one implementation instead of a copy per
+//! binary.
 
 use serde::Serialize;
 use std::fs;
@@ -9,6 +12,98 @@ pub fn banner(id: &str, title: &str) {
     println!("==============================================================");
     println!("{id}: {title}");
     println!("==============================================================");
+}
+
+/// Run parameters every experiment binary accepts on the command line.
+/// `seed` feeds the experiment RNG where one exists; `ticks` is the
+/// binary's natural iteration knob (events, samples, ticks — see each
+/// binary's default). Fully deterministic scenarios record but do not
+/// consume them.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Experiment RNG seed.
+    pub seed: u64,
+    /// Iteration count (meaning is per-binary; 0 = not applicable).
+    pub ticks: u64,
+}
+
+/// A running experiment: parsed options plus the output envelope.
+/// Create with [`start`]; emit results with
+/// [`write`](Experiment::write).
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    opts: RunOpts,
+}
+
+/// Prints the banner, parses `--seed N` / `--ticks N` (defaults =
+/// the binary's current hard-wired values), and returns the experiment
+/// handle. `--help` prints usage and exits; unknown flags abort.
+pub fn start(id: &str, title: &str, defaults: RunOpts) -> Experiment {
+    let opts = parse_flags(std::env::args().skip(1), defaults, id);
+    banner(id, title);
+    if opts.seed != defaults.seed || opts.ticks != defaults.ticks {
+        println!("[overrides: seed={} ticks={}]", opts.seed, opts.ticks);
+    }
+    Experiment { opts }
+}
+
+fn parse_flags(args: impl Iterator<Item = String>, defaults: RunOpts, id: &str) -> RunOpts {
+    let mut opts = defaults;
+    let mut args = args.peekable();
+    let parse = |flag: &str, v: Option<String>| -> u64 {
+        v.and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+            eprintln!("error: {flag} requires an unsigned integer value");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => opts.seed = parse("--seed", args.next()),
+            "--ticks" => opts.ticks = parse("--ticks", args.next()),
+            _ if a.starts_with("--seed=") => {
+                opts.seed = parse("--seed", Some(a["--seed=".len()..].to_string()));
+            }
+            _ if a.starts_with("--ticks=") => {
+                opts.ticks = parse("--ticks", Some(a["--ticks=".len()..].to_string()));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "{id}\n\nOptions:\n  --seed N   experiment RNG seed (default {})\n  --ticks N  iteration count; meaning is per-binary (default {})",
+                    defaults.seed, defaults.ticks
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("error: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+impl Experiment {
+    /// The effective RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.opts.seed
+    }
+
+    /// The effective iteration count.
+    pub fn ticks(&self) -> u64 {
+        self.opts.ticks
+    }
+
+    /// Writes the result payload under `results/<name>.json`, wrapped in
+    /// the standard envelope recording the run parameters:
+    /// `{"seed": ..., "ticks": ..., "data": <payload>}`.
+    pub fn write<T: Serialize>(&self, name: &str, payload: &T) {
+        let envelope = serde_json::json!({
+            "seed": self.opts.seed,
+            "ticks": self.opts.ticks,
+            "data": payload,
+        });
+        write_json(name, &envelope);
+    }
 }
 
 /// The workspace-root `results/` directory. Experiment binaries run from
@@ -29,7 +124,19 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         eprintln!("note: could not create results dir: {e}");
         return;
     }
-    let path = dir.join(format!("{name}.json"));
+    write_json_at(dir.join(format!("{name}.json")), value);
+}
+
+/// Writes a JSON file directly at the workspace root — for headline
+/// summaries like `BENCH_pipeline.json` that live next to the README.
+pub fn write_json_root<T: Serialize>(file_name: &str, value: &T) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name);
+    write_json_at(path, value);
+}
+
+fn write_json_at<T: Serialize>(path: PathBuf, value: &T) {
     match serde_json::to_string_pretty(value) {
         Ok(json) => {
             if let Err(e) = fs::write(&path, json) {

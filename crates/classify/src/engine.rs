@@ -199,6 +199,26 @@ struct Tuple {
     buckets: HashMap<TupleKey, Vec<Rank>>,
 }
 
+/// Reusable worklists for [`ClassifyEngine::classify_batch_into`].
+/// Cleared, never shrunk, between batches — own one per hot call site
+/// and the steady-state batch path allocates nothing.
+#[derive(Debug, Default)]
+pub struct ClassifyScratch {
+    /// Best rank found so far per key (index-aligned with the batch).
+    best: Vec<Option<Rank>>,
+    /// Keys still in play for the current tuple sweep.
+    undecided: Vec<u32>,
+    /// Double buffer for the next sweep's worklist.
+    next: Vec<u32>,
+}
+
+impl ClassifyScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The compiled classification engine. See the module docs for the
 /// data-structure story; the API is plain: [`insert`](Self::insert) /
 /// [`remove`](Self::remove) rules incrementally (or
@@ -345,7 +365,71 @@ impl ClassifyEngine {
     /// Classifies a batch of keys. Equivalent to mapping
     /// [`classify`](Self::classify), amortizing the probe-order setup.
     pub fn classify_batch(&self, keys: &[FlowKey]) -> Vec<Option<RuleId>> {
-        keys.iter().map(|k| self.classify(k)).collect()
+        let mut out = Vec::new();
+        self.classify_batch_into(keys, &mut ClassifyScratch::new(), &mut out);
+        out
+    }
+
+    /// Batch classification into caller-owned buffers: `out[i]` becomes
+    /// the verdict for `keys[i]`, exactly as [`classify`](Self::classify)
+    /// would produce it.
+    ///
+    /// The search is tuple-major instead of key-major: each tuple is
+    /// fetched once and probed by every still-undecided key, so the
+    /// per-tuple hash lookup and the probe-order walk are amortized
+    /// across the whole batch. Keys retire from the worklist as soon as
+    /// their best match outranks everything later tuples could hold —
+    /// the same early exit the single-key path takes. `scratch` keeps
+    /// the worklists alive across calls so a steady-state tick makes no
+    /// allocations here.
+    pub fn classify_batch_into(
+        &self,
+        keys: &[FlowKey],
+        scratch: &mut ClassifyScratch,
+        out: &mut Vec<Option<RuleId>>,
+    ) {
+        let ClassifyScratch {
+            best,
+            undecided,
+            next,
+        } = scratch;
+        best.clear();
+        best.resize(keys.len(), None);
+        undecided.clear();
+        undecided.extend(0..keys.len() as u32);
+        for sig in &self.order {
+            if undecided.is_empty() {
+                break;
+            }
+            let tuple = &self.tuples[sig];
+            next.clear();
+            for &i in undecided.iter() {
+                let slot = &mut best[i as usize];
+                if slot.is_some_and(|b| b <= tuple.min_rank) {
+                    // Decided: tuples are visited in ascending min_rank,
+                    // so nothing later can beat this key's match. Drop it
+                    // from the worklist for good.
+                    continue;
+                }
+                if let Some(probe) = TupleKey::for_flow(sig, &keys[i as usize]) {
+                    if let Some(bucket) = tuple.buckets.get(&probe) {
+                        for rank in bucket {
+                            if slot.is_some_and(|b| b <= *rank) {
+                                break;
+                            }
+                            if self.rules[&rank.1].0.spec.matches(&keys[i as usize]) {
+                                *slot = Some(*rank);
+                                break;
+                            }
+                        }
+                    }
+                }
+                next.push(i);
+            }
+            std::mem::swap(undecided, next);
+        }
+        out.clear();
+        out.extend(best.iter().map(|b| b.map(|(_, id)| id)));
     }
 
     /// The installed entry for an id.

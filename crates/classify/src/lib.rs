@@ -22,12 +22,13 @@
 //!   (priority, id) semantics identical to a linear scan over rules sorted
 //!   by `(priority, id)`, incremental insert/remove, single-key and batch
 //!   lookups.
-//! - [`sharded`] — a scoped-thread front-end that fans independent shards
-//!   (one per port group) out across workers.
+//! - [`sharded`] — a front-end that fans independent shards (one per
+//!   port group) out across the reusable worker [`pool`].
 
 pub mod engine;
+pub mod pool;
 pub mod sharded;
 pub mod spec;
 
-pub use engine::{ClassifyEngine, RuleEntry, RuleId};
+pub use engine::{ClassifyEngine, ClassifyScratch, RuleEntry, RuleId};
 pub use spec::{MatchSpec, PortMatch};

@@ -3,16 +3,20 @@
 //! The dataplane's natural unit of parallelism is the port group: every
 //! member port owns an independent engine (its egress policy), so ticks
 //! for different ports never contend. [`parallel_shards`] fans a vector
-//! of such independent shards out over scoped worker threads
-//! (`std::thread::scope`), preserving input order in the output;
-//! [`classify_shards`] specializes it to "one batch of keys per engine".
+//! of such independent shards out over the process-wide
+//! [`WorkerPool`](crate::pool::WorkerPool), preserving input order in
+//! the output; [`classify_shards`] specializes it to "one batch of keys
+//! per engine".
 //!
-//! Scoped threads let shards borrow the engines (and, in the switch, hold
-//! `&mut` to each port) without any `'static` or `Arc` ceremony, and the
-//! scope joins every worker before returning, so a panicking shard
-//! propagates instead of being lost.
+//! The pool keeps scoped-thread ergonomics — shards borrow the engines
+//! (and, in the switch, hold `&mut` to each port) without `'static` or
+//! `Arc` ceremony, and every shard completes (with panics propagated)
+//! before the call returns — while reusing long-lived workers instead of
+//! paying a thread spawn + join per call, which used to dominate the
+//! per-tick cost.
 
 use crate::engine::{ClassifyEngine, RuleId};
+use crate::pool::{on_pool_worker, WorkerPool};
 use stellar_net::flow::FlowKey;
 
 /// Default worker count: the machine's available parallelism.
@@ -22,10 +26,12 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs `f` over every shard, using up to `max_workers` scoped threads,
+/// Runs `f` over every shard, using up to `max_workers` pool workers,
 /// and returns the results in input order. With one shard (or one
-/// worker) everything runs inline on the caller's thread — no spawn cost
-/// on the common small-topology path.
+/// worker) everything runs inline on the caller's thread — no dispatch
+/// cost on the common small-topology path. Calls made *from* a pool
+/// worker (nested fan-out) also run inline rather than deadlocking on
+/// the queue that worker is draining.
 pub fn parallel_shards<T, R, F>(shards: Vec<T>, max_workers: usize, f: F) -> Vec<R>
 where
     T: Send,
@@ -33,7 +39,7 @@ where
     F: Fn(T) -> R + Sync,
 {
     let n = shards.len();
-    if n <= 1 || max_workers <= 1 {
+    if n <= 1 || max_workers <= 1 || on_pool_worker() {
         return shards.into_iter().map(f).collect();
     }
     let workers = max_workers.min(n);
@@ -46,17 +52,11 @@ where
         let tail = rest.split_off(chunk_len.min(rest.len()));
         chunks.push(std::mem::replace(&mut rest, tail));
     }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("classification shard panicked"))
-            .collect()
-    })
+    WorkerPool::global()
+        .run_chunks(chunks, &f)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// One port group's classification work: its engine and the flow keys

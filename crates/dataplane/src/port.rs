@@ -42,6 +42,37 @@ impl MemberPort {
         result
     }
 
+    /// Allocation-free [`process_tick`](Self::process_tick): the tick
+    /// runs in the policy's scratch buffers and lands in the recycled
+    /// `result` (cleared first).
+    pub fn process_tick_into(
+        &mut self,
+        offers: &[Offer],
+        tick_end_us: u64,
+        tick_us: u64,
+        result: &mut TickResult,
+    ) {
+        self.policy
+            .apply_tick_into(offers, tick_end_us, tick_us, self.capacity_bps, result);
+        self.counters.absorb(&result.counters);
+    }
+
+    /// Pre-arena tick path (see [`QosPolicy::apply_tick_legacy`]): the
+    /// `scale_sweep` "sequential old" baseline and differential-test
+    /// oracle. Not for new callers.
+    pub fn process_tick_legacy(
+        &mut self,
+        offers: &[Offer],
+        tick_end_us: u64,
+        tick_us: u64,
+    ) -> TickResult {
+        let result = self
+            .policy
+            .apply_tick_legacy(offers, tick_end_us, tick_us, self.capacity_bps);
+        self.counters.absorb(&result.counters);
+        result
+    }
+
     /// Classifies a single flow key (per-packet functional path).
     pub fn classify(&self, key: &FlowKey) -> Option<&crate::filter::FilterRule> {
         self.policy.classify(key)

@@ -7,7 +7,7 @@ use crate::filter::{Action, FilterRule};
 use crate::queue;
 use crate::shaper::TokenBucket;
 use std::collections::HashMap;
-use stellar_classify::ClassifyEngine;
+use stellar_classify::{ClassifyEngine, ClassifyScratch};
 use stellar_net::flow::FlowKey;
 
 /// One offered traffic aggregate within a tick.
@@ -30,6 +30,40 @@ pub struct TickResult {
     pub counters: PortCounters,
 }
 
+impl TickResult {
+    /// Resets to the empty result, keeping the delivered buffer's
+    /// capacity so a recycled result allocates nothing in steady state.
+    pub fn clear(&mut self) {
+        self.delivered.clear();
+        self.counters = PortCounters::default();
+    }
+}
+
+/// Reusable per-policy tick buffers: every vector the hot path needs,
+/// cleared (never freed) between ticks. One lives inside each
+/// [`QosPolicy`], so a steady-state [`apply_tick_into`]
+/// (`QosPolicy::apply_tick_into`) makes no heap allocations.
+#[derive(Debug, Default)]
+struct TickWork {
+    /// Flow keys of the tick's offers, batch-classification input.
+    keys: Vec<FlowKey>,
+    /// Verdict per offer, index-aligned with `keys`.
+    verdicts: Vec<Option<u64>>,
+    /// Worklists for the tuple-major batch classifier.
+    classify: ClassifyScratch,
+    /// `(shape rule id, offer index)` tags; sorted to form the shaping
+    /// groups deterministically without a per-tick hash map.
+    shape_tags: Vec<(u64, u32)>,
+    /// Aggregates headed for the forwarding queue.
+    to_forward: Vec<(FlowKey, u64, u64)>,
+    /// Byte columns handed to the proportional drain.
+    byte_offers: Vec<u64>,
+    /// Per-offer `(forwarded, dropped)` splits from the drain.
+    drained: Vec<(u64, u64)>,
+    /// Sort scratch for the drain's remainder distribution.
+    order: Vec<usize>,
+}
+
 /// The QoS policy of one member port.
 ///
 /// Rules are kept both as a priority-sorted list (the canonical,
@@ -45,6 +79,8 @@ pub struct QosPolicy {
     engine: ClassifyEngine,
     shapers: HashMap<u64, TokenBucket>,
     rule_counters: HashMap<u64, RuleCounters>,
+    /// Tick-scoped scratch, reused across ticks.
+    work: TickWork,
 }
 
 /// Default burst allowance for shaping queues: one second at the shaping
@@ -159,6 +195,9 @@ impl QosPolicy {
     /// Pushes one tick of offered aggregates through the policy.
     /// `tick_end_us` clocks the shapers; `tick_us` is the tick duration;
     /// `capacity_bps` is the member port capacity.
+    ///
+    /// Convenience wrapper over [`apply_tick_into`]
+    /// (`Self::apply_tick_into`) that allocates a fresh result.
     pub fn apply_tick(
         &mut self,
         offers: &[Offer],
@@ -167,18 +206,149 @@ impl QosPolicy {
         capacity_bps: u64,
     ) -> TickResult {
         let mut result = TickResult::default();
-        // Phase 1: classification into drop / shape / forward. Offers
-        // matching the same shaping rule are grouped so the shaped rate
-        // is shared proportionally across flows within the tick — a real
-        // shaping queue lets every contending flow keep a share, which is
-        // why "the number of peers remains constant" while shaping
-        // (§5.3).
+        self.apply_tick_into(offers, tick_end_us, tick_us, capacity_bps, &mut result);
+        result
+    }
+
+    /// The allocation-free tick path: like [`apply_tick`]
+    /// (`Self::apply_tick`), but classification, grouping, and queue
+    /// arithmetic all run in the policy's reusable [`TickWork`] buffers
+    /// and the outcome lands in the caller-recycled `result` (cleared
+    /// first). Steady state makes zero heap allocations per tick.
+    ///
+    /// Phase 1 classifies the whole tick in one batched engine pass and
+    /// dispatches verdicts into drop / shape / forward. Offers matching
+    /// the same shaping rule are grouped so the shaped rate is shared
+    /// proportionally across flows within the tick — a real shaping
+    /// queue lets every contending flow keep a share, which is why "the
+    /// number of peers remains constant" while shaping (§5.3). Groups
+    /// are formed by sorting `(rule id, offer index)` tags, so they come
+    /// out in ascending rule id with offers in arrival order — exactly
+    /// the order the old hash-map grouping produced after its own sort.
+    /// Phase 2 pushes the forwarding queue at port capacity.
+    pub fn apply_tick_into(
+        &mut self,
+        offers: &[Offer],
+        tick_end_us: u64,
+        tick_us: u64,
+        capacity_bps: u64,
+        result: &mut TickResult,
+    ) {
+        result.clear();
+        let QosPolicy {
+            rules,
+            by_id,
+            engine,
+            shapers,
+            rule_counters,
+            work,
+        } = self;
+        let TickWork {
+            keys,
+            verdicts,
+            classify,
+            shape_tags,
+            to_forward,
+            byte_offers,
+            drained,
+            order,
+        } = work;
+        keys.clear();
+        keys.extend(offers.iter().map(|o| o.key));
+        engine.classify_batch_into(keys, classify, verdicts);
+        to_forward.clear();
+        shape_tags.clear();
+        for (i, (offer, verdict)) in offers.iter().zip(verdicts.iter()).enumerate() {
+            let rule = verdict.and_then(|id| by_id.get(&id).map(|&ix| &rules[ix]));
+            match rule.map(|r| (r.id, r.action)) {
+                Some((id, Action::Drop)) => {
+                    result.counters.dropped_bytes += offer.bytes;
+                    result.counters.dropped_packets += offer.packets;
+                    let rc = rule_counters.entry(id).or_default();
+                    rc.matched_bytes += offer.bytes;
+                    rc.matched_packets += offer.packets;
+                    rc.discarded_bytes += offer.bytes;
+                }
+                Some((id, Action::Shape { .. })) => shape_tags.push((id, i as u32)),
+                Some((id, Action::Forward)) => {
+                    let rc = rule_counters.entry(id).or_default();
+                    rc.matched_bytes += offer.bytes;
+                    rc.matched_packets += offer.packets;
+                    rc.passed_bytes += offer.bytes;
+                    to_forward.push((offer.key, offer.bytes, offer.packets));
+                }
+                None => to_forward.push((offer.key, offer.bytes, offer.packets)),
+            }
+        }
+        // Ascending (rule id, offer index): deterministic groups, no
+        // per-tick hash map.
+        shape_tags.sort_unstable();
+        let mut g = 0;
+        while g < shape_tags.len() {
+            let id = shape_tags[g].0;
+            let end = g + shape_tags[g..].iter().take_while(|t| t.0 == id).count();
+            let group = &shape_tags[g..end];
+            let total: u64 = group.iter().map(|&(_, i)| offers[i as usize].bytes).sum();
+            let shaper = shapers.get_mut(&id).expect("shaper exists for rule");
+            let admitted_total = shaper.admit(total, tick_end_us);
+            byte_offers.clear();
+            byte_offers.extend(group.iter().map(|&(_, i)| offers[i as usize].bytes));
+            queue::drain_proportional_into(byte_offers, admitted_total, drained, order);
+            let rc = rule_counters.entry(id).or_default();
+            rc.matched_bytes += total;
+            rc.matched_packets += group
+                .iter()
+                .map(|&(_, i)| offers[i as usize].packets)
+                .sum::<u64>();
+            rc.discarded_bytes += total - admitted_total;
+            rc.passed_bytes += admitted_total;
+            result.counters.shaped_bytes += admitted_total;
+            result.counters.shape_dropped_bytes += total - admitted_total;
+            for (&(_, i), &(fwd, _dropped)) in group.iter().zip(drained.iter()) {
+                if fwd > 0 {
+                    let o = &offers[i as usize];
+                    let pkts = (o.packets * fwd)
+                        .checked_div(o.bytes)
+                        .map_or(0, |p| p.max(1));
+                    to_forward.push((o.key, fwd, pkts));
+                }
+            }
+            g = end;
+        }
+        // Phase 2: the forwarding queue at port capacity.
+        let budget = queue::capacity_bytes(capacity_bps, tick_us);
+        byte_offers.clear();
+        byte_offers.extend(to_forward.iter().map(|(_, b, _)| *b));
+        queue::drain_proportional_into(byte_offers, budget, drained, order);
+        for (&(key, bytes, packets), &(fwd, dropped)) in to_forward.iter().zip(drained.iter()) {
+            if fwd > 0 {
+                let pkts = (packets * fwd).checked_div(bytes).map_or(0, |p| p.max(1));
+                result.counters.forwarded_bytes += fwd;
+                result.counters.forwarded_packets += pkts;
+                result.delivered.push((key, fwd, pkts));
+            }
+            result.counters.congestion_dropped_bytes += dropped;
+        }
+    }
+
+    /// The pre-arena tick path, retained verbatim as (a) the honest
+    /// "sequential old" baseline for `scale_sweep`'s speedup claims and
+    /// (b) a differential-testing oracle for
+    /// [`apply_tick_into`](Self::apply_tick_into). Classifies per key
+    /// and allocates every intermediate per call, exactly as the hot
+    /// path did before the scratch arena landed. Not for new callers.
+    pub fn apply_tick_legacy(
+        &mut self,
+        offers: &[Offer],
+        tick_end_us: u64,
+        tick_us: u64,
+        capacity_bps: u64,
+    ) -> TickResult {
+        let mut result = TickResult::default();
         let mut to_forward: Vec<(FlowKey, u64, u64)> = Vec::new();
         let mut shape_groups: HashMap<u64, Vec<(FlowKey, u64, u64)>> = HashMap::new();
-        // One batched engine pass classifies the whole tick; the per-offer
-        // loop below only dispatches on the verdicts.
         let keys: Vec<FlowKey> = offers.iter().map(|o| o.key).collect();
-        let verdicts = self.engine.classify_batch(&keys);
+        let verdicts: Vec<Option<u64>> = keys.iter().map(|k| self.engine.classify(k)).collect();
         for (offer, verdict) in offers.iter().zip(verdicts) {
             let rule = verdict.and_then(|id| self.rule_by_id(id));
             match rule.map(|r| (r.id, r.action)) {
@@ -207,8 +377,6 @@ impl QosPolicy {
                 None => to_forward.push((offer.key, offer.bytes, offer.packets)),
             }
         }
-        // Sort groups by rule id so the tick result is deterministic
-        // regardless of hash order.
         let mut shape_ids: Vec<u64> = shape_groups.keys().copied().collect();
         shape_ids.sort_unstable();
         for id in shape_ids {
@@ -232,7 +400,6 @@ impl QosPolicy {
                 }
             }
         }
-        // Phase 2: the forwarding queue at port capacity.
         let budget = queue::capacity_bytes(capacity_bps, tick_us);
         let byte_offers: Vec<u64> = to_forward.iter().map(|(_, b, _)| *b).collect();
         let drained = queue::drain_proportional(&byte_offers, budget);

@@ -9,25 +9,42 @@
 /// Splits `capacity_bytes` across `offers` proportionally. Returns, per
 /// offer, `(forwarded, dropped)` with `forwarded + dropped == offer`.
 pub fn drain_proportional(offers: &[u64], capacity_bytes: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut order = Vec::new();
+    drain_proportional_into(offers, capacity_bytes, &mut out, &mut order);
+    out
+}
+
+/// Allocation-free [`drain_proportional`]: writes the per-offer
+/// `(forwarded, dropped)` split into `out` (cleared first) using `order`
+/// as reusable sort scratch. Hot tick paths own both buffers and reuse
+/// them across ticks.
+pub fn drain_proportional_into(
+    offers: &[u64],
+    capacity_bytes: u64,
+    out: &mut Vec<(u64, u64)>,
+    order: &mut Vec<usize>,
+) {
+    out.clear();
     let total: u64 = offers.iter().sum();
     if total <= capacity_bytes {
-        return offers.iter().map(|&o| (o, 0)).collect();
+        out.extend(offers.iter().map(|&o| (o, 0)));
+        return;
     }
     if capacity_bytes == 0 {
-        return offers.iter().map(|&o| (0, o)).collect();
+        out.extend(offers.iter().map(|&o| (0, o)));
+        return;
     }
     let scale = capacity_bytes as f64 / total as f64;
-    let mut out: Vec<(u64, u64)> = offers
-        .iter()
-        .map(|&o| {
-            let fwd = (o as f64 * scale).floor() as u64;
-            (fwd, o - fwd)
-        })
-        .collect();
+    out.extend(offers.iter().map(|&o| {
+        let fwd = (o as f64 * scale).floor() as u64;
+        (fwd, o - fwd)
+    }));
     // Distribute the rounding remainder to the largest offers so the
     // capacity is fully used and totals stay exact.
     let mut used: u64 = out.iter().map(|(f, _)| *f).sum();
-    let mut order: Vec<usize> = (0..offers.len()).collect();
+    order.clear();
+    order.extend(0..offers.len());
     order.sort_by_key(|&i| std::cmp::Reverse(offers[i]));
     let mut idx = 0;
     while used < capacity_bytes && idx < order.len() {
@@ -43,7 +60,6 @@ pub fn drain_proportional(offers: &[u64], capacity_bytes: u64) -> Vec<(u64, u64)
             idx += 1;
         }
     }
-    out
 }
 
 /// Converts a link capacity and tick duration to a byte budget.

@@ -56,6 +56,68 @@ pub enum PacketVerdict {
     Unroutable,
 }
 
+/// The tick pipeline's reusable arena: per-port offer buckets, the
+/// touched-port worklist, and one recycled [`TickResult`] per port, all
+/// keyed by a dense port index (position in the router's ascending
+/// `PortId` order). Buckets and results are cleared, never freed,
+/// between ticks, so a steady-state tick allocates nothing here.
+#[derive(Debug, Default)]
+struct TickScratch {
+    /// Offers routed to each port this tick, by dense index.
+    buckets: Vec<Vec<Offer>>,
+    /// Dense indices that received traffic this tick, sorted ascending
+    /// (= ascending `PortId`, the deterministic merge order).
+    touched: Vec<u32>,
+    /// Recycled per-port results, by dense index.
+    results: Vec<TickResult>,
+}
+
+/// Borrowed view of one tick's outcome, indexed over the arena: the
+/// results stay owned by the router for recycling.
+#[derive(Debug, Clone, Copy)]
+pub struct TickView<'a> {
+    dense: &'a [PortId],
+    touched: &'a [u32],
+    results: &'a [TickResult],
+}
+
+impl<'a> TickView<'a> {
+    /// Per-port results in ascending `PortId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (PortId, &'a TickResult)> + '_ {
+        self.touched
+            .iter()
+            .map(|&i| (self.dense[i as usize], &self.results[i as usize]))
+    }
+
+    /// The result for one port, if it saw traffic this tick.
+    pub fn get(&self, pid: PortId) -> Option<&'a TickResult> {
+        self.touched
+            .iter()
+            .find(|&&i| self.dense[i as usize] == pid)
+            .map(|&i| &self.results[i as usize])
+    }
+
+    /// Number of ports that saw traffic this tick.
+    pub fn len(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// True when no port saw traffic.
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+}
+
+/// Worker count for the parallel tick mode: `STELLAR_TICK_WORKERS` when
+/// set (1 = force sequential), else the machine's available parallelism.
+fn tick_workers_from_env() -> usize {
+    std::env::var("STELLAR_TICK_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(sharded::default_workers)
+}
+
 /// The edge router.
 #[derive(Debug)]
 pub struct EdgeRouter {
@@ -65,6 +127,21 @@ pub struct EdgeRouter {
     tcam: Tcam,
     cpu: ControlPlaneCpu,
     handles: HashMap<(PortId, u64), TcamHandle>,
+    /// Port ids in ascending order; position = dense index.
+    dense: Vec<PortId>,
+    /// Destination MAC → dense index (the tick path's routing table).
+    mac_dense: HashMap<MacAddr, u32>,
+    /// Tick arena (see [`TickScratch`]).
+    scratch: TickScratch,
+    /// Max workers for the parallel tick mode; 1 = sequential.
+    tick_workers: usize,
+    /// Cumulative rule installs (including replacements' re-installs).
+    installs: u64,
+    /// Cumulative rule removals, including flush/restart wipes — so
+    /// `installs - removals` always equals the live rule count and the
+    /// obs ledger cannot drift from TCAM occupancy after a
+    /// fault-recovery flush.
+    removals: u64,
 }
 
 impl EdgeRouter {
@@ -79,6 +156,12 @@ impl EdgeRouter {
             tcam,
             cpu,
             handles: HashMap::new(),
+            dense: Vec::new(),
+            mac_dense: HashMap::new(),
+            scratch: TickScratch::default(),
+            tick_workers: tick_workers_from_env(),
+            installs: 0,
+            removals: 0,
         }
     }
 
@@ -90,6 +173,34 @@ impl EdgeRouter {
         );
         self.mac_to_port.insert(port.mac, id);
         self.ports.insert(id, port);
+        // Rebuild the dense index (topology changes are rare and cold).
+        self.dense.clear();
+        self.dense.extend(self.ports.keys().copied());
+        self.mac_dense.clear();
+        for (i, (_, p)) in self.ports.iter().enumerate() {
+            self.mac_dense.insert(p.mac, i as u32);
+        }
+        self.scratch.buckets.resize_with(self.dense.len(), Vec::new);
+        self.scratch
+            .results
+            .resize_with(self.dense.len(), TickResult::default);
+        // Stale touched indices would point at re-dense-indexed ports.
+        for b in &mut self.scratch.buckets {
+            b.clear();
+        }
+        self.scratch.touched.clear();
+    }
+
+    /// Caps the parallel tick fan-out; `1` forces the sequential
+    /// in-place path. Defaults to `STELLAR_TICK_WORKERS` or the
+    /// machine's available parallelism.
+    pub fn set_tick_workers(&mut self, workers: usize) {
+        self.tick_workers = workers.max(1);
+    }
+
+    /// The current parallel tick fan-out cap.
+    pub fn tick_workers(&self) -> usize {
+        self.tick_workers
     }
 
     /// The port a MAC address is attached to.
@@ -152,6 +263,12 @@ impl EdgeRouter {
             .expect("port existence checked")
             .policy
             .install(rule);
+        // A replacement is one removal plus one install in the ledger,
+        // counted only once the new allocation succeeded.
+        if replacing {
+            self.removals += 1;
+        }
+        self.installs += 1;
         self.cpu.record_update(now_us);
         Ok(())
     }
@@ -166,6 +283,7 @@ impl EdgeRouter {
             if let Some(h) = self.handles.remove(&(port_id, rule_id)) {
                 self.tcam.free(h);
             }
+            self.removals += 1;
             self.cpu.record_update(now_us);
         }
         removed
@@ -185,6 +303,9 @@ impl EdgeRouter {
                 self.tcam.free(h);
             }
         }
+        // A flush is N removals in the obs ledger, same as N
+        // remove_rule calls — occupancy gauges cannot drift from it.
+        self.removals += ids.len() as u64;
         if !ids.is_empty() {
             self.cpu.record_update(now_us);
         }
@@ -205,6 +326,10 @@ impl EdgeRouter {
         }
         self.handles.clear();
         self.tcam.reset();
+        // Like flush_port: every wiped rule is a ledger removal, so the
+        // install/removal counters keep agreeing with TCAM occupancy
+        // across a power cycle.
+        self.removals += wiped as u64;
         if wiped > 0 {
             self.cpu.record_update(now_us);
         }
@@ -215,10 +340,116 @@ impl EdgeRouter {
     /// routed to their destination-MAC port and pushed through that port's
     /// egress policy. Returns per-port results.
     ///
-    /// Ports are independent shards — each owns its policy, shapers and
-    /// counters — so their ticks run in parallel on scoped workers via the
-    /// `stellar-classify` sharded front-end (one shard per port group).
+    /// Compatibility wrapper over [`process_tick_in_place`]
+    /// (`Self::process_tick_in_place`): runs the arena pipeline, then
+    /// moves the touched results out into an owned map. Hot loops that
+    /// tick every iteration should use the in-place variant, which
+    /// leaves the results in the arena for recycling.
     pub fn process_tick(
+        &mut self,
+        offers: &[OfferedAggregate],
+        tick_end_us: u64,
+        tick_us: u64,
+    ) -> BTreeMap<PortId, TickResult> {
+        self.run_tick(offers, tick_end_us, tick_us);
+        let mut out = BTreeMap::new();
+        for &i in &self.scratch.touched {
+            out.insert(
+                self.dense[i as usize],
+                std::mem::take(&mut self.scratch.results[i as usize]),
+            );
+        }
+        out
+    }
+
+    /// The zero-allocation tick path: routes `offers` into the arena's
+    /// per-port buckets, runs every touched port's policy (in parallel
+    /// when [`tick_workers`](Self::tick_workers) > 1), and returns a
+    /// borrowed view of the per-port results, merged in ascending
+    /// `PortId` order.
+    ///
+    /// Ports are independent shards — each owns its policy, shapers and
+    /// counters, and is mutated only by its owning worker — so parallel
+    /// and sequential modes produce bit-identical results and obs
+    /// snapshots; only wall-clock differs.
+    pub fn process_tick_in_place(
+        &mut self,
+        offers: &[OfferedAggregate],
+        tick_end_us: u64,
+        tick_us: u64,
+    ) -> TickView<'_> {
+        self.run_tick(offers, tick_end_us, tick_us);
+        TickView {
+            dense: &self.dense,
+            touched: &self.scratch.touched,
+            results: &self.scratch.results,
+        }
+    }
+
+    fn run_tick(&mut self, offers: &[OfferedAggregate], tick_end_us: u64, tick_us: u64) {
+        let TickScratch {
+            buckets,
+            touched,
+            results,
+        } = &mut self.scratch;
+        // Clear-don't-free: only last tick's touched buckets hold data.
+        for &i in touched.iter() {
+            buckets[i as usize].clear();
+        }
+        touched.clear();
+        for o in offers {
+            if let Some(&i) = self.mac_dense.get(&o.key.dst_mac) {
+                let bucket = &mut buckets[i as usize];
+                if bucket.is_empty() {
+                    touched.push(i);
+                }
+                bucket.push(Offer {
+                    key: o.key,
+                    bytes: o.bytes,
+                    packets: o.packets,
+                });
+            }
+            // Unroutable aggregates vanish (no port = no delivery), as on
+            // a real fabric with no FDB entry and unicast flooding off.
+        }
+        // Deterministic merge order: ascending dense index == ascending
+        // PortId, independent of offer arrival order and worker count.
+        touched.sort_unstable();
+        // One shard per touched port: the port (sole owner of its
+        // policy/shaper/counter state), its bucket, and its recycled
+        // result slot. `ports` iterates in key order and `touched` is
+        // ascending, so a single forward walk pairs them up.
+        let mut shards: Vec<(&mut MemberPort, &[Offer], &mut TickResult)> =
+            Vec::with_capacity(touched.len());
+        let mut ports_iter = self.ports.iter_mut();
+        let mut results_iter = results.iter_mut().enumerate();
+        for &i in touched.iter() {
+            let pid = self.dense[i as usize];
+            let port = loop {
+                let (k, v) = ports_iter.next().expect("dense index in sync with ports");
+                if *k == pid {
+                    break v;
+                }
+            };
+            let result = loop {
+                let (j, r) = results_iter.next().expect("results sized to dense");
+                if j == i as usize {
+                    break r;
+                }
+            };
+            shards.push((port, &buckets[i as usize], result));
+        }
+        sharded::parallel_shards(shards, self.tick_workers, |(port, offers, result)| {
+            port.process_tick_into(offers, tick_end_us, tick_us, result);
+        });
+    }
+
+    /// The pre-arena tick path, retained as the `scale_sweep`
+    /// "sequential old" baseline and a differential-test oracle: fresh
+    /// `BTreeMap` grouping, per-call `Vec`s, per-key classification, and
+    /// a strictly sequential port walk — exactly what `process_tick` did
+    /// before the scratch arena landed. Not for new callers.
+    pub fn process_tick_legacy(
         &mut self,
         offers: &[OfferedAggregate],
         tick_end_us: u64,
@@ -233,20 +464,17 @@ impl EdgeRouter {
                     packets: o.packets,
                 });
             }
-            // Unroutable aggregates vanish (no port = no delivery), as on
-            // a real fabric with no FDB entry and unicast flooding off.
         }
-        let mut shards: Vec<(PortId, &mut MemberPort, Vec<Offer>)> = Vec::new();
+        let mut out = BTreeMap::new();
         for (pid, port) in self.ports.iter_mut() {
             if let Some(offers) = per_port.remove(pid) {
-                shards.push((*pid, port, offers));
+                out.insert(
+                    *pid,
+                    port.process_tick_legacy(&offers, tick_end_us, tick_us),
+                );
             }
         }
-        sharded::parallel_shards(shards, sharded::default_workers(), |(pid, port, offers)| {
-            (pid, port.process_tick(&offers, tick_end_us, tick_us))
-        })
-        .into_iter()
-        .collect()
+        out
     }
 
     /// Functional per-packet path (§5.2): decodes real wire bytes,
@@ -271,6 +499,12 @@ impl EdgeRouter {
         self.ports.values().map(|p| p.policy.rule_count()).sum()
     }
 
+    /// The cumulative `(installs, removals)` ledger published to obs.
+    /// Invariant: `installs - removals == total_rules()`.
+    pub fn rule_ledger(&self) -> (u64, u64) {
+        (self.installs, self.removals)
+    }
+
     /// Publishes the data-plane gauges: TCAM occupancy plus, per member
     /// port, rule/shaper population and the cumulative queue counters
     /// (forwarded, drop-rule drops, shaper passes/drops, congestion
@@ -279,6 +513,11 @@ impl EdgeRouter {
     pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
         self.tcam.observe(reg);
         reg.gauge_set("dataplane.total_rules", self.total_rules() as i64);
+        // Cumulative install/removal ledger: every mutation path —
+        // install_rule, remove_rule, flush_port, restart — feeds these,
+        // so `rule_installs - rule_removals == total_rules` always.
+        reg.counter_set("dataplane.rule_installs", self.installs);
+        reg.counter_set("dataplane.rule_removals", self.removals);
         for (pid, port) in &self.ports {
             let p = format!("dataplane.port.{}", pid.0);
             reg.gauge_set(&format!("{p}.rules"), port.policy.rule_count() as i64);
@@ -513,6 +752,78 @@ mod tests {
         // An idle restart wipes nothing.
         let mut fresh = router_with_two_ports();
         assert_eq!(fresh.restart(0), 0);
+    }
+
+    #[test]
+    fn rule_ledger_survives_flush_and_restart() {
+        let mut er = router_with_two_ports();
+        let mk = |id: u64| {
+            FilterRule::new(
+                id,
+                MatchSpec::proto_src_port_to(
+                    "100.10.10.10/32".parse().unwrap(),
+                    IpProtocol::UDP,
+                    id as u16,
+                ),
+                Action::Drop,
+                10,
+            )
+        };
+        let agree = |er: &EdgeRouter| {
+            let (installs, removals) = er.rule_ledger();
+            assert_eq!(
+                installs - removals,
+                er.total_rules() as u64,
+                "ledger drifted from live rules"
+            );
+            assert_eq!(
+                er.tcam().allocation_count() as u64,
+                installs - removals,
+                "ledger drifted from TCAM occupancy"
+            );
+        };
+        for i in 0..4u64 {
+            er.install_rule(PortId(1), mk(i), 0).unwrap();
+        }
+        er.install_rule(PortId(2), mk(9), 0).unwrap();
+        // A replacement counts once on each side of the ledger.
+        er.install_rule(PortId(1), mk(2), 1).unwrap();
+        agree(&er);
+        assert!(er.remove_rule(PortId(1), 0, 2));
+        agree(&er);
+        // Fault-recovery flush: the gauges must not drift (the fix).
+        assert_eq!(er.flush_port(PortId(1), 3), 3);
+        agree(&er);
+        assert_eq!(er.rule_ledger(), (6, 5));
+        // Cold restart wipes the remaining rule on port 2.
+        assert_eq!(er.restart(4), 1);
+        agree(&er);
+        assert_eq!(er.rule_ledger(), (6, 6));
+        // And the obs snapshot carries the same numbers.
+        let mut reg = stellar_obs::MetricsRegistry::new();
+        er.observe(&mut reg);
+        let json = serde_json::to_string(&reg.to_content()).unwrap();
+        assert!(json.contains("\"dataplane.rule_installs\":6"));
+        assert!(json.contains("\"dataplane.rule_removals\":6"));
+    }
+
+    #[test]
+    fn in_place_tick_agrees_with_owned_result() {
+        let mut er = router_with_two_ports();
+        let offers = [ntp_flow(64500, 1000), ntp_flow(64501, 2000)];
+        let view = er.process_tick_in_place(&offers, 1_000_000, 1_000_000);
+        assert_eq!(view.len(), 2);
+        let got: Vec<(PortId, u64)> = view
+            .iter()
+            .map(|(pid, r)| (pid, r.counters.forwarded_bytes))
+            .collect();
+        assert_eq!(got, vec![(PortId(1), 1000), (PortId(2), 2000)]);
+        assert_eq!(view.get(PortId(2)).unwrap().counters.forwarded_bytes, 2000);
+        assert!(view.get(PortId(9)).is_none());
+        // Second tick reuses the arena; the compat API moves results out.
+        let res = er.process_tick(&offers, 2_000_000, 1_000_000);
+        assert_eq!(res[&PortId(1)].counters.forwarded_bytes, 1000);
+        assert!(!res.contains_key(&PortId(9)));
     }
 
     #[test]

@@ -202,6 +202,28 @@ pub fn run_ticks<S>(
     }
 }
 
+/// [`run_ticks`] with wall-clock instrumentation for benchmark
+/// harnesses: returns `(ticks executed, elapsed wall time)`. The wall
+/// clock never touches the simulation — tick boundaries, state, and any
+/// exported metrics stay byte-identical to a plain [`run_ticks`] run —
+/// so `scale_sweep` can time the same loop the experiments drive
+/// without forking the driver.
+pub fn run_ticks_timed<S>(
+    state: &mut S,
+    start: SimTime,
+    end: SimTime,
+    tick: SimTime,
+    mut f: impl FnMut(&mut S, SimTime, SimTime),
+) -> (u64, std::time::Duration) {
+    let mut ticks = 0u64;
+    let t0 = std::time::Instant::now();
+    run_ticks(state, start, end, tick, |s, a, b| {
+        f(s, a, b);
+        ticks += 1;
+    });
+    (ticks, t0.elapsed())
+}
+
 /// [`run_ticks`] with tick timing recorded into `reg`: each tick's
 /// sim-time duration feeds the `sim.tick_us` histogram and bumps the
 /// `sim.ticks` counter. Durations are simulation time, not wall clock —
@@ -319,6 +341,14 @@ mod tests {
                 (20, "b")
             ]
         );
+    }
+
+    #[test]
+    fn timed_tick_driver_counts_ticks_and_mutates_state() {
+        let mut n = 0u64;
+        let (ticks, _wall) = run_ticks_timed(&mut n, 0, 1_000, 250, |s, _, _| *s += 1);
+        assert_eq!(ticks, 4);
+        assert_eq!(n, 4);
     }
 
     #[test]

@@ -23,4 +23,14 @@ cargo run --release -q --example fault_soak >/dev/null
 diff results/metrics_fault_soak.run1.json results/metrics_fault_soak.json
 rm results/metrics_fault_soak.run1.json
 
+echo "==> determinism gate: parallel tick pipeline matches sequential (quickstart snapshot)"
+STELLAR_TICK_WORKERS=1 cargo run --release -q --example quickstart >/dev/null
+mv results/metrics_quickstart.json results/metrics_quickstart.seq.json
+STELLAR_TICK_WORKERS=8 cargo run --release -q --example quickstart >/dev/null
+diff results/metrics_quickstart.seq.json results/metrics_quickstart.json
+rm results/metrics_quickstart.seq.json
+
+echo "==> scale_sweep smoke: regenerate BENCH_pipeline.json (cross-mode equality asserted in-run)"
+STELLAR_SWEEP_SMOKE=1 cargo run --release -q -p stellar-bench --bin scale_sweep >/dev/null
+
 echo "All checks passed."
