@@ -209,8 +209,9 @@ fn main() {
         },
     );
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let parallel_workers = std::env::var("STELLAR_TICK_WORKERS")
-        .ok()
+    let tick_workers_env = std::env::var("STELLAR_TICK_WORKERS").ok();
+    let parallel_workers = tick_workers_env
+        .as_deref()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&w| w >= 1)
         .unwrap_or_else(|| stellar_classify::sharded::default_workers().max(2));
@@ -354,6 +355,10 @@ fn main() {
         "host": serde_json::json!({
             "cores": cores,
             "parallel_workers": parallel_workers,
+            // Raw env pin (null when derived): with `cores`, makes the
+            // "parallel target not evaluable on a 1-core host" caveat
+            // machine-readable.
+            "tick_workers_env": tick_workers_env,
             "smoke": smoke,
         }),
         "cells": cells,

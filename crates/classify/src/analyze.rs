@@ -1,0 +1,1051 @@
+//! Static rule-table analysis: shadowing, redundancy, conflicts and
+//! reachability witnesses over [`MatchSpec`] tables — *before* anything
+//! touches the dataplane.
+//!
+//! The dynamic path only discovers a bad rule when it fails at install
+//! time (TCAM exhaustion) or, worse, never discovers it at all (a rule
+//! that can never be first-match silently burns TCAM criteria forever).
+//! Classic firewall policy analysis (FIREMAN and the ACL-anomaly line of
+//! work) shows these properties are decidable for match languages like
+//! ours, where every rule is a product of per-field sets: MAC equality,
+//! IP prefixes (aligned intervals), protocol equality and port intervals.
+//!
+//! Three results per table, all deterministic (rank-ordered, no hash
+//! iteration):
+//!
+//! - **Pairwise anomalies** — rule `R` is [`RuleFlag::Shadowed`] /
+//!   [`RuleFlag::Redundant`] when a single earlier rule matches every
+//!   flow `R` matches (different / same action); `R` is in
+//!   [`RuleFlag::Conflict`] with an earlier rule when their match sets
+//!   *cross* (overlap, neither covers the other) and one drops what the
+//!   other shapes — the ambiguous split where rank, not intent, decides.
+//! - **Reachability witnesses** — for every rule not pairwise covered, a
+//!   concrete [`FlowKey`] that reaches it as first-match, found by an
+//!   exact backtracking search over violation choices (every earlier
+//!   overlapping rule must miss the key on at least one field). A rule
+//!   with no witness is union-covered by earlier rules and flagged
+//!   [`RuleFlag::Unreachable`].
+//! - **TCAM usage** — the criteria-pool footprint ([`table_usage`]) the
+//!   table would consume, for pre-admission capacity accounting against
+//!   the hardware pools (the paper's Fig. 9 F1/F2 modes) before install.
+
+use crate::engine::{RuleEntry, RuleId};
+use crate::spec::{MatchSpec, PortMatch};
+use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::prefix::Prefix;
+use stellar_net::proto::IpProtocol;
+
+/// The action a rule takes, as far as the analyzer cares: enough to
+/// distinguish "same effect" (redundancy) from "opposing effect"
+/// (conflict). Mirrors the dataplane's action set without depending on
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionClass {
+    /// Discard matching traffic.
+    Drop,
+    /// Rate-limit matching traffic to `rate_bps`.
+    Shape {
+        /// Shaping rate in bits per second.
+        rate_bps: u64,
+    },
+    /// Explicitly forward (bypass later rules).
+    Forward,
+}
+
+impl ActionClass {
+    /// True when two actions opposing each other on overlapping traffic
+    /// is an anomaly worth rejecting: one side discards what the other
+    /// deliberately lets through (shaped telemetry or an explicit
+    /// forward).
+    pub fn conflicts_with(&self, other: &ActionClass) -> bool {
+        matches!(
+            (self, other),
+            (ActionClass::Drop, ActionClass::Shape { .. })
+                | (ActionClass::Shape { .. }, ActionClass::Drop)
+                | (ActionClass::Drop, ActionClass::Forward)
+                | (ActionClass::Forward, ActionClass::Drop)
+        )
+    }
+}
+
+/// One rule as the analyzer sees it: engine identity/priority/match plus
+/// the action class.
+#[derive(Debug, Clone)]
+pub struct AuditRule {
+    /// Identity, priority and match spec.
+    pub entry: RuleEntry,
+    /// What the rule does to matches.
+    pub action: ActionClass,
+}
+
+impl AuditRule {
+    /// Creates an audit rule.
+    pub fn new(entry: RuleEntry, action: ActionClass) -> Self {
+        AuditRule { entry, action }
+    }
+
+    fn rank(&self) -> (u16, RuleId) {
+        (self.entry.priority, self.entry.id)
+    }
+}
+
+/// What the analyzer found wrong with one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleFlag {
+    /// A single earlier rule matches everything this rule matches, with a
+    /// different action: this rule never fires, and its author's intent
+    /// is overridden.
+    Shadowed {
+        /// The covering earlier rule.
+        by: RuleId,
+    },
+    /// A single earlier rule matches everything this rule matches, with
+    /// the same action: this rule never fires and removing it changes
+    /// nothing.
+    Redundant {
+        /// The covering earlier rule.
+        by: RuleId,
+    },
+    /// No single earlier rule covers this one, but their union does (or
+    /// the spec is self-contradictory): the witness search proved no
+    /// packet can reach it as first-match.
+    Unreachable,
+    /// This rule's match set crosses an earlier rule's (they overlap,
+    /// neither covers the other) and the actions oppose (drop vs. shape /
+    /// forward): on the shared traffic, evaluation rank — not operator
+    /// intent — decides the outcome.
+    Conflict {
+        /// The earlier rule it crosses.
+        with: RuleId,
+    },
+    /// The witness search exhausted its budget before proving
+    /// reachability either way. Never produced at default budgets for
+    /// tables of realistic size; treated as reachable (not rejected).
+    Unverified,
+}
+
+impl RuleFlag {
+    /// True for the flags that prove the rule can never be first-match.
+    pub fn is_dead(&self) -> bool {
+        matches!(
+            self,
+            RuleFlag::Shadowed { .. } | RuleFlag::Redundant { .. } | RuleFlag::Unreachable
+        )
+    }
+}
+
+/// One finding: a rule and what is wrong with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding {
+    /// The flagged rule.
+    pub rule: RuleId,
+    /// The anomaly.
+    pub flag: RuleFlag,
+}
+
+/// Aggregate TCAM criteria a rule set consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcamUsage {
+    /// MAC (L2) filter criteria.
+    pub mac: usize,
+    /// L3–L4 filter criteria.
+    pub l34: usize,
+}
+
+/// The full analysis of one rule table.
+#[derive(Debug, Clone, Default)]
+pub struct TableAnalysis {
+    /// Anomalies, ordered by the flagged rule's evaluation rank (dead
+    /// flags before conflicts for the same rule).
+    pub findings: Vec<Finding>,
+    /// For every rule with no dead flag: a concrete flow key that reaches
+    /// it as first-match, in evaluation-rank order.
+    pub witnesses: Vec<(RuleId, FlowKey)>,
+    /// TCAM criteria the whole table consumes.
+    pub usage: TcamUsage,
+}
+
+impl TableAnalysis {
+    /// The dead flag (shadowed / redundant / unreachable) for a rule, if
+    /// any.
+    pub fn dead_flag(&self, rule: RuleId) -> Option<RuleFlag> {
+        self.findings
+            .iter()
+            .find(|f| f.rule == rule && f.flag.is_dead())
+            .map(|f| f.flag)
+    }
+
+    /// The conflicts a rule participates in as the later (lower-ranked)
+    /// side.
+    pub fn conflicts_of(&self, rule: RuleId) -> Vec<RuleId> {
+        self.findings
+            .iter()
+            .filter_map(|f| match f.flag {
+                RuleFlag::Conflict { with } if f.rule == rule => Some(with),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The witness key for a rule, if the search produced one.
+    pub fn witness(&self, rule: RuleId) -> Option<&FlowKey> {
+        self.witnesses
+            .iter()
+            .find(|(id, _)| *id == rule)
+            .map(|(_, k)| k)
+    }
+}
+
+/// Default witness-search budget (leaf instantiations per rule). Far
+/// above what tables of control-plane size ever need; the bound exists
+/// so a pathological table degrades to [`RuleFlag::Unverified`] instead
+/// of hanging the control plane.
+pub const DEFAULT_WITNESS_BUDGET: usize = 100_000;
+
+/// Analyzes a rule table with the default witness budget.
+pub fn analyze(rules: &[AuditRule]) -> TableAnalysis {
+    analyze_with_budget(rules, DEFAULT_WITNESS_BUDGET)
+}
+
+/// Analyzes a rule table. See the module docs for the semantics of each
+/// flag. Deterministic: rules are processed in evaluation-rank order and
+/// all output is rank-sorted.
+pub fn analyze_with_budget(rules: &[AuditRule], budget: usize) -> TableAnalysis {
+    let mut order: Vec<usize> = (0..rules.len()).collect();
+    order.sort_by_key(|&i| rules[i].rank());
+    let mut out = TableAnalysis {
+        usage: table_usage(rules),
+        ..Default::default()
+    };
+    for (pos, &ri) in order.iter().enumerate() {
+        let rule = &rules[ri];
+        let earlier = &order[..pos];
+        // Pairwise coverage: the first (best-ranked) earlier rule whose
+        // match set contains this rule's decides the flag.
+        let coverer = earlier
+            .iter()
+            .map(|&ei| &rules[ei])
+            .find(|e| spec_covers(&e.entry.spec, &rule.entry.spec));
+        let dead = if let Some(e) = coverer {
+            let by = e.entry.id;
+            Some(if e.action == rule.action {
+                RuleFlag::Redundant { by }
+            } else {
+                RuleFlag::Shadowed { by }
+            })
+        } else {
+            // No single cover: search for a first-match witness against
+            // the union of earlier rules.
+            let earlier_specs: Vec<&MatchSpec> =
+                earlier.iter().map(|&ei| &rules[ei].entry.spec).collect();
+            let mut fuel = budget;
+            match find_witness(&earlier_specs, &rule.entry.spec, &mut fuel) {
+                WitnessOutcome::Found(key) => {
+                    out.witnesses.push((rule.entry.id, key));
+                    None
+                }
+                WitnessOutcome::Unreachable => Some(RuleFlag::Unreachable),
+                WitnessOutcome::Budget => Some(RuleFlag::Unverified),
+            }
+        };
+        if let Some(flag) = dead {
+            out.findings.push(Finding {
+                rule: rule.entry.id,
+                flag,
+            });
+        }
+        // Crossing-overlap action conflicts, regardless of reachability:
+        // even a reachable rule loses part of its traffic to the earlier
+        // side of the cross.
+        for &ei in earlier {
+            let e = &rules[ei];
+            if rule.action.conflicts_with(&e.action)
+                && spec_intersects(&e.entry.spec, &rule.entry.spec)
+                && !spec_covers(&e.entry.spec, &rule.entry.spec)
+                && !spec_covers(&rule.entry.spec, &e.entry.spec)
+            {
+                out.findings.push(Finding {
+                    rule: rule.entry.id,
+                    flag: RuleFlag::Conflict { with: e.entry.id },
+                });
+            }
+        }
+    }
+    out
+}
+
+/// TCAM criteria the whole table consumes (criteria pool + MAC pool), for
+/// pre-admission accounting against the hardware's free pools.
+pub fn table_usage(rules: &[AuditRule]) -> TcamUsage {
+    rules.iter().fold(TcamUsage::default(), |mut u, r| {
+        u.mac += r.entry.spec.mac_criteria();
+        u.l34 += r.entry.spec.l34_criteria();
+        u
+    })
+}
+
+// ---------------------------------------------------------------------
+// Set relations on MatchSpecs.
+//
+// A spec denotes a product of per-field sets over flow keys. The port
+// dimensions are the only coupling: a port criterion also restricts the
+// protocol to port-bearing ones (see `MatchSpec::matches`).
+// ---------------------------------------------------------------------
+
+fn port_interval(pm: &PortMatch) -> (u16, u16) {
+    match pm {
+        PortMatch::Exact(p) => (*p, *p),
+        PortMatch::Range(lo, hi) => (*lo, *hi),
+    }
+}
+
+/// True if the spec restricts matches to port-bearing protocols — either
+/// explicitly (protocol field) or implicitly (any port criterion).
+fn portful_only(s: &MatchSpec) -> bool {
+    s.protocol.map(|p| p.has_ports()) == Some(true) || s.src_port.is_some() || s.dst_port.is_some()
+}
+
+/// True if the spec can match nothing at all: a port criterion combined
+/// with a portless protocol, or an inverted port range.
+pub fn spec_is_empty(s: &MatchSpec) -> bool {
+    let portless = s.protocol.is_some_and(|p| !p.has_ports());
+    let has_port = s.src_port.is_some() || s.dst_port.is_some();
+    let inverted = [&s.src_port, &s.dst_port].iter().any(|pm| {
+        pm.as_ref().is_some_and(|pm| {
+            let (lo, hi) = port_interval(pm);
+            lo > hi
+        })
+    });
+    (portless && has_port) || inverted
+}
+
+/// One port dimension of `a` covers the same dimension of `b`: every
+/// `b`-matched key's port satisfies `a`'s criterion.
+fn port_covers(a: &Option<PortMatch>, b: &Option<PortMatch>, b_portful: bool) -> bool {
+    let Some(pa) = a else {
+        return true; // wildcard covers everything
+    };
+    if !b_portful {
+        // `b` admits keys on portless protocols, which `a`'s port
+        // criterion can never match.
+        return false;
+    }
+    let (alo, ahi) = port_interval(pa);
+    let (blo, bhi) = b.as_ref().map(port_interval).unwrap_or((0, u16::MAX));
+    alo <= blo && bhi <= ahi
+}
+
+/// True if `a` matches every flow key `b` matches (`a ⊇ b`). Exact for
+/// this match language; `spec_covers(a, b) && b-matches(k)` implies
+/// `a-matches(k)` by per-field set inclusion.
+pub fn spec_covers(a: &MatchSpec, b: &MatchSpec) -> bool {
+    if spec_is_empty(b) {
+        return true; // the empty set is covered by anything
+    }
+    let mac_ok = |am: &Option<MacAddr>, bm: &Option<MacAddr>| am.is_none() || *am == *bm;
+    let ip_ok = |ap: &Option<Prefix>, bp: &Option<Prefix>| match (ap, bp) {
+        (None, _) => true,
+        (Some(a), Some(b)) => a.covers(b),
+        (Some(_), None) => false,
+    };
+    let proto_ok = match (&a.protocol, &b.protocol) {
+        (None, _) => true,
+        (Some(ap), Some(bp)) => ap == bp,
+        (Some(ap), None) => {
+            // `b` is protocol-wildcard, but a port criterion on `b`
+            // narrows it to port-bearing protocols; a port-bearing `a`
+            // protocol still cannot cover both UDP and TCP.
+            let _ = ap;
+            false
+        }
+    };
+    let b_portful = portful_only(b);
+    mac_ok(&a.src_mac, &b.src_mac)
+        && mac_ok(&a.dst_mac, &b.dst_mac)
+        && ip_ok(&a.src_ip, &b.src_ip)
+        && ip_ok(&a.dst_ip, &b.dst_ip)
+        && proto_ok
+        && port_covers(&a.src_port, &b.src_port, b_portful)
+        && port_covers(&a.dst_port, &b.dst_port, b_portful)
+}
+
+/// True if some flow key matches both specs (their intersection is
+/// non-empty). Exact for this match language.
+pub fn spec_intersects(a: &MatchSpec, b: &MatchSpec) -> bool {
+    if spec_is_empty(a) || spec_is_empty(b) {
+        return false;
+    }
+    let mac_ok = |am: &Option<MacAddr>, bm: &Option<MacAddr>| match (am, bm) {
+        (Some(x), Some(y)) => x == y,
+        _ => true,
+    };
+    let ip_ok = |ap: &Option<Prefix>, bp: &Option<Prefix>| match (ap, bp) {
+        (Some(x), Some(y)) => x.covers(y) || y.covers(x),
+        _ => true,
+    };
+    let ports_overlap = |x: &Option<PortMatch>, y: &Option<PortMatch>| {
+        let (xlo, xhi) = x.as_ref().map(port_interval).unwrap_or((0, u16::MAX));
+        let (ylo, yhi) = y.as_ref().map(port_interval).unwrap_or((0, u16::MAX));
+        xlo.max(ylo) <= xhi.min(yhi)
+    };
+    // Joint protocol constraint.
+    let proto = match (&a.protocol, &b.protocol) {
+        (Some(x), Some(y)) if x != y => return false,
+        (Some(x), _) => Some(*x),
+        (_, Some(y)) => Some(*y),
+        (None, None) => None,
+    };
+    // Any port criterion forces a port-bearing protocol in the
+    // intersection.
+    let needs_ports = a.src_port.is_some()
+        || a.dst_port.is_some()
+        || b.src_port.is_some()
+        || b.dst_port.is_some();
+    if needs_ports && proto.is_some_and(|p| !p.has_ports()) {
+        return false;
+    }
+    mac_ok(&a.src_mac, &b.src_mac)
+        && mac_ok(&a.dst_mac, &b.dst_mac)
+        && ip_ok(&a.src_ip, &b.src_ip)
+        && ip_ok(&a.dst_ip, &b.dst_ip)
+        && ports_overlap(&a.src_port, &b.src_port)
+        && ports_overlap(&a.dst_port, &b.dst_port)
+}
+
+// ---------------------------------------------------------------------
+// Witness search.
+//
+// A first-match witness for rule R against earlier rules E1..En is a key
+// k with k ∈ R and k ∉ Ei for every i. Each Ei must be *violated* on at
+// least one field; the search branches over which field of each
+// overlapping Ei to violate, accumulates the induced per-field
+// constraints (bans), and instantiates a concrete key at the leaf. Every
+// candidate is verified with the real `MatchSpec::matches` predicate, so
+// any returned witness is sound by construction; completeness comes from
+// the branching covering every way a product set can miss a key.
+// ---------------------------------------------------------------------
+
+enum WitnessOutcome {
+    Found(FlowKey),
+    Unreachable,
+    Budget,
+}
+
+/// Accumulated per-field constraints along one search branch.
+#[derive(Debug, Clone, Default)]
+struct Constraints {
+    src_mac_bans: Vec<MacAddr>,
+    dst_mac_bans: Vec<MacAddr>,
+    /// Banned address intervals `(is_v4, lo, hi)`.
+    src_ip_bans: Vec<(bool, u128, u128)>,
+    dst_ip_bans: Vec<(bool, u128, u128)>,
+    proto_bans: Vec<IpProtocol>,
+    src_port_bans: Vec<(u16, u16)>,
+    dst_port_bans: Vec<(u16, u16)>,
+    /// The witness protocol must carry ports (a numeric port violation
+    /// or a port criterion on the target).
+    must_have_ports: bool,
+    /// The witness protocol must NOT carry ports (an earlier rule's port
+    /// criterion is violated by choosing a portless protocol).
+    must_be_portless: bool,
+}
+
+fn ip_num(addr: IpAddress) -> (bool, u128) {
+    match addr {
+        IpAddress::V4(Ipv4Address(b)) => (true, u128::from(u32::from_be_bytes(b))),
+        IpAddress::V6(Ipv6Address(b)) => (false, u128::from_be_bytes(b)),
+    }
+}
+
+fn num_ip(is_v4: bool, n: u128) -> IpAddress {
+    if is_v4 {
+        IpAddress::V4(Ipv4Address((n as u32).to_be_bytes()))
+    } else {
+        IpAddress::V6(Ipv6Address(n.to_be_bytes()))
+    }
+}
+
+/// The prefix as an aligned address interval `(is_v4, lo, hi)`.
+fn prefix_interval(p: &Prefix) -> (bool, u128, u128) {
+    let (is_v4, lo) = ip_num(p.network());
+    let bits = if is_v4 { 32 } else { 128 };
+    let host_bits = u32::from(bits - p.len());
+    let size = if host_bits >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << host_bits) - 1
+    };
+    (is_v4, lo, lo.saturating_add(size))
+}
+
+/// Smallest value in `[lo, hi]` avoiding every banned interval, if any.
+fn pick_in(lo: u128, hi: u128, bans: &[(u128, u128)]) -> Option<u128> {
+    let mut clipped: Vec<(u128, u128)> = bans
+        .iter()
+        .filter(|(blo, bhi)| *bhi >= lo && *blo <= hi)
+        .map(|(blo, bhi)| ((*blo).max(lo), (*bhi).min(hi)))
+        .collect();
+    clipped.sort_unstable();
+    let mut cur = lo;
+    for (blo, bhi) in clipped {
+        if blo > cur {
+            return Some(cur);
+        }
+        cur = cur.max(bhi.checked_add(1)?);
+        if cur > hi {
+            return None;
+        }
+    }
+    Some(cur)
+}
+
+impl Constraints {
+    /// A MAC satisfying the target's constraint and every ban, if any.
+    fn pick_mac(&self, fixed: Option<MacAddr>, bans: &[MacAddr]) -> Option<MacAddr> {
+        if let Some(m) = fixed {
+            return (!bans.contains(&m)).then_some(m);
+        }
+        let ban_nums: Vec<(u128, u128)> = bans
+            .iter()
+            .map(|m| {
+                let mut b = [0u8; 16];
+                b[10..].copy_from_slice(&m.0);
+                let n = u128::from_be_bytes(b);
+                (n, n)
+            })
+            .collect();
+        let n = pick_in(0, (1u128 << 48) - 1, &ban_nums)?;
+        let bytes = n.to_be_bytes();
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(&bytes[10..]);
+        Some(MacAddr(mac))
+    }
+
+    /// An address inside the target's prefix constraint (or any address)
+    /// avoiding every banned interval. Tries the constrained family, or
+    /// v4 then v6 when unconstrained.
+    fn pick_ip(&self, fixed: &Option<Prefix>, bans: &[(bool, u128, u128)]) -> Option<IpAddress> {
+        let families: Vec<(bool, u128, u128)> = match fixed {
+            Some(p) => vec![prefix_interval(p)],
+            None => vec![(true, 0, u128::from(u32::MAX)), (false, 0, u128::MAX)],
+        };
+        for (is_v4, lo, hi) in families {
+            let fam_bans: Vec<(u128, u128)> = bans
+                .iter()
+                .filter(|(f, _, _)| *f == is_v4)
+                .map(|(_, blo, bhi)| (*blo, *bhi))
+                .collect();
+            if let Some(n) = pick_in(lo, hi, &fam_bans) {
+                return Some(num_ip(is_v4, n));
+            }
+        }
+        None
+    }
+
+    /// A protocol satisfying the target constraint, the port flags and
+    /// the bans.
+    fn pick_proto(&self, fixed: Option<IpProtocol>) -> Option<IpProtocol> {
+        if self.must_have_ports && self.must_be_portless {
+            return None;
+        }
+        let ok = |p: IpProtocol| {
+            !self.proto_bans.contains(&p)
+                && (!self.must_have_ports || p.has_ports())
+                && (!self.must_be_portless || !p.has_ports())
+        };
+        if let Some(p) = fixed {
+            return ok(p).then_some(p);
+        }
+        // Portful candidates first ordering is irrelevant for soundness:
+        // flags already rule out the wrong class.
+        let candidates = [
+            IpProtocol::UDP,
+            IpProtocol::TCP,
+            IpProtocol::ICMP,
+            IpProtocol::GRE,
+            IpProtocol::ESP,
+            IpProtocol::IGMP,
+            IpProtocol::ICMPV6,
+            IpProtocol(99),
+            IpProtocol(111),
+            IpProtocol(200),
+        ];
+        candidates.into_iter().find(|p| ok(*p))
+    }
+
+    /// A port value satisfying the target's criterion and the bans.
+    fn pick_port(&self, fixed: &Option<PortMatch>, bans: &[(u16, u16)]) -> Option<u16> {
+        let (lo, hi) = fixed.as_ref().map(port_interval).unwrap_or((0, u16::MAX));
+        let ban_nums: Vec<(u128, u128)> = bans
+            .iter()
+            .map(|(blo, bhi)| (u128::from(*blo), u128::from(*bhi)))
+            .collect();
+        pick_in(u128::from(lo), u128::from(hi), &ban_nums).map(|n| n as u16)
+    }
+
+    /// Instantiates a concrete key for `target` under the accumulated
+    /// constraints, if one exists.
+    fn instantiate(&self, target: &MatchSpec) -> Option<FlowKey> {
+        let protocol = self.pick_proto(target.protocol)?;
+        let (src_port, dst_port) = if protocol.has_ports() {
+            (
+                self.pick_port(&target.src_port, &self.src_port_bans)?,
+                self.pick_port(&target.dst_port, &self.dst_port_bans)?,
+            )
+        } else {
+            (0, 0)
+        };
+        Some(FlowKey {
+            src_mac: self.pick_mac(target.src_mac, &self.src_mac_bans)?,
+            dst_mac: self.pick_mac(target.dst_mac, &self.dst_mac_bans)?,
+            src_ip: self.pick_ip(&target.src_ip, &self.src_ip_bans)?,
+            dst_ip: self.pick_ip(&target.dst_ip, &self.dst_ip_bans)?,
+            protocol,
+            src_port,
+            dst_port,
+        })
+    }
+}
+
+/// Which field of an earlier rule a branch violates.
+#[derive(Debug, Clone, Copy)]
+enum Violation {
+    SrcMac,
+    DstMac,
+    SrcIp,
+    DstIp,
+    Proto,
+    /// Port value outside the earlier rule's range (forces a port-bearing
+    /// protocol).
+    SrcPortValue,
+    DstPortValue,
+    /// Portless protocol (defeats any port criterion on the earlier
+    /// rule).
+    Portless,
+}
+
+const ALL_VIOLATIONS: [Violation; 8] = [
+    Violation::SrcMac,
+    Violation::DstMac,
+    Violation::SrcIp,
+    Violation::DstIp,
+    Violation::Proto,
+    Violation::SrcPortValue,
+    Violation::DstPortValue,
+    Violation::Portless,
+];
+
+fn find_witness(earlier: &[&MatchSpec], target: &MatchSpec, fuel: &mut usize) -> WitnessOutcome {
+    if spec_is_empty(target) {
+        return WitnessOutcome::Unreachable;
+    }
+    let mut cons = Constraints {
+        must_have_ports: target.src_port.is_some() || target.dst_port.is_some(),
+        ..Default::default()
+    };
+    // Only earlier rules whose match set overlaps the target's need an
+    // explicit violation; disjoint ones cannot capture a target-matching
+    // key (and the final verification double-checks).
+    let overlapping: Vec<&MatchSpec> = earlier
+        .iter()
+        .copied()
+        .filter(|e| spec_intersects(e, target))
+        .collect();
+    match solve(&overlapping, 0, target, earlier, &mut cons, fuel) {
+        Some(key) => WitnessOutcome::Found(key),
+        None if *fuel == 0 => WitnessOutcome::Budget,
+        None => WitnessOutcome::Unreachable,
+    }
+}
+
+/// Depth-first search over violation choices for `overlapping[idx..]`,
+/// verifying the instantiated key against the *full* earlier list.
+fn solve(
+    overlapping: &[&MatchSpec],
+    idx: usize,
+    target: &MatchSpec,
+    all_earlier: &[&MatchSpec],
+    cons: &mut Constraints,
+    fuel: &mut usize,
+) -> Option<FlowKey> {
+    if *fuel == 0 {
+        return None;
+    }
+    if idx == overlapping.len() {
+        *fuel -= 1;
+        let key = cons.instantiate(target)?;
+        if target.matches(&key) && all_earlier.iter().all(|e| !e.matches(&key)) {
+            return Some(key);
+        }
+        return None;
+    }
+    let e = overlapping[idx];
+    for v in ALL_VIOLATIONS {
+        let mut next = cons.clone();
+        if !apply_violation(&mut next, e, target, v) {
+            continue;
+        }
+        if let Some(key) = solve(overlapping, idx + 1, target, all_earlier, &mut next, fuel) {
+            return Some(key);
+        }
+        if *fuel == 0 {
+            return None;
+        }
+    }
+    None
+}
+
+/// Adds the constraint that violates field `v` of earlier rule `e` to
+/// `cons`, returning false when the choice is structurally infeasible
+/// against the target's own constraints (cheap pruning; the leaf
+/// verification is the final arbiter).
+fn apply_violation(
+    cons: &mut Constraints,
+    e: &MatchSpec,
+    target: &MatchSpec,
+    v: Violation,
+) -> bool {
+    match v {
+        Violation::SrcMac => {
+            let Some(m) = e.src_mac else { return false };
+            if target.src_mac == Some(m) {
+                return false;
+            }
+            cons.src_mac_bans.push(m);
+        }
+        Violation::DstMac => {
+            let Some(m) = e.dst_mac else { return false };
+            if target.dst_mac == Some(m) {
+                return false;
+            }
+            cons.dst_mac_bans.push(m);
+        }
+        Violation::SrcIp => {
+            let Some(p) = &e.src_ip else { return false };
+            if target.src_ip.as_ref().is_some_and(|t| p.covers(t)) {
+                return false;
+            }
+            cons.src_ip_bans.push(prefix_interval(p));
+        }
+        Violation::DstIp => {
+            let Some(p) = &e.dst_ip else { return false };
+            if target.dst_ip.as_ref().is_some_and(|t| p.covers(t)) {
+                return false;
+            }
+            cons.dst_ip_bans.push(prefix_interval(p));
+        }
+        Violation::Proto => {
+            let Some(p) = e.protocol else { return false };
+            if target.protocol == Some(p) {
+                return false;
+            }
+            cons.proto_bans.push(p);
+        }
+        Violation::SrcPortValue => {
+            let Some(pm) = &e.src_port else { return false };
+            if cons.must_be_portless {
+                return false;
+            }
+            cons.src_port_bans.push(port_interval(pm));
+            cons.must_have_ports = true;
+        }
+        Violation::DstPortValue => {
+            let Some(pm) = &e.dst_port else { return false };
+            if cons.must_be_portless {
+                return false;
+            }
+            cons.dst_port_bans.push(port_interval(pm));
+            cons.must_have_ports = true;
+        }
+        Violation::Portless => {
+            // Defeats a port criterion by making the key portless; only
+            // possible when the earlier rule has one and the target has
+            // none (and no port-bearing protocol requirement).
+            if e.src_port.is_none() && e.dst_port.is_none() {
+                return false;
+            }
+            if cons.must_have_ports
+                || target.protocol.is_some_and(|p| p.has_ports())
+                || target.src_port.is_some()
+                || target.dst_port.is_some()
+            {
+                return false;
+            }
+            cons.must_be_portless = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_net::ports;
+
+    fn spec(dst: &str) -> MatchSpec {
+        MatchSpec::to_destination(dst.parse().unwrap())
+    }
+
+    fn ntp(dst: &str) -> MatchSpec {
+        MatchSpec::proto_src_port_to(dst.parse().unwrap(), IpProtocol::UDP, ports::NTP)
+    }
+
+    fn rule(id: RuleId, priority: u16, spec: MatchSpec, action: ActionClass) -> AuditRule {
+        AuditRule::new(RuleEntry::new(id, priority, spec), action)
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_respects_fields() {
+        let a = spec("100.10.10.0/24");
+        let b = ntp("100.10.10.10/32");
+        assert!(spec_covers(&a, &a));
+        assert!(spec_covers(&a, &b)); // /24 wildcard-proto covers NTP /32
+        assert!(!spec_covers(&b, &a));
+        // A port criterion cannot cover a port-wildcard spec that admits
+        // portless protocols.
+        let any_port = MatchSpec {
+            src_port: Some(PortMatch::Range(0, u16::MAX)),
+            ..Default::default()
+        };
+        assert!(!spec_covers(&any_port, &MatchSpec::default()));
+        // ...but covers one pinned to UDP.
+        let all_udp = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            ..Default::default()
+        };
+        assert!(spec_covers(&any_port, &all_udp));
+    }
+
+    #[test]
+    fn intersects_handles_protocol_port_coupling() {
+        let udp_src = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            src_port: Some(PortMatch::Exact(123)),
+            ..Default::default()
+        };
+        let icmp = MatchSpec {
+            protocol: Some(IpProtocol::ICMP),
+            ..Default::default()
+        };
+        assert!(!spec_intersects(&udp_src, &icmp));
+        let port_only = MatchSpec {
+            src_port: Some(PortMatch::Range(100, 200)),
+            ..Default::default()
+        };
+        assert!(spec_intersects(&udp_src, &port_only));
+        assert!(!spec_intersects(&port_only, &icmp));
+        // Disjoint port ranges.
+        let other_ports = MatchSpec {
+            src_port: Some(PortMatch::Range(300, 400)),
+            ..Default::default()
+        };
+        assert!(!spec_intersects(&port_only, &other_ports));
+    }
+
+    #[test]
+    fn shadowed_and_redundant_are_detected() {
+        let t = analyze(&[
+            rule(1, 10, spec("100.10.10.0/24"), ActionClass::Drop),
+            rule(2, 10, ntp("100.10.10.10/32"), ActionClass::Drop),
+            rule(
+                3,
+                10,
+                ntp("100.10.10.11/32"),
+                ActionClass::Shape { rate_bps: 1 },
+            ),
+        ]);
+        assert_eq!(t.dead_flag(2), Some(RuleFlag::Redundant { by: 1 }));
+        assert_eq!(t.dead_flag(3), Some(RuleFlag::Shadowed { by: 1 }));
+        assert!(t.dead_flag(1).is_none());
+        assert!(t.witness(1).is_some());
+    }
+
+    #[test]
+    fn priority_decides_rank_not_id() {
+        // Rule 9 evaluates first despite the higher id.
+        let t = analyze(&[
+            rule(1, 50, ntp("100.10.10.10/32"), ActionClass::Drop),
+            rule(9, 10, spec("100.10.10.0/24"), ActionClass::Drop),
+        ]);
+        assert_eq!(t.dead_flag(1), Some(RuleFlag::Redundant { by: 9 }));
+        assert!(t.dead_flag(9).is_none());
+    }
+
+    #[test]
+    fn union_coverage_is_flagged_unreachable() {
+        // Two /25s cover the /24; no single rule does.
+        let t = analyze(&[
+            rule(1, 10, spec("100.10.10.0/25"), ActionClass::Drop),
+            rule(2, 10, spec("100.10.10.128/25"), ActionClass::Drop),
+            rule(3, 10, spec("100.10.10.0/24"), ActionClass::Drop),
+        ]);
+        assert!(t.dead_flag(1).is_none());
+        assert!(t.dead_flag(2).is_none());
+        assert_eq!(t.dead_flag(3), Some(RuleFlag::Unreachable));
+        // UDP + TCP + ICMP... does NOT cover all protocols.
+        let udp = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            ..Default::default()
+        };
+        let tcp = MatchSpec {
+            protocol: Some(IpProtocol::TCP),
+            ..Default::default()
+        };
+        let t = analyze(&[
+            rule(1, 10, udp, ActionClass::Drop),
+            rule(2, 10, tcp, ActionClass::Drop),
+            rule(3, 10, MatchSpec::default(), ActionClass::Drop),
+        ]);
+        assert!(t.dead_flag(3).is_none());
+        let w = t.witness(3).unwrap();
+        assert!(!w.protocol.has_ports());
+    }
+
+    #[test]
+    fn crossing_drop_shape_overlap_is_a_conflict() {
+        // src-port rule vs dst-port rule: crossing overlap, drop vs shape.
+        let a = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            src_port: Some(PortMatch::Exact(123)),
+            ..Default::default()
+        };
+        let b = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            dst_port: Some(PortMatch::Exact(80)),
+            ..Default::default()
+        };
+        let t = analyze(&[
+            rule(1, 10, a.clone(), ActionClass::Drop),
+            rule(2, 10, b.clone(), ActionClass::Shape { rate_bps: 1 }),
+        ]);
+        assert_eq!(t.conflicts_of(2), vec![1]);
+        assert!(t.dead_flag(2).is_none(), "conflicting rule is still live");
+        // Same shape but the broader rule merely layers over a carved-out
+        // exception (earlier narrower rule inside later broader): no
+        // conflict.
+        let narrow = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            src_port: Some(PortMatch::Exact(123)),
+            ..Default::default()
+        };
+        let broad = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            ..Default::default()
+        };
+        let t = analyze(&[
+            rule(1, 10, narrow, ActionClass::Drop),
+            rule(2, 10, broad, ActionClass::Shape { rate_bps: 1 }),
+        ]);
+        assert!(t.conflicts_of(2).is_empty());
+        // Same actions never conflict.
+        let t = analyze(&[
+            rule(1, 10, a, ActionClass::Drop),
+            rule(2, 10, b, ActionClass::Drop),
+        ]);
+        assert!(t.findings.is_empty());
+    }
+
+    #[test]
+    fn witnesses_reach_their_rules_first_match() {
+        let rules = [
+            rule(1, 10, ntp("100.10.10.10/32"), ActionClass::Drop),
+            rule(
+                2,
+                10,
+                MatchSpec {
+                    protocol: Some(IpProtocol::UDP),
+                    dst_ip: Some("100.10.10.10/32".parse().unwrap()),
+                    ..Default::default()
+                },
+                ActionClass::Shape { rate_bps: 1 },
+            ),
+            rule(3, 10, spec("100.10.10.10/32"), ActionClass::Drop),
+        ];
+        let t = analyze(&rules);
+        assert!(t.findings.iter().all(|f| !f.flag.is_dead()));
+        let engine = crate::ClassifyEngine::compile(rules.iter().map(|r| r.entry.clone()));
+        for (id, key) in &t.witnesses {
+            assert_eq!(engine.classify(key), Some(*id), "witness for rule {id}");
+        }
+        assert_eq!(t.witnesses.len(), 3);
+    }
+
+    #[test]
+    fn empty_spec_is_unreachable() {
+        let icmp_with_port = MatchSpec {
+            protocol: Some(IpProtocol::ICMP),
+            src_port: Some(PortMatch::Exact(1)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&icmp_with_port));
+        let t = analyze(&[rule(1, 10, icmp_with_port, ActionClass::Drop)]);
+        assert_eq!(t.dead_flag(1), Some(RuleFlag::Unreachable));
+    }
+
+    #[test]
+    fn mac_scoped_rules_find_witnesses() {
+        let m1 = MacAddr::for_member(64500, 1);
+        let m2 = MacAddr::for_member(64501, 1);
+        let t = analyze(&[
+            rule(
+                1,
+                10,
+                MatchSpec {
+                    src_mac: Some(m1),
+                    ..Default::default()
+                },
+                ActionClass::Drop,
+            ),
+            rule(
+                2,
+                10,
+                MatchSpec {
+                    src_mac: Some(m2),
+                    ..Default::default()
+                },
+                ActionClass::Drop,
+            ),
+            rule(3, 10, MatchSpec::default(), ActionClass::Drop),
+        ]);
+        assert!(t.dead_flag(3).is_none());
+        let w = t.witness(3).unwrap();
+        assert_ne!(w.src_mac, m1);
+        assert_ne!(w.src_mac, m2);
+    }
+
+    #[test]
+    fn table_usage_sums_criteria() {
+        let u = table_usage(&[
+            rule(1, 10, ntp("100.10.10.10/32"), ActionClass::Drop), // 3 l34
+            rule(
+                2,
+                10,
+                MatchSpec {
+                    src_mac: Some(MacAddr::for_member(64500, 1)),
+                    dst_ip: Some("100.10.10.10/32".parse().unwrap()),
+                    ..Default::default()
+                },
+                ActionClass::Drop,
+            ), // 1 mac + 1 l34
+        ]);
+        assert_eq!(u, TcamUsage { mac: 1, l34: 4 });
+    }
+
+    #[test]
+    fn v6_rules_analyze_like_v4() {
+        let t = analyze(&[
+            rule(1, 10, spec("2001:db8::/64"), ActionClass::Drop),
+            rule(2, 10, ntp("2001:db8::1/128"), ActionClass::Drop),
+        ]);
+        assert_eq!(t.dead_flag(2), Some(RuleFlag::Redundant { by: 1 }));
+        // Across families there is no coverage.
+        let t = analyze(&[
+            rule(1, 10, spec("2001:db8::/64"), ActionClass::Drop),
+            rule(2, 10, spec("100.10.10.10/32"), ActionClass::Drop),
+        ]);
+        assert!(t.findings.is_empty());
+        assert_eq!(t.witnesses.len(), 2);
+    }
+}

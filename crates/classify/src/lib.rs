@@ -25,10 +25,12 @@
 //! - [`sharded`] — a front-end that fans independent shards (one per
 //!   port group) out across the reusable worker [`pool`].
 
+pub mod analyze;
 pub mod engine;
 pub mod pool;
 pub mod sharded;
 pub mod spec;
 
+pub use analyze::{ActionClass, AuditRule, Finding, RuleFlag, TableAnalysis, TcamUsage};
 pub use engine::{ClassifyEngine, ClassifyScratch, RuleEntry, RuleId};
 pub use spec::{MatchSpec, PortMatch};

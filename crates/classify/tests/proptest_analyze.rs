@@ -1,0 +1,220 @@
+//! Property tests for the static rule-table analyzer: every flag it
+//! raises is checked against the *dynamic* truth of the compiled engine
+//! on randomly generated tables.
+//!
+//! - A rule flagged dead (shadowed / redundant / unreachable) is never
+//!   the first match for any sampled packet.
+//! - A rule not flagged dead comes with a witness key, and that witness
+//!   really does reach the rule as first-match through the engine.
+//! - A conflict flag implies a genuine crossing overlap: the two rules'
+//!   intersection is non-empty and neither covers the other.
+//!
+//! The value pools are deliberately tiny (as in `proptest_engine.rs`) so
+//! shadowing, union coverage and crossing overlaps actually occur instead
+//! of every random table being anomaly-free.
+
+use proptest::prelude::*;
+use stellar_classify::analyze::{analyze, spec_covers, spec_intersects};
+use stellar_classify::{ActionClass, AuditRule, ClassifyEngine, MatchSpec, PortMatch, RuleEntry};
+use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
+use stellar_net::flow::FlowKey;
+use stellar_net::mac::MacAddr;
+use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+use stellar_net::proto::IpProtocol;
+
+/// A deliberately tiny v6 pool so v6 rules and keys actually collide.
+fn v6(last: u8) -> Ipv6Address {
+    let mut o = [0u8; 16];
+    o[0] = 0x20;
+    o[1] = 0x01;
+    o[15] = last;
+    Ipv6Address(o)
+}
+
+fn arb_ip() -> impl Strategy<Value = IpAddress> {
+    prop_oneof![
+        (0u8..3, 0u8..3, 0u8..3, 0u8..3)
+            .prop_map(|(a, b, c, d)| IpAddress::V4(Ipv4Address::new(a, b, c, d))),
+        (0u8..2).prop_map(|x| IpAddress::V6(v6(x))),
+    ]
+}
+
+/// Short prefixes dominate so coverage relations occur often.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (
+            (0u8..3, 0u8..3, 0u8..3, 0u8..3),
+            prop_oneof![0u8..=4, 22u8..=32]
+        )
+            .prop_map(|((a, b, c, d), l)| {
+                Prefix::V4(Ipv4Prefix::new(Ipv4Address::new(a, b, c, d), l).unwrap())
+            }),
+        (0u8..2, prop_oneof![0u8..=4, 120u8..=128])
+            .prop_map(|(x, l)| Prefix::V6(Ipv6Prefix::new(v6(x), l).unwrap())),
+    ]
+}
+
+fn arb_proto() -> impl Strategy<Value = IpProtocol> {
+    prop_oneof![
+        Just(IpProtocol::UDP),
+        Just(IpProtocol::TCP),
+        Just(IpProtocol::ICMP),
+    ]
+}
+
+fn arb_port_match() -> impl Strategy<Value = PortMatch> {
+    prop_oneof![
+        (0u16..8).prop_map(PortMatch::Exact),
+        (0u16..8, 0u16..8).prop_map(|(a, b)| PortMatch::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn arb_spec() -> impl Strategy<Value = MatchSpec> {
+    (
+        proptest::option::of(0u32..4),
+        proptest::option::of(0u32..4),
+        proptest::option::of(arb_prefix()),
+        proptest::option::of(arb_prefix()),
+        proptest::option::of(arb_proto()),
+        proptest::option::of(arb_port_match()),
+        proptest::option::of(arb_port_match()),
+    )
+        .prop_map(|(sm, dm, sip, dip, proto, sp, dp)| MatchSpec {
+            src_mac: sm.map(|m| MacAddr::for_member(64500 + m, 1)),
+            dst_mac: dm.map(|m| MacAddr::for_member(64500 + m, 1)),
+            src_ip: sip,
+            dst_ip: dip,
+            protocol: proto,
+            src_port: sp,
+            dst_port: dp,
+        })
+}
+
+fn arb_key() -> impl Strategy<Value = FlowKey> {
+    (
+        0u32..4,
+        0u32..4,
+        arb_ip(),
+        arb_ip(),
+        arb_proto(),
+        0u16..8,
+        0u16..8,
+    )
+        .prop_map(|(sm, dm, sip, dip, proto, sp, dp)| FlowKey {
+            src_mac: MacAddr::for_member(64500 + sm, 1),
+            dst_mac: MacAddr::for_member(64500 + dm, 1),
+            src_ip: sip,
+            dst_ip: dip,
+            protocol: proto,
+            src_port: sp,
+            dst_port: dp,
+        })
+}
+
+fn arb_action() -> impl Strategy<Value = ActionClass> {
+    prop_oneof![
+        Just(ActionClass::Drop),
+        Just(ActionClass::Shape { rate_bps: 1_000 }),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Vec<AuditRule>> {
+    proptest::collection::vec((arb_spec(), 0u16..3, arb_action()), 0..10).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (spec, prio, action))| {
+                AuditRule::new(RuleEntry::new(i as u64, prio, spec), action)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dead-flagged rules never win first-match for any sampled packet;
+    /// live rules' witnesses demonstrably reach them through the real
+    /// engine.
+    #[test]
+    fn flags_agree_with_engine_semantics(
+        table in arb_table(),
+        keys in proptest::collection::vec(arb_key(), 1..24),
+    ) {
+        let report = analyze(&table);
+        let engine = ClassifyEngine::compile(table.iter().map(|r| r.entry.clone()));
+        for rule in &table {
+            let id = rule.entry.id;
+            if report.dead_flag(id).is_some() {
+                // Shadowed / redundant / unreachable: no sampled packet
+                // may ever reach this rule as first-match.
+                for key in &keys {
+                    prop_assert!(
+                        engine.classify(key) != Some(id),
+                        "dead-flagged rule {} was first-match",
+                        id
+                    );
+                }
+                prop_assert!(
+                    report.witness(id).is_none(),
+                    "dead rule {} also has a witness",
+                    id
+                );
+            } else {
+                // Live: the analyzer must hand us a first-match witness.
+                let w = report.witness(id);
+                prop_assert!(w.is_some(), "live rule {} has no witness", id);
+                prop_assert!(
+                    engine.classify(w.unwrap()) == Some(id),
+                    "witness does not reach rule {}",
+                    id
+                );
+            }
+        }
+    }
+
+    /// A conflict flag means a genuine crossing overlap between two
+    /// opposing-action rules, with the flagged rule the later-ranked one.
+    #[test]
+    fn conflicts_are_crossing_overlaps(table in arb_table()) {
+        let report = analyze(&table);
+        let by_id = |id: u64| table.iter().find(|r| r.entry.id == id).unwrap();
+        for rule in &table {
+            for with in report.conflicts_of(rule.entry.id) {
+                let later = by_id(rule.entry.id);
+                let earlier = by_id(with);
+                prop_assert!(later.action.conflicts_with(&earlier.action));
+                prop_assert!(
+                    (earlier.entry.priority, earlier.entry.id)
+                        < (later.entry.priority, later.entry.id)
+                );
+                prop_assert!(spec_intersects(&earlier.entry.spec, &later.entry.spec));
+                prop_assert!(!spec_covers(&earlier.entry.spec, &later.entry.spec));
+                prop_assert!(!spec_covers(&later.entry.spec, &earlier.entry.spec));
+            }
+        }
+    }
+
+    /// The pairwise relations agree with the matches() predicate on
+    /// sampled keys: covers ⇒ superset, ¬intersects ⇒ disjoint.
+    #[test]
+    fn relations_agree_with_matches(
+        a in arb_spec(),
+        b in arb_spec(),
+        keys in proptest::collection::vec(arb_key(), 1..32),
+    ) {
+        let covers = spec_covers(&a, &b);
+        let intersects = spec_intersects(&a, &b);
+        for key in &keys {
+            if covers && b.matches(key) {
+                prop_assert!(a.matches(key), "covers violated");
+            }
+            if !intersects {
+                prop_assert!(
+                    !(a.matches(key) && b.matches(key)),
+                    "intersection missed"
+                );
+            }
+        }
+    }
+}

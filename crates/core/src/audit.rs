@@ -1,0 +1,264 @@
+//! Control-plane batch audit: the static rule-table analyzer
+//! ([`stellar_classify::analyze`]) run over every proposed configuration
+//! batch *before* it reaches the queue.
+//!
+//! The dynamic admission path only refuses a rule when the hardware does
+//! (TCAM exhaustion at install time); a rule that installs fine but can
+//! never be first-match — shadowed by an earlier rule on the same egress
+//! port — burns TCAM criteria forever and silently does nothing. The
+//! audit moves that gate to signal time: each member port's desired rule
+//! set is analyzed as one table (rules only compete within a port; egress
+//! placement isolates members from each other, §4.5), newly signaled
+//! rules that come back dead or crossing-conflicted are refused before
+//! they are enqueued, and the surviving batch's TCAM criteria footprint
+//! is accounted against the hardware's free pools so capacity pressure is
+//! visible *before* the install fails (the paper's Fig. 9 F1/F2 modes).
+
+use crate::rule::{BlackholingRule, RuleAction};
+use std::collections::BTreeMap;
+use stellar_classify::analyze::{analyze, ActionClass, AuditRule, RuleFlag};
+use stellar_classify::RuleEntry;
+use stellar_dataplane::switch::EdgeRouter;
+
+/// Why the audit refused a newly signaled rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditRejection {
+    /// The rule can never be first-match on its port: covered by a single
+    /// earlier rule (`by = Some(id)`) or by the union of earlier rules /
+    /// a self-contradictory spec (`by = None`).
+    Shadowed {
+        /// The single covering rule, when one exists.
+        by: Option<u64>,
+    },
+    /// The rule's match set crosses an earlier rule's with an opposing
+    /// action (drop vs. shape): on the shared traffic, rule rank — not
+    /// the member's intent — would decide the outcome.
+    Conflict {
+        /// The earlier rule it crosses.
+        with: u64,
+    },
+}
+
+/// TCAM criteria accounting for the candidates that survived the audit,
+/// against the fabric's free pools at audit time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PreadmitReport {
+    /// MAC-pool criteria the surviving candidates need.
+    pub mac_needed: usize,
+    /// L3–L4 criteria-pool entries the surviving candidates need.
+    pub l34_needed: usize,
+    /// MAC-pool entries currently free.
+    pub mac_free: usize,
+    /// L3–L4 pool entries currently free.
+    pub l34_free: usize,
+}
+
+impl PreadmitReport {
+    /// Whether the surviving batch fits the free pools as they stand.
+    /// Advisory: concurrent removals can free space and the degradation
+    /// ladder handles the miss, so a tight batch is queued anyway — but
+    /// the pressure is now visible before the first install refusal.
+    pub fn fits(&self) -> bool {
+        self.mac_needed <= self.mac_free && self.l34_needed <= self.l34_free
+    }
+}
+
+/// The audit verdict for one proposed batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchAudit {
+    /// Refused candidate rules with the reason, in rule-id order.
+    pub rejected: Vec<(u64, AuditRejection)>,
+    /// TCAM accounting for the candidates that survived.
+    pub preadmit: PreadmitReport,
+}
+
+impl From<RuleAction> for ActionClass {
+    fn from(a: RuleAction) -> Self {
+        match a {
+            RuleAction::Drop => ActionClass::Drop,
+            RuleAction::Shape { rate_bps } => ActionClass::Shape { rate_bps },
+        }
+    }
+}
+
+fn to_audit_rule(r: &BlackholingRule) -> AuditRule {
+    // Blackholing rules all compile at priority 100 (`to_filter_rule`),
+    // so evaluation rank within a port is id order.
+    AuditRule::new(
+        RuleEntry::new(r.id, 100, r.match_spec()),
+        ActionClass::from(r.signal.action),
+    )
+}
+
+/// Audits one proposed batch: `desired` is the controller's full desired
+/// state (candidates already included), `candidate_ids` the rules this
+/// batch would add. Tables are formed per owner (one egress port per
+/// member, so rules only compete within an owner) and iterated in owner
+/// order — fully deterministic. Only candidates are ever refused;
+/// pre-existing anomalies among installed rules are the reconciler's
+/// problem, not this batch's.
+pub fn audit_batch(
+    router: &EdgeRouter,
+    desired: &[BlackholingRule],
+    candidate_ids: &[u64],
+) -> BatchAudit {
+    let mut audit = BatchAudit::default();
+    let mut by_owner: BTreeMap<u32, Vec<&BlackholingRule>> = BTreeMap::new();
+    for r in desired {
+        by_owner.entry(r.owner.0).or_default().push(r);
+    }
+    for rules in by_owner.values() {
+        if !rules.iter().any(|r| candidate_ids.contains(&r.id)) {
+            continue;
+        }
+        let table: Vec<AuditRule> = rules.iter().map(|r| to_audit_rule(r)).collect();
+        let report = analyze(&table);
+        for r in rules {
+            if !candidate_ids.contains(&r.id) {
+                continue;
+            }
+            let rejection = match report.dead_flag(r.id) {
+                Some(RuleFlag::Shadowed { by }) | Some(RuleFlag::Redundant { by }) => {
+                    Some(AuditRejection::Shadowed { by: Some(by) })
+                }
+                Some(RuleFlag::Unreachable) => Some(AuditRejection::Shadowed { by: None }),
+                // A budget blowout proves nothing: admit.
+                Some(_) | None => report
+                    .conflicts_of(r.id)
+                    .first()
+                    .map(|with| AuditRejection::Conflict { with: *with }),
+            };
+            match rejection {
+                Some(rej) => audit.rejected.push((r.id, rej)),
+                None => {
+                    let (mac, l34) = r.criteria();
+                    audit.preadmit.mac_needed += mac;
+                    audit.preadmit.l34_needed += l34;
+                }
+            }
+        }
+    }
+    audit.rejected.sort_by_key(|(id, _)| *id);
+    audit.preadmit.mac_free = router.tcam().mac_free();
+    audit.preadmit.l34_free = router.tcam().l34_free();
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{MatchKind, StellarSignal};
+    use stellar_bgp::types::Asn;
+    use stellar_dataplane::hardware::HardwareInfoBase;
+    use stellar_dataplane::port::MemberPort;
+    use stellar_dataplane::switch::PortId;
+    use stellar_net::mac::MacAddr;
+    use stellar_net::prefix::Prefix;
+
+    fn router() -> EdgeRouter {
+        let mut r = EdgeRouter::new(HardwareInfoBase::lab_switch());
+        r.add_port(
+            PortId(1),
+            MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
+        );
+        r
+    }
+
+    fn victim() -> Prefix {
+        "100.10.10.10/32".parse().unwrap()
+    }
+
+    fn rule(id: u64, owner: u32, signal: StellarSignal) -> BlackholingRule {
+        BlackholingRule {
+            id,
+            owner: Asn(owner),
+            victim: victim(),
+            signal,
+        }
+    }
+
+    #[test]
+    fn candidate_shadowed_by_installed_rule_is_rejected() {
+        let desired = [
+            rule(1, 64500, StellarSignal::drop_all()),
+            rule(2, 64500, StellarSignal::drop_udp_src(123)),
+        ];
+        let audit = audit_batch(&router(), &desired, &[2]);
+        assert_eq!(
+            audit.rejected,
+            vec![(2, AuditRejection::Shadowed { by: Some(1) })]
+        );
+        // The rejected rule contributes nothing to the preadmit footprint.
+        assert_eq!(audit.preadmit.l34_needed, 0);
+    }
+
+    #[test]
+    fn crossing_drop_shape_candidate_is_rejected() {
+        // Installed: drop UDP src 123 to the victim. Candidate: shape UDP
+        // *dst* 53 to the same victim — the match sets cross (a packet
+        // can be src 123 AND dst 53; each rule also matches packets the
+        // other misses), with opposing actions.
+        let shape_dns_dst = StellarSignal {
+            kind: MatchKind::UdpDstPort,
+            port: 53,
+            action: RuleAction::Shape {
+                rate_bps: 200_000_000,
+            },
+        };
+        let desired = [
+            rule(1, 64500, StellarSignal::drop_udp_src(123)),
+            rule(2, 64500, shape_dns_dst),
+        ];
+        let audit = audit_batch(&router(), &desired, &[2]);
+        assert_eq!(
+            audit.rejected,
+            vec![(2, AuditRejection::Conflict { with: 1 })]
+        );
+    }
+
+    #[test]
+    fn disjoint_candidates_pass_with_preadmit_accounting() {
+        let desired = [
+            rule(1, 64500, StellarSignal::drop_udp_src(123)),
+            rule(2, 64500, StellarSignal::drop_udp_src(53)),
+        ];
+        let audit = audit_batch(&router(), &desired, &[1, 2]);
+        assert!(audit.rejected.is_empty());
+        // Each victim-scoped UDP-src rule costs 3 L3-L4 criteria.
+        assert_eq!(audit.preadmit.l34_needed, 6);
+        assert_eq!(audit.preadmit.mac_needed, 0);
+        assert!(audit.preadmit.fits());
+    }
+
+    #[test]
+    fn owners_are_isolated() {
+        // The same overlapping pair split across two owners: no table
+        // contains both, so nothing is rejected.
+        let desired = [
+            rule(1, 64500, StellarSignal::drop_all()),
+            rule(2, 64501, StellarSignal::drop_udp_src(123)),
+        ];
+        let audit = audit_batch(&router(), &desired, &[2]);
+        assert!(audit.rejected.is_empty());
+    }
+
+    #[test]
+    fn installed_anomalies_are_not_this_batchs_problem() {
+        // Rules 1 and 2 are a pre-existing redundant pair, but only
+        // candidate 3 is up for audit — and it is disjoint (TCP), so the
+        // batch passes untouched.
+        let drop_http_tcp = StellarSignal {
+            kind: MatchKind::TcpSrcPort,
+            port: 80,
+            action: RuleAction::Drop,
+        };
+        let desired = [
+            rule(1, 64500, StellarSignal::drop_udp_src(123)),
+            rule(2, 64500, StellarSignal::drop_udp_src(123)),
+            rule(3, 64500, drop_http_tcp),
+        ];
+        let audit = audit_batch(&router(), &desired, &[3]);
+        assert!(audit.rejected.is_empty());
+        assert_eq!(audit.preadmit.l34_needed, 3);
+    }
+}

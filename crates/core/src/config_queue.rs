@@ -180,12 +180,14 @@ impl ConfigChangeQueue {
     /// (a group wider than the bucket's burst size could never fit and
     /// falls back to per-item dequeue rather than wedging the queue).
     pub fn dequeue_ready_queued(&mut self, now_us: u64) -> Vec<QueuedChange> {
-        while let Some(d) = self.deferred.front() {
-            if d.not_before_us > now_us {
-                break;
+        while self
+            .deferred
+            .front()
+            .is_some_and(|d| d.not_before_us <= now_us)
+        {
+            if let Some(qc) = self.deferred.pop_front() {
+                self.queue.push_back(qc);
             }
-            let qc = self.deferred.pop_front().expect("front exists");
-            self.queue.push_back(qc);
         }
         let mut out = Vec::new();
         while let Some(front_group) = self.queue.front().map(|qc| qc.group) {
@@ -214,7 +216,9 @@ impl ConfigChangeQueue {
                 break;
             }
             for _ in 0..take {
-                let qc = self.queue.pop_front().expect("counted above");
+                let Some(qc) = self.queue.pop_front() else {
+                    break;
+                };
                 if qc.attempts == 0 {
                     // Retries would distort the Fig. 10(b) queue-wait
                     // sample with backoff time; log first passes only.

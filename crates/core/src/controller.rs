@@ -162,7 +162,7 @@ impl BlackholingController {
                 .collect();
             stale.sort_unstable_by_key(|(id, _)| *id);
             for (rule_id, s) in stale {
-                path.rules.remove(&s).expect("key present");
+                path.rules.remove(&s);
                 changes.push(AbstractChange::RemoveRule { rule_id, owner });
             }
             // Additions: desired but not installed.
@@ -237,13 +237,17 @@ impl BlackholingController {
         let Some(key) = key else {
             return DegradeOutcome::Unknown;
         };
-        let path = self.paths.get_mut(&key).expect("key just found");
-        let signal = *path
+        let Some(path) = self.paths.get_mut(&key) else {
+            return DegradeOutcome::Unknown;
+        };
+        let Some(signal) = path
             .rules
             .iter()
             .find(|(_, id)| **id == rule_id)
-            .expect("id just found")
-            .0;
+            .map(|(s, _)| *s)
+        else {
+            return DegradeOutcome::Unknown;
+        };
         let owner = path.owner.unwrap_or(Asn(0));
         path.rules.remove(&signal);
         let outcome = match signal.degrade() {

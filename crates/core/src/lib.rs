@@ -26,6 +26,7 @@
 //! self-healing control plane (retry, reconciliation, graceful
 //! degradation — the §4.1.2 availability claim under test).
 
+pub mod audit;
 pub mod config_queue;
 pub mod controller;
 pub mod detector;

@@ -80,15 +80,12 @@ impl NetworkManager for QosNetworkManager {
                     }
                     Err(InstallError::NoSuchPort) => Err(AdmissionError::UnknownOwner),
                     Err(InstallError::PerPortLimit) => Err(AdmissionError::PerPortLimit),
-                    Err(InstallError::Tcam(TcamVerdict::F1)) => {
-                        Err(AdmissionError::TcamL34Exhausted)
-                    }
-                    Err(InstallError::Tcam(TcamVerdict::F2)) => {
-                        Err(AdmissionError::TcamMacExhausted)
-                    }
-                    Err(InstallError::Tcam(TcamVerdict::Ok)) => {
-                        unreachable!("Ok is not an error verdict")
-                    }
+                    Err(InstallError::Tcam(verdict)) => Err(match verdict {
+                        TcamVerdict::F2 => AdmissionError::TcamMacExhausted,
+                        // F1 — and a (never-constructed) Ok-as-error,
+                        // which degrades to the same retryable verdict.
+                        _ => AdmissionError::TcamL34Exhausted,
+                    }),
                 }
             }
             AbstractChange::RemoveRule { rule_id, .. } => {

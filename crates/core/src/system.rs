@@ -20,6 +20,7 @@
 //!   desired rule set against the hardware and queues repairs, so a
 //!   restart converges back instead of diverging forever.
 
+use crate::audit::{audit_batch, AuditRejection};
 use crate::config_queue::{ConfigChangeQueue, QueuedChange};
 use crate::controller::{AbstractChange, BlackholingController, DegradeOutcome};
 use crate::faults::{DeadLetter, FaultEvent, FaultInjector, FaultKind, RecoveryEvent, RetryPolicy};
@@ -43,6 +44,9 @@ pub struct SignalOutcome {
     pub queued_changes: usize,
     /// Import-policy rejections, if any.
     pub rejections: Vec<(Prefix, RejectReason)>,
+    /// Rules refused by the static batch audit (shadowed or conflicting
+    /// on the owner's egress port) before reaching the queue.
+    pub audit_rejections: Vec<(u64, AuditRejection)>,
 }
 
 /// What one reconciliation pass found and queued.
@@ -137,7 +141,8 @@ impl StellarSystem {
             ..Default::default()
         };
         for cu in &rs_out.controller_updates {
-            let changes = self.controller.process_update(cu);
+            let mut changes = self.controller.process_update(cu);
+            self.audit_changes(&mut changes, &mut outcome.audit_rejections, now_us);
             outcome.queued_changes += changes.len();
             // One emission carrying several changes is a same-path swap
             // (e.g. shape→drop escalation): dequeue it atomically so the
@@ -145,6 +150,73 @@ impl StellarSystem {
             self.queue.enqueue_group(changes, now_us);
         }
         outcome
+    }
+
+    /// Static batch audit (see [`crate::audit`]): analyzes the proposed
+    /// adds against the owner's full desired rule table, refuses the ones
+    /// that come back shadowed or crossing-conflicted (they leave desired
+    /// state and never reach the queue), and accounts the survivors'
+    /// TCAM footprint against the free pools. Degrade and reconcile
+    /// repairs skip this gate: they re-install rules the audit already
+    /// admitted.
+    fn audit_changes(
+        &mut self,
+        changes: &mut Vec<AbstractChange>,
+        rejections: &mut Vec<(u64, AuditRejection)>,
+        now_us: u64,
+    ) {
+        let candidate_ids: Vec<u64> = changes
+            .iter()
+            .filter_map(|c| match c {
+                AbstractChange::AddRule(r) => Some(r.id),
+                AbstractChange::RemoveRule { .. } => None,
+            })
+            .collect();
+        if candidate_ids.is_empty() {
+            return;
+        }
+        let audit = audit_batch(
+            &self.ixp.router,
+            &self.controller.desired_rules(),
+            &candidate_ids,
+        );
+        for (rule_id, rejection) in &audit.rejected {
+            self.controller.rule_refused(*rule_id);
+            changes.retain(|c| !matches!(c, AbstractChange::AddRule(r) if r.id == *rule_id));
+            let (counter, detail) = match rejection {
+                AuditRejection::Shadowed { by } => (
+                    "analyze.rejected_shadowed",
+                    (
+                        "by".to_string(),
+                        by.map_or("union".into(), |b| b.to_string()),
+                    ),
+                ),
+                AuditRejection::Conflict { with } => (
+                    "analyze.rejected_conflict",
+                    ("with".to_string(), with.to_string()),
+                ),
+            };
+            self.obs.registry.counter_inc(counter);
+            self.obs.event(
+                now_us,
+                "analyze.rejected",
+                vec![("rule_id".to_string(), rule_id.to_string()), detail],
+            );
+        }
+        rejections.extend(audit.rejected.iter().copied());
+        let reg = &mut self.obs.registry;
+        reg.counter_inc("analyze.preadmit.batches");
+        reg.counter_add(
+            "analyze.preadmit.mac_needed",
+            audit.preadmit.mac_needed as u64,
+        );
+        reg.counter_add(
+            "analyze.preadmit.l34_needed",
+            audit.preadmit.l34_needed as u64,
+        );
+        if !audit.preadmit.fits() {
+            reg.counter_inc("analyze.preadmit.would_exhaust");
+        }
     }
 
     /// A member withdraws its signal (attack over): the /32 is withdrawn
@@ -626,6 +698,93 @@ mod tests {
         assert_eq!(sys.pump(2_000_000), 1);
         assert_eq!(sys.pump(3_000_000), 1);
         assert_eq!(sys.active_rules(), 5);
+    }
+
+    #[test]
+    fn shadowed_signal_is_refused_by_the_audit() {
+        let mut sys = system();
+        sys.member_signal(Asn(64500), victim(), &[StellarSignal::drop_all()], 0);
+        assert_eq!(sys.pump(0), 1);
+        // Escalating to a port-scoped drop on top of drop-all: the new
+        // rule can never be first-match and is refused at signal time.
+        let out = sys.member_signal(
+            Asn(64500),
+            victim(),
+            &[StellarSignal::drop_all(), StellarSignal::drop_udp_src(123)],
+            1,
+        );
+        assert_eq!(out.queued_changes, 0);
+        assert_eq!(
+            out.audit_rejections,
+            vec![(2, crate::audit::AuditRejection::Shadowed { by: Some(1) })]
+        );
+        assert_eq!(sys.obs.registry.counter("analyze.rejected_shadowed"), 1);
+        assert_eq!(sys.obs.registry.counter("analyze.rejected_conflict"), 0);
+        sys.pump(1);
+        assert_eq!(sys.active_rules(), 1);
+        // Desired state dropped the refused rule: the system is converged
+        // and the reconciler will not resurrect it.
+        assert!(sys.is_converged());
+        assert!(sys.reconcile(2).is_clean());
+    }
+
+    #[test]
+    fn conflicting_signal_is_refused_by_the_audit() {
+        let mut sys = system();
+        sys.member_signal(
+            Asn(64500),
+            victim(),
+            &[StellarSignal::shape_udp_src(123, 200)],
+            0,
+        );
+        sys.pump(0);
+        // A drop on UDP *dst* 80 crosses the installed shape on UDP src
+        // 123 (packets with src 123 AND dst 80 hit both; each rule also
+        // matches traffic the other misses): refused as a conflict.
+        let drop_dst = crate::signal::StellarSignal {
+            kind: crate::signal::MatchKind::UdpDstPort,
+            port: 80,
+            action: crate::rule::RuleAction::Drop,
+        };
+        let out = sys.member_signal(
+            Asn(64500),
+            victim(),
+            &[StellarSignal::shape_udp_src(123, 200), drop_dst],
+            1,
+        );
+        assert_eq!(out.queued_changes, 0);
+        assert_eq!(
+            out.audit_rejections,
+            vec![(2, crate::audit::AuditRejection::Conflict { with: 1 })]
+        );
+        assert_eq!(sys.obs.registry.counter("analyze.rejected_conflict"), 1);
+        sys.pump(1);
+        assert_eq!(sys.active_rules(), 1);
+    }
+
+    #[test]
+    fn disjoint_signals_pass_the_audit_with_preadmit_accounting() {
+        let mut sys = system();
+        let out = sys.member_signal(
+            Asn(64500),
+            victim(),
+            &[
+                StellarSignal::drop_udp_src(123),
+                StellarSignal::drop_udp_src(53),
+            ],
+            0,
+        );
+        assert_eq!(out.queued_changes, 2);
+        assert!(out.audit_rejections.is_empty());
+        assert_eq!(sys.obs.registry.counter("analyze.preadmit.batches"), 1);
+        // Two victim-scoped UDP-src rules: 3 L3-L4 criteria each.
+        assert_eq!(sys.obs.registry.counter("analyze.preadmit.l34_needed"), 6);
+        assert_eq!(
+            sys.obs.registry.counter("analyze.preadmit.would_exhaust"),
+            0
+        );
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 2);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! `stellar-lint` — the workspace invariant linter.
+//!
+//! ```text
+//! stellar-lint [--root <dir>] [--json <file>] [--allow <file>]
+//! ```
+//!
+//! Scans `crates/*/src` under the workspace root, applies the allowlist
+//! (`lint-allow.toml` at the root by default), prints human diagnostics
+//! and exits 1 when any violation survives. `--json` additionally writes
+//! the machine-readable report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stellar_lint::allow::{self, Allowlist};
+use stellar_lint::{report, scan_workspace};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    allow: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: None,
+        allow: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--allow" => args.allow = Some(PathBuf::from(value("--allow")?)),
+            "--help" | "-h" => {
+                println!("usage: stellar-lint [--root <dir>] [--json <file>] [--allow <file>]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<usize, String> {
+    let args = parse_args()?;
+    let allow_path = args
+        .allow
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-allow.toml"));
+    let allowlist = if allow_path.is_file() {
+        let text = std::fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        Allowlist::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        Allowlist::default()
+    };
+    let findings = scan_workspace(&args.root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let applied = allow::apply(findings, &allowlist);
+    if let Some(json_path) = &args.json {
+        std::fs::write(json_path, report::render_json(&applied))
+            .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+    }
+    let mut out = String::new();
+    let violations = report::render_human(&applied, &mut out);
+    out.push_str(&format!(
+        "  allowlist budget {} across {} entries\n",
+        allowlist.total_budget(),
+        allowlist.entries.len()
+    ));
+    print!("{out}");
+    Ok(violations)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("stellar-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Diagnostics rendering: human `file:line` lines and a machine-readable
+//! JSON report (hand-rolled — the lint crate has no dependencies).
+
+use crate::allow::Applied;
+use crate::rules::{Finding, Rule};
+
+/// Renders the human report to `out`. Returns the number of violations.
+pub fn render_human(applied: &Applied, out: &mut String) -> usize {
+    for f in &applied.violations {
+        out.push_str(&format!(
+            "error[{}]: {}:{}: {}\n",
+            f.rule, f.path, f.line, f.message
+        ));
+    }
+    for s in &applied.stale {
+        out.push_str(&format!(
+            "stale-budget[{}]: {} budgets {} but only {} found — shrink the count\n",
+            s.rule, s.path, s.budget, s.actual
+        ));
+    }
+    let mut per_rule: Vec<(&'static str, usize, usize)> = Rule::all()
+        .iter()
+        .map(|r| {
+            let name = r.name();
+            (
+                name,
+                applied.violations.iter().filter(|f| f.rule == name).count(),
+                applied.suppressed.iter().filter(|f| f.rule == name).count(),
+            )
+        })
+        .collect();
+    per_rule.sort();
+    out.push_str("summary:\n");
+    for (name, violations, suppressed) in per_rule {
+        out.push_str(&format!(
+            "  {name:<16} {violations} violation(s), {suppressed} allowlisted\n"
+        ));
+    }
+    out.push_str(&format!(
+        "  total            {} violation(s), {} allowlisted, {} stale budget(s)\n",
+        applied.violations.len(),
+        applied.suppressed.len(),
+        applied.stale.len()
+    ));
+    applied.violations.len()
+}
+
+/// Renders the JSON report: violations, suppressed counts per file, and
+/// stale budgets. Keys are emitted in sorted order (inputs are sorted).
+pub fn render_json(applied: &Applied) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"violations\": [\n");
+    push_findings(&applied.violations, &mut out);
+    out.push_str("  ],\n");
+    out.push_str("  \"suppressed\": [\n");
+    push_findings(&applied.suppressed, &mut out);
+    out.push_str("  ],\n");
+    out.push_str("  \"stale_budgets\": [\n");
+    for (i, s) in applied.stale.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"budget\": {}, \"actual\": {}}}{}\n",
+            json_str(&s.rule),
+            json_str(&s.path),
+            s.budget,
+            s.actual,
+            comma(i, applied.stale.len())
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"counts\": {{\"violations\": {}, \"suppressed\": {}, \"stale_budgets\": {}}}\n",
+        applied.violations.len(),
+        applied.suppressed.len(),
+        applied.stale.len()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn push_findings(findings: &[Finding], out: &mut String) {
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            comma(i, findings.len())
+        ));
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allow::StaleBudget;
+
+    fn applied_fixture() -> Applied {
+        Applied {
+            violations: vec![Finding {
+                rule: "no-unwrap",
+                path: "crates/net/src/a.rs".to_string(),
+                line: 7,
+                message: "`unwrap()` in non-test code".to_string(),
+            }],
+            suppressed: vec![],
+            stale: vec![StaleBudget {
+                rule: "no-unwrap".to_string(),
+                path: "crates/net/src/b.rs".to_string(),
+                budget: 4,
+                actual: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn human_report_has_file_line_and_summary() {
+        let mut out = String::new();
+        let n = render_human(&applied_fixture(), &mut out);
+        assert_eq!(n, 1);
+        assert!(out.contains("error[no-unwrap]: crates/net/src/a.rs:7:"));
+        assert!(out.contains("stale-budget[no-unwrap]"));
+        assert!(out.contains("total            1 violation(s)"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let json = render_json(&applied_fixture());
+        assert!(json.contains("\"violations\": ["));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"budget\": 4"));
+        assert!(json.contains("\"counts\": {\"violations\": 1"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,305 @@
+//! Source model: comment/string stripping and test-region tracking.
+//!
+//! The linter works on a *stripped* view of each file — comments, string
+//! literals and char literals replaced by placeholders — so a pattern
+//! like `unwrap()` inside a doc comment or an error message never
+//! triggers a rule. Stripping is a small character state machine that
+//! understands nested block comments, escape sequences, raw strings
+//! (`r#"…"#`) and the lifetime-vs-char-literal ambiguity of `'`.
+//!
+//! On top of the stripped lines, [`strip`] marks *test regions*: the
+//! body of any `#[cfg(test)]` or `#[test]`-attributed item, found by
+//! brace counting from the attribute to the close of the item's block.
+//! All lint rules skip lines inside test regions.
+
+/// One stripped source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number in the original file.
+    pub number: usize,
+    /// The line with comments, strings and char literals removed.
+    pub code: String,
+    /// Whether the line sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+}
+
+/// Strips `text` and marks test regions.
+pub fn strip(text: &str) -> Vec<SourceLine> {
+    let stripped = strip_comments_and_strings(text);
+    mark_test_regions(&stripped)
+}
+
+/// Replaces comments, string literals and char literals with spaces /
+/// empty quotes, preserving line structure.
+fn strip_comments_and_strings(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                lines.push(std::mem::take(&mut cur));
+                i += 1;
+            }
+            '/' if next == Some('/') => {
+                // Line comment: skip to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                // Block comment, nested.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            lines.push(std::mem::take(&mut cur));
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                // Raw string r"…", r#"…"#, br#"…"# etc.
+                let mut j = i + 1;
+                if chars.get(j) == Some(&'r') {
+                    j += 1; // the b of br
+                }
+                let mut hashes = 0;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                j += 1; // opening quote
+                cur.push_str("\"\"");
+                // Scan to closing quote followed by `hashes` hashes.
+                while j < chars.len() {
+                    if chars[j] == '"'
+                        && chars[j + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|c| **c == '#')
+                            .count()
+                            == hashes
+                    {
+                        j += 1 + hashes;
+                        break;
+                    }
+                    if chars[j] == '\n' {
+                        lines.push(std::mem::take(&mut cur));
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            '"' => {
+                // Ordinary string (including the tail of b"…").
+                cur.push_str("\"\"");
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            lines.push(std::mem::take(&mut cur));
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A char literal closes with a
+                // quote within a few chars; a lifetime never closes.
+                if let Some(len) = char_literal_len(&chars, i) {
+                    cur.push_str("' '");
+                    i += len;
+                } else {
+                    cur.push(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.push(c);
+                i += 1;
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // r" r#" br" br#" rb… does not exist; b" alone is handled by the '"'
+    // arm after emitting the b.
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+        // Not part of an identifier like `for r in …` / `hdr"…` is
+        // impossible, but `var` names ending in r followed by a string
+        // don't parse as raw strings only when the r starts the token.
+        && (i == 0 || !is_ident_char(chars[i - 1]))
+}
+
+/// Length of a char literal starting at `i` (which holds `'`), or None
+/// if this is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    // 'x'  '\n'  '\u{1F600}'  '\''
+    let mut j = i + 1;
+    if chars.get(j) == Some(&'\\') {
+        j += 2; // the escape head, e.g. \n, \', \u
+        while j < chars.len() && chars[j] != '\'' {
+            j += 1; // \u{…} payload
+        }
+        (chars.get(j) == Some(&'\'')).then(|| j + 1 - i)
+    } else {
+        // One char then a closing quote — otherwise a lifetime.
+        (chars.get(j).is_some() && chars.get(j + 1) == Some(&'\'')).then(|| j + 2 - i)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items by brace
+/// counting: from the attribute, the region runs to the close of the
+/// first brace-balanced block.
+fn mark_test_regions(stripped: &[String]) -> Vec<SourceLine> {
+    let mut out = Vec::with_capacity(stripped.len());
+    // Some(balance) while inside a region; balance counts braces after
+    // the first opening one.
+    let mut region: Option<(i64, bool)> = None; // (balance, saw_open)
+    for (idx, code) in stripped.iter().enumerate() {
+        let starts_region =
+            region.is_none() && (code.contains("#[cfg(test)]") || code.contains("#[test]"));
+        if starts_region {
+            region = Some((0, false));
+        }
+        let in_test = region.is_some();
+        if let Some((balance, saw_open)) = region.as_mut() {
+            for c in code.chars() {
+                match c {
+                    '{' => {
+                        *balance += 1;
+                        *saw_open = true;
+                    }
+                    '}' => *balance -= 1,
+                    _ => {}
+                }
+            }
+            if *saw_open && *balance <= 0 {
+                region = None;
+            }
+        }
+        out.push(SourceLine {
+            number: idx + 1,
+            code: code.clone(),
+            in_test,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = "let a = 1; // unwrap()\nlet b = \"panic!\"; /* expect( */ let c = 2;\n";
+        let lines = strip(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[1].code.contains("panic"));
+        assert!(!lines[1].code.contains("expect"));
+        assert!(lines[1].code.contains("let c = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "x /* a /* b */ c */ y\nlet s = r#\"unwrap() \"quoted\" \"#; z\n";
+        let lines = strip(src);
+        assert_eq!(lines[0].code.trim(), "x  y");
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[1].code.contains("; z"));
+    }
+
+    #[test]
+    fn multiline_strings_preserve_line_count() {
+        let src = "let s = \"line one\nline two unwrap()\";\nafter();\n";
+        let lines = strip(src);
+        assert_eq!(lines.len(), 4); // 3 lines + trailing empty
+        assert!(!lines[1].code.contains("unwrap"));
+        assert_eq!(lines[2].code, "after();");
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_do_not() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }\n";
+        let lines = strip(src);
+        assert!(lines[0].code.contains("<'a>"));
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[0].code.contains("'x'"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let src = "\
+fn live() { x(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y(); }
+}
+fn also_live() {}
+";
+        let lines = strip(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test); // the attribute itself
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn test_attribute_functions_are_marked() {
+        let src = "\
+fn live() {}
+#[test]
+fn a_test() {
+    assert!(true);
+}
+fn live_again() {}
+";
+        let lines = strip(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+}

@@ -1,0 +1,32 @@
+// Fixture: code every rule must stay quiet on — sorted hash iteration,
+// BTree collections, error propagation, and pattern tokens that only
+// appear inside comments and strings: unwrap() panic! Instant::now().
+
+use std::collections::{BTreeMap, HashMap};
+
+struct State {
+    ordered: BTreeMap<u64, u64>,
+    scratch: HashMap<u64, u64>,
+}
+
+fn serialize(s: &State) -> String {
+    let mut out = String::new();
+    for (k, v) in &s.ordered {
+        out.push_str(&format!("{k}={v};"));
+    }
+    let mut keys: Vec<u64> = s.scratch.keys().copied().collect();
+    keys.sort_unstable();
+    let total: u64 = s.scratch.values().sum();
+    out.push_str(&format!("total={total} first={:?}", keys.first()));
+    out
+}
+
+fn fallible(m: &BTreeMap<u32, u32>) -> Option<u32> {
+    let doc = "calling unwrap() here would panic!";
+    let _ = doc;
+    m.get(&1).copied()
+}
+
+fn lifetime_heavy<'a>(xs: &'a [u8]) -> &'a u8 {
+    &xs[0]
+}

@@ -1,0 +1,21 @@
+// Fixture: hash-iteration seeds for the `hash-iter` rule. Never
+// compiled.
+
+use std::collections::{HashMap, HashSet};
+
+struct Table {
+    flows: HashMap<u64, u64>,
+}
+
+fn serialize_unordered(t: &Table) -> String {
+    let mut out = String::new();
+    for (k, v) in &t.flows {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out
+}
+
+fn keys_unordered(seen: &HashSet<u32>) -> Vec<u32> {
+    let collected: Vec<u32> = seen.iter().copied().collect();
+    collected
+}

@@ -1,0 +1,22 @@
+// Fixture: panic-family seeds for the `no-unwrap` rule. Never compiled.
+
+fn lookups(m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    let a = m.get(&1).unwrap();
+    let b = m.get(&2).expect("two is present");
+    if *a > *b {
+        panic!("a exceeds b");
+    }
+    match a {
+        0 => *b,
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

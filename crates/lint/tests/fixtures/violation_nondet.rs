@@ -1,0 +1,17 @@
+// Fixture: nondeterminism seeds for the `nondeterminism` rule.
+// Scanned as crate `sim` (deterministic) by the self-test — never
+// compiled.
+
+fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn epoch() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.duration_since(std::time::UNIX_EPOCH).unwrap().as_secs()
+}
+
+fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -4,11 +4,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The determinism gates below rename tracked snapshots while they
+# compare runs. Restore them and drop the comparison litter on every
+# exit path (success, diff failure, ^C) so a failed gate never leaves
+# the tree dirty.
+cleanup() {
+  if [ -f results/metrics_fault_soak.run1.json ]; then
+    mv -f results/metrics_fault_soak.run1.json results/metrics_fault_soak.json
+  fi
+  if [ -f results/metrics_quickstart.seq.json ]; then
+    mv -f results/metrics_quickstart.seq.json results/metrics_quickstart.json
+  fi
+}
+trap cleanup EXIT
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> stellar-lint (workspace invariants: determinism, snapshot ordering, panic budget)"
+cargo run --release -q -p stellar-lint -- --root .
 
 echo "==> cargo test -q"
 cargo test -q
@@ -21,16 +38,17 @@ cargo run --release -q --example fault_soak >/dev/null
 mv results/metrics_fault_soak.json results/metrics_fault_soak.run1.json
 cargo run --release -q --example fault_soak >/dev/null
 diff results/metrics_fault_soak.run1.json results/metrics_fault_soak.json
-rm results/metrics_fault_soak.run1.json
 
 echo "==> determinism gate: parallel tick pipeline matches sequential (quickstart snapshot)"
 STELLAR_TICK_WORKERS=1 cargo run --release -q --example quickstart >/dev/null
 mv results/metrics_quickstart.json results/metrics_quickstart.seq.json
 STELLAR_TICK_WORKERS=8 cargo run --release -q --example quickstart >/dev/null
 diff results/metrics_quickstart.seq.json results/metrics_quickstart.json
-rm results/metrics_quickstart.seq.json
 
 echo "==> scale_sweep smoke: regenerate BENCH_pipeline.json (cross-mode equality asserted in-run)"
 STELLAR_SWEEP_SMOKE=1 cargo run --release -q -p stellar-bench --bin scale_sweep >/dev/null
+
+echo "==> rule_audit smoke: static rule-table analysis + control-plane batch audit"
+cargo run --release -q -p stellar-bench --bin rule_audit >/dev/null
 
 echo "All checks passed."
