@@ -16,12 +16,12 @@ use stellar_net::proto::IpProtocol;
 fn policy_with_rules(n: usize) -> QosPolicy {
     let mut p = QosPolicy::new();
     for i in 0..n {
-        let rule = BlackholingRule {
-            id: i as u64,
-            owner: stellar_bgp::types::Asn(64500),
-            victim: format!("100.10.10.{}/32", i % 250).parse().unwrap(),
-            signal: StellarSignal::drop_udp_src(i as u16),
-        };
+        let rule = BlackholingRule::from_signal(
+            i as u64,
+            stellar_bgp::types::Asn(64500),
+            format!("100.10.10.{}/32", i % 250).parse().unwrap(),
+            StellarSignal::drop_udp_src(i as u16),
+        );
         p.install(rule.to_filter_rule());
     }
     p

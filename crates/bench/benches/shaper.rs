@@ -53,12 +53,12 @@ fn bench(c: &mut Criterion) {
                 || {
                     let mut p = QosPolicy::new();
                     p.install(
-                        BlackholingRule {
-                            id: 1,
-                            owner: stellar_bgp::types::Asn(64500),
-                            victim: "100.10.10.10/32".parse().unwrap(),
-                            signal: StellarSignal::shape_udp_src(123, 200),
-                        }
+                        BlackholingRule::from_signal(
+                            1,
+                            stellar_bgp::types::Asn(64500),
+                            "100.10.10.10/32".parse().unwrap(),
+                            StellarSignal::shape_udp_src(123, 200),
+                        )
                         .to_filter_rule(),
                     );
                     (p, offers(n))

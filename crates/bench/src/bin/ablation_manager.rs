@@ -20,14 +20,14 @@ use stellar_stats::table::render_table;
 fn change_stream(n: usize) -> Vec<AbstractChange> {
     (0..n)
         .map(|i| {
-            AbstractChange::AddRule(BlackholingRule {
-                id: i as u64,
-                owner: Asn(64500 + (i % 350) as u32),
-                victim: format!("100.{}.{}.10/32", i % 100, (i / 100) % 250)
+            AbstractChange::AddRule(BlackholingRule::from_signal(
+                i as u64,
+                Asn(64500 + (i % 350) as u32),
+                format!("100.{}.{}.10/32", i % 100, (i / 100) % 250)
                     .parse()
                     .expect("valid prefix"),
-                signal: StellarSignal::drop_udp_src((i % 1024) as u16),
-            })
+                StellarSignal::drop_udp_src((i % 1024) as u16),
+            ))
         })
         .collect()
 }

@@ -115,23 +115,23 @@ fn main() {
     let victim = stellar_net::prefix::Prefix::host(IpAddress::V4(ip_a));
     mgr.apply(
         &mut er,
-        &AbstractChange::AddRule(BlackholingRule {
-            id: 1,
-            owner: Asn(64500),
+        &AbstractChange::AddRule(BlackholingRule::from_signal(
+            1,
+            Asn(64500),
             victim,
-            signal: StellarSignal::drop_udp_src(123),
-        }),
+            StellarSignal::drop_udp_src(123),
+        )),
         t,
     )
     .expect("install drop");
     mgr.apply(
         &mut er,
-        &AbstractChange::AddRule(BlackholingRule {
-            id: 2,
-            owner: Asn(64500),
+        &AbstractChange::AddRule(BlackholingRule::from_signal(
+            2,
+            Asn(64500),
             victim,
-            signal: StellarSignal::shape_udp_src(53, 200),
-        }),
+            StellarSignal::shape_udp_src(53, 200),
+        )),
         t,
     )
     .expect("install shape");

@@ -7,6 +7,7 @@
 use crate::community::{Community, LargeCommunity};
 use crate::error::{BgpError, BgpResult};
 use crate::extcommunity::ExtendedCommunity;
+use crate::flowspec::FlowSpec;
 use crate::nlri::{self, Nlri};
 use crate::types::{Afi, Asn, Origin, Safi};
 use bytes::{BufMut, BytesMut};
@@ -135,6 +136,22 @@ pub enum PathAttribute {
         /// Withdrawn NLRI.
         nlri: Vec<Nlri>,
     },
+    /// MP_REACH_NLRI (14) carrying FlowSpec NLRI (SAFI 133, RFC 8955
+    /// §5). The next hop is zero-length: a filter rule has no
+    /// forwarding next hop.
+    MpReachFlowSpec {
+        /// Address family (1/133 or 2/133).
+        afi: Afi,
+        /// Announced flow specifications.
+        nlri: Vec<FlowSpec>,
+    },
+    /// MP_UNREACH_NLRI (15) withdrawing FlowSpec NLRI (SAFI 133).
+    MpUnreachFlowSpec {
+        /// Address family.
+        afi: Afi,
+        /// Withdrawn flow specifications.
+        nlri: Vec<FlowSpec>,
+    },
     /// EXTENDED COMMUNITIES (16), RFC 4360 — Stellar's signaling channel.
     ExtendedCommunities(Vec<ExtendedCommunity>),
     /// LARGE_COMMUNITIES (32), RFC 8092.
@@ -162,8 +179,8 @@ impl PathAttribute {
             PathAttribute::AtomicAggregate => 6,
             PathAttribute::Aggregator(..) => 7,
             PathAttribute::Communities(_) => 8,
-            PathAttribute::MpReach { .. } => 14,
-            PathAttribute::MpUnreach { .. } => 15,
+            PathAttribute::MpReach { .. } | PathAttribute::MpReachFlowSpec { .. } => 14,
+            PathAttribute::MpUnreach { .. } | PathAttribute::MpUnreachFlowSpec { .. } => 15,
             PathAttribute::ExtendedCommunities(_) => 16,
             PathAttribute::LargeCommunities(_) => 32,
             PathAttribute::Unknown { type_code, .. } => *type_code,
@@ -182,7 +199,10 @@ impl PathAttribute {
             | PathAttribute::Communities(_)
             | PathAttribute::ExtendedCommunities(_)
             | PathAttribute::LargeCommunities(_) => FLAG_OPTIONAL | FLAG_TRANSITIVE,
-            PathAttribute::MpReach { .. } | PathAttribute::MpUnreach { .. } => FLAG_OPTIONAL,
+            PathAttribute::MpReach { .. }
+            | PathAttribute::MpUnreach { .. }
+            | PathAttribute::MpReachFlowSpec { .. }
+            | PathAttribute::MpUnreachFlowSpec { .. } => FLAG_OPTIONAL,
             PathAttribute::Unknown { flags, .. } => *flags,
         }
     }
@@ -254,6 +274,22 @@ impl PathAttribute {
                     Afi::Ipv6 => nlri::encode_v6(entries, add_path, &mut body)?,
                 }
             }
+            PathAttribute::MpReachFlowSpec { afi, nlri } => {
+                body.put_u16(afi.value());
+                body.put_u8(Safi::FlowSpec.value());
+                body.put_u8(0); // next-hop length
+                body.put_u8(0); // reserved
+                let mut fs = Vec::new();
+                FlowSpec::encode_many(nlri, *afi, &mut fs)?;
+                body.put_slice(&fs);
+            }
+            PathAttribute::MpUnreachFlowSpec { afi, nlri } => {
+                body.put_u16(afi.value());
+                body.put_u8(Safi::FlowSpec.value());
+                let mut fs = Vec::new();
+                FlowSpec::encode_many(nlri, *afi, &mut fs)?;
+                body.put_slice(&fs);
+            }
             PathAttribute::ExtendedCommunities(ecs) => {
                 for ec in ecs {
                     body.put_slice(&ec.encode());
@@ -306,6 +342,23 @@ impl PathAttribute {
             });
         }
         let v = &buf[hdr..hdr + len];
+        // Known attribute types must arrive with exactly the flags this
+        // codec emits, and with a minimal length form — anything else
+        // would re-encode differently than it arrived.
+        let known_flags: Option<u8> = match type_code {
+            1 | 2 | 3 | 5 | 6 => Some(FLAG_TRANSITIVE),
+            4 | 14 | 15 => Some(FLAG_OPTIONAL),
+            7 | 8 | 16 | 32 => Some(FLAG_OPTIONAL | FLAG_TRANSITIVE),
+            _ => None,
+        };
+        if let Some(expected) = known_flags {
+            if flags & !FLAG_EXT_LEN != expected {
+                return Err(BgpError::update(4, "attribute flags disagree with type"));
+            }
+            if hdr == 4 && len < 256 {
+                return Err(BgpError::update(5, "non-minimal extended attribute length"));
+            }
+        }
         let attr = match type_code {
             1 => {
                 if len != 1 {
@@ -395,30 +448,48 @@ impl PathAttribute {
                     return Err(BgpError::update(5, "truncated MP_REACH next hop"));
                 }
                 let nh_bytes = &v[4..4 + nh_len];
-                let next_hop = match nh_len {
-                    4 => IpAddress::V4(Ipv4Address([
-                        nh_bytes[0],
-                        nh_bytes[1],
-                        nh_bytes[2],
-                        nh_bytes[3],
-                    ])),
-                    16 | 32 => {
-                        let mut o = [0u8; 16];
-                        o.copy_from_slice(&nh_bytes[..16]);
-                        IpAddress::V6(Ipv6Address(o))
+                if safi == Safi::FlowSpec {
+                    // RFC 8955 §5: a filter rule carries no forwarding
+                    // next hop; this codec emits and accepts length 0.
+                    if nh_len != 0 {
+                        return Err(BgpError::update(8, "nonzero flowspec next hop length"));
                     }
-                    _ => return Err(BgpError::update(8, "bad MP next hop length")),
-                };
-                let nlri_bytes = &v[4 + nh_len + 1..];
-                let entries = match afi {
-                    Afi::Ipv4 => nlri::decode_v4(nlri_bytes, add_path)?,
-                    Afi::Ipv6 => nlri::decode_v6(nlri_bytes, add_path)?,
-                };
-                PathAttribute::MpReach {
-                    afi,
-                    safi,
-                    next_hop,
-                    nlri: entries,
+                    if v[4] != 0 {
+                        return Err(BgpError::update(9, "nonzero MP_REACH reserved byte"));
+                    }
+                    PathAttribute::MpReachFlowSpec {
+                        afi,
+                        nlri: FlowSpec::decode_many(afi, &v[5..])?,
+                    }
+                } else {
+                    let next_hop = match nh_len {
+                        4 => IpAddress::V4(Ipv4Address([
+                            nh_bytes[0],
+                            nh_bytes[1],
+                            nh_bytes[2],
+                            nh_bytes[3],
+                        ])),
+                        16 => {
+                            let mut o = [0u8; 16];
+                            o.copy_from_slice(&nh_bytes[..16]);
+                            IpAddress::V6(Ipv6Address(o))
+                        }
+                        _ => return Err(BgpError::update(8, "bad MP next hop length")),
+                    };
+                    if v[4 + nh_len] != 0 {
+                        return Err(BgpError::update(9, "nonzero MP_REACH reserved byte"));
+                    }
+                    let nlri_bytes = &v[4 + nh_len + 1..];
+                    let entries = match afi {
+                        Afi::Ipv4 => nlri::decode_v4(nlri_bytes, add_path)?,
+                        Afi::Ipv6 => nlri::decode_v6(nlri_bytes, add_path)?,
+                    };
+                    PathAttribute::MpReach {
+                        afi,
+                        safi,
+                        next_hop,
+                        nlri: entries,
+                    }
                 }
             }
             15 => {
@@ -428,14 +499,21 @@ impl PathAttribute {
                 let afi = Afi::from_value(u16::from_be_bytes([v[0], v[1]]))
                     .ok_or(BgpError::update(9, "unknown AFI"))?;
                 let safi = Safi::from_value(v[2]).ok_or(BgpError::update(9, "unknown SAFI"))?;
-                let entries = match afi {
-                    Afi::Ipv4 => nlri::decode_v4(&v[3..], add_path)?,
-                    Afi::Ipv6 => nlri::decode_v6(&v[3..], add_path)?,
-                };
-                PathAttribute::MpUnreach {
-                    afi,
-                    safi,
-                    nlri: entries,
+                if safi == Safi::FlowSpec {
+                    PathAttribute::MpUnreachFlowSpec {
+                        afi,
+                        nlri: FlowSpec::decode_many(afi, &v[3..])?,
+                    }
+                } else {
+                    let entries = match afi {
+                        Afi::Ipv4 => nlri::decode_v4(&v[3..], add_path)?,
+                        Afi::Ipv6 => nlri::decode_v6(&v[3..], add_path)?,
+                    };
+                    PathAttribute::MpUnreach {
+                        afi,
+                        safi,
+                        nlri: entries,
+                    }
                 }
             }
             16 => {
@@ -566,6 +644,68 @@ mod tests {
             nlri: vec![Nlri::plain("2001:db8::/32".parse().unwrap())],
         };
         round_trip(&attr, false);
+    }
+
+    #[test]
+    fn mp_flowspec_round_trip() {
+        use crate::flowspec::{Component, NumericOp};
+        let flow = FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+                Component::SrcPort(vec![NumericOp::equals(53), NumericOp::equals(123)]),
+            ],
+        )
+        .unwrap();
+        round_trip(
+            &PathAttribute::MpReachFlowSpec {
+                afi: Afi::Ipv4,
+                nlri: vec![flow.clone()],
+            },
+            false,
+        );
+        round_trip(
+            &PathAttribute::MpUnreachFlowSpec {
+                afi: Afi::Ipv4,
+                nlri: vec![flow],
+            },
+            false,
+        );
+        let v6 = FlowSpec::new(
+            Afi::Ipv6,
+            vec![Component::DstPrefix("2001:db8::1/128".parse().unwrap())],
+        )
+        .unwrap();
+        round_trip(
+            &PathAttribute::MpReachFlowSpec {
+                afi: Afi::Ipv6,
+                nlri: vec![v6],
+            },
+            false,
+        );
+    }
+
+    #[test]
+    fn non_canonical_known_attributes_are_rejected() {
+        // ORIGIN with OPTIONAL flags.
+        assert!(PathAttribute::decode(&[FLAG_OPTIONAL, 1, 1, 0], false).is_err());
+        // MED without OPTIONAL.
+        assert!(PathAttribute::decode(&[FLAG_TRANSITIVE, 4, 4, 0, 0, 0, 1], false).is_err());
+        // Extended length on a short known attribute.
+        assert!(
+            PathAttribute::decode(&[FLAG_TRANSITIVE | FLAG_EXT_LEN, 1, 0, 1, 0], false).is_err()
+        );
+        // MP_REACH with a nonzero reserved byte.
+        let bad = [FLAG_OPTIONAL, 14, 9, 0, 1, 1, 4, 10, 0, 0, 1, 7];
+        assert!(PathAttribute::decode(&bad, false).is_err());
+        // Unknown types keep their flags verbatim, whatever they are.
+        let odd = PathAttribute::Unknown {
+            flags: FLAG_OPTIONAL | FLAG_PARTIAL,
+            type_code: 200,
+            value: vec![9],
+        };
+        round_trip(&odd, false);
     }
 
     #[test]

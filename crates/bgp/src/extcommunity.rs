@@ -12,6 +12,18 @@ use core::fmt;
 /// High-order type bit: community is non-transitive across ASes.
 pub const FLAG_NON_TRANSITIVE: u8 = 0x40;
 
+/// Generic Transitive Experimental type byte — the FlowSpec action
+/// namespace (RFC 8955 §7).
+pub const TYPE_EXPERIMENTAL: u8 = 0x80;
+/// FlowSpec traffic-rate-bytes sub-type (RFC 8955 §7.2).
+pub const SUBTYPE_TRAFFIC_RATE: u8 = 0x06;
+/// FlowSpec traffic-action sub-type (RFC 8955 §7.3).
+pub const SUBTYPE_TRAFFIC_ACTION: u8 = 0x07;
+/// FlowSpec redirect-to-AS2 sub-type (RFC 8955 §7.4).
+pub const SUBTYPE_REDIRECT_AS2: u8 = 0x08;
+/// FlowSpec traffic-marking sub-type (RFC 8955 §7.5).
+pub const SUBTYPE_TRAFFIC_MARKING: u8 = 0x09;
+
 /// An extended community (8 bytes on the wire).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ExtendedCommunity {
@@ -47,6 +59,37 @@ pub enum ExtendedCommunity {
         local: u16,
         /// True if transitive.
         transitive: bool,
+    },
+    /// FlowSpec traffic-rate-bytes (type 0x80, sub-type 0x06, RFC 8955
+    /// §7.2): limit matching traffic to a byte rate; rate 0 means discard.
+    TrafficRate {
+        /// 2-octet ASN of the party attaching the limit (informational).
+        asn: u16,
+        /// The rate as the raw bits of an IEEE-754 f32, bytes per second.
+        /// Stored as bits so `Eq`/`Ord`/round-trip hold for every wire
+        /// pattern (including NaNs a buggy speaker might emit).
+        rate_bits: u32,
+    },
+    /// FlowSpec traffic-action (type 0x80, sub-type 0x07, RFC 8955 §7.3).
+    TrafficAction {
+        /// S bit (position 46): sample and log matching traffic.
+        sample: bool,
+        /// T bit (position 47): this rule is terminal in evaluation order.
+        terminal: bool,
+    },
+    /// FlowSpec redirect-to-VRF, 2-octet-AS form (type 0x80, sub-type
+    /// 0x08, RFC 8955 §7.4): `asn(2) : local(4)` route-target.
+    RedirectAs2 {
+        /// Route-target global administrator.
+        asn: u16,
+        /// Route-target local administrator.
+        local: u32,
+    },
+    /// FlowSpec traffic-marking (type 0x80, sub-type 0x09, RFC 8955
+    /// §7.5): rewrite the DSCP of matching traffic.
+    TrafficMarking {
+        /// The DSCP value (6 bits).
+        dscp: u8,
     },
     /// Anything else, preserved verbatim.
     Raw([u8; 8]),
@@ -94,12 +137,42 @@ impl ExtendedCommunity {
                 b[2..6].copy_from_slice(&asn.to_be_bytes());
                 b[6..8].copy_from_slice(&local.to_be_bytes());
             }
+            ExtendedCommunity::TrafficRate { asn, rate_bits } => {
+                b[0] = TYPE_EXPERIMENTAL;
+                b[1] = SUBTYPE_TRAFFIC_RATE;
+                b[2..4].copy_from_slice(&asn.to_be_bytes());
+                b[4..8].copy_from_slice(&rate_bits.to_be_bytes());
+            }
+            ExtendedCommunity::TrafficAction { sample, terminal } => {
+                b[0] = TYPE_EXPERIMENTAL;
+                b[1] = SUBTYPE_TRAFFIC_ACTION;
+                b[7] = (u8::from(sample) << 1) | u8::from(terminal);
+            }
+            ExtendedCommunity::RedirectAs2 { asn, local } => {
+                b[0] = TYPE_EXPERIMENTAL;
+                b[1] = SUBTYPE_REDIRECT_AS2;
+                b[2..4].copy_from_slice(&asn.to_be_bytes());
+                b[4..8].copy_from_slice(&local.to_be_bytes());
+            }
+            ExtendedCommunity::TrafficMarking { dscp } => {
+                b[0] = TYPE_EXPERIMENTAL;
+                b[1] = SUBTYPE_TRAFFIC_MARKING;
+                b[7] = dscp & 0x3f;
+            }
             ExtendedCommunity::Raw(raw) => b = raw,
         }
         b
     }
 
     /// Decodes from 8 wire bytes.
+    ///
+    /// Dispatch is on the *full* type byte: each structured variant maps
+    /// to exactly the wire forms it re-encodes to, so
+    /// `decode(x).encode() == x` for every 8-byte input. Experimental
+    /// (0x80) communities with reserved bits set fall back to [`Raw`]
+    /// rather than silently losing bits.
+    ///
+    /// [`Raw`]: ExtendedCommunity::Raw
     pub fn decode(b: &[u8]) -> BgpResult<Self> {
         if b.len() < 8 {
             return Err(BgpError::Truncated {
@@ -107,32 +180,74 @@ impl ExtendedCommunity {
             });
         }
         let transitive = b[0] & FLAG_NON_TRANSITIVE == 0;
-        let base_type = b[0] & 0x3f;
-        Ok(match base_type {
-            0x00 => ExtendedCommunity::TwoOctetAs {
+        Ok(match b[0] {
+            0x00 | 0x40 => ExtendedCommunity::TwoOctetAs {
                 subtype: b[1],
                 asn: u16::from_be_bytes([b[2], b[3]]),
                 local: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
                 transitive,
             },
-            0x01 => ExtendedCommunity::Ipv4Addr {
+            0x01 | 0x41 => ExtendedCommunity::Ipv4Addr {
                 subtype: b[1],
                 addr: u32::from_be_bytes([b[2], b[3], b[4], b[5]]),
                 local: u16::from_be_bytes([b[6], b[7]]),
                 transitive,
             },
-            0x02 => ExtendedCommunity::FourOctetAs {
+            0x02 | 0x42 => ExtendedCommunity::FourOctetAs {
                 subtype: b[1],
                 asn: u32::from_be_bytes([b[2], b[3], b[4], b[5]]),
                 local: u16::from_be_bytes([b[6], b[7]]),
                 transitive,
             },
-            _ => {
-                let mut raw = [0u8; 8];
-                raw.copy_from_slice(&b[..8]);
-                ExtendedCommunity::Raw(raw)
-            }
+            TYPE_EXPERIMENTAL => match b[1] {
+                SUBTYPE_TRAFFIC_RATE => ExtendedCommunity::TrafficRate {
+                    asn: u16::from_be_bytes([b[2], b[3]]),
+                    rate_bits: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+                },
+                SUBTYPE_TRAFFIC_ACTION if b[2..7] == [0; 5] && b[7] & !0x03 == 0 => {
+                    ExtendedCommunity::TrafficAction {
+                        sample: b[7] & 0x02 != 0,
+                        terminal: b[7] & 0x01 != 0,
+                    }
+                }
+                SUBTYPE_REDIRECT_AS2 => ExtendedCommunity::RedirectAs2 {
+                    asn: u16::from_be_bytes([b[2], b[3]]),
+                    local: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+                },
+                SUBTYPE_TRAFFIC_MARKING if b[2..7] == [0; 5] && b[7] & !0x3f == 0 => {
+                    ExtendedCommunity::TrafficMarking { dscp: b[7] }
+                }
+                _ => Self::raw_of(b),
+            },
+            _ => Self::raw_of(b),
         })
+    }
+
+    fn raw_of(b: &[u8]) -> Self {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&b[..8]);
+        ExtendedCommunity::Raw(raw)
+    }
+
+    /// A traffic-rate community limiting matching traffic to
+    /// `bytes_per_sec`; 0.0 discards all matching traffic.
+    pub fn traffic_rate(asn: u16, bytes_per_sec: f32) -> Self {
+        ExtendedCommunity::TrafficRate {
+            asn,
+            rate_bits: bytes_per_sec.to_bits(),
+        }
+    }
+
+    /// The shaping rate in bytes per second if this is a traffic-rate
+    /// community with a finite, non-negative rate.
+    pub fn rate_bytes_per_sec(&self) -> Option<f32> {
+        match *self {
+            ExtendedCommunity::TrafficRate { rate_bits, .. } => {
+                let rate = f32::from_bits(rate_bits);
+                (rate.is_finite() && rate >= 0.0).then_some(rate)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -157,6 +272,21 @@ impl fmt::Display for ExtendedCommunity {
                 local,
                 ..
             } => write!(f, "ext4:{subtype:#04x}:{asn}:{local}"),
+            ExtendedCommunity::TrafficRate { asn, rate_bits } => {
+                write!(f, "fs-rate:{asn}:{}", f32::from_bits(*rate_bits))
+            }
+            ExtendedCommunity::TrafficAction { sample, terminal } => {
+                write!(
+                    f,
+                    "fs-action:s={}:t={}",
+                    u8::from(*sample),
+                    u8::from(*terminal)
+                )
+            }
+            ExtendedCommunity::RedirectAs2 { asn, local } => {
+                write!(f, "fs-redirect:{asn}:{local}")
+            }
+            ExtendedCommunity::TrafficMarking { dscp } => write!(f, "fs-mark:{dscp}"),
             ExtendedCommunity::Raw(raw) => {
                 write!(f, "ext-raw:")?;
                 for b in raw {
@@ -218,5 +348,70 @@ mod tests {
     #[test]
     fn short_input_is_rejected() {
         assert!(ExtendedCommunity::decode(&[0u8; 7]).is_err());
+    }
+
+    #[test]
+    fn flowspec_actions_round_trip() {
+        let rate = ExtendedCommunity::traffic_rate(64500, 12_500_000.0);
+        let wire = rate.encode();
+        assert_eq!(wire[0], TYPE_EXPERIMENTAL);
+        assert_eq!(wire[1], SUBTYPE_TRAFFIC_RATE);
+        assert_eq!(ExtendedCommunity::decode(&wire).unwrap(), rate);
+        assert_eq!(rate.rate_bytes_per_sec(), Some(12_500_000.0));
+
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        assert_eq!(drop.rate_bytes_per_sec(), Some(0.0));
+
+        for ec in [
+            ExtendedCommunity::TrafficAction {
+                sample: true,
+                terminal: false,
+            },
+            ExtendedCommunity::RedirectAs2 {
+                asn: 64500,
+                local: 666,
+            },
+            ExtendedCommunity::TrafficMarking { dscp: 46 },
+        ] {
+            assert_eq!(ExtendedCommunity::decode(&ec.encode()).unwrap(), ec);
+            assert_eq!(ec.rate_bytes_per_sec(), None);
+        }
+    }
+
+    #[test]
+    fn experimental_type_byte_is_not_aliased() {
+        // A 0x80-family community must decode into its own namespace, not
+        // collapse into TwoOctetAs via a masked type byte (which would
+        // re-encode with type 0x00 and break round-trips).
+        let wire = [0x80u8, 0x06, 0xfb, 0xf4, 0x4b, 0x3e, 0xbc, 0x20];
+        let ec = ExtendedCommunity::decode(&wire).unwrap();
+        assert!(matches!(ec, ExtendedCommunity::TrafficRate { .. }));
+        assert_eq!(ec.encode(), wire);
+        // Unknown experimental sub-types and reserved-bit violations are
+        // preserved verbatim.
+        for wire in [
+            [0x80u8, 0x07, 0, 0, 0, 0, 0, 0x04],
+            [0x80u8, 0x09, 0, 0, 0, 1, 0, 0x11],
+            [0x80u8, 0x55, 1, 2, 3, 4, 5, 6],
+            [0xc0u8, 0x06, 1, 2, 3, 4, 5, 6],
+        ] {
+            let ec = ExtendedCommunity::decode(&wire).unwrap();
+            assert_eq!(ec, ExtendedCommunity::Raw(wire));
+            assert_eq!(ec.encode(), wire);
+        }
+    }
+
+    #[test]
+    fn nonsensical_rates_are_refused_by_accessor() {
+        let nan = ExtendedCommunity::TrafficRate {
+            asn: 1,
+            rate_bits: f32::NAN.to_bits(),
+        };
+        assert_eq!(nan.rate_bytes_per_sec(), None);
+        let neg = ExtendedCommunity::TrafficRate {
+            asn: 1,
+            rate_bits: (-1.0f32).to_bits(),
+        };
+        assert_eq!(neg.rate_bytes_per_sec(), None);
     }
 }

@@ -1,0 +1,299 @@
+//! BGP Flow Specification NLRI (RFC 8955 for IPv4, RFC 8956 for IPv6).
+//!
+//! FlowSpec carries a *filter rule* where classic BGP carries a prefix:
+//! an n-tuple of [`Component`]s (destination/source prefix, protocol,
+//! ports, ICMP fields, TCP flags, packet length, DSCP, fragment bits)
+//! plus an action expressed as extended communities (`traffic-rate`,
+//! `traffic-action`, `redirect` — see `extcommunity`). At the IXP this
+//! is the second signaling plane next to Stellar's own
+//! extended-community encoding: members announce FlowSpec NLRI under
+//! AFI/SAFI 1/133 or 2/133 and the route server validates, lowers and
+//! admits them through the same audit pipeline.
+//!
+//! On the wire each NLRI is `length (1–2 bytes) | components…`, with
+//! components in strictly ascending type order. Decoding is strict —
+//! non-minimal length forms, out-of-order components and reserved bits
+//! are all rejected — which gives the codec the property the fuzz suite
+//! pins down: `encode(decode(x)) == x` for every accepted `x`.
+
+pub mod component;
+pub mod op;
+
+pub use component::Component;
+pub use op::{
+    bitmask_seq_matches, numeric_match_intervals, numeric_seq_matches, BitmaskOp, NumericOp,
+};
+
+use crate::error::{BgpError, BgpResult};
+use crate::types::Afi;
+use stellar_net::prefix::Prefix;
+
+/// Maximum encoded NLRI body length (12-bit length field).
+pub const MAX_NLRI_LEN: usize = 0xfff;
+
+/// One flow specification: an AFI plus an ordered component list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowSpec {
+    /// Address family the components are interpreted under.
+    pub afi: Afi,
+    /// Components, in strictly ascending type order.
+    pub components: Vec<Component>,
+}
+
+impl FlowSpec {
+    /// Builds a flowspec, enforcing the strictly-ascending component
+    /// order the wire form requires.
+    pub fn new(afi: Afi, components: Vec<Component>) -> BgpResult<Self> {
+        validate_order(&components)?;
+        Ok(FlowSpec { afi, components })
+    }
+
+    /// The destination-prefix component's prefix, if present.
+    pub fn dst_prefix(&self) -> Option<Prefix> {
+        self.components.iter().find_map(|c| match c {
+            Component::DstPrefix(p) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// The source-prefix component's prefix, if present.
+    pub fn src_prefix(&self) -> Option<Prefix> {
+        self.components.iter().find_map(|c| match c {
+            Component::SrcPrefix(p) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// Encodes the length-prefixed NLRI into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) -> BgpResult<()> {
+        validate_order(&self.components)?;
+        let mut body = Vec::new();
+        for c in &self.components {
+            c.encode(self.afi, &mut body)?;
+        }
+        if body.len() > MAX_NLRI_LEN {
+            return Err(BgpError::update(10, "flowspec NLRI exceeds 4095 bytes"));
+        }
+        if body.len() < 0xf0 {
+            buf.push(body.len() as u8);
+        } else {
+            buf.push(0xf0 | (body.len() >> 8) as u8);
+            buf.push((body.len() & 0xff) as u8);
+        }
+        buf.extend_from_slice(&body);
+        Ok(())
+    }
+
+    /// The encoded NLRI as owned bytes — the canonical identity of a
+    /// flowspec rule (used as the withdraw/replace key upstream).
+    pub fn to_wire(&self) -> BgpResult<Vec<u8>> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf)?;
+        Ok(buf)
+    }
+
+    /// Decodes one length-prefixed NLRI, returning it and the bytes
+    /// consumed.
+    pub fn decode(afi: Afi, buf: &[u8]) -> BgpResult<(Self, usize)> {
+        let Some(&first) = buf.first() else {
+            return Err(BgpError::Truncated {
+                what: "flowspec NLRI length",
+            });
+        };
+        let (len, hdr) = if first < 0xf0 {
+            (first as usize, 1)
+        } else {
+            let Some(&second) = buf.get(1) else {
+                return Err(BgpError::Truncated {
+                    what: "flowspec NLRI length",
+                });
+            };
+            let len = ((first as usize & 0x0f) << 8) | second as usize;
+            if len < 0xf0 {
+                return Err(BgpError::update(10, "non-minimal flowspec NLRI length"));
+            }
+            (len, 2)
+        };
+        if buf.len() < hdr + len {
+            return Err(BgpError::Truncated {
+                what: "flowspec NLRI body",
+            });
+        }
+        let body = &buf[hdr..hdr + len];
+        let mut components = Vec::new();
+        let mut at = 0usize;
+        while at < body.len() {
+            let (c, used) = Component::decode(afi, &body[at..])?;
+            components.push(c);
+            at += used;
+        }
+        validate_order(&components)?;
+        if components.is_empty() {
+            return Err(BgpError::update(10, "empty flowspec NLRI"));
+        }
+        Ok((FlowSpec { afi, components }, hdr + len))
+    }
+
+    /// Encodes a run of NLRIs (an MP_REACH/MP_UNREACH body tail).
+    pub fn encode_many(specs: &[FlowSpec], afi: Afi, buf: &mut Vec<u8>) -> BgpResult<()> {
+        for s in specs {
+            if s.afi != afi {
+                return Err(BgpError::update(
+                    10,
+                    "flowspec AFI disagrees with attribute AFI",
+                ));
+            }
+            s.encode(buf)?;
+        }
+        Ok(())
+    }
+
+    /// Decodes NLRIs from the whole of `buf`.
+    pub fn decode_many(afi: Afi, mut buf: &[u8]) -> BgpResult<Vec<FlowSpec>> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let (s, used) = FlowSpec::decode(afi, buf)?;
+            out.push(s);
+            buf = &buf[used..];
+        }
+        Ok(out)
+    }
+}
+
+fn validate_order(components: &[Component]) -> BgpResult<()> {
+    for w in components.windows(2) {
+        if w[0].type_code() >= w[1].type_code() {
+            return Err(BgpError::update(
+                10,
+                "flowspec components out of ascending type order",
+            ));
+        }
+    }
+    Ok(())
+}
+
+impl core::fmt::Display for FlowSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "flow{{")?;
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", c.name())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dns_ntp_v4() -> FlowSpec {
+        FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+                Component::SrcPort(vec![NumericOp::equals(53), NumericOp::equals(123)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nlri_round_trips() {
+        let f = dns_ntp_v4();
+        let wire = f.to_wire().unwrap();
+        let (d, used) = FlowSpec::decode(Afi::Ipv4, &wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(d, f);
+        assert_eq!(d.to_wire().unwrap(), wire);
+        assert_eq!(f.dst_prefix(), Some("100.10.10.10/32".parse().unwrap()));
+        assert_eq!(f.src_prefix(), None);
+    }
+
+    #[test]
+    fn many_round_trips() {
+        let a = dns_ntp_v4();
+        let b = FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::DstPrefix("198.51.100.0/24".parse().unwrap())],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        FlowSpec::encode_many(&[a.clone(), b.clone()], Afi::Ipv4, &mut buf).unwrap();
+        assert_eq!(FlowSpec::decode_many(Afi::Ipv4, &buf).unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn long_nlri_uses_two_byte_length() {
+        // Enough single-value port operators to push the body past 240
+        // bytes: each op is 1 byte op + 2 bytes value.
+        let ops: Vec<NumericOp> = (0..100)
+            .map(|i| NumericOp::equals(1000 + i).with_len(2).unwrap())
+            .collect();
+        let f = FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+                Component::DstPort(ops),
+            ],
+        )
+        .unwrap();
+        let wire = f.to_wire().unwrap();
+        assert!(wire[0] >= 0xf0, "expected two-byte length form");
+        let (d, used) = FlowSpec::decode(Afi::Ipv4, &wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(d, f);
+    }
+
+    #[test]
+    fn component_order_is_enforced() {
+        let out_of_order = vec![
+            Component::SrcPort(vec![NumericOp::equals(53)]),
+            Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+        ];
+        assert!(FlowSpec::new(Afi::Ipv4, out_of_order.clone()).is_err());
+        // Duplicate types are also out of (strictly ascending) order.
+        let dup = vec![
+            Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+            Component::DstPrefix("100.10.10.11/32".parse().unwrap()),
+        ];
+        assert!(FlowSpec::new(Afi::Ipv4, dup).is_err());
+        // Same property on decode: dst-prefix (1) after src-port (6).
+        let wire = [7u8, 6, 0x81, 53, 1, 32, 100, 10, 10, 10];
+        assert!(FlowSpec::decode(Afi::Ipv4, &wire).is_err());
+    }
+
+    #[test]
+    fn malformed_nlri_is_rejected() {
+        // Empty.
+        assert!(FlowSpec::decode(Afi::Ipv4, &[]).is_err());
+        assert!(FlowSpec::decode(Afi::Ipv4, &[0]).is_err());
+        // Truncated body.
+        assert!(FlowSpec::decode(Afi::Ipv4, &[5, 1, 24, 10]).is_err());
+        // Non-minimal two-byte length.
+        assert!(FlowSpec::decode(Afi::Ipv4, &[0xf0, 3, 3, 0x81, 17]).is_err());
+        // Component runs past the declared NLRI length: length says 3
+        // but the port operator needs 4 bytes.
+        assert!(FlowSpec::decode(Afi::Ipv4, &[3, 5, 0x91, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn v6_round_trip() {
+        let f = FlowSpec::new(
+            Afi::Ipv6,
+            vec![
+                Component::DstPrefix("2001:db8::1/128".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+                Component::FlowLabel(vec![NumericOp::equals(99)]),
+            ],
+        )
+        .unwrap();
+        let wire = f.to_wire().unwrap();
+        let (d, used) = FlowSpec::decode(Afi::Ipv6, &wire).unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(d, f);
+    }
+}

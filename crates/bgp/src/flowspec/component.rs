@@ -1,0 +1,327 @@
+//! FlowSpec components (RFC 8955 §4.2.2, RFC 8956 §3).
+//!
+//! A flow specification is an ordered list of typed components; each
+//! decodes with the manual byte-level idiom used throughout this crate:
+//! match on remaining length, return typed errors, never panic.
+
+use super::op::{
+    decode_bitmask_ops, decode_numeric_ops, encode_bitmask_ops, encode_numeric_ops, BitmaskOp,
+    NumericOp,
+};
+use crate::error::{BgpError, BgpResult};
+use crate::types::Afi;
+use stellar_net::addr::{Ipv4Address, Ipv6Address};
+use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+
+/// One component of a flow specification.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Type 1: destination prefix.
+    DstPrefix(Prefix),
+    /// Type 2: source prefix.
+    SrcPrefix(Prefix),
+    /// Type 3: IP protocol (v4) / last next header (v6).
+    IpProtocol(Vec<NumericOp>),
+    /// Type 4: source or destination port.
+    Port(Vec<NumericOp>),
+    /// Type 5: destination port.
+    DstPort(Vec<NumericOp>),
+    /// Type 6: source port.
+    SrcPort(Vec<NumericOp>),
+    /// Type 7: ICMP type.
+    IcmpType(Vec<NumericOp>),
+    /// Type 8: ICMP code.
+    IcmpCode(Vec<NumericOp>),
+    /// Type 9: TCP flags (bitmask).
+    TcpFlags(Vec<BitmaskOp>),
+    /// Type 10: packet length.
+    PacketLength(Vec<NumericOp>),
+    /// Type 11: DSCP.
+    Dscp(Vec<NumericOp>),
+    /// Type 12: fragment bits (bitmask).
+    Fragment(Vec<BitmaskOp>),
+    /// Type 13: flow label (IPv6 only, RFC 8956 §3.7).
+    FlowLabel(Vec<NumericOp>),
+}
+
+impl Component {
+    /// The component's wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            Component::DstPrefix(_) => 1,
+            Component::SrcPrefix(_) => 2,
+            Component::IpProtocol(_) => 3,
+            Component::Port(_) => 4,
+            Component::DstPort(_) => 5,
+            Component::SrcPort(_) => 6,
+            Component::IcmpType(_) => 7,
+            Component::IcmpCode(_) => 8,
+            Component::TcpFlags(_) => 9,
+            Component::PacketLength(_) => 10,
+            Component::Dscp(_) => 11,
+            Component::Fragment(_) => 12,
+            Component::FlowLabel(_) => 13,
+        }
+    }
+
+    /// A short human name for error and telemetry contexts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::DstPrefix(_) => "dst-prefix",
+            Component::SrcPrefix(_) => "src-prefix",
+            Component::IpProtocol(_) => "ip-protocol",
+            Component::Port(_) => "port",
+            Component::DstPort(_) => "dst-port",
+            Component::SrcPort(_) => "src-port",
+            Component::IcmpType(_) => "icmp-type",
+            Component::IcmpCode(_) => "icmp-code",
+            Component::TcpFlags(_) => "tcp-flags",
+            Component::PacketLength(_) => "packet-length",
+            Component::Dscp(_) => "dscp",
+            Component::Fragment(_) => "fragment",
+            Component::FlowLabel(_) => "flow-label",
+        }
+    }
+
+    /// Encodes the component (type byte + body) for a flowspec of
+    /// address family `afi`.
+    pub fn encode(&self, afi: Afi, buf: &mut Vec<u8>) -> BgpResult<()> {
+        buf.push(self.type_code());
+        match self {
+            Component::DstPrefix(p) | Component::SrcPrefix(p) => encode_prefix(afi, *p, buf),
+            Component::IpProtocol(ops)
+            | Component::Port(ops)
+            | Component::DstPort(ops)
+            | Component::SrcPort(ops)
+            | Component::IcmpType(ops)
+            | Component::IcmpCode(ops)
+            | Component::PacketLength(ops)
+            | Component::Dscp(ops) => encode_numeric_ops(ops, buf),
+            Component::FlowLabel(ops) => {
+                if afi != Afi::Ipv6 {
+                    return Err(BgpError::update(
+                        10,
+                        "flow-label component in an IPv4 flowspec",
+                    ));
+                }
+                encode_numeric_ops(ops, buf)
+            }
+            Component::TcpFlags(ops) | Component::Fragment(ops) => encode_bitmask_ops(ops, buf),
+        }
+    }
+
+    /// Decodes one component (type byte + body), returning it and the
+    /// bytes consumed.
+    pub fn decode(afi: Afi, buf: &[u8]) -> BgpResult<(Self, usize)> {
+        let Some(&type_code) = buf.first() else {
+            return Err(BgpError::Truncated {
+                what: "flowspec component type",
+            });
+        };
+        let body = &buf[1..];
+        let (component, used) = match type_code {
+            1 | 2 => {
+                let (prefix, used) = decode_prefix(afi, body)?;
+                let c = if type_code == 1 {
+                    Component::DstPrefix(prefix)
+                } else {
+                    Component::SrcPrefix(prefix)
+                };
+                (c, used)
+            }
+            3..=8 | 10 | 11 | 13 => {
+                if type_code == 13 && afi != Afi::Ipv6 {
+                    return Err(BgpError::update(
+                        10,
+                        "flow-label component in an IPv4 flowspec",
+                    ));
+                }
+                let (ops, used) = decode_numeric_ops(body)?;
+                let c = match type_code {
+                    3 => Component::IpProtocol(ops),
+                    4 => Component::Port(ops),
+                    5 => Component::DstPort(ops),
+                    6 => Component::SrcPort(ops),
+                    7 => Component::IcmpType(ops),
+                    8 => Component::IcmpCode(ops),
+                    10 => Component::PacketLength(ops),
+                    11 => Component::Dscp(ops),
+                    _ => Component::FlowLabel(ops),
+                };
+                (c, used)
+            }
+            9 | 12 => {
+                let (ops, used) = decode_bitmask_ops(body)?;
+                let c = if type_code == 9 {
+                    Component::TcpFlags(ops)
+                } else {
+                    Component::Fragment(ops)
+                };
+                (c, used)
+            }
+            _ => {
+                return Err(BgpError::update(10, "unknown flowspec component type"));
+            }
+        };
+        Ok((component, 1 + used))
+    }
+}
+
+fn encode_prefix(afi: Afi, prefix: Prefix, buf: &mut Vec<u8>) -> BgpResult<()> {
+    match (afi, prefix) {
+        (Afi::Ipv4, Prefix::V4(p)) => {
+            buf.push(p.len());
+            let nbytes = p.len().div_ceil(8) as usize;
+            buf.extend_from_slice(&p.addr().octets()[..nbytes]);
+            Ok(())
+        }
+        (Afi::Ipv6, Prefix::V6(p)) => {
+            buf.push(p.len());
+            buf.push(0); // offset (RFC 8956 §3.1) — only 0 is produced
+            let nbytes = p.len().div_ceil(8) as usize;
+            buf.extend_from_slice(&p.addr().octets()[..nbytes]);
+            Ok(())
+        }
+        _ => Err(BgpError::update(
+            10,
+            "flowspec prefix family disagrees with AFI",
+        )),
+    }
+}
+
+fn decode_prefix(afi: Afi, buf: &[u8]) -> BgpResult<(Prefix, usize)> {
+    match afi {
+        Afi::Ipv4 => {
+            let Some(&len) = buf.first() else {
+                return Err(BgpError::Truncated {
+                    what: "flowspec prefix length",
+                });
+            };
+            if len > 32 {
+                return Err(BgpError::update(10, "invalid IPv4 prefix length"));
+            }
+            let nbytes = len.div_ceil(8) as usize;
+            if buf.len() < 1 + nbytes {
+                return Err(BgpError::Truncated {
+                    what: "flowspec prefix",
+                });
+            }
+            let mut octets = [0u8; 4];
+            octets[..nbytes].copy_from_slice(&buf[1..1 + nbytes]);
+            let prefix = Ipv4Prefix::new(Ipv4Address(octets), len)
+                .map_err(|_| BgpError::update(10, "invalid prefix"))?;
+            if prefix.addr().octets()[..nbytes] != buf[1..1 + nbytes] {
+                return Err(BgpError::update(10, "prefix has bits set past its length"));
+            }
+            Ok((Prefix::V4(prefix), 1 + nbytes))
+        }
+        Afi::Ipv6 => {
+            if buf.len() < 2 {
+                return Err(BgpError::Truncated {
+                    what: "flowspec prefix length",
+                });
+            }
+            let (len, offset) = (buf[0], buf[1]);
+            if len > 128 {
+                return Err(BgpError::update(10, "invalid IPv6 prefix length"));
+            }
+            if offset != 0 {
+                // The pattern-offset form matches interior bits; nothing
+                // in the classifier can express it, so it is refused at
+                // the wire rather than silently widened.
+                return Err(BgpError::update(
+                    10,
+                    "nonzero IPv6 flowspec prefix offset unsupported",
+                ));
+            }
+            let nbytes = len.div_ceil(8) as usize;
+            if buf.len() < 2 + nbytes {
+                return Err(BgpError::Truncated {
+                    what: "flowspec prefix",
+                });
+            }
+            let mut octets = [0u8; 16];
+            octets[..nbytes].copy_from_slice(&buf[2..2 + nbytes]);
+            let prefix = Ipv6Prefix::new(Ipv6Address(octets), len)
+                .map_err(|_| BgpError::update(10, "invalid prefix"))?;
+            if prefix.addr().octets()[..nbytes] != buf[2..2 + nbytes] {
+                return Err(BgpError::update(10, "prefix has bits set past its length"));
+            }
+            Ok((Prefix::V6(prefix), 2 + nbytes))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(afi: Afi, c: &Component) {
+        let mut buf = Vec::new();
+        c.encode(afi, &mut buf).unwrap();
+        let (d, used) = Component::decode(afi, &buf).unwrap();
+        assert_eq!(used, buf.len(), "{c:?}");
+        assert_eq!(&d, c);
+    }
+
+    #[test]
+    fn every_component_type_round_trips() {
+        let ops = vec![NumericOp::equals(53), NumericOp::equals(123)];
+        let bits = vec![BitmaskOp::new(false, false, true, 0x02)];
+        for c in [
+            Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+            Component::SrcPrefix("203.0.113.0/24".parse().unwrap()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::Port(ops.clone()),
+            Component::DstPort(ops.clone()),
+            Component::SrcPort(ops.clone()),
+            Component::IcmpType(vec![NumericOp::equals(8)]),
+            Component::IcmpCode(vec![NumericOp::equals(0)]),
+            Component::TcpFlags(bits.clone()),
+            Component::PacketLength(vec![NumericOp::ge(1000), NumericOp::and_le(1500)]),
+            Component::Dscp(vec![NumericOp::equals(46)]),
+            Component::Fragment(bits),
+        ] {
+            round_trip(Afi::Ipv4, &c);
+        }
+        round_trip(
+            Afi::Ipv6,
+            &Component::DstPrefix("2001:db8::1/128".parse().unwrap()),
+        );
+        round_trip(Afi::Ipv6, &Component::FlowLabel(vec![NumericOp::equals(7)]));
+    }
+
+    #[test]
+    fn flow_label_is_ipv6_only() {
+        let c = Component::FlowLabel(vec![NumericOp::equals(7)]);
+        assert!(c.encode(Afi::Ipv4, &mut Vec::new()).is_err());
+        let mut buf = Vec::new();
+        c.encode(Afi::Ipv6, &mut buf).unwrap();
+        assert!(Component::decode(Afi::Ipv4, &buf).is_err());
+    }
+
+    #[test]
+    fn prefix_family_must_match_afi() {
+        let v6 = Component::DstPrefix("2001:db8::/32".parse().unwrap());
+        assert!(v6.encode(Afi::Ipv4, &mut Vec::new()).is_err());
+        let v4 = Component::SrcPrefix("10.0.0.0/8".parse().unwrap());
+        assert!(v4.encode(Afi::Ipv6, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn malformed_components_are_rejected() {
+        // Unknown type.
+        assert!(Component::decode(Afi::Ipv4, &[14, 0x81, 1]).is_err());
+        assert!(Component::decode(Afi::Ipv4, &[0, 0x81, 1]).is_err());
+        // Truncated prefix.
+        assert!(Component::decode(Afi::Ipv4, &[1, 24, 10]).is_err());
+        // Bad prefix length.
+        assert!(Component::decode(Afi::Ipv4, &[1, 33, 1, 2, 3, 4, 5]).is_err());
+        // Host bits past the length (/20 with the low nibble set).
+        assert!(Component::decode(Afi::Ipv4, &[1, 20, 10, 0, 1]).is_err());
+        // Nonzero IPv6 offset.
+        assert!(Component::decode(Afi::Ipv6, &[1, 32, 8, 0x20, 0x01, 0x0d]).is_err());
+        // Empty input.
+        assert!(Component::decode(Afi::Ipv4, &[]).is_err());
+    }
+}

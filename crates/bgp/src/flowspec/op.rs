@@ -1,0 +1,576 @@
+//! FlowSpec operator sequences (RFC 8955 §4.2.1).
+//!
+//! Numeric components (ports, protocol, packet length, …) carry a
+//! sequence of `{operator byte, value}` pairs; bitmask components (TCP
+//! flags, fragment) carry the same framing with match/negate semantics.
+//! A sequence is an OR of AND-groups: each operator with the AND bit
+//! clear starts a new group, and the sequence matches if any group does.
+//!
+//! The operator byte layout is
+//!
+//! ```text
+//!   7    6    5 4    3     2    1    0
+//! +----+----+-----+-----+----+----+----+
+//! | e  | a  | len | 0   | lt | gt | eq |   numeric
+//! | e  | a  | len | 0   | 0  | not| m  |   bitmask
+//! +----+----+-----+-----+----+----+----+
+//! ```
+//!
+//! with `len` encoding a value length of `1 << len` bytes. Decoding is
+//! strict — reserved bits must be zero, the end-of-list bit must appear
+//! on exactly the last operator, and the AND bit must be clear on the
+//! first — so that `encode(decode(x)) == x` for every accepted input.
+
+use crate::error::{BgpError, BgpResult};
+
+/// End-of-list bit in an operator byte.
+const OP_END: u8 = 0x80;
+/// AND bit in an operator byte.
+const OP_AND: u8 = 0x40;
+/// Reserved bit (numeric operators); must be zero.
+const OP_RESERVED: u8 = 0x08;
+/// Less-than bit (numeric) / reserved (bitmask).
+const OP_LT: u8 = 0x04;
+/// Greater-than bit (numeric) / NOT bit (bitmask).
+const OP_GT: u8 = 0x02;
+/// Equal bit (numeric) / MATCH bit (bitmask).
+const OP_EQ: u8 = 0x01;
+
+fn value_len_code(len: u8) -> BgpResult<u8> {
+    match len {
+        1 => Ok(0),
+        2 => Ok(1),
+        4 => Ok(2),
+        8 => Ok(3),
+        _ => Err(BgpError::update(10, "invalid flowspec value length")),
+    }
+}
+
+fn minimal_len(value: u64) -> u8 {
+    if value <= 0xff {
+        1
+    } else if value <= 0xffff {
+        2
+    } else if value <= 0xffff_ffff {
+        4
+    } else {
+        8
+    }
+}
+
+fn read_value(buf: &[u8], n: usize) -> BgpResult<u64> {
+    if buf.len() < n {
+        return Err(BgpError::Truncated {
+            what: "flowspec operator value",
+        });
+    }
+    let mut v = 0u64;
+    for b in &buf[..n] {
+        v = (v << 8) | u64::from(*b);
+    }
+    Ok(v)
+}
+
+fn write_value(value: u64, n: u8, buf: &mut Vec<u8>) {
+    let bytes = value.to_be_bytes();
+    buf.extend_from_slice(&bytes[8 - n as usize..]);
+}
+
+/// One numeric operator: a relation (`lt`/`gt`/`eq` bits) against a
+/// value, AND-ed with the previous operator when `and` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NumericOp {
+    /// AND with the previous operator's result (OR when clear).
+    pub and: bool,
+    /// Less-than bit.
+    pub lt: bool,
+    /// Greater-than bit.
+    pub gt: bool,
+    /// Equality bit.
+    pub eq: bool,
+    /// Wire length of the value in bytes (1, 2, 4 or 8). Kept explicit
+    /// so a decoded operator re-encodes byte-identically.
+    len: u8,
+    /// The comparison value.
+    pub value: u64,
+}
+
+impl NumericOp {
+    /// An operator with the minimal wire length for `value`.
+    pub fn new(and: bool, lt: bool, gt: bool, eq: bool, value: u64) -> Self {
+        NumericOp {
+            and,
+            lt,
+            gt,
+            eq,
+            len: minimal_len(value),
+            value,
+        }
+    }
+
+    /// `== value`, starting a new OR group.
+    pub fn equals(value: u64) -> Self {
+        Self::new(false, false, false, true, value)
+    }
+
+    /// `>= value`, starting a new OR group.
+    pub fn ge(value: u64) -> Self {
+        Self::new(false, false, true, true, value)
+    }
+
+    /// `<= value`, AND-ed with the previous operator.
+    pub fn and_le(value: u64) -> Self {
+        Self::new(true, true, false, true, value)
+    }
+
+    /// The same operator with an explicit wire value length.
+    pub fn with_len(self, len: u8) -> BgpResult<Self> {
+        value_len_code(len)?;
+        if len < 8 && self.value >> (8 * u32::from(len)) != 0 {
+            return Err(BgpError::update(10, "flowspec value wider than its length"));
+        }
+        Ok(NumericOp { len, ..self })
+    }
+
+    /// Wire length of the value in bytes.
+    pub fn value_len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether the relation holds for `x` (ignores the AND bit; sequence
+    /// folding is [`numeric_seq_matches`]'s job).
+    pub fn relation_matches(&self, x: u64) -> bool {
+        (self.lt && x < self.value) || (self.gt && x > self.value) || (self.eq && x == self.value)
+    }
+}
+
+/// One bitmask operator (TCP flags, fragment bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitmaskOp {
+    /// AND with the previous operator's result (OR when clear).
+    pub and: bool,
+    /// NOT bit: negate the match result.
+    pub not: bool,
+    /// MATCH bit: require all mask bits set (`data & value == value`);
+    /// when clear, any overlapping bit matches.
+    pub match_all: bool,
+    /// Wire length of the value in bytes (1, 2, 4 or 8).
+    len: u8,
+    /// The bitmask value.
+    pub value: u64,
+}
+
+impl BitmaskOp {
+    /// An operator with the minimal wire length for `value`.
+    pub fn new(and: bool, not: bool, match_all: bool, value: u64) -> Self {
+        BitmaskOp {
+            and,
+            not,
+            match_all,
+            len: minimal_len(value),
+            value,
+        }
+    }
+
+    /// The same operator with an explicit wire value length.
+    pub fn with_len(self, len: u8) -> BgpResult<Self> {
+        value_len_code(len)?;
+        if len < 8 && self.value >> (8 * u32::from(len)) != 0 {
+            return Err(BgpError::update(10, "flowspec value wider than its length"));
+        }
+        Ok(BitmaskOp { len, ..self })
+    }
+
+    /// Wire length of the value in bytes.
+    pub fn value_len(&self) -> u8 {
+        self.len
+    }
+
+    /// Whether this operator matches `x` (ignores the AND bit).
+    pub fn bits_match(&self, x: u64) -> bool {
+        let m = if self.match_all {
+            x & self.value == self.value
+        } else {
+            x & self.value != 0
+        };
+        m != self.not
+    }
+}
+
+/// Folds a sequence's per-operator results into the OR-of-AND-groups
+/// value defined by RFC 8955 §4.2.1.1.
+fn fold_groups(results: impl Iterator<Item = (bool, bool)>) -> bool {
+    let mut any = false;
+    let mut current: Option<bool> = None;
+    for (and, matched) in results {
+        current = Some(match current {
+            Some(prev) if and => prev && matched,
+            Some(prev) => {
+                any = any || prev;
+                matched
+            }
+            None => matched,
+        });
+    }
+    match current {
+        Some(last) => any || last,
+        None => false,
+    }
+}
+
+/// Evaluates a numeric operator sequence against `x`.
+pub fn numeric_seq_matches(ops: &[NumericOp], x: u64) -> bool {
+    fold_groups(ops.iter().map(|op| (op.and, op.relation_matches(x))))
+}
+
+/// Evaluates a bitmask operator sequence against `x`.
+pub fn bitmask_seq_matches(ops: &[BitmaskOp], x: u64) -> bool {
+    fold_groups(ops.iter().map(|op| (op.and, op.bits_match(x))))
+}
+
+/// The set of values in `0..=max` matched by a numeric sequence, as
+/// sorted, disjoint, non-adjacent (i.e. minimal) closed intervals.
+///
+/// This is the exact semantics of [`numeric_seq_matches`] lifted to
+/// sets, and is what the classifier lowering pass consumes: a minimal
+/// interval cover means a minimal `MatchSpec` set downstream.
+pub fn numeric_match_intervals(ops: &[NumericOp], max: u64) -> Vec<(u64, u64)> {
+    let mut union: Vec<(u64, u64)> = Vec::new();
+    let mut group: Option<Vec<(u64, u64)>> = None;
+    for op in ops {
+        let set = relation_intervals(op, max);
+        group = Some(match group {
+            Some(prev) if op.and => intersect(&prev, &set),
+            Some(prev) => {
+                union = merge(union, prev);
+                set
+            }
+            None => set,
+        });
+    }
+    if let Some(last) = group {
+        union = merge(union, last);
+    }
+    union
+}
+
+fn relation_intervals(op: &NumericOp, max: u64) -> Vec<(u64, u64)> {
+    let mut set = Vec::new();
+    if op.lt && op.value > 0 {
+        set.push((0, (op.value - 1).min(max)));
+    }
+    if op.eq && op.value <= max {
+        set.push((op.value, op.value));
+    }
+    if op.gt && op.value < max {
+        set.push((op.value + 1, max));
+    }
+    normalize(set)
+}
+
+/// Sorts and coalesces overlapping or adjacent intervals.
+fn normalize(mut set: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    set.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(set.len());
+    for (lo, hi) in set {
+        match out.last_mut() {
+            Some(last) if lo <= last.1.saturating_add(1) => last.1 = last.1.max(hi),
+            _ => out.push((lo, hi)),
+        }
+    }
+    out
+}
+
+fn merge(a: Vec<(u64, u64)>, b: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    let mut all = a;
+    all.extend(b);
+    normalize(all)
+}
+
+fn intersect(a: &[(u64, u64)], b: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if lo <= hi {
+            out.push((lo, hi));
+        }
+        if a[i].1 < b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+fn encode_op_byte(end: bool, and: bool, len: u8, low_bits: u8, buf: &mut Vec<u8>) -> BgpResult<()> {
+    let mut byte = low_bits;
+    if end {
+        byte |= OP_END;
+    }
+    if and {
+        byte |= OP_AND;
+    }
+    byte |= value_len_code(len)? << 4;
+    buf.push(byte);
+    Ok(())
+}
+
+/// Encodes a numeric operator sequence; the end-of-list bit is derived
+/// from position. An empty sequence is invalid.
+pub fn encode_numeric_ops(ops: &[NumericOp], buf: &mut Vec<u8>) -> BgpResult<()> {
+    validate_seq_shape(ops.len(), ops.first().map(|op| op.and))?;
+    for (i, op) in ops.iter().enumerate() {
+        let mut low = 0u8;
+        if op.lt {
+            low |= OP_LT;
+        }
+        if op.gt {
+            low |= OP_GT;
+        }
+        if op.eq {
+            low |= OP_EQ;
+        }
+        encode_op_byte(i + 1 == ops.len(), op.and, op.len, low, buf)?;
+        write_value(op.value, op.len, buf);
+    }
+    Ok(())
+}
+
+/// Encodes a bitmask operator sequence.
+pub fn encode_bitmask_ops(ops: &[BitmaskOp], buf: &mut Vec<u8>) -> BgpResult<()> {
+    validate_seq_shape(ops.len(), ops.first().map(|op| op.and))?;
+    for (i, op) in ops.iter().enumerate() {
+        let mut low = 0u8;
+        if op.not {
+            low |= OP_GT;
+        }
+        if op.match_all {
+            low |= OP_EQ;
+        }
+        encode_op_byte(i + 1 == ops.len(), op.and, op.len, low, buf)?;
+        write_value(op.value, op.len, buf);
+    }
+    Ok(())
+}
+
+fn validate_seq_shape(len: usize, first_and: Option<bool>) -> BgpResult<()> {
+    match first_and {
+        None => Err(BgpError::update(10, "empty flowspec operator sequence")),
+        Some(true) => Err(BgpError::update(
+            10,
+            "AND bit set on first flowspec operator",
+        )),
+        Some(false) => {
+            let _ = len;
+            Ok(())
+        }
+    }
+}
+
+fn decode_op_header(buf: &[u8], first: bool) -> BgpResult<(u8, bool, bool, u8)> {
+    let Some(&byte) = buf.first() else {
+        return Err(BgpError::Truncated {
+            what: "flowspec operator",
+        });
+    };
+    let and = byte & OP_AND != 0;
+    if first && and {
+        return Err(BgpError::update(
+            10,
+            "AND bit set on first flowspec operator",
+        ));
+    }
+    let len = 1u8 << ((byte >> 4) & 0x03);
+    Ok((byte, byte & OP_END != 0, and, len))
+}
+
+/// Decodes a numeric operator sequence, returning it and the bytes
+/// consumed.
+pub fn decode_numeric_ops(buf: &[u8]) -> BgpResult<(Vec<NumericOp>, usize)> {
+    let mut ops = Vec::new();
+    let mut used = 0usize;
+    loop {
+        let (byte, end, and, len) = decode_op_header(&buf[used..], ops.is_empty())?;
+        if byte & OP_RESERVED != 0 {
+            return Err(BgpError::update(
+                10,
+                "reserved bit set in flowspec numeric operator",
+            ));
+        }
+        let value = read_value(&buf[used + 1..], len as usize)?;
+        used += 1 + len as usize;
+        ops.push(NumericOp {
+            and,
+            lt: byte & OP_LT != 0,
+            gt: byte & OP_GT != 0,
+            eq: byte & OP_EQ != 0,
+            len,
+            value,
+        });
+        if end {
+            return Ok((ops, used));
+        }
+    }
+}
+
+/// Decodes a bitmask operator sequence, returning it and the bytes
+/// consumed.
+pub fn decode_bitmask_ops(buf: &[u8]) -> BgpResult<(Vec<BitmaskOp>, usize)> {
+    let mut ops = Vec::new();
+    let mut used = 0usize;
+    loop {
+        let (byte, end, and, len) = decode_op_header(&buf[used..], ops.is_empty())?;
+        if byte & (OP_RESERVED | OP_LT) != 0 {
+            return Err(BgpError::update(
+                10,
+                "reserved bit set in flowspec bitmask operator",
+            ));
+        }
+        let value = read_value(&buf[used + 1..], len as usize)?;
+        used += 1 + len as usize;
+        ops.push(BitmaskOp {
+            and,
+            not: byte & OP_GT != 0,
+            match_all: byte & OP_EQ != 0,
+            len,
+            value,
+        });
+        if end {
+            return Ok((ops, used));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trip_preserves_value_lengths() {
+        let ops = vec![
+            NumericOp::equals(123),
+            NumericOp::equals(53).with_len(2).unwrap(),
+            NumericOp::ge(1024),
+            NumericOp::and_le(2048),
+        ];
+        let mut buf = Vec::new();
+        encode_numeric_ops(&ops, &mut buf).unwrap();
+        let (decoded, used) = decode_numeric_ops(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(decoded, ops);
+        assert_eq!(decoded[1].value_len(), 2);
+        let mut again = Vec::new();
+        encode_numeric_ops(&decoded, &mut again).unwrap();
+        assert_eq!(again, buf);
+    }
+
+    #[test]
+    fn sequence_shape_is_enforced() {
+        assert!(encode_numeric_ops(&[], &mut Vec::new()).is_err());
+        let and_first = NumericOp::new(true, false, false, true, 1);
+        assert!(encode_numeric_ops(&[and_first], &mut Vec::new()).is_err());
+        // 0xc1: end + AND bit on first op.
+        assert!(decode_numeric_ops(&[0xc1, 1]).is_err());
+        // Reserved bit set.
+        assert!(decode_numeric_ops(&[0x89, 1]).is_err());
+        // Missing end-of-list.
+        assert!(decode_numeric_ops(&[0x01, 1]).is_err());
+        // Truncated value.
+        assert!(decode_numeric_ops(&[0x91]).is_err());
+        // Bitmask: lt position is reserved.
+        assert!(decode_bitmask_ops(&[0x85, 1]).is_err());
+    }
+
+    #[test]
+    fn or_of_and_groups_semantics() {
+        // (>= 1024 AND <= 2048) OR == 53
+        let ops = vec![
+            NumericOp::ge(1024),
+            NumericOp::and_le(2048),
+            NumericOp::equals(53),
+        ];
+        assert!(numeric_seq_matches(&ops, 1024));
+        assert!(numeric_seq_matches(&ops, 2048));
+        assert!(numeric_seq_matches(&ops, 53));
+        assert!(!numeric_seq_matches(&ops, 512));
+        assert!(!numeric_seq_matches(&ops, 3000));
+        assert!(!numeric_seq_matches(&[], 53));
+    }
+
+    #[test]
+    fn not_equal_via_lt_gt() {
+        let ne = NumericOp::new(false, true, true, false, 80);
+        assert!(numeric_seq_matches(&[ne], 79));
+        assert!(numeric_seq_matches(&[ne], 81));
+        assert!(!numeric_seq_matches(&[ne], 80));
+        // false relation (000) matches nothing; true (111) everything.
+        let never = NumericOp::new(false, false, false, false, 80);
+        assert!(!numeric_seq_matches(&[never], 80));
+        let always = NumericOp::new(false, true, true, true, 80);
+        assert!(numeric_seq_matches(&[always], 0));
+        assert!(numeric_seq_matches(&[always], u64::MAX));
+    }
+
+    #[test]
+    fn bitmask_semantics() {
+        // TCP SYN exactly: match-all SYN, and-not ACK.
+        let syn = BitmaskOp::new(false, false, true, 0x02);
+        let not_ack = BitmaskOp::new(true, true, false, 0x10);
+        assert!(bitmask_seq_matches(&[syn, not_ack], 0x02));
+        assert!(!bitmask_seq_matches(&[syn, not_ack], 0x12));
+        assert!(!bitmask_seq_matches(&[syn, not_ack], 0x10));
+        // Any-bit match.
+        let any = BitmaskOp::new(false, false, false, 0x03);
+        assert!(bitmask_seq_matches(&[any], 0x01));
+        assert!(!bitmask_seq_matches(&[any], 0x04));
+    }
+
+    #[test]
+    fn intervals_agree_with_direct_evaluation() {
+        let cases: Vec<Vec<NumericOp>> = vec![
+            vec![NumericOp::equals(123), NumericOp::equals(53)],
+            vec![NumericOp::ge(1024), NumericOp::and_le(2048)],
+            vec![NumericOp::new(false, true, true, false, 80)],
+            vec![NumericOp::new(false, true, true, true, 7)],
+            vec![NumericOp::new(false, false, false, false, 7)],
+            vec![
+                NumericOp::new(false, false, true, false, 10),
+                NumericOp::new(true, true, false, false, 20),
+                NumericOp::new(false, false, true, true, 15),
+                NumericOp::new(true, true, false, true, 30),
+            ],
+            // Value past the domain: > 70000 on a u16 domain is empty.
+            vec![NumericOp::new(false, false, true, false, 70_000)],
+            vec![NumericOp::new(false, true, false, false, 70_000)],
+        ];
+        for ops in &cases {
+            let intervals = numeric_match_intervals(ops, 65_535);
+            // Minimality: sorted, disjoint, non-adjacent.
+            for w in intervals.windows(2) {
+                assert!(w[0].1 + 1 < w[1].0, "{ops:?} -> {intervals:?}");
+            }
+            for x in (0..=65_535u64).step_by(7).chain([0, 1, 65_534, 65_535]) {
+                let in_set = intervals.iter().any(|&(lo, hi)| lo <= x && x <= hi);
+                assert_eq!(
+                    in_set,
+                    numeric_seq_matches(ops, x),
+                    "x={x} ops={ops:?} intervals={intervals:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_intervals_coalesce() {
+        // == 10 OR == 11 OR == 12 must become one interval.
+        let ops = vec![
+            NumericOp::equals(10),
+            NumericOp::equals(11),
+            NumericOp::equals(12),
+        ];
+        assert_eq!(numeric_match_intervals(&ops, 65_535), vec![(10, 12)]);
+    }
+}

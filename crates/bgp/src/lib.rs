@@ -22,6 +22,7 @@ pub mod capability;
 pub mod community;
 pub mod error;
 pub mod extcommunity;
+pub mod flowspec;
 pub mod fsm;
 pub mod message;
 pub mod nlri;
@@ -36,6 +37,7 @@ pub use attr::{AsPath, PathAttribute};
 pub use community::Community;
 pub use error::{BgpError, BgpResult};
 pub use extcommunity::ExtendedCommunity;
+pub use flowspec::FlowSpec;
 pub use fsm::{BgpEvent, BgpFsm, FsmAction, SessionState};
 pub use message::{DecodeCtx, Message};
 pub use nlri::Nlri;

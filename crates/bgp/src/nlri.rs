@@ -100,6 +100,11 @@ pub fn decode_v4(mut buf: &[u8], add_path: bool) -> BgpResult<Vec<Nlri>> {
         octets[..nbytes].copy_from_slice(&buf[1..1 + nbytes]);
         let prefix = Ipv4Prefix::new(Ipv4Address(octets), len)
             .map_err(|_| BgpError::update(10, "invalid prefix"))?;
+        // The constructor masks host bits; bits set beyond the prefix
+        // length would therefore re-encode differently. Reject them.
+        if prefix.addr().octets()[..nbytes] != buf[1..1 + nbytes] {
+            return Err(BgpError::update(10, "prefix has bits set past its length"));
+        }
         out.push(Nlri {
             path_id,
             prefix: Prefix::V4(prefix),
@@ -168,6 +173,10 @@ pub fn decode_v6(mut buf: &[u8], add_path: bool) -> BgpResult<Vec<Nlri>> {
         octets[..nbytes].copy_from_slice(&buf[1..1 + nbytes]);
         let prefix = Ipv6Prefix::new(Ipv6Address(octets), len)
             .map_err(|_| BgpError::update(10, "invalid prefix"))?;
+        // As in `decode_v4`: reject non-canonical host bits.
+        if prefix.addr().octets()[..nbytes] != buf[1..1 + nbytes] {
+            return Err(BgpError::update(10, "prefix has bits set past its length"));
+        }
         out.push(Nlri {
             path_id,
             prefix: Prefix::V6(prefix),
@@ -242,6 +251,22 @@ mod tests {
         assert!(decode_v6(&[129], false).is_err());
         // Truncated prefix body.
         assert!(decode_v4(&[24, 1, 2], false).is_err());
+    }
+
+    #[test]
+    fn non_canonical_host_bits_are_rejected() {
+        // /20 with bits set in the low nibble of the third octet —
+        // accepting it would decode to 10.0.0.0/20 and re-encode
+        // differently.
+        assert!(decode_v4(&[20, 10, 0, 0x01], false).is_err());
+        // /9 with low bits in the second octet.
+        assert!(decode_v4(&[9, 10, 0x01], false).is_err());
+        // The canonical forms still decode.
+        assert!(decode_v4(&[24, 10, 0, 1], false).is_ok());
+        assert!(decode_v4(&[9, 10, 0x80], false).is_ok());
+        assert!(decode_v6(&[32, 0x20, 0x01, 0x0d, 0xb9], false).is_ok());
+        assert!(decode_v6(&[30, 0x20, 0x01, 0x0d, 0xb9], false).is_err());
+        assert!(decode_v6(&[33, 0x20, 0x01, 0x0d, 0xb9, 0x40], false).is_err());
     }
 
     #[test]

@@ -68,6 +68,8 @@ pub enum Safi {
     Unicast,
     /// Multicast (2) — decoded but unused here.
     Multicast,
+    /// Flow Specification (133), RFC 8955 §4.
+    FlowSpec,
 }
 
 impl Safi {
@@ -76,6 +78,7 @@ impl Safi {
         match self {
             Safi::Unicast => 1,
             Safi::Multicast => 2,
+            Safi::FlowSpec => 133,
         }
     }
 
@@ -84,6 +87,7 @@ impl Safi {
         match v {
             1 => Some(Safi::Unicast),
             2 => Some(Safi::Multicast),
+            133 => Some(Safi::FlowSpec),
             _ => None,
         }
     }
@@ -143,7 +147,7 @@ mod tests {
             assert_eq!(Afi::from_value(afi.value()), Some(afi));
         }
         assert_eq!(Afi::from_value(3), None);
-        for safi in [Safi::Unicast, Safi::Multicast] {
+        for safi in [Safi::Unicast, Safi::Multicast, Safi::FlowSpec] {
             assert_eq!(Safi::from_value(safi.value()), Some(safi));
         }
         assert_eq!(Safi::from_value(99), None);

@@ -1,0 +1,276 @@
+//! FlowSpec wire-conformance vectors: hand-computed hex fixtures for
+//! every component type, checked in both directions — the bytes decode
+//! to exactly the expected structure, and the structure re-encodes to
+//! exactly the same bytes. Malformed vectors (reserved bits, bad order,
+//! host bits past the prefix length, non-minimal lengths, truncation)
+//! must be rejected, never silently repaired.
+//!
+//! The valid vectors follow the shapes of RFC 8955 §8 / RFC 8956 and
+//! the DNS/NTP amplification rules the Stellar scenarios announce.
+
+use stellar_bgp::extcommunity::ExtendedCommunity;
+use stellar_bgp::flowspec::{BitmaskOp, Component, FlowSpec, NumericOp};
+use stellar_bgp::types::Afi;
+
+fn hex(s: &str) -> Vec<u8> {
+    s.split_whitespace()
+        .map(|b| u8::from_str_radix(b, 16).expect("hex fixture byte"))
+        .collect()
+}
+
+/// Asserts the two-way conformance property for one vector: the hex
+/// bytes decode to `expected` (consuming every byte), and `expected`
+/// encodes back to the identical hex bytes.
+fn conforms(afi: Afi, wire_hex: &str, expected: &FlowSpec) {
+    let wire = hex(wire_hex);
+    let (decoded, used) = FlowSpec::decode(afi, &wire)
+        .unwrap_or_else(|e| panic!("vector {wire_hex:?} failed to decode: {e:?}"));
+    assert_eq!(used, wire.len(), "vector {wire_hex:?} not fully consumed");
+    assert_eq!(&decoded, expected, "vector {wire_hex:?} decoded wrong");
+    assert_eq!(
+        expected.to_wire().expect("fixture encodes"),
+        wire,
+        "vector {wire_hex:?} did not re-encode byte-identically"
+    );
+}
+
+fn rejected(afi: Afi, wire_hex: &str, why: &str) {
+    let wire = hex(wire_hex);
+    assert!(
+        FlowSpec::decode(afi, &wire).is_err(),
+        "malformed vector accepted ({why}): {wire_hex:?}"
+    );
+}
+
+#[test]
+fn rfc8955_destination_and_protocol() {
+    // RFC 8955 §8 example 1: all packets to 192.0.2.0/24 and TCP.
+    conforms(
+        Afi::Ipv4,
+        "08 01 18 c0 00 02 03 81 06",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("192.0.2.0/24".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(6)]),
+            ],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn rfc8955_src_dst_and_port() {
+    // RFC 8955 §8 example 2 shape: packets to 192.0.2.1/32 from
+    // 203.0.113.0/24, destination port 25.
+    conforms(
+        Afi::Ipv4,
+        "0e 01 20 c0 00 02 01 02 18 cb 00 71 05 81 19",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("192.0.2.1/32".parse().unwrap()),
+                Component::SrcPrefix("203.0.113.0/24".parse().unwrap()),
+                Component::DstPort(vec![NumericOp::equals(25)]),
+            ],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn amplification_rule_udp_src_53_or_123() {
+    // The repo's canonical mitigation rule: UDP toward the victim host
+    // from source port 53 (DNS) or 123 (NTP).
+    conforms(
+        Afi::Ipv4,
+        "0e 01 20 64 0a 0a 0a 03 81 11 06 01 35 81 7b",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+                Component::SrcPort(vec![NumericOp::equals(53), NumericOp::equals(123)]),
+            ],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn port_range_with_two_byte_values() {
+    // 1024 <= port <= 2048: a >= operator OR-opening the sequence,
+    // AND-ed with a <= operator; both carry 2-byte values (len code 01).
+    conforms(
+        Afi::Ipv4,
+        "07 04 13 04 00 d5 08 00",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::Port(vec![
+                NumericOp::ge(1024),
+                NumericOp::and_le(2048),
+            ])],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn tcp_flags_bitmask() {
+    // Match-all on SYN (0x02): bitmask operator with the MATCH bit.
+    conforms(
+        Afi::Ipv4,
+        "03 09 81 02",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::TcpFlags(vec![BitmaskOp::new(
+                false, false, true, 0x02,
+            )])],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn fragment_with_not_bit() {
+    // NOT (is-fragment): bitmask operator with NOT + MATCH bits.
+    conforms(
+        Afi::Ipv4,
+        "03 0c 83 02",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::Fragment(vec![BitmaskOp::new(
+                false, true, true, 0x02,
+            )])],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn icmp_type_and_code() {
+    // ICMP destination-unreachable (type 3, code 0).
+    conforms(
+        Afi::Ipv4,
+        "06 07 81 03 08 81 00",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::IcmpType(vec![NumericOp::equals(3)]),
+                Component::IcmpCode(vec![NumericOp::equals(0)]),
+            ],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn packet_length_or_of_two_ranges() {
+    // length <= 100 OR length >= 1200 (the second operator re-opens an
+    // OR group, so its AND bit is clear).
+    conforms(
+        Afi::Ipv4,
+        "06 0a 05 64 93 04 b0",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::PacketLength(vec![
+                NumericOp::new(false, true, false, true, 100),
+                NumericOp::ge(1200),
+            ])],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn dscp_expedited_forwarding() {
+    conforms(
+        Afi::Ipv4,
+        "03 0b 81 2e",
+        &FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::Dscp(vec![NumericOp::equals(46)])],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn ipv6_prefix_protocol_and_flow_label() {
+    // RFC 8956: the v6 prefix component carries a zero pattern offset
+    // byte; flow-label (type 13) is v6-only.
+    conforms(
+        Afi::Ipv6,
+        "0d 01 20 00 20 01 0d b8 03 81 11 0d 81 63",
+        &FlowSpec::new(
+            Afi::Ipv6,
+            vec![
+                Component::DstPrefix("2001:db8::/32".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+                Component::FlowLabel(vec![NumericOp::equals(99)]),
+            ],
+        )
+        .unwrap(),
+    );
+}
+
+#[test]
+fn malformed_vectors_are_rejected() {
+    rejected(Afi::Ipv4, "00", "empty NLRI body");
+    rejected(Afi::Ipv4, "05 01 18 c0 00", "body truncated mid-prefix");
+    rejected(
+        Afi::Ipv4,
+        "f0 08 01 18 c0 00 02 03 81 06",
+        "non-minimal two-byte length form",
+    );
+    rejected(Afi::Ipv4, "03 0e 81 01", "unknown component type 14");
+    rejected(
+        Afi::Ipv4,
+        "03 03 89 06",
+        "reserved bit 0x08 set in a numeric operator",
+    );
+    rejected(
+        Afi::Ipv4,
+        "03 03 c1 06",
+        "AND bit set on the first operator",
+    );
+    rejected(
+        Afi::Ipv4,
+        "05 03 01 06 01 11",
+        "missing end-of-list bit runs off the NLRI",
+    );
+    rejected(
+        Afi::Ipv4,
+        "05 01 16 c0 00 03",
+        "host bits set past a /22 prefix length",
+    );
+    rejected(
+        Afi::Ipv4,
+        "09 03 81 11 01 20 64 0a 0a 0a",
+        "components out of ascending type order",
+    );
+    rejected(Afi::Ipv4, "03 0d 81 63", "flow-label in an IPv4 flowspec");
+    rejected(
+        Afi::Ipv6,
+        "08 01 20 01 20 01 0d b8 00",
+        "nonzero IPv6 pattern offset",
+    );
+}
+
+#[test]
+fn traffic_rate_extended_community_vectors() {
+    // traffic-rate is type 0x80 subtype 0x06: 2-octet ASN then the rate
+    // as an IEEE-754 float in bytes/second. Rate zero means drop.
+    let drop = hex("80 06 fb f4 00 00 00 00");
+    let shape = hex("80 06 fb f4 4b be bc 20"); // 25 MB/s = 200 Mbps
+
+    let c = ExtendedCommunity::decode(&drop).expect("drop vector decodes");
+    assert_eq!(c, ExtendedCommunity::traffic_rate(64500, 0.0));
+    assert_eq!(c.rate_bytes_per_sec(), Some(0.0));
+    assert_eq!(c.encode().to_vec(), drop);
+
+    let c = ExtendedCommunity::decode(&shape).expect("shape vector decodes");
+    assert_eq!(c, ExtendedCommunity::traffic_rate(64500, 25_000_000.0));
+    assert_eq!(c.rate_bytes_per_sec(), Some(25_000_000.0));
+    assert_eq!(c.encode().to_vec(), shape);
+}

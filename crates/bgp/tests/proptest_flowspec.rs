@@ -1,0 +1,142 @@
+//! FlowSpec codec properties: structured values survive a wire round
+//! trip, every accepted byte string re-encodes identically, decoding
+//! never panics on garbage, and the interval lowering of numeric
+//! operator sequences agrees with direct RFC 8955 evaluation on every
+//! probed point.
+
+use proptest::prelude::*;
+use stellar_bgp::flowspec::{
+    numeric_match_intervals, numeric_seq_matches, Component, FlowSpec, NumericOp,
+};
+use stellar_bgp::types::Afi;
+use stellar_net::addr::{Ipv4Address, Ipv6Address};
+use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
+
+fn numeric_op_strategy(max_value: u64) -> impl Strategy<Value = NumericOp> {
+    (
+        any::<bool>(),
+        0u8..8,
+        0u64..=max_value,
+        proptest::option::of(0u8..4),
+    )
+        .prop_map(|(and, rel, value, wide)| {
+            let op = NumericOp::new(and, rel & 4 != 0, rel & 2 != 0, rel & 1 != 0, value);
+            match wide {
+                // Widen the wire length when the value still fits; keeps
+                // non-minimal-but-legal encodings in the corpus.
+                Some(exp) => op.with_len(1 << exp).unwrap_or(op),
+                None => op,
+            }
+        })
+}
+
+fn ops_strategy(max_value: u64) -> impl Strategy<Value = Vec<NumericOp>> {
+    proptest::collection::vec(numeric_op_strategy(max_value), 1..5).prop_map(|mut ops| {
+        // The AND bit must be clear on the first operator.
+        ops[0].and = false;
+        ops
+    })
+}
+
+fn v4_flow_strategy() -> impl Strategy<Value = FlowSpec> {
+    (
+        any::<u32>(),
+        0u8..=32,
+        proptest::option::of(ops_strategy(255)),
+        proptest::option::of(ops_strategy(65_535)),
+        proptest::option::of(ops_strategy(65_535)),
+    )
+        .prop_map(|(addr, plen, proto, dst, src)| {
+            let prefix =
+                Ipv4Prefix::new(Ipv4Address(addr.to_be_bytes()), plen).expect("length is in range");
+            let mut components = vec![Component::DstPrefix(Prefix::V4(prefix))];
+            if let Some(ops) = proto {
+                components.push(Component::IpProtocol(ops));
+            }
+            if let Some(ops) = dst {
+                components.push(Component::DstPort(ops));
+            }
+            if let Some(ops) = src {
+                components.push(Component::SrcPort(ops));
+            }
+            FlowSpec::new(Afi::Ipv4, components).expect("components are ordered")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn structured_flowspec_round_trips(flow in v4_flow_strategy()) {
+        let wire = flow.to_wire().expect("valid flowspec encodes");
+        let (decoded, used) = FlowSpec::decode(Afi::Ipv4, &wire).expect("own encoding decodes");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(&decoded, &flow);
+        prop_assert_eq!(decoded.to_wire().expect("re-encode"), wire);
+    }
+
+    #[test]
+    fn decode_is_a_section_on_arbitrary_bytes(
+        raw in proptest::collection::vec(any::<u8>(), 0..96),
+        v6 in any::<bool>(),
+    ) {
+        let afi = if v6 { Afi::Ipv6 } else { Afi::Ipv4 };
+        if let Ok((flow, used)) = FlowSpec::decode(afi, &raw) {
+            let wire = flow.to_wire().expect("accepted flowspec re-encodes");
+            prop_assert_eq!(&wire[..], &raw[..used]);
+        }
+    }
+
+    #[test]
+    fn seeded_bodies_round_trip(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        v6 in any::<bool>(),
+    ) {
+        // Prefix the body with its own valid length so the parser gets
+        // past the length check and into component parsing.
+        let afi = if v6 { Afi::Ipv6 } else { Afi::Ipv4 };
+        let mut raw = vec![body.len() as u8];
+        raw.extend(&body);
+        if let Ok((flow, used)) = FlowSpec::decode(afi, &raw) {
+            let wire = flow.to_wire().expect("accepted flowspec re-encodes");
+            prop_assert_eq!(&wire[..], &raw[..used]);
+        }
+    }
+
+    #[test]
+    fn intervals_equal_direct_evaluation(ops in ops_strategy(65_535), probes in proptest::collection::vec(0u64..=65_535, 16)) {
+        let intervals = numeric_match_intervals(&ops, 65_535);
+        // Minimal form: sorted, disjoint, non-adjacent.
+        for w in intervals.windows(2) {
+            prop_assert!(w[0].1 + 1 < w[1].0, "not minimal: {:?}", intervals);
+        }
+        // Probe random points plus every interval boundary and its
+        // neighbors — exactly where off-by-one bugs live.
+        let mut points = probes;
+        for &(lo, hi) in &intervals {
+            points.extend([lo, hi, lo.saturating_sub(1), (hi + 1).min(65_535)]);
+        }
+        for x in points {
+            let in_set = intervals.iter().any(|&(lo, hi)| lo <= x && x <= hi);
+            prop_assert_eq!(in_set, numeric_seq_matches(&ops, x), "x={}", x);
+        }
+    }
+
+    #[test]
+    fn v6_prefix_components_round_trip(hi in any::<u64>(), lo in any::<u64>(), plen in 0u8..=128) {
+        let mut octets = [0u8; 16];
+        octets[..8].copy_from_slice(&hi.to_be_bytes());
+        octets[8..].copy_from_slice(&lo.to_be_bytes());
+        let prefix = Ipv6Prefix::new(Ipv6Address(octets), plen)
+            .expect("length is in range");
+        let flow = FlowSpec::new(
+            Afi::Ipv6,
+            vec![Component::DstPrefix(Prefix::V6(prefix))],
+        )
+        .expect("single component is ordered");
+        let wire = flow.to_wire().expect("valid flowspec encodes");
+        let (decoded, used) = FlowSpec::decode(Afi::Ipv6, &wire).expect("own encoding decodes");
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(decoded, flow);
+    }
+}

@@ -86,7 +86,7 @@ fn to_audit_rule(r: &BlackholingRule) -> AuditRule {
     // so evaluation rank within a port is id order.
     AuditRule::new(
         RuleEntry::new(r.id, 100, r.match_spec()),
-        ActionClass::from(r.signal.action),
+        ActionClass::from(r.action()),
     )
 }
 
@@ -169,12 +169,7 @@ mod tests {
     }
 
     fn rule(id: u64, owner: u32, signal: StellarSignal) -> BlackholingRule {
-        BlackholingRule {
-            id,
-            owner: Asn(owner),
-            victim: victim(),
-            signal,
-        }
+        BlackholingRule::from_signal(id, Asn(owner), victim(), signal)
     }
 
     #[test]

@@ -284,12 +284,12 @@ mod tests {
     }
 
     fn add(i: u64) -> AbstractChange {
-        AbstractChange::AddRule(BlackholingRule {
-            id: i,
-            owner: Asn(64500),
-            victim: "100.10.10.10/32".parse().unwrap(),
-            signal: StellarSignal::drop_udp_src(123),
-        })
+        AbstractChange::AddRule(BlackholingRule::from_signal(
+            i,
+            Asn(64500),
+            "100.10.10.10/32".parse().unwrap(),
+            StellarSignal::drop_udp_src(123),
+        ))
     }
 
     #[test]
@@ -342,12 +342,12 @@ mod tests {
     #[test]
     fn add_changes_flow_through_too() {
         let mut q = ConfigChangeQueue::new(10.0, 10);
-        let rule = crate::rule::BlackholingRule {
-            id: 1,
-            owner: Asn(64500),
-            victim: "100.10.10.10/32".parse().unwrap(),
-            signal: StellarSignal::drop_udp_src(123),
-        };
+        let rule = crate::rule::BlackholingRule::from_signal(
+            1,
+            Asn(64500),
+            "100.10.10.10/32".parse().unwrap(),
+            StellarSignal::drop_udp_src(123),
+        );
         q.enqueue(AbstractChange::AddRule(rule.clone()), 5);
         let got = q.dequeue_ready(10);
         assert_eq!(got.len(), 1);

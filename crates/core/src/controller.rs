@@ -173,12 +173,9 @@ impl BlackholingController {
                 let id = self.next_rule_id;
                 self.next_rule_id += 1;
                 path.rules.insert(s, id);
-                changes.push(AbstractChange::AddRule(BlackholingRule {
-                    id,
-                    owner,
-                    victim: n.prefix,
-                    signal: s,
-                }));
+                changes.push(AbstractChange::AddRule(BlackholingRule::from_signal(
+                    id, owner, n.prefix, s,
+                )));
             }
             if path.rules.is_empty() && path.owner.is_some() {
                 // Plain route with no rules: no need to track it.
@@ -196,12 +193,7 @@ impl BlackholingController {
         for ((prefix, _), path) in &self.paths {
             let owner = path.owner.unwrap_or(Asn(0));
             for (signal, id) in &path.rules {
-                out.push(BlackholingRule {
-                    id: *id,
-                    owner,
-                    victim: *prefix,
-                    signal: *signal,
-                });
+                out.push(BlackholingRule::from_signal(*id, owner, *prefix, *signal));
             }
         }
         out.sort_by_key(|r| r.id);
@@ -255,12 +247,7 @@ impl BlackholingController {
             Some(next) if path.rules.contains_key(&next) => DegradeOutcome::Merged,
             Some(next) => {
                 path.rules.insert(next, rule_id);
-                DegradeOutcome::Degraded(BlackholingRule {
-                    id: rule_id,
-                    owner,
-                    victim: key.0,
-                    signal: next,
-                })
+                DegradeOutcome::Degraded(BlackholingRule::from_signal(rule_id, owner, key.0, next))
             }
         };
         if self.paths.get(&key).is_some_and(|p| p.rules.is_empty()) {
@@ -290,7 +277,7 @@ impl BlackholingController {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rule::RuleAction;
+    use crate::rule::{RuleAction, RuleMatcher};
     use stellar_bgp::attr::AsPath;
     use stellar_bgp::nlri::Nlri;
     use stellar_net::addr::Ipv4Address;
@@ -326,7 +313,7 @@ mod tests {
             AbstractChange::AddRule(r) => {
                 assert_eq!(r.owner, OWNER);
                 assert_eq!(r.victim, victim());
-                assert_eq!(r.signal, StellarSignal::drop_udp_src(123));
+                assert_eq!(r.signal(), Some(StellarSignal::drop_udp_src(123)));
             }
             other => panic!("expected add, got {other:?}"),
         }
@@ -350,7 +337,7 @@ mod tests {
         assert_eq!(changes.len(), 2);
         assert!(matches!(changes[0], AbstractChange::RemoveRule { .. }));
         match &changes[1] {
-            AbstractChange::AddRule(r) => assert_eq!(r.signal.action, RuleAction::Drop),
+            AbstractChange::AddRule(r) => assert_eq!(r.action(), RuleAction::Drop),
             other => panic!("expected add, got {other:?}"),
         }
         assert_eq!(c.rule_count(), 1);
@@ -426,7 +413,7 @@ mod tests {
         assert_eq!(changes.len(), 1);
         match &changes[0] {
             AbstractChange::AddRule(r) => {
-                assert_eq!(r.signal, StellarSignal::drop_udp_src(123));
+                assert_eq!(r.signal(), Some(StellarSignal::drop_udp_src(123)));
             }
             other => panic!("expected add, got {other:?}"),
         }
@@ -460,7 +447,9 @@ mod tests {
         match c.degrade_rule(id) {
             DegradeOutcome::Degraded(r) => {
                 assert_eq!(r.id, id);
-                assert_eq!(r.signal.kind, crate::signal::MatchKind::AllUdp);
+                assert!(
+                    matches!(r.matcher, RuleMatcher::Signal(s) if s.kind == crate::signal::MatchKind::AllUdp)
+                );
                 assert_eq!(r.victim, victim());
                 assert_eq!(r.owner, OWNER);
             }
@@ -469,7 +458,7 @@ mod tests {
         assert_eq!(c.rule_count(), 1);
         // 2 → 1: RTBH-style drop-all.
         match c.degrade_rule(id) {
-            DegradeOutcome::Degraded(r) => assert_eq!(r.signal, StellarSignal::drop_all()),
+            DegradeOutcome::Degraded(r) => assert_eq!(r.signal(), Some(StellarSignal::drop_all())),
             other => panic!("expected Degraded, got {other:?}"),
         }
         // Bottom of the ladder: the rule leaves desired state.
@@ -495,7 +484,7 @@ mod tests {
         let fine = c
             .desired_rules()
             .into_iter()
-            .find(|r| r.signal == StellarSignal::drop_udp_src(123))
+            .find(|r| r.signal() == Some(StellarSignal::drop_udp_src(123)))
             .unwrap();
         assert_eq!(c.degrade_rule(fine.id), DegradeOutcome::Merged);
         assert_eq!(c.rule_count(), 1);

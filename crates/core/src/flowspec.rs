@@ -1,0 +1,700 @@
+//! Lowering accepted FlowSpec rules into classifier match specs.
+//!
+//! FlowSpec NLRIs that survive the route server's RFC 9117 validation
+//! are translated here into [`MatchSpec`]s and admitted through the same
+//! audit pipeline as signal-derived rules. Lowering is *exact*: a flow
+//! specification either translates to a **minimal** set of match specs
+//! covering precisely the packets the components describe, or it is
+//! rejected with a typed [`LowerError`]. Nothing is ever silently
+//! widened — installing a filter that matches traffic the member never
+//! asked to touch would break the isolation argument of §4.5.
+
+use crate::controller::AbstractChange;
+use crate::rule::{BlackholingRule, RuleAction, RuleMatcher};
+use std::collections::BTreeMap;
+use stellar_bgp::extcommunity::ExtendedCommunity;
+use stellar_bgp::flowspec::{numeric_match_intervals, Component, FlowSpec, NumericOp};
+use stellar_bgp::types::Asn;
+use stellar_dataplane::filter::{MatchSpec, PortMatch};
+use stellar_net::proto::IpProtocol;
+use stellar_routeserver::AcceptedFlowSpec;
+
+/// First rule id in the FlowSpec id space. Signal-derived rule ids count
+/// up from 1; keeping the planes disjoint lets every consumer (failure
+/// ladder, telemetry, reconciler) tell at a glance which plane owns an
+/// id.
+pub const FLOWSPEC_RULE_ID_BASE: u64 = 1 << 32;
+
+/// Hard cap on the match specs one NLRI may lower to. A protocol range
+/// like `>= 6` would otherwise expand to hundreds of per-protocol specs
+/// and swallow a member's whole TCAM share.
+pub const MAX_LOWERED_SPECS: usize = 64;
+
+/// Why a validated FlowSpec rule could not be lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LowerError {
+    /// The component type has no classifier equivalent (ICMP fields,
+    /// TCP flags, packet length, DSCP, fragment bits, flow label).
+    UnsupportedComponent(&'static str),
+    /// An operator sequence matches no value at all, so the rule as a
+    /// whole matches no packet.
+    EmptyMatch(&'static str),
+    /// The minimal exact lowering needs more than
+    /// [`MAX_LOWERED_SPECS`] specs.
+    TooManySpecs(usize),
+    /// No destination prefix (cannot happen post-validation; kept so
+    /// lowering stands alone).
+    MissingDestPrefix,
+    /// The update carried no traffic-rate action to realize.
+    NoAction,
+    /// The action communities ask for something the dataplane cannot do
+    /// (redirect, marking, non-finite rate).
+    UnsupportedAction(&'static str),
+}
+
+impl LowerError {
+    /// Stable metric-key token for this error.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            LowerError::UnsupportedComponent(name) => name,
+            LowerError::EmptyMatch(_) => "empty-match",
+            LowerError::TooManySpecs(_) => "too-many-specs",
+            LowerError::MissingDestPrefix => "missing-dest-prefix",
+            LowerError::NoAction => "no-action",
+            LowerError::UnsupportedAction(what) => what,
+        }
+    }
+}
+
+/// Lowers the action extended communities of a FlowSpec update to a
+/// [`RuleAction`]. `traffic-rate 0` is a drop, a positive rate shapes
+/// (the community carries bytes/s, the shaper thinks in bits/s);
+/// `traffic-action` bits are tolerated but change nothing here;
+/// redirect and marking have no dataplane analogue and are refused.
+pub fn lower_action(actions: &[ExtendedCommunity]) -> Result<RuleAction, LowerError> {
+    let mut lowered: Option<RuleAction> = None;
+    for ec in actions {
+        match ec {
+            ExtendedCommunity::TrafficRate { .. } => {
+                let Some(bytes_per_sec) = ec.rate_bytes_per_sec() else {
+                    return Err(LowerError::UnsupportedAction("bad-traffic-rate"));
+                };
+                let action = if bytes_per_sec == 0.0 {
+                    RuleAction::Drop
+                } else {
+                    RuleAction::Shape {
+                        rate_bps: (f64::from(bytes_per_sec) * 8.0).round() as u64,
+                    }
+                };
+                // RFC 8955 §7: at most one traffic-rate is meaningful;
+                // the first wins, as in announcement order.
+                lowered.get_or_insert(action);
+            }
+            ExtendedCommunity::TrafficAction { .. } => {}
+            ExtendedCommunity::RedirectAs2 { .. } => {
+                return Err(LowerError::UnsupportedAction("redirect"));
+            }
+            ExtendedCommunity::TrafficMarking { .. } => {
+                return Err(LowerError::UnsupportedAction("traffic-marking"));
+            }
+            _ => {}
+        }
+    }
+    lowered.ok_or(LowerError::NoAction)
+}
+
+/// The minimal interval set a port operator sequence matches.
+fn port_intervals(ops: &[NumericOp], what: &'static str) -> Result<Vec<(u16, u16)>, LowerError> {
+    let iv = numeric_match_intervals(ops, 65_535);
+    if iv.is_empty() {
+        return Err(LowerError::EmptyMatch(what));
+    }
+    Ok(iv
+        .into_iter()
+        .map(|(lo, hi)| (lo as u16, hi as u16))
+        .collect())
+}
+
+/// One port interval as a classifier match (`Exact` when degenerate).
+fn to_port_match((lo, hi): (u16, u16)) -> PortMatch {
+    if lo == hi {
+        PortMatch::Exact(lo)
+    } else {
+        PortMatch::Range(lo, hi)
+    }
+}
+
+/// Intersects an optional constraint with a type-4 port interval.
+fn intersect(a: Option<(u16, u16)>, b: (u16, u16)) -> Option<(u16, u16)> {
+    match a {
+        None => Some(b),
+        Some((alo, ahi)) => {
+            let lo = alo.max(b.0);
+            let hi = ahi.min(b.1);
+            (lo <= hi).then_some((lo, hi))
+        }
+    }
+}
+
+/// Lowers a flow specification to the minimal set of [`MatchSpec`]s
+/// matching exactly the packets its components describe.
+///
+/// Supported components: destination/source prefix, IP protocol and the
+/// three port types. An operator sequence with several disjoint
+/// intervals multiplies out (one spec per interval combination) because
+/// the classifier matches a single value-or-range per field. The type-4
+/// `port` component means "source *or* destination port" (RFC 8955
+/// §4.2.4), so each of its intervals contributes a source variant and a
+/// destination variant, intersected with any explicit src-port/dst-port
+/// constraint.
+pub fn lower_flowspec(flow: &FlowSpec) -> Result<Vec<MatchSpec>, LowerError> {
+    let mut dst_ip = None;
+    let mut src_ip = None;
+    let mut protocols: Option<Vec<u8>> = None;
+    let mut src_ports: Option<Vec<(u16, u16)>> = None;
+    let mut dst_ports: Option<Vec<(u16, u16)>> = None;
+    let mut either_ports: Option<Vec<(u16, u16)>> = None;
+    for c in &flow.components {
+        match c {
+            Component::DstPrefix(p) => dst_ip = Some(*p),
+            Component::SrcPrefix(p) => src_ip = Some(*p),
+            Component::IpProtocol(ops) => {
+                let iv = numeric_match_intervals(ops, 255);
+                if iv.is_empty() {
+                    return Err(LowerError::EmptyMatch("ip-protocol"));
+                }
+                if iv == [(0, 255)] {
+                    // Matches every protocol: equivalent to omitting it.
+                    continue;
+                }
+                let count: u64 = iv.iter().map(|&(lo, hi)| hi - lo + 1).sum();
+                if count as usize > MAX_LOWERED_SPECS {
+                    return Err(LowerError::TooManySpecs(count as usize));
+                }
+                protocols = Some(
+                    iv.iter()
+                        .flat_map(|&(lo, hi)| lo..=hi)
+                        .map(|v| v as u8)
+                        .collect(),
+                );
+            }
+            Component::Port(ops) => either_ports = Some(port_intervals(ops, "port")?),
+            Component::DstPort(ops) => dst_ports = Some(port_intervals(ops, "dst-port")?),
+            Component::SrcPort(ops) => src_ports = Some(port_intervals(ops, "src-port")?),
+            other => return Err(LowerError::UnsupportedComponent(other.name())),
+        }
+    }
+    if dst_ip.is_none() {
+        return Err(LowerError::MissingDestPrefix);
+    }
+    let protocols: Vec<Option<IpProtocol>> = match protocols {
+        None => vec![None],
+        Some(vs) => vs.into_iter().map(|v| Some(IpProtocol(v))).collect(),
+    };
+    let opt = |ivs: Option<Vec<(u16, u16)>>| -> Vec<Option<(u16, u16)>> {
+        match ivs {
+            None => vec![None],
+            Some(v) => v.into_iter().map(Some).collect(),
+        }
+    };
+    let srcs = opt(src_ports);
+    let dsts = opt(dst_ports);
+    let mut specs: Vec<MatchSpec> = Vec::new();
+    let push = |specs: &mut Vec<MatchSpec>,
+                protocol: Option<IpProtocol>,
+                src: Option<(u16, u16)>,
+                dst: Option<(u16, u16)>| {
+        let spec = MatchSpec {
+            src_ip,
+            dst_ip,
+            protocol,
+            src_port: src.map(to_port_match),
+            dst_port: dst.map(to_port_match),
+            ..Default::default()
+        };
+        if !specs.contains(&spec) {
+            specs.push(spec);
+        }
+    };
+    for &protocol in &protocols {
+        for &s in &srcs {
+            for &d in &dsts {
+                match &either_ports {
+                    None => push(&mut specs, protocol, s, d),
+                    Some(eps) => {
+                        for &e in eps {
+                            if let Some(s2) = intersect(s, e) {
+                                push(&mut specs, protocol, Some(s2), d);
+                            }
+                            if let Some(d2) = intersect(d, e) {
+                                push(&mut specs, protocol, s, Some(d2));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if specs.is_empty() {
+        // Every either-port variant intersected to nothing.
+        return Err(LowerError::EmptyMatch("port"));
+    }
+    if specs.len() > MAX_LOWERED_SPECS {
+        return Err(LowerError::TooManySpecs(specs.len()));
+    }
+    Ok(specs)
+}
+
+/// Desired state of the FlowSpec admission plane: every accepted and
+/// lowered FlowSpec rule, keyed by `(owner, canonical NLRI bytes)` the
+/// same way the route server's FlowSpec RIB is, so announcements,
+/// implicit withdraws and explicit withdraws line up one-to-one.
+#[derive(Debug, Default)]
+pub struct FlowSpecPlane {
+    entries: BTreeMap<(Asn, Vec<u8>), Vec<BlackholingRule>>,
+    next_rule_id: u64,
+}
+
+impl FlowSpecPlane {
+    /// An empty plane; rule ids count up from
+    /// [`FLOWSPEC_RULE_ID_BASE`].
+    pub fn new() -> Self {
+        FlowSpecPlane {
+            entries: BTreeMap::new(),
+            next_rule_id: FLOWSPEC_RULE_ID_BASE,
+        }
+    }
+
+    /// Lowers an accepted FlowSpec rule and diffs it into desired state.
+    /// Re-announcing an identical rule is a no-op; a re-announcement
+    /// with different actions or components replaces the old lowering
+    /// (BGP implicit withdraw). Returns the abstract changes to enqueue.
+    pub fn install(&mut self, acc: &AcceptedFlowSpec) -> Result<Vec<AbstractChange>, LowerError> {
+        let action = lower_action(&acc.actions)?;
+        let specs = lower_flowspec(&acc.flow)?;
+        let Some(victim) = acc.flow.dst_prefix() else {
+            return Err(LowerError::MissingDestPrefix);
+        };
+        let Ok(wire) = acc.flow.to_wire() else {
+            // A decoded flowspec always re-encodes; treat the
+            // impossible as unanchorable rather than panicking.
+            return Err(LowerError::MissingDestPrefix);
+        };
+        let owner = acc.owner;
+        let key = (owner, wire);
+        let mut rules = self.entries.remove(&key).unwrap_or_default();
+        let mut changes = Vec::new();
+        let desired: Vec<(MatchSpec, RuleAction)> =
+            specs.iter().map(|s| (s.clone(), action)).collect();
+        rules.retain(|r| {
+            let keep = matches!(
+                &r.matcher,
+                RuleMatcher::FlowSpec { spec, action: a }
+                    if desired.iter().any(|(s, da)| s == spec && da == a)
+            );
+            if !keep {
+                changes.push(AbstractChange::RemoveRule {
+                    rule_id: r.id,
+                    owner,
+                });
+            }
+            keep
+        });
+        for spec in specs {
+            let exists = rules.iter().any(|r| {
+                matches!(
+                    &r.matcher,
+                    RuleMatcher::FlowSpec { spec: s, action: a } if *s == spec && *a == action
+                )
+            });
+            if exists {
+                continue;
+            }
+            let id = self.next_rule_id;
+            self.next_rule_id += 1;
+            let rule = BlackholingRule::from_flowspec(id, owner, victim, spec, action);
+            rules.push(rule.clone());
+            changes.push(AbstractChange::AddRule(rule));
+        }
+        self.entries.insert(key, rules);
+        Ok(changes)
+    }
+
+    /// Withdraws one flow's rules (explicit MP_UNREACH or a session-down
+    /// flush upstream). Unknown flows remove nothing.
+    pub fn withdraw(&mut self, owner: Asn, flow: &FlowSpec) -> Vec<AbstractChange> {
+        let Ok(wire) = flow.to_wire() else {
+            return Vec::new();
+        };
+        let Some(rules) = self.entries.remove(&(owner, wire)) else {
+            return Vec::new();
+        };
+        rules
+            .into_iter()
+            .map(|r| AbstractChange::RemoveRule {
+                rule_id: r.id,
+                owner,
+            })
+            .collect()
+    }
+
+    /// Flushes the whole plane (iBGP session loss: availability first,
+    /// like the controller's `session_down`). Removals come out in rule
+    /// id order.
+    pub fn flush(&mut self) -> Vec<AbstractChange> {
+        let mut out = Vec::new();
+        for ((owner, _), rules) in std::mem::take(&mut self.entries) {
+            for r in rules {
+                out.push(AbstractChange::RemoveRule {
+                    rule_id: r.id,
+                    owner,
+                });
+            }
+        }
+        out.sort_by_key(|c| match c {
+            AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+            AbstractChange::AddRule(r) => r.id,
+        });
+        out
+    }
+
+    /// Every rule the plane wants installed, sorted by id — the
+    /// FlowSpec half of the reconciliation diff.
+    pub fn desired_rules(&self) -> Vec<BlackholingRule> {
+        let mut out: Vec<BlackholingRule> = self.entries.values().flatten().cloned().collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Admission permanently refused `rule_id`: drop it from desired
+    /// state. Returns whether the id was known.
+    pub fn rule_refused(&mut self, rule_id: u64) -> bool {
+        let mut found = false;
+        self.entries.retain(|_, rules| {
+            rules.retain(|r| {
+                let hit = r.id == rule_id;
+                found |= hit;
+                !hit
+            });
+            !rules.is_empty()
+        });
+        found
+    }
+
+    /// Number of lowered rules currently desired.
+    pub fn rule_count(&self) -> usize {
+        self.entries.values().map(|v| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_bgp::flowspec::numeric_seq_matches;
+    use stellar_bgp::types::Afi;
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::flow::FlowKey;
+    use stellar_net::mac::MacAddr;
+    use stellar_net::prefix::Prefix;
+
+    const OWNER: Asn = Asn(64500);
+
+    fn victim() -> Prefix {
+        "100.10.10.10/32".parse().unwrap()
+    }
+
+    fn flow(components: Vec<Component>) -> FlowSpec {
+        FlowSpec::new(Afi::Ipv4, components).unwrap()
+    }
+
+    fn key(protocol: IpProtocol, src_port: u16, dst_port: u16, dst_last: u8) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(65000, 1),
+            dst_mac: MacAddr::for_member(64500, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(198, 51, 100, 7)),
+            dst_ip: IpAddress::V4(Ipv4Address::new(100, 10, 10, dst_last)),
+            protocol,
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// Direct RFC 8955 evaluation of the flow against a packet, used as
+    /// the oracle the lowering must agree with exactly.
+    fn flow_matches(f: &FlowSpec, k: &FlowKey) -> bool {
+        f.components.iter().all(|c| match c {
+            Component::DstPrefix(p) => p.contains(k.dst_ip),
+            Component::SrcPrefix(p) => p.contains(k.src_ip),
+            Component::IpProtocol(ops) => numeric_seq_matches(ops, k.protocol.0 as u64),
+            Component::Port(ops) => {
+                k.protocol.has_ports()
+                    && (numeric_seq_matches(ops, k.src_port as u64)
+                        || numeric_seq_matches(ops, k.dst_port as u64))
+            }
+            Component::DstPort(ops) => {
+                k.protocol.has_ports() && numeric_seq_matches(ops, k.dst_port as u64)
+            }
+            Component::SrcPort(ops) => {
+                k.protocol.has_ports() && numeric_seq_matches(ops, k.src_port as u64)
+            }
+            _ => false,
+        })
+    }
+
+    /// Exhaustively compares the lowered spec set against the oracle
+    /// over a probe grid chosen to hit every interval boundary.
+    fn assert_exact(f: &FlowSpec, probe_ports: &[u16]) {
+        let specs = lower_flowspec(f).expect("lowers");
+        for protocol in [IpProtocol::UDP, IpProtocol::TCP, IpProtocol::ICMP] {
+            for &sp in probe_ports {
+                for &dp in probe_ports {
+                    for dst_last in [10u8, 11] {
+                        let k = key(protocol, sp, dp, dst_last);
+                        let lowered = specs.iter().any(|s| s.matches(&k));
+                        assert_eq!(
+                            lowered,
+                            flow_matches(f, &k),
+                            "disagreement on {k} against {specs:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amplification_flow_lowers_to_one_spec() {
+        // UDP source port 123 toward the victim: the NTP reflection
+        // pattern, one spec, no widening.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::SrcPort(vec![NumericOp::equals(123)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].dst_ip, Some(victim()));
+        assert_eq!(specs[0].protocol, Some(IpProtocol::UDP));
+        assert_eq!(specs[0].src_port, Some(PortMatch::Exact(123)));
+        assert_exact(&f, &[0, 53, 122, 123, 124, 65535]);
+    }
+
+    #[test]
+    fn disjoint_port_set_lowers_to_minimal_spec_set() {
+        // src-port in {53, 123}: two disjoint intervals, exactly two
+        // specs — not one widened range covering 53..=123.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::SrcPort(vec![NumericOp::equals(53), NumericOp::equals(123)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs
+            .iter()
+            .all(|s| matches!(s.src_port, Some(PortMatch::Exact(53 | 123)))));
+        assert_exact(&f, &[0, 52, 53, 54, 88, 122, 123, 124, 65535]);
+    }
+
+    #[test]
+    fn contiguous_range_lowers_to_single_range_spec() {
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::DstPort(vec![NumericOp::ge(1000), NumericOp::and_le(2000)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].dst_port, Some(PortMatch::Range(1000, 2000)));
+        assert_exact(&f, &[0, 999, 1000, 1500, 2000, 2001, 65535]);
+    }
+
+    #[test]
+    fn either_port_lowers_to_src_and_dst_variants() {
+        // Type-4 "port" means src OR dst (RFC 8955 §4.2.4): two specs.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::Port(vec![NumericOp::equals(123)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs
+            .iter()
+            .any(|s| s.src_port == Some(PortMatch::Exact(123)) && s.dst_port.is_none()));
+        assert!(specs
+            .iter()
+            .any(|s| s.dst_port == Some(PortMatch::Exact(123)) && s.src_port.is_none()));
+        assert_exact(&f, &[0, 122, 123, 124, 65535]);
+    }
+
+    #[test]
+    fn either_port_intersects_explicit_port_constraints() {
+        // port=123 AND src-port=123: the dst variant keeps the explicit
+        // src constraint, the src variant collapses into it.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::Port(vec![NumericOp::equals(123)]),
+            Component::SrcPort(vec![NumericOp::equals(123)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_exact(&f, &[0, 122, 123, 124, 65535]);
+        // And a disjoint intersection is an empty match, not a
+        // widened one.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::Port(vec![NumericOp::equals(123)]),
+            Component::SrcPort(vec![NumericOp::equals(53)]),
+        ]);
+        let specs2 = lower_flowspec(&f).unwrap();
+        // Only the dst-variant (src=53, dst=123) survives.
+        assert_eq!(specs2.len(), 1);
+        assert_eq!(specs2[0].src_port, Some(PortMatch::Exact(53)));
+        assert_eq!(specs2[0].dst_port, Some(PortMatch::Exact(123)));
+        assert_exact(&f, &[0, 52, 53, 54, 122, 123, 124]);
+        let _ = specs;
+    }
+
+    #[test]
+    fn protocol_interval_expands_exactly() {
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(6), NumericOp::equals(17)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_exact(&f, &[0, 80]);
+    }
+
+    #[test]
+    fn full_range_protocol_is_wildcard_not_enumeration() {
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::ge(0)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, None);
+    }
+
+    #[test]
+    fn oversized_protocol_expansion_is_refused_not_widened() {
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::ge(6)]),
+        ]);
+        assert_eq!(lower_flowspec(&f), Err(LowerError::TooManySpecs(250)));
+    }
+
+    #[test]
+    fn unsupported_components_are_refused() {
+        use stellar_bgp::flowspec::BitmaskOp;
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::TcpFlags(vec![BitmaskOp::new(false, false, true, 0x02)]),
+        ]);
+        assert_eq!(
+            lower_flowspec(&f),
+            Err(LowerError::UnsupportedComponent("tcp-flags"))
+        );
+    }
+
+    #[test]
+    fn actions_lower_to_drop_and_shape() {
+        assert_eq!(
+            lower_action(&[ExtendedCommunity::traffic_rate(64500, 0.0)]),
+            Ok(RuleAction::Drop)
+        );
+        assert_eq!(
+            lower_action(&[ExtendedCommunity::traffic_rate(64500, 25_000_000.0)]),
+            Ok(RuleAction::Shape {
+                rate_bps: 200_000_000
+            })
+        );
+        assert_eq!(lower_action(&[]), Err(LowerError::NoAction));
+        assert_eq!(
+            lower_action(&[ExtendedCommunity::RedirectAs2 {
+                asn: 64999,
+                local: 1
+            }]),
+            Err(LowerError::UnsupportedAction("redirect"))
+        );
+    }
+
+    fn accepted(f: FlowSpec, rate: f32) -> AcceptedFlowSpec {
+        AcceptedFlowSpec {
+            owner: OWNER,
+            flow: f,
+            actions: vec![ExtendedCommunity::traffic_rate(64500, rate)],
+        }
+    }
+
+    fn drop_flow() -> FlowSpec {
+        flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::SrcPort(vec![NumericOp::equals(123)]),
+        ])
+    }
+
+    #[test]
+    fn plane_install_is_idempotent_and_replaces_on_change() {
+        let mut plane = FlowSpecPlane::new();
+        let changes = plane.install(&accepted(drop_flow(), 0.0)).unwrap();
+        assert_eq!(changes.len(), 1);
+        let first_id = match &changes[0] {
+            AbstractChange::AddRule(r) => {
+                assert!(r.id >= FLOWSPEC_RULE_ID_BASE);
+                assert_eq!(r.action(), RuleAction::Drop);
+                r.id
+            }
+            other => panic!("expected add, got {other:?}"),
+        };
+        // Identical re-announcement: implicit withdraw replaces with
+        // itself, nothing to do.
+        assert!(plane
+            .install(&accepted(drop_flow(), 0.0))
+            .unwrap()
+            .is_empty());
+        assert_eq!(plane.rule_count(), 1);
+        // Same NLRI, new action: the old rule goes, a new one comes.
+        let changes = plane.install(&accepted(drop_flow(), 25_000_000.0)).unwrap();
+        assert_eq!(changes.len(), 2);
+        assert!(
+            matches!(changes[0], AbstractChange::RemoveRule { rule_id, .. } if rule_id == first_id)
+        );
+        assert!(matches!(
+            &changes[1],
+            AbstractChange::AddRule(r)
+                if r.id > first_id && r.action() == (RuleAction::Shape { rate_bps: 200_000_000 })
+        ));
+        assert_eq!(plane.rule_count(), 1);
+    }
+
+    #[test]
+    fn plane_withdraw_and_flush_remove_rules() {
+        let mut plane = FlowSpecPlane::new();
+        plane.install(&accepted(drop_flow(), 0.0)).unwrap();
+        let removals = plane.withdraw(OWNER, &drop_flow());
+        assert_eq!(removals.len(), 1);
+        assert_eq!(plane.rule_count(), 0);
+        // Withdrawing again is inert.
+        assert!(plane.withdraw(OWNER, &drop_flow()).is_empty());
+
+        plane.install(&accepted(drop_flow(), 0.0)).unwrap();
+        assert_eq!(plane.flush().len(), 1);
+        assert_eq!(plane.rule_count(), 0);
+    }
+
+    #[test]
+    fn plane_refusal_drops_desired_state() {
+        let mut plane = FlowSpecPlane::new();
+        let changes = plane.install(&accepted(drop_flow(), 0.0)).unwrap();
+        let id = match &changes[0] {
+            AbstractChange::AddRule(r) => r.id,
+            other => panic!("expected add, got {other:?}"),
+        };
+        assert!(plane.rule_refused(id));
+        assert_eq!(plane.rule_count(), 0);
+        assert!(!plane.rule_refused(id));
+        assert!(plane.desired_rules().is_empty());
+    }
+}

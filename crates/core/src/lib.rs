@@ -8,7 +8,9 @@
 //! - **Signaling** — [`signal`] defines the extended-community grammar
 //!   members use to express blackholing rules over plain BGP (§4.2.1,
 //!   §4.3), [`portal`] the self-service catalog of predefined and custom
-//!   rules;
+//!   rules, and [`flowspec`] the lowering of validated BGP FlowSpec
+//!   rules (the standards-based second signaling plane, RFC 8955/9117)
+//!   into classifier match specs with their own admission plane;
 //! - **Management** — [`controller`] (the blackholing controller: a
 //!   passive iBGP + ADD-PATH listener that diffs RIB snapshots into
 //!   abstract configuration changes), [`config_queue`] (the token-bucket
@@ -31,6 +33,7 @@ pub mod config_queue;
 pub mod controller;
 pub mod detector;
 pub mod faults;
+pub mod flowspec;
 pub mod manager;
 pub mod mitigation;
 pub mod portal;
@@ -50,10 +53,11 @@ pub use faults::{
     DeadLetter, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, RecoveryEvent,
     RetryPolicy,
 };
+pub use flowspec::{FlowSpecPlane, LowerError, FLOWSPEC_RULE_ID_BASE};
 pub use manager::{AdmissionError, NetworkManager};
 pub use portal::CustomerPortal;
 pub use qos_manager::QosNetworkManager;
-pub use rule::{BlackholingRule, RuleAction};
+pub use rule::{BlackholingRule, RuleAction, RuleMatcher};
 pub use sdn_manager::SdnNetworkManager;
 pub use signal::{MatchKind, StellarSignal};
 pub use system::{ReconcileReport, StellarSystem};

@@ -128,12 +128,12 @@ mod tests {
     }
 
     fn rule(id: u64, owner: u32) -> AbstractChange {
-        AbstractChange::AddRule(BlackholingRule {
+        AbstractChange::AddRule(BlackholingRule::from_signal(
             id,
-            owner: Asn(owner),
-            victim: "100.10.10.10/32".parse().unwrap(),
-            signal: StellarSignal::drop_udp_src(123),
-        })
+            Asn(owner),
+            "100.10.10.10/32".parse().unwrap(),
+            StellarSignal::drop_udp_src(123),
+        ))
     }
 
     #[test]
@@ -202,12 +202,12 @@ mod tests {
     fn per_port_limit_maps_to_admission_error() {
         let (mut router, mut mgr) = setup(); // lab: 8 rules/port
         for i in 0..8 {
-            let ch = AbstractChange::AddRule(BlackholingRule {
-                id: i,
-                owner: Asn(64500),
-                victim: "100.10.10.10/32".parse().unwrap(),
-                signal: StellarSignal::drop_udp_src(i as u16),
-            });
+            let ch = AbstractChange::AddRule(BlackholingRule::from_signal(
+                i,
+                Asn(64500),
+                "100.10.10.10/32".parse().unwrap(),
+                StellarSignal::drop_udp_src(i as u16),
+            ));
             mgr.apply(&mut router, &ch, 0).unwrap();
         }
         assert_eq!(

@@ -66,12 +66,12 @@ mod tests {
     use stellar_net::proto::IpProtocol;
 
     fn add(id: u64) -> AbstractChange {
-        AbstractChange::AddRule(BlackholingRule {
+        AbstractChange::AddRule(BlackholingRule::from_signal(
             id,
-            owner: Asn(64500),
-            victim: "100.10.10.10/32".parse().unwrap(),
-            signal: StellarSignal::drop_udp_src(123),
-        })
+            Asn(64500),
+            "100.10.10.10/32".parse().unwrap(),
+            StellarSignal::drop_udp_src(123),
+        ))
     }
 
     #[test]

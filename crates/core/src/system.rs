@@ -24,17 +24,23 @@ use crate::audit::{audit_batch, AuditRejection};
 use crate::config_queue::{ConfigChangeQueue, QueuedChange};
 use crate::controller::{AbstractChange, BlackholingController, DegradeOutcome};
 use crate::faults::{DeadLetter, FaultEvent, FaultInjector, FaultKind, RecoveryEvent, RetryPolicy};
+use crate::flowspec::{FlowSpecPlane, LowerError};
 use crate::manager::{AdmissionError, NetworkManager};
 use crate::qos_manager::QosNetworkManager;
 use crate::signal::StellarSignal;
 use crate::telemetry::{rule_telemetry, RuleTelemetry};
 use std::collections::{BTreeMap, HashSet};
+use stellar_bgp::attr::{AsPath, PathAttribute};
+use stellar_bgp::extcommunity::ExtendedCommunity;
+use stellar_bgp::flowspec::FlowSpec;
 use stellar_bgp::types::Asn;
+use stellar_bgp::update::UpdateMessage;
 use stellar_dataplane::qos::TickResult;
 use stellar_dataplane::switch::{OfferedAggregate, PortId};
 use stellar_net::prefix::Prefix;
 use stellar_obs::Obs;
 use stellar_routeserver::policy::RejectReason;
+use stellar_routeserver::FlowSpecRejectReason;
 use stellar_sim::topology::IxpTopology;
 
 /// Outcome of one member signal.
@@ -46,6 +52,19 @@ pub struct SignalOutcome {
     pub rejections: Vec<(Prefix, RejectReason)>,
     /// Rules refused by the static batch audit (shadowed or conflicting
     /// on the owner's egress port) before reaching the queue.
+    pub audit_rejections: Vec<(u64, AuditRejection)>,
+}
+
+/// Outcome of one member FlowSpec announcement or withdrawal.
+#[derive(Debug, Default)]
+pub struct FlowSpecOutcome {
+    /// Changes accepted into the configuration queue.
+    pub queued_changes: usize,
+    /// NLRIs refused by the RFC 9117 validation procedure.
+    pub rejections: Vec<(FlowSpec, FlowSpecRejectReason)>,
+    /// NLRIs that validated but could not be lowered exactly.
+    pub lowering_errors: Vec<(FlowSpec, LowerError)>,
+    /// Lowered rules refused by the static batch audit.
     pub audit_rejections: Vec<(u64, AuditRejection)>,
 }
 
@@ -73,6 +92,8 @@ pub struct StellarSystem {
     pub ixp: IxpTopology,
     /// The blackholing controller.
     pub controller: BlackholingController,
+    /// Desired state of the FlowSpec signaling plane (lowered rules).
+    pub flowspec: FlowSpecPlane,
     /// The token-bucket configuration queue.
     pub queue: ConfigChangeQueue,
     /// The QoS network manager.
@@ -106,6 +127,7 @@ impl StellarSystem {
         StellarSystem {
             ixp,
             controller: BlackholingController::new(ixp_asn),
+            flowspec: FlowSpecPlane::new(),
             queue: ConfigChangeQueue::production(queue_rate_per_s),
             manager,
             retry: RetryPolicy::default(),
@@ -152,6 +174,127 @@ impl StellarSystem {
         outcome
     }
 
+    /// A member signals over BGP FlowSpec instead of the Stellar
+    /// community grammar: one MP_REACH update under SAFI 133 carrying
+    /// `flow` and its action extended communities. The route server
+    /// applies the RFC 9117 validation procedure, accepted NLRIs are
+    /// lowered to exact match specs, and the lowered rules go through
+    /// the same audit + queue admission path as signal-derived rules.
+    pub fn member_flowspec(
+        &mut self,
+        member: Asn,
+        flow: FlowSpec,
+        actions: &[ExtendedCommunity],
+        now_us: u64,
+    ) -> FlowSpecOutcome {
+        let afi = flow.afi;
+        let mut update = UpdateMessage {
+            withdrawn: vec![],
+            attrs: vec![
+                PathAttribute::AsPath(AsPath::sequence([member.0])),
+                PathAttribute::MpReachFlowSpec {
+                    afi,
+                    nlri: vec![flow],
+                },
+            ],
+            nlri: vec![],
+        };
+        if !actions.is_empty() {
+            update.add_extended_communities(actions);
+        }
+        let rs_out = self
+            .ixp
+            .route_server
+            .handle_flowspec_update(member, &update);
+        self.admit_flowspec_output(rs_out, now_us)
+    }
+
+    /// A member withdraws a FlowSpec rule (MP_UNREACH, SAFI 133): every
+    /// match spec it lowered to is queued for removal.
+    pub fn member_flowspec_withdraw(
+        &mut self,
+        member: Asn,
+        flow: FlowSpec,
+        now_us: u64,
+    ) -> FlowSpecOutcome {
+        let afi = flow.afi;
+        let update = UpdateMessage {
+            withdrawn: vec![],
+            attrs: vec![PathAttribute::MpUnreachFlowSpec {
+                afi,
+                nlri: vec![flow],
+            }],
+            nlri: vec![],
+        };
+        let rs_out = self
+            .ixp
+            .route_server
+            .handle_flowspec_update(member, &update);
+        self.admit_flowspec_output(rs_out, now_us)
+    }
+
+    /// Admits the route server's FlowSpec output into the change queue:
+    /// withdrawals first (RFC 4271 processing order), then accepted
+    /// announcements through lowering and the static batch audit. Every
+    /// fate increments its `flowspec.*` counter.
+    fn admit_flowspec_output(
+        &mut self,
+        rs_out: stellar_routeserver::FlowSpecOutput,
+        now_us: u64,
+    ) -> FlowSpecOutcome {
+        let mut outcome = FlowSpecOutcome::default();
+        for (owner, flow) in &rs_out.withdrawn {
+            let removals = self.flowspec.withdraw(*owner, flow);
+            // Counted per NLRI (like `flowspec.accepted`), not per
+            // lowered rule; a withdraw of an unknown NLRI counts zero.
+            if !removals.is_empty() {
+                self.obs.registry.counter_inc("flowspec.withdrawn");
+            }
+            outcome.queued_changes += removals.len();
+            self.queue.enqueue_group(removals, now_us);
+        }
+        for (flow, reason) in rs_out.rejections {
+            self.obs
+                .registry
+                .counter_inc("flowspec.rejected_validation");
+            self.obs.event(
+                now_us,
+                "flowspec.rejected",
+                vec![("reason".to_string(), reason.describe().to_string())],
+            );
+            outcome.rejections.push((flow, reason));
+        }
+        for acc in rs_out.accepted {
+            match self.flowspec.install(&acc) {
+                Err(e) => {
+                    self.obs.registry.counter_inc("flowspec.rejected_lowering");
+                    self.obs.event(
+                        now_us,
+                        "flowspec.rejected",
+                        vec![("reason".to_string(), e.describe().to_string())],
+                    );
+                    outcome.lowering_errors.push((acc.flow, e));
+                }
+                Ok(mut changes) => {
+                    let before = outcome.audit_rejections.len();
+                    self.audit_changes(&mut changes, &mut outcome.audit_rejections, now_us);
+                    let audit_rejected = outcome.audit_rejections.len() - before;
+                    self.obs
+                        .registry
+                        .counter_add("flowspec.rejected_audit", audit_rejected as u64);
+                    if audit_rejected == 0 {
+                        self.obs.registry.counter_inc("flowspec.accepted");
+                    }
+                    outcome.queued_changes += changes.len();
+                    // Like a same-path signal swap: the specs of one NLRI
+                    // install atomically.
+                    self.queue.enqueue_group(changes, now_us);
+                }
+            }
+        }
+        outcome
+    }
+
     /// Static batch audit (see [`crate::audit`]): analyzes the proposed
     /// adds against the owner's full desired rule table, refuses the ones
     /// that come back shadowed or crossing-conflicted (they leave desired
@@ -175,13 +318,15 @@ impl StellarSystem {
         if candidate_ids.is_empty() {
             return;
         }
-        let audit = audit_batch(
-            &self.ixp.router,
-            &self.controller.desired_rules(),
-            &candidate_ids,
-        );
+        // Signal-derived and FlowSpec-derived rules share each owner's
+        // egress port, so the audit sees the union of both planes.
+        let mut desired = self.controller.desired_rules();
+        desired.extend(self.flowspec.desired_rules());
+        let audit = audit_batch(&self.ixp.router, &desired, &candidate_ids);
         for (rule_id, rejection) in &audit.rejected {
-            self.controller.rule_refused(*rule_id);
+            if !self.controller.rule_refused(*rule_id) {
+                self.flowspec.rule_refused(*rule_id);
+            }
             changes.retain(|c| !matches!(c, AbstractChange::AddRule(r) if r.id == *rule_id));
             let (counter, detail) = match rejection {
                 AuditRejection::Shadowed { by } => (
@@ -331,7 +476,10 @@ impl StellarSystem {
             FaultKind::SessionDown => {
                 // The controller can no longer trust its feed: fall back
                 // to plain forwarding by removing every rule (§4.1.2).
-                let removals = self.controller.session_down();
+                // Both signaling planes ride the same iBGP session, so
+                // the FlowSpec plane flushes too.
+                let mut removals = self.controller.session_down();
+                removals.extend(self.flowspec.flush());
                 self.queue.enqueue_group(removals, now_us);
             }
             FaultKind::SessionUp => {
@@ -344,6 +492,21 @@ impl StellarSystem {
                     let emitted = self.controller.process_update(u);
                     changes += emitted.len();
                     self.queue.enqueue_group(emitted, now_us);
+                }
+                // The FlowSpec RIB also survived at the route server:
+                // re-lower every accepted rule (fresh ids, same specs).
+                let accepted: Vec<_> = self
+                    .ixp
+                    .route_server
+                    .flowspec_routes()
+                    .into_iter()
+                    .cloned()
+                    .collect();
+                for acc in accepted {
+                    if let Ok(emitted) = self.flowspec.install(&acc) {
+                        changes += emitted.len();
+                        self.queue.enqueue_group(emitted, now_us);
+                    }
                 }
                 self.log.push(RecoveryEvent::Resynced {
                     at_us: now_us,
@@ -393,15 +556,27 @@ impl StellarSystem {
         }
         // Retry budget exhausted (or the error was permanent). TCAM
         // exhaustion gets one more option: trade precision for fit.
-        if error.is_degradable() {
+        if error.is_degradable()
+            && matches!(&qc.change, AbstractChange::AddRule(r) if r.signal().is_none())
+        {
+            // FlowSpec-derived rules have no degradation ladder: widening
+            // a lowered spec would silently match traffic the member
+            // never asked to filter — exactly what exact lowering
+            // forbids. Straight to dead-letter, desired state dropped.
+            if let AbstractChange::AddRule(rule) = &qc.change {
+                self.flowspec.rule_refused(rule.id);
+            }
+        } else if error.is_degradable() {
             if let AbstractChange::AddRule(rule) = &qc.change {
                 match self.controller.degrade_rule(rule.id) {
                     DegradeOutcome::Degraded(coarser) => {
-                        self.log.push(RecoveryEvent::Degraded {
-                            at_us: now_us,
-                            rule_id: coarser.id,
-                            to: coarser.signal,
-                        });
+                        if let Some(to) = coarser.signal() {
+                            self.log.push(RecoveryEvent::Degraded {
+                                at_us: now_us,
+                                rule_id: coarser.id,
+                                to,
+                            });
+                        }
                         self.obs.registry.counter_inc("core.degrades");
                         self.obs.spans.abandon("retry", rule_id);
                         // Fresh change, fresh retry budget: the ladder
@@ -421,7 +596,9 @@ impl StellarSystem {
             // Permanent refusal: drop the rule from desired state so
             // rule_count()/telemetry reflect hardware reality and the
             // reconciler stops trying to repair it.
-            self.controller.rule_refused(rule.id);
+            if !self.controller.rule_refused(rule.id) {
+                self.flowspec.rule_refused(rule.id);
+            }
         }
         self.log.push(RecoveryEvent::DeadLettered {
             at_us: now_us,
@@ -474,7 +651,8 @@ impl StellarSystem {
                 AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
             });
         }
-        let desired = self.controller.desired_rules();
+        let mut desired = self.controller.desired_rules();
+        desired.extend(self.flowspec.desired_rules());
         let desired_ids: HashSet<u64> = desired.iter().map(|r| r.id).collect();
         // Desired but missing from hardware: re-queue the install.
         for rule in desired {
@@ -538,7 +716,8 @@ impl StellarSystem {
                 installed.insert(rule.id);
             }
         }
-        let desired = self.controller.desired_rules();
+        let mut desired = self.controller.desired_rules();
+        desired.extend(self.flowspec.desired_rules());
         desired.len() == installed.len() && desired.iter().all(|r| installed.contains(&r.id))
     }
 
@@ -573,6 +752,7 @@ impl StellarSystem {
         reg.gauge_set("core.queue.backlog", self.queue.backlog() as i64);
         reg.gauge_set("core.queue.deferred", self.queue.deferred_len() as i64);
         reg.gauge_set("core.active_rules", self.manager.installed_rules() as i64);
+        reg.gauge_set("core.flowspec_rules", self.flowspec.rule_count() as i64);
         reg.gauge_set("core.dead_letters", self.dead_letters.len() as i64);
     }
 
@@ -785,6 +965,108 @@ mod tests {
         );
         sys.pump(0);
         assert_eq!(sys.active_rules(), 2);
+    }
+
+    fn fs_flow() -> FlowSpec {
+        use stellar_bgp::flowspec::{Component, NumericOp};
+        FlowSpec::new(
+            stellar_bgp::types::Afi::Ipv4,
+            vec![
+                Component::DstPrefix(victim()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+                Component::SrcPort(vec![NumericOp::equals(123)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_flowspec_installs_rule_and_drops_attack() {
+        let mut sys = system();
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        let out = sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 0);
+        assert!(out.rejections.is_empty(), "{:?}", out.rejections);
+        assert!(out.lowering_errors.is_empty(), "{:?}", out.lowering_errors);
+        assert!(out.audit_rejections.is_empty());
+        assert_eq!(out.queued_changes, 1);
+        assert_eq!(sys.obs.registry.counter("flowspec.accepted"), 1);
+        assert_eq!(sys.pump(0), 1);
+        assert_eq!(sys.active_rules(), 1);
+        assert!(sys.is_converged());
+
+        let results = sys.traffic_tick(&[ntp_offer(1_000_000)], 1_000_000, 1_000_000);
+        let port = sys.ixp.member(Asn(64500)).unwrap().port;
+        assert_eq!(results[&port].counters.dropped_bytes, 1_000_000);
+        assert_eq!(results[&port].counters.forwarded_bytes, 0);
+    }
+
+    #[test]
+    fn flowspec_from_non_owner_is_rejected() {
+        let mut sys = system();
+        let drop = ExtendedCommunity::traffic_rate(64501, 0.0);
+        // 64501 does not own 100.10.10.0/24.
+        let out = sys.member_flowspec(Asn(64501), fs_flow(), &[drop], 0);
+        assert_eq!(out.queued_changes, 0);
+        assert_eq!(out.rejections.len(), 1);
+        assert_eq!(sys.obs.registry.counter("flowspec.rejected_validation"), 1);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 0);
+    }
+
+    #[test]
+    fn flowspec_withdraw_removes_lowered_rules() {
+        let mut sys = system();
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 0);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 1);
+        let out = sys.member_flowspec_withdraw(Asn(64500), fs_flow(), 1_000_000);
+        assert_eq!(out.queued_changes, 1);
+        sys.pump(1_000_000);
+        assert_eq!(sys.active_rules(), 0);
+        assert!(sys.is_converged());
+    }
+
+    #[test]
+    fn flowspec_shadowed_by_signal_rule_is_audit_refused() {
+        let mut sys = system();
+        // A signal-derived drop-all on the victim's port...
+        sys.member_signal(Asn(64500), victim(), &[StellarSignal::drop_all()], 0);
+        assert_eq!(sys.pump(0), 1);
+        // ...shadows the narrower FlowSpec rule: the two planes audit as
+        // one table per owner.
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        let out = sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 1);
+        assert_eq!(out.queued_changes, 0);
+        assert_eq!(out.audit_rejections.len(), 1);
+        assert_eq!(sys.obs.registry.counter("flowspec.rejected_audit"), 1);
+        assert_eq!(sys.obs.registry.counter("flowspec.accepted"), 0);
+        sys.pump(1);
+        assert_eq!(sys.active_rules(), 1);
+        assert!(sys.is_converged());
+        assert!(sys.reconcile(2).is_clean());
+    }
+
+    #[test]
+    fn unlowerable_flowspec_is_counted_not_installed() {
+        use stellar_bgp::flowspec::{BitmaskOp, Component};
+        let mut sys = system();
+        let flow = FlowSpec::new(
+            stellar_bgp::types::Afi::Ipv4,
+            vec![
+                Component::DstPrefix(victim()),
+                Component::TcpFlags(vec![BitmaskOp::new(false, false, true, 0x02)]),
+            ],
+        )
+        .unwrap();
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        let out = sys.member_flowspec(Asn(64500), flow, &[drop], 0);
+        assert_eq!(out.queued_changes, 0);
+        assert_eq!(out.lowering_errors.len(), 1);
+        assert_eq!(sys.obs.registry.counter("flowspec.rejected_lowering"), 1);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 0);
+        assert!(sys.is_converged());
     }
 
     #[test]

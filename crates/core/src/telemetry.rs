@@ -80,12 +80,12 @@ mod tests {
         mgr.register_owner(Asn(64500), PortId(1));
         mgr.apply(
             &mut router,
-            &AbstractChange::AddRule(BlackholingRule {
-                id: 1,
-                owner: Asn(64500),
-                victim: "100.10.10.10/32".parse().unwrap(),
-                signal: StellarSignal::shape_udp_src(123, 200),
-            }),
+            &AbstractChange::AddRule(BlackholingRule::from_signal(
+                1,
+                Asn(64500),
+                "100.10.10.10/32".parse().unwrap(),
+                StellarSignal::shape_udp_src(123, 200),
+            )),
             0,
         )
         .unwrap();

@@ -53,7 +53,15 @@ pub const SCANNED_CRATES: &[&str] = &[
 
 /// Crates whose non-test code must be deterministic: clocked off
 /// simulation time, randomness always seeded.
-pub const DETERMINISTIC_CRATES: &[&str] = &["sim", "core", "dataplane", "obs", "classify", "bgp"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "sim",
+    "core",
+    "dataplane",
+    "obs",
+    "classify",
+    "bgp",
+    "routeserver",
+];
 
 /// Recursively collects `.rs` files under `dir`, sorted for
 /// deterministic output.

@@ -1,0 +1,301 @@
+//! FlowSpec announcement validation at the route server (RFC 9117).
+//!
+//! RFC 8955 left FlowSpec open to the same abuse as unfiltered RTBH: any
+//! peer could announce a rule matching someone else's traffic. RFC 9117
+//! tightens the validation procedure: a Flow Specification is usable only
+//! if its embedded destination prefix is present and its originator is
+//! the (unicast) originator of that destination prefix. In the simulated
+//! IXP's trust model the unicast best-path check maps onto the IRR
+//! database the route server already enforces for unicast announcements
+//! (§4.3): the FlowSpec originator must hold a route object covering the
+//! embedded destination prefix.
+
+use crate::policy::ImportPolicy;
+use crate::rpki::RpkiStatus;
+use std::collections::BTreeMap;
+use stellar_bgp::extcommunity::ExtendedCommunity;
+use stellar_bgp::flowspec::FlowSpec;
+use stellar_bgp::types::Asn;
+
+/// Why a FlowSpec announcement was rejected on import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowSpecRejectReason {
+    /// The NLRI has no destination-prefix component, so the RFC 9117
+    /// validation procedure cannot anchor it to an originator.
+    MissingDestPrefix,
+    /// The AS_PATH's first hop is not the announcing peer.
+    PathMismatch,
+    /// The originator holds no IRR route object covering the embedded
+    /// destination prefix — the trust-model analogue of RFC 9117's
+    /// "originator of the best-match unicast route" check.
+    OriginatorMismatch,
+    /// RPKI validation of (destination prefix, originator) is Invalid.
+    RpkiInvalid,
+}
+
+impl FlowSpecRejectReason {
+    /// Stable metric-key token for this reason.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            FlowSpecRejectReason::MissingDestPrefix => "missing-dest-prefix",
+            FlowSpecRejectReason::PathMismatch => "path-mismatch",
+            FlowSpecRejectReason::OriginatorMismatch => "originator-mismatch",
+            FlowSpecRejectReason::RpkiInvalid => "rpki-invalid",
+        }
+    }
+}
+
+/// Validates a FlowSpec announcement by `peer` whose AS_PATH starts with
+/// `first_as` and originates at `origin` (both `None` when the update
+/// carried no AS_PATH, as with iBGP-learned locals — the peer itself is
+/// then taken as originator).
+pub fn validate_flowspec(
+    policy: &ImportPolicy,
+    peer: Asn,
+    first_as: Option<Asn>,
+    origin: Option<Asn>,
+    flow: &FlowSpec,
+) -> Result<(), FlowSpecRejectReason> {
+    let Some(dst) = flow.dst_prefix() else {
+        return Err(FlowSpecRejectReason::MissingDestPrefix);
+    };
+    if let Some(first) = first_as {
+        if first != peer {
+            return Err(FlowSpecRejectReason::PathMismatch);
+        }
+    }
+    let origin = origin.unwrap_or(peer);
+    if !policy.irr.validates(&dst, origin) {
+        return Err(FlowSpecRejectReason::OriginatorMismatch);
+    }
+    if policy.reject_rpki_invalid && policy.rpki.validate(&dst, origin) == RpkiStatus::Invalid {
+        return Err(FlowSpecRejectReason::RpkiInvalid);
+    }
+    Ok(())
+}
+
+/// Returns the FlowSpec action extended communities (RFC 8955 §7)
+/// carried by an update, in announcement order.
+pub fn action_communities(all: &[ExtendedCommunity]) -> Vec<ExtendedCommunity> {
+    all.iter()
+        .filter(|ec| {
+            matches!(
+                ec,
+                ExtendedCommunity::TrafficRate { .. }
+                    | ExtendedCommunity::TrafficAction { .. }
+                    | ExtendedCommunity::RedirectAs2 { .. }
+                    | ExtendedCommunity::TrafficMarking { .. }
+            )
+        })
+        .cloned()
+        .collect()
+}
+
+/// One FlowSpec rule accepted from a member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedFlowSpec {
+    /// The announcing member (validated as originator).
+    pub owner: Asn,
+    /// The flow specification.
+    pub flow: FlowSpec,
+    /// Its action extended communities, in announcement order.
+    pub actions: Vec<ExtendedCommunity>,
+}
+
+/// What handling one member FlowSpec UPDATE produced. Unlike unicast
+/// routes, FlowSpec rules are *not* reflected to the other members — like
+/// Stellar signals they flow south to the blackholing controller only —
+/// so there is no exports field.
+#[derive(Debug, Default)]
+pub struct FlowSpecOutput {
+    /// Rules that passed validation (announced or re-announced).
+    pub accepted: Vec<AcceptedFlowSpec>,
+    /// Rules actually removed by MP_UNREACH withdrawals.
+    pub withdrawn: Vec<(Asn, FlowSpec)>,
+    /// Announcements refused by the RFC 9117 procedure.
+    pub rejections: Vec<(FlowSpec, FlowSpecRejectReason)>,
+}
+
+/// FlowSpec import statistics (exposed via the looking glass).
+#[derive(Debug, Default, Clone)]
+pub struct FlowSpecStats {
+    /// FlowSpec NLRI entries received from members (accepted or not).
+    pub announced: u64,
+    /// Accepted entries.
+    pub accepted: u64,
+    /// Withdrawals that actually removed a rule (explicit withdrawals
+    /// plus session-down flushes; duplicate withdrawals do not count).
+    pub withdrawn: u64,
+    /// Rejected entries by reason token.
+    pub rejected: BTreeMap<&'static str, u64>,
+}
+
+impl FlowSpecStats {
+    /// Publishes the FlowSpec import counters under
+    /// `routeserver.flowspec.*`.
+    pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
+        reg.counter_set("routeserver.flowspec.announced", self.announced);
+        reg.counter_set("routeserver.flowspec.accepted", self.accepted);
+        reg.counter_set("routeserver.flowspec.withdrawn", self.withdrawn);
+        let total_rejected: u64 = self.rejected.values().sum();
+        reg.counter_set("routeserver.flowspec.rejected", total_rejected);
+        for (reason, n) in &self.rejected {
+            reg.counter_set(&format!("routeserver.flowspec.rejected.{reason}"), *n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irr::IrrDb;
+    use crate::rpki::{Roa, RpkiTable};
+    use stellar_bgp::flowspec::{Component, NumericOp};
+    use stellar_bgp::types::Afi;
+
+    const MEMBER: Asn = Asn(64500);
+
+    fn policy() -> ImportPolicy {
+        let mut irr = IrrDb::new();
+        irr.register("100.10.10.0/24".parse().unwrap(), MEMBER);
+        ImportPolicy::new(irr, RpkiTable::new())
+    }
+
+    fn victim_flow() -> FlowSpec {
+        FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn owner_flowspec_is_accepted() {
+        let pol = policy();
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &victim_flow()),
+            Ok(())
+        );
+        // No AS_PATH: the peer is taken as originator.
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, None, None, &victim_flow()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn missing_dest_prefix_is_rejected() {
+        let pol = policy();
+        let flow = FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::IpProtocol(vec![NumericOp::equals(17)])],
+        )
+        .unwrap();
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &flow),
+            Err(FlowSpecRejectReason::MissingDestPrefix)
+        );
+    }
+
+    #[test]
+    fn non_owner_cannot_filter_someone_elses_traffic() {
+        let pol = policy();
+        // Another member tries to blackhole MEMBER's victim address.
+        assert_eq!(
+            validate_flowspec(
+                &pol,
+                Asn(64999),
+                Some(Asn(64999)),
+                Some(Asn(64999)),
+                &victim_flow()
+            ),
+            Err(FlowSpecRejectReason::OriginatorMismatch)
+        );
+    }
+
+    #[test]
+    fn path_spoofing_is_rejected() {
+        let pol = policy();
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(Asn(64999)), Some(MEMBER), &victim_flow()),
+            Err(FlowSpecRejectReason::PathMismatch)
+        );
+    }
+
+    #[test]
+    fn rpki_invalid_dest_prefix_is_rejected() {
+        let mut pol = policy();
+        // A ROA pinning the covering /24 to a different origin makes
+        // MEMBER's (dest, origin) pair Invalid.
+        pol.rpki.add(Roa {
+            prefix: "100.10.10.0/24".parse().unwrap(),
+            max_len: 32,
+            asn: Asn(65000),
+        });
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &victim_flow()),
+            Err(FlowSpecRejectReason::RpkiInvalid)
+        );
+        pol.reject_rpki_invalid = false;
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &victim_flow()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn action_communities_are_filtered_from_the_update() {
+        let all = vec![
+            ExtendedCommunity::TrafficRate {
+                asn: 64500,
+                rate_bits: 0,
+            },
+            ExtendedCommunity::TwoOctetAs {
+                transitive: true,
+                subtype: 2,
+                asn: 6695,
+                local: 666,
+            },
+            ExtendedCommunity::TrafficMarking { dscp: 46 },
+        ];
+        let actions = action_communities(&all);
+        assert_eq!(actions.len(), 2);
+        assert!(actions
+            .iter()
+            .all(|ec| !matches!(ec, ExtendedCommunity::TwoOctetAs { .. })));
+    }
+
+    #[test]
+    fn reject_reasons_have_stable_tokens() {
+        for r in [
+            FlowSpecRejectReason::MissingDestPrefix,
+            FlowSpecRejectReason::PathMismatch,
+            FlowSpecRejectReason::OriginatorMismatch,
+            FlowSpecRejectReason::RpkiInvalid,
+        ] {
+            assert!(!r.describe().is_empty());
+            assert!(!r.describe().contains(' '));
+        }
+    }
+
+    #[test]
+    fn stats_observe_publishes_flowspec_counters() {
+        let stats = FlowSpecStats {
+            announced: 5,
+            accepted: 3,
+            withdrawn: 1,
+            rejected: BTreeMap::from([("missing-dest-prefix", 2)]),
+        };
+        let mut reg = stellar_obs::MetricsRegistry::new();
+        stats.observe(&mut reg);
+        assert_eq!(reg.counter("routeserver.flowspec.announced"), 5);
+        assert_eq!(reg.counter("routeserver.flowspec.rejected"), 2);
+        assert_eq!(
+            reg.counter("routeserver.flowspec.rejected.missing-dest-prefix"),
+            2
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //!   databases, BOGONS, and RPKI validation", §4.3);
 //! - [`policy`] — the import policy combining them, including the
 //!   more-specific-than-/24 exception for blackhole-tagged host routes;
+//! - [`flowspec`] — RFC 9117 validation of FlowSpec (SAFI 133)
+//!   announcements: a member may only announce flow rules whose embedded
+//!   destination prefix it is the validated originator of;
 //! - [`control`] — route-server action communities (announce to
 //!   all / none / selected peers) and their classification, which is what
 //!   Fig. 3(b) measures;
@@ -19,6 +22,7 @@
 
 pub mod bogon;
 pub mod control;
+pub mod flowspec;
 pub mod irr;
 pub mod looking_glass;
 pub mod policy;
@@ -26,6 +30,9 @@ pub mod rpki;
 pub mod server;
 
 pub use control::{classify_scope, should_announce, PolicyScope};
+pub use flowspec::{
+    validate_flowspec, AcceptedFlowSpec, FlowSpecOutput, FlowSpecRejectReason, FlowSpecStats,
+};
 pub use irr::IrrDb;
 pub use policy::{ImportPolicy, RejectReason};
 pub use rpki::{RpkiStatus, RpkiTable};

@@ -9,6 +9,9 @@
 //! members only what the action communities allow.
 
 use crate::control::should_announce;
+use crate::flowspec::{
+    action_communities, validate_flowspec, AcceptedFlowSpec, FlowSpecOutput, FlowSpecStats,
+};
 use crate::policy::{ImportPolicy, RejectReason};
 use std::collections::{BTreeMap, HashMap};
 use stellar_bgp::attr::PathAttribute;
@@ -57,6 +60,10 @@ pub struct RouteServerOutput {
     pub controller_updates: Vec<UpdateMessage>,
     /// Announcements refused by the import policy.
     pub rejections: Vec<(Prefix, RejectReason)>,
+    /// FlowSpec rules flushed by a session-down event (the only unicast
+    /// code path that also touches the FlowSpec RIB; explicit FlowSpec
+    /// traffic goes through [`RouteServer::handle_flowspec_update`]).
+    pub flowspec_withdrawn: Vec<(Asn, stellar_bgp::flowspec::FlowSpec)>,
 }
 
 /// Import statistics (exposed via the looking glass).
@@ -104,6 +111,11 @@ pub struct RouteServer {
     path_ids: HashMap<(Asn, Prefix), u32>,
     next_path_id: u32,
     stats: ImportStats,
+    /// Accepted FlowSpec rules keyed by (owner, canonical NLRI bytes):
+    /// re-announcing the same NLRI replaces the stored actions, as BGP
+    /// implicit-withdraw semantics require.
+    flowspec_rib: BTreeMap<(Asn, Vec<u8>), AcceptedFlowSpec>,
+    flowspec_stats: FlowSpecStats,
 }
 
 impl RouteServer {
@@ -116,6 +128,8 @@ impl RouteServer {
             path_ids: HashMap::new(),
             next_path_id: 1,
             stats: ImportStats::default(),
+            flowspec_rib: BTreeMap::new(),
+            flowspec_stats: FlowSpecStats::default(),
         }
     }
 
@@ -129,9 +143,15 @@ impl RouteServer {
         &self.stats
     }
 
+    /// FlowSpec import statistics.
+    pub fn flowspec_stats(&self) -> &FlowSpecStats {
+        &self.flowspec_stats
+    }
+
     /// Publishes the import counters into a metrics registry.
     pub fn observe(&self, reg: &mut stellar_obs::MetricsRegistry) {
         self.stats.observe(reg);
+        self.flowspec_stats.observe(reg);
     }
 
     /// Mutable access to the import policy (IRR/RPKI updates).
@@ -326,6 +346,88 @@ impl RouteServer {
         out
     }
 
+    /// Handles a FlowSpec UPDATE received from `peer` (SAFI 133 riding in
+    /// MP_REACH/MP_UNREACH, RFC 8955): validates each NLRI with the
+    /// RFC 9117 procedure and updates the FlowSpec RIB. Accepted rules
+    /// are returned for the southbound feed to the blackholing
+    /// controller; like Stellar signals they are *not* reflected to the
+    /// other members.
+    pub fn handle_flowspec_update(&mut self, peer: Asn, update: &UpdateMessage) -> FlowSpecOutput {
+        let mut out = FlowSpecOutput::default();
+        if !self.peers.contains_key(&peer) {
+            return out; // unknown peer: drop silently (session layer
+                        // should have prevented this)
+        }
+
+        // Withdrawals first (RFC 4271 processing order). Duplicate
+        // withdrawals remove nothing and count nothing.
+        for a in &update.attrs {
+            let PathAttribute::MpUnreachFlowSpec { nlri, .. } = a else {
+                continue;
+            };
+            for flow in nlri {
+                let Ok(key) = flow.to_wire() else {
+                    continue;
+                };
+                if let Some(removed) = self.flowspec_rib.remove(&(peer, key)) {
+                    self.flowspec_stats.withdrawn += 1;
+                    out.withdrawn.push((peer, removed.flow));
+                }
+            }
+        }
+
+        // Announcements.
+        let update_path = update.attrs.iter().find_map(|a| match a {
+            PathAttribute::AsPath(p) => Some(p.clone()),
+            _ => None,
+        });
+        let first_as = update_path.as_ref().and_then(|p| p.first_as());
+        let origin_as = update_path.as_ref().and_then(|p| p.origin_as());
+        let actions = action_communities(update.extended_communities());
+        for a in &update.attrs {
+            let PathAttribute::MpReachFlowSpec { nlri, .. } = a else {
+                continue;
+            };
+            for flow in nlri {
+                self.flowspec_stats.announced += 1;
+                if let Err(reason) =
+                    validate_flowspec(&self.policy, peer, first_as, origin_as, flow)
+                {
+                    *self
+                        .flowspec_stats
+                        .rejected
+                        .entry(reason.describe())
+                        .or_insert(0) += 1;
+                    out.rejections.push((flow.clone(), reason));
+                    continue;
+                }
+                // A decoded NLRI always fits the wire-length bound again;
+                // guard rather than panic for hand-built oversize flows.
+                let Ok(key) = flow.to_wire() else {
+                    continue;
+                };
+                self.flowspec_stats.accepted += 1;
+                let accepted = AcceptedFlowSpec {
+                    owner: peer,
+                    flow: flow.clone(),
+                    actions: actions.clone(),
+                };
+                // Re-announcement of the same NLRI is an implicit
+                // withdraw: the stored actions are replaced.
+                self.flowspec_rib.insert((peer, key), accepted.clone());
+                out.accepted.push(accepted);
+            }
+        }
+        out
+    }
+
+    /// The FlowSpec rules currently accepted, in (owner, canonical NLRI)
+    /// order (looking glass support, and the controller's resync source
+    /// after an iBGP session flap).
+    pub fn flowspec_routes(&self) -> Vec<&AcceptedFlowSpec> {
+        self.flowspec_rib.values().collect()
+    }
+
     /// Handles a ROUTE-REFRESH from `target` (RFC 2918): rebuilds the
     /// member's entire view — every other peer's routes, subject to the
     /// same action-community scoping and blackhole next-hop rewriting as
@@ -411,6 +513,19 @@ impl RouteServer {
             }
             if let Some(pid) = self.path_ids.remove(&(peer, prefix)) {
                 out.controller_updates.push(withdraw_msg(prefix, Some(pid)));
+            }
+        }
+        // A downed session takes its FlowSpec rules with it.
+        let flow_keys: Vec<(Asn, Vec<u8>)> = self
+            .flowspec_rib
+            .keys()
+            .filter(|(owner, _)| *owner == peer)
+            .cloned()
+            .collect();
+        for key in flow_keys {
+            if let Some(removed) = self.flowspec_rib.remove(&key) {
+                self.flowspec_stats.withdrawn += 1;
+                out.flowspec_withdrawn.push((peer, removed.flow));
             }
         }
         out
@@ -769,6 +884,169 @@ mod tests {
         let mut rs = server_with_peers(&[64500]);
         let out = rs.handle_update(Asn(9999), &announce("100.10.10.0/24", 9999, &[]), 0);
         assert!(out.exports.is_empty() && out.rejections.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod flowspec_tests {
+    use super::*;
+    use crate::flowspec::FlowSpecRejectReason;
+    use crate::irr::IrrDb;
+    use crate::rpki::RpkiTable;
+    use stellar_bgp::attr::AsPath;
+    use stellar_bgp::extcommunity::ExtendedCommunity;
+    use stellar_bgp::flowspec::{Component, FlowSpec, NumericOp};
+
+    fn server() -> RouteServer {
+        let mut irr = IrrDb::new();
+        irr.register("100.10.10.0/24".parse().unwrap(), Asn(64500));
+        let policy = ImportPolicy::new(irr, RpkiTable::new());
+        let mut rs = RouteServer::new(RouteServerConfig::l_ixp(), policy);
+        rs.add_peer(Asn(64500), Ipv4Address::new(80, 81, 192, 1));
+        rs.add_peer(Asn(64501), Ipv4Address::new(80, 81, 192, 2));
+        rs
+    }
+
+    fn victim_flow() -> FlowSpec {
+        FlowSpec::new(
+            Afi::Ipv4,
+            vec![
+                Component::DstPrefix("100.10.10.10/32".parse().unwrap()),
+                Component::IpProtocol(vec![NumericOp::equals(17)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn flowspec_announce(asn: u32, flow: FlowSpec, actions: &[ExtendedCommunity]) -> UpdateMessage {
+        let mut u = UpdateMessage {
+            withdrawn: vec![],
+            attrs: vec![
+                PathAttribute::AsPath(AsPath::sequence([asn])),
+                PathAttribute::MpReachFlowSpec {
+                    afi: Afi::Ipv4,
+                    nlri: vec![flow],
+                },
+            ],
+            nlri: vec![],
+        };
+        if !actions.is_empty() {
+            u.add_extended_communities(actions);
+        }
+        u
+    }
+
+    fn flowspec_withdraw(flow: FlowSpec) -> UpdateMessage {
+        UpdateMessage {
+            withdrawn: vec![],
+            attrs: vec![PathAttribute::MpUnreachFlowSpec {
+                afi: Afi::Ipv4,
+                nlri: vec![flow],
+            }],
+            nlri: vec![],
+        }
+    }
+
+    #[test]
+    fn owner_flowspec_is_accepted_and_installed() {
+        let mut rs = server();
+        let drop_rate = ExtendedCommunity::traffic_rate(64500, 0.0);
+        let out = rs.handle_flowspec_update(
+            Asn(64500),
+            &flowspec_announce(64500, victim_flow(), &[drop_rate]),
+        );
+        assert!(out.rejections.is_empty());
+        assert_eq!(out.accepted.len(), 1);
+        assert_eq!(out.accepted[0].owner, Asn(64500));
+        assert_eq!(out.accepted[0].actions, vec![drop_rate]);
+        assert_eq!(rs.flowspec_routes().len(), 1);
+        assert_eq!(rs.flowspec_stats().accepted, 1);
+    }
+
+    #[test]
+    fn non_owner_flowspec_is_rejected() {
+        let mut rs = server();
+        let out =
+            rs.handle_flowspec_update(Asn(64501), &flowspec_announce(64501, victim_flow(), &[]));
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.rejections.len(), 1);
+        assert_eq!(
+            out.rejections[0].1,
+            FlowSpecRejectReason::OriginatorMismatch
+        );
+        assert!(rs.flowspec_routes().is_empty());
+        assert_eq!(
+            rs.flowspec_stats().rejected.get("originator-mismatch"),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn reannouncement_replaces_actions_in_place() {
+        let mut rs = server();
+        let shape = ExtendedCommunity::traffic_rate(64500, 1_000_000.0);
+        rs.handle_flowspec_update(
+            Asn(64500),
+            &flowspec_announce(64500, victim_flow(), &[shape]),
+        );
+        let drop_rate = ExtendedCommunity::traffic_rate(64500, 0.0);
+        rs.handle_flowspec_update(
+            Asn(64500),
+            &flowspec_announce(64500, victim_flow(), &[drop_rate]),
+        );
+        // One rule, carrying the latest actions (implicit withdraw).
+        let routes = rs.flowspec_routes();
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].actions, vec![drop_rate]);
+        assert_eq!(rs.flowspec_stats().announced, 2);
+    }
+
+    #[test]
+    fn withdrawal_removes_the_rule_once() {
+        let mut rs = server();
+        rs.handle_flowspec_update(Asn(64500), &flowspec_announce(64500, victim_flow(), &[]));
+        let out = rs.handle_flowspec_update(Asn(64500), &flowspec_withdraw(victim_flow()));
+        assert_eq!(out.withdrawn.len(), 1);
+        assert!(rs.flowspec_routes().is_empty());
+        // A duplicate withdrawal removes (and counts) nothing.
+        let out = rs.handle_flowspec_update(Asn(64500), &flowspec_withdraw(victim_flow()));
+        assert!(out.withdrawn.is_empty());
+        assert_eq!(rs.flowspec_stats().withdrawn, 1);
+    }
+
+    #[test]
+    fn peer_down_flushes_flowspec_rules() {
+        let mut rs = server();
+        rs.handle_flowspec_update(Asn(64500), &flowspec_announce(64500, victim_flow(), &[]));
+        let out = rs.peer_down(Asn(64500));
+        assert_eq!(out.flowspec_withdrawn.len(), 1);
+        assert_eq!(out.flowspec_withdrawn[0].0, Asn(64500));
+        assert!(rs.flowspec_routes().is_empty());
+        assert_eq!(rs.flowspec_stats().withdrawn, 1);
+    }
+
+    #[test]
+    fn unknown_peer_flowspec_is_ignored() {
+        let mut rs = server();
+        let out =
+            rs.handle_flowspec_update(Asn(9999), &flowspec_announce(9999, victim_flow(), &[]));
+        assert!(out.accepted.is_empty() && out.rejections.is_empty());
+        assert_eq!(rs.flowspec_stats().announced, 0);
+    }
+
+    #[test]
+    fn observe_publishes_flowspec_counters() {
+        let mut rs = server();
+        rs.handle_flowspec_update(Asn(64500), &flowspec_announce(64500, victim_flow(), &[]));
+        rs.handle_flowspec_update(Asn(64501), &flowspec_announce(64501, victim_flow(), &[]));
+        let mut reg = stellar_obs::MetricsRegistry::new();
+        rs.observe(&mut reg);
+        assert_eq!(reg.counter("routeserver.flowspec.announced"), 2);
+        assert_eq!(reg.counter("routeserver.flowspec.accepted"), 1);
+        assert_eq!(
+            reg.counter("routeserver.flowspec.rejected.originator-mismatch"),
+            1
+        );
     }
 }
 

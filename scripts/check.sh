@@ -51,4 +51,10 @@ STELLAR_SWEEP_SMOKE=1 cargo run --release -q -p stellar-bench --bin scale_sweep 
 echo "==> rule_audit smoke: static rule-table analysis + control-plane batch audit"
 cargo run --release -q -p stellar-bench --bin rule_audit >/dev/null
 
+echo "==> flowspec conformance: hex wire vectors decode/re-encode byte-identically"
+cargo test --release -q -p stellar-bgp --test flowspec_conformance
+
+echo "==> flowspec_signal smoke: FlowSpec episode end-to-end (determinism asserted in-run)"
+cargo run --release -q -p stellar-bench --bin flowspec_signal >/dev/null
+
 echo "All checks passed."

@@ -94,7 +94,7 @@ fn full_wire_path_from_member_to_controller() {
     match &changes[0] {
         AbstractChange::AddRule(rule) => {
             assert_eq!(rule.owner, MEMBER);
-            assert_eq!(rule.signal, StellarSignal::drop_udp_src(123));
+            assert_eq!(rule.signal(), Some(StellarSignal::drop_udp_src(123)));
             assert_eq!(rule.victim, "100.10.10.10/32".parse().unwrap());
         }
         other => panic!("expected AddRule, got {other:?}"),

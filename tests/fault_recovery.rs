@@ -186,7 +186,7 @@ fn tcam_exhaustion_walks_degradation_ladder_to_drop_all() {
         .controller
         .desired_rules()
         .into_iter()
-        .find(|r| r.signal.kind == MatchKind::AllTraffic)
+        .find(|r| r.signal().is_some_and(|s| s.kind == MatchKind::AllTraffic))
         .expect("victim rule degraded to drop-all");
     let steps: Vec<MatchKind> = sys
         .log
