@@ -163,6 +163,15 @@ fn episode() -> EpisodeOutput {
     phases.push(("withdrawn, attack over".into(), vec![0.0, 0.0, rates[0]]));
 
     assert!(sys.is_converged(), "planes must agree with hardware");
+    // One final quiet-state watchdog pass: the whole episode must have
+    // kept every runtime invariant (it feeds the snapshot, so a
+    // violation would also break the byte-determinism gate loudly).
+    sys.watchdog_check(t + 60_000_000);
+    assert!(
+        sys.watchdog.is_clean(),
+        "watchdog violations: {:?}",
+        sys.watchdog.violations()
+    );
     sys.observe(t);
     let snapshot = sys.obs.snapshot_json(t);
 

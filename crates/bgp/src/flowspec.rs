@@ -160,6 +160,26 @@ impl FlowSpec {
     }
 }
 
+/// Deterministically damages an encoded NLRI for fault injection: even
+/// salts flip bits in the length prefix, odd salts truncate the body
+/// mid-NLRI. The result is still "bytes on the wire" — the decoder is
+/// expected to refuse it without poisoning any state keyed on the
+/// original bytes.
+pub fn corrupt_wire(bytes: &[u8], salt: u64) -> Vec<u8> {
+    if bytes.is_empty() {
+        // A lone extended-length marker with no second octet.
+        return vec![0xff];
+    }
+    let mut out = bytes.to_vec();
+    if salt.is_multiple_of(2) || out.len() < 2 {
+        out[0] ^= 0x5a;
+    } else {
+        let keep = 1 + ((salt >> 1) as usize % (out.len() - 1));
+        out.truncate(keep);
+    }
+    out
+}
+
 fn validate_order(components: &[Component]) -> BgpResult<()> {
     for w in components.windows(2) {
         if w[0].type_code() >= w[1].type_code() {
@@ -278,6 +298,21 @@ mod tests {
         // Component runs past the declared NLRI length: length says 3
         // but the port operator needs 4 bytes.
         assert!(FlowSpec::decode(Afi::Ipv4, &[3, 5, 0x91, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_wire_is_deterministic_and_refused() {
+        let wire = dns_ntp_v4().to_wire().unwrap();
+        for salt in 0..16u64 {
+            let a = corrupt_wire(&wire, salt);
+            assert_eq!(a, corrupt_wire(&wire, salt), "same salt, same damage");
+            assert_ne!(a, wire, "damage must change the bytes");
+            assert!(
+                FlowSpec::decode_many(Afi::Ipv4, &a).is_err(),
+                "salt {salt} produced decodable bytes"
+            );
+        }
+        assert!(FlowSpec::decode_many(Afi::Ipv4, &corrupt_wire(&[], 0)).is_err());
     }
 
     #[test]

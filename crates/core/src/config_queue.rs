@@ -42,6 +42,10 @@ pub struct QueuedChange {
     /// Same-path swap-pair marker: members of one group dequeue
     /// atomically.
     pub group: Option<u64>,
+    /// Times this change came back from the dead-letter ladder (bounded
+    /// requeue-with-backoff; distinct from per-pass `attempts`, which
+    /// reset on requeue).
+    pub requeues: u32,
 }
 
 /// Deterministically bounded sample of waiting times: records every
@@ -133,6 +137,7 @@ impl ConfigChangeQueue {
             attempts: 0,
             not_before_us: 0,
             group: None,
+            requeues: 0,
         });
     }
 
@@ -155,8 +160,67 @@ impl ConfigChangeQueue {
                 attempts: 0,
                 not_before_us: 0,
                 group,
+                requeues: 0,
             });
         }
+    }
+
+    /// Like [`ConfigChangeQueue::enqueue_group`], but the changes only
+    /// become dequeueable at `not_before_us` — the delivery-chaos fault
+    /// injects announcement delay here, after validation but before the
+    /// token bucket. Delayed emissions land in the backoff lot, so two
+    /// emissions with different delays reorder against each other while
+    /// each group still dequeues atomically.
+    pub fn enqueue_group_delayed(
+        &mut self,
+        changes: Vec<AbstractChange>,
+        now_us: u64,
+        not_before_us: u64,
+    ) {
+        if not_before_us <= now_us {
+            self.enqueue_group(changes, now_us);
+            return;
+        }
+        let group = if changes.len() >= 2 {
+            let g = self.next_group;
+            self.next_group += 1;
+            Some(g)
+        } else {
+            None
+        };
+        // One insertion point for the whole emission keeps the group
+        // adjacent in the lot, so it later promotes (and dequeues)
+        // together.
+        let at = self
+            .deferred
+            .iter()
+            .position(|d| d.not_before_us > not_before_us)
+            .unwrap_or(self.deferred.len());
+        for (i, change) in changes.into_iter().enumerate() {
+            self.deferred.insert(
+                at + i,
+                QueuedChange {
+                    change,
+                    enqueued_us: now_us,
+                    attempts: 0,
+                    not_before_us,
+                    group,
+                    requeues: 0,
+                },
+            );
+        }
+    }
+
+    /// Readmits a dead-letter-ladder survivor as fresh work: per-pass
+    /// attempts reset, the bounded `requeues` odometer advances, and the
+    /// change re-enters the FIFO at the back.
+    pub fn readmit(&mut self, mut qc: QueuedChange, now_us: u64) {
+        qc.attempts = 0;
+        qc.requeues += 1;
+        qc.not_before_us = 0;
+        qc.group = None;
+        qc.enqueued_us = now_us;
+        self.queue.push_back(qc);
     }
 
     /// Parks a failed change until `not_before_us`, counting the attempt.
@@ -219,9 +283,10 @@ impl ConfigChangeQueue {
                 let Some(qc) = self.queue.pop_front() else {
                     break;
                 };
-                if qc.attempts == 0 {
-                    // Retries would distort the Fig. 10(b) queue-wait
-                    // sample with backoff time; log first passes only.
+                if qc.attempts == 0 && qc.requeues == 0 {
+                    // Retries and dead-letter requeues would distort the
+                    // Fig. 10(b) queue-wait sample with backoff time; log
+                    // first passes only.
                     self.wait_log.record(now_us - qc.enqueued_us);
                 }
                 out.push(qc);
@@ -439,6 +504,53 @@ mod tests {
         let pending: Vec<_> = q.pending().collect();
         assert_eq!(pending.len(), 2);
         assert_eq!(q.backlog(), 2);
+    }
+
+    #[test]
+    fn delayed_groups_reorder_but_stay_atomic() {
+        let mut q = ConfigChangeQueue::new(100.0, 100);
+        // Emission A delayed further than emission B: B overtakes A.
+        q.enqueue_group_delayed(vec![change(1), add(2)], 0, 900_000);
+        q.enqueue_group_delayed(vec![change(3), add(4)], 0, 300_000);
+        assert!(q.dequeue_ready_queued(100_000).is_empty());
+        let got = q.dequeue_ready_queued(1_000_000);
+        let ids: Vec<u64> = got
+            .iter()
+            .map(|qc| match &qc.change {
+                AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+                AbstractChange::AddRule(r) => r.id,
+            })
+            .collect();
+        assert_eq!(ids, vec![3, 4, 1, 2], "later emission delivered first");
+        // Pair adjacency survived the delay (same group markers).
+        assert_eq!(got[0].group, got[1].group);
+        assert!(got[0].group.is_some());
+    }
+
+    #[test]
+    fn undelayed_emission_degenerates_to_plain_enqueue() {
+        let mut q = ConfigChangeQueue::new(100.0, 100);
+        q.enqueue_group_delayed(vec![change(1)], 50, 50);
+        assert_eq!(q.deferred_len(), 0);
+        assert_eq!(q.dequeue_ready_queued(50).len(), 1);
+    }
+
+    #[test]
+    fn readmit_resets_attempts_and_counts_requeues() {
+        let mut q = ConfigChangeQueue::new(100.0, 100);
+        q.enqueue(add(1), 0);
+        let qc = q.dequeue_ready_queued(0).pop().unwrap();
+        q.requeue(qc, 100_000);
+        let qc = q.dequeue_ready_queued(100_000).pop().unwrap();
+        assert_eq!(qc.attempts, 1);
+        q.readmit(qc, 200_000);
+        let got = q.dequeue_ready_queued(200_000);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].attempts, 0, "fresh retry budget after readmit");
+        assert_eq!(got[0].requeues, 1);
+        // Neither the retry pass nor the readmitted pass fed the wait
+        // log — only the first dequeue did.
+        assert_eq!(q.wait_log_us(), &[0]);
     }
 
     #[test]

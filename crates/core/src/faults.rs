@@ -16,6 +16,7 @@ use crate::manager::AdmissionError;
 use crate::signal::StellarSignal;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use stellar_bgp::types::Asn;
 
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +39,48 @@ pub enum FaultKind {
     /// route server's live RIB. Flaps are scripted as a Down/Up pair so
     /// recovery timing stays explicit and deterministic.
     SessionUp,
+    /// A member's eBGP session to the route server drops: the route
+    /// server flushes the peer's unicast routes *and* its FlowSpec rules
+    /// and emits the implicit withdrawals, so every mitigation the peer
+    /// signaled is torn down.
+    PeerDown {
+        /// The member whose session dropped.
+        peer: Asn,
+    },
+    /// The member's session comes back and it re-announces its prefixes.
+    /// Blackholing signals do not return automatically — as on a real
+    /// flap, the member must re-signal.
+    PeerUp {
+        /// The member whose session recovered.
+        peer: Asn,
+    },
+    /// Corrupted/truncated FlowSpec NLRI bytes arrive on the wire from
+    /// `peer`. The strict decoder must refuse them without touching the
+    /// `(peer, wire-bytes)` RIB.
+    FlowSpecCorrupt {
+        /// The peer the garbage appears to come from.
+        peer: Asn,
+        /// Drives the deterministic corruption
+        /// ([`stellar_bgp::flowspec::corrupt_wire`]).
+        salt: u64,
+    },
+    /// Announcement delivery to the fabric degrades for the window:
+    /// every change group enqueued while it is open picks up a
+    /// deterministic pseudo-random delay in `[0, max_delay_us]`, so
+    /// deliveries arrive late and out of order.
+    DeliveryChaos {
+        /// How long the window stays open.
+        duration_us: u64,
+        /// Upper bound of the per-group delivery delay.
+        max_delay_us: u64,
+    },
+    /// The IRR/RPKI validation oracle is unreachable for the window:
+    /// RFC 9117 checks fail closed, and the refused announcements are
+    /// parked for retry with backoff instead of being silently rejected.
+    ValidationBrownout {
+        /// How long the oracle stays dark.
+        duration_us: u64,
+    },
 }
 
 impl FaultKind {
@@ -48,6 +91,11 @@ impl FaultKind {
             FaultKind::RouterRestart => "router_restart",
             FaultKind::SessionDown => "session_down",
             FaultKind::SessionUp => "session_up",
+            FaultKind::PeerDown { .. } => "peer_down",
+            FaultKind::PeerUp { .. } => "peer_up",
+            FaultKind::FlowSpecCorrupt { .. } => "flowspec_corrupt",
+            FaultKind::DeliveryChaos { .. } => "delivery_chaos",
+            FaultKind::ValidationBrownout { .. } => "validation_brownout",
         }
     }
 }
@@ -76,6 +124,19 @@ pub struct FaultPlanConfig {
     pub max_brownout_us: u64,
     /// Session flap outages are drawn from `[1, max_flap_us]`.
     pub max_flap_us: u64,
+    /// Number of member eBGP session flaps (each a PeerDown/PeerUp pair;
+    /// needs a non-empty `peers` pool).
+    pub peer_flaps: u32,
+    /// Number of corrupted FlowSpec NLRI injections (needs `peers`).
+    pub corruptions: u32,
+    /// Number of delayed/reordered delivery windows.
+    pub delivery_windows: u32,
+    /// Number of IRR/RPKI validation-oracle brownouts.
+    pub validation_brownouts: u32,
+    /// Upper bound of the per-group delivery delay in a chaos window.
+    pub max_delivery_delay_us: u64,
+    /// Candidate members for peer-scoped faults; drawn uniformly.
+    pub peers: Vec<Asn>,
 }
 
 impl Default for FaultPlanConfig {
@@ -87,6 +148,12 @@ impl Default for FaultPlanConfig {
             brownouts: 2,
             max_brownout_us: 1_000_000,
             max_flap_us: 2_000_000,
+            peer_flaps: 0,
+            corruptions: 0,
+            delivery_windows: 0,
+            validation_brownouts: 0,
+            max_delivery_delay_us: 1_500_000,
+            peers: Vec::new(),
         }
     }
 }
@@ -143,6 +210,48 @@ impl FaultPlan {
                 },
             });
         }
+        if !cfg.peers.is_empty() {
+            for _ in 0..cfg.peer_flaps {
+                let peer = cfg.peers[rng.random_range(0..cfg.peers.len())];
+                let down = rng.random_range(0..horizon);
+                let outage = rng.random_range(1..=cfg.max_flap_us.max(1));
+                events.push(FaultEvent {
+                    at_us: down,
+                    kind: FaultKind::PeerDown { peer },
+                });
+                events.push(FaultEvent {
+                    at_us: down.saturating_add(outage),
+                    kind: FaultKind::PeerUp { peer },
+                });
+            }
+            for _ in 0..cfg.corruptions {
+                let peer = cfg.peers[rng.random_range(0..cfg.peers.len())];
+                events.push(FaultEvent {
+                    at_us: rng.random_range(0..horizon),
+                    kind: FaultKind::FlowSpecCorrupt {
+                        peer,
+                        salt: rng.random::<u64>(),
+                    },
+                });
+            }
+        }
+        for _ in 0..cfg.delivery_windows {
+            events.push(FaultEvent {
+                at_us: rng.random_range(0..horizon),
+                kind: FaultKind::DeliveryChaos {
+                    duration_us: rng.random_range(1..=cfg.max_brownout_us.max(1)),
+                    max_delay_us: cfg.max_delivery_delay_us.max(1),
+                },
+            });
+        }
+        for _ in 0..cfg.validation_brownouts {
+            events.push(FaultEvent {
+                at_us: rng.random_range(0..horizon),
+                kind: FaultKind::ValidationBrownout {
+                    duration_us: rng.random_range(1..=cfg.max_brownout_us.max(1)),
+                },
+            });
+        }
         FaultPlan::scripted(events)
     }
 
@@ -152,18 +261,39 @@ impl FaultPlan {
     }
 
     /// The time after which no scripted fault is active any more: the
-    /// last event time plus any brownout tail. Reconciliation after this
-    /// point must converge.
+    /// last event time plus any open window's tail (brownouts, delivery
+    /// chaos including its maximum injected delay, oracle outages).
+    /// Reconciliation after this point must converge.
     pub fn quiescent_after_us(&self) -> u64 {
         self.events
             .iter()
             .map(|e| match e.kind {
-                FaultKind::InstallBrownout { duration_us } => e.at_us.saturating_add(duration_us),
+                FaultKind::InstallBrownout { duration_us }
+                | FaultKind::ValidationBrownout { duration_us } => {
+                    e.at_us.saturating_add(duration_us)
+                }
+                FaultKind::DeliveryChaos {
+                    duration_us,
+                    max_delay_us,
+                } => e
+                    .at_us
+                    .saturating_add(duration_us)
+                    .saturating_add(max_delay_us),
                 _ => e.at_us,
             })
             .max()
             .unwrap_or(0)
     }
+}
+
+/// A fixed-increment splitmix64 step: the deterministic, stateless
+/// pseudo-random source behind delivery-chaos delays (no RNG object to
+/// seed, so scripted plans and generated plans behave identically).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Walks a [`FaultPlan`] as simulation time advances and tracks which
@@ -173,6 +303,10 @@ pub struct FaultInjector {
     plan: FaultPlan,
     cursor: usize,
     brownout_until_us: u64,
+    delivery_until_us: u64,
+    delivery_max_delay_us: u64,
+    delivery_seq: u64,
+    validation_until_us: u64,
 }
 
 impl FaultInjector {
@@ -180,8 +314,7 @@ impl FaultInjector {
     pub fn new(plan: FaultPlan) -> Self {
         FaultInjector {
             plan,
-            cursor: 0,
-            brownout_until_us: 0,
+            ..FaultInjector::default()
         }
     }
 
@@ -191,17 +324,35 @@ impl FaultInjector {
     }
 
     /// Returns the events due at or before `now_us` (at most once each)
-    /// and arms any brownout windows they open.
+    /// and arms any fault windows they open (install brownouts, delivery
+    /// chaos, validation-oracle outages).
     pub fn poll(&mut self, now_us: u64) -> Vec<FaultEvent> {
         let mut fired = Vec::new();
         while let Some(ev) = self.plan.events.get(self.cursor) {
             if ev.at_us > now_us {
                 break;
             }
-            if let FaultKind::InstallBrownout { duration_us } = ev.kind {
-                self.brownout_until_us = self
-                    .brownout_until_us
-                    .max(ev.at_us.saturating_add(duration_us));
+            match ev.kind {
+                FaultKind::InstallBrownout { duration_us } => {
+                    self.brownout_until_us = self
+                        .brownout_until_us
+                        .max(ev.at_us.saturating_add(duration_us));
+                }
+                FaultKind::DeliveryChaos {
+                    duration_us,
+                    max_delay_us,
+                } => {
+                    self.delivery_until_us = self
+                        .delivery_until_us
+                        .max(ev.at_us.saturating_add(duration_us));
+                    self.delivery_max_delay_us = self.delivery_max_delay_us.max(max_delay_us);
+                }
+                FaultKind::ValidationBrownout { duration_us } => {
+                    self.validation_until_us = self
+                        .validation_until_us
+                        .max(ev.at_us.saturating_add(duration_us));
+                }
+                _ => {}
             }
             fired.push(*ev);
             self.cursor += 1;
@@ -213,6 +364,23 @@ impl FaultInjector {
     /// brownout window.
     pub fn install_faulted(&self, now_us: u64) -> bool {
         now_us < self.brownout_until_us
+    }
+
+    /// While a delivery-chaos window is open, yields the deterministic
+    /// delivery delay for the next change group; `None` outside windows.
+    /// Consecutive calls draw different delays, which is what reorders
+    /// delivery.
+    pub fn delivery_delay(&mut self, now_us: u64) -> Option<u64> {
+        if now_us >= self.delivery_until_us {
+            return None;
+        }
+        self.delivery_seq = self.delivery_seq.wrapping_add(1);
+        Some(splitmix64(self.delivery_seq) % (self.delivery_max_delay_us.max(1) + 1))
+    }
+
+    /// Whether the IRR/RPKI validation oracle is dark at `now_us`.
+    pub fn validation_faulted(&self, now_us: u64) -> bool {
+        now_us < self.validation_until_us
     }
 
     /// Whether every scripted event has fired.
@@ -260,6 +428,79 @@ impl RetryPolicy {
         self.base_backoff_us
             .saturating_mul(1u64 << shift)
             .min(self.max_backoff_us)
+    }
+}
+
+/// Reads a `u64` tuning knob from the environment, falling back to
+/// `default` when unset or unparsable.
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Tunables of the self-healing control plane. Every knob has a
+/// `STELLAR_*` environment override (recorded in bench host metadata
+/// like `STELLAR_TICK_WORKERS`), so soak drivers can reshape the retry
+/// ladder without a rebuild. Unset knobs keep the defaults, which is
+/// what the deterministic CI gates run with.
+#[derive(Debug, Clone)]
+pub struct ControlTuning {
+    /// Retry/backoff shape (`STELLAR_RETRY_BASE_US`,
+    /// `STELLAR_RETRY_MAX_US`, `STELLAR_RETRY_ATTEMPTS`).
+    pub retry: RetryPolicy,
+    /// How often drivers should run reconciliation
+    /// (`STELLAR_RECONCILE_US`).
+    pub reconcile_interval_us: u64,
+    /// Ring-buffer capacity of the dead-letter log, drop-oldest
+    /// (`STELLAR_DEADLETTER_CAP`).
+    pub deadletter_capacity: usize,
+    /// How many times a FlowSpec overload refusal is re-admitted from
+    /// the dead-letter parking lot before it is terminal
+    /// (`STELLAR_DEADLETTER_REQUEUES`).
+    pub deadletter_requeues: u32,
+}
+
+impl Default for ControlTuning {
+    fn default() -> Self {
+        ControlTuning {
+            retry: RetryPolicy::default(),
+            reconcile_interval_us: 1_000_000,
+            deadletter_capacity: 1024,
+            deadletter_requeues: 2,
+        }
+    }
+}
+
+impl ControlTuning {
+    /// The environment knobs this struct reads, for bench host metadata.
+    pub const ENV_KNOBS: [&'static str; 6] = [
+        "STELLAR_RETRY_BASE_US",
+        "STELLAR_RETRY_MAX_US",
+        "STELLAR_RETRY_ATTEMPTS",
+        "STELLAR_RECONCILE_US",
+        "STELLAR_DEADLETTER_CAP",
+        "STELLAR_DEADLETTER_REQUEUES",
+    ];
+
+    /// Defaults overridden by whatever `STELLAR_*` knobs are set.
+    pub fn from_env() -> Self {
+        let d = ControlTuning::default();
+        ControlTuning {
+            retry: RetryPolicy {
+                base_backoff_us: env_u64("STELLAR_RETRY_BASE_US", d.retry.base_backoff_us),
+                max_backoff_us: env_u64("STELLAR_RETRY_MAX_US", d.retry.max_backoff_us),
+                max_attempts: env_u64("STELLAR_RETRY_ATTEMPTS", d.retry.max_attempts as u64) as u32,
+            },
+            reconcile_interval_us: env_u64("STELLAR_RECONCILE_US", d.reconcile_interval_us),
+            deadletter_capacity: env_u64("STELLAR_DEADLETTER_CAP", d.deadletter_capacity as u64)
+                as usize,
+            deadletter_requeues: env_u64(
+                "STELLAR_DEADLETTER_REQUEUES",
+                d.deadletter_requeues as u64,
+            ) as u32,
+        }
     }
 }
 
@@ -324,6 +565,18 @@ pub enum RecoveryEvent {
         rule_id: u64,
         /// The final refusal.
         error: AdmissionError,
+    },
+    /// A FlowSpec overload refusal was parked in the dead-letter lot
+    /// with a cool-off instead of being terminally dead-lettered; it
+    /// re-enters the queue with a fresh attempt budget when the cool-off
+    /// expires.
+    Requeued {
+        /// When it was parked.
+        at_us: u64,
+        /// Rule id the change concerns.
+        rule_id: u64,
+        /// Which re-admission this will be (1-based).
+        requeue: u32,
     },
     /// The controller resynchronized from the route server after a
     /// session came back.
@@ -420,6 +673,105 @@ mod tests {
         assert!(inj.poll(2000).is_empty());
         assert!(inj.drained());
         assert_eq!(inj.quiescent_after_us(), 200);
+    }
+
+    #[test]
+    fn expanded_fault_classes_generate_deterministically() {
+        let cfg = FaultPlanConfig {
+            restarts: 0,
+            flaps: 0,
+            brownouts: 0,
+            peer_flaps: 2,
+            corruptions: 2,
+            delivery_windows: 1,
+            validation_brownouts: 1,
+            peers: vec![Asn(64500), Asn(64501)],
+            ..Default::default()
+        };
+        let a = FaultPlan::generate(9, &cfg);
+        let b = FaultPlan::generate(9, &cfg);
+        assert_eq!(a.events(), b.events());
+        // 2 peer flaps (2 events each) + 2 corruptions + 1 + 1.
+        assert_eq!(a.events().len(), 8);
+        for e in a.events() {
+            if let FaultKind::PeerDown { peer } | FaultKind::PeerUp { peer } = e.kind {
+                assert!(cfg.peers.contains(&peer));
+            }
+        }
+        // Peer-scoped classes are skipped without a peer pool.
+        let no_peers = FaultPlanConfig {
+            peers: vec![],
+            ..cfg.clone()
+        };
+        assert_eq!(FaultPlan::generate(9, &no_peers).events().len(), 2);
+    }
+
+    #[test]
+    fn quiescence_covers_delivery_and_validation_windows() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                at_us: 100,
+                kind: FaultKind::DeliveryChaos {
+                    duration_us: 50,
+                    max_delay_us: 30,
+                },
+            },
+            FaultEvent {
+                at_us: 120,
+                kind: FaultKind::ValidationBrownout { duration_us: 40 },
+            },
+        ]);
+        assert_eq!(plan.quiescent_after_us(), 180);
+    }
+
+    #[test]
+    fn delivery_delays_are_deterministic_bounded_and_windowed() {
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at_us: 100,
+            kind: FaultKind::DeliveryChaos {
+                duration_us: 100,
+                max_delay_us: 500,
+            },
+        }]);
+        let mut a = FaultInjector::new(plan.clone());
+        let mut b = FaultInjector::new(plan);
+        assert_eq!(a.delivery_delay(0), None, "window not armed yet");
+        a.poll(100);
+        b.poll(100);
+        let da: Vec<_> = (0..8).filter_map(|_| a.delivery_delay(150)).collect();
+        let db: Vec<_> = (0..8).filter_map(|_| b.delivery_delay(150)).collect();
+        assert_eq!(da, db);
+        assert_eq!(da.len(), 8);
+        assert!(da.iter().all(|d| *d <= 500));
+        // Consecutive draws differ — that is what reorders delivery.
+        assert!(da.windows(2).any(|w| w[0] != w[1]));
+        assert_eq!(a.delivery_delay(200), None, "window closed");
+    }
+
+    #[test]
+    fn validation_window_tracks_the_scripted_outage() {
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            at_us: 50,
+            kind: FaultKind::ValidationBrownout { duration_us: 25 },
+        }]);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.validation_faulted(60));
+        inj.poll(50);
+        assert!(inj.validation_faulted(60));
+        assert!(!inj.validation_faulted(75));
+    }
+
+    #[test]
+    fn control_tuning_defaults_match_retry_policy() {
+        let t = ControlTuning::default();
+        assert_eq!(
+            t.retry.base_backoff_us,
+            RetryPolicy::default().base_backoff_us
+        );
+        assert_eq!(t.reconcile_interval_us, 1_000_000);
+        assert!(t.deadletter_capacity >= 2);
+        assert!(t.deadletter_requeues >= 1);
+        assert_eq!(env_u64("STELLAR_SURELY_UNSET_KNOB", 7), 7);
     }
 
     #[test]

@@ -385,6 +385,13 @@ impl FlowSpecPlane {
     pub fn rule_count(&self) -> usize {
         self.entries.values().map(|v| v.len()).sum()
     }
+
+    /// The `(owner, canonical NLRI)` keys currently desired, in RIB
+    /// order — the watchdog checks each against the route server's
+    /// FlowSpec RIB.
+    pub fn keys(&self) -> impl Iterator<Item = &(Asn, Vec<u8>)> {
+        self.entries.keys()
+    }
 }
 
 #[cfg(test)]

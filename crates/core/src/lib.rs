@@ -26,7 +26,9 @@
 //! reusable attack/mitigation experiments behind Figs. 2c, 3c and 10c.
 //! [`faults`] is the deterministic fault-injection harness behind the
 //! self-healing control plane (retry, reconciliation, graceful
-//! degradation — the §4.1.2 availability claim under test).
+//! degradation — the §4.1.2 availability claim under test), and
+//! [`watchdog`] the runtime invariant monitor that checks the
+//! self-healing machinery's work while those faults are flying.
 
 pub mod audit;
 pub mod config_queue;
@@ -45,19 +47,21 @@ pub mod sdn_manager;
 pub mod signal;
 pub mod system;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use config_queue::{ConfigChangeQueue, QueuedChange};
 pub use controller::{AbstractChange, BlackholingController, DegradeOutcome};
 pub use detector::{Detection, DetectorConfig, SignatureDetector};
 pub use faults::{
-    DeadLetter, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig, RecoveryEvent,
-    RetryPolicy,
+    ControlTuning, DeadLetter, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultPlanConfig,
+    RecoveryEvent, RetryPolicy,
 };
 pub use flowspec::{FlowSpecPlane, LowerError, FLOWSPEC_RULE_ID_BASE};
-pub use manager::{AdmissionError, NetworkManager};
+pub use manager::{AdmissionError, DeadLetterLog, NetworkManager};
 pub use portal::CustomerPortal;
 pub use qos_manager::QosNetworkManager;
 pub use rule::{BlackholingRule, RuleAction, RuleMatcher};
 pub use sdn_manager::SdnNetworkManager;
 pub use signal::{MatchKind, StellarSignal};
 pub use system::{ReconcileReport, StellarSystem};
+pub use watchdog::{Invariant, Violation, Watchdog, WatchdogConfig};

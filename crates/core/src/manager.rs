@@ -4,7 +4,10 @@
 //! hardware resource limitations of the IXP's forwarding hardware are
 //! respected" (§4.1.2).
 
+use std::collections::VecDeque;
+
 use crate::controller::AbstractChange;
+use crate::faults::DeadLetter;
 
 /// Why a change was refused by admission control.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +68,86 @@ impl AdmissionError {
     }
 }
 
+/// Bounded dead-letter log: a ring buffer that drops its oldest entry
+/// once full, so a long chaos soak cannot grow the give-up log without
+/// limit. Evictions are counted (and surfaced as `deadletter.evicted`)
+/// rather than silent — losing history is a capacity decision, not an
+/// accident.
+#[derive(Debug)]
+pub struct DeadLetterLog {
+    letters: VecDeque<DeadLetter>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl DeadLetterLog {
+    /// Default ring capacity; override with [`DeadLetterLog::set_capacity`]
+    /// (wired to `STELLAR_DEADLETTER_CAP`).
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A log bounded to `capacity` entries (at least one).
+    pub fn new(capacity: usize) -> Self {
+        DeadLetterLog {
+            letters: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Rebounds the ring, evicting oldest entries if it shrank below the
+    /// current length. Returns how many entries were evicted.
+    pub fn set_capacity(&mut self, capacity: usize) -> u64 {
+        self.capacity = capacity.max(1);
+        let mut dropped = 0;
+        while self.letters.len() > self.capacity {
+            self.letters.pop_front();
+            dropped += 1;
+        }
+        self.evicted += dropped;
+        dropped
+    }
+
+    /// Appends a dead letter, dropping the oldest entry when full.
+    /// Returns the number of evictions this push caused (0 or 1).
+    pub fn push(&mut self, letter: DeadLetter) -> u64 {
+        let mut dropped = 0;
+        while self.letters.len() >= self.capacity {
+            self.letters.pop_front();
+            dropped += 1;
+        }
+        self.letters.push_back(letter);
+        self.evicted += dropped;
+        dropped
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// True when nothing has been given up on (or everything retained
+    /// was drained).
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Oldest-first iteration over retained letters.
+    pub fn iter(&self) -> impl Iterator<Item = &DeadLetter> {
+        self.letters.iter()
+    }
+
+    /// Total entries ever evicted to keep the ring bounded.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+impl Default for DeadLetterLog {
+    fn default() -> Self {
+        DeadLetterLog::new(DeadLetterLog::DEFAULT_CAPACITY)
+    }
+}
+
 /// A network manager: one hardware-specific compilation backend
 /// (§4.4 names two realized options — vendor QoS and SDN).
 pub trait NetworkManager {
@@ -88,6 +171,55 @@ pub trait NetworkManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn letter(at_us: u64) -> DeadLetter {
+        DeadLetter {
+            change: AbstractChange::RemoveRule {
+                rule_id: at_us,
+                owner: stellar_bgp::types::Asn(64500),
+            },
+            error: AdmissionError::PerPortLimit,
+            attempts: 3,
+            at_us,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_evictions() {
+        let mut log = DeadLetterLog::new(3);
+        for i in 0..3 {
+            assert_eq!(log.push(letter(i)), 0);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.push(letter(3)), 1);
+        assert_eq!(log.push(letter(4)), 1);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let retained: Vec<u64> = log.iter().map(|d| d.at_us).collect();
+        assert_eq!(retained, vec![2, 3, 4], "oldest entries dropped first");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_excess() {
+        let mut log = DeadLetterLog::new(4);
+        for i in 0..4 {
+            log.push(letter(i));
+        }
+        assert_eq!(log.set_capacity(2), 2);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.evicted(), 2);
+        assert_eq!(log.iter().next().map(|d| d.at_us), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut log = DeadLetterLog::new(0);
+        log.push(letter(1));
+        log.push(letter(2));
+        assert_eq!(log.len(), 1);
+        assert!(!log.is_empty());
+        assert_eq!(log.iter().next().map(|d| d.at_us), Some(2));
+    }
 
     #[test]
     fn errors_have_descriptions() {

@@ -23,12 +23,15 @@
 use crate::audit::{audit_batch, AuditRejection};
 use crate::config_queue::{ConfigChangeQueue, QueuedChange};
 use crate::controller::{AbstractChange, BlackholingController, DegradeOutcome};
-use crate::faults::{DeadLetter, FaultEvent, FaultInjector, FaultKind, RecoveryEvent, RetryPolicy};
+use crate::faults::{
+    ControlTuning, DeadLetter, FaultEvent, FaultInjector, FaultKind, RecoveryEvent, RetryPolicy,
+};
 use crate::flowspec::{FlowSpecPlane, LowerError};
-use crate::manager::{AdmissionError, NetworkManager};
+use crate::manager::{AdmissionError, DeadLetterLog, NetworkManager};
 use crate::qos_manager::QosNetworkManager;
 use crate::signal::StellarSignal;
 use crate::telemetry::{rule_telemetry, RuleTelemetry};
+use crate::watchdog::{Invariant, Watchdog};
 use std::collections::{BTreeMap, HashSet};
 use stellar_bgp::attr::{AsPath, PathAttribute};
 use stellar_bgp::extcommunity::ExtendedCommunity;
@@ -62,11 +65,44 @@ pub struct FlowSpecOutcome {
     pub queued_changes: usize,
     /// NLRIs refused by the RFC 9117 validation procedure.
     pub rejections: Vec<(FlowSpec, FlowSpecRejectReason)>,
+    /// NLRIs whose validation could not complete (oracle brownout):
+    /// parked for automatic retry with backoff, not rejected.
+    pub deferred: usize,
     /// NLRIs that validated but could not be lowered exactly.
     pub lowering_errors: Vec<(FlowSpec, LowerError)>,
     /// Lowered rules refused by the static batch audit.
     pub audit_rejections: Vec<(u64, AuditRejection)>,
 }
+
+/// A FlowSpec overload refusal parked in the dead-letter lot with a
+/// cool-off, instead of being terminally dead-lettered.
+#[derive(Debug)]
+struct ParkedChange {
+    qc: QueuedChange,
+    release_at_us: u64,
+}
+
+/// A FlowSpec announcement whose RFC 9117 validation failed closed
+/// during an oracle brownout, awaiting its backoff before resubmission.
+#[derive(Debug)]
+struct PendingValidation {
+    member: Asn,
+    flow: FlowSpec,
+    actions: Vec<ExtendedCommunity>,
+    attempts: u32,
+    not_before_us: u64,
+}
+
+/// Resubmission budget for oracle-deferred announcements: generous
+/// enough to outlast any plausible brownout window under the capped
+/// backoff, still bounded so a permanently dark oracle cannot pin
+/// announcements forever.
+const VALIDATION_RETRY_ATTEMPTS: u32 = 10;
+
+/// How far past its release time a parked change may sit before the
+/// watchdog calls the requeue machinery stalled. Must exceed the pump
+/// cadence of every driver (they pump at 250 ms or faster).
+const PARKED_OVERDUE_SLACK_US: u64 = 2_000_000;
 
 /// What one reconciliation pass found and queued.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -100,11 +136,24 @@ pub struct StellarSystem {
     pub manager: QosNetworkManager,
     /// Retry/backoff policy for refused changes.
     pub retry: RetryPolicy,
+    /// How often [`StellarSystem::reconcile`] is meant to run (drivers
+    /// read this instead of hard-coding a cadence; tunable via
+    /// `STELLAR_RECONCILE_US`).
+    pub reconcile_interval_us: u64,
     /// The fault injector driving scripted failures (idle by default).
     pub injector: FaultInjector,
-    /// Changes that permanently failed, with reason and effort spent
-    /// (kept for operator review).
-    pub dead_letters: Vec<DeadLetter>,
+    /// Changes that permanently failed, with reason and effort spent —
+    /// a bounded drop-oldest ring kept for operator review.
+    pub dead_letters: DeadLetterLog,
+    /// The runtime invariant monitor (see [`crate::watchdog`]).
+    pub watchdog: Watchdog,
+    /// FlowSpec overload refusals cooling off before a bounded requeue.
+    parked: Vec<ParkedChange>,
+    /// Announcements deferred by an oracle brownout, awaiting backoff.
+    pending_validation: Vec<PendingValidation>,
+    /// How many times one FlowSpec change may be parked and requeued
+    /// before it is terminally dead-lettered.
+    deadletter_requeues: u32,
     /// The recovery event log: plain data, identical across runs with
     /// the same seed and workload.
     pub log: Vec<RecoveryEvent>,
@@ -131,16 +180,54 @@ impl StellarSystem {
             queue: ConfigChangeQueue::production(queue_rate_per_s),
             manager,
             retry: RetryPolicy::default(),
+            reconcile_interval_us: ControlTuning::default().reconcile_interval_us,
             injector: FaultInjector::idle(),
-            dead_letters: Vec::new(),
+            dead_letters: DeadLetterLog::default(),
+            watchdog: Watchdog::default(),
+            parked: Vec::new(),
+            pending_validation: Vec::new(),
+            deadletter_requeues: ControlTuning::default().deadletter_requeues,
             log: Vec::new(),
             obs: Obs::new(),
+        }
+    }
+
+    /// Applies a [`ControlTuning`] (typically [`ControlTuning::from_env`])
+    /// to the live control plane: retry/backoff policy, reconciliation
+    /// cadence, dead-letter ring capacity and requeue budget.
+    pub fn apply_tuning(&mut self, tuning: &ControlTuning) {
+        self.retry = tuning.retry;
+        self.reconcile_interval_us = tuning.reconcile_interval_us;
+        self.deadletter_requeues = tuning.deadletter_requeues;
+        let evicted = self.dead_letters.set_capacity(tuning.deadletter_capacity);
+        if evicted > 0 {
+            self.obs.registry.counter_add("deadletter.evicted", evicted);
         }
     }
 
     /// Arms a fault plan (replacing any previous injector state).
     pub fn inject_faults(&mut self, plan: crate::faults::FaultPlan) {
         self.injector = FaultInjector::new(plan);
+    }
+
+    /// Admits a group of changes to the queue, routing them through the
+    /// delivery-chaos window when one is armed: a chaotic delivery holds
+    /// the group back by a deterministic pseudo-random delay, reordering
+    /// it against groups enqueued after it (announcement delivery is not
+    /// FIFO under chaos). Groups stay atomic either way.
+    fn enqueue_changes(&mut self, changes: Vec<AbstractChange>, now_us: u64) {
+        if changes.is_empty() {
+            return;
+        }
+        self.watchdog.note_activity(now_us);
+        match self.injector.delivery_delay(now_us) {
+            Some(delay) if delay > 0 => {
+                self.obs.registry.counter_inc("core.delivery.delayed");
+                self.queue
+                    .enqueue_group_delayed(changes, now_us, now_us + delay);
+            }
+            _ => self.queue.enqueue_group(changes, now_us),
+        }
     }
 
     /// A member signals Advanced Blackholing: announces `victim` tagged
@@ -169,7 +256,7 @@ impl StellarSystem {
             // One emission carrying several changes is a same-path swap
             // (e.g. shape→drop escalation): dequeue it atomically so the
             // victim is never unprotected between Remove and Add.
-            self.queue.enqueue_group(changes, now_us);
+            self.enqueue_changes(changes, now_us);
         }
         outcome
     }
@@ -187,6 +274,19 @@ impl StellarSystem {
         actions: &[ExtendedCommunity],
         now_us: u64,
     ) -> FlowSpecOutcome {
+        self.submit_flowspec(member, flow, actions.to_vec(), 0, now_us)
+    }
+
+    /// The shared announcement path for fresh submissions
+    /// (`prior_attempts == 0`) and oracle-brownout resubmissions.
+    fn submit_flowspec(
+        &mut self,
+        member: Asn,
+        flow: FlowSpec,
+        actions: Vec<ExtendedCommunity>,
+        prior_attempts: u32,
+        now_us: u64,
+    ) -> FlowSpecOutcome {
         let afi = flow.afi;
         let mut update = UpdateMessage {
             withdrawn: vec![],
@@ -200,13 +300,13 @@ impl StellarSystem {
             nlri: vec![],
         };
         if !actions.is_empty() {
-            update.add_extended_communities(actions);
+            update.add_extended_communities(&actions);
         }
         let rs_out = self
             .ixp
             .route_server
             .handle_flowspec_update(member, &update);
-        self.admit_flowspec_output(rs_out, now_us)
+        self.admit_flowspec_output(member, rs_out, &actions, prior_attempts, now_us)
     }
 
     /// A member withdraws a FlowSpec rule (MP_UNREACH, SAFI 133): every
@@ -230,16 +330,21 @@ impl StellarSystem {
             .ixp
             .route_server
             .handle_flowspec_update(member, &update);
-        self.admit_flowspec_output(rs_out, now_us)
+        self.admit_flowspec_output(member, rs_out, &[], 0, now_us)
     }
 
     /// Admits the route server's FlowSpec output into the change queue:
     /// withdrawals first (RFC 4271 processing order), then accepted
     /// announcements through lowering and the static batch audit. Every
-    /// fate increments its `flowspec.*` counter.
+    /// fate increments its `flowspec.*` counter. Transient rejections
+    /// (oracle brownout fails closed) are deferred for resubmission with
+    /// backoff instead of being terminally refused.
     fn admit_flowspec_output(
         &mut self,
+        member: Asn,
         rs_out: stellar_routeserver::FlowSpecOutput,
+        actions: &[ExtendedCommunity],
+        prior_attempts: u32,
         now_us: u64,
     ) -> FlowSpecOutcome {
         let mut outcome = FlowSpecOutcome::default();
@@ -251,9 +356,47 @@ impl StellarSystem {
                 self.obs.registry.counter_inc("flowspec.withdrawn");
             }
             outcome.queued_changes += removals.len();
-            self.queue.enqueue_group(removals, now_us);
+            self.enqueue_changes(removals, now_us);
         }
         for (flow, reason) in rs_out.rejections {
+            if reason.is_transient() {
+                // Fail closed, but not forever: park the announcement and
+                // resubmit once the backoff expires (the oracle may be
+                // back). Only a permanently dark oracle exhausts the
+                // budget into a real rejection.
+                let attempts = prior_attempts + 1;
+                if attempts >= VALIDATION_RETRY_ATTEMPTS {
+                    self.obs.registry.counter_inc("flowspec.validation_expired");
+                    self.obs.event(
+                        now_us,
+                        "flowspec.rejected",
+                        vec![
+                            ("reason".to_string(), reason.describe().to_string()),
+                            ("attempts".to_string(), attempts.to_string()),
+                        ],
+                    );
+                    outcome.rejections.push((flow, reason));
+                } else {
+                    self.obs
+                        .registry
+                        .counter_inc("flowspec.validation_deferred");
+                    self.obs.event(
+                        now_us,
+                        "flowspec.deferred",
+                        vec![("attempt".to_string(), attempts.to_string())],
+                    );
+                    self.watchdog.note_activity(now_us);
+                    self.pending_validation.push(PendingValidation {
+                        member,
+                        flow,
+                        actions: actions.to_vec(),
+                        attempts,
+                        not_before_us: now_us + self.retry.backoff_us(attempts),
+                    });
+                    outcome.deferred += 1;
+                }
+                continue;
+            }
             self.obs
                 .registry
                 .counter_inc("flowspec.rejected_validation");
@@ -288,11 +431,26 @@ impl StellarSystem {
                     outcome.queued_changes += changes.len();
                     // Like a same-path signal swap: the specs of one NLRI
                     // install atomically.
-                    self.queue.enqueue_group(changes, now_us);
+                    self.enqueue_changes(changes, now_us);
                 }
             }
         }
         outcome
+    }
+
+    /// Resubmits oracle-deferred announcements whose backoff has expired.
+    fn retry_pending_validation(&mut self, now_us: u64) {
+        if self.pending_validation.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_validation);
+        let (due, keep): (Vec<_>, Vec<_>) = pending
+            .into_iter()
+            .partition(|pv| pv.not_before_us <= now_us);
+        self.pending_validation = keep;
+        for pv in due {
+            self.submit_flowspec(pv.member, pv.flow, pv.actions, pv.attempts, now_us);
+        }
     }
 
     /// Static batch audit (see [`crate::audit`]): analyzes the proposed
@@ -384,7 +542,7 @@ impl StellarSystem {
         for cu in &rs_out.controller_updates {
             let changes = self.controller.process_update(cu);
             outcome.queued_changes += changes.len();
-            self.queue.enqueue_group(changes, now_us);
+            self.enqueue_changes(changes, now_us);
         }
         outcome
     }
@@ -396,6 +554,12 @@ impl StellarSystem {
     /// how many changes were applied.
     pub fn pump(&mut self, now_us: u64) -> usize {
         self.poll_faults(now_us);
+        // The validation oracle fails closed for exactly as long as its
+        // brownout window is armed.
+        let oracle_down = self.injector.validation_faulted(now_us);
+        self.ixp.route_server.policy_mut().oracle_down = oracle_down;
+        self.release_parked(now_us);
+        self.retry_pending_validation(now_us);
         let ready = self.queue.dequeue_ready_queued(now_us);
         let mut applied = 0;
         for qc in ready {
@@ -433,7 +597,27 @@ impl StellarSystem {
                 Err(e) => self.handle_failure(qc, e, now_us),
             }
         }
+        if self.watchdog.due(now_us) {
+            self.watchdog_check(now_us);
+        }
         applied
+    }
+
+    /// Releases parked dead-letter requeues whose cool-off has expired
+    /// back into the queue with a fresh retry budget.
+    fn release_parked(&mut self, now_us: u64) {
+        if self.parked.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.parked);
+        let (due, keep): (Vec<_>, Vec<_>) =
+            parked.into_iter().partition(|p| p.release_at_us <= now_us);
+        self.parked = keep;
+        for p in due {
+            self.obs.registry.counter_inc("deadletter.requeued");
+            self.watchdog.note_activity(now_us);
+            self.queue.readmit(p.qc, now_us);
+        }
     }
 
     /// Fires scripted faults due by `now_us` and reacts to them.
@@ -447,11 +631,30 @@ impl StellarSystem {
                 .registry
                 .counter_inc(&format!("core.faults.{}", ev.kind.label()));
             let mut fields = Vec::new();
-            if let FaultKind::InstallBrownout { duration_us } = ev.kind {
-                fields.push(("duration_us".to_string(), duration_us.to_string()));
+            match ev.kind {
+                FaultKind::InstallBrownout { duration_us }
+                | FaultKind::ValidationBrownout { duration_us } => {
+                    fields.push(("duration_us".to_string(), duration_us.to_string()));
+                }
+                FaultKind::DeliveryChaos {
+                    duration_us,
+                    max_delay_us,
+                } => {
+                    fields.push(("duration_us".to_string(), duration_us.to_string()));
+                    fields.push(("max_delay_us".to_string(), max_delay_us.to_string()));
+                }
+                FaultKind::PeerDown { peer } | FaultKind::PeerUp { peer } => {
+                    fields.push(("peer".to_string(), peer.0.to_string()));
+                }
+                FaultKind::FlowSpecCorrupt { peer, salt } => {
+                    fields.push(("peer".to_string(), peer.0.to_string()));
+                    fields.push(("salt".to_string(), salt.to_string()));
+                }
+                FaultKind::RouterRestart | FaultKind::SessionDown | FaultKind::SessionUp => {}
             }
             self.obs
                 .event(ev.at_us, &format!("fault.{}", ev.kind.label()), fields);
+            self.watchdog.note_activity(ev.at_us.max(now_us));
             self.apply_fault(&ev, now_us);
         }
     }
@@ -480,7 +683,7 @@ impl StellarSystem {
                 // the FlowSpec plane flushes too.
                 let mut removals = self.controller.session_down();
                 removals.extend(self.flowspec.flush());
-                self.queue.enqueue_group(removals, now_us);
+                self.enqueue_changes(removals, now_us);
             }
             FaultKind::SessionUp => {
                 // Resynchronize from the route server's live RIB: the
@@ -491,7 +694,7 @@ impl StellarSystem {
                 for u in &updates {
                     let emitted = self.controller.process_update(u);
                     changes += emitted.len();
-                    self.queue.enqueue_group(emitted, now_us);
+                    self.enqueue_changes(emitted, now_us);
                 }
                 // The FlowSpec RIB also survived at the route server:
                 // re-lower every accepted rule (fresh ids, same specs).
@@ -505,7 +708,7 @@ impl StellarSystem {
                 for acc in accepted {
                     if let Ok(emitted) = self.flowspec.install(&acc) {
                         changes += emitted.len();
-                        self.queue.enqueue_group(emitted, now_us);
+                        self.enqueue_changes(emitted, now_us);
                     }
                 }
                 self.log.push(RecoveryEvent::Resynced {
@@ -518,6 +721,71 @@ impl StellarSystem {
                     vec![("changes".to_string(), changes.to_string())],
                 );
             }
+            FaultKind::PeerDown { peer } => {
+                // The peer's eBGP session to the route server drops: its
+                // unicast routes (signals included) and FlowSpec rules
+                // flush, and the controller diff tears the derived
+                // hardware rules down.
+                let rs_out = self.ixp.route_server.peer_down(peer);
+                for cu in &rs_out.controller_updates {
+                    let emitted = self.controller.process_update(cu);
+                    self.enqueue_changes(emitted, now_us);
+                }
+                for (owner, flow) in &rs_out.flowspec_withdrawn {
+                    let removals = self.flowspec.withdraw(*owner, flow);
+                    self.enqueue_changes(removals, now_us);
+                }
+            }
+            FaultKind::PeerUp { peer } => {
+                // The session re-establishes and the peer re-announces
+                // its plain prefixes. Blackholing state does not survive
+                // an eBGP flap: the member must re-signal (communities
+                // and FlowSpec rules are per-announcement state).
+                let prefixes = self
+                    .ixp
+                    .members
+                    .get(&peer)
+                    .map(|m| m.prefixes.clone())
+                    .unwrap_or_default();
+                for prefix in prefixes {
+                    let update = self.ixp.announcement(peer, prefix);
+                    let rs_out = self.ixp.route_server.handle_update(peer, &update, now_us);
+                    for cu in &rs_out.controller_updates {
+                        let emitted = self.controller.process_update(cu);
+                        self.enqueue_changes(emitted, now_us);
+                    }
+                }
+            }
+            FaultKind::FlowSpecCorrupt { peer, salt } => {
+                // A corrupted/truncated NLRI arrives on the wire. The
+                // codec must refuse it whole — the `(peer, wire-bytes)`
+                // RIB takes nothing, desired state does not move.
+                let wire = self
+                    .ixp
+                    .route_server
+                    .flowspec_routes()
+                    .first()
+                    .and_then(|acc| acc.flow.to_wire().ok())
+                    // No live rule to mangle: a hand-rolled fragment
+                    // (dst-prefix component with a truncated prefix body).
+                    .unwrap_or_else(|| vec![0x06, 0x01, 0x20, 100, 10, 10, 10]);
+                let bad = stellar_bgp::flowspec::corrupt_wire(&wire, salt);
+                let rs_out = self.ixp.route_server.handle_flowspec_wire(
+                    peer,
+                    stellar_bgp::types::Afi::Ipv4,
+                    &bad,
+                    &[],
+                );
+                self.admit_flowspec_output(peer, rs_out, &[], 0, now_us);
+            }
+            FaultKind::ValidationBrownout { .. } => {
+                // Window tracked by the injector; flip the oracle down
+                // immediately so even a same-tick announcement sees it.
+                self.ixp.route_server.policy_mut().oracle_down = true;
+            }
+            // Window tracked by the injector and consulted on every
+            // enqueue.
+            FaultKind::DeliveryChaos { .. } => {}
         }
     }
 
@@ -551,7 +819,30 @@ impl StellarSystem {
                 error,
             });
             self.obs.registry.counter_inc("core.retries");
+            self.watchdog.note_activity(now_us);
             self.queue.requeue(qc, now_us + delay);
+            return;
+        }
+        // FlowSpec installs have no degradation ladder to absorb an
+        // overloaded fabric, so a retry-exhausted but still-retryable
+        // refusal gets a bounded second life: park with a long cool-off
+        // and requeue with a fresh retry budget. Desired state is kept —
+        // the rule is still wanted, just not installable right now.
+        let flowspec_add = matches!(&qc.change, AbstractChange::AddRule(r) if r.signal().is_none());
+        if retryable && flowspec_add && qc.requeues < self.deadletter_requeues {
+            let requeue = qc.requeues + 1;
+            self.log.push(RecoveryEvent::Requeued {
+                at_us: now_us,
+                rule_id,
+                requeue,
+            });
+            self.obs.registry.counter_inc("deadletter.parked");
+            self.obs.spans.abandon("retry", rule_id);
+            self.watchdog.note_activity(now_us);
+            self.parked.push(ParkedChange {
+                qc,
+                release_at_us: now_us + self.retry.max_backoff_us,
+            });
             return;
         }
         // Retry budget exhausted (or the error was permanent). TCAM
@@ -616,12 +907,154 @@ impl StellarSystem {
                 ("attempts".to_string(), attempts.to_string()),
             ],
         );
-        self.dead_letters.push(DeadLetter {
+        let evicted = self.dead_letters.push(DeadLetter {
             change: qc.change,
             error,
             attempts,
             at_us: now_us,
         });
+        if evicted > 0 {
+            self.obs.registry.counter_add("deadletter.evicted", evicted);
+        }
+    }
+
+    /// One watchdog pass: evaluates the invariant catalogue against live
+    /// state and records every violation (flight recorder event with a
+    /// deterministic label, `watchdog.violations.*` counters, bounded
+    /// in-memory record). `pump` runs this on the configured cadence;
+    /// call it directly for a final end-of-run check. Returns how many
+    /// violations this pass found.
+    pub fn watchdog_check(&mut self, now_us: u64) -> usize {
+        self.watchdog.begin_check(now_us);
+        let quiet = self.watchdog.quiet(now_us);
+        let mut found: Vec<(Invariant, String)> = Vec::new();
+
+        // Ledger conservation: installs − removals must equal what the
+        // hardware holds, at all times (the managers and the fabric keep
+        // double-entry books).
+        let (installs, removals) = self.ixp.router.rule_ledger();
+        let total = self.ixp.router.total_rules() as u64;
+        if installs.checked_sub(removals) != Some(total) {
+            found.push((
+                Invariant::LedgerConservation,
+                format!("installs={installs} removals={removals} hardware={total}"),
+            ));
+        }
+        if quiet && self.manager.installed_rules() as u64 != total {
+            found.push((
+                Invariant::LedgerConservation,
+                format!(
+                    "manager={} hardware={total}",
+                    self.manager.installed_rules()
+                ),
+            ));
+        }
+        if quiet && total == 0 {
+            let tcam = self.ixp.router.tcam();
+            if tcam.l34_used() != 0 || tcam.mac_used() != 0 {
+                found.push((
+                    Invariant::LedgerConservation,
+                    format!(
+                        "empty table but tcam l34={} mac={}",
+                        tcam.l34_used(),
+                        tcam.mac_used()
+                    ),
+                ));
+            }
+        }
+
+        // RIB ↔ plane consistency: every lowered FlowSpec key must still
+        // be backed by a route-server RIB entry. (The reverse — RIB entry
+        // not lowered — is legitimate: lowering or audit refused it.)
+        for (owner, wire) in self.flowspec.keys() {
+            if !self.ixp.route_server.flowspec_contains(*owner, wire) {
+                found.push((
+                    Invariant::RibPlaneConsistency,
+                    format!("plane key owner={} absent from rib", owner.0),
+                ));
+            }
+        }
+
+        if quiet {
+            // Convergence: past the grace bound, desired must equal
+            // installed with nothing in flight.
+            if !self.is_converged() {
+                found.push((
+                    Invariant::Convergence,
+                    format!(
+                        "backlog={} parked={} pending_validation={}",
+                        self.queue.backlog(),
+                        self.parked.len(),
+                        self.pending_validation.len()
+                    ),
+                ));
+            }
+            // Orphan rules: nothing in hardware without a desired-state
+            // owner or an in-flight removal.
+            let mut wanted: HashSet<u64> = self
+                .controller
+                .desired_rules()
+                .iter()
+                .map(|r| r.id)
+                .collect();
+            wanted.extend(self.flowspec.desired_rules().iter().map(|r| r.id));
+            for change in self.queue.pending() {
+                wanted.insert(match change {
+                    AbstractChange::AddRule(r) => r.id,
+                    AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+                });
+            }
+            for p in &self.parked {
+                wanted.insert(match &p.qc.change {
+                    AbstractChange::AddRule(r) => r.id,
+                    AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+                });
+            }
+            for (_, port) in self.ixp.router.ports() {
+                for rule in port.policy.rules() {
+                    if !wanted.contains(&rule.id) {
+                        found.push((
+                            Invariant::OrphanRule,
+                            format!("rule_id={} has no desired-state owner", rule.id),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Dead-letter drainage: a parked requeue sitting past its release
+        // time (plus pump-cadence slack) means the release machinery
+        // stalled.
+        for p in &self.parked {
+            if now_us > p.release_at_us.saturating_add(PARKED_OVERDUE_SLACK_US) {
+                let rule_id = match &p.qc.change {
+                    AbstractChange::AddRule(r) => r.id,
+                    AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+                };
+                found.push((
+                    Invariant::DeadLetterDrain,
+                    format!("rule_id={rule_id} parked past release"),
+                ));
+            }
+        }
+
+        let count = found.len();
+        for (invariant, detail) in found {
+            let v = self.watchdog.record(now_us, invariant, detail);
+            self.obs.registry.counter_inc("watchdog.violations");
+            self.obs
+                .registry
+                .counter_inc(&format!("watchdog.violations.{}", invariant.label()));
+            self.obs.event(
+                now_us,
+                "watchdog.violation",
+                vec![
+                    ("invariant".to_string(), invariant.label().to_string()),
+                    ("detail".to_string(), v.detail),
+                ],
+            );
+        }
+        count
     }
 
     /// Reconciliation: diffs the controller's desired rule set against
@@ -643,10 +1076,17 @@ impl StellarSystem {
                 installed.insert(rule.id, *port_id);
             }
         }
-        // Work already on its way.
+        // Work already on its way (queued, deferred, or parked in the
+        // dead-letter lot awaiting requeue).
         let mut in_flight: HashSet<u64> = HashSet::new();
         for change in self.queue.pending() {
             in_flight.insert(match change {
+                AbstractChange::AddRule(r) => r.id,
+                AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
+            });
+        }
+        for p in &self.parked {
+            in_flight.insert(match &p.qc.change {
                 AbstractChange::AddRule(r) => r.id,
                 AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
             });
@@ -688,6 +1128,7 @@ impl StellarSystem {
             .registry
             .counter_add("core.reconcile.pruned", report.pruned as u64);
         if !report.is_clean() {
+            self.watchdog.note_activity(now_us);
             self.log.push(RecoveryEvent::RepairsQueued {
                 at_us: now_us,
                 adds: report.adds,
@@ -707,7 +1148,10 @@ impl StellarSystem {
     /// Whether desired state and hardware state agree and nothing is in
     /// flight — the convergence predicate of the fault-soak tests.
     pub fn is_converged(&self) -> bool {
-        if self.queue.backlog() != 0 {
+        if self.queue.backlog() != 0
+            || !self.parked.is_empty()
+            || !self.pending_validation.is_empty()
+        {
             return false;
         }
         let mut installed: HashSet<u64> = HashSet::new();
@@ -754,6 +1198,12 @@ impl StellarSystem {
         reg.gauge_set("core.active_rules", self.manager.installed_rules() as i64);
         reg.gauge_set("core.flowspec_rules", self.flowspec.rule_count() as i64);
         reg.gauge_set("core.dead_letters", self.dead_letters.len() as i64);
+        reg.gauge_set("core.parked", self.parked.len() as i64);
+        reg.gauge_set(
+            "core.pending_validation",
+            self.pending_validation.len() as i64,
+        );
+        reg.counter_set("watchdog.checks", self.watchdog.checks());
     }
 
     /// Scrapes the gauges and writes the full snapshot to `path` — the
@@ -1067,6 +1517,299 @@ mod tests {
         sys.pump(0);
         assert_eq!(sys.active_rules(), 0);
         assert!(sys.is_converged());
+    }
+
+    fn scripted(events: Vec<(u64, FaultKind)>) -> crate::faults::FaultPlan {
+        crate::faults::FaultPlan::scripted(
+            events
+                .into_iter()
+                .map(|(at_us, kind)| FaultEvent { at_us, kind })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn corrupt_flowspec_fault_is_refused_without_poisoning_the_rib() {
+        let mut sys = system();
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 0);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 1);
+        // Corruptions with both salt parities (bit-flip and truncation).
+        sys.inject_faults(scripted(vec![
+            (
+                1_000_000,
+                FaultKind::FlowSpecCorrupt {
+                    peer: Asn(64501),
+                    salt: 3,
+                },
+            ),
+            (
+                1_500_000,
+                FaultKind::FlowSpecCorrupt {
+                    peer: Asn(64501),
+                    salt: 4,
+                },
+            ),
+        ]));
+        sys.pump(1_000_000);
+        sys.pump(1_500_000);
+        assert_eq!(sys.ixp.route_server.flowspec_stats().malformed, 2);
+        // Neither the RIB, the plane, nor the hardware moved.
+        assert_eq!(sys.ixp.route_server.flowspec_routes().len(), 1);
+        assert_eq!(sys.flowspec.rule_count(), 1);
+        assert_eq!(sys.active_rules(), 1);
+        assert!(sys.is_converged());
+        sys.watchdog_check(60_000_000);
+        assert!(sys.watchdog.is_clean(), "{:?}", sys.watchdog.violations());
+    }
+
+    #[test]
+    fn corrupt_flowspec_fault_without_live_rules_uses_fallback_fragment() {
+        let mut sys = system();
+        sys.inject_faults(scripted(vec![(
+            0,
+            FaultKind::FlowSpecCorrupt {
+                peer: Asn(64500),
+                salt: 0,
+            },
+        )]));
+        sys.pump(0);
+        assert_eq!(sys.ixp.route_server.flowspec_stats().malformed, 1);
+        assert!(sys.ixp.route_server.flowspec_routes().is_empty());
+        assert!(sys.is_converged());
+    }
+
+    #[test]
+    fn validation_brownout_defers_then_accepts() {
+        let mut sys = system();
+        sys.inject_faults(scripted(vec![(
+            0,
+            FaultKind::ValidationBrownout {
+                duration_us: 2_000_000,
+            },
+        )]));
+        sys.pump(0);
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        let out = sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 100_000);
+        // Fail-closed, parked for retry: neither accepted nor rejected.
+        assert_eq!(out.deferred, 1);
+        assert!(out.rejections.is_empty());
+        assert_eq!(out.queued_changes, 0);
+        assert_eq!(sys.obs.registry.counter("flowspec.validation_deferred"), 1);
+        assert_eq!(sys.active_rules(), 0);
+        let mut t = 250_000;
+        while t <= 10_000_000 {
+            sys.pump(t);
+            t += 250_000;
+        }
+        // The oracle came back inside the retry budget: the rule landed.
+        assert_eq!(sys.obs.registry.counter("flowspec.accepted"), 1);
+        assert_eq!(sys.obs.registry.counter("flowspec.validation_expired"), 0);
+        assert_eq!(sys.active_rules(), 1);
+        assert!(sys.is_converged());
+        sys.watchdog_check(60_000_000);
+        assert!(sys.watchdog.is_clean(), "{:?}", sys.watchdog.violations());
+    }
+
+    #[test]
+    fn permanent_oracle_outage_exhausts_the_validation_budget() {
+        let mut sys = system();
+        sys.inject_faults(scripted(vec![(
+            0,
+            FaultKind::ValidationBrownout {
+                duration_us: 3_600_000_000,
+            },
+        )]));
+        sys.pump(0);
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 0);
+        let mut t = 250_000;
+        while t <= 600_000_000 {
+            sys.pump(t);
+            t += 250_000;
+        }
+        assert_eq!(sys.obs.registry.counter("flowspec.validation_expired"), 1);
+        assert_eq!(sys.active_rules(), 0);
+        assert!(
+            sys.is_converged(),
+            "expired announcements leave nothing in flight"
+        );
+    }
+
+    #[test]
+    fn delivery_chaos_delays_and_reorders_but_converges() {
+        let mut sys = system();
+        sys.inject_faults(scripted(vec![(
+            0,
+            FaultKind::DeliveryChaos {
+                duration_us: 2_000_000,
+                max_delay_us: 1_000_000,
+            },
+        )]));
+        sys.pump(0);
+        let signals: Vec<StellarSignal> = [123u16, 53, 389]
+            .iter()
+            .map(|p| StellarSignal::drop_udp_src(*p))
+            .collect();
+        let out = sys.member_signal(Asn(64500), victim(), &signals, 100_000);
+        assert_eq!(out.queued_changes, 3);
+        // The group was held back by the chaos window, not applied now.
+        assert!(sys.obs.registry.counter("core.delivery.delayed") >= 1);
+        assert_eq!(sys.pump(100_000), 0);
+        let mut t = 250_000;
+        while t <= 6_000_000 {
+            sys.pump(t);
+            t += 250_000;
+        }
+        assert_eq!(sys.active_rules(), 3);
+        assert!(sys.is_converged());
+        sys.watchdog_check(60_000_000);
+        assert!(sys.watchdog.is_clean(), "{:?}", sys.watchdog.violations());
+    }
+
+    #[test]
+    fn peer_flap_flushes_rules_and_resignaling_recovers() {
+        let mut sys = system();
+        sys.member_signal(Asn(64500), victim(), &[StellarSignal::drop_udp_src(123)], 0);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 1);
+        sys.inject_faults(scripted(vec![
+            (1_000_000, FaultKind::PeerDown { peer: Asn(64500) }),
+            (2_000_000, FaultKind::PeerUp { peer: Asn(64500) }),
+        ]));
+        let mut t = 1_000_000;
+        while t <= 4_000_000 {
+            sys.pump(t);
+            t += 250_000;
+        }
+        // The flap flushed the member's routes; blackholing is
+        // per-announcement state, so the rule is gone until re-signaled.
+        assert_eq!(sys.active_rules(), 0);
+        assert!(sys.is_converged());
+        let out = sys.member_signal(
+            Asn(64500),
+            victim(),
+            &[StellarSignal::drop_udp_src(123)],
+            5_000_000,
+        );
+        assert!(out.rejections.is_empty(), "{:?}", out.rejections);
+        sys.pump(5_000_000);
+        assert_eq!(sys.active_rules(), 1);
+        sys.watchdog_check(60_000_000);
+        assert!(sys.watchdog.is_clean(), "{:?}", sys.watchdog.violations());
+    }
+
+    #[test]
+    fn peer_flap_also_flushes_flowspec_plane() {
+        let mut sys = system();
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 0);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 1);
+        assert_eq!(sys.flowspec.rule_count(), 1);
+        sys.inject_faults(scripted(vec![(
+            1_000_000,
+            FaultKind::PeerDown { peer: Asn(64500) },
+        )]));
+        let mut t = 1_000_000;
+        while t <= 3_000_000 {
+            sys.pump(t);
+            t += 250_000;
+        }
+        assert_eq!(sys.flowspec.rule_count(), 0);
+        assert_eq!(sys.active_rules(), 0);
+        assert!(sys.ixp.route_server.flowspec_routes().is_empty());
+        assert!(sys.is_converged());
+        sys.watchdog_check(60_000_000);
+        assert!(sys.watchdog.is_clean(), "{:?}", sys.watchdog.violations());
+    }
+
+    #[test]
+    fn flowspec_overload_parks_and_requeues_instead_of_dead_lettering() {
+        let mut sys = system();
+        // A brownout longer than the whole retry ladder: the FlowSpec add
+        // exhausts its attempts while the interface is down.
+        sys.inject_faults(scripted(vec![(
+            0,
+            FaultKind::InstallBrownout {
+                duration_us: 5_000_000,
+            },
+        )]));
+        let drop = ExtendedCommunity::traffic_rate(64500, 0.0);
+        sys.member_flowspec(Asn(64500), fs_flow(), &[drop], 0);
+        let mut t = 0;
+        while t <= 20_000_000 {
+            sys.pump(t);
+            t += 250_000;
+        }
+        // Parked once, requeued once, installed on the second life.
+        assert_eq!(sys.obs.registry.counter("deadletter.parked"), 1);
+        assert_eq!(sys.obs.registry.counter("deadletter.requeued"), 1);
+        assert_eq!(sys.obs.registry.counter("core.dead_letters"), 0);
+        assert!(sys.dead_letters.is_empty());
+        assert!(sys
+            .log
+            .iter()
+            .any(|e| matches!(e, RecoveryEvent::Requeued { requeue: 1, .. })));
+        assert_eq!(sys.active_rules(), 1);
+        assert!(sys.is_converged());
+        sys.watchdog_check(60_000_000);
+        assert!(sys.watchdog.is_clean(), "{:?}", sys.watchdog.violations());
+    }
+
+    #[test]
+    fn watchdog_flags_orphans_and_divergence() {
+        let mut sys = system();
+        sys.member_signal(Asn(64500), victim(), &[StellarSignal::drop_udp_src(123)], 0);
+        sys.pump(0);
+        assert_eq!(sys.active_rules(), 1);
+        // Sabotage: drop desired state directly, without queueing the
+        // removal the real paths would queue. The hardware rule is now an
+        // orphan and the system can never converge on its own.
+        sys.controller.session_down();
+        let found = sys.watchdog_check(60_000_000);
+        assert!(found >= 2, "expected convergence + orphan, got {found}");
+        assert!(!sys.watchdog.is_clean());
+        assert_eq!(
+            sys.obs.registry.counter("watchdog.violations.orphan_rules"),
+            1
+        );
+        assert_eq!(
+            sys.obs.registry.counter("watchdog.violations.convergence"),
+            1
+        );
+        assert_eq!(
+            sys.obs.registry.counter("watchdog.violations"),
+            sys.watchdog.total_violations()
+        );
+    }
+
+    #[test]
+    fn apply_tuning_resizes_the_dead_letter_ring() {
+        let mut sys = system();
+        for i in 0..3 {
+            sys.dead_letters.push(DeadLetter {
+                change: AbstractChange::RemoveRule {
+                    rule_id: i,
+                    owner: Asn(64500),
+                },
+                error: AdmissionError::Transient,
+                attempts: 1,
+                at_us: i,
+            });
+        }
+        let tuning = ControlTuning {
+            deadletter_capacity: 1,
+            deadletter_requeues: 5,
+            reconcile_interval_us: 2_000_000,
+            ..Default::default()
+        };
+        sys.apply_tuning(&tuning);
+        assert_eq!(sys.dead_letters.len(), 1);
+        assert_eq!(sys.obs.registry.counter("deadletter.evicted"), 2);
+        assert_eq!(sys.deadletter_requeues, 5);
+        assert_eq!(sys.reconcile_interval_us, 2_000_000);
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Runtime invariant watchdog.
+//!
+//! The self-healing machinery (retry ladder, reconciler, dead-letter
+//! requeue) is only trustworthy if something *checks its work* while
+//! faults are flying. The watchdog evaluates a small catalogue of
+//! whole-system invariants on a fixed cadence against live state and
+//! records every violation with a deterministic label — to the obs
+//! flight recorder for post-mortems and as `watchdog.*` counters for
+//! dashboards and CI gates. A chaos soak that ends "converged" but with
+//! a non-zero violation count still fails: the system passed through a
+//! state it should never have been in.
+//!
+//! The checks themselves live in `system.rs` (they need simultaneous
+//! read access to controller, dataplane, FlowSpec plane and route
+//! server); this module owns the cadence, the grace-period arithmetic
+//! and the bounded violation record.
+
+/// One invariant the watchdog evaluates. Labels are stable metric-key
+/// tokens: `watchdog.violations.<label>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariant {
+    /// After the last fault (plus the configured grace bound) desired
+    /// state must equal installed state with an empty queue.
+    Convergence,
+    /// `rule_installs - rule_removals` must equal the rules in hardware,
+    /// and with nothing installed the TCAM pools must be empty.
+    LedgerConservation,
+    /// Every `(owner, wire-bytes)` key the FlowSpec plane wants lowered
+    /// must still be present in the route server's FlowSpec RIB.
+    RibPlaneConsistency,
+    /// No hardware rule may survive without a desired-state owner once
+    /// the system is quiet (withdraw/flush/restart leftovers).
+    OrphanRule,
+    /// Dead-letter requeues must drain: nothing may stay parked past its
+    /// release time plus the grace bound.
+    DeadLetterDrain,
+}
+
+impl Invariant {
+    /// Stable metric-key token for this invariant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Invariant::Convergence => "convergence",
+            Invariant::LedgerConservation => "ledger_conservation",
+            Invariant::RibPlaneConsistency => "rib_plane",
+            Invariant::OrphanRule => "orphan_rules",
+            Invariant::DeadLetterDrain => "deadletter_drain",
+        }
+    }
+
+    /// Every invariant, in label order (catalogue iteration for docs,
+    /// tests and zeroed counter initialisation).
+    pub fn all() -> [Invariant; 5] {
+        [
+            Invariant::Convergence,
+            Invariant::DeadLetterDrain,
+            Invariant::LedgerConservation,
+            Invariant::OrphanRule,
+            Invariant::RibPlaneConsistency,
+        ]
+    }
+}
+
+/// One recorded violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// When the check observed it.
+    pub at_us: u64,
+    /// Which invariant broke.
+    pub invariant: Invariant,
+    /// Deterministic human-readable detail (no addresses, no wall-clock
+    /// times — two runs under one seed must record identical details).
+    pub detail: String,
+}
+
+/// Watchdog tuning.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// How long after the last control-plane activity (fault or
+    /// enqueued repair) the quiet-state invariants (convergence, orphan
+    /// rules, drainage) are allowed to still be violated. Must cover the
+    /// retry ladder's worst case: attempts × max backoff plus a
+    /// reconciliation round.
+    pub convergence_grace_us: u64,
+    /// Evaluation cadence.
+    pub check_interval_us: u64,
+    /// Violations retained verbatim; past this the record keeps counting
+    /// but stops storing (the counters and flight recorder still see
+    /// every one).
+    pub max_recorded: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            // 3 attempts × 8 s capped backoff + a 1 s reconcile round,
+            // rounded up generously: chaos soaks measure MTTR well under
+            // this; the watchdog only flags pathological non-recovery.
+            convergence_grace_us: 30_000_000,
+            check_interval_us: 250_000,
+            max_recorded: 256,
+        }
+    }
+}
+
+/// The runtime invariant monitor: cadence, quiet-period tracking and the
+/// bounded violation record.
+#[derive(Debug)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    last_activity_us: u64,
+    last_check_us: Option<u64>,
+    checks: u64,
+    violations: Vec<Violation>,
+    total_violations: u64,
+}
+
+impl Watchdog {
+    /// A watchdog with the given tuning.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        Watchdog {
+            cfg,
+            last_activity_us: 0,
+            last_check_us: None,
+            checks: 0,
+            violations: Vec::new(),
+            total_violations: 0,
+        }
+    }
+
+    /// The active tuning.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Control-plane activity happened (fault fired, change enqueued,
+    /// dead letter requeued): the quiet-period clock restarts and the
+    /// quiet-state invariants stand down until it expires again.
+    pub fn note_activity(&mut self, now_us: u64) {
+        self.last_activity_us = self.last_activity_us.max(now_us);
+    }
+
+    /// When the last activity was noted.
+    pub fn last_activity_us(&self) -> u64 {
+        self.last_activity_us
+    }
+
+    /// True when the system has been quiet long enough that the
+    /// quiet-state invariants (convergence, orphans, drainage) apply.
+    pub fn quiet(&self, now_us: u64) -> bool {
+        now_us
+            >= self
+                .last_activity_us
+                .saturating_add(self.cfg.convergence_grace_us)
+    }
+
+    /// True when the cadence says a check is due at `now_us`.
+    pub fn due(&self, now_us: u64) -> bool {
+        match self.last_check_us {
+            None => true,
+            Some(last) => now_us >= last.saturating_add(self.cfg.check_interval_us),
+        }
+    }
+
+    /// Starts a check pass at `now_us` (advances the cadence clock and
+    /// the check counter).
+    pub fn begin_check(&mut self, now_us: u64) {
+        self.last_check_us = Some(now_us);
+        self.checks += 1;
+    }
+
+    /// Records one violation, returning it back for the caller to feed
+    /// the flight recorder. Past `max_recorded` the record keeps
+    /// counting but stops storing.
+    pub fn record(&mut self, at_us: u64, invariant: Invariant, detail: String) -> Violation {
+        let v = Violation {
+            at_us,
+            invariant,
+            detail,
+        };
+        self.total_violations += 1;
+        if self.violations.len() < self.cfg.max_recorded {
+            self.violations.push(v.clone());
+        }
+        v
+    }
+
+    /// Check passes run so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Violations recorded verbatim (bounded by `max_recorded`).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Every violation ever, including ones past the storage bound.
+    pub fn total_violations(&self) -> u64 {
+        self.total_violations
+    }
+
+    /// True when no invariant has ever been observed broken.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations == 0
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new(WatchdogConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_metric_tokens() {
+        for inv in Invariant::all() {
+            assert!(!inv.label().is_empty());
+            assert!(!inv.label().contains(' '));
+            assert!(!inv.label().contains('.'));
+        }
+        let labels: Vec<&str> = Invariant::all().iter().map(|i| i.label()).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted, "catalogue iterates in label order");
+    }
+
+    #[test]
+    fn quiet_period_tracks_latest_activity() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            convergence_grace_us: 1_000,
+            ..Default::default()
+        });
+        assert!(wd.quiet(1_000));
+        wd.note_activity(500);
+        assert!(!wd.quiet(1_000));
+        assert!(wd.quiet(1_500));
+        // Activity timestamps never move backwards.
+        wd.note_activity(200);
+        assert_eq!(wd.last_activity_us(), 500);
+    }
+
+    #[test]
+    fn cadence_gates_checks() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            check_interval_us: 100,
+            ..Default::default()
+        });
+        assert!(wd.due(0));
+        wd.begin_check(0);
+        assert!(!wd.due(99));
+        assert!(wd.due(100));
+        wd.begin_check(100);
+        assert_eq!(wd.checks(), 2);
+    }
+
+    #[test]
+    fn violation_record_is_bounded_but_counts_everything() {
+        let mut wd = Watchdog::new(WatchdogConfig {
+            max_recorded: 2,
+            ..Default::default()
+        });
+        assert!(wd.is_clean());
+        for i in 0..5 {
+            wd.record(i, Invariant::Convergence, format!("v{i}"));
+        }
+        assert_eq!(wd.violations().len(), 2);
+        assert_eq!(wd.total_violations(), 5);
+        assert!(!wd.is_clean());
+        assert_eq!(wd.violations()[0].detail, "v0");
+    }
+}

@@ -53,6 +53,7 @@ fn arb_fault_cfg() -> impl Strategy<Value = FaultPlanConfig> {
         brownouts,
         max_brownout_us: 800_000,
         max_flap_us: 1_500_000,
+        ..Default::default()
     })
 }
 

@@ -31,6 +31,10 @@ pub enum FlowSpecRejectReason {
     OriginatorMismatch,
     /// RPKI validation of (destination prefix, originator) is Invalid.
     RpkiInvalid,
+    /// The IRR/RPKI oracle could not be consulted (brownout): the check
+    /// fails closed. Unlike the other reasons this one is transient —
+    /// callers should retry with backoff instead of giving up.
+    OracleUnavailable,
 }
 
 impl FlowSpecRejectReason {
@@ -41,7 +45,14 @@ impl FlowSpecRejectReason {
             FlowSpecRejectReason::PathMismatch => "path-mismatch",
             FlowSpecRejectReason::OriginatorMismatch => "originator-mismatch",
             FlowSpecRejectReason::RpkiInvalid => "rpki-invalid",
+            FlowSpecRejectReason::OracleUnavailable => "oracle-unavailable",
         }
+    }
+
+    /// True for refusals that clear by themselves — worth retrying with
+    /// backoff rather than treating as a verdict on the announcement.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FlowSpecRejectReason::OracleUnavailable)
     }
 }
 
@@ -65,6 +76,12 @@ pub fn validate_flowspec(
         }
     }
     let origin = origin.unwrap_or(peer);
+    // The structural checks above need no external data; from here on
+    // the IRR/RPKI oracle is consulted, and during a brownout the
+    // procedure fails closed rather than guessing either way.
+    if policy.oracle_down {
+        return Err(FlowSpecRejectReason::OracleUnavailable);
+    }
     if !policy.irr.validates(&dst, origin) {
         return Err(FlowSpecRejectReason::OriginatorMismatch);
     }
@@ -128,6 +145,9 @@ pub struct FlowSpecStats {
     pub withdrawn: u64,
     /// Rejected entries by reason token.
     pub rejected: BTreeMap<&'static str, u64>,
+    /// Wire NLRI bytes that failed to decode (corrupted or truncated
+    /// announcements, refused before validation).
+    pub malformed: u64,
 }
 
 impl FlowSpecStats {
@@ -137,6 +157,7 @@ impl FlowSpecStats {
         reg.counter_set("routeserver.flowspec.announced", self.announced);
         reg.counter_set("routeserver.flowspec.accepted", self.accepted);
         reg.counter_set("routeserver.flowspec.withdrawn", self.withdrawn);
+        reg.counter_set("routeserver.flowspec.malformed", self.malformed);
         let total_rejected: u64 = self.rejected.values().sum();
         reg.counter_set("routeserver.flowspec.rejected", total_rejected);
         for (reason, n) in &self.rejected {
@@ -275,10 +296,40 @@ mod tests {
             FlowSpecRejectReason::PathMismatch,
             FlowSpecRejectReason::OriginatorMismatch,
             FlowSpecRejectReason::RpkiInvalid,
+            FlowSpecRejectReason::OracleUnavailable,
         ] {
             assert!(!r.describe().is_empty());
             assert!(!r.describe().contains(' '));
+            assert_eq!(
+                r.is_transient(),
+                r == FlowSpecRejectReason::OracleUnavailable
+            );
         }
+    }
+
+    #[test]
+    fn oracle_brownout_fails_closed() {
+        let mut pol = policy();
+        pol.oracle_down = true;
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &victim_flow()),
+            Err(FlowSpecRejectReason::OracleUnavailable)
+        );
+        // Structural refusals still fire without the oracle.
+        let no_dst = FlowSpec::new(
+            Afi::Ipv4,
+            vec![Component::IpProtocol(vec![NumericOp::equals(17)])],
+        )
+        .unwrap();
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &no_dst),
+            Err(FlowSpecRejectReason::MissingDestPrefix)
+        );
+        pol.oracle_down = false;
+        assert_eq!(
+            validate_flowspec(&pol, MEMBER, Some(MEMBER), Some(MEMBER), &victim_flow()),
+            Ok(())
+        );
     }
 
     #[test]
@@ -288,10 +339,12 @@ mod tests {
             accepted: 3,
             withdrawn: 1,
             rejected: BTreeMap::from([("missing-dest-prefix", 2)]),
+            malformed: 4,
         };
         let mut reg = stellar_obs::MetricsRegistry::new();
         stats.observe(&mut reg);
         assert_eq!(reg.counter("routeserver.flowspec.announced"), 5);
+        assert_eq!(reg.counter("routeserver.flowspec.malformed"), 4);
         assert_eq!(reg.counter("routeserver.flowspec.rejected"), 2);
         assert_eq!(
             reg.counter("routeserver.flowspec.rejected.missing-dest-prefix"),

@@ -53,6 +53,10 @@ pub struct ImportPolicy {
     /// standard guard against route-table flooding \[51\]). `None`
     /// disables the check.
     pub max_prefixes_per_peer: Option<usize>,
+    /// The IRR/RPKI validation oracle is unreachable (brownout fault).
+    /// Checks that need it fail closed — announcements are deferred, not
+    /// silently rejected or waved through.
+    pub oracle_down: bool,
 }
 
 impl ImportPolicy {
@@ -63,6 +67,7 @@ impl ImportPolicy {
             rpki,
             reject_rpki_invalid: true,
             max_prefixes_per_peer: Some(10_000),
+            oracle_down: false,
         }
     }
 

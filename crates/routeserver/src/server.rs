@@ -428,6 +428,47 @@ impl RouteServer {
         self.flowspec_rib.values().collect()
     }
 
+    /// True when `owner`'s FlowSpec rule with this canonical wire key is
+    /// in the RIB (the watchdog's RIB↔plane consistency probe).
+    pub fn flowspec_contains(&self, owner: Asn, wire: &[u8]) -> bool {
+        self.flowspec_rib.contains_key(&(owner, wire.to_vec()))
+    }
+
+    /// Handles FlowSpec NLRI exactly as received on the wire: decodes
+    /// `nlri_bytes` (RFC 8955 length-prefixed NLRIs) and, only if the
+    /// *whole* run decodes, builds the UPDATE and runs the normal
+    /// [`RouteServer::handle_flowspec_update`] path. Corrupted or
+    /// truncated bytes are counted under `malformed` and refused without
+    /// touching the `(peer, wire-bytes)` RIB — a damaged announcement
+    /// must not poison state keyed on the bytes it failed to carry.
+    pub fn handle_flowspec_wire(
+        &mut self,
+        peer: Asn,
+        afi: Afi,
+        nlri_bytes: &[u8],
+        actions: &[stellar_bgp::extcommunity::ExtendedCommunity],
+    ) -> FlowSpecOutput {
+        let flows = match stellar_bgp::flowspec::FlowSpec::decode_many(afi, nlri_bytes) {
+            Ok(flows) => flows,
+            Err(_) => {
+                self.flowspec_stats.malformed += 1;
+                return FlowSpecOutput::default();
+            }
+        };
+        let mut update = UpdateMessage {
+            withdrawn: vec![],
+            attrs: vec![
+                PathAttribute::AsPath(stellar_bgp::attr::AsPath::sequence([peer.0])),
+                PathAttribute::MpReachFlowSpec { afi, nlri: flows },
+            ],
+            nlri: vec![],
+        };
+        if !actions.is_empty() {
+            update.add_extended_communities(actions);
+        }
+        self.handle_flowspec_update(peer, &update)
+    }
+
     /// Handles a ROUTE-REFRESH from `target` (RFC 2918): rebuilds the
     /// member's entire view — every other peer's routes, subject to the
     /// same action-community scoping and blackhole next-hop rewriting as
@@ -1032,6 +1073,42 @@ mod flowspec_tests {
             rs.handle_flowspec_update(Asn(9999), &flowspec_announce(9999, victim_flow(), &[]));
         assert!(out.accepted.is_empty() && out.rejections.is_empty());
         assert_eq!(rs.flowspec_stats().announced, 0);
+    }
+
+    #[test]
+    fn corrupted_wire_is_refused_without_poisoning_the_rib() {
+        let mut rs = server();
+        let wire = victim_flow().to_wire().unwrap();
+        // The intact wire installs the rule.
+        let out = rs.handle_flowspec_wire(Asn(64500), Afi::Ipv4, &wire, &[]);
+        assert_eq!(out.accepted.len(), 1);
+        assert!(rs.flowspec_contains(Asn(64500), &wire));
+        // Damaged variants are refused before touching the RIB: same
+        // rule count, same stored entry, only `malformed` advances.
+        for salt in [0u64, 1, 7, 42] {
+            let bad = stellar_bgp::flowspec::corrupt_wire(&wire, salt);
+            let out = rs.handle_flowspec_wire(Asn(64500), Afi::Ipv4, &bad, &[]);
+            assert!(out.accepted.is_empty() && out.rejections.is_empty());
+            assert!(!rs.flowspec_contains(Asn(64500), &bad));
+        }
+        assert_eq!(rs.flowspec_stats().malformed, 4);
+        assert_eq!(rs.flowspec_routes().len(), 1);
+        assert_eq!(
+            rs.flowspec_stats().announced,
+            1,
+            "damage never reached validation"
+        );
+    }
+
+    #[test]
+    fn valid_wire_path_matches_the_update_path() {
+        let mut rs = server();
+        let drop_rate = ExtendedCommunity::traffic_rate(64500, 0.0);
+        let wire = victim_flow().to_wire().unwrap();
+        let out = rs.handle_flowspec_wire(Asn(64500), Afi::Ipv4, &wire, &[drop_rate]);
+        assert_eq!(out.accepted.len(), 1);
+        assert_eq!(out.accepted[0].actions, vec![drop_rate]);
+        assert_eq!(rs.flowspec_stats().accepted, 1);
     }
 
     #[test]

@@ -173,6 +173,14 @@ fn main() {
                 sec(*at_us),
                 error.describe()
             ),
+            RecoveryEvent::Requeued {
+                at_us,
+                rule_id,
+                requeue,
+            } => println!(
+                "  t={:5.2}s  rule {rule_id}: parked, requeue #{requeue} scheduled",
+                sec(*at_us)
+            ),
             RecoveryEvent::Resynced { at_us, changes } => println!(
                 "  t={:5.2}s  controller resynced from route server ({changes} changes)",
                 sec(*at_us)
@@ -256,4 +264,17 @@ fn main() {
     );
     assert!(identical, "replay diverged from first run");
     assert!(snapshots_identical, "metrics snapshot diverged");
+
+    // The watchdog ran on its cadence through the whole soak; one final
+    // quiet-state pass past the horizon must also come back clean.
+    soak.sys.watchdog_check(END_US + 60_000_000);
+    assert!(
+        soak.sys.watchdog.is_clean(),
+        "watchdog violations: {:?}",
+        soak.sys.watchdog.violations()
+    );
+    println!(
+        "watchdog: {} checks, 0 violations",
+        soak.sys.watchdog.checks()
+    );
 }

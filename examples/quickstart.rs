@@ -91,4 +91,13 @@ fn main() {
     let path = "results/metrics_quickstart.json";
     system.export_metrics(path, 4_000_000).expect("export");
     println!("metrics snapshot written to {path}");
+
+    // 8. The runtime invariant watchdog saw nothing wrong, start to end.
+    system.watchdog_check(60_000_000);
+    assert!(
+        system.watchdog.is_clean(),
+        "watchdog violations: {:?}",
+        system.watchdog.violations()
+    );
+    println!("watchdog: clean ({} checks)", system.watchdog.checks());
 }

@@ -15,6 +15,9 @@ cleanup() {
   if [ -f results/metrics_quickstart.seq.json ]; then
     mv -f results/metrics_quickstart.seq.json results/metrics_quickstart.json
   fi
+  if [ -f results/chaos_soak.run1.json ]; then
+    mv -f results/chaos_soak.run1.json results/chaos_soak.json
+  fi
 }
 trap cleanup EXIT
 
@@ -56,5 +59,11 @@ cargo test --release -q -p stellar-bgp --test flowspec_conformance
 
 echo "==> flowspec_signal smoke: FlowSpec episode end-to-end (determinism asserted in-run)"
 cargo run --release -q -p stellar-bench --bin flowspec_signal >/dev/null
+
+echo "==> chaos_soak smoke: every fault class, watchdog-clean + converged (asserted in-run)"
+STELLAR_CHAOS_SMOKE=1 cargo run --release -q -p stellar-bench --bin chaos_soak >/dev/null
+mv results/chaos_soak.json results/chaos_soak.run1.json
+STELLAR_CHAOS_SMOKE=1 cargo run --release -q -p stellar-bench --bin chaos_soak >/dev/null
+diff results/chaos_soak.run1.json results/chaos_soak.json
 
 echo "All checks passed."

@@ -1,0 +1,164 @@
+//! Quiescence property for the expanded chaos engine: for an arbitrary
+//! seeded [`FaultPlan`] drawn over EVERY fault class — install
+//! brownouts, router restarts, iBGP session flaps, member eBGP peer
+//! flaps, corrupted FlowSpec NLRI, delayed/reordered delivery and
+//! validation-oracle brownouts — interleaved with a signal + FlowSpec
+//! workload, once the faults stop the system converges (desired ==
+//! installed, nothing in flight) and the runtime invariant watchdog has
+//! recorded zero violations end to end.
+
+use proptest::prelude::*;
+use stellar::bgp::extcommunity::ExtendedCommunity;
+use stellar::bgp::flowspec::{Component, FlowSpec, NumericOp};
+use stellar::bgp::types::{Afi, Asn};
+use stellar::core::faults::{FaultPlan, FaultPlanConfig, RetryPolicy};
+use stellar::core::signal::StellarSignal;
+use stellar::core::system::StellarSystem;
+use stellar::dataplane::hardware::HardwareInfoBase;
+use stellar::net::prefix::Prefix;
+use stellar::sim::topology::{generic_members, IxpTopology, MemberSpec};
+
+const VICTIM: Asn = Asn(64500);
+const HORIZON_US: u64 = 6_000_000;
+const PUMP_US: u64 = 250_000;
+
+/// An arbitrary plan shape over the full fault taxonomy. Counts are kept
+/// small so retry tails finish inside the drive window; every class can
+/// appear, alone or stacked with the others.
+fn arb_fault_cfg() -> impl Strategy<Value = FaultPlanConfig> {
+    (
+        0u32..=1, // restarts
+        0u32..=1, // flaps
+        0u32..=2, // brownouts
+        0u32..=1, // peer_flaps
+        0u32..=2, // corruptions
+        0u32..=1, // delivery_windows
+        0u32..=1, // validation_brownouts
+    )
+        .prop_map(
+            |(restarts, flaps, brownouts, peer_flaps, corruptions, delivery, validation)| {
+                FaultPlanConfig {
+                    horizon_us: HORIZON_US,
+                    restarts,
+                    flaps,
+                    brownouts,
+                    max_brownout_us: 800_000,
+                    max_flap_us: 1_500_000,
+                    peer_flaps,
+                    corruptions,
+                    delivery_windows: delivery,
+                    validation_brownouts: validation,
+                    max_delivery_delay_us: 1_000_000,
+                    peers: vec![VICTIM, Asn(64502), Asn(64503)],
+                }
+            },
+        )
+}
+
+fn system() -> StellarSystem {
+    let mut specs = generic_members(64501, 4);
+    specs.insert(
+        0,
+        MemberSpec {
+            asn: VICTIM.0,
+            capacity_bps: 1_000_000_000,
+            prefixes: vec!["100.10.10.0/24".parse().unwrap()],
+        },
+    );
+    let mut sys = StellarSystem::new(
+        IxpTopology::build(&specs, HardwareInfoBase::lab_switch()),
+        1000.0,
+    );
+    // A tight retry budget so every recovery tail — including one
+    // dead-letter park + requeue round — fits the drive window.
+    sys.retry = RetryPolicy {
+        base_backoff_us: 100_000,
+        max_backoff_us: 800_000,
+        max_attempts: 4,
+    };
+    sys
+}
+
+fn victim_host() -> Prefix {
+    "100.10.10.10/32".parse().unwrap()
+}
+
+fn victim_flow() -> FlowSpec {
+    FlowSpec::new(
+        Afi::Ipv4,
+        vec![
+            Component::DstPrefix(victim_host()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::SrcPort(vec![NumericOp::equals(53)]),
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chaos_quiesces_with_a_clean_watchdog(
+        seed in any::<u64>(),
+        cfg in arb_fault_cfg(),
+        signal_at in 0..HORIZON_US,
+        flowspec_at in 0..HORIZON_US,
+    ) {
+        let mut sys = system();
+        let plan = FaultPlan::generate(seed, &cfg);
+        let quiescent = plan.quiescent_after_us();
+        sys.inject_faults(plan);
+
+        // Past quiescence plus the worst recovery tail: the retry
+        // ladder, a dead-letter park (max backoff cool-off) and a fresh
+        // budget after requeue, plus a validation-deferral tail.
+        let end = quiescent.max(HORIZON_US) + 10_000_000;
+        let mut t = 0u64;
+        let mut signaled = false;
+        let mut flowspeced = false;
+        while t <= end {
+            if !signaled && t >= signal_at {
+                let out = sys.member_signal(
+                    VICTIM,
+                    victim_host(),
+                    &[StellarSignal::drop_udp_src(123), StellarSignal::drop_udp_src(19)],
+                    t,
+                );
+                prop_assert!(out.rejections.is_empty(), "{:?}", out.rejections);
+                signaled = true;
+            }
+            if !flowspeced && t >= flowspec_at {
+                let drop = ExtendedCommunity::traffic_rate(VICTIM.0 as u16, 0.0);
+                let out = sys.member_flowspec(VICTIM, victim_flow(), &[drop], t);
+                // Any fate but a hard validation rejection: accepted,
+                // deferred by a brownout, or flushed later by a flap.
+                prop_assert!(out.rejections.is_empty(), "{:?}", out.rejections);
+                flowspeced = true;
+            }
+            sys.pump(t);
+            if t.is_multiple_of(1_000_000) {
+                sys.reconcile(t);
+            }
+            t += PUMP_US;
+        }
+
+        prop_assert!(
+            sys.is_converged(),
+            "seed {seed} not converged: backlog={} active={} log tail={:?}",
+            sys.queue.backlog(),
+            sys.active_rules(),
+            sys.log.iter().rev().take(8).collect::<Vec<_>>()
+        );
+        // Once converged, reconciliation stays a no-op.
+        prop_assert!(sys.reconcile(end + 1_000_000).is_clean());
+        // Final quiet-state pass, then the whole-run verdict: zero
+        // violations from first pump to last.
+        sys.watchdog_check(end + 60_000_000);
+        prop_assert!(
+            sys.watchdog.is_clean(),
+            "seed {seed} watchdog violations: {:?}",
+            sys.watchdog.violations()
+        );
+    }
+}
