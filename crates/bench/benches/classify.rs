@@ -17,15 +17,20 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use stellar_bench::output;
+use stellar_classify::interval::IntervalEngine;
 use stellar_classify::sharded::{classify_shards, ShardRequest};
+use stellar_classify::spec::{BitsMatch, RangeMatch};
 use stellar_classify::{ClassifyEngine, MatchSpec, PortMatch, RuleEntry};
 use stellar_net::addr::{IpAddress, Ipv4Address};
-use stellar_net::flow::FlowKey;
+use stellar_net::flow::{frag, FlowKey};
 use stellar_net::mac::MacAddr;
 use stellar_net::prefix::{Ipv4Prefix, Prefix};
 use stellar_net::proto::IpProtocol;
+use stellar_net::tcp::TcpFlags;
 
 const RULE_COUNTS: [usize; 4] = [10, 100, 1_000, 10_000];
+/// Rule counts for the hash-vs-tree backend A/B (the ISSUE's 1k/10k).
+const AB_RULE_COUNTS: [usize; 2] = [1_000, 10_000];
 const KEY_COUNT: usize = 1_000;
 const SHARDS: usize = 8;
 
@@ -102,6 +107,7 @@ fn keys(n_rules: usize) -> Vec<FlowKey> {
                 protocol: IpProtocol::UDP,
                 src_port: AMP_PORTS[i % AMP_PORTS.len()],
                 dst_port: 44_444,
+                ..FlowKey::default()
             }
         })
         .collect()
@@ -110,6 +116,100 @@ fn keys(n_rules: usize) -> Vec<FlowKey> {
 /// The seed hot path: first match over rules sorted by `(priority, id)`.
 fn linear_classify(sorted: &[RuleEntry], key: &FlowKey) -> Option<u64> {
     sorted.iter().find(|e| e.spec.matches(key)).map(|e| e.id)
+}
+
+/// A range-heavy mix: the FlowSpec-era rules advanced blackholing lowers
+/// to — SYN-only cubes, packet-length bands, wide port ranges, DSCP
+/// bands and fragment bits. Ranges defeat the hash engine's exact-value
+/// tuples (every range rule lands in a residual-confirmed group), which
+/// is exactly the case the interval tree exists for.
+fn range_rules(n: usize) -> Vec<RuleEntry> {
+    (0..n)
+        .map(|i| {
+            let dst = host_prefix(victim(i));
+            let spec = match i % 10 {
+                // 30%: SYN-flood filter: victim /32, TCP, SYN-only cube.
+                0..=2 => MatchSpec {
+                    protocol: Some(IpProtocol::TCP),
+                    tcp_flags: Some(BitsMatch::new(TcpFlags::SYN | TcpFlags::ACK, TcpFlags::SYN)),
+                    ..MatchSpec::to_destination(dst)
+                },
+                // 30%: packet-length band + UDP (fragmentation floods).
+                3..=5 => {
+                    let bands = [(0u16, 128u16), (1_000, 1_499), (1_500, u16::MAX)];
+                    let (lo, hi) = bands[i % bands.len()];
+                    MatchSpec {
+                        protocol: Some(IpProtocol::UDP),
+                        packet_len: Some(RangeMatch::new(lo, hi)),
+                        ..MatchSpec::to_destination(dst)
+                    }
+                }
+                // 20%: wide destination port range on the victim's /24.
+                6..=7 => {
+                    let (lo, hi) = if i % 2 == 0 {
+                        (0, 1_023)
+                    } else {
+                        (1_024, 49_151)
+                    };
+                    MatchSpec {
+                        protocol: Some(IpProtocol::TCP),
+                        dst_port: Some(PortMatch::Range(lo, hi)),
+                        ..MatchSpec::to_destination(Prefix::V4(
+                            Ipv4Prefix::new(victim(i), 24).unwrap(),
+                        ))
+                    }
+                }
+                // 10%: low-DSCP band towards the victim.
+                8 => MatchSpec {
+                    dscp: Some(RangeMatch::new(0, 31)),
+                    ..MatchSpec::to_destination(dst)
+                },
+                // 10%: fragments towards the victim.
+                _ => MatchSpec {
+                    fragment: Some(BitsMatch::all_of(frag::IS_FRAGMENT)),
+                    ..MatchSpec::to_destination(dst)
+                },
+            };
+            RuleEntry::new(i as u64, 10, spec)
+        })
+        .collect()
+}
+
+/// Keys for the range-heavy mix: half aimed at installed victims with
+/// header fields spread across the bands and cubes, half misses.
+fn range_keys(n_rules: usize) -> Vec<FlowKey> {
+    (0..KEY_COUNT)
+        .map(|i| {
+            let dst = if i % 2 == 0 {
+                victim((i * 7) % n_rules)
+            } else {
+                Ipv4Address::new(198, 51, (i % 256) as u8, (i / 256) as u8)
+            };
+            let tcp = i % 3 != 0;
+            FlowKey {
+                src_mac: MacAddr::for_member(64500 + (i % 4) as u32, 1),
+                dst_mac: MacAddr::for_member(64510, 1),
+                src_ip: IpAddress::V4(Ipv4Address::new(203, (i % 200) as u8, 7, 9)),
+                dst_ip: IpAddress::V4(dst),
+                protocol: if tcp {
+                    IpProtocol::TCP
+                } else {
+                    IpProtocol::UDP
+                },
+                src_port: AMP_PORTS[i % AMP_PORTS.len()],
+                dst_port: ((i * 131) % 65_536) as u16,
+                tcp_flags: if i % 4 == 0 {
+                    TcpFlags::SYN
+                } else {
+                    TcpFlags::SYN | TcpFlags::ACK
+                },
+                packet_len: [64, 600, 1_200, 1_500][i % 4],
+                dscp: (i % 64) as u8,
+                fragment: if i % 5 == 0 { frag::IS_FRAGMENT } else { 0 },
+                ..FlowKey::default()
+            }
+        })
+        .collect()
 }
 
 fn bench(c: &mut Criterion) {
@@ -167,6 +267,64 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hash vs interval-tree A/B over the standard and range-heavy rule
+/// mixes. Before timing anything, both backends' verdict vectors are
+/// asserted byte-identical on every workload — the A/B is only
+/// meaningful (and only honest) if the answers agree.
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_ab");
+    group.throughput(Throughput::Elements(KEY_COUNT as u64));
+    for n in AB_RULE_COUNTS {
+        let workloads = [
+            ("std", rules(n), keys(n)),
+            ("range", range_rules(n), range_keys(n)),
+        ];
+        for (mix, entries, batch) in workloads {
+            let hash = ClassifyEngine::compile(entries.iter().cloned());
+            let tree = IntervalEngine::compile(entries.iter().cloned());
+            assert_eq!(
+                hash.classify_batch(&batch),
+                tree.classify_batch(&batch),
+                "backend verdicts diverge on mix {mix} at {n} rules"
+            );
+            group.bench_function(format!("hash_{mix}/{n}"), |b| {
+                b.iter(|| black_box(&hash).classify_batch(black_box(&batch)))
+            });
+            group.bench_function(format!("tree_{mix}/{n}"), |b| {
+                b.iter(|| black_box(&tree).classify_batch(black_box(&batch)))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Rule-set build cost: whole-set `compile` (one deferred rank rebuild)
+/// vs the same set fed through per-entry `insert` (a rebuild per rule —
+/// the path `compile` used before the rebuild was batched), plus the
+/// tree's whole-set compile for scale.
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify_compile");
+    for n in AB_RULE_COUNTS {
+        let entries = rules(n);
+        group.bench_function(format!("hash_compile/{n}"), |b| {
+            b.iter(|| ClassifyEngine::compile(black_box(&entries).iter().cloned()))
+        });
+        group.bench_function(format!("hash_insert_each/{n}"), |b| {
+            b.iter(|| {
+                let mut engine = ClassifyEngine::new();
+                for e in black_box(&entries) {
+                    engine.insert(e.clone());
+                }
+                engine
+            })
+        });
+        group.bench_function(format!("tree_compile/{n}"), |b| {
+            b.iter(|| IntervalEngine::compile(black_box(&entries).iter().cloned()))
+        });
+    }
+    group.finish();
+}
+
 /// Reads the summaries recorded by `bench` and writes a machine-readable
 /// comparison to `results/bench_classify.json`.
 fn report(c: &mut Criterion) {
@@ -198,6 +356,45 @@ fn report(c: &mut Criterion) {
             "speedup_sharded_vs_linear": speedup(sharded),
         }));
     }
+    // Backend A/B: hash vs interval tree on both mixes, per key.
+    let ab = |name: &str, n: usize| {
+        c.summaries()
+            .iter()
+            .find(|s| s.name == format!("classify_ab/{name}/{n}"))
+            .map(|s| s.ns_per_iter / KEY_COUNT as f64)
+    };
+    let compile_ns = |name: &str, n: usize| {
+        c.summaries()
+            .iter()
+            .find(|s| s.name == format!("classify_compile/{name}/{n}"))
+            .map(|s| s.ns_per_iter)
+    };
+    let mut ab_rows = Vec::new();
+    for n in AB_RULE_COUNTS {
+        let ratio = |h: Option<f64>, t: Option<f64>| match (h, t) {
+            (Some(h), Some(t)) if t > 0.0 => serde_json::json!(h / t),
+            _ => serde_json::json!(null),
+        };
+        let (hs, ts) = (ab("hash_std", n), ab("tree_std", n));
+        let (hr, tr) = (ab("hash_range", n), ab("tree_range", n));
+        ab_rows.push(serde_json::json!({
+            "rules": n,
+            "verdicts_identical": true, // asserted before timing
+            "std_hash_ns_per_key": serde_json::json!(hs),
+            "std_tree_ns_per_key": serde_json::json!(ts),
+            "std_tree_speedup_vs_hash": ratio(hs, ts),
+            "range_hash_ns_per_key": serde_json::json!(hr),
+            "range_tree_ns_per_key": serde_json::json!(tr),
+            "range_tree_speedup_vs_hash": ratio(hr, tr),
+            "hash_compile_ns": serde_json::json!(compile_ns("hash_compile", n)),
+            "hash_insert_each_ns": serde_json::json!(compile_ns("hash_insert_each", n)),
+            "hash_compile_speedup_vs_insert_each": ratio(
+                compile_ns("hash_insert_each", n),
+                compile_ns("hash_compile", n),
+            ),
+            "tree_compile_ns": serde_json::json!(compile_ns("tree_compile", n)),
+        }));
+    }
     output::banner(
         "bench_classify",
         "compiled tuple-space classification vs linear scan",
@@ -209,9 +406,10 @@ fn report(c: &mut Criterion) {
             "workload": "1000-key batch, 50% hits, Stellar-style rule mix",
             "shards": SHARDS,
             "results": serde_json::json!(rows),
+            "backend_ab": serde_json::json!(ab_rows),
         }),
     );
 }
 
-criterion_group!(benches, bench, report);
+criterion_group!(benches, bench, bench_backends, bench_compile, report);
 criterion_main!(benches);

@@ -37,6 +37,7 @@ fn keys(n: usize) -> Vec<FlowKey> {
             protocol: IpProtocol::UDP,
             src_port: (i % 1024) as u16,
             dst_port: 443,
+            ..FlowKey::default()
         })
         .collect()
 }

@@ -23,6 +23,7 @@ fn offers(n: usize) -> Vec<Offer> {
                 protocol: IpProtocol::UDP,
                 src_port: if i % 3 == 0 { 123 } else { 40000 + i as u16 },
                 dst_port: 443,
+                ..FlowKey::default()
             },
             bytes: 2_000_000,
             packets: 1400,

@@ -39,6 +39,7 @@ fn offer(src_port: u16, proto: IpProtocol, rate_bps: f64, victim_mac: MacAddr) -
             protocol: proto,
             src_port,
             dst_port: if proto == IpProtocol::TCP { 443 } else { 40000 },
+            ..FlowKey::default()
         },
         bytes,
         packets: bytes / 1000 + 1,

@@ -31,6 +31,7 @@ fn flow(src_port: u16, proto: IpProtocol, dst: Ipv4Address, rate_bps: f64) -> Of
             protocol: proto,
             src_port,
             dst_port: if proto == IpProtocol::TCP { 443 } else { 40000 },
+            ..FlowKey::default()
         },
         bytes,
         packets: bytes / 1000 + 1,

@@ -131,6 +131,7 @@ fn build_offers(cfg: Config, seed: u64) -> Vec<OfferedAggregate> {
                     protocol: proto,
                     src_port,
                     dst_port: if proto == IpProtocol::TCP { 443 } else { 40000 },
+                    ..FlowKey::default()
                 },
                 bytes,
                 packets: bytes / 1200 + 1,

@@ -8,7 +8,9 @@
 //! Classic firewall policy analysis (FIREMAN and the ACL-anomaly line of
 //! work) shows these properties are decidable for match languages like
 //! ours, where every rule is a product of per-field sets: MAC equality,
-//! IP prefixes (aligned intervals), protocol equality and port intervals.
+//! IP prefixes (aligned intervals), protocol equality, port / length /
+//! DSCP / ICMP-type / flow-label intervals, and TCP-flag / fragment bit
+//! cubes.
 //!
 //! Three results per table, all deterministic (rank-ordered, no hash
 //! iteration):
@@ -30,7 +32,7 @@
 //!   the hardware pools (the paper's Fig. 9 F1/F2 modes) before install.
 
 use crate::engine::{RuleEntry, RuleId};
-use crate::spec::{MatchSpec, PortMatch};
+use crate::spec::{is_icmp, BitsMatch, MatchSpec, PortMatch, RangeMatch};
 use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
 use stellar_net::flow::FlowKey;
 use stellar_net::mac::MacAddr;
@@ -289,9 +291,12 @@ pub fn table_usage(rules: &[AuditRule]) -> TcamUsage {
 // ---------------------------------------------------------------------
 // Set relations on MatchSpecs.
 //
-// A spec denotes a product of per-field sets over flow keys. The port
-// dimensions are the only coupling: a port criterion also restricts the
-// protocol to port-bearing ones (see `MatchSpec::matches`).
+// A spec denotes a product of per-field sets over flow keys, with three
+// couplings (see `MatchSpec::matches`): port criteria restrict the
+// protocol to port-bearing ones, TCP-flag criteria restrict it to TCP
+// and ICMP type/code criteria to the two ICMP protocols (all three
+// folded into one derived protocol set below), and a flow-label
+// criterion restricts the destination to IPv6.
 // ---------------------------------------------------------------------
 
 fn port_interval(pm: &PortMatch) -> (u16, u16) {
@@ -301,24 +306,151 @@ fn port_interval(pm: &PortMatch) -> (u16, u16) {
     }
 }
 
-/// True if the spec restricts matches to port-bearing protocols — either
-/// explicitly (protocol field) or implicitly (any port criterion).
-fn portful_only(s: &MatchSpec) -> bool {
-    s.protocol.map(|p| p.has_ports()) == Some(true) || s.src_port.is_some() || s.dst_port.is_some()
+/// A set of IP protocol numbers as a 256-bit mask. Small enough to pass
+/// by value, exact enough to decide every protocol coupling (ports, TCP
+/// flags, ICMP fields) without case analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ProtoSet {
+    lo: u128,
+    hi: u128,
 }
 
-/// True if the spec can match nothing at all: a port criterion combined
-/// with a portless protocol, or an inverted port range.
+impl ProtoSet {
+    const ALL: ProtoSet = ProtoSet {
+        lo: u128::MAX,
+        hi: u128::MAX,
+    };
+
+    fn single(p: IpProtocol) -> Self {
+        let mut s = ProtoSet { lo: 0, hi: 0 };
+        s.insert(p.0);
+        s
+    }
+
+    fn from_pred(f: impl Fn(IpProtocol) -> bool) -> Self {
+        let mut s = ProtoSet { lo: 0, hi: 0 };
+        for p in 0..=255u8 {
+            if f(IpProtocol(p)) {
+                s.insert(p);
+            }
+        }
+        s
+    }
+
+    fn insert(&mut self, p: u8) {
+        if p < 128 {
+            self.lo |= 1u128 << p;
+        } else {
+            self.hi |= 1u128 << (p - 128);
+        }
+    }
+
+    fn and(self, o: ProtoSet) -> ProtoSet {
+        ProtoSet {
+            lo: self.lo & o.lo,
+            hi: self.hi & o.hi,
+        }
+    }
+
+    fn is_empty(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    fn is_subset(self, o: ProtoSet) -> bool {
+        self.and(o) == self
+    }
+}
+
+fn portful_protos() -> ProtoSet {
+    ProtoSet::from_pred(|p| p.has_ports())
+}
+
+/// The protocols a key matching `s` can carry: the explicit protocol
+/// field intersected with every implicit protocol coupling (port
+/// criteria → port-bearing, TCP flags → TCP, ICMP type/code → ICMP).
+fn allowed_protos(s: &MatchSpec) -> ProtoSet {
+    let mut set = match s.protocol {
+        Some(p) => ProtoSet::single(p),
+        None => ProtoSet::ALL,
+    };
+    if s.src_port.is_some() || s.dst_port.is_some() {
+        set = set.and(portful_protos());
+    }
+    if s.tcp_flags.is_some() {
+        set = set.and(ProtoSet::single(IpProtocol::TCP));
+    }
+    if s.icmp_type.is_some() || s.icmp_code.is_some() {
+        set = set.and(ProtoSet::from_pred(is_icmp));
+    }
+    set
+}
+
+/// True if every value satisfying cube `inner` also satisfies `outer`
+/// (`inner ⊆ outer` as flag-byte sets): `outer` constrains no bit
+/// `inner` leaves free, and they agree on `outer`'s bits.
+fn cube_subset(inner: BitsMatch, outer: BitsMatch) -> bool {
+    outer.mask & inner.mask == outer.mask && inner.value & outer.mask == outer.value
+}
+
+/// True if some value satisfies both (satisfiable) cubes: their values
+/// agree on the shared mask bits.
+fn cubes_compatible(a: BitsMatch, b: BitsMatch) -> bool {
+    a.value & b.mask == b.value & a.mask
+}
+
+/// The criterion as an inclusive interval, `(0, full_hi)` when absent.
+fn range_iv<T: Copy + Into<u128>>(r: &Option<RangeMatch<T>>, full_hi: u128) -> (u128, u128) {
+    r.as_ref()
+        .map(|r| (r.lo.into(), r.hi.into()))
+        .unwrap_or((0, full_hi))
+}
+
+/// One interval dimension of `a` covers the same dimension of `b` over
+/// the field's domain `0..=full_hi`.
+fn range_covers<T: Copy + Into<u128>>(
+    a: &Option<RangeMatch<T>>,
+    b: &Option<RangeMatch<T>>,
+    full_hi: u128,
+) -> bool {
+    let Some(ra) = a else {
+        return true; // wildcard covers everything
+    };
+    let (blo, bhi) = range_iv(b, full_hi);
+    ra.lo.into() <= blo && bhi <= ra.hi.into()
+}
+
+/// The two interval criteria admit a common value of the field.
+fn ranges_overlap<T: Copy + Into<u128>>(
+    a: &Option<RangeMatch<T>>,
+    b: &Option<RangeMatch<T>>,
+    full_hi: u128,
+) -> bool {
+    let (alo, ahi) = range_iv(a, full_hi);
+    let (blo, bhi) = range_iv(b, full_hi);
+    alo.max(blo) <= ahi.min(bhi)
+}
+
+/// True if the spec can match nothing at all: an inverted port or
+/// numeric range, an unsatisfiable bit cube, a flow-label criterion on
+/// an IPv4 destination, or a field combination whose implied protocol
+/// sets are disjoint (a port criterion on a portless protocol, TCP
+/// flags next to ICMP fields, ...).
 pub fn spec_is_empty(s: &MatchSpec) -> bool {
-    let portless = s.protocol.is_some_and(|p| !p.has_ports());
-    let has_port = s.src_port.is_some() || s.dst_port.is_some();
-    let inverted = [&s.src_port, &s.dst_port].iter().any(|pm| {
+    let inverted_port = [&s.src_port, &s.dst_port].iter().any(|pm| {
         pm.as_ref().is_some_and(|pm| {
             let (lo, hi) = port_interval(pm);
             lo > hi
         })
     });
-    (portless && has_port) || inverted
+    let inverted_range = s.packet_len.is_some_and(|r| r.is_empty())
+        || s.dscp.is_some_and(|r| r.is_empty())
+        || s.icmp_type.is_some_and(|r| r.is_empty())
+        || s.icmp_code.is_some_and(|r| r.is_empty())
+        || s.flow_label.is_some_and(|r| r.is_empty());
+    let unsat_cube = s.tcp_flags.is_some_and(|c| !c.is_satisfiable())
+        || s.fragment.is_some_and(|c| !c.is_satisfiable());
+    let v4_flow_label = s.flow_label.is_some() && s.dst_ip.as_ref().is_some_and(|p| p.is_v4());
+    inverted_port || inverted_range || unsat_cube || v4_flow_label || allowed_protos(s).is_empty()
 }
 
 /// One port dimension of `a` covers the same dimension of `b`: every
@@ -350,18 +482,43 @@ pub fn spec_covers(a: &MatchSpec, b: &MatchSpec) -> bool {
         (Some(a), Some(b)) => a.covers(b),
         (Some(_), None) => false,
     };
-    let proto_ok = match (&a.protocol, &b.protocol) {
-        (None, _) => true,
-        (Some(ap), Some(bp)) => ap == bp,
-        (Some(ap), None) => {
-            // `b` is protocol-wildcard, but a port criterion on `b`
-            // narrows it to port-bearing protocols; a port-bearing `a`
-            // protocol still cannot cover both UDP and TCP.
-            let _ = ap;
-            false
+    // Every protocol coupling goes through `b`'s derived protocol set:
+    // a protocol-wildcard `b` with a port criterion is still confined to
+    // {UDP, TCP}, one with a TCP-flags criterion to {TCP}, and so on —
+    // `a`'s constraints only have to hold over what `b` actually admits.
+    let b_protos = allowed_protos(b);
+    let proto_ok = match a.protocol {
+        None => true,
+        Some(ap) => b_protos.is_subset(ProtoSet::single(ap)),
+    };
+    let b_portful = b_protos.is_subset(portful_protos());
+    // A gated criterion on `a` (TCP flags, ICMP fields, flow label)
+    // covers `b` only when `b` is confined to the gate — otherwise `b`
+    // admits keys the gate alone makes `a` miss.
+    let tcp_flags_ok = match a.tcp_flags {
+        None => true,
+        Some(ca) => {
+            b_protos.is_subset(ProtoSet::single(IpProtocol::TCP))
+                && cube_subset(b.tcp_flags.unwrap_or(BitsMatch::new(0, 0)), ca)
         }
     };
-    let b_portful = portful_only(b);
+    let b_icmp_only = b_protos.is_subset(ProtoSet::from_pred(is_icmp));
+    let icmp_type_ok =
+        a.icmp_type.is_none() || (b_icmp_only && range_covers(&a.icmp_type, &b.icmp_type, 255));
+    let icmp_code_ok =
+        a.icmp_code.is_none() || (b_icmp_only && range_covers(&a.icmp_code, &b.icmp_code, 255));
+    let fragment_ok = match a.fragment {
+        None => true,
+        Some(ca) => cube_subset(b.fragment.unwrap_or(BitsMatch::new(0, 0)), ca),
+    };
+    let flow_label_ok = match a.flow_label {
+        None => true,
+        Some(_) => {
+            let b_v6_dst_only =
+                b.flow_label.is_some() || b.dst_ip.as_ref().is_some_and(|p| !p.is_v4());
+            b_v6_dst_only && range_covers(&a.flow_label, &b.flow_label, u128::from(u32::MAX))
+        }
+    };
     mac_ok(&a.src_mac, &b.src_mac)
         && mac_ok(&a.dst_mac, &b.dst_mac)
         && ip_ok(&a.src_ip, &b.src_ip)
@@ -369,6 +526,13 @@ pub fn spec_covers(a: &MatchSpec, b: &MatchSpec) -> bool {
         && proto_ok
         && port_covers(&a.src_port, &b.src_port, b_portful)
         && port_covers(&a.dst_port, &b.dst_port, b_portful)
+        && tcp_flags_ok
+        && icmp_type_ok
+        && icmp_code_ok
+        && range_covers(&a.packet_len, &b.packet_len, u128::from(u16::MAX))
+        && range_covers(&a.dscp, &b.dscp, 255)
+        && fragment_ok
+        && flow_label_ok
 }
 
 /// True if some flow key matches both specs (their intersection is
@@ -390,28 +554,37 @@ pub fn spec_intersects(a: &MatchSpec, b: &MatchSpec) -> bool {
         let (ylo, yhi) = y.as_ref().map(port_interval).unwrap_or((0, u16::MAX));
         xlo.max(ylo) <= xhi.min(yhi)
     };
-    // Joint protocol constraint.
-    let proto = match (&a.protocol, &b.protocol) {
-        (Some(x), Some(y)) if x != y => return false,
-        (Some(x), _) => Some(*x),
-        (_, Some(y)) => Some(*y),
-        (None, None) => None,
-    };
-    // Any port criterion forces a port-bearing protocol in the
-    // intersection.
-    let needs_ports = a.src_port.is_some()
-        || a.dst_port.is_some()
-        || b.src_port.is_some()
-        || b.dst_port.is_some();
-    if needs_ports && proto.is_some_and(|p| !p.has_ports()) {
+    // Joint protocol constraint: the derived sets (explicit protocol
+    // plus every implicit coupling on either side) must share a member.
+    if allowed_protos(a).and(allowed_protos(b)).is_empty() {
         return false;
     }
+    let cubes_ok = |x: &Option<BitsMatch>, y: &Option<BitsMatch>| match (x, y) {
+        (Some(cx), Some(cy)) => cubes_compatible(*cx, *cy),
+        _ => true,
+    };
+    // A flow-label criterion on either side forces an IPv6 destination
+    // in the intersection.
+    let v6_ok = if a.flow_label.is_some() || b.flow_label.is_some() {
+        !a.dst_ip.as_ref().is_some_and(|p| p.is_v4())
+            && !b.dst_ip.as_ref().is_some_and(|p| p.is_v4())
+    } else {
+        true
+    };
     mac_ok(&a.src_mac, &b.src_mac)
         && mac_ok(&a.dst_mac, &b.dst_mac)
         && ip_ok(&a.src_ip, &b.src_ip)
         && ip_ok(&a.dst_ip, &b.dst_ip)
         && ports_overlap(&a.src_port, &b.src_port)
         && ports_overlap(&a.dst_port, &b.dst_port)
+        && cubes_ok(&a.tcp_flags, &b.tcp_flags)
+        && cubes_ok(&a.fragment, &b.fragment)
+        && ranges_overlap(&a.packet_len, &b.packet_len, u128::from(u16::MAX))
+        && ranges_overlap(&a.dscp, &b.dscp, 255)
+        && ranges_overlap(&a.icmp_type, &b.icmp_type, 255)
+        && ranges_overlap(&a.icmp_code, &b.icmp_code, 255)
+        && ranges_overlap(&a.flow_label, &b.flow_label, u128::from(u32::MAX))
+        && v6_ok
 }
 
 // ---------------------------------------------------------------------
@@ -444,12 +617,52 @@ struct Constraints {
     proto_bans: Vec<IpProtocol>,
     src_port_bans: Vec<(u16, u16)>,
     dst_port_bans: Vec<(u16, u16)>,
+    /// Banned TCP-flag cubes (the flag byte must satisfy none of them).
+    tcp_flags_bans: Vec<BitsMatch>,
+    /// Banned fragment-bit cubes.
+    fragment_bans: Vec<BitsMatch>,
+    packet_len_bans: Vec<(u128, u128)>,
+    dscp_bans: Vec<(u128, u128)>,
+    icmp_type_bans: Vec<(u128, u128)>,
+    icmp_code_bans: Vec<(u128, u128)>,
+    flow_label_bans: Vec<(u128, u128)>,
     /// The witness protocol must carry ports (a numeric port violation
     /// or a port criterion on the target).
     must_have_ports: bool,
     /// The witness protocol must NOT carry ports (an earlier rule's port
     /// criterion is violated by choosing a portless protocol).
     must_be_portless: bool,
+    /// The witness must be TCP (the target has a TCP-flags criterion).
+    must_be_tcp: bool,
+    /// The witness must NOT be TCP (an earlier rule's TCP-flags
+    /// criterion is violated by leaving the TCP protocol class).
+    must_not_tcp: bool,
+    /// The witness must be ICMP/ICMPv6 (the target has ICMP criteria).
+    must_be_icmp: bool,
+    /// The witness must NOT be ICMP/ICMPv6 (an earlier rule's ICMP
+    /// criterion is violated by leaving the ICMP protocol class).
+    must_not_icmp: bool,
+    /// The destination must be IPv4 (an earlier rule's flow-label
+    /// criterion is violated through its IPv6 gate).
+    must_dst_v4: bool,
+}
+
+/// Smallest flag byte satisfying the target's cube (if any) and none of
+/// the banned cubes.
+fn pick_bits(fixed: Option<BitsMatch>, bans: &[BitsMatch]) -> Option<u8> {
+    (0u8..=255).find(|&x| fixed.is_none_or(|c| c.matches(x)) && bans.iter().all(|c| !c.matches(x)))
+}
+
+/// Smallest value in the target's interval (the full `0..=full_hi`
+/// domain when unconstrained) avoiding every banned interval.
+fn pick_num(fixed: Option<(u128, u128)>, full_hi: u128, bans: &[(u128, u128)]) -> Option<u128> {
+    let (lo, hi) = fixed.unwrap_or((0, full_hi));
+    pick_in(lo, hi, bans)
+}
+
+/// The criterion as a concrete interval for `pick_num`.
+fn fixed_iv<T: Copy + Into<u128>>(r: &Option<RangeMatch<T>>) -> Option<(u128, u128)> {
+    r.as_ref().map(|r| (r.lo.into(), r.hi.into()))
 }
 
 fn ip_num(addr: IpAddress) -> (bool, u128) {
@@ -525,12 +738,22 @@ impl Constraints {
 
     /// An address inside the target's prefix constraint (or any address)
     /// avoiding every banned interval. Tries the constrained family, or
-    /// v4 then v6 when unconstrained.
-    fn pick_ip(&self, fixed: &Option<Prefix>, bans: &[(bool, u128, u128)]) -> Option<IpAddress> {
-        let families: Vec<(bool, u128, u128)> = match fixed {
+    /// v4 then v6 when unconstrained; `family` (Some(true) = v4 only,
+    /// Some(false) = v6 only) further confines the choice for the
+    /// flow-label gate.
+    fn pick_ip(
+        &self,
+        fixed: &Option<Prefix>,
+        bans: &[(bool, u128, u128)],
+        family: Option<bool>,
+    ) -> Option<IpAddress> {
+        let mut families: Vec<(bool, u128, u128)> = match fixed {
             Some(p) => vec![prefix_interval(p)],
             None => vec![(true, 0, u128::from(u32::MAX)), (false, 0, u128::MAX)],
         };
+        if let Some(want_v4) = family {
+            families.retain(|(f, _, _)| *f == want_v4);
+        }
         for (is_v4, lo, hi) in families {
             let fam_bans: Vec<(u128, u128)> = bans
                 .iter()
@@ -554,6 +777,10 @@ impl Constraints {
             !self.proto_bans.contains(&p)
                 && (!self.must_have_ports || p.has_ports())
                 && (!self.must_be_portless || !p.has_ports())
+                && (!self.must_be_tcp || p == IpProtocol::TCP)
+                && (!self.must_not_tcp || p != IpProtocol::TCP)
+                && (!self.must_be_icmp || is_icmp(p))
+                && (!self.must_not_icmp || !is_icmp(p))
         };
         if let Some(p) = fixed {
             return ok(p).then_some(p);
@@ -586,7 +813,10 @@ impl Constraints {
     }
 
     /// Instantiates a concrete key for `target` under the accumulated
-    /// constraints, if one exists.
+    /// constraints, if one exists. Gated fields are only picked when the
+    /// chosen protocol / destination family activates them — on an
+    /// inactive gate the earlier rule's criterion already misses, so the
+    /// banned values are irrelevant and the field stays zero.
     fn instantiate(&self, target: &MatchSpec) -> Option<FlowKey> {
         let protocol = self.pick_proto(target.protocol)?;
         let (src_port, dst_port) = if protocol.has_ports() {
@@ -597,14 +827,58 @@ impl Constraints {
         } else {
             (0, 0)
         };
+        // A flow-label criterion on the target forces a v6 destination;
+        // a NotV6Dst violation forces v4 (apply_violation refuses the
+        // combination).
+        let dst_family = if self.must_dst_v4 {
+            Some(true)
+        } else if target.flow_label.is_some() {
+            Some(false)
+        } else {
+            None
+        };
+        let dst_ip = self.pick_ip(&target.dst_ip, &self.dst_ip_bans, dst_family)?;
+        let tcp_flags = if protocol == IpProtocol::TCP {
+            pick_bits(target.tcp_flags, &self.tcp_flags_bans)?
+        } else {
+            0
+        };
+        let (icmp_type, icmp_code) = if is_icmp(protocol) {
+            (
+                pick_num(fixed_iv(&target.icmp_type), 255, &self.icmp_type_bans)? as u8,
+                pick_num(fixed_iv(&target.icmp_code), 255, &self.icmp_code_bans)? as u8,
+            )
+        } else {
+            (0, 0)
+        };
+        let flow_label = if matches!(dst_ip, IpAddress::V6(_)) {
+            pick_num(
+                fixed_iv(&target.flow_label),
+                u128::from(u32::MAX),
+                &self.flow_label_bans,
+            )? as u32
+        } else {
+            0
+        };
         Some(FlowKey {
             src_mac: self.pick_mac(target.src_mac, &self.src_mac_bans)?,
             dst_mac: self.pick_mac(target.dst_mac, &self.dst_mac_bans)?,
-            src_ip: self.pick_ip(&target.src_ip, &self.src_ip_bans)?,
-            dst_ip: self.pick_ip(&target.dst_ip, &self.dst_ip_bans)?,
+            src_ip: self.pick_ip(&target.src_ip, &self.src_ip_bans, None)?,
+            dst_ip,
             protocol,
             src_port,
             dst_port,
+            tcp_flags,
+            packet_len: pick_num(
+                fixed_iv(&target.packet_len),
+                u128::from(u16::MAX),
+                &self.packet_len_bans,
+            )? as u16,
+            dscp: pick_num(fixed_iv(&target.dscp), 255, &self.dscp_bans)? as u8,
+            fragment: pick_bits(target.fragment, &self.fragment_bans)?,
+            icmp_type,
+            icmp_code,
+            flow_label,
         })
     }
 }
@@ -624,9 +898,29 @@ enum Violation {
     /// Portless protocol (defeats any port criterion on the earlier
     /// rule).
     Portless,
+    /// Flag byte outside the earlier rule's TCP-flags cube.
+    TcpFlagsValue,
+    /// Non-TCP protocol (defeats a TCP-flags criterion via its gate).
+    NotTcp,
+    /// ICMP type outside the earlier rule's interval.
+    IcmpTypeValue,
+    /// ICMP code outside the earlier rule's interval.
+    IcmpCodeValue,
+    /// Non-ICMP protocol (defeats ICMP type/code criteria via the gate).
+    NotIcmp,
+    /// Packet length outside the earlier rule's interval.
+    PacketLenValue,
+    /// DSCP outside the earlier rule's interval.
+    DscpValue,
+    /// Fragment bits outside the earlier rule's cube.
+    FragmentValue,
+    /// Flow label outside the earlier rule's interval.
+    FlowLabelValue,
+    /// IPv4 destination (defeats a flow-label criterion via its gate).
+    NotV6Dst,
 }
 
-const ALL_VIOLATIONS: [Violation; 8] = [
+const ALL_VIOLATIONS: [Violation; 18] = [
     Violation::SrcMac,
     Violation::DstMac,
     Violation::SrcIp,
@@ -635,6 +929,16 @@ const ALL_VIOLATIONS: [Violation; 8] = [
     Violation::SrcPortValue,
     Violation::DstPortValue,
     Violation::Portless,
+    Violation::TcpFlagsValue,
+    Violation::NotTcp,
+    Violation::IcmpTypeValue,
+    Violation::IcmpCodeValue,
+    Violation::NotIcmp,
+    Violation::PacketLenValue,
+    Violation::DscpValue,
+    Violation::FragmentValue,
+    Violation::FlowLabelValue,
+    Violation::NotV6Dst,
 ];
 
 fn find_witness(earlier: &[&MatchSpec], target: &MatchSpec, fuel: &mut usize) -> WitnessOutcome {
@@ -643,6 +947,8 @@ fn find_witness(earlier: &[&MatchSpec], target: &MatchSpec, fuel: &mut usize) ->
     }
     let mut cons = Constraints {
         must_have_ports: target.src_port.is_some() || target.dst_port.is_some(),
+        must_be_tcp: target.tcp_flags.is_some(),
+        must_be_icmp: target.icmp_type.is_some() || target.icmp_code.is_some(),
         ..Default::default()
     };
     // Only earlier rules whose match set overlaps the target's need an
@@ -774,6 +1080,83 @@ fn apply_violation(
                 return false;
             }
             cons.must_be_portless = true;
+        }
+        Violation::TcpFlagsValue => {
+            let Some(c) = e.tcp_flags else { return false };
+            // A mask-0 cube matches every flag byte; a target cube inside
+            // the banned cube leaves no value to pick (the target forces
+            // TCP, so the flags gate is always active).
+            if c.mask == 0 || target.tcp_flags.is_some_and(|t| cube_subset(t, c)) {
+                return false;
+            }
+            cons.tcp_flags_bans.push(c);
+        }
+        Violation::NotTcp => {
+            if e.tcp_flags.is_none()
+                || cons.must_be_tcp
+                || target.tcp_flags.is_some()
+                || target.protocol == Some(IpProtocol::TCP)
+            {
+                return false;
+            }
+            cons.must_not_tcp = true;
+        }
+        Violation::IcmpTypeValue => {
+            let Some(r) = e.icmp_type else { return false };
+            cons.icmp_type_bans.push((r.lo.into(), r.hi.into()));
+        }
+        Violation::IcmpCodeValue => {
+            let Some(r) = e.icmp_code else { return false };
+            cons.icmp_code_bans.push((r.lo.into(), r.hi.into()));
+        }
+        Violation::NotIcmp => {
+            if (e.icmp_type.is_none() && e.icmp_code.is_none())
+                || cons.must_be_icmp
+                || target.icmp_type.is_some()
+                || target.icmp_code.is_some()
+                || target.protocol.is_some_and(is_icmp)
+            {
+                return false;
+            }
+            cons.must_not_icmp = true;
+        }
+        Violation::PacketLenValue => {
+            let Some(r) = e.packet_len else { return false };
+            // Ungated field: a ban swallowing the target's whole interval
+            // can never be avoided.
+            let (tlo, thi) = range_iv(&target.packet_len, u128::from(u16::MAX));
+            if u128::from(r.lo) <= tlo && thi <= u128::from(r.hi) {
+                return false;
+            }
+            cons.packet_len_bans.push((r.lo.into(), r.hi.into()));
+        }
+        Violation::DscpValue => {
+            let Some(r) = e.dscp else { return false };
+            let (tlo, thi) = range_iv(&target.dscp, 255);
+            if u128::from(r.lo) <= tlo && thi <= u128::from(r.hi) {
+                return false;
+            }
+            cons.dscp_bans.push((r.lo.into(), r.hi.into()));
+        }
+        Violation::FragmentValue => {
+            let Some(c) = e.fragment else { return false };
+            if c.mask == 0 || target.fragment.is_some_and(|t| cube_subset(t, c)) {
+                return false;
+            }
+            cons.fragment_bans.push(c);
+        }
+        Violation::FlowLabelValue => {
+            let Some(r) = e.flow_label else { return false };
+            cons.flow_label_bans.push((r.lo.into(), r.hi.into()));
+        }
+        Violation::NotV6Dst => {
+            if e.flow_label.is_none()
+                || target.flow_label.is_some()
+                || target.dst_ip.as_ref().is_some_and(|p| !p.is_v4())
+            {
+                return false;
+            }
+            cons.must_dst_v4 = true;
         }
     }
     true
@@ -1031,6 +1414,243 @@ mod tests {
             ), // 1 mac + 1 l34
         ]);
         assert_eq!(u, TcamUsage { mac: 1, l34: 4 });
+    }
+
+    #[test]
+    fn empty_specs_on_the_extended_fields_are_detected() {
+        use stellar_net::tcp::TcpFlags;
+        // Inverted numeric range.
+        let inverted_len = MatchSpec {
+            packet_len: Some(RangeMatch::new(1000, 64)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&inverted_len));
+        // Cube demanding a bit outside its own mask.
+        let unsat_cube = MatchSpec {
+            fragment: Some(BitsMatch::new(0x02, 0x01)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&unsat_cube));
+        // Gated criteria pinned to the wrong protocol class.
+        let udp_with_flags = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            tcp_flags: Some(BitsMatch::all_of(TcpFlags::SYN)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&udp_with_flags));
+        let tcp_with_icmp = MatchSpec {
+            tcp_flags: Some(BitsMatch::all_of(TcpFlags::SYN)),
+            icmp_type: Some(RangeMatch::exact(8)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&tcp_with_icmp));
+        let icmp_with_port = MatchSpec {
+            icmp_type: Some(RangeMatch::exact(8)),
+            src_port: Some(PortMatch::Exact(53)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&icmp_with_port));
+        // Flow label needs an IPv6 destination.
+        let v4_flow_label = MatchSpec {
+            dst_ip: Some("100.10.10.0/24".parse().unwrap()),
+            flow_label: Some(RangeMatch::exact(5)),
+            ..Default::default()
+        };
+        assert!(spec_is_empty(&v4_flow_label));
+        // The satisfiable counterparts are not empty.
+        let syn = MatchSpec {
+            tcp_flags: Some(BitsMatch::all_of(TcpFlags::SYN)),
+            ..Default::default()
+        };
+        assert!(!spec_is_empty(&syn));
+    }
+
+    #[test]
+    fn covers_and_intersects_respect_the_gated_fields() {
+        use stellar_net::tcp::TcpFlags;
+        let syn_only = MatchSpec {
+            tcp_flags: Some(BitsMatch::new(TcpFlags::SYN | TcpFlags::ACK, TcpFlags::SYN)),
+            ..Default::default()
+        };
+        let all_tcp = MatchSpec {
+            protocol: Some(IpProtocol::TCP),
+            ..Default::default()
+        };
+        // The gate confines `syn_only` to TCP, so the protocol spec
+        // covers it — but not vice versa (ACK-set keys escape the cube).
+        assert!(spec_covers(&all_tcp, &syn_only));
+        assert!(!spec_covers(&syn_only, &all_tcp));
+        // A wider cube covers a narrower one.
+        let syn_set = MatchSpec {
+            tcp_flags: Some(BitsMatch::all_of(TcpFlags::SYN)),
+            ..Default::default()
+        };
+        assert!(spec_covers(&syn_set, &syn_only));
+        assert!(!spec_covers(&syn_only, &syn_set));
+        // Incompatible cubes cannot intersect; disjoint protocol classes
+        // cannot either.
+        let ack_set = MatchSpec {
+            tcp_flags: Some(BitsMatch::all_of(TcpFlags::ACK)),
+            ..Default::default()
+        };
+        assert!(!spec_intersects(&syn_only, &ack_set));
+        assert!(spec_intersects(&syn_only, &syn_set));
+        let udp = MatchSpec {
+            protocol: Some(IpProtocol::UDP),
+            ..Default::default()
+        };
+        assert!(!spec_intersects(&syn_only, &udp));
+        // ICMP intervals: covering needs the gate, intersection needs
+        // overlapping intervals.
+        let echo = MatchSpec {
+            icmp_type: Some(RangeMatch::exact(8)),
+            ..Default::default()
+        };
+        let all_icmp = MatchSpec {
+            protocol: Some(IpProtocol::ICMP),
+            ..Default::default()
+        };
+        assert!(!spec_covers(&echo, &all_icmp)); // type 3 keys escape
+        assert!(spec_intersects(&echo, &all_icmp));
+        let unreach = MatchSpec {
+            icmp_type: Some(RangeMatch::exact(3)),
+            ..Default::default()
+        };
+        assert!(!spec_intersects(&echo, &unreach));
+        // Ungated interval fields cover by inclusion.
+        let big = MatchSpec {
+            packet_len: Some(RangeMatch::new(1000, u16::MAX)),
+            ..Default::default()
+        };
+        let bigger_only = MatchSpec {
+            packet_len: Some(RangeMatch::new(1400, 1500)),
+            ..Default::default()
+        };
+        assert!(spec_covers(&big, &bigger_only));
+        assert!(!spec_covers(&bigger_only, &big));
+        assert!(!spec_covers(&big, &MatchSpec::default()));
+        let small = MatchSpec {
+            packet_len: Some(RangeMatch::new(0, 512)),
+            ..Default::default()
+        };
+        assert!(!spec_intersects(&big, &small));
+    }
+
+    #[test]
+    fn tcp_flag_scoped_rules_find_witnesses() {
+        use stellar_net::tcp::TcpFlags;
+        let syn_only = MatchSpec {
+            dst_ip: Some("100.10.10.10/32".parse().unwrap()),
+            tcp_flags: Some(BitsMatch::new(TcpFlags::SYN | TcpFlags::ACK, TcpFlags::SYN)),
+            ..Default::default()
+        };
+        let all_tcp = MatchSpec {
+            protocol: Some(IpProtocol::TCP),
+            dst_ip: Some("100.10.10.10/32".parse().unwrap()),
+            ..Default::default()
+        };
+        let rules = [
+            rule(1, 10, syn_only, ActionClass::Drop),
+            rule(2, 10, all_tcp, ActionClass::Drop),
+            rule(3, 10, spec("100.10.10.10/32"), ActionClass::Drop),
+        ];
+        let t = analyze(&rules);
+        assert!(t.findings.iter().all(|f| !f.flag.is_dead()));
+        // Rule 2's witness must be a TCP key outside the SYN-only cube.
+        let w = t.witness(2).unwrap();
+        assert_eq!(w.protocol, IpProtocol::TCP);
+        assert!(!(w.tcp_flags & TcpFlags::SYN != 0 && w.tcp_flags & TcpFlags::ACK == 0));
+        let engine = crate::ClassifyEngine::compile(rules.iter().map(|r| r.entry.clone()));
+        for (id, key) in &t.witnesses {
+            assert_eq!(engine.classify(key), Some(*id), "witness for rule {id}");
+        }
+        assert_eq!(t.witnesses.len(), 3);
+    }
+
+    #[test]
+    fn icmp_scoped_rules_find_witnesses() {
+        let echo = MatchSpec {
+            icmp_type: Some(RangeMatch::exact(8)),
+            ..Default::default()
+        };
+        let all_icmp = MatchSpec {
+            protocol: Some(IpProtocol::ICMP),
+            ..Default::default()
+        };
+        let t = analyze(&[
+            rule(1, 10, echo, ActionClass::Drop),
+            rule(2, 10, all_icmp, ActionClass::Drop),
+        ]);
+        assert!(t.dead_flag(2).is_none());
+        let w = t.witness(2).unwrap();
+        assert_eq!(w.protocol, IpProtocol::ICMP);
+        assert_ne!(w.icmp_type, 8);
+    }
+
+    #[test]
+    fn packet_length_union_coverage_is_unreachable() {
+        let short = MatchSpec {
+            packet_len: Some(RangeMatch::new(0, 999)),
+            ..Default::default()
+        };
+        let long = MatchSpec {
+            packet_len: Some(RangeMatch::new(1000, u16::MAX)),
+            ..Default::default()
+        };
+        let mid = MatchSpec {
+            packet_len: Some(RangeMatch::new(500, 1500)),
+            ..Default::default()
+        };
+        // The two length bands cover every length: anything after them
+        // is union-covered; a band overlapping the seam alone is not.
+        let t = analyze(&[
+            rule(1, 10, short.clone(), ActionClass::Drop),
+            rule(2, 10, long.clone(), ActionClass::Drop),
+            rule(3, 10, MatchSpec::default(), ActionClass::Drop),
+        ]);
+        assert_eq!(t.dead_flag(3), Some(RuleFlag::Unreachable));
+        let t = analyze(&[
+            rule(1, 10, short, ActionClass::Drop),
+            rule(2, 10, mid, ActionClass::Drop),
+        ]);
+        assert!(t.dead_flag(2).is_none());
+        let w = t.witness(2).unwrap();
+        assert!((1000..=1500).contains(&w.packet_len));
+    }
+
+    #[test]
+    fn flow_label_rules_gate_on_ipv6_destinations() {
+        let labeled = MatchSpec {
+            dst_ip: Some("2001:db8::/64".parse().unwrap()),
+            flow_label: Some(RangeMatch::exact(5)),
+            ..Default::default()
+        };
+        let unlabeled = MatchSpec {
+            dst_ip: Some("2001:db8::/64".parse().unwrap()),
+            ..Default::default()
+        };
+        let t = analyze(&[
+            rule(1, 10, labeled.clone(), ActionClass::Drop),
+            rule(2, 10, unlabeled.clone(), ActionClass::Drop),
+        ]);
+        // Rule 2 escapes rule 1 by picking a different label.
+        assert!(t.dead_flag(2).is_none());
+        let w = t.witness(2).unwrap();
+        assert_ne!(w.flow_label, 5);
+        // The unlabeled spec covers the labeled one, not vice versa.
+        assert!(spec_covers(&unlabeled, &labeled));
+        assert!(!spec_covers(&labeled, &unlabeled));
+        // An earlier label criterion can also be escaped through the
+        // gate itself: a protocol-wildcard target may go v4.
+        let all_label_5 = MatchSpec {
+            flow_label: Some(RangeMatch::exact(5)),
+            ..Default::default()
+        };
+        let t = analyze(&[
+            rule(1, 10, all_label_5, ActionClass::Drop),
+            rule(2, 10, MatchSpec::default(), ActionClass::Drop),
+        ]);
+        assert!(t.dead_flag(2).is_none());
     }
 
     #[test]

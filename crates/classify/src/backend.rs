@@ -1,0 +1,288 @@
+//! The common engine trait and the runtime-selected backend.
+//!
+//! Two interchangeable classifier backends exist:
+//!
+//! - [`ClassifyEngine`] — signature-grouped tuple-space hashing, best
+//!   when rules are exact-match-shaped (the paper's §3.2 examples);
+//! - [`IntervalEngine`] — a compiled decision tree over interval
+//!   partitions, best when ranges and masks dominate (FlowSpec tables).
+//!
+//! [`Backend`] abstracts over them so every call site — the QoS policy,
+//! the batch/arena tick pipeline, the sharded worker-pool front-end —
+//! is backend-generic, and [`FlowClassifier`] is the enum the dataplane
+//! actually holds, selected once per process from the
+//! `STELLAR_CLASSIFY_BACKEND` environment knob (`hash` | `tree`,
+//! default `hash`). Both backends implement identical observable
+//! semantics (first match by `(priority, id)`), property-tested against
+//! each other and the linear scan in `tests/proptest_interval.rs`.
+
+use std::sync::OnceLock;
+
+use crate::engine::{ClassifyEngine, ClassifyScratch, RuleEntry, RuleId};
+use crate::interval::IntervalEngine;
+use stellar_net::flow::FlowKey;
+
+/// The operations every classifier backend provides. Semantics are
+/// pinned to the reference linear scan: first match over rules ordered
+/// by `(priority, id)`, full-predicate confirmation, batch == map of
+/// single-key lookups.
+pub trait Backend {
+    /// Installs a rule, replacing any rule with the same id.
+    fn insert(&mut self, entry: RuleEntry);
+    /// Removes a rule by id; true if it existed.
+    fn remove(&mut self, id: RuleId) -> bool;
+    /// Removes every rule, returning removed ids in evaluation order.
+    fn clear(&mut self) -> Vec<RuleId>;
+    /// Number of installed rules.
+    fn len(&self) -> usize;
+    /// True if no rules are installed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The installed entry for an id.
+    fn rule(&self, id: RuleId) -> Option<&RuleEntry>;
+    /// First matching rule id for a key.
+    fn classify(&self, key: &FlowKey) -> Option<RuleId>;
+    /// Batch classification into caller-owned buffers (zero-allocation
+    /// steady state; `out[i]` is the verdict for `keys[i]`).
+    fn classify_batch_into(
+        &self,
+        keys: &[FlowKey],
+        scratch: &mut ClassifyScratch,
+        out: &mut Vec<Option<RuleId>>,
+    );
+    /// Batch classification, allocating the result.
+    fn classify_batch(&self, keys: &[FlowKey]) -> Vec<Option<RuleId>> {
+        let mut out = Vec::new();
+        self.classify_batch_into(keys, &mut ClassifyScratch::new(), &mut out);
+        out
+    }
+}
+
+impl Backend for ClassifyEngine {
+    fn insert(&mut self, entry: RuleEntry) {
+        ClassifyEngine::insert(self, entry);
+    }
+    fn remove(&mut self, id: RuleId) -> bool {
+        ClassifyEngine::remove(self, id)
+    }
+    fn clear(&mut self) -> Vec<RuleId> {
+        ClassifyEngine::clear(self)
+    }
+    fn len(&self) -> usize {
+        ClassifyEngine::len(self)
+    }
+    fn rule(&self, id: RuleId) -> Option<&RuleEntry> {
+        ClassifyEngine::rule(self, id)
+    }
+    fn classify(&self, key: &FlowKey) -> Option<RuleId> {
+        ClassifyEngine::classify(self, key)
+    }
+    fn classify_batch_into(
+        &self,
+        keys: &[FlowKey],
+        scratch: &mut ClassifyScratch,
+        out: &mut Vec<Option<RuleId>>,
+    ) {
+        ClassifyEngine::classify_batch_into(self, keys, scratch, out);
+    }
+}
+
+impl Backend for IntervalEngine {
+    fn insert(&mut self, entry: RuleEntry) {
+        IntervalEngine::insert(self, entry);
+    }
+    fn remove(&mut self, id: RuleId) -> bool {
+        IntervalEngine::remove(self, id)
+    }
+    fn clear(&mut self) -> Vec<RuleId> {
+        IntervalEngine::clear(self)
+    }
+    fn len(&self) -> usize {
+        IntervalEngine::len(self)
+    }
+    fn rule(&self, id: RuleId) -> Option<&RuleEntry> {
+        IntervalEngine::rule(self, id)
+    }
+    fn classify(&self, key: &FlowKey) -> Option<RuleId> {
+        IntervalEngine::classify(self, key)
+    }
+    fn classify_batch_into(
+        &self,
+        keys: &[FlowKey],
+        scratch: &mut ClassifyScratch,
+        out: &mut Vec<Option<RuleId>>,
+    ) {
+        IntervalEngine::classify_batch_into(self, keys, scratch, out);
+    }
+}
+
+/// Which backend [`FlowClassifier`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Tuple-space hash engine.
+    Hash,
+    /// Interval decision tree.
+    Tree,
+}
+
+impl BackendKind {
+    /// Stable name, used in telemetry and the env knob.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Hash => "hash",
+            BackendKind::Tree => "tree",
+        }
+    }
+
+    /// The process-wide selection from `STELLAR_CLASSIFY_BACKEND`
+    /// (`hash` | `tree`, default `hash`; unknown values fall back to
+    /// `hash`). Read once — the knob cannot change mid-run, keeping
+    /// seeded runs deterministic.
+    pub fn from_env() -> BackendKind {
+        static KIND: OnceLock<BackendKind> = OnceLock::new();
+        *KIND.get_or_init(|| match std::env::var("STELLAR_CLASSIFY_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("tree") => BackendKind::Tree,
+            _ => BackendKind::Hash,
+        })
+    }
+}
+
+/// The backend the dataplane holds: a closed enum rather than a trait
+/// object so the hot path keeps static dispatch inside each arm and the
+/// engines stay `Send + Sync` for the worker pool.
+#[derive(Debug)]
+pub enum FlowClassifier {
+    /// Tuple-space hash engine.
+    Hash(ClassifyEngine),
+    /// Interval decision tree.
+    Tree(IntervalEngine),
+}
+
+impl FlowClassifier {
+    /// An empty classifier of the given kind.
+    pub fn of_kind(kind: BackendKind) -> Self {
+        match kind {
+            BackendKind::Hash => FlowClassifier::Hash(ClassifyEngine::new()),
+            BackendKind::Tree => FlowClassifier::Tree(IntervalEngine::new()),
+        }
+    }
+
+    /// An empty classifier of the process-selected kind (see
+    /// [`BackendKind::from_env`]).
+    pub fn from_env() -> Self {
+        Self::of_kind(BackendKind::from_env())
+    }
+
+    /// Which backend this classifier runs.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            FlowClassifier::Hash(_) => BackendKind::Hash,
+            FlowClassifier::Tree(_) => BackendKind::Tree,
+        }
+    }
+
+    /// Compiles a rule set in one go on the process-selected backend.
+    pub fn compile(entries: impl IntoIterator<Item = RuleEntry>) -> Self {
+        match BackendKind::from_env() {
+            BackendKind::Hash => FlowClassifier::Hash(ClassifyEngine::compile(entries)),
+            BackendKind::Tree => FlowClassifier::Tree(IntervalEngine::compile(entries)),
+        }
+    }
+}
+
+impl Default for FlowClassifier {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Backend for FlowClassifier {
+    fn insert(&mut self, entry: RuleEntry) {
+        match self {
+            FlowClassifier::Hash(e) => e.insert(entry),
+            FlowClassifier::Tree(e) => e.insert(entry),
+        }
+    }
+    fn remove(&mut self, id: RuleId) -> bool {
+        match self {
+            FlowClassifier::Hash(e) => e.remove(id),
+            FlowClassifier::Tree(e) => e.remove(id),
+        }
+    }
+    fn clear(&mut self) -> Vec<RuleId> {
+        match self {
+            FlowClassifier::Hash(e) => e.clear(),
+            FlowClassifier::Tree(e) => e.clear(),
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            FlowClassifier::Hash(e) => e.len(),
+            FlowClassifier::Tree(e) => e.len(),
+        }
+    }
+    fn rule(&self, id: RuleId) -> Option<&RuleEntry> {
+        match self {
+            FlowClassifier::Hash(e) => e.rule(id),
+            FlowClassifier::Tree(e) => e.rule(id),
+        }
+    }
+    fn classify(&self, key: &FlowKey) -> Option<RuleId> {
+        match self {
+            FlowClassifier::Hash(e) => e.classify(key),
+            FlowClassifier::Tree(e) => e.classify(key),
+        }
+    }
+    fn classify_batch_into(
+        &self,
+        keys: &[FlowKey],
+        scratch: &mut ClassifyScratch,
+        out: &mut Vec<Option<RuleId>>,
+    ) {
+        match self {
+            FlowClassifier::Hash(e) => e.classify_batch_into(keys, scratch, out),
+            FlowClassifier::Tree(e) => e.classify_batch_into(keys, scratch, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::MatchSpec;
+
+    #[test]
+    fn enum_dispatch_matches_underlying_engines() {
+        let entries = vec![RuleEntry::new(
+            1,
+            0,
+            MatchSpec::to_destination("10.0.0.0/8".parse().unwrap()),
+        )];
+        let key = FlowKey {
+            dst_ip: stellar_net::addr::IpAddress::V4(stellar_net::addr::Ipv4Address::new(
+                10, 1, 2, 3,
+            )),
+            ..FlowKey::default()
+        };
+        for kind in [BackendKind::Hash, BackendKind::Tree] {
+            let mut c = FlowClassifier::of_kind(kind);
+            assert_eq!(c.kind(), kind);
+            assert!(c.is_empty());
+            for e in &entries {
+                c.insert(e.clone());
+            }
+            assert_eq!(c.len(), 1);
+            assert_eq!(Backend::classify(&c, &key), Some(1));
+            assert_eq!(c.rule(1).map(|e| e.id), Some(1));
+            assert_eq!(c.classify_batch(&[key]), vec![Some(1)]);
+            assert_eq!(c.clear(), vec![1]);
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(BackendKind::Hash.name(), "hash");
+        assert_eq!(BackendKind::Tree.name(), "tree");
+    }
+}

@@ -1,0 +1,656 @@
+//! The interval-capable classifier backend: a compiled decision tree in
+//! the HyperCuts / DPDK-ACL lineage.
+//!
+//! The tuple-space engine ([`crate::engine::ClassifyEngine`]) hashes
+//! exact-match fields and treats everything else as a residual scan
+//! inside the matching bucket — fine when rules are exact-match-shaped,
+//! quadratic-feeling when the table is dominated by ranges and masks
+//! (FlowSpec port ranges, TCP-flag cubes, packet-length windows), which
+//! all collapse into a handful of signatures.
+//!
+//! [`IntervalEngine`] compiles the rule set into a fixed three-level
+//! decision tree instead:
+//!
+//! 1. **Destination prefix bits** — a binary trie per address family,
+//!    walked along the key's destination address. Every trie node a
+//!    rule's prefix anchors at holds that rule; a lookup visits the ≤
+//!    `prefix_len` anchored nodes on its path (in practice 1–2), plus
+//!    the root bucket of destination-wildcard rules.
+//! 2. **Protocol** — within a node, rules split by exact IP protocol
+//!    with a wildcard bucket alongside.
+//! 3. **Port/length elementary intervals** — within a protocol bucket,
+//!    rules carrying a source-port constraint are partitioned over the
+//!    *elementary intervals* of their source-port ranges (the classic
+//!    interval-stabbing table: sorted distinct boundaries + one
+//!    rank-sorted rule list per gap, found by binary search). Rules
+//!    without a source-port constraint partition over destination-port
+//!    intervals, then packet-length intervals, and finally an unsorted
+//!    `rest` list for rules constrained by none of the cut dimensions.
+//!
+//! Leaf lists hold `(priority, id)` ranks in ascending order. Every
+//! candidate the tree surfaces is confirmed against the **full**
+//! [`MatchSpec::matches`] predicate, exactly like the hash engine's
+//! residual confirmation — the tree can only produce false *positives*
+//! that confirmation rejects, never false negatives, because each level
+//! only separates rules along a dimension they actually constrain
+//! (wildcards ride along in the `wild`/`rest` buckets every lookup
+//! visits). First-match semantics follow from scanning each candidate
+//! list in rank order and keeping the global minimum.
+//!
+//! Rebuilds are whole-table (`insert`/`remove` recompile, control-plane
+//! rate); lookups are read-only and shareable across the worker pool.
+
+use std::collections::BTreeMap;
+
+use crate::engine::{ClassifyScratch, RuleEntry, RuleId};
+use crate::spec::{MatchSpec, PortMatch};
+use stellar_net::addr::IpAddress;
+use stellar_net::flow::FlowKey;
+
+/// First-match rank: rules match in ascending `(priority, id)`.
+type Rank = (u16, RuleId);
+
+/// Address bits left-aligned in a u128 plus the family tag, so v4 and v6
+/// prefixes walk the same trie code.
+fn addr_bits(addr: IpAddress) -> (bool, u128) {
+    match addr {
+        IpAddress::V4(a) => (true, (u32::from_be_bytes(a.0) as u128) << 96),
+        IpAddress::V6(a) => (false, u128::from_be_bytes(a.0)),
+    }
+}
+
+/// Bit `i` (0 = most significant) of left-aligned address bits.
+fn bit_at(bits: u128, i: u8) -> usize {
+    ((bits >> (127 - i)) & 1) as usize
+}
+
+/// An elementary-interval table over one u16 dimension: `bounds` holds
+/// the sorted distinct interval start points (always beginning at 0), and
+/// `lists[i]` the rank-sorted rules covering `bounds[i]..bounds[i+1]-1`
+/// (the last interval extends to `u16::MAX`). A rule spanning several
+/// elementary intervals is replicated into each — lookup is then a
+/// single binary search.
+#[derive(Debug, Default, Clone)]
+struct IntervalCut {
+    bounds: Vec<u16>,
+    lists: Vec<Vec<Rank>>,
+}
+
+impl IntervalCut {
+    fn build(ranges: &[(u16, u16, Rank)]) -> Self {
+        if ranges.is_empty() {
+            return Self::default();
+        }
+        let mut bounds: Vec<u16> = Vec::with_capacity(ranges.len() * 2 + 1);
+        bounds.push(0);
+        for &(lo, hi, _) in ranges {
+            bounds.push(lo);
+            if hi < u16::MAX {
+                bounds.push(hi + 1);
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut lists: Vec<Vec<Rank>> = vec![Vec::new(); bounds.len()];
+        for &(lo, hi, rank) in ranges {
+            let start = bounds.partition_point(|b| *b < lo);
+            for (i, &b) in bounds.iter().enumerate().skip(start) {
+                if b > hi {
+                    break;
+                }
+                lists[i].push(rank);
+            }
+        }
+        for list in &mut lists {
+            list.sort_unstable();
+        }
+        IntervalCut { bounds, lists }
+    }
+
+    fn probe(&self, x: u16) -> &[Rank] {
+        if self.bounds.is_empty() {
+            return &[];
+        }
+        // bounds[0] == 0, so the partition point is always >= 1.
+        let idx = self.bounds.partition_point(|b| *b <= x) - 1;
+        &self.lists[idx]
+    }
+
+    fn interval_count(&self) -> usize {
+        self.bounds.len()
+    }
+}
+
+/// A tree leaf: rules under one (dst-prefix node, protocol) pair, cut by
+/// the first interval dimension each rule constrains.
+#[derive(Debug, Default, Clone)]
+struct Leaf {
+    /// Rules with a source-port criterion, over src-port intervals.
+    src_cut: IntervalCut,
+    /// Rules with a dst-port criterion (and no src-port), over dst-port
+    /// intervals.
+    dst_cut: IntervalCut,
+    /// Rules with a packet-length criterion (and no port criteria), over
+    /// length intervals.
+    len_cut: IntervalCut,
+    /// Rules constrained by none of the cut dimensions, rank-sorted.
+    rest: Vec<Rank>,
+}
+
+impl Leaf {
+    fn add(&mut self, spec: &MatchSpec, rank: Rank, pending: &mut LeafRanges) {
+        if let Some(pm) = spec.src_port {
+            if let Some((lo, hi)) = port_range(pm) {
+                pending.src.push((lo, hi, rank));
+            }
+            // An inverted (empty) range matches nothing; the rule can be
+            // omitted without changing any verdict.
+        } else if let Some(pm) = spec.dst_port {
+            if let Some((lo, hi)) = port_range(pm) {
+                pending.dst.push((lo, hi, rank));
+            }
+        } else if let Some(r) = spec.packet_len {
+            if !r.is_empty() {
+                pending.len.push((r.lo, r.hi, rank));
+            }
+        } else {
+            self.rest.push(rank);
+        }
+    }
+
+    fn finish(&mut self, pending: &LeafRanges) {
+        self.src_cut = IntervalCut::build(&pending.src);
+        self.dst_cut = IntervalCut::build(&pending.dst);
+        self.len_cut = IntervalCut::build(&pending.len);
+        self.rest.sort_unstable();
+    }
+}
+
+/// Scratch range lists collected per leaf during a build, compiled into
+/// [`IntervalCut`]s by [`Leaf::finish`].
+#[derive(Debug, Default, Clone)]
+struct LeafRanges {
+    src: Vec<(u16, u16, Rank)>,
+    dst: Vec<(u16, u16, Rank)>,
+    len: Vec<(u16, u16, Rank)>,
+}
+
+fn port_range(pm: PortMatch) -> Option<(u16, u16)> {
+    match pm {
+        PortMatch::Exact(p) => Some((p, p)),
+        PortMatch::Range(lo, hi) if lo <= hi => Some((lo, hi)),
+        PortMatch::Range(..) => None,
+    }
+}
+
+/// Per-node protocol split: exact-protocol leaves plus the wildcard leaf
+/// every lookup also visits.
+#[derive(Debug, Default, Clone)]
+struct ProtoTable {
+    by_proto: Vec<(u8, Leaf)>,
+    wild: Leaf,
+}
+
+/// A binary trie node. Child 0 follows a clear address bit, child 1 a
+/// set bit; `u32::MAX` marks a missing child. `table` is present on
+/// nodes where at least one rule's destination prefix ends.
+#[derive(Debug, Clone)]
+struct TrieNode {
+    children: [u32; 2],
+    table: Option<Box<ProtoTable>>,
+}
+
+const NO_CHILD: u32 = u32::MAX;
+
+impl TrieNode {
+    fn new() -> Self {
+        TrieNode {
+            children: [NO_CHILD, NO_CHILD],
+            table: None,
+        }
+    }
+}
+
+/// One address family's destination-prefix trie.
+#[derive(Debug, Clone)]
+struct Trie {
+    nodes: Vec<TrieNode>,
+}
+
+impl Trie {
+    fn new() -> Self {
+        Trie {
+            nodes: vec![TrieNode::new()],
+        }
+    }
+
+    /// The node index for a prefix, creating the path as needed.
+    fn node_for(&mut self, bits: u128, len: u8) -> usize {
+        let mut cur = 0usize;
+        for i in 0..len {
+            let b = bit_at(bits, i);
+            let next = self.nodes[cur].children[b];
+            cur = if next == NO_CHILD {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(TrieNode::new());
+                self.nodes[cur].children[b] = idx;
+                idx as usize
+            } else {
+                next as usize
+            };
+        }
+        cur
+    }
+
+    /// Visits every anchored table on the path of `bits`, root first.
+    fn walk<'a>(&'a self, bits: u128, mut visit: impl FnMut(&'a ProtoTable)) {
+        let mut cur = 0usize;
+        let mut depth = 0u8;
+        loop {
+            if let Some(t) = &self.nodes[cur].table {
+                visit(t);
+            }
+            if depth >= 128 {
+                break;
+            }
+            let next = self.nodes[cur].children[bit_at(bits, depth)];
+            if next == NO_CHILD {
+                break;
+            }
+            cur = next as usize;
+            depth += 1;
+        }
+    }
+}
+
+/// The compiled decision-tree backend. Same observable semantics as
+/// [`ClassifyEngine`](crate::engine::ClassifyEngine): first match over
+/// rules ordered by `(priority, id)`, `None` when nothing matches.
+#[derive(Debug)]
+pub struct IntervalEngine {
+    /// Rule store, ordered for deterministic rebuilds.
+    rules: BTreeMap<RuleId, RuleEntry>,
+    v4: Trie,
+    v6: Trie,
+    /// Rules with no destination-prefix constraint (visited for every
+    /// key, both families).
+    any: ProtoTable,
+    /// Elementary intervals across all cuts — compile-shape telemetry.
+    interval_count: usize,
+}
+
+impl Default for IntervalEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IntervalEngine {
+    /// An empty engine.
+    pub fn new() -> Self {
+        IntervalEngine {
+            rules: BTreeMap::new(),
+            v4: Trie::new(),
+            v6: Trie::new(),
+            any: ProtoTable::default(),
+            interval_count: 0,
+        }
+    }
+
+    /// Compiles a rule set in one go. Later entries replace earlier ones
+    /// with the same id, matching incremental `insert` semantics.
+    pub fn compile(entries: impl IntoIterator<Item = RuleEntry>) -> Self {
+        let mut engine = Self::new();
+        for e in entries {
+            engine.rules.insert(e.id, e);
+        }
+        engine.rebuild();
+        engine
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Total elementary intervals across all leaf cuts — how finely the
+    /// tree partitioned the port/length dimensions.
+    pub fn interval_count(&self) -> usize {
+        self.interval_count
+    }
+
+    /// Installs a rule, replacing any rule with the same id. Whole-tree
+    /// recompile: updates are control-plane-rate, lookups are the hot
+    /// path.
+    pub fn insert(&mut self, entry: RuleEntry) {
+        self.rules.insert(entry.id, entry);
+        self.rebuild();
+    }
+
+    /// Removes a rule by id. Returns true if it existed.
+    pub fn remove(&mut self, id: RuleId) -> bool {
+        let existed = self.rules.remove(&id).is_some();
+        if existed {
+            self.rebuild();
+        }
+        existed
+    }
+
+    /// Removes every rule, returning the removed ids in evaluation order.
+    pub fn clear(&mut self) -> Vec<RuleId> {
+        let mut ranks: Vec<Rank> = self.rules.values().map(|e| (e.priority, e.id)).collect();
+        ranks.sort_unstable();
+        self.rules.clear();
+        self.rebuild();
+        ranks.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// The installed entry for an id.
+    pub fn rule(&self, id: RuleId) -> Option<&RuleEntry> {
+        self.rules.get(&id)
+    }
+
+    fn rebuild(&mut self) {
+        self.v4 = Trie::new();
+        self.v6 = Trie::new();
+        self.any = ProtoTable::default();
+        // Group rules by (family, trie node, protocol bucket) first; the
+        // leaves' interval tables need all their ranges at once.
+        type LeafKey = (u8, usize, Option<u8>);
+        let mut groups: BTreeMap<LeafKey, Vec<RuleId>> = BTreeMap::new();
+        for e in self.rules.values() {
+            let (family, node) = match &e.spec.dst_ip {
+                None => (0u8, 0usize),
+                Some(p) => {
+                    let (is_v4, bits) = addr_bits(p.network());
+                    let trie = if is_v4 { &mut self.v4 } else { &mut self.v6 };
+                    (if is_v4 { 1 } else { 2 }, trie.node_for(bits, p.len()))
+                }
+            };
+            let proto = e.spec.protocol.map(|p| p.0);
+            groups.entry((family, node, proto)).or_default().push(e.id);
+        }
+        self.interval_count = 0;
+        for ((family, node, proto), ids) in &groups {
+            let mut leaf = Leaf::default();
+            let mut pending = LeafRanges::default();
+            for id in ids {
+                let e = &self.rules[id];
+                leaf.add(&e.spec, (e.priority, e.id), &mut pending);
+            }
+            leaf.finish(&pending);
+            self.interval_count += leaf.src_cut.interval_count()
+                + leaf.dst_cut.interval_count()
+                + leaf.len_cut.interval_count();
+            let table = match family {
+                0 => &mut self.any,
+                1 => {
+                    let t = self.v4.nodes[*node]
+                        .table
+                        .get_or_insert_with(|| Box::new(ProtoTable::default()));
+                    &mut **t
+                }
+                _ => {
+                    let t = self.v6.nodes[*node]
+                        .table
+                        .get_or_insert_with(|| Box::new(ProtoTable::default()));
+                    &mut **t
+                }
+            };
+            match proto {
+                None => table.wild = leaf,
+                Some(p) => table.by_proto.push((*p, leaf)),
+            }
+        }
+        // BTreeMap group order already yields ascending protocol values
+        // per (family, node); keep the invariant explicit for the binary
+        // search below.
+        debug_assert!(self.any.by_proto.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Scans one candidate list, improving `best`. Lists are rank-sorted,
+    /// so the scan stops at the first confirmed match or as soon as the
+    /// current best outranks the remainder.
+    fn scan_list(&self, list: &[Rank], key: &FlowKey, best: &mut Option<Rank>) {
+        for rank in list {
+            if best.is_some_and(|b| b <= *rank) {
+                break;
+            }
+            // Confirm with the full predicate: the tree is a prefilter
+            // (src-ip, MACs, flags, every residual dimension checked
+            // here).
+            if self.rules[&rank.1].spec.matches(key) {
+                *best = Some(*rank);
+                break;
+            }
+        }
+    }
+
+    fn scan_leaf(&self, leaf: &Leaf, key: &FlowKey, best: &mut Option<Rank>) {
+        self.scan_list(leaf.src_cut.probe(key.src_port), key, best);
+        self.scan_list(leaf.dst_cut.probe(key.dst_port), key, best);
+        self.scan_list(leaf.len_cut.probe(key.packet_len), key, best);
+        self.scan_list(&leaf.rest, key, best);
+    }
+
+    fn scan_table(&self, table: &ProtoTable, key: &FlowKey, best: &mut Option<Rank>) {
+        self.scan_leaf(&table.wild, key, best);
+        let p = key.protocol.0;
+        if let Ok(i) = table.by_proto.binary_search_by_key(&p, |(v, _)| *v) {
+            self.scan_leaf(&table.by_proto[i].1, key, best);
+        }
+    }
+
+    /// The first matching rule id for a key (minimal `(priority, id)`
+    /// among matching rules), if any.
+    pub fn classify(&self, key: &FlowKey) -> Option<RuleId> {
+        let mut best: Option<Rank> = None;
+        self.scan_table(&self.any, key, &mut best);
+        let (is_v4, bits) = addr_bits(key.dst_ip);
+        let trie = if is_v4 { &self.v4 } else { &self.v6 };
+        trie.walk(bits, |table| self.scan_table(table, key, &mut best));
+        best.map(|(_, id)| id)
+    }
+
+    /// Classifies a batch of keys; equivalent to mapping
+    /// [`classify`](Self::classify).
+    pub fn classify_batch(&self, keys: &[FlowKey]) -> Vec<Option<RuleId>> {
+        keys.iter().map(|k| self.classify(k)).collect()
+    }
+
+    /// Batch classification into caller-owned buffers, signature-matched
+    /// with the hash engine so the two backends are interchangeable at
+    /// the tick-pipeline call sites. The tree lookup is already a few
+    /// array probes per key, so there is no tuple-major sweep to
+    /// amortize; `_scratch` is accepted (and untouched) for interface
+    /// parity.
+    pub fn classify_batch_into(
+        &self,
+        keys: &[FlowKey],
+        _scratch: &mut ClassifyScratch,
+        out: &mut Vec<Option<RuleId>>,
+    ) {
+        out.clear();
+        out.extend(keys.iter().map(|k| self.classify(k)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{BitsMatch, RangeMatch};
+    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_net::mac::MacAddr;
+    use stellar_net::proto::IpProtocol;
+
+    fn key(dst: [u8; 4], proto: IpProtocol, src_port: u16, dst_port: u16) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(64500, 1),
+            dst_mac: MacAddr::for_member(64501, 1),
+            src_ip: IpAddress::V4(Ipv4Address::new(203, 0, 113, 7)),
+            dst_ip: IpAddress::V4(Ipv4Address(dst)),
+            protocol: proto,
+            src_port,
+            dst_port,
+            ..FlowKey::default()
+        }
+    }
+
+    fn rule(id: RuleId, priority: u16, spec: MatchSpec) -> RuleEntry {
+        RuleEntry::new(id, priority, spec)
+    }
+
+    #[test]
+    fn empty_engine_matches_nothing() {
+        let engine = IntervalEngine::new();
+        assert!(engine.is_empty());
+        assert_eq!(
+            engine.classify(&key([1, 2, 3, 4], IpProtocol::UDP, 1, 2)),
+            None
+        );
+    }
+
+    #[test]
+    fn prefix_protocol_and_port_cuts_compose() {
+        let victim: stellar_net::prefix::Prefix = "100.10.10.10/32".parse().unwrap();
+        let net: stellar_net::prefix::Prefix = "100.10.0.0/16".parse().unwrap();
+        let engine = IntervalEngine::compile([
+            rule(
+                1,
+                10,
+                MatchSpec::proto_src_port_to(victim, IpProtocol::UDP, 123),
+            ),
+            rule(2, 20, MatchSpec::to_destination(net)),
+            rule(
+                3,
+                5,
+                MatchSpec {
+                    protocol: Some(IpProtocol::TCP),
+                    dst_port: Some(PortMatch::Range(0, 1023)),
+                    ..Default::default()
+                },
+            ),
+        ]);
+        // NTP reflection at the victim: rule 1 outranks the /16 blanket.
+        assert_eq!(
+            engine.classify(&key([100, 10, 10, 10], IpProtocol::UDP, 123, 9)),
+            Some(1)
+        );
+        // Other UDP to the /16: only the blanket matches.
+        assert_eq!(
+            engine.classify(&key([100, 10, 99, 1], IpProtocol::UDP, 53, 9)),
+            Some(2)
+        );
+        // TCP to a low port anywhere: the range rule.
+        assert_eq!(
+            engine.classify(&key([9, 9, 9, 9], IpProtocol::TCP, 5555, 80)),
+            Some(3)
+        );
+        // TCP to a low port at the victim network: rank 5 beats rank 20.
+        assert_eq!(
+            engine.classify(&key([100, 10, 10, 10], IpProtocol::TCP, 5555, 80)),
+            Some(3)
+        );
+        // High TCP port off-net: nothing.
+        assert_eq!(
+            engine.classify(&key([9, 9, 9, 9], IpProtocol::TCP, 5555, 8080)),
+            None
+        );
+        assert!(engine.interval_count() > 0);
+    }
+
+    #[test]
+    fn elementary_intervals_cover_boundaries() {
+        let engine = IntervalEngine::compile([
+            rule(
+                1,
+                0,
+                MatchSpec {
+                    src_port: Some(PortMatch::Range(100, 200)),
+                    ..Default::default()
+                },
+            ),
+            rule(
+                2,
+                1,
+                MatchSpec {
+                    src_port: Some(PortMatch::Range(150, 65535)),
+                    ..Default::default()
+                },
+            ),
+        ]);
+        let k = |sp| key([1, 1, 1, 1], IpProtocol::UDP, sp, 1);
+        assert_eq!(engine.classify(&k(99)), None);
+        assert_eq!(engine.classify(&k(100)), Some(1));
+        assert_eq!(engine.classify(&k(150)), Some(1)); // overlap: rank wins
+        assert_eq!(engine.classify(&k(200)), Some(1));
+        assert_eq!(engine.classify(&k(201)), Some(2));
+        assert_eq!(engine.classify(&k(65535)), Some(2));
+    }
+
+    #[test]
+    fn new_field_criteria_are_confirmed() {
+        let engine = IntervalEngine::compile([
+            rule(
+                1,
+                0,
+                MatchSpec {
+                    tcp_flags: Some(BitsMatch::all_of(0x02)),
+                    ..Default::default()
+                },
+            ),
+            rule(
+                2,
+                1,
+                MatchSpec {
+                    packet_len: Some(RangeMatch::new(1000, 1500)),
+                    ..Default::default()
+                },
+            ),
+        ]);
+        let mut k = key([1, 1, 1, 1], IpProtocol::TCP, 1, 2);
+        k.tcp_flags = 0x12; // SYN|ACK
+        assert_eq!(engine.classify(&k), Some(1));
+        k.tcp_flags = 0x10; // ACK only
+        assert_eq!(engine.classify(&k), None);
+        k.packet_len = 1200;
+        assert_eq!(engine.classify(&k), Some(2));
+    }
+
+    #[test]
+    fn incremental_updates_recompile() {
+        let mut engine = IntervalEngine::new();
+        engine.insert(rule(7, 3, MatchSpec::default()));
+        let k = key([1, 1, 1, 1], IpProtocol::UDP, 1, 2);
+        assert_eq!(engine.classify(&k), Some(7));
+        engine.insert(rule(3, 1, MatchSpec::default()));
+        assert_eq!(engine.classify(&k), Some(3));
+        assert!(engine.remove(3));
+        assert!(!engine.remove(3));
+        assert_eq!(engine.classify(&k), Some(7));
+        assert_eq!(engine.clear(), vec![7]);
+        assert_eq!(engine.classify(&k), None);
+    }
+
+    #[test]
+    fn inverted_port_range_matches_nothing() {
+        let engine = IntervalEngine::compile([rule(
+            1,
+            0,
+            MatchSpec {
+                src_port: Some(PortMatch::Range(200, 100)),
+                ..Default::default()
+            },
+        )]);
+        assert_eq!(engine.len(), 1);
+        assert_eq!(
+            engine.classify(&key([1, 1, 1, 1], IpProtocol::UDP, 150, 1)),
+            None
+        );
+    }
+}

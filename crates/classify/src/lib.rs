@@ -24,13 +24,23 @@
 //!   lookups.
 //! - [`sharded`] — a front-end that fans independent shards (one per
 //!   port group) out across the reusable worker [`pool`].
+//!
+//! Two interchangeable backends implement the lookup structure: the
+//! tuple-space hash engine ([`engine::ClassifyEngine`]) and a compiled
+//! interval decision tree ([`interval::IntervalEngine`]) for
+//! range/mask-heavy FlowSpec tables — see [`backend`] for the common
+//! trait and the `STELLAR_CLASSIFY_BACKEND` selection knob.
 
 pub mod analyze;
+pub mod backend;
 pub mod engine;
+pub mod interval;
 pub mod pool;
 pub mod sharded;
 pub mod spec;
 
 pub use analyze::{ActionClass, AuditRule, Finding, RuleFlag, TableAnalysis, TcamUsage};
+pub use backend::{Backend, BackendKind, FlowClassifier};
 pub use engine::{ClassifyEngine, ClassifyScratch, RuleEntry, RuleId};
-pub use spec::{MatchSpec, PortMatch};
+pub use interval::IntervalEngine;
+pub use spec::{BitsMatch, MatchSpec, PortMatch, RangeMatch};

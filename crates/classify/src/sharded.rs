@@ -15,6 +15,7 @@
 //! paying a thread spawn + join per call, which used to dominate the
 //! per-tick cost.
 
+use crate::backend::Backend;
 use crate::engine::{ClassifyEngine, RuleId};
 use crate::pool::{on_pool_worker, WorkerPool};
 use stellar_net::flow::FlowKey;
@@ -60,19 +61,29 @@ where
 }
 
 /// One port group's classification work: its engine and the flow keys
-/// offered to it this tick.
-#[derive(Debug, Clone, Copy)]
-pub struct ShardRequest<'a> {
+/// offered to it this tick. Generic over the [`Backend`] so hash-engine
+/// and interval-tree shards go through the same pool plumbing (defaults
+/// to the hash engine for existing call sites).
+#[derive(Debug)]
+pub struct ShardRequest<'a, E: Backend + ?Sized = ClassifyEngine> {
     /// The port group's compiled engine.
-    pub engine: &'a ClassifyEngine,
+    pub engine: &'a E,
     /// Keys to classify against it.
     pub keys: &'a [FlowKey],
 }
 
+impl<E: Backend + ?Sized> Clone for ShardRequest<'_, E> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<E: Backend + ?Sized> Copy for ShardRequest<'_, E> {}
+
 /// Classifies every shard's batch in parallel; result `i` is the verdict
 /// vector for `requests[i]`.
-pub fn classify_shards(
-    requests: Vec<ShardRequest<'_>>,
+pub fn classify_shards<E: Backend + Sync + ?Sized>(
+    requests: Vec<ShardRequest<'_, E>>,
     max_workers: usize,
 ) -> Vec<Vec<Option<RuleId>>> {
     parallel_shards(requests, max_workers, |req| {
@@ -98,6 +109,7 @@ mod tests {
             protocol: IpProtocol::UDP,
             src_port: 123,
             dst_port: 44444,
+            ..FlowKey::default()
         }
     }
 
@@ -121,16 +133,19 @@ mod tests {
     #[test]
     fn sharded_lookup_agrees_with_direct() {
         // Three "port groups" with different rule sets.
-        let engines: Vec<ClassifyEngine> = (0..3u64)
-            .map(|g| {
-                ClassifyEngine::compile((0..10).map(|i| {
+        let group_entries = |g: u64| -> Vec<RuleEntry> {
+            (0..10)
+                .map(|i| {
                     RuleEntry::new(
                         g * 100 + i,
                         10,
                         MatchSpec::to_destination(format!("100.{g}.{i}.0/24").parse().unwrap()),
                     )
-                }))
-            })
+                })
+                .collect()
+        };
+        let engines: Vec<ClassifyEngine> = (0..3u64)
+            .map(|g| ClassifyEngine::compile(group_entries(g)))
             .collect();
         let batches: Vec<Vec<FlowKey>> = (0..3u8)
             .map(|g| (0..20u8).map(|i| key([100, g, i % 12, 7])).collect())
@@ -144,6 +159,17 @@ mod tests {
         for ((engine, keys), got) in engines.iter().zip(&batches).zip(&sharded) {
             assert_eq!(got, &engine.classify_batch(keys));
         }
+        // The interval-tree backend goes through the same front-end and
+        // produces identical verdicts.
+        let trees: Vec<crate::interval::IntervalEngine> = (0..3u64)
+            .map(|g| crate::interval::IntervalEngine::compile(group_entries(g)))
+            .collect();
+        let tree_requests: Vec<ShardRequest<'_, crate::interval::IntervalEngine>> = trees
+            .iter()
+            .zip(&batches)
+            .map(|(engine, keys)| ShardRequest { engine, keys })
+            .collect();
+        assert_eq!(classify_shards(tree_requests, 4), sharded);
         // Group 0 key for dst 100.0.5.7 hits rule id 5; group 1's
         // equivalent hits its own group's rule.
         assert_eq!(sharded[0][5], Some(5));

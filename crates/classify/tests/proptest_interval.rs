@@ -1,10 +1,14 @@
-//! Property tests: the compiled tuple-space engine is behavior-identical
-//! to the naive first-match linear scan — same matched rule id, same
-//! (priority, id) first-match semantics — across wildcard, exact, port
-//! range, prefix and mixed-family cases, under both whole-set compilation
-//! and arbitrary interleavings of incremental insert/remove.
+//! Property tests for backend equivalence: the interval-tree engine is
+//! behavior-identical to the tuple-space hash engine and to the naive
+//! first-match linear scan — same matched rule id, same `(priority, id)`
+//! tie resolution — over the *full* match language, including the
+//! FlowSpec-era criteria (TCP-flag cubes, packet-length / DSCP / ICMP /
+//! flow-label intervals, fragment bits), under whole-set compilation and
+//! arbitrary interleavings of incremental insert/remove.
 
 use proptest::prelude::*;
+use stellar_classify::backend::{Backend, BackendKind, FlowClassifier};
+use stellar_classify::interval::IntervalEngine;
 use stellar_classify::sharded::{classify_shards, ShardRequest};
 use stellar_classify::spec::{BitsMatch, RangeMatch};
 use stellar_classify::{ClassifyEngine, MatchSpec, PortMatch, RuleEntry};
@@ -15,7 +19,7 @@ use stellar_net::prefix::{Ipv4Prefix, Ipv6Prefix, Prefix};
 use stellar_net::proto::IpProtocol;
 
 /// The reference semantics: first match over rules sorted by
-/// `(priority, id)`.
+/// `(priority, id)`, deciding each rule with `MatchSpec::matches`.
 fn linear(entries: &[RuleEntry], key: &FlowKey) -> Option<u64> {
     let mut sorted: Vec<&RuleEntry> = entries.iter().collect();
     sorted.sort_by_key(|e| (e.priority, e.id));
@@ -31,7 +35,6 @@ fn v6(last: u8) -> Ipv6Address {
     Ipv6Address(o)
 }
 
-/// Addresses from a small pool so prefixes of every length get hits.
 fn arb_ip() -> impl Strategy<Value = IpAddress> {
     prop_oneof![
         (0u8..3, 0u8..3, 0u8..3, 0u8..3)
@@ -57,8 +60,7 @@ fn arb_proto() -> impl Strategy<Value = IpProtocol> {
     ]
 }
 
-/// Ports from a small pool, as exact matches and as (possibly empty-ish)
-/// ranges, so range residuals and boundary hits occur.
+/// Ports from a small pool so range cuts and boundary hits occur.
 fn arb_port_match() -> impl Strategy<Value = PortMatch> {
     prop_oneof![
         (0u16..8).prop_map(PortMatch::Exact),
@@ -71,8 +73,8 @@ fn arb_bits() -> impl Strategy<Value = BitsMatch> {
     (0u8..8, 0u8..8).prop_map(|(mask, value)| BitsMatch::new(mask, value & mask))
 }
 
-/// Small-domain extended criteria (flags, length, DSCP, fragment, ICMP,
-/// flow label) so tree cuts and residual confirmation both get exercised.
+/// Small-domain extended criteria so the tree's interval cuts and the
+/// rest-list confirmation both get exercised on every field.
 fn arb_ext() -> impl Strategy<Value = MatchSpec> {
     (
         proptest::option::of(arb_bits()),
@@ -158,8 +160,10 @@ fn arb_key() -> impl Strategy<Value = FlowKey> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
+    /// Tree, hash and linear scan return the same rule for every key —
+    /// single-key and batch paths both.
     #[test]
-    fn engine_agrees_with_linear_scan(
+    fn tree_agrees_with_hash_and_linear(
         specs in proptest::collection::vec((arb_spec(), 0u16..4), 0..12),
         keys in proptest::collection::vec(arb_key(), 1..16),
     ) {
@@ -168,78 +172,117 @@ proptest! {
             .enumerate()
             .map(|(i, (spec, prio))| RuleEntry::new(i as u64, prio, spec))
             .collect();
-        let engine = ClassifyEngine::compile(entries.iter().cloned());
-        let batch = engine.classify_batch(&keys);
-        for (key, verdict) in keys.iter().zip(&batch) {
-            // Single-key, batch and the reference scan all agree.
-            prop_assert_eq!(engine.classify(key), *verdict);
+        let hash = ClassifyEngine::compile(entries.iter().cloned());
+        let tree = IntervalEngine::compile(entries.iter().cloned());
+        let hash_batch = hash.classify_batch(&keys);
+        let tree_batch = tree.classify_batch(&keys);
+        prop_assert_eq!(&hash_batch, &tree_batch);
+        for (key, verdict) in keys.iter().zip(&tree_batch) {
+            prop_assert_eq!(tree.classify(key), *verdict);
             prop_assert_eq!(*verdict, linear(&entries, key));
         }
     }
 
+    /// Rank ties (same priority, overlapping specs, only the id breaks
+    /// the tie) resolve to the same winner on every backend. Everything
+    /// lands at one priority and specs are drawn from a pool small
+    /// enough that duplicates occur.
     #[test]
-    fn incremental_updates_match_recompilation(
+    fn first_match_rank_ties_agree_across_backends(
+        specs in proptest::collection::vec(arb_spec(), 2..10),
+        dup in 0usize..2,
+        keys in proptest::collection::vec(arb_key(), 1..16),
+    ) {
+        let mut all = specs.clone();
+        // Guarantee at least one exact duplicate spec pair so the tie is
+        // real, not probabilistic.
+        all.push(specs[dup % specs.len()].clone());
+        let entries: Vec<RuleEntry> = all
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| RuleEntry::new(i as u64, 10, spec))
+            .collect();
+        let hash = ClassifyEngine::compile(entries.iter().cloned());
+        let tree = IntervalEngine::compile(entries.iter().cloned());
+        for key in &keys {
+            let want = linear(&entries, key);
+            prop_assert_eq!(hash.classify(key), want);
+            prop_assert_eq!(tree.classify(key), want);
+        }
+    }
+
+    /// Incremental insert/remove on the tree matches a from-scratch
+    /// compile and the hash engine under the same op sequence.
+    #[test]
+    fn incremental_tree_updates_match_recompilation(
         ops in proptest::collection::vec(
             (any::<bool>(), 0u64..8, arb_spec(), 0u16..4),
             1..24,
         ),
         keys in proptest::collection::vec(arb_key(), 1..12),
     ) {
-        let mut engine = ClassifyEngine::new();
+        let mut tree = IntervalEngine::new();
+        let mut hash = ClassifyEngine::new();
         let mut model: Vec<RuleEntry> = Vec::new();
         for (insert, id, spec, prio) in ops {
             if insert {
                 let entry = RuleEntry::new(id, prio, spec);
                 model.retain(|e| e.id != id);
                 model.push(entry.clone());
-                engine.insert(entry);
+                tree.insert(entry.clone());
+                hash.insert(entry);
             } else {
                 let existed = model.iter().any(|e| e.id == id);
                 model.retain(|e| e.id != id);
-                prop_assert_eq!(engine.remove(id), existed);
+                prop_assert_eq!(tree.remove(id), existed);
+                prop_assert_eq!(hash.remove(id), existed);
             }
         }
-        prop_assert_eq!(engine.len(), model.len());
-        // The incrementally-maintained engine equals a from-scratch
-        // compilation of the surviving set, and both equal the scan.
-        let fresh = ClassifyEngine::compile(model.iter().cloned());
+        prop_assert_eq!(tree.len(), model.len());
+        let fresh = IntervalEngine::compile(model.iter().cloned());
         for key in &keys {
-            prop_assert_eq!(engine.classify(key), fresh.classify(key));
-            prop_assert_eq!(engine.classify(key), linear(&model, key));
+            let want = linear(&model, key);
+            prop_assert_eq!(tree.classify(key), want);
+            prop_assert_eq!(fresh.classify(key), want);
+            prop_assert_eq!(hash.classify(key), want);
         }
     }
 
+    /// The polymorphic front-ends agree too: `FlowClassifier` of either
+    /// kind and tree shards through the worker pool all reproduce the
+    /// hash verdicts.
     #[test]
-    fn sharded_front_end_agrees(
-        shards in proptest::collection::vec(
-            (
-                proptest::collection::vec((arb_spec(), 0u16..4), 0..6),
-                proptest::collection::vec(arb_key(), 0..8),
-            ),
-            1..5,
-        ),
-        workers in 1usize..5,
+    fn classifier_and_sharding_agree_across_backends(
+        specs in proptest::collection::vec((arb_spec(), 0u16..4), 0..8),
+        keys in proptest::collection::vec(arb_key(), 1..12),
+        workers in 1usize..4,
     ) {
-        let compiled: Vec<(ClassifyEngine, Vec<FlowKey>)> = shards
+        let entries: Vec<RuleEntry> = specs
             .into_iter()
-            .map(|(specs, keys)| {
-                let engine = ClassifyEngine::compile(
-                    specs
-                        .into_iter()
-                        .enumerate()
-                        .map(|(i, (spec, prio))| RuleEntry::new(i as u64, prio, spec)),
-                );
-                (engine, keys)
-            })
+            .enumerate()
+            .map(|(i, (spec, prio))| RuleEntry::new(i as u64, prio, spec))
             .collect();
-        let requests: Vec<ShardRequest<'_>> = compiled
-            .iter()
-            .map(|(engine, keys)| ShardRequest { engine, keys })
+        let mut by_kind = [BackendKind::Hash, BackendKind::Tree]
+            .into_iter()
+            .map(|kind| {
+                let mut c = FlowClassifier::of_kind(kind);
+                for e in &entries {
+                    c.insert(e.clone());
+                }
+                c.classify_batch(&keys)
+            });
+        let hash_verdicts = by_kind.next().unwrap();
+        let tree_verdicts = by_kind.next().unwrap();
+        prop_assert_eq!(&hash_verdicts, &tree_verdicts);
+        let tree = IntervalEngine::compile(entries.iter().cloned());
+        let requests: Vec<ShardRequest<'_, IntervalEngine>> = keys
+            .chunks(4)
+            .map(|chunk| ShardRequest { engine: &tree, keys: chunk })
             .collect();
-        let results = classify_shards(requests, workers);
-        prop_assert_eq!(results.len(), compiled.len());
-        for ((engine, keys), got) in compiled.iter().zip(&results) {
-            prop_assert_eq!(got, &engine.classify_batch(keys));
-        }
+        let sharded: Vec<Option<u64>> = classify_shards(requests, workers)
+            .into_iter()
+            .flatten()
+            .collect();
+        prop_assert_eq!(sharded, hash_verdicts);
     }
 }

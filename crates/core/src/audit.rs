@@ -16,7 +16,7 @@
 
 use crate::rule::{BlackholingRule, RuleAction};
 use std::collections::BTreeMap;
-use stellar_classify::analyze::{analyze, ActionClass, AuditRule, RuleFlag};
+use stellar_classify::analyze::{analyze, spec_is_empty, ActionClass, AuditRule, RuleFlag};
 use stellar_classify::RuleEntry;
 use stellar_dataplane::switch::EdgeRouter;
 
@@ -37,6 +37,12 @@ pub enum AuditRejection {
         /// The earlier rule it crosses.
         with: u64,
     },
+    /// The rule's own spec is unsatisfiable — an inverted port range
+    /// like `Range(2000, 1000)`, a zero-value any-bit mask, or a field
+    /// combination no packet can carry. Such a rule would install,
+    /// burn TCAM criteria and silently match nothing, so it is refused
+    /// outright, before any shadowing analysis.
+    EmptyMatch,
 }
 
 /// TCAM criteria accounting for the candidates that survived the audit,
@@ -115,6 +121,13 @@ pub fn audit_batch(
         let report = analyze(&table);
         for r in rules {
             if !candidate_ids.contains(&r.id) {
+                continue;
+            }
+            // A self-contradictory spec is refused with its own reason:
+            // "shadowed" would blame earlier rules for a candidate that
+            // could never match anything on an empty port either.
+            if spec_is_empty(&r.match_spec()) {
+                audit.rejected.push((r.id, AuditRejection::EmptyMatch));
                 continue;
             }
             let rejection = match report.dead_flag(r.id) {
@@ -223,6 +236,25 @@ mod tests {
         assert_eq!(audit.preadmit.l34_needed, 6);
         assert_eq!(audit.preadmit.mac_needed, 0);
         assert!(audit.preadmit.fits());
+    }
+
+    #[test]
+    fn inverted_port_range_candidate_is_refused_as_empty() {
+        use stellar_dataplane::filter::{MatchSpec, PortMatch};
+        // Range(2000, 1000) matches no port: the rule would install and
+        // silently do nothing. It must be refused with its own reason —
+        // not pass, and not be blamed on a shadowing rule.
+        let spec = MatchSpec {
+            dst_ip: Some(victim()),
+            src_port: Some(PortMatch::Range(2000, 1000)),
+            ..Default::default()
+        };
+        let inverted =
+            BlackholingRule::from_flowspec(7, Asn(64500), victim(), spec, RuleAction::Drop);
+        let desired = [rule(1, 64500, StellarSignal::drop_udp_src(123)), inverted];
+        let audit = audit_batch(&router(), &desired, &[7]);
+        assert_eq!(audit.rejected, vec![(7, AuditRejection::EmptyMatch)]);
+        assert_eq!(audit.preadmit.l34_needed, 0);
     }
 
     #[test]

@@ -125,6 +125,7 @@ mod tests {
             protocol: proto,
             src_port,
             dst_port: 40000,
+            ..FlowKey::default()
         }
     }
 

@@ -13,9 +13,11 @@ use crate::controller::AbstractChange;
 use crate::rule::{BlackholingRule, RuleAction, RuleMatcher};
 use std::collections::BTreeMap;
 use stellar_bgp::extcommunity::ExtendedCommunity;
-use stellar_bgp::flowspec::{numeric_match_intervals, Component, FlowSpec, NumericOp};
-use stellar_bgp::types::Asn;
-use stellar_dataplane::filter::{MatchSpec, PortMatch};
+use stellar_bgp::flowspec::{numeric_match_intervals, BitmaskOp, Component, FlowSpec, NumericOp};
+use stellar_bgp::types::{Afi, Asn};
+use stellar_classify::spec::is_icmp;
+use stellar_dataplane::filter::{BitsMatch, MatchSpec, PortMatch, RangeMatch};
+use stellar_net::flow::frag;
 use stellar_net::proto::IpProtocol;
 use stellar_routeserver::AcceptedFlowSpec;
 
@@ -33,8 +35,8 @@ pub const MAX_LOWERED_SPECS: usize = 64;
 /// Why a validated FlowSpec rule could not be lowered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LowerError {
-    /// The component type has no classifier equivalent (ICMP fields,
-    /// TCP flags, packet length, DSCP, fragment bits, flow label).
+    /// The component has no classifier equivalent in this flow's
+    /// address family (today only: `flow-label` outside IPv6).
     UnsupportedComponent(&'static str),
     /// An operator sequence matches no value at all, so the rule as a
     /// whole matches no packet.
@@ -136,17 +138,206 @@ fn intersect(a: Option<(u16, u16)>, b: (u16, u16)) -> Option<(u16, u16)> {
     }
 }
 
+/// Total number of values a sorted interval set covers, saturating at
+/// `u64::MAX`. A full-domain interval like `(0, u64::MAX)` has a
+/// cardinality of 2^64, which the naive `hi - lo + 1` sum wraps to
+/// zero — and a zero count would sail straight past the expansion cap.
+fn interval_cardinality(iv: &[(u64, u64)]) -> u64 {
+    iv.iter().fold(0u64, |acc, &(lo, hi)| {
+        acc.saturating_add((hi - lo).saturating_add(1))
+    })
+}
+
+/// The interval alternatives one numeric component contributes: `None`
+/// when the sequence covers its whole `0..=max` domain (matching it
+/// costs no criterion — same as omitting the component), the minimal
+/// interval list otherwise, [`LowerError::EmptyMatch`] when it matches
+/// no value at all.
+fn numeric_dim(
+    ops: &[NumericOp],
+    max: u64,
+    what: &'static str,
+) -> Result<Option<Vec<(u64, u64)>>, LowerError> {
+    let iv = numeric_match_intervals(ops, max);
+    if iv.is_empty() {
+        return Err(LowerError::EmptyMatch(what));
+    }
+    if iv == [(0, max)] {
+        return Ok(None);
+    }
+    Ok(Some(iv))
+}
+
+/// The cube set one bitmask operator denotes over a field whose keys
+/// only ever carry `domain` bits. `match_all` is a single cube,
+/// `any-bit` an OR over one-bit cubes, and the negations follow by
+/// De Morgan — `NOT(all of v)` is "some bit of v clear", `NOT(any of
+/// v)` is "all bits of v clear". Bits outside the domain are constant
+/// zero in every key, which collapses some operators to always-true
+/// (the `(0, 0)` tautology cube) or always-false (no cubes).
+fn op_cubes(op: &BitmaskOp, domain: u8) -> Vec<BitsMatch> {
+    let dom = u64::from(domain);
+    let one_bit_cubes = |bits: u8, value_of: fn(u8) -> u8| -> Vec<BitsMatch> {
+        (0..8)
+            .map(|i| 1u8 << i)
+            .filter(|b| bits & b != 0)
+            .map(|b| BitsMatch::new(b, value_of(b)))
+            .collect()
+    };
+    match (op.match_all, op.not) {
+        (true, false) => {
+            if op.value == 0 {
+                vec![BitsMatch::new(0, 0)]
+            } else if op.value & !dom != 0 {
+                Vec::new()
+            } else {
+                vec![BitsMatch::new(op.value as u8, op.value as u8)]
+            }
+        }
+        (false, false) => one_bit_cubes((op.value & dom) as u8, |b| b),
+        (true, true) => {
+            if op.value & !dom != 0 {
+                vec![BitsMatch::new(0, 0)]
+            } else if op.value == 0 {
+                Vec::new()
+            } else {
+                one_bit_cubes(op.value as u8, |_| 0)
+            }
+        }
+        (false, true) => {
+            let bits = (op.value & dom) as u8;
+            if bits == 0 {
+                vec![BitsMatch::new(0, 0)]
+            } else {
+                vec![BitsMatch::new(bits, 0)]
+            }
+        }
+    }
+}
+
+/// Intersects two cubes: compatible iff they agree on every shared mask
+/// bit, in which case the constraints simply union.
+fn cube_and(a: BitsMatch, b: BitsMatch) -> Option<BitsMatch> {
+    if a.value & b.mask != b.value & a.mask {
+        return None;
+    }
+    Some(BitsMatch::new(a.mask | b.mask, a.value | b.value))
+}
+
+/// Lowers a bitmask operator sequence to a non-redundant OR-of-cubes
+/// over the field's `domain` bits — the exact value set of
+/// [`stellar_bgp::flowspec::bitmask_seq_matches`] restricted to keys
+/// the dataplane can produce. `Ok(None)` means the sequence matches the
+/// whole domain (no criterion needed; the caller still applies any
+/// protocol gate the component implies).
+fn bitmask_cubes(
+    ops: &[BitmaskOp],
+    domain: u8,
+    what: &'static str,
+) -> Result<Option<Vec<BitsMatch>>, LowerError> {
+    let push_unique = |out: &mut Vec<BitsMatch>, c: BitsMatch| {
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    };
+    // Same OR-of-AND-groups fold as the evaluator, lifted to cube sets.
+    let mut union: Vec<BitsMatch> = Vec::new();
+    let mut group: Option<Vec<BitsMatch>> = None;
+    for op in ops {
+        let set = op_cubes(op, domain);
+        group = Some(match group {
+            Some(prev) if op.and => {
+                let mut out = Vec::new();
+                for &a in &prev {
+                    for &b in &set {
+                        if let Some(c) = cube_and(a, b) {
+                            push_unique(&mut out, c);
+                        }
+                    }
+                }
+                out
+            }
+            Some(prev) => {
+                for c in prev {
+                    push_unique(&mut union, c);
+                }
+                set
+            }
+            None => set,
+        });
+    }
+    if let Some(last) = group {
+        for c in last {
+            push_unique(&mut union, c);
+        }
+    }
+    // Weakest cubes (fewest constrained bits) first, then drop every
+    // cube a weaker one already covers.
+    union.sort_by_key(|c| (c.mask.count_ones(), c.mask, c.value));
+    let mut cubes: Vec<BitsMatch> = Vec::new();
+    for c in union {
+        let covered = cubes
+            .iter()
+            .any(|a| a.mask & c.mask == a.mask && c.value & a.mask == a.value);
+        if !covered {
+            cubes.push(c);
+        }
+    }
+    if cubes.is_empty() {
+        return Err(LowerError::EmptyMatch(what));
+    }
+    if cubes.iter().any(|c| c.mask == 0) {
+        return Ok(None);
+    }
+    Ok(Some(cubes))
+}
+
+/// Multiplies the spec set by one more component dimension's
+/// alternatives (`None`: the dimension is absent or full-domain —
+/// nothing to do), refusing before the cross product can exceed
+/// [`MAX_LOWERED_SPECS`].
+fn expand<T: Clone>(
+    specs: Vec<MatchSpec>,
+    alts: Option<Vec<T>>,
+    set: impl Fn(&mut MatchSpec, T),
+) -> Result<Vec<MatchSpec>, LowerError> {
+    let Some(alts) = alts else {
+        return Ok(specs);
+    };
+    let product = specs.len().saturating_mul(alts.len());
+    if product > MAX_LOWERED_SPECS {
+        return Err(LowerError::TooManySpecs(product));
+    }
+    let mut out = Vec::with_capacity(product);
+    for s in &specs {
+        for a in &alts {
+            let mut s2 = s.clone();
+            set(&mut s2, a.clone());
+            if !out.contains(&s2) {
+                out.push(s2);
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Lowers a flow specification to the minimal set of [`MatchSpec`]s
 /// matching exactly the packets its components describe.
 ///
-/// Supported components: destination/source prefix, IP protocol and the
-/// three port types. An operator sequence with several disjoint
-/// intervals multiplies out (one spec per interval combination) because
-/// the classifier matches a single value-or-range per field. The type-4
-/// `port` component means "source *or* destination port" (RFC 8955
-/// §4.2.4), so each of its intervals contributes a source variant and a
-/// destination variant, intersected with any explicit src-port/dst-port
-/// constraint.
+/// All thirteen RFC 8955/8956 component types lower. An operator
+/// sequence with several disjoint intervals (or bitmask alternatives)
+/// multiplies out — one spec per combination — because the classifier
+/// matches a single value, range or cube per field. The type-4 `port`
+/// component means "source *or* destination port" (RFC 8955 §4.2.4),
+/// so each of its intervals contributes a source variant and a
+/// destination variant, intersected with any explicit
+/// src-port/dst-port constraint. Components only some protocols can
+/// satisfy (tcp-flags, the ICMP fields, the port types) narrow the
+/// protocol set instead of being silently dropped, so a contradictory
+/// combination (`tcp-flags` + `icmp-type`, ports + an ICMP-only
+/// protocol) is refused as an empty match rather than lowered to a
+/// dead rule. `flow-label` is IPv6-only (RFC 8956 §3.7) and refused
+/// for IPv4 flows.
 pub fn lower_flowspec(flow: &FlowSpec) -> Result<Vec<MatchSpec>, LowerError> {
     let mut dst_ip = None;
     let mut src_ip = None;
@@ -154,6 +345,15 @@ pub fn lower_flowspec(flow: &FlowSpec) -> Result<Vec<MatchSpec>, LowerError> {
     let mut src_ports: Option<Vec<(u16, u16)>> = None;
     let mut dst_ports: Option<Vec<(u16, u16)>> = None;
     let mut either_ports: Option<Vec<(u16, u16)>> = None;
+    let mut has_tcp_flags = false;
+    let mut tcp_cubes: Option<Vec<BitsMatch>> = None;
+    let mut has_icmp = None::<&'static str>;
+    let mut icmp_types: Option<Vec<(u64, u64)>> = None;
+    let mut icmp_codes: Option<Vec<(u64, u64)>> = None;
+    let mut packet_lens: Option<Vec<(u64, u64)>> = None;
+    let mut dscps: Option<Vec<(u64, u64)>> = None;
+    let mut frag_cubes: Option<Vec<BitsMatch>> = None;
+    let mut flow_labels: Option<Vec<(u64, u64)>> = None;
     for c in &flow.components {
         match c {
             Component::DstPrefix(p) => dst_ip = Some(*p),
@@ -167,8 +367,8 @@ pub fn lower_flowspec(flow: &FlowSpec) -> Result<Vec<MatchSpec>, LowerError> {
                     // Matches every protocol: equivalent to omitting it.
                     continue;
                 }
-                let count: u64 = iv.iter().map(|&(lo, hi)| hi - lo + 1).sum();
-                if count as usize > MAX_LOWERED_SPECS {
+                let count = interval_cardinality(&iv);
+                if count > MAX_LOWERED_SPECS as u64 {
                     return Err(LowerError::TooManySpecs(count as usize));
                 }
                 protocols = Some(
@@ -181,11 +381,73 @@ pub fn lower_flowspec(flow: &FlowSpec) -> Result<Vec<MatchSpec>, LowerError> {
             Component::Port(ops) => either_ports = Some(port_intervals(ops, "port")?),
             Component::DstPort(ops) => dst_ports = Some(port_intervals(ops, "dst-port")?),
             Component::SrcPort(ops) => src_ports = Some(port_intervals(ops, "src-port")?),
-            other => return Err(LowerError::UnsupportedComponent(other.name())),
+            Component::IcmpType(ops) => {
+                has_icmp.get_or_insert("icmp-type");
+                icmp_types = numeric_dim(ops, 255, "icmp-type")?;
+            }
+            Component::IcmpCode(ops) => {
+                has_icmp.get_or_insert("icmp-code");
+                icmp_codes = numeric_dim(ops, 255, "icmp-code")?;
+            }
+            Component::TcpFlags(ops) => {
+                has_tcp_flags = true;
+                // Keys carry the raw TCP flags byte: the full u8 domain.
+                tcp_cubes = bitmask_cubes(ops, 0xff, "tcp-flags")?;
+            }
+            Component::PacketLength(ops) => {
+                packet_lens = numeric_dim(ops, 65_535, "packet-length")?;
+            }
+            Component::Dscp(ops) => dscps = numeric_dim(ops, 63, "dscp")?,
+            Component::Fragment(ops) => {
+                frag_cubes = bitmask_cubes(ops, frag::DOMAIN, "fragment")?;
+            }
+            Component::FlowLabel(ops) => {
+                if flow.afi != Afi::Ipv6 {
+                    return Err(LowerError::UnsupportedComponent("flow-label"));
+                }
+                flow_labels = numeric_dim(ops, 0xf_ffff, "flow-label")?;
+            }
         }
     }
     if dst_ip.is_none() {
         return Err(LowerError::MissingDestPrefix);
+    }
+    // Components only some protocols can satisfy narrow the protocol
+    // set. An ICMP field pins the protocol to ICMP/ICMPv6 even when its
+    // value range is a wildcard; tcp-flags pins it to TCP; ports need a
+    // ported protocol. An intersection that empties the set means the
+    // rule can match no packet — refuse, never install a dead filter.
+    if let Some(what) = has_icmp {
+        match &mut protocols {
+            None => {
+                protocols = Some((0..=255u8).filter(|&p| is_icmp(IpProtocol(p))).collect());
+            }
+            Some(ps) => {
+                ps.retain(|&p| is_icmp(IpProtocol(p)));
+                if ps.is_empty() {
+                    return Err(LowerError::EmptyMatch(what));
+                }
+            }
+        }
+    }
+    if has_tcp_flags {
+        match &mut protocols {
+            None => protocols = Some(vec![IpProtocol::TCP.0]),
+            Some(ps) => {
+                ps.retain(|&p| p == IpProtocol::TCP.0);
+                if ps.is_empty() {
+                    return Err(LowerError::EmptyMatch("tcp-flags"));
+                }
+            }
+        }
+    }
+    if src_ports.is_some() || dst_ports.is_some() || either_ports.is_some() {
+        if let Some(ps) = &mut protocols {
+            ps.retain(|&p| IpProtocol(p).has_ports());
+            if ps.is_empty() {
+                return Err(LowerError::EmptyMatch("port"));
+            }
+        }
     }
     let protocols: Vec<Option<IpProtocol>> = match protocols {
         None => vec![None],
@@ -242,6 +504,38 @@ pub fn lower_flowspec(flow: &FlowSpec) -> Result<Vec<MatchSpec>, LowerError> {
     if specs.len() > MAX_LOWERED_SPECS {
         return Err(LowerError::TooManySpecs(specs.len()));
     }
+    let u8_ranges = |iv: Vec<(u64, u64)>| -> Vec<RangeMatch<u8>> {
+        iv.into_iter()
+            .map(|(lo, hi)| RangeMatch::new(lo as u8, hi as u8))
+            .collect()
+    };
+    let specs = expand(specs, tcp_cubes, |s, c| s.tcp_flags = Some(c))?;
+    let specs = expand(
+        specs,
+        packet_lens.map(|iv| {
+            iv.into_iter()
+                .map(|(lo, hi)| RangeMatch::new(lo as u16, hi as u16))
+                .collect::<Vec<_>>()
+        }),
+        |s, r| s.packet_len = Some(r),
+    )?;
+    let specs = expand(specs, dscps.map(u8_ranges), |s, r| s.dscp = Some(r))?;
+    let specs = expand(specs, frag_cubes, |s, c| s.fragment = Some(c))?;
+    let specs = expand(specs, icmp_types.map(u8_ranges), |s, r| {
+        s.icmp_type = Some(r)
+    })?;
+    let specs = expand(specs, icmp_codes.map(u8_ranges), |s, r| {
+        s.icmp_code = Some(r)
+    })?;
+    let specs = expand(
+        specs,
+        flow_labels.map(|iv| {
+            iv.into_iter()
+                .map(|(lo, hi)| RangeMatch::new(lo as u32, hi as u32))
+                .collect::<Vec<_>>()
+        }),
+        |s, r| s.flow_label = Some(r),
+    )?;
     Ok(specs)
 }
 
@@ -397,12 +691,12 @@ impl FlowSpecPlane {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stellar_bgp::flowspec::numeric_seq_matches;
-    use stellar_bgp::types::Afi;
-    use stellar_net::addr::{IpAddress, Ipv4Address};
+    use stellar_bgp::flowspec::{bitmask_seq_matches, numeric_seq_matches};
+    use stellar_net::addr::{IpAddress, Ipv4Address, Ipv6Address};
     use stellar_net::flow::FlowKey;
     use stellar_net::mac::MacAddr;
     use stellar_net::prefix::Prefix;
+    use stellar_net::tcp::TcpFlags;
 
     const OWNER: Asn = Asn(64500);
 
@@ -423,6 +717,7 @@ mod tests {
             protocol,
             src_port,
             dst_port,
+            ..FlowKey::default()
         }
     }
 
@@ -444,29 +739,54 @@ mod tests {
             Component::SrcPort(ops) => {
                 k.protocol.has_ports() && numeric_seq_matches(ops, k.src_port as u64)
             }
-            _ => false,
+            Component::IcmpType(ops) => {
+                is_icmp(k.protocol) && numeric_seq_matches(ops, k.icmp_type as u64)
+            }
+            Component::IcmpCode(ops) => {
+                is_icmp(k.protocol) && numeric_seq_matches(ops, k.icmp_code as u64)
+            }
+            Component::TcpFlags(ops) => {
+                k.protocol == IpProtocol::TCP && bitmask_seq_matches(ops, k.tcp_flags as u64)
+            }
+            Component::PacketLength(ops) => numeric_seq_matches(ops, k.packet_len as u64),
+            Component::Dscp(ops) => numeric_seq_matches(ops, k.dscp as u64),
+            Component::Fragment(ops) => bitmask_seq_matches(ops, k.fragment as u64),
+            Component::FlowLabel(ops) => {
+                matches!(k.dst_ip, IpAddress::V6(_))
+                    && numeric_seq_matches(ops, k.flow_label as u64)
+            }
         })
+    }
+
+    /// Compares the lowered spec set against the oracle on every probe
+    /// key: lowering is exact iff "some spec matches" equals the direct
+    /// RFC evaluation, everywhere.
+    fn assert_exact_keys(f: &FlowSpec, keys: impl IntoIterator<Item = FlowKey>) {
+        let specs = lower_flowspec(f).expect("lowers");
+        for k in keys {
+            let lowered = specs.iter().any(|s| s.matches(&k));
+            assert_eq!(
+                lowered,
+                flow_matches(f, &k),
+                "disagreement on {k} against {specs:?}"
+            );
+        }
     }
 
     /// Exhaustively compares the lowered spec set against the oracle
     /// over a probe grid chosen to hit every interval boundary.
     fn assert_exact(f: &FlowSpec, probe_ports: &[u16]) {
-        let specs = lower_flowspec(f).expect("lowers");
+        let mut keys = Vec::new();
         for protocol in [IpProtocol::UDP, IpProtocol::TCP, IpProtocol::ICMP] {
             for &sp in probe_ports {
                 for &dp in probe_ports {
                     for dst_last in [10u8, 11] {
-                        let k = key(protocol, sp, dp, dst_last);
-                        let lowered = specs.iter().any(|s| s.matches(&k));
-                        assert_eq!(
-                            lowered,
-                            flow_matches(f, &k),
-                            "disagreement on {k} against {specs:?}"
-                        );
+                        keys.push(key(protocol, sp, dp, dst_last));
                     }
                 }
             }
         }
+        assert_exact_keys(f, keys);
     }
 
     #[test]
@@ -592,16 +912,338 @@ mod tests {
     }
 
     #[test]
-    fn unsupported_components_are_refused() {
-        use stellar_bgp::flowspec::BitmaskOp;
+    fn interval_cardinality_saturates_on_full_domain() {
+        // `hi - lo + 1` on the full u64 domain wraps to zero, which
+        // would slip under the expansion cap; the saturating fold
+        // reports "effectively infinite" instead.
+        assert_eq!(interval_cardinality(&[(0, u64::MAX)]), u64::MAX);
+        assert_eq!(interval_cardinality(&[(0, 255)]), 256);
+        assert_eq!(interval_cardinality(&[(0, 9), (20, 29)]), 20);
+        // A full-range numeric component still lowers as a wildcard
+        // rather than tripping (or dodging) the cap.
         let f = flow(vec![
             Component::DstPrefix(victim()),
-            Component::TcpFlags(vec![BitmaskOp::new(false, false, true, 0x02)]),
+            Component::IpProtocol(vec![NumericOp::new(false, true, true, true, 7)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, None);
+    }
+
+    /// Probe grid over the extension fields: every combination of a
+    /// few protocols, flag bytes, fragment bits, lengths, DSCPs and
+    /// ICMP types, toward both the victim and its neighbor.
+    fn ext_keys() -> Vec<FlowKey> {
+        let mut keys = Vec::new();
+        for protocol in [IpProtocol::TCP, IpProtocol::UDP, IpProtocol::ICMP] {
+            for tcp_flags in [0u8, TcpFlags::SYN, TcpFlags::SYN | TcpFlags::ACK, 0xff] {
+                for fragment in [0u8, frag::IS_FRAGMENT | frag::FIRST_FRAGMENT, frag::DOMAIN] {
+                    for packet_len in [0u16, 999, 1000, 1500, 1501] {
+                        for (dscp, icmp_type) in [(0u8, 0u8), (46, 8), (63, 3)] {
+                            keys.push(FlowKey {
+                                tcp_flags,
+                                fragment,
+                                packet_len,
+                                dscp,
+                                icmp_type,
+                                icmp_code: icmp_type / 2,
+                                ..key(protocol, 123, 443, 10)
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn tcp_syn_only_lowers_to_one_cube_pinned_to_tcp() {
+        // "SYN set AND ACK clear" — the classic SYN-flood filter. The
+        // AND-group folds to a single cube and the component pins the
+        // protocol to TCP even though the NLRI never names it.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::TcpFlags(vec![
+                BitmaskOp::new(false, false, true, TcpFlags::SYN as u64),
+                BitmaskOp::new(true, true, false, TcpFlags::ACK as u64),
+            ]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, Some(IpProtocol::TCP));
+        assert_eq!(
+            specs[0].tcp_flags,
+            Some(BitsMatch::new(TcpFlags::SYN | TcpFlags::ACK, TcpFlags::SYN))
+        );
+        assert_exact_keys(&f, ext_keys());
+    }
+
+    #[test]
+    fn tcp_flags_tautology_still_pins_protocol() {
+        // "all bits of 0x00 set" is vacuously true for every flags
+        // byte, so the cube criterion disappears — but the component
+        // still means "this is TCP traffic" and must not widen to
+        // other protocols.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::TcpFlags(vec![BitmaskOp::new(false, false, true, 0)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, Some(IpProtocol::TCP));
+        assert_eq!(specs[0].tcp_flags, None);
+        assert_exact_keys(&f, ext_keys());
+    }
+
+    #[test]
+    fn contradictory_protocol_pins_are_refused_as_empty() {
+        // tcp-flags on an explicitly-UDP flow can match no packet.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::TcpFlags(vec![BitmaskOp::new(
+                false,
+                false,
+                true,
+                TcpFlags::SYN as u64,
+            )]),
+        ]);
+        assert_eq!(lower_flowspec(&f), Err(LowerError::EmptyMatch("tcp-flags")));
+        // Ports on an ICMP-only protocol set, likewise.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(1)]),
+            Component::DstPort(vec![NumericOp::equals(53)]),
+        ]);
+        assert_eq!(lower_flowspec(&f), Err(LowerError::EmptyMatch("port")));
+        // And icmp-type intersected with tcp-flags.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IcmpType(vec![NumericOp::equals(8)]),
+            Component::TcpFlags(vec![BitmaskOp::new(
+                false,
+                false,
+                true,
+                TcpFlags::SYN as u64,
+            )]),
+        ]);
+        assert_eq!(lower_flowspec(&f), Err(LowerError::EmptyMatch("tcp-flags")));
+    }
+
+    #[test]
+    fn icmp_fields_lower_with_protocol_pinned_to_icmp() {
+        // echo-request floods: icmp-type 8, code 0. The protocol set
+        // narrows to ICMP/ICMPv6 without an explicit ip-protocol
+        // component.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IcmpType(vec![NumericOp::equals(8)]),
+            Component::IcmpCode(vec![NumericOp::equals(0)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs.iter().all(|s| {
+            is_icmp(s.protocol.unwrap())
+                && s.icmp_type == Some(RangeMatch::exact(8))
+                && s.icmp_code == Some(RangeMatch::exact(0))
+        }));
+        assert_exact_keys(&f, ext_keys());
+        // A full-range icmp-type keeps the pin but spends no criterion.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IcmpType(vec![NumericOp::ge(0)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert!(specs
+            .iter()
+            .all(|s| is_icmp(s.protocol.unwrap()) && s.icmp_type.is_none()));
+        assert_exact_keys(&f, ext_keys());
+    }
+
+    #[test]
+    fn packet_length_and_dscp_lower_to_ranges() {
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::PacketLength(vec![NumericOp::ge(1000), NumericOp::and_le(1500)]),
+            Component::Dscp(vec![NumericOp::equals(46)]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, None);
+        assert_eq!(specs[0].packet_len, Some(RangeMatch::new(1000, 1500)));
+        assert_eq!(specs[0].dscp, Some(RangeMatch::exact(46)));
+        assert_exact_keys(&f, ext_keys());
+        // Disjoint length intervals multiply out, minimally.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::PacketLength(vec![
+                NumericOp::equals(64),
+                NumericOp::ge(1000),
+                NumericOp::and_le(1500),
+            ]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_exact_keys(&f, ext_keys());
+    }
+
+    #[test]
+    fn fragment_bits_lower_to_cubes_over_the_frag_domain() {
+        // "is a fragment" — any-bit on IS_FRAGMENT.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::Fragment(vec![BitmaskOp::new(
+                false,
+                false,
+                false,
+                frag::IS_FRAGMENT as u64,
+            )]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(
+            specs[0].fragment,
+            Some(BitsMatch::new(frag::IS_FRAGMENT, frag::IS_FRAGMENT))
+        );
+        assert_exact_keys(&f, ext_keys());
+        // "not a fragment" — NOT any-bit: one all-clear cube, and no
+        // protocol pin (fragment bits exist on every v4 packet).
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::Fragment(vec![BitmaskOp::new(
+                false,
+                true,
+                false,
+                frag::IS_FRAGMENT as u64,
+            )]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].protocol, None);
+        assert_eq!(
+            specs[0].fragment,
+            Some(BitsMatch::new(frag::IS_FRAGMENT, 0))
+        );
+        assert_exact_keys(&f, ext_keys());
+    }
+
+    #[test]
+    fn bitmask_any_bit_lowers_to_or_of_one_bit_cubes() {
+        // any-of {SYN, ACK}: two cubes, exact — not one widened cube
+        // requiring both bits.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::TcpFlags(vec![BitmaskOp::new(
+                false,
+                false,
+                false,
+                (TcpFlags::SYN | TcpFlags::ACK) as u64,
+            )]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_exact_keys(&f, ext_keys());
+        // NOT(all of {SYN, ACK}): some bit clear — two all-clear cubes.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::TcpFlags(vec![BitmaskOp::new(
+                false,
+                true,
+                true,
+                (TcpFlags::SYN | TcpFlags::ACK) as u64,
+            )]),
+        ]);
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_exact_keys(&f, ext_keys());
+    }
+
+    fn victim6() -> Prefix {
+        "2001:db8:100::10/128".parse().unwrap()
+    }
+
+    fn key6(flow_label: u32, last: u16) -> FlowKey {
+        FlowKey {
+            src_mac: MacAddr::for_member(65000, 1),
+            dst_mac: MacAddr::for_member(64500, 1),
+            src_ip: IpAddress::V6(Ipv6Address::from_groups([
+                0x2001, 0xdb8, 0xffff, 0, 0, 0, 0, 1,
+            ])),
+            dst_ip: IpAddress::V6(Ipv6Address::from_groups([
+                0x2001, 0xdb8, 0x100, 0, 0, 0, 0, last,
+            ])),
+            protocol: IpProtocol::UDP,
+            src_port: 123,
+            dst_port: 443,
+            flow_label,
+            ..FlowKey::default()
+        }
+    }
+
+    #[test]
+    fn flow_label_lowers_for_ipv6_and_is_refused_for_ipv4() {
+        let f = FlowSpec::new(
+            Afi::Ipv6,
+            vec![
+                Component::DstPrefix(victim6()),
+                Component::FlowLabel(vec![NumericOp::equals(0x12345)]),
+            ],
+        )
+        .unwrap();
+        let specs = lower_flowspec(&f).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].flow_label, Some(RangeMatch::exact(0x12345)));
+        let keys = [0u32, 0x12345, 0x12346, 0xf_ffff]
+            .into_iter()
+            .flat_map(|l| [key6(l, 0x10), key6(l, 0x11)]);
+        assert_exact_keys(&f, keys);
+        // The same component under IPv4 has nothing to match against.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::FlowLabel(vec![NumericOp::equals(0x12345)]),
         ]);
         assert_eq!(
             lower_flowspec(&f),
-            Err(LowerError::UnsupportedComponent("tcp-flags"))
+            Err(LowerError::UnsupportedComponent("flow-label"))
         );
+    }
+
+    #[test]
+    fn empty_bitmask_and_numeric_sequences_are_refused() {
+        // match-all over bits the flags byte can never carry (the
+        // value is wider than the u8 domain): unsatisfiable.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::TcpFlags(vec![BitmaskOp::new(false, false, true, 0x100)]),
+        ]);
+        assert_eq!(lower_flowspec(&f), Err(LowerError::EmptyMatch("tcp-flags")));
+        // dscp > 63 is outside the 6-bit domain.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::Dscp(vec![NumericOp::new(false, false, true, false, 63)]),
+        ]);
+        assert_eq!(lower_flowspec(&f), Err(LowerError::EmptyMatch("dscp")));
+    }
+
+    #[test]
+    fn combined_extension_components_stay_exact() {
+        // Everything at once: fragmented large UDP toward the victim
+        // with a DSCP band — the shape of a carpet-bombing filter.
+        let f = flow(vec![
+            Component::DstPrefix(victim()),
+            Component::IpProtocol(vec![NumericOp::equals(17)]),
+            Component::PacketLength(vec![NumericOp::ge(1000)]),
+            Component::Dscp(vec![NumericOp::new(false, true, false, true, 46)]),
+            Component::Fragment(vec![BitmaskOp::new(
+                false,
+                false,
+                false,
+                frag::IS_FRAGMENT as u64,
+            )]),
+        ]);
+        assert_exact_keys(&f, ext_keys());
     }
 
     #[test]

@@ -119,6 +119,7 @@ mod tests {
                 protocol: IpProtocol::UDP,
                 src_port: 123,
                 dst_port: 40000,
+                ..FlowKey::default()
             },
             bytes: 1000,
             packets: 1,

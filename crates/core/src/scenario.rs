@@ -179,6 +179,7 @@ fn background_offers(system: &StellarSystem, t0: SimTime, t1: SimTime) -> Vec<Of
                 protocol: IpProtocol::ICMP,
                 src_port: 0,
                 dst_port: 0,
+                ..FlowKey::default()
             },
             bytes,
             packets: bytes / 64 + 1,

@@ -88,6 +88,7 @@ mod tests {
             protocol: IpProtocol::UDP,
             src_port: 123,
             dst_port: 40000,
+            ..FlowKey::default()
         };
         assert_eq!(table.apply(&key, 100, 1), Action::Drop);
         // Per-flow counters provide telemetry (§4.2.2).

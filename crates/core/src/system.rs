@@ -498,6 +498,10 @@ impl StellarSystem {
                     "analyze.rejected_conflict",
                     ("with".to_string(), with.to_string()),
                 ),
+                AuditRejection::EmptyMatch => (
+                    "analyze.rejected_empty",
+                    ("reason".to_string(), "empty-match".to_string()),
+                ),
             };
             self.obs.registry.counter_inc(counter);
             self.obs.event(
@@ -1260,6 +1264,7 @@ mod tests {
                 protocol: IpProtocol::UDP,
                 src_port: 123,
                 dst_port: 40000,
+                ..FlowKey::default()
             },
             bytes,
             packets: bytes / 1400 + 1,
@@ -1499,13 +1504,15 @@ mod tests {
 
     #[test]
     fn unlowerable_flowspec_is_counted_not_installed() {
-        use stellar_bgp::flowspec::{BitmaskOp, Component};
+        use stellar_bgp::flowspec::{Component, NumericOp};
         let mut sys = system();
+        // dscp > 63 can match no packet (the field is 6 bits wide):
+        // lowering refuses it as an empty match.
         let flow = FlowSpec::new(
             stellar_bgp::types::Afi::Ipv4,
             vec![
                 Component::DstPrefix(victim()),
-                Component::TcpFlags(vec![BitmaskOp::new(false, false, true, 0x02)]),
+                Component::Dscp(vec![NumericOp::new(false, false, true, false, 63)]),
             ],
         )
         .unwrap();

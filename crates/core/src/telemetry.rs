@@ -99,6 +99,7 @@ mod tests {
                 protocol: IpProtocol::UDP,
                 src_port: 123,
                 dst_port: 40000,
+                ..FlowKey::default()
             },
             bytes: 125_000_000, // 1 Gbps over 1 s
             packets: 100_000,

@@ -7,7 +7,7 @@
 //! This module adds what the hardware emulation layers on top: the
 //! [`Action`] taken on a match and the prioritized [`FilterRule`].
 
-pub use stellar_classify::spec::{MatchSpec, PortMatch};
+pub use stellar_classify::spec::{BitsMatch, MatchSpec, PortMatch, RangeMatch};
 
 /// What to do with matching traffic (Fig. 8's three queues).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -36,7 +36,7 @@ pub mod tcam;
 
 pub use counters::{PortCounters, RuleCounters};
 pub use cpu::ControlPlaneCpu;
-pub use filter::{Action, FilterRule, MatchSpec, PortMatch};
+pub use filter::{Action, BitsMatch, FilterRule, MatchSpec, PortMatch, RangeMatch};
 pub use hardware::HardwareInfoBase;
 pub use port::MemberPort;
 pub use qos::QosPolicy;

@@ -134,6 +134,7 @@ mod tests {
             protocol: IpProtocol::UDP,
             src_port,
             dst_port: 443,
+            ..FlowKey::default()
         }
     }
 

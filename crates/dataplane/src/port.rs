@@ -96,6 +96,7 @@ mod tests {
                 protocol: IpProtocol::UDP,
                 src_port: 123,
                 dst_port: 9,
+                ..FlowKey::default()
             },
             bytes,
             packets: 1,

@@ -7,7 +7,7 @@ use crate::filter::{Action, FilterRule};
 use crate::queue;
 use crate::shaper::TokenBucket;
 use std::collections::HashMap;
-use stellar_classify::{ClassifyEngine, ClassifyScratch};
+use stellar_classify::{Backend, ClassifyScratch, FlowClassifier};
 use stellar_net::flow::FlowKey;
 
 /// One offered traffic aggregate within a tick.
@@ -67,7 +67,7 @@ struct TickWork {
 /// The QoS policy of one member port.
 ///
 /// Rules are kept both as a priority-sorted list (the canonical,
-/// inspectable form) and compiled into a [`ClassifyEngine`] (the lookup
+/// inspectable form) and compiled into a [`FlowClassifier`] (the lookup
 /// form used on the hot path). The engine is maintained incrementally on
 /// [`install`](Self::install) / [`remove`](Self::remove) and is
 /// behavior-identical to a first-match scan of the sorted list.
@@ -76,7 +76,7 @@ pub struct QosPolicy {
     rules: Vec<FilterRule>,
     /// Rule id → index into `rules` (rebuilt whenever `rules` changes).
     by_id: HashMap<u64, usize>,
-    engine: ClassifyEngine,
+    engine: FlowClassifier,
     shapers: HashMap<u64, TokenBucket>,
     rule_counters: HashMap<u64, RuleCounters>,
     /// Tick-scoped scratch, reused across ticks.
@@ -434,6 +434,7 @@ mod tests {
             protocol: IpProtocol::UDP,
             src_port,
             dst_port: 443,
+            ..FlowKey::default()
         }
     }
 

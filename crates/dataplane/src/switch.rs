@@ -571,6 +571,7 @@ mod tests {
                 protocol: IpProtocol::UDP,
                 src_port: 123,
                 dst_port: 44444,
+                ..FlowKey::default()
             },
             bytes,
             packets: bytes / 1000 + 1,

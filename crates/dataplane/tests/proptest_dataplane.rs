@@ -38,6 +38,7 @@ fn arb_key() -> impl Strategy<Value = FlowKey> {
             protocol: proto,
             src_port: sp,
             dst_port: dp,
+            ..FlowKey::default()
         })
 }
 
@@ -66,6 +67,7 @@ fn arb_spec() -> impl Strategy<Value = MatchSpec> {
             protocol: proto,
             src_port: sp.map(PortMatch::Exact),
             dst_port: dpr.map(|(a, b)| PortMatch::Range(a.min(b), a.max(b))),
+            ..Default::default()
         })
 }
 

@@ -98,6 +98,7 @@ fn offers_for_tick(n_ports: usize, tick: &OfferGen) -> Vec<OfferedAggregate> {
                     },
                     src_port: sp,
                     dst_port: 40000,
+                    ..FlowKey::default()
                 },
                 bytes,
                 packets: bytes / 1000 + 1,

@@ -24,6 +24,7 @@ fn flow(src_port: u16, bytes: u64) -> Offer {
             protocol: IpProtocol::UDP,
             src_port,
             dst_port: 40000,
+            ..FlowKey::default()
         },
         bytes,
         packets: bytes / 1400 + 1,

@@ -6,13 +6,30 @@
 //! collector. A record describes an aggregate of packets sharing a key over
 //! a time interval — the same abstraction real flow export uses.
 
-use crate::addr::IpAddress;
+use crate::addr::{IpAddress, Ipv4Address};
 use crate::mac::MacAddr;
 use crate::proto::IpProtocol;
 use core::fmt;
 
-/// The 7-tuple identifying a flow on the IXP fabric: L2 endpoints (member
-/// router MACs) plus the classic 5-tuple.
+/// Fragment-state bits carried in [`FlowKey::fragment`], matching the
+/// RFC 8955 §4.2.3.12 fragment-component encoding so FlowSpec bitmask
+/// rules apply to the key without translation.
+pub mod frag {
+    /// Don't-fragment (v4 DF bit).
+    pub const DONT_FRAGMENT: u8 = 0x01;
+    /// Is-a-fragment (offset > 0 or more-fragments set).
+    pub const IS_FRAGMENT: u8 = 0x02;
+    /// First fragment (offset == 0 with more-fragments set).
+    pub const FIRST_FRAGMENT: u8 = 0x04;
+    /// Last fragment (offset > 0 without more-fragments).
+    pub const LAST_FRAGMENT: u8 = 0x08;
+    /// All defined bits — the fragment component's domain.
+    pub const DOMAIN: u8 = 0x0F;
+}
+
+/// The tuple identifying a flow on the IXP fabric: L2 endpoints (member
+/// router MACs), the classic 5-tuple, plus the L3/L4 header dimensions
+/// FlowSpec can constrain (RFC 8955 component types 7–13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// Source member-router MAC (identifies the ingress member).
@@ -29,6 +46,45 @@ pub struct FlowKey {
     pub src_port: u16,
     /// Destination port (0 for portless protocols and for fragments).
     pub dst_port: u16,
+    /// TCP flag byte (FIN..URG as wire bits; 0 for non-TCP).
+    pub tcp_flags: u8,
+    /// Total IP packet length in bytes (header + payload; 0 if unknown).
+    pub packet_len: u16,
+    /// Differentiated-services code point (top 6 bits of TOS / traffic
+    /// class), already shifted down to 0..=63.
+    pub dscp: u8,
+    /// Fragment-state bits, see [`frag`]. 0 for unfragmented v6 traffic.
+    pub fragment: u8,
+    /// ICMP/ICMPv6 message type (0 for non-ICMP).
+    pub icmp_type: u8,
+    /// ICMP/ICMPv6 message code (0 for non-ICMP).
+    pub icmp_code: u8,
+    /// IPv6 flow label, 20 bits (0 for IPv4).
+    pub flow_label: u32,
+}
+
+impl Default for FlowKey {
+    /// The all-zero key: unspecified v4 endpoints, protocol 0, every
+    /// header dimension zeroed. Construction sites that only care about
+    /// the classic tuple fill the rest with `..FlowKey::default()`.
+    fn default() -> Self {
+        FlowKey {
+            src_mac: MacAddr::ZERO,
+            dst_mac: MacAddr::ZERO,
+            src_ip: IpAddress::V4(Ipv4Address::UNSPECIFIED),
+            dst_ip: IpAddress::V4(Ipv4Address::UNSPECIFIED),
+            protocol: IpProtocol(0),
+            src_port: 0,
+            dst_port: 0,
+            tcp_flags: 0,
+            packet_len: 0,
+            dscp: 0,
+            fragment: 0,
+            icmp_type: 0,
+            icmp_code: 0,
+            flow_label: 0,
+        }
+    }
 }
 
 impl fmt::Display for FlowKey {
@@ -118,6 +174,7 @@ mod tests {
             protocol: IpProtocol::UDP,
             src_port: 123,
             dst_port: 47123,
+            ..FlowKey::default()
         }
     }
 

@@ -10,7 +10,7 @@ use crate::addr::{IpAddress, Ipv4Address, Ipv6Address};
 use crate::checksum;
 use crate::error::{NetError, NetResult};
 use crate::ethernet::{EtherType, EthernetHeader};
-use crate::flow::FlowKey;
+use crate::flow::{frag, FlowKey};
 use crate::icmp::IcmpHeader;
 use crate::ipv4::Ipv4Header;
 use crate::ipv6::Ipv6Header;
@@ -290,8 +290,39 @@ impl Packet {
         crate::ethernet::HEADER_LEN + ip_len + l4_len + self.payload.len()
     }
 
-    /// Extracts the flow key the dataplane and flow collector use.
+    /// Extracts the flow key the dataplane and flow collector use,
+    /// including the header dimensions FlowSpec rules can constrain
+    /// (TCP flags, packet length, DSCP, fragment bits, ICMP type/code,
+    /// v6 flow label).
     pub fn flow_key(&self) -> FlowKey {
+        let (packet_len, dscp, fragment, flow_label) = match &self.ip {
+            IpHeader::V4(h) => {
+                let mut frag_bits = 0u8;
+                if h.dont_frag {
+                    frag_bits |= frag::DONT_FRAGMENT;
+                }
+                if h.is_fragment() {
+                    frag_bits |= frag::IS_FRAGMENT;
+                    if h.frag_offset == 0 {
+                        frag_bits |= frag::FIRST_FRAGMENT;
+                    } else if !h.more_frags {
+                        frag_bits |= frag::LAST_FRAGMENT;
+                    }
+                }
+                (h.total_len, h.tos >> 2, frag_bits, 0)
+            }
+            IpHeader::V6(h) => (
+                h.payload_len.saturating_add(crate::ipv6::HEADER_LEN as u16),
+                h.traffic_class >> 2,
+                0,
+                h.flow_label,
+            ),
+        };
+        let (tcp_flags, icmp_type, icmp_code) = match &self.l4 {
+            L4Header::Tcp(h) => (h.flags.0, 0, 0),
+            L4Header::Icmp(h) => (0, h.icmp_type.value(), h.code),
+            _ => (0, 0, 0),
+        };
         FlowKey {
             src_mac: self.eth.src,
             dst_mac: self.eth.dst,
@@ -300,6 +331,13 @@ impl Packet {
             protocol: self.ip.protocol(),
             src_port: self.l4.src_port().unwrap_or(0),
             dst_port: self.l4.dst_port().unwrap_or(0),
+            tcp_flags,
+            packet_len,
+            dscp,
+            fragment,
+            icmp_type,
+            icmp_code,
+            flow_label,
         }
     }
 }

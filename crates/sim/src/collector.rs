@@ -310,6 +310,7 @@ mod tests {
             protocol: proto,
             src_port,
             dst_port,
+            ..FlowKey::default()
         }
     }
 

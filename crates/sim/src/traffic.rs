@@ -101,6 +101,7 @@ impl TrafficSource for BenignWebMix {
                     protocol: IpProtocol::TCP,
                     src_port: 49152 + (s.ip.to_u32() % 16000) as u16,
                     dst_port: *port,
+                    ..FlowKey::default()
                 };
                 out.push(OfferedAggregate {
                     key,
@@ -166,6 +167,7 @@ impl TrafficSource for AmplificationAttack {
                         protocol: IpProtocol::UDP,
                         src_port: self.protocol.port(),
                         dst_port: 40000 + (r.ip.to_u32() % 20000) as u16,
+                        ..FlowKey::default()
                     },
                     bytes: svc_bytes,
                     packets: (svc_bytes / pkt_size).max(1),
@@ -183,6 +185,7 @@ impl TrafficSource for AmplificationAttack {
                         protocol: IpProtocol::UDP,
                         src_port: 0,
                         dst_port: 0,
+                        ..FlowKey::default()
                     },
                     bytes: frag_bytes,
                     packets: (frag_bytes / pkt_size).max(1),

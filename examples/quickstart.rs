@@ -40,6 +40,7 @@ fn main() {
             protocol: IpProtocol::UDP,
             src_port: 123,
             dst_port: 40000,
+            ..FlowKey::default()
         },
         bytes: 125_000_000, // 1 Gbps over a 1 s tick
         packets: 267_000,

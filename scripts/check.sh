@@ -18,6 +18,9 @@ cleanup() {
   if [ -f results/chaos_soak.run1.json ]; then
     mv -f results/chaos_soak.run1.json results/chaos_soak.json
   fi
+  if [ -f results/metrics_quickstart.hash.json ]; then
+    mv -f results/metrics_quickstart.hash.json results/metrics_quickstart.json
+  fi
 }
 trap cleanup EXIT
 
@@ -47,6 +50,12 @@ STELLAR_TICK_WORKERS=1 cargo run --release -q --example quickstart >/dev/null
 mv results/metrics_quickstart.json results/metrics_quickstart.seq.json
 STELLAR_TICK_WORKERS=8 cargo run --release -q --example quickstart >/dev/null
 diff results/metrics_quickstart.seq.json results/metrics_quickstart.json
+
+echo "==> determinism gate: interval-tree classifier backend matches hash (quickstart snapshot)"
+STELLAR_CLASSIFY_BACKEND=hash cargo run --release -q --example quickstart >/dev/null
+mv results/metrics_quickstart.json results/metrics_quickstart.hash.json
+STELLAR_CLASSIFY_BACKEND=tree cargo run --release -q --example quickstart >/dev/null
+diff results/metrics_quickstart.hash.json results/metrics_quickstart.json
 
 echo "==> scale_sweep smoke: regenerate BENCH_pipeline.json (cross-mode equality asserted in-run)"
 STELLAR_SWEEP_SMOKE=1 cargo run --release -q -p stellar-bench --bin scale_sweep >/dev/null

@@ -27,6 +27,7 @@ fn flow(src_port: u16, proto: IpProtocol, mbps: u64) -> OfferedAggregate {
             protocol: proto,
             src_port,
             dst_port: if proto == IpProtocol::TCP { 443 } else { 40000 },
+            ..FlowKey::default()
         },
         bytes,
         packets: bytes / 1000 + 1,

@@ -48,6 +48,7 @@ fn v6_flow(src_port: u16, bytes: u64) -> OfferedAggregate {
             protocol: IpProtocol::UDP,
             src_port,
             dst_port: 40000,
+            ..FlowKey::default()
         },
         bytes,
         packets: bytes / 1000 + 1,

@@ -58,6 +58,7 @@ fn attack(sys: &StellarSystem) -> OfferedAggregate {
             protocol: IpProtocol::UDP,
             src_port: 123,
             dst_port: 40000,
+            ..FlowKey::default()
         },
         bytes: 12_500_000, // 400 Mbps over a 250 ms tick
         packets: 8_929,

@@ -82,6 +82,7 @@ fn full_platform_brings_up_and_mitigates_many_members() {
                     protocol: proto,
                     src_port,
                     dst_port: 443,
+                    ..FlowKey::default()
                 },
                 bytes,
                 packets: bytes / 1000 + 1,
