@@ -13,8 +13,9 @@ use stellar_core::signal::StellarSignal;
 use stellar_dataplane::hardware::HardwareInfoBase;
 use stellar_dataplane::openflow::FlowTable;
 use stellar_dataplane::port::MemberPort;
-use stellar_dataplane::switch::{EdgeRouter, PortId};
+use stellar_dataplane::switch::PortId;
 use stellar_net::mac::MacAddr;
+use stellar_sim::fabric::{Fabric, PopId};
 use stellar_stats::table::render_table;
 
 fn change_stream(n: usize) -> Vec<AbstractChange> {
@@ -45,15 +46,16 @@ fn main() {
     let stream = change_stream(exp.ticks() as usize);
 
     // QoS backend: a production ER with 350 member ports.
-    let mut er = EdgeRouter::new(hib.clone());
+    let mut er = Fabric::single(hib.clone());
     let mut qos = QosNetworkManager::default();
     for i in 0..hib.member_ports {
         let asn = 64500 + u32::from(i);
         er.add_port(
-            PortId(i + 1),
+            PopId(0),
+            PortId(u32::from(i) + 1),
             MemberPort::new(asn, MacAddr::for_member(asn, 1), 10_000_000_000),
         );
-        qos.register_owner(Asn(asn), PortId(i + 1));
+        qos.register_owner(Asn(asn), PortId(u32::from(i) + 1));
     }
     let mut qos_installed = 0usize;
     let mut qos_first_error: Option<(usize, AdmissionError)> = None;
@@ -118,8 +120,8 @@ fn main() {
          option exhausts the shared L3-L4 criteria pool (F1) while the SDN\n\
          option exhausts its flow-table entries — different limits, same\n\
          admission-control behaviour: refused changes never break forwarding.",
-        er.tcam().l34_used(),
-        er.tcam().l34_used() + er.tcam().l34_free(),
+        er.l34_used_total(),
+        er.l34_used_total() + er.l34_free_total(),
     );
     exp.write(
         "ablation_manager",

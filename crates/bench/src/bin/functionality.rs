@@ -13,11 +13,12 @@ use stellar_core::rule::BlackholingRule;
 use stellar_core::signal::StellarSignal;
 use stellar_dataplane::hardware::HardwareInfoBase;
 use stellar_dataplane::port::MemberPort;
-use stellar_dataplane::switch::{EdgeRouter, OfferedAggregate, PortId};
+use stellar_dataplane::switch::{OfferedAggregate, PortId};
 use stellar_net::addr::{IpAddress, Ipv4Address};
 use stellar_net::flow::FlowKey;
 use stellar_net::mac::MacAddr;
 use stellar_net::proto::IpProtocol;
+use stellar_sim::fabric::{Fabric, PopId};
 use stellar_stats::table::{fmt_bps, render_table};
 
 fn flow(src_port: u16, proto: IpProtocol, dst: Ipv4Address, rate_bps: f64) -> OfferedAggregate {
@@ -38,11 +39,7 @@ fn flow(src_port: u16, proto: IpProtocol, dst: Ipv4Address, rate_bps: f64) -> Of
     }
 }
 
-fn run(
-    er: &mut EdgeRouter,
-    offers: &[OfferedAggregate],
-    t: &mut u64,
-) -> Vec<(u16, IpProtocol, f64)> {
+fn run(er: &mut Fabric, offers: &[OfferedAggregate], t: &mut u64) -> Vec<(u16, IpProtocol, f64)> {
     *t += 1_000_000;
     let results = er.process_tick(offers, *t, 1_000_000);
     let mut out = Vec::new();
@@ -71,8 +68,9 @@ fn main() {
             ticks: 0,
         },
     );
-    let mut er = EdgeRouter::new(HardwareInfoBase::production_er());
+    let mut er = Fabric::single(HardwareInfoBase::production_er());
     er.add_port(
+        PopId(0),
         PortId(1),
         MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
     );

@@ -1,0 +1,282 @@
+//! TCAM budget-aware rule placement across the multi-PoP fabric.
+//!
+//! `ablation_placement` quantified egress vs. ingress placement on one
+//! router. This experiment replays that trade-off across a fabric of
+//! PoPs with *per-PoP* TCAM budgets, comparing three strategies on the
+//! same synthetic attack matrix (rules × entry PoPs, with per-pair
+//! attack and collateral byte estimates):
+//!
+//! - `egress_only` — Stellar's default: every rule lives only at its
+//!   victim's egress PoP. No ingress rows spent, but every cross-PoP
+//!   attack byte rides the fabric before dying.
+//! - `ingress_everywhere` — copy each rule at every PoP where its
+//!   attack enters, in arrival order, until each PoP's budget runs dry.
+//!   Benefit-blind: early rules hog rows, late ones are refused, and
+//!   high-collateral copies install as readily as clean ones.
+//! - `greedy_budgeted` — [`stellar_core::placement::greedy_place`]:
+//!   rank every (rule, entry-PoP) candidate by net benefit per TCAM row
+//!   and place each rule at its single best affordable ingress PoP.
+//!
+//! The table reports coverage (attack bytes killed at ingress, i.e.
+//! spared from the fabric), collateral, and per-PoP row occupancy.
+//! Everything left uncovered still dies at the victim's egress port —
+//! Stellar's baseline guarantee — so "coverage" here is purely about
+//! fabric relief, not safety.
+//!
+//! The run ends with a 4-PoP control-plane episode (signal → pump →
+//! withdraw → pump) asserting a clean watchdog: the ledger-conservation
+//! and orphan-rule invariants hold summed across PoPs.
+
+use stellar_bench::output;
+use stellar_bgp::types::Asn;
+use stellar_core::placement::{greedy_place, PlacementCandidate};
+use stellar_core::signal::StellarSignal;
+use stellar_core::system::StellarSystem;
+use stellar_dataplane::hardware::HardwareInfoBase;
+use stellar_net::prefix::Prefix;
+use stellar_sim::topology::{generic_members, IxpTopology, MemberSpec};
+use stellar_stats::table::render_table;
+
+const POPS: usize = 8;
+const RULES: usize = 120;
+/// Ingress rows each PoP can spare for filter copies, in L3-L4
+/// criteria. Deliberately tight: total fabric capacity is well under
+/// the candidate row demand, so budget pressure is real.
+const BUDGET_PER_POP: u32 = 90;
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// The synthetic attack matrix: for each rule, which PoPs its attack
+/// enters through and how many attack/benign bytes a copy there would
+/// see over the planning window.
+struct RuleProfile {
+    egress_pop: u16,
+    /// (entry PoP, attack bytes, benign overlap bytes).
+    entries: Vec<(u16, u64, u64)>,
+}
+
+fn build_matrix(seed: u64, rows_per_rule: u32) -> (Vec<RuleProfile>, Vec<PlacementCandidate>) {
+    let mut s = seed;
+    let mut profiles = Vec::with_capacity(RULES);
+    let mut candidates = Vec::new();
+    for r in 0..RULES {
+        let rule_id = r as u64 + 1;
+        let egress_pop = (r % POPS) as u16;
+        let fanin = 2 + (lcg(&mut s) % 4) as usize;
+        let mut entries = Vec::with_capacity(fanin);
+        let first = lcg(&mut s) as usize;
+        for k in 0..fanin {
+            let pop = ((first + k * 3) % POPS) as u16;
+            let attack = 1_000_000_000 + lcg(&mut s) % 9_000_000_000;
+            // Most copies are victim-scoped and clean; roughly one in
+            // five sits on a port sharing real traffic, where the copy
+            // would discard more benign bytes than it saves.
+            let benign = if lcg(&mut s).is_multiple_of(5) {
+                attack + lcg(&mut s) % attack
+            } else {
+                lcg(&mut s) % (attack / 20)
+            };
+            entries.push((pop, attack, benign));
+            candidates.push(PlacementCandidate {
+                rule_id,
+                pop,
+                rows: rows_per_rule,
+                attack_bytes: attack,
+                benign_bytes: benign,
+            });
+        }
+        profiles.push(RuleProfile {
+            egress_pop,
+            entries,
+        });
+    }
+    (profiles, candidates)
+}
+
+struct StrategyRow {
+    name: &'static str,
+    copies: usize,
+    covered: u64,
+    collateral: u64,
+    rows_used: Vec<u32>,
+    refused_budget: usize,
+}
+
+/// `ingress_everywhere`: install every copy in (rule, entry) order
+/// until budgets run out. No ranking, no collateral awareness.
+fn ingress_everywhere(profiles: &[RuleProfile], rows_per_rule: u32) -> StrategyRow {
+    let mut left = [BUDGET_PER_POP; POPS];
+    let mut row = StrategyRow {
+        name: "ingress_everywhere",
+        copies: 0,
+        covered: 0,
+        collateral: 0,
+        rows_used: vec![0; POPS],
+        refused_budget: 0,
+    };
+    for p in profiles {
+        for &(pop, attack, benign) in &p.entries {
+            let b = &mut left[pop as usize];
+            if *b < rows_per_rule {
+                row.refused_budget += 1;
+                continue;
+            }
+            *b -= rows_per_rule;
+            row.rows_used[pop as usize] += rows_per_rule;
+            row.copies += 1;
+            row.covered += attack;
+            row.collateral += benign;
+        }
+    }
+    row
+}
+
+/// The 4-PoP control-plane episode: a member signals two rules, the
+/// system converges, the member withdraws, and the watchdog must find
+/// zero invariant violations — ledger conservation and orphan-rule
+/// checks both sum across every PoP's TCAM.
+fn watchdog_episode() -> usize {
+    let mut specs = generic_members(64501, 9);
+    specs.insert(
+        0,
+        MemberSpec {
+            asn: 64500,
+            capacity_bps: 1_000_000_000,
+            prefixes: vec!["100.10.10.0/24".parse().unwrap()],
+        },
+    );
+    let ixp = IxpTopology::build_with_pops(&specs, HardwareInfoBase::lab_switch(), 4);
+    let mut sys = StellarSystem::new(ixp, 100.0);
+    let victim: Prefix = "100.10.10.10/32".parse().unwrap();
+    sys.member_signal(
+        Asn(64500),
+        victim,
+        &[
+            StellarSignal::drop_udp_src(123),
+            StellarSignal::drop_udp_src(53),
+        ],
+        0,
+    );
+    sys.pump(0);
+    sys.pump(1_000_000);
+    let mid = sys.watchdog_check(1_000_000);
+    sys.member_withdraw(Asn(64500), victim, 2_000_000);
+    sys.pump(2_000_000);
+    sys.pump(3_000_000);
+    let end = sys.watchdog_check(3_000_000);
+    assert_eq!(mid, 0, "watchdog violations while rules active across PoPs");
+    assert_eq!(end, 0, "watchdog violations after withdraw across PoPs");
+    mid + end
+}
+
+fn main() {
+    let exp = output::start(
+        "POP PLACEMENT",
+        "TCAM budget-aware rule placement across PoPs: egress vs. everywhere vs. greedy",
+        output::RunOpts {
+            seed: stellar_bench::SEED,
+            ticks: 0,
+        },
+    );
+    let rule = StellarSignal::drop_udp_src(123);
+    let spec = rule.to_match_spec("100.10.10.10/32".parse().unwrap());
+    let rows_per_rule = spec.l34_criteria() as u32;
+    let (profiles, candidates) = build_matrix(exp.seed(), rows_per_rule);
+    let total_attack: u64 = profiles
+        .iter()
+        .map(|p| p.entries.iter().map(|e| e.1).sum::<u64>())
+        .sum();
+
+    // egress_only: zero ingress rows, zero ingress coverage — the
+    // whole matrix rides the fabric to the victim PoP. Egress rows are
+    // charged at the victim PoPs for the occupancy picture.
+    let mut egress = StrategyRow {
+        name: "egress_only",
+        copies: profiles.len(),
+        covered: 0,
+        collateral: 0,
+        rows_used: vec![0; POPS],
+        refused_budget: 0,
+    };
+    for p in &profiles {
+        egress.rows_used[p.egress_pop as usize] += rows_per_rule;
+    }
+
+    let everywhere = ingress_everywhere(&profiles, rows_per_rule);
+
+    let budgets = [BUDGET_PER_POP; POPS];
+    let greedy_out = greedy_place(&candidates, &budgets, 1000);
+    let greedy = StrategyRow {
+        name: "greedy_budgeted",
+        copies: greedy_out.placed.len(),
+        covered: greedy_out.covered_attack_bytes,
+        collateral: greedy_out.collateral_benign_bytes,
+        rows_used: greedy_out.rows_used.clone(),
+        refused_budget: greedy_out.skipped_budget,
+    };
+
+    let mut rows = vec![vec![
+        "strategy".to_string(),
+        "copies".to_string(),
+        "ingress coverage".to_string(),
+        "collateral GB".to_string(),
+        "rows/PoP (min-max)".to_string(),
+        "over budget".to_string(),
+    ]];
+    let mut json_rows = Vec::new();
+    for s in [&egress, &everywhere, &greedy] {
+        let min = s.rows_used.iter().min().copied().unwrap_or(0);
+        let max = s.rows_used.iter().max().copied().unwrap_or(0);
+        let coverage_milli = if total_attack == 0 {
+            0
+        } else {
+            (u128::from(s.covered) * 1000 / u128::from(total_attack)) as u64
+        };
+        rows.push(vec![
+            s.name.to_string(),
+            s.copies.to_string(),
+            format!("{:5.1}%", coverage_milli as f64 / 10.0),
+            format!("{:8.2}", s.collateral as f64 / 1e9),
+            format!("{min}-{max}"),
+            s.refused_budget.to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "strategy": s.name,
+            "copies": s.copies,
+            "covered_attack_bytes": s.covered,
+            "coverage_milli": coverage_milli,
+            "collateral_benign_bytes": s.collateral,
+            "rows_used_per_pop": s.rows_used,
+            "budget_per_pop": BUDGET_PER_POP,
+            "refused_over_budget": s.refused_budget,
+        }));
+    }
+    println!("{}", render_table(&rows));
+    println!(
+        "Reading: with {BUDGET_PER_POP} rows/PoP, blanket ingress copies max out\n\
+         every budget, refuse the overflow in arrival order, and swallow whatever\n\
+         collateral comes with the copies. The greedy pass places each rule once,\n\
+         at its best entry PoP: most of the blanket coverage for roughly half the\n\
+         rows and a small fraction of the benign loss — and every rule keeps its\n\
+         egress backstop either way."
+    );
+
+    let violations = watchdog_episode();
+    println!("4-PoP watchdog episode: {violations} violation(s)");
+
+    let summary = serde_json::json!({
+        "pops": POPS,
+        "rules": RULES,
+        "rows_per_rule": rows_per_rule,
+        "budget_per_pop": BUDGET_PER_POP,
+        "total_attack_bytes": total_attack,
+        "strategies": json_rows,
+        "watchdog_violations": violations,
+    });
+    exp.write("pop_placement", &summary);
+}

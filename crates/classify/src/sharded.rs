@@ -27,6 +27,34 @@ pub fn default_workers() -> usize {
         .unwrap_or(1)
 }
 
+/// Default minimum per-tick work (see [`effective_workers`]) below which
+/// fanning shards out to the pool costs more than it buys. Calibrated
+/// from the scale sweep: at 4 ports × 16 rules the parallel path ran at
+/// 0.48× sequential — pure dispatch overhead.
+pub const DEFAULT_PARALLEL_MIN_WORK: u64 = 4096;
+
+/// The adaptive-parallelism cutoff: `STELLAR_PARALLEL_MIN_WORK` when set
+/// (0 = always parallelize), else [`DEFAULT_PARALLEL_MIN_WORK`].
+pub fn parallel_min_work_from_env() -> u64 {
+    std::env::var("STELLAR_PARALLEL_MIN_WORK")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_PARALLEL_MIN_WORK)
+}
+
+/// Caps `max_workers` by the work actually on offer this tick: below
+/// `min_work` units the dispatch overhead dominates and the caller
+/// should run sequentially (returns 1). `work` is the caller's own
+/// estimate — the tick pipeline uses Σ over touched shards of
+/// (1 + rules), i.e. roughly ports × rules.
+pub fn effective_workers(max_workers: usize, work: u64, min_work: u64) -> usize {
+    if work < min_work {
+        1
+    } else {
+        max_workers.max(1)
+    }
+}
+
 /// Runs `f` over every shard, using up to `max_workers` pool workers,
 /// and returns the results in input order. With one shard (or one
 /// worker) everything runs inline on the caller's thread — no dispatch
@@ -111,6 +139,15 @@ mod tests {
             dst_port: 44444,
             ..FlowKey::default()
         }
+    }
+
+    #[test]
+    fn effective_workers_applies_cutoff() {
+        assert_eq!(effective_workers(8, 100, 4096), 1);
+        assert_eq!(effective_workers(8, 4096, 4096), 8);
+        assert_eq!(effective_workers(8, 0, 0), 8);
+        // Degenerate caller caps still yield a runnable count.
+        assert_eq!(effective_workers(0, 10_000, 4096), 1);
     }
 
     #[test]

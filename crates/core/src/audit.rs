@@ -16,9 +16,11 @@
 
 use crate::rule::{BlackholingRule, RuleAction};
 use std::collections::BTreeMap;
+use stellar_bgp::types::Asn;
 use stellar_classify::analyze::{analyze, spec_is_empty, ActionClass, AuditRule, RuleFlag};
 use stellar_classify::RuleEntry;
-use stellar_dataplane::switch::EdgeRouter;
+use stellar_dataplane::switch::PortId;
+use stellar_sim::fabric::Fabric;
 
 /// Why the audit refused a newly signaled rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,13 +71,38 @@ impl PreadmitReport {
     }
 }
 
+/// Per-PoP TCAM accounting: the surviving candidates that resolve to
+/// ports on this PoP, against *this PoP's* free pools. TCAM budgets are
+/// per router, so a batch can fit the fabric-wide sums while still
+/// blowing one PoP's pool — these rows are where that shows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopPreadmit {
+    /// The PoP index.
+    pub pop: u16,
+    /// TCAM accounting against this PoP's pools.
+    pub report: PreadmitReport,
+}
+
 /// The audit verdict for one proposed batch.
 #[derive(Debug, Clone, Default)]
 pub struct BatchAudit {
     /// Refused candidate rules with the reason, in rule-id order.
     pub rejected: Vec<(u64, AuditRejection)>,
-    /// TCAM accounting for the candidates that survived.
+    /// Fabric-wide TCAM accounting for the candidates that survived
+    /// (needs and frees summed over PoPs).
     pub preadmit: PreadmitReport,
+    /// The same accounting split per PoP, ascending PoP order, one row
+    /// per PoP in the fabric.
+    pub per_pop: Vec<PopPreadmit>,
+}
+
+impl BatchAudit {
+    /// Whether the surviving batch fits every PoP's free pools — the
+    /// real admission forecast; the fabric-wide [`PreadmitReport::fits`]
+    /// is optimistic when placement is skewed.
+    pub fn fits(&self) -> bool {
+        self.per_pop.iter().all(|p| p.report.fits())
+    }
 }
 
 impl From<RuleAction> for ActionClass {
@@ -103,12 +130,20 @@ fn to_audit_rule(r: &BlackholingRule) -> AuditRule {
 /// order — fully deterministic. Only candidates are ever refused;
 /// pre-existing anomalies among installed rules are the reconciler's
 /// problem, not this batch's.
+///
+/// `owner_port` resolves a rule owner to its egress port (the manager's
+/// registration); survivors are charged against the owning PoP's TCAM
+/// pools as well as the fabric-wide sums. A survivor whose owner has no
+/// registered port contributes to the fabric-wide needs only — the
+/// admission path will refuse it as `UnknownOwner` later.
 pub fn audit_batch(
-    router: &EdgeRouter,
+    fabric: &Fabric,
+    owner_port: impl Fn(Asn) -> Option<PortId>,
     desired: &[BlackholingRule],
     candidate_ids: &[u64],
 ) -> BatchAudit {
     let mut audit = BatchAudit::default();
+    let mut pop_needs: BTreeMap<u16, (usize, usize)> = BTreeMap::new();
     let mut by_owner: BTreeMap<u32, Vec<&BlackholingRule>> = BTreeMap::new();
     for r in desired {
         by_owner.entry(r.owner.0).or_default().push(r);
@@ -147,13 +182,35 @@ pub fn audit_batch(
                     let (mac, l34) = r.criteria();
                     audit.preadmit.mac_needed += mac;
                     audit.preadmit.l34_needed += l34;
+                    if let Some(pop) = owner_port(r.owner).and_then(|p| fabric.pop_of_port(p)) {
+                        let e = pop_needs.entry(pop.0).or_default();
+                        e.0 += mac;
+                        e.1 += l34;
+                    }
                 }
             }
         }
     }
     audit.rejected.sort_by_key(|(id, _)| *id);
-    audit.preadmit.mac_free = router.tcam().mac_free();
-    audit.preadmit.l34_free = router.tcam().l34_free();
+    audit.preadmit.mac_free = fabric.mac_free_total();
+    audit.preadmit.l34_free = fabric.l34_free_total();
+    audit.per_pop = fabric
+        .routers()
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let (mac_needed, l34_needed) = pop_needs.get(&(i as u16)).copied().unwrap_or((0, 0));
+            PopPreadmit {
+                pop: i as u16,
+                report: PreadmitReport {
+                    mac_needed,
+                    l34_needed,
+                    mac_free: r.tcam().mac_free(),
+                    l34_free: r.tcam().l34_free(),
+                },
+            }
+        })
+        .collect();
     audit
 }
 
@@ -161,20 +218,24 @@ pub fn audit_batch(
 mod tests {
     use super::*;
     use crate::signal::{MatchKind, StellarSignal};
-    use stellar_bgp::types::Asn;
     use stellar_dataplane::hardware::HardwareInfoBase;
     use stellar_dataplane::port::MemberPort;
-    use stellar_dataplane::switch::PortId;
     use stellar_net::mac::MacAddr;
     use stellar_net::prefix::Prefix;
+    use stellar_sim::fabric::PopId;
 
-    fn router() -> EdgeRouter {
-        let mut r = EdgeRouter::new(HardwareInfoBase::lab_switch());
-        r.add_port(
+    fn fab() -> Fabric {
+        let mut f = Fabric::single(HardwareInfoBase::lab_switch());
+        f.add_port(
+            PopId(0),
             PortId(1),
             MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
         );
-        r
+        f
+    }
+
+    fn owner(a: Asn) -> Option<PortId> {
+        (a == Asn(64500)).then_some(PortId(1))
     }
 
     fn victim() -> Prefix {
@@ -191,7 +252,7 @@ mod tests {
             rule(1, 64500, StellarSignal::drop_all()),
             rule(2, 64500, StellarSignal::drop_udp_src(123)),
         ];
-        let audit = audit_batch(&router(), &desired, &[2]);
+        let audit = audit_batch(&fab(), owner, &desired, &[2]);
         assert_eq!(
             audit.rejected,
             vec![(2, AuditRejection::Shadowed { by: Some(1) })]
@@ -217,7 +278,7 @@ mod tests {
             rule(1, 64500, StellarSignal::drop_udp_src(123)),
             rule(2, 64500, shape_dns_dst),
         ];
-        let audit = audit_batch(&router(), &desired, &[2]);
+        let audit = audit_batch(&fab(), owner, &desired, &[2]);
         assert_eq!(
             audit.rejected,
             vec![(2, AuditRejection::Conflict { with: 1 })]
@@ -230,7 +291,7 @@ mod tests {
             rule(1, 64500, StellarSignal::drop_udp_src(123)),
             rule(2, 64500, StellarSignal::drop_udp_src(53)),
         ];
-        let audit = audit_batch(&router(), &desired, &[1, 2]);
+        let audit = audit_batch(&fab(), owner, &desired, &[1, 2]);
         assert!(audit.rejected.is_empty());
         // Each victim-scoped UDP-src rule costs 3 L3-L4 criteria.
         assert_eq!(audit.preadmit.l34_needed, 6);
@@ -252,7 +313,7 @@ mod tests {
         let inverted =
             BlackholingRule::from_flowspec(7, Asn(64500), victim(), spec, RuleAction::Drop);
         let desired = [rule(1, 64500, StellarSignal::drop_udp_src(123)), inverted];
-        let audit = audit_batch(&router(), &desired, &[7]);
+        let audit = audit_batch(&fab(), owner, &desired, &[7]);
         assert_eq!(audit.rejected, vec![(7, AuditRejection::EmptyMatch)]);
         assert_eq!(audit.preadmit.l34_needed, 0);
     }
@@ -265,7 +326,7 @@ mod tests {
             rule(1, 64500, StellarSignal::drop_all()),
             rule(2, 64501, StellarSignal::drop_udp_src(123)),
         ];
-        let audit = audit_batch(&router(), &desired, &[2]);
+        let audit = audit_batch(&fab(), owner, &desired, &[2]);
         assert!(audit.rejected.is_empty());
     }
 
@@ -284,8 +345,54 @@ mod tests {
             rule(2, 64500, StellarSignal::drop_udp_src(123)),
             rule(3, 64500, drop_http_tcp),
         ];
-        let audit = audit_batch(&router(), &desired, &[3]);
+        let audit = audit_batch(&fab(), owner, &desired, &[3]);
         assert!(audit.rejected.is_empty());
         assert_eq!(audit.preadmit.l34_needed, 3);
+    }
+
+    #[test]
+    fn skewed_placement_blows_one_pop_while_fabric_sums_fit() {
+        let mut f = Fabric::new(HardwareInfoBase::lab_switch(), 2);
+        for (pop, port, asn) in [(0u16, 1u32, 64500u32), (0, 2, 64501), (1, 3, 64502)] {
+            f.add_port(
+                PopId(pop),
+                PortId(port),
+                MemberPort::new(asn, MacAddr::for_member(asn, 1), 1_000_000_000),
+            );
+        }
+        // Fill PoP 0: 8 rules on each of its two ports, 3 L3-L4 criteria
+        // apiece — 48 of the lab switch's 64, leaving 16 free there.
+        let mut id = 100;
+        for (port, asn) in [(PortId(1), 64500), (PortId(2), 64501)] {
+            for i in 0..8u16 {
+                let r = rule(id, asn, StellarSignal::drop_udp_src(1000 + i));
+                f.install_rule(port, r.to_filter_rule(), 0).unwrap();
+                id += 1;
+            }
+        }
+        assert_eq!(f.routers()[0].tcam().l34_free(), 16);
+        // Six disjoint candidates, all owned by the PoP-0 member: they
+        // need 18 criteria — more than PoP 0 has, less than the fabric.
+        let desired: Vec<BlackholingRule> = (0..6u64)
+            .map(|i| rule(i + 1, 64500, StellarSignal::drop_udp_src(i as u16 + 1)))
+            .collect();
+        let ids: Vec<u64> = desired.iter().map(|r| r.id).collect();
+        let resolve = |a: Asn| match a.0 {
+            64500 => Some(PortId(1)),
+            64501 => Some(PortId(2)),
+            64502 => Some(PortId(3)),
+            _ => None,
+        };
+        let audit = audit_batch(&f, resolve, &desired, &ids);
+        assert!(audit.rejected.is_empty());
+        assert_eq!(audit.preadmit.l34_needed, 18);
+        assert!(audit.preadmit.fits(), "fabric-wide sums say it fits");
+        assert!(!audit.fits(), "but PoP 0's own pool cannot take it");
+        assert_eq!(audit.per_pop.len(), 2);
+        assert_eq!(audit.per_pop[0].report.l34_needed, 18);
+        assert_eq!(audit.per_pop[0].report.l34_free, 16);
+        assert_eq!(audit.per_pop[1].report.l34_needed, 0);
+        assert_eq!(audit.per_pop[1].report.l34_free, 64);
+        assert!(audit.per_pop[1].report.fits());
     }
 }

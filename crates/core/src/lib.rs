@@ -38,6 +38,7 @@ pub mod faults;
 pub mod flowspec;
 pub mod manager;
 pub mod mitigation;
+pub mod placement;
 pub mod portal;
 pub mod qos_manager;
 pub mod rtbh;

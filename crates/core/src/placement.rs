@@ -1,0 +1,241 @@
+//! TCAM budget-aware rule placement across PoPs.
+//!
+//! Stellar's egress placement pins each rule to its victim's port — one
+//! PoP, no choice to make. But TCAM budgets are per router, and the
+//! moment a fabric has more than one PoP the operator has an ingress-side
+//! option: install a copy of a rule at the PoPs where the attack
+//! *enters*, trading rows on those PoPs for backbone bytes and earlier
+//! kill points ("Optimal Filtering for DDoS Attacks" frames exactly this
+//! knapsack). This module implements the deterministic greedy heuristic
+//! the `pop_placement` experiment reports: rank every `(rule, PoP)`
+//! candidate by net benefit per TCAM row and take the best that still
+//! fits its PoP's remaining budget.
+//!
+//! Everything is integer arithmetic — bytes and thousandths — so the
+//! ranking is exact and byte-reproducible across platforms; ties break
+//! on (rule id, PoP) ascending.
+
+/// One candidate installation: a rule placed at one PoP, with the
+/// traffic consequences of that placement measured (or estimated) over
+/// the planning window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementCandidate {
+    /// The rule to place.
+    pub rule_id: u64,
+    /// The PoP it would be installed at.
+    pub pop: u16,
+    /// TCAM rows the installation costs on that PoP.
+    pub rows: u32,
+    /// Attack bytes this placement would remove.
+    pub attack_bytes: u64,
+    /// Benign bytes it would collaterally discard.
+    pub benign_bytes: u64,
+}
+
+impl PlacementCandidate {
+    /// Net benefit in milli-bytes: attack coverage minus weighted
+    /// collateral, clamped at zero. `collateral_weight_milli` is the
+    /// relative cost of one benign byte, in thousandths (1000 = benign
+    /// bytes count exactly as much as attack bytes).
+    fn benefit_milli(&self, collateral_weight_milli: u64) -> u128 {
+        let gain = u128::from(self.attack_bytes) * 1000;
+        let cost = u128::from(self.benign_bytes) * u128::from(collateral_weight_milli);
+        gain.saturating_sub(cost)
+    }
+}
+
+/// One accepted placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacementDecision {
+    /// The placed candidate.
+    pub candidate: PlacementCandidate,
+    /// Rows remaining on the PoP's budget *after* this placement.
+    pub budget_left: u32,
+}
+
+/// The outcome of one greedy placement pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementOutcome {
+    /// Accepted placements, in acceptance (rank) order.
+    pub placed: Vec<PlacementDecision>,
+    /// Attack bytes covered by the accepted placements.
+    pub covered_attack_bytes: u64,
+    /// Benign bytes collaterally discarded by them.
+    pub collateral_benign_bytes: u64,
+    /// TCAM rows consumed per PoP, index = PoP.
+    pub rows_used: Vec<u32>,
+    /// Candidates refused because their PoP's budget was exhausted.
+    pub skipped_budget: usize,
+    /// Candidates refused because collateral outweighed coverage.
+    pub skipped_negative: usize,
+    /// Candidates refused because their rule was already placed at a
+    /// better-ranked PoP.
+    pub skipped_duplicate: usize,
+}
+
+impl PlacementOutcome {
+    /// Fraction of `total_attack_bytes` the accepted placements cover,
+    /// in thousandths (0..=1000).
+    pub fn coverage_milli(&self, total_attack_bytes: u64) -> u64 {
+        if total_attack_bytes == 0 {
+            return 0;
+        }
+        let m = u128::from(self.covered_attack_bytes) * 1000 / u128::from(total_attack_bytes);
+        m.min(1000) as u64
+    }
+}
+
+/// Ranks candidates by benefit per TCAM row (exact rational comparison
+/// via cross-multiplication) and greedily accepts each against its PoP's
+/// remaining row budget. Each rule is placed at most once — at its
+/// best-ranked affordable PoP. `budgets[p]` is PoP `p`'s free rows;
+/// candidates naming a PoP outside `budgets` are refused as over-budget.
+/// Deterministic: equal-benefit candidates order by (rule id, PoP).
+pub fn greedy_place(
+    candidates: &[PlacementCandidate],
+    budgets: &[u32],
+    collateral_weight_milli: u64,
+) -> PlacementOutcome {
+    let mut ranked: Vec<(u128, &PlacementCandidate)> = candidates
+        .iter()
+        .map(|c| (c.benefit_milli(collateral_weight_milli), c))
+        .collect();
+    // benefit/rows descending: a/b > c/d  <=>  a*d > c*b (rows >= 1;
+    // zero-row candidates rank as pure benefit against one row).
+    ranked.sort_by(|(ba, a), (bb, b)| {
+        let ra = u128::from(a.rows.max(1));
+        let rb = u128::from(b.rows.max(1));
+        (bb * ra)
+            .cmp(&(ba * rb))
+            .then(a.rule_id.cmp(&b.rule_id))
+            .then(a.pop.cmp(&b.pop))
+    });
+    let mut out = PlacementOutcome {
+        rows_used: vec![0; budgets.len()],
+        ..Default::default()
+    };
+    let mut left: Vec<u32> = budgets.to_vec();
+    let mut placed_rules: Vec<u64> = Vec::new();
+    for (benefit, c) in ranked {
+        if benefit == 0 {
+            out.skipped_negative += 1;
+            continue;
+        }
+        if placed_rules.binary_search(&c.rule_id).is_ok() {
+            out.skipped_duplicate += 1;
+            continue;
+        }
+        let p = c.pop as usize;
+        let Some(budget) = left.get_mut(p) else {
+            out.skipped_budget += 1;
+            continue;
+        };
+        if *budget < c.rows {
+            out.skipped_budget += 1;
+            continue;
+        }
+        *budget -= c.rows;
+        out.rows_used[p] += c.rows;
+        out.covered_attack_bytes += c.attack_bytes;
+        out.collateral_benign_bytes += c.benign_bytes;
+        out.placed.push(PlacementDecision {
+            candidate: *c,
+            budget_left: *budget,
+        });
+        let at = placed_rules
+            .binary_search(&c.rule_id)
+            .unwrap_or_else(|pos| pos);
+        placed_rules.insert(at, c.rule_id);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(rule_id: u64, pop: u16, rows: u32, attack: u64, benign: u64) -> PlacementCandidate {
+        PlacementCandidate {
+            rule_id,
+            pop,
+            rows,
+            attack_bytes: attack,
+            benign_bytes: benign,
+        }
+    }
+
+    #[test]
+    fn ranks_by_benefit_per_row_and_respects_budgets() {
+        // Rule 1 at pop 0: 100 bytes / 1 row. Rule 2 at pop 0: 150 / 3.
+        // Per-row, rule 1 wins; with budget 3, both fit (1 + 3 > 3 -> 2
+        // is refused after 1 takes a row).
+        let cands = [cand(1, 0, 1, 100, 0), cand(2, 0, 3, 150, 0)];
+        let out = greedy_place(&cands, &[3], 1000);
+        assert_eq!(out.placed.len(), 1);
+        assert_eq!(out.placed[0].candidate.rule_id, 1);
+        assert_eq!(out.skipped_budget, 1);
+        assert_eq!(out.covered_attack_bytes, 100);
+        assert_eq!(out.rows_used, vec![1]);
+        // With budget 4 both fit, acceptance order still per-row rank.
+        let out = greedy_place(&cands, &[4], 1000);
+        assert_eq!(out.placed.len(), 2);
+        assert_eq!(out.placed[0].candidate.rule_id, 1);
+        assert_eq!(out.covered_attack_bytes, 250);
+        assert_eq!(out.coverage_milli(250), 1000);
+    }
+
+    #[test]
+    fn each_rule_is_placed_at_its_best_pop_only() {
+        // The same rule offered at two PoPs: the bigger-coverage PoP
+        // wins, the other is a duplicate.
+        let cands = [cand(7, 0, 2, 500, 0), cand(7, 1, 2, 900, 0)];
+        let out = greedy_place(&cands, &[8, 8], 1000);
+        assert_eq!(out.placed.len(), 1);
+        assert_eq!(out.placed[0].candidate.pop, 1);
+        assert_eq!(out.skipped_duplicate, 1);
+    }
+
+    #[test]
+    fn collateral_weight_flips_a_choice() {
+        // Candidate A covers more attack but kills benign bytes too.
+        let a = cand(1, 0, 1, 1000, 600);
+        let b = cand(2, 0, 1, 700, 0);
+        // Collateral ignored: A ranks first.
+        let out = greedy_place(&[a, b], &[1], 0);
+        assert_eq!(out.placed[0].candidate.rule_id, 1);
+        // Benign bytes at par: A's net is 400 < 700, B ranks first.
+        let out = greedy_place(&[a, b], &[1], 1000);
+        assert_eq!(out.placed[0].candidate.rule_id, 2);
+        assert_eq!(out.collateral_benign_bytes, 0);
+    }
+
+    #[test]
+    fn pure_collateral_candidates_are_refused() {
+        let cands = [cand(1, 0, 1, 10, 1000), cand(2, 9, 1, 50, 0)];
+        // Rule 1's benefit clamps to zero; rule 2 names a PoP with no
+        // budget entry.
+        let out = greedy_place(&cands, &[4], 1000);
+        assert!(out.placed.is_empty());
+        assert_eq!(out.skipped_negative, 1);
+        assert_eq!(out.skipped_budget, 1);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_rule_then_pop() {
+        let cands = [
+            cand(2, 1, 1, 100, 0),
+            cand(2, 0, 1, 100, 0),
+            cand(1, 1, 1, 100, 0),
+        ];
+        let out = greedy_place(&cands, &[4, 4], 1000);
+        let order: Vec<(u64, u16)> = out
+            .placed
+            .iter()
+            .map(|d| (d.candidate.rule_id, d.candidate.pop))
+            .collect();
+        // Rule 1 first; rule 2 then lands on pop 0 (lower pop wins the
+        // intra-rule tie) and its pop-1 twin is a duplicate.
+        assert_eq!(order, vec![(1, 1), (2, 0)]);
+        assert_eq!(out.skipped_duplicate, 1);
+    }
+}

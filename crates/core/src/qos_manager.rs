@@ -8,8 +8,9 @@ use crate::controller::AbstractChange;
 use crate::manager::{AdmissionError, NetworkManager};
 use std::collections::HashMap;
 use stellar_bgp::types::Asn;
-use stellar_dataplane::switch::{EdgeRouter, InstallError, PortId};
+use stellar_dataplane::switch::{InstallError, PortId};
 use stellar_dataplane::tcam::TcamVerdict;
+use stellar_sim::fabric::Fabric;
 
 /// The QoS-policy compilation backend.
 #[derive(Debug, Default)]
@@ -37,17 +38,23 @@ impl QosNetworkManager {
         self.rule_ports.get(&rule_id).copied()
     }
 
+    /// The egress port registered for a member — the per-PoP audit path
+    /// uses this to resolve which PoP's TCAM a pending rule would charge.
+    pub fn owner_port(&self, owner: Asn) -> Option<PortId> {
+        self.owner_ports.get(&owner).copied()
+    }
+
     /// Forgets rules whose hardware entries vanished out from under the
-    /// manager — an edge-router restart wipes every port policy while
-    /// this bookkeeping survives, and until the two are squared the
+    /// manager — a fabric restart wipes every port policy on every PoP
+    /// while this bookkeeping survives, and until the two are squared the
     /// manager would refuse re-adds as duplicates and mis-route removals.
     /// Returns the forgotten rule ids, sorted. The reconciler calls this
     /// before diffing desired against installed state.
-    pub fn prune_vanished(&mut self, router: &EdgeRouter) -> Vec<u64> {
+    pub fn prune_vanished(&mut self, fabric: &Fabric) -> Vec<u64> {
         let mut gone: Vec<u64> = self
             .rule_ports
             .iter()
-            .filter(|(id, port)| router.port(**port).is_none_or(|p| !p.policy.contains(**id)))
+            .filter(|(id, port)| fabric.port(**port).is_none_or(|p| !p.policy.contains(**id)))
             .map(|(id, _)| *id)
             .collect();
         gone.sort_unstable();
@@ -59,11 +66,11 @@ impl QosNetworkManager {
 }
 
 impl NetworkManager for QosNetworkManager {
-    type Fabric = EdgeRouter;
+    type Fabric = Fabric;
 
     fn apply(
         &mut self,
-        router: &mut EdgeRouter,
+        fabric: &mut Fabric,
         change: &AbstractChange,
         now_us: u64,
     ) -> Result<(), AdmissionError> {
@@ -73,7 +80,7 @@ impl NetworkManager for QosNetworkManager {
                     .owner_ports
                     .get(&rule.owner)
                     .ok_or(AdmissionError::UnknownOwner)?;
-                match router.install_rule(port, rule.to_filter_rule(), now_us) {
+                match fabric.install_rule(port, rule.to_filter_rule(), now_us) {
                     Ok(()) => {
                         self.rule_ports.insert(rule.id, port);
                         Ok(())
@@ -93,7 +100,7 @@ impl NetworkManager for QosNetworkManager {
                     .rule_ports
                     .remove(rule_id)
                     .ok_or(AdmissionError::NoSuchRule)?;
-                if router.remove_rule(port, *rule_id, now_us) {
+                if fabric.remove_rule(port, *rule_id, now_us) {
                     Ok(())
                 } else {
                     Err(AdmissionError::NoSuchRule)
@@ -116,15 +123,16 @@ mod tests {
     use stellar_dataplane::port::MemberPort;
     use stellar_net::mac::MacAddr;
 
-    fn setup() -> (EdgeRouter, QosNetworkManager) {
-        let mut router = EdgeRouter::new(HardwareInfoBase::lab_switch());
-        router.add_port(
+    fn setup() -> (Fabric, QosNetworkManager) {
+        let mut fabric = Fabric::single(HardwareInfoBase::lab_switch());
+        fabric.add_port(
+            stellar_sim::fabric::PopId(0),
             PortId(1),
             MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
         );
         let mut mgr = QosNetworkManager::default();
         mgr.register_owner(Asn(64500), PortId(1));
-        (router, mgr)
+        (fabric, mgr)
     }
 
     fn rule(id: u64, owner: u32) -> AbstractChange {
@@ -138,13 +146,13 @@ mod tests {
 
     #[test]
     fn add_then_remove_round_trips() {
-        let (mut router, mut mgr) = setup();
-        mgr.apply(&mut router, &rule(1, 64500), 0).unwrap();
+        let (mut fabric, mut mgr) = setup();
+        mgr.apply(&mut fabric, &rule(1, 64500), 0).unwrap();
         assert_eq!(mgr.installed_rules(), 1);
-        assert_eq!(router.total_rules(), 1);
+        assert_eq!(fabric.total_rules(), 1);
         assert_eq!(mgr.port_of_rule(1), Some(PortId(1)));
         mgr.apply(
-            &mut router,
+            &mut fabric,
             &AbstractChange::RemoveRule {
                 rule_id: 1,
                 owner: Asn(64500),
@@ -153,25 +161,25 @@ mod tests {
         )
         .unwrap();
         assert_eq!(mgr.installed_rules(), 0);
-        assert_eq!(router.total_rules(), 0);
+        assert_eq!(fabric.total_rules(), 0);
     }
 
     #[test]
     fn unknown_owner_is_refused() {
-        let (mut router, mut mgr) = setup();
+        let (mut fabric, mut mgr) = setup();
         assert_eq!(
-            mgr.apply(&mut router, &rule(1, 9999), 0),
+            mgr.apply(&mut fabric, &rule(1, 9999), 0),
             Err(AdmissionError::UnknownOwner)
         );
-        assert_eq!(router.total_rules(), 0);
+        assert_eq!(fabric.total_rules(), 0);
     }
 
     #[test]
     fn removing_unknown_rule_is_refused() {
-        let (mut router, mut mgr) = setup();
+        let (mut fabric, mut mgr) = setup();
         assert_eq!(
             mgr.apply(
-                &mut router,
+                &mut fabric,
                 &AbstractChange::RemoveRule {
                     rule_id: 42,
                     owner: Asn(64500)
@@ -184,23 +192,23 @@ mod tests {
 
     #[test]
     fn prune_vanished_squares_bookkeeping_after_restart() {
-        let (mut router, mut mgr) = setup();
-        mgr.apply(&mut router, &rule(1, 64500), 0).unwrap();
-        mgr.apply(&mut router, &rule(2, 64500), 0).unwrap();
+        let (mut fabric, mut mgr) = setup();
+        mgr.apply(&mut fabric, &rule(1, 64500), 0).unwrap();
+        mgr.apply(&mut fabric, &rule(2, 64500), 0).unwrap();
         // Nothing vanished yet.
-        assert!(mgr.prune_vanished(&router).is_empty());
-        router.restart(1);
+        assert!(mgr.prune_vanished(&fabric).is_empty());
+        fabric.restart(1);
         assert_eq!(mgr.installed_rules(), 2); // stale bookkeeping
-        assert_eq!(mgr.prune_vanished(&router), vec![1, 2]);
+        assert_eq!(mgr.prune_vanished(&fabric), vec![1, 2]);
         assert_eq!(mgr.installed_rules(), 0);
         // Re-adding the same ids now succeeds.
-        mgr.apply(&mut router, &rule(1, 64500), 2).unwrap();
-        assert_eq!(router.total_rules(), 1);
+        mgr.apply(&mut fabric, &rule(1, 64500), 2).unwrap();
+        assert_eq!(fabric.total_rules(), 1);
     }
 
     #[test]
     fn per_port_limit_maps_to_admission_error() {
-        let (mut router, mut mgr) = setup(); // lab: 8 rules/port
+        let (mut fabric, mut mgr) = setup(); // lab: 8 rules/port
         for i in 0..8 {
             let ch = AbstractChange::AddRule(BlackholingRule::from_signal(
                 i,
@@ -208,14 +216,14 @@ mod tests {
                 "100.10.10.10/32".parse().unwrap(),
                 StellarSignal::drop_udp_src(i as u16),
             ));
-            mgr.apply(&mut router, &ch, 0).unwrap();
+            mgr.apply(&mut fabric, &ch, 0).unwrap();
         }
         assert_eq!(
-            mgr.apply(&mut router, &rule(99, 64500), 0),
+            mgr.apply(&mut fabric, &rule(99, 64500), 0),
             Err(AdmissionError::PerPortLimit)
         );
         // Fabric untouched by the refused change.
-        assert_eq!(router.total_rules(), 8);
+        assert_eq!(fabric.total_rules(), 8);
         assert_eq!(mgr.installed_rules(), 8);
     }
 }

@@ -480,7 +480,12 @@ impl StellarSystem {
         // egress port, so the audit sees the union of both planes.
         let mut desired = self.controller.desired_rules();
         desired.extend(self.flowspec.desired_rules());
-        let audit = audit_batch(&self.ixp.router, &desired, &candidate_ids);
+        let audit = audit_batch(
+            &self.ixp.fabric,
+            |a| self.manager.owner_port(a),
+            &desired,
+            &candidate_ids,
+        );
         for (rule_id, rejection) in &audit.rejected {
             if !self.controller.rule_refused(*rule_id) {
                 self.flowspec.rule_refused(*rule_id);
@@ -521,7 +526,7 @@ impl StellarSystem {
             "analyze.preadmit.l34_needed",
             audit.preadmit.l34_needed as u64,
         );
-        if !audit.preadmit.fits() {
+        if !audit.fits() {
             reg.counter_inc("analyze.preadmit.would_exhaust");
         }
     }
@@ -572,7 +577,7 @@ impl StellarSystem {
             let result = if self.injector.install_faulted(now_us) {
                 Err(AdmissionError::Transient)
             } else {
-                self.manager.apply(&mut self.ixp.router, &qc.change, now_us)
+                self.manager.apply(&mut self.ixp.fabric, &qc.change, now_us)
             };
             match result {
                 Ok(()) => {
@@ -669,7 +674,7 @@ impl StellarSystem {
             // consulted on every apply.
             FaultKind::InstallBrownout { .. } => {}
             FaultKind::RouterRestart => {
-                let rules_lost = self.ixp.router.restart(now_us);
+                let rules_lost = self.ixp.fabric.restart(now_us);
                 self.log.push(RecoveryEvent::RouterRestarted {
                     at_us: now_us,
                     rules_lost,
@@ -936,8 +941,8 @@ impl StellarSystem {
         // Ledger conservation: installs − removals must equal what the
         // hardware holds, at all times (the managers and the fabric keep
         // double-entry books).
-        let (installs, removals) = self.ixp.router.rule_ledger();
-        let total = self.ixp.router.total_rules() as u64;
+        let (installs, removals) = self.ixp.fabric.rule_ledger();
+        let total = self.ixp.fabric.total_rules() as u64;
         if installs.checked_sub(removals) != Some(total) {
             found.push((
                 Invariant::LedgerConservation,
@@ -954,16 +959,18 @@ impl StellarSystem {
             ));
         }
         if quiet && total == 0 {
-            let tcam = self.ixp.router.tcam();
-            if tcam.l34_used() != 0 || tcam.mac_used() != 0 {
-                found.push((
-                    Invariant::LedgerConservation,
-                    format!(
-                        "empty table but tcam l34={} mac={}",
-                        tcam.l34_used(),
-                        tcam.mac_used()
-                    ),
-                ));
+            for (pop, r) in self.ixp.fabric.routers().iter().enumerate() {
+                let tcam = r.tcam();
+                if tcam.l34_used() != 0 || tcam.mac_used() != 0 {
+                    found.push((
+                        Invariant::LedgerConservation,
+                        format!(
+                            "pop={pop} empty table but tcam l34={} mac={}",
+                            tcam.l34_used(),
+                            tcam.mac_used()
+                        ),
+                    ));
+                }
             }
         }
 
@@ -1014,7 +1021,7 @@ impl StellarSystem {
                     AbstractChange::RemoveRule { rule_id, .. } => *rule_id,
                 });
             }
-            for (_, port) in self.ixp.router.ports() {
+            for (_, port) in self.ixp.fabric.ports() {
                 for rule in port.policy.rules() {
                     if !wanted.contains(&rule.id) {
                         found.push((
@@ -1070,14 +1077,14 @@ impl StellarSystem {
     pub fn reconcile(&mut self, now_us: u64) -> ReconcileReport {
         self.poll_faults(now_us);
         let mut report = ReconcileReport {
-            pruned: self.manager.prune_vanished(&self.ixp.router).len(),
+            pruned: self.manager.prune_vanished(&self.ixp.fabric).len(),
             ..Default::default()
         };
         // Ground truth: what the hardware holds, per rule id.
         let mut installed: BTreeMap<u64, PortId> = BTreeMap::new();
-        for (port_id, port) in self.ixp.router.ports() {
+        for (port_id, port) in self.ixp.fabric.ports() {
             for rule in port.policy.rules() {
-                installed.insert(rule.id, *port_id);
+                installed.insert(rule.id, port_id);
             }
         }
         // Work already on its way (queued, deferred, or parked in the
@@ -1113,7 +1120,7 @@ impl StellarSystem {
             }
             let owner = self
                 .ixp
-                .router
+                .fabric
                 .port(port_id)
                 .map(|p| Asn(p.member_asn))
                 .unwrap_or(Asn(0));
@@ -1159,7 +1166,7 @@ impl StellarSystem {
             return false;
         }
         let mut installed: HashSet<u64> = HashSet::new();
-        for (_, port) in self.ixp.router.ports() {
+        for (_, port) in self.ixp.fabric.ports() {
             for rule in port.policy.rules() {
                 installed.insert(rule.id);
             }
@@ -1176,12 +1183,12 @@ impl StellarSystem {
         tick_end_us: u64,
         tick_us: u64,
     ) -> BTreeMap<PortId, TickResult> {
-        self.ixp.router.process_tick(offers, tick_end_us, tick_us)
+        self.ixp.fabric.process_tick(offers, tick_end_us, tick_us)
     }
 
     /// Telemetry for the given rules (§3.1).
     pub fn telemetry(&self, rule_ids: &[u64]) -> Vec<RuleTelemetry> {
-        rule_telemetry(&self.ixp.router, &self.manager, rule_ids)
+        rule_telemetry(&self.ixp.fabric, &self.manager, rule_ids)
     }
 
     /// Rules currently active in hardware.
@@ -1194,7 +1201,7 @@ impl StellarSystem {
     /// counters from the route server, backlog depths from the
     /// configuration queue. Call before exporting a snapshot.
     pub fn observe(&mut self, _now_us: u64) {
-        self.ixp.router.observe(&mut self.obs.registry);
+        self.ixp.fabric.observe(&mut self.obs.registry);
         self.ixp.route_server.observe(&mut self.obs.registry);
         let reg = &mut self.obs.registry;
         reg.gauge_set("core.queue.backlog", self.queue.backlog() as i64);

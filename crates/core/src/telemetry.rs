@@ -4,7 +4,7 @@
 //! shaped traffic sample and via statistics about discarded traffic.
 
 use crate::qos_manager::QosNetworkManager;
-use stellar_dataplane::switch::EdgeRouter;
+use stellar_sim::fabric::Fabric;
 
 /// Telemetry for one installed blackholing rule.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,7 +29,7 @@ impl RuleTelemetry {
 
 /// Reads telemetry for a set of rule ids owned by one member.
 pub fn rule_telemetry(
-    router: &EdgeRouter,
+    fabric: &Fabric,
     manager: &QosNetworkManager,
     rule_ids: &[u64],
 ) -> Vec<RuleTelemetry> {
@@ -38,7 +38,7 @@ pub fn rule_telemetry(
         let Some(port) = manager.port_of_rule(rule_id) else {
             continue;
         };
-        let Some(port_ref) = router.port(port) else {
+        let Some(port_ref) = fabric.port(port) else {
             continue;
         };
         if let Some(c) = port_ref.policy.rule_counters(rule_id) {
@@ -71,15 +71,16 @@ mod tests {
 
     #[test]
     fn telemetry_reflects_shaped_sample_and_discards() {
-        let mut router = EdgeRouter::new(HardwareInfoBase::lab_switch());
-        router.add_port(
+        let mut fabric = Fabric::single(HardwareInfoBase::lab_switch());
+        fabric.add_port(
+            stellar_sim::fabric::PopId(0),
             PortId(1),
             MemberPort::new(64500, MacAddr::for_member(64500, 1), 1_000_000_000),
         );
         let mut mgr = QosNetworkManager::default();
         mgr.register_owner(Asn(64500), PortId(1));
         mgr.apply(
-            &mut router,
+            &mut fabric,
             &AbstractChange::AddRule(BlackholingRule::from_signal(
                 1,
                 Asn(64500),
@@ -104,9 +105,9 @@ mod tests {
             bytes: 125_000_000, // 1 Gbps over 1 s
             packets: 100_000,
         };
-        router.process_tick(&[offer], 1_000_000, 1_000_000);
+        fabric.process_tick(&[offer], 1_000_000, 1_000_000);
 
-        let t = rule_telemetry(&router, &mgr, &[1]);
+        let t = rule_telemetry(&fabric, &mgr, &[1]);
         assert_eq!(t.len(), 1);
         assert_eq!(t[0].matched_bytes, 125_000_000);
         // Shaped to 200 Mbps: ~25 MB passed, rest discarded.
@@ -118,8 +119,8 @@ mod tests {
 
     #[test]
     fn unknown_rules_yield_no_telemetry() {
-        let router = EdgeRouter::new(HardwareInfoBase::lab_switch());
+        let fabric = Fabric::single(HardwareInfoBase::lab_switch());
         let mgr = QosNetworkManager::default();
-        assert!(rule_telemetry(&router, &mgr, &[1, 2, 3]).is_empty());
+        assert!(rule_telemetry(&fabric, &mgr, &[1, 2, 3]).is_empty());
     }
 }

@@ -22,7 +22,7 @@ pub struct Offer {
 }
 
 /// Result of pushing one tick of traffic through a port's policy.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq)]
 pub struct TickResult {
     /// Traffic delivered to the member: `(key, bytes, packets)`.
     pub delivered: Vec<(FlowKey, u64, u64)>,

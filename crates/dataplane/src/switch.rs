@@ -16,9 +16,10 @@ use stellar_net::flow::FlowKey;
 use stellar_net::mac::MacAddr;
 use stellar_net::packet::Packet;
 
-/// Identifies a member port on the ER.
+/// Identifies a member port on the ER. `u32` so multi-PoP fabrics can
+/// address ~10^6 ports with one flat, fabric-unique id space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PortId(pub u16);
+pub struct PortId(pub u32);
 
 /// One tick's worth of traffic belonging to one flow.
 #[derive(Debug, Clone, Copy)]
@@ -133,8 +134,17 @@ pub struct EdgeRouter {
     mac_dense: HashMap<MacAddr, u32>,
     /// Tick arena (see [`TickScratch`]).
     scratch: TickScratch,
+    /// Dense index / arena are out of date (ports were added since the
+    /// last rebuild). Rebuilt lazily at the next tick, so bulk topology
+    /// construction is O(ports), not O(ports²).
+    dense_dirty: bool,
     /// Max workers for the parallel tick mode; 1 = sequential.
     tick_workers: usize,
+    /// Minimum per-tick work (Σ over touched ports of 1 + rules) below
+    /// which the tick runs sequentially even when `tick_workers` > 1.
+    parallel_min_work: u64,
+    /// Whether the most recent tick actually fanned out to the pool.
+    last_parallel: bool,
     /// Cumulative rule installs (including replacements' re-installs).
     installs: u64,
     /// Cumulative rule removals, including flush/restart wipes — so
@@ -159,13 +169,18 @@ impl EdgeRouter {
             dense: Vec::new(),
             mac_dense: HashMap::new(),
             scratch: TickScratch::default(),
+            dense_dirty: false,
             tick_workers: tick_workers_from_env(),
+            parallel_min_work: sharded::parallel_min_work_from_env(),
+            last_parallel: false,
             installs: 0,
             removals: 0,
         }
     }
 
     /// Adds a member port. Panics if the port id is taken (topology bug).
+    /// The dense tick index is rebuilt lazily at the next tick, so adding
+    /// N ports costs O(N log N) total rather than O(N²).
     pub fn add_port(&mut self, id: PortId, port: MemberPort) {
         assert!(
             !self.ports.contains_key(&id),
@@ -173,11 +188,20 @@ impl EdgeRouter {
         );
         self.mac_to_port.insert(port.mac, id);
         self.ports.insert(id, port);
-        // Rebuild the dense index (topology changes are rare and cold).
+        self.dense_dirty = true;
+    }
+
+    /// Rebuilds the dense port index and resizes the arena after topology
+    /// changes. No-op on the steady-state tick path.
+    fn ensure_dense(&mut self) {
+        if !self.dense_dirty {
+            return;
+        }
+        self.dense_dirty = false;
         self.dense.clear();
         self.dense.extend(self.ports.keys().copied());
         self.mac_dense.clear();
-        for (i, (_, p)) in self.ports.iter().enumerate() {
+        for (i, p) in self.ports.values().enumerate() {
             self.mac_dense.insert(p.mac, i as u32);
         }
         self.scratch.buckets.resize_with(self.dense.len(), Vec::new);
@@ -201,6 +225,27 @@ impl EdgeRouter {
     /// The current parallel tick fan-out cap.
     pub fn tick_workers(&self) -> usize {
         self.tick_workers
+    }
+
+    /// Sets the adaptive-parallelism cutoff: ticks whose work estimate
+    /// (Σ over touched ports of 1 + rules) falls below this run
+    /// sequentially regardless of `tick_workers`. `0` disables the
+    /// cutoff. Defaults to `STELLAR_PARALLEL_MIN_WORK` or
+    /// [`sharded::DEFAULT_PARALLEL_MIN_WORK`].
+    pub fn set_parallel_min_work(&mut self, min_work: u64) {
+        self.parallel_min_work = min_work;
+    }
+
+    /// The adaptive-parallelism cutoff currently in force.
+    pub fn parallel_min_work(&self) -> u64 {
+        self.parallel_min_work
+    }
+
+    /// Whether the most recent tick actually fanned out to the worker
+    /// pool (false: sequential, by configuration or by the adaptive
+    /// cutoff). Benchmarks record this as the effective execution mode.
+    pub fn last_tick_parallel(&self) -> bool {
+        self.last_parallel
     }
 
     /// The port a MAC address is attached to.
@@ -387,6 +432,7 @@ impl EdgeRouter {
     }
 
     fn run_tick(&mut self, offers: &[OfferedAggregate], tick_end_us: u64, tick_us: u64) {
+        self.ensure_dense();
         let TickScratch {
             buckets,
             touched,
@@ -415,31 +461,53 @@ impl EdgeRouter {
         // Deterministic merge order: ascending dense index == ascending
         // PortId, independent of offer arrival order and worker count.
         touched.sort_unstable();
+        // Adaptive cutoff: estimate the tick's work as Σ over touched
+        // ports of (1 + installed rules) — roughly ports × rules. Below
+        // the threshold, pool dispatch costs more than it buys (the
+        // 4-port sweep cell ran at 0.48× sequential), so fall back to
+        // the in-place sequential walk, which also allocates nothing.
+        let mut work = 0u64;
+        for &i in touched.iter() {
+            if let Some(p) = self.ports.get(&self.dense[i as usize]) {
+                work += 1 + p.policy.rule_count() as u64;
+            }
+        }
+        let workers = sharded::effective_workers(self.tick_workers, work, self.parallel_min_work);
+        self.last_parallel = workers > 1 && touched.len() > 1;
+        // `ports` iterates in key order and `touched` is ascending, so a
+        // single forward walk pairs each touched dense index with its
+        // port (position in the iteration == dense index).
+        if !self.last_parallel {
+            let mut ports_iter = self.ports.values_mut().enumerate();
+            for &i in touched.iter() {
+                if let Some((_, port)) = ports_iter.find(|(j, _)| *j == i as usize) {
+                    port.process_tick_into(
+                        &buckets[i as usize],
+                        tick_end_us,
+                        tick_us,
+                        &mut results[i as usize],
+                    );
+                }
+            }
+            return;
+        }
         // One shard per touched port: the port (sole owner of its
         // policy/shaper/counter state), its bucket, and its recycled
-        // result slot. `ports` iterates in key order and `touched` is
-        // ascending, so a single forward walk pairs them up.
+        // result slot.
         let mut shards: Vec<(&mut MemberPort, &[Offer], &mut TickResult)> =
             Vec::with_capacity(touched.len());
-        let mut ports_iter = self.ports.iter_mut();
+        let mut ports_iter = self.ports.values_mut().enumerate();
         let mut results_iter = results.iter_mut().enumerate();
         for &i in touched.iter() {
-            let pid = self.dense[i as usize];
-            let port = loop {
-                let (k, v) = ports_iter.next().expect("dense index in sync with ports");
-                if *k == pid {
-                    break v;
-                }
-            };
-            let result = loop {
-                let (j, r) = results_iter.next().expect("results sized to dense");
-                if j == i as usize {
-                    break r;
-                }
+            let (Some((_, port)), Some((_, result))) = (
+                ports_iter.find(|(j, _)| *j == i as usize),
+                results_iter.find(|(j, _)| *j == i as usize),
+            ) else {
+                continue;
             };
             shards.push((port, &buckets[i as usize], result));
         }
-        sharded::parallel_shards(shards, self.tick_workers, |(port, offers, result)| {
+        sharded::parallel_shards(shards, workers, |(port, offers, result)| {
             port.process_tick_into(offers, tick_end_us, tick_us, result);
         });
     }
@@ -518,6 +586,13 @@ impl EdgeRouter {
         // so `rule_installs - rule_removals == total_rules` always.
         reg.counter_set("dataplane.rule_installs", self.installs);
         reg.counter_set("dataplane.rule_removals", self.removals);
+        self.observe_ports(reg);
+    }
+
+    /// Publishes only the per-port gauges — the multi-PoP fabric calls
+    /// this per router (port ids are fabric-unique, so the gauge names
+    /// cannot collide) while aggregating the router-global gauges itself.
+    pub fn observe_ports(&self, reg: &mut stellar_obs::MetricsRegistry) {
         for (pid, port) in &self.ports {
             let p = format!("dataplane.port.{}", pid.0);
             reg.gauge_set(&format!("{p}.rules"), port.policy.rule_count() as i64);

@@ -62,7 +62,7 @@ fn build_router(port_rules: &[RuleGen]) -> EdgeRouter {
     let mut er = EdgeRouter::new(HardwareInfoBase::lab_switch());
     for (p, rules) in port_rules.iter().enumerate() {
         let asn = 64500 + p as u32;
-        let pid = PortId(p as u16 + 1);
+        let pid = PortId(p as u32 + 1);
         er.add_port(
             pid,
             MemberPort::new(asn, MacAddr::for_member(asn, 1), 100_000_000),
@@ -128,6 +128,10 @@ proptest! {
         seq.set_tick_workers(1);
         let mut par = build_router(&port_rules);
         par.set_tick_workers(4);
+        // Defeat the adaptive cutoff: these topologies are far below the
+        // default threshold, and the property under test is the parallel
+        // path itself.
+        par.set_parallel_min_work(0);
         let n_ports = port_rules.len();
         for (t, tick) in ticks.iter().enumerate() {
             let offers = offers_for_tick(n_ports, tick);

@@ -10,7 +10,10 @@
 //! - [`traffic`] — flow-level workload generators: a benign web mix,
 //!   amplification attacks, and the booter service used in §2.4/§5.3;
 //! - [`topology`] — assembles members, the route server, and the edge
-//!   router into a runnable IXP;
+//!   fabric into a runnable IXP;
+//! - [`fabric`] — the multi-PoP data plane: N edge routers, a
+//!   member-port→PoP assignment, and the deterministic per-tick
+//!   cross-PoP aggregate exchange;
 //! - [`collector`] — IPFIX-like flow collection and time-series queries
 //!   (the measurement pipeline of §2.3);
 //! - [`honoring`] — the RTBH compliance model (≈70 % of members do not
@@ -21,6 +24,7 @@
 
 pub mod collector;
 pub mod engine;
+pub mod fabric;
 pub mod honoring;
 pub mod time;
 pub mod topology;
@@ -28,6 +32,7 @@ pub mod traffic;
 
 pub use collector::{FlowCollector, TimeSeries};
 pub use engine::{Engine, Scheduler};
+pub use fabric::{Fabric, FabricCounters, PopId};
 pub use honoring::HonoringModel;
 pub use time::{secs, us_to_secs, SimTime};
 pub use topology::{IxpTopology, MemberSpec};

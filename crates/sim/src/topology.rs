@@ -1,5 +1,6 @@
-//! IXP topology assembly: members, route server, edge router.
+//! IXP topology assembly: members, route server, edge fabric.
 
+use crate::fabric::{Fabric, PopId};
 use crate::honoring::HonoringModel;
 use std::collections::BTreeMap;
 use stellar_bgp::attr::{AsPath, PathAttribute};
@@ -7,7 +8,7 @@ use stellar_bgp::types::Asn;
 use stellar_bgp::update::UpdateMessage;
 use stellar_dataplane::hardware::HardwareInfoBase;
 use stellar_dataplane::port::MemberPort;
-use stellar_dataplane::switch::{EdgeRouter, PortId};
+use stellar_dataplane::switch::PortId;
 use stellar_net::addr::Ipv4Address;
 use stellar_net::mac::MacAddr;
 use stellar_net::prefix::{Ipv4Prefix, Prefix};
@@ -58,10 +59,20 @@ pub struct MemberInfo {
     pub prefixes: Vec<Prefix>,
 }
 
+/// Number of PoPs topologies build with: `STELLAR_POPS` when set (and at
+/// least 1), else 1 — the legacy single-router shape.
+pub fn pops_from_env() -> usize {
+    std::env::var("STELLAR_POPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// An assembled IXP.
 pub struct IxpTopology {
-    /// The switching platform.
-    pub router: EdgeRouter,
+    /// The switching platform: a fabric of one or more edge routers.
+    pub fabric: Fabric,
     /// The route server.
     pub route_server: RouteServer,
     /// Members by ASN.
@@ -71,20 +82,33 @@ pub struct IxpTopology {
 }
 
 impl IxpTopology {
-    /// Builds an IXP: one ER with one port per member, a route server with
-    /// every member's prefixes IRR-registered, and the paper's honoring
-    /// model.
+    /// Builds an IXP with [`pops_from_env`] PoPs: one port per member
+    /// (round-robined over PoPs), a route server with every member's
+    /// prefixes IRR-registered, and the paper's honoring model.
     pub fn build(specs: &[MemberSpec], hib: HardwareInfoBase) -> Self {
-        let mut router = EdgeRouter::new(hib);
+        Self::build_with_pops(specs, hib, pops_from_env())
+    }
+
+    /// Builds an IXP across `pops` PoPs. Member `i` lands on PoP
+    /// `i % pops`, so every PoP carries an even share of the membership;
+    /// with `pops == 1` this is exactly the legacy single-router
+    /// topology.
+    pub fn build_with_pops(specs: &[MemberSpec], hib: HardwareInfoBase, pops: usize) -> Self {
+        let pops = pops.max(1);
+        let mut fabric = Fabric::new(hib, pops);
         let rs_config = RouteServerConfig::l_ixp();
         let mut irr = IrrDb::new();
         let mut members = BTreeMap::new();
         for (i, spec) in specs.iter().enumerate() {
             let asn = Asn(spec.asn);
             let mac = MacAddr::for_member(spec.asn, 1);
-            let port = PortId(i as u16 + 1);
+            let port = PortId(i as u32 + 1);
             let peering_ip = Ipv4Address::new(80, 81, (192 + i / 250) as u8, (i % 250 + 1) as u8);
-            router.add_port(port, MemberPort::new(spec.asn, mac, spec.capacity_bps));
+            fabric.add_port(
+                PopId((i % pops) as u16),
+                port,
+                MemberPort::new(spec.asn, mac, spec.capacity_bps),
+            );
             for p in &spec.prefixes {
                 irr.register(*p, asn);
             }
@@ -104,7 +128,7 @@ impl IxpTopology {
             route_server.add_peer(*asn, info.peering_ip);
         }
         IxpTopology {
-            router,
+            fabric,
             route_server,
             members,
             honoring: HonoringModel::paper(),
@@ -203,8 +227,8 @@ mod tests {
         assert_eq!(ixp.members.len(), 10);
         // Every member has a port and the MAC maps back to it.
         for (asn, info) in &ixp.members {
-            assert_eq!(ixp.router.port_of_mac(info.mac), Some(info.port));
-            assert_eq!(ixp.router.port(info.port).unwrap().member_asn, asn.0);
+            assert_eq!(ixp.fabric.port_of_mac(info.mac), Some(info.port));
+            assert_eq!(ixp.fabric.port(info.port).unwrap().member_asn, asn.0);
         }
         let accepted = ixp.announce_all(0);
         assert_eq!(accepted, 10);
@@ -225,6 +249,26 @@ mod tests {
         let hijack = ixp.announcement(Asn(64501), prefix);
         let out = ixp.route_server.handle_update(Asn(64501), &hijack, 0);
         assert_eq!(out.rejections.len(), 1);
+    }
+
+    #[test]
+    fn build_with_pops_round_robins_members() {
+        let specs = generic_members(64500, 10);
+        let ixp = IxpTopology::build_with_pops(&specs, HardwareInfoBase::lab_switch(), 4);
+        assert_eq!(ixp.fabric.num_pops(), 4);
+        // ASNs ascend with the build index, so the BTreeMap walk
+        // reproduces the round-robin order.
+        for (i, info) in ixp.members.values().enumerate() {
+            assert_eq!(
+                ixp.fabric.pop_of_port(info.port),
+                Some(PopId((i % 4) as u16))
+            );
+        }
+        // Each of the 4 PoPs carries 2-3 of the 10 members.
+        for r in ixp.fabric.routers() {
+            let n = r.ports().count();
+            assert!((2..=3).contains(&n));
+        }
     }
 
     #[test]

@@ -21,6 +21,12 @@ cleanup() {
   if [ -f results/metrics_quickstart.hash.json ]; then
     mv -f results/metrics_quickstart.hash.json results/metrics_quickstart.json
   fi
+  if [ -f results/metrics_quickstart.pop4.json ]; then
+    rm -f results/metrics_quickstart.pop4.json
+  fi
+  if [ -f results/metrics_quickstart.pop1.json ]; then
+    mv -f results/metrics_quickstart.pop1.json results/metrics_quickstart.json
+  fi
 }
 trap cleanup EXIT
 
@@ -57,8 +63,28 @@ mv results/metrics_quickstart.json results/metrics_quickstart.hash.json
 STELLAR_CLASSIFY_BACKEND=tree cargo run --release -q --example quickstart >/dev/null
 diff results/metrics_quickstart.hash.json results/metrics_quickstart.json
 
+echo "==> determinism gate: 4-PoP fabric run-twice and across worker counts (quickstart snapshot)"
+STELLAR_POPS=4 STELLAR_TICK_WORKERS=1 cargo run --release -q --example quickstart >/dev/null
+mv results/metrics_quickstart.json results/metrics_quickstart.pop4.json
+STELLAR_POPS=4 STELLAR_TICK_WORKERS=1 cargo run --release -q --example quickstart >/dev/null
+diff results/metrics_quickstart.pop4.json results/metrics_quickstart.json
+STELLAR_POPS=4 STELLAR_TICK_WORKERS=8 STELLAR_PARALLEL_MIN_WORK=0 \
+  cargo run --release -q --example quickstart >/dev/null
+diff results/metrics_quickstart.pop4.json results/metrics_quickstart.json
+rm -f results/metrics_quickstart.pop4.json
+
+echo "==> determinism gate: 1-PoP fabric matches the legacy single-router snapshot"
+STELLAR_POPS=1 cargo run --release -q --example quickstart >/dev/null
+mv results/metrics_quickstart.json results/metrics_quickstart.pop1.json
+cargo run --release -q --example quickstart >/dev/null
+diff results/metrics_quickstart.pop1.json results/metrics_quickstart.json
+rm -f results/metrics_quickstart.pop1.json
+
 echo "==> scale_sweep smoke: regenerate BENCH_pipeline.json (cross-mode equality asserted in-run)"
 STELLAR_SWEEP_SMOKE=1 cargo run --release -q -p stellar-bench --bin scale_sweep >/dev/null
+
+echo "==> pop_placement smoke: budget-aware placement + 4-PoP watchdog episode (asserted in-run)"
+cargo run --release -q -p stellar-bench --bin pop_placement >/dev/null
 
 echo "==> rule_audit smoke: static rule-table analysis + control-plane batch audit"
 cargo run --release -q -p stellar-bench --bin rule_audit >/dev/null

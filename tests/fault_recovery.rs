@@ -103,7 +103,7 @@ fn router_restart_mid_attack_recovers_via_reconciliation() {
     sys.pump(2_000_000);
     // Hardware is empty; the manager's bookkeeping still believes in 2
     // rules until reconciliation prunes it — the divergence under test.
-    assert_eq!(sys.ixp.router.total_rules(), 0, "restart wiped the filters");
+    assert_eq!(sys.ixp.fabric.total_rules(), 0, "restart wiped the filters");
     assert_eq!(sys.active_rules(), 2, "bookkeeping diverged");
     // Availability first: the attack flows again rather than the port
     // going dark...
@@ -166,7 +166,7 @@ fn tcam_exhaustion_walks_degradation_ladder_to_drop_all() {
         t += 10_000;
         assert!(t < 1_000_000, "fill phase stalled");
     }
-    assert_eq!(sys.ixp.router.tcam().l34_used(), 63);
+    assert_eq!(sys.ixp.fabric.l34_used_total(), 63);
 
     // The victim's fine rule (3 criteria) cannot fit. The retry budget
     // burns out, then the ladder steps down: UdpSrcPort -> AllUdp (2
@@ -182,7 +182,7 @@ fn tcam_exhaustion_walks_degradation_ladder_to_drop_all() {
 
     assert!(sys.is_converged());
     assert!(sys.dead_letters.is_empty());
-    assert_eq!(sys.ixp.router.tcam().l34_used(), 64);
+    assert_eq!(sys.ixp.fabric.l34_used_total(), 64);
     let victim_rule = sys
         .controller
         .desired_rules()

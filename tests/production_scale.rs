@@ -62,7 +62,7 @@ fn full_platform_brings_up_and_mitigates_many_members() {
     assert!(sys.dead_letters.is_empty());
 
     // TCAM accounting: 40 rules x 3 L3-L4 criteria.
-    assert_eq!(sys.ixp.router.tcam().l34_used(), 120);
+    assert_eq!(sys.ixp.fabric.l34_used_total(), 120);
 
     // Traffic to every victim: attack dropped, web forwarded, everywhere.
     let offers: Vec<OfferedAggregate> = victims
@@ -113,5 +113,5 @@ fn full_platform_brings_up_and_mitigates_many_members() {
         sys.pump(t2);
         assert!(t2 < t + 30_000_000, "teardown stalled");
     }
-    assert_eq!(sys.ixp.router.tcam().l34_used(), 0);
+    assert_eq!(sys.ixp.fabric.l34_used_total(), 0);
 }
