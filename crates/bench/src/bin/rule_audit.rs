@@ -33,8 +33,9 @@ const SHAPE_200M: RuleAction = RuleAction::Shape {
 };
 
 /// One member port's table, crafted so every finding kind appears:
-/// live rules, a shadowed rule, a redundant rule, a crossing conflict
-/// and a union-covered unreachable rule.
+/// live rules, a shadowed rule, an exact duplicate, a redundant
+/// narrower rule, a crossing conflict and a union-covered unreachable
+/// rule.
 fn demo_table() -> Vec<AuditRule> {
     let v = "100.10.10.10/32";
     let entries: Vec<(u64, MatchSpec, ActionClass)> = vec![
@@ -52,10 +53,19 @@ fn demo_table() -> Vec<AuditRule> {
             spec(StellarSignal::drop_udp_src(123), v),
             ActionClass::Drop,
         ),
-        // Redundant with 1 (covered, same action).
+        // Duplicate of 1 (identical match, identical action): an
+        // idempotent re-signal, distinct from mere coverage.
         (
             3,
             spec(sig(MatchKind::AllUdp, 0, SHAPE_200M), v),
+            ActionClass::Shape {
+                rate_bps: 200_000_000,
+            },
+        ),
+        // Redundant with 1 (strictly narrower, same action).
+        (
+            5,
+            spec(sig(MatchKind::UdpSrcPort, 53, SHAPE_200M), v),
             ActionClass::Shape {
                 rate_bps: 200_000_000,
             },
@@ -118,6 +128,7 @@ fn flag_json(flag: &RuleFlag) -> serde_json::Value {
     match flag {
         RuleFlag::Shadowed { by } => serde_json::json!({"kind": "shadowed", "by": by}),
         RuleFlag::Redundant { by } => serde_json::json!({"kind": "redundant", "by": by}),
+        RuleFlag::Duplicate { of } => serde_json::json!({"kind": "duplicate", "of": of}),
         RuleFlag::Unreachable => serde_json::json!({"kind": "unreachable"}),
         RuleFlag::Conflict { with } => serde_json::json!({"kind": "conflict", "with": with}),
         RuleFlag::Unverified => serde_json::json!({"kind": "unverified"}),

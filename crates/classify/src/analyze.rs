@@ -110,6 +110,15 @@ pub enum RuleFlag {
         /// The covering earlier rule.
         by: RuleId,
     },
+    /// An earlier rule has the *identical* match set AND the identical
+    /// action: a literal duplicate. Operationally a different story from
+    /// [`RuleFlag::Redundant`] (a broader rule happens to absorb this
+    /// one): a duplicate is almost always a double-signal or a replay,
+    /// and deleting either copy is safe.
+    Duplicate {
+        /// The earlier identical rule.
+        of: RuleId,
+    },
     /// No single earlier rule covers this one, but their union does (or
     /// the spec is self-contradictory): the witness search proved no
     /// packet can reach it as first-match.
@@ -133,7 +142,10 @@ impl RuleFlag {
     pub fn is_dead(&self) -> bool {
         matches!(
             self,
-            RuleFlag::Shadowed { .. } | RuleFlag::Redundant { .. } | RuleFlag::Unreachable
+            RuleFlag::Shadowed { .. }
+                | RuleFlag::Redundant { .. }
+                | RuleFlag::Duplicate { .. }
+                | RuleFlag::Unreachable
         )
     }
 }
@@ -232,10 +244,14 @@ pub fn analyze_with_budget(rules: &[AuditRule], budget: usize) -> TableAnalysis 
             .find(|e| spec_covers(&e.entry.spec, &rule.entry.spec));
         let dead = if let Some(e) = coverer {
             let by = e.entry.id;
-            Some(if e.action == rule.action {
-                RuleFlag::Redundant { by }
-            } else {
+            Some(if e.action != rule.action {
                 RuleFlag::Shadowed { by }
+            } else if spec_covers(&rule.entry.spec, &e.entry.spec) {
+                // Mutual cover = identical match set; identical action
+                // too, so this is a literal duplicate of `e`.
+                RuleFlag::Duplicate { of: by }
+            } else {
+                RuleFlag::Redundant { by }
             })
         } else {
             // No single cover: search for a first-match witness against
@@ -299,7 +315,7 @@ pub fn table_usage(rules: &[AuditRule]) -> TcamUsage {
 // criterion restricts the destination to IPv6.
 // ---------------------------------------------------------------------
 
-fn port_interval(pm: &PortMatch) -> (u16, u16) {
+pub(crate) fn port_interval(pm: &PortMatch) -> (u16, u16) {
     match pm {
         PortMatch::Exact(p) => (*p, *p),
         PortMatch::Range(lo, hi) => (*lo, *hi),
@@ -310,24 +326,24 @@ fn port_interval(pm: &PortMatch) -> (u16, u16) {
 /// by value, exact enough to decide every protocol coupling (ports, TCP
 /// flags, ICMP fields) without case analysis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ProtoSet {
+pub(crate) struct ProtoSet {
     lo: u128,
     hi: u128,
 }
 
 impl ProtoSet {
-    const ALL: ProtoSet = ProtoSet {
+    pub(crate) const ALL: ProtoSet = ProtoSet {
         lo: u128::MAX,
         hi: u128::MAX,
     };
 
-    fn single(p: IpProtocol) -> Self {
+    pub(crate) fn single(p: IpProtocol) -> Self {
         let mut s = ProtoSet { lo: 0, hi: 0 };
         s.insert(p.0);
         s
     }
 
-    fn from_pred(f: impl Fn(IpProtocol) -> bool) -> Self {
+    pub(crate) fn from_pred(f: impl Fn(IpProtocol) -> bool) -> Self {
         let mut s = ProtoSet { lo: 0, hi: 0 };
         for p in 0..=255u8 {
             if f(IpProtocol(p)) {
@@ -345,30 +361,39 @@ impl ProtoSet {
         }
     }
 
-    fn and(self, o: ProtoSet) -> ProtoSet {
+    pub(crate) fn and(self, o: ProtoSet) -> ProtoSet {
         ProtoSet {
             lo: self.lo & o.lo,
             hi: self.hi & o.hi,
         }
     }
 
-    fn is_empty(self) -> bool {
+    pub(crate) fn is_empty(self) -> bool {
         self.lo == 0 && self.hi == 0
     }
 
-    fn is_subset(self, o: ProtoSet) -> bool {
+    pub(crate) fn is_subset(self, o: ProtoSet) -> bool {
         self.and(o) == self
+    }
+
+    /// Membership test for one protocol number.
+    pub(crate) fn contains(self, p: u8) -> bool {
+        if p < 128 {
+            self.lo & (1u128 << p) != 0
+        } else {
+            self.hi & (1u128 << (p - 128)) != 0
+        }
     }
 }
 
-fn portful_protos() -> ProtoSet {
+pub(crate) fn portful_protos() -> ProtoSet {
     ProtoSet::from_pred(|p| p.has_ports())
 }
 
 /// The protocols a key matching `s` can carry: the explicit protocol
 /// field intersected with every implicit protocol coupling (port
 /// criteria → port-bearing, TCP flags → TCP, ICMP type/code → ICMP).
-fn allowed_protos(s: &MatchSpec) -> ProtoSet {
+pub(crate) fn allowed_protos(s: &MatchSpec) -> ProtoSet {
     let mut set = match s.protocol {
         Some(p) => ProtoSet::single(p),
         None => ProtoSet::ALL,
@@ -665,14 +690,14 @@ fn fixed_iv<T: Copy + Into<u128>>(r: &Option<RangeMatch<T>>) -> Option<(u128, u1
     r.as_ref().map(|r| (r.lo.into(), r.hi.into()))
 }
 
-fn ip_num(addr: IpAddress) -> (bool, u128) {
+pub(crate) fn ip_num(addr: IpAddress) -> (bool, u128) {
     match addr {
         IpAddress::V4(Ipv4Address(b)) => (true, u128::from(u32::from_be_bytes(b))),
         IpAddress::V6(Ipv6Address(b)) => (false, u128::from_be_bytes(b)),
     }
 }
 
-fn num_ip(is_v4: bool, n: u128) -> IpAddress {
+pub(crate) fn num_ip(is_v4: bool, n: u128) -> IpAddress {
     if is_v4 {
         IpAddress::V4(Ipv4Address((n as u32).to_be_bytes()))
     } else {
@@ -681,7 +706,7 @@ fn num_ip(is_v4: bool, n: u128) -> IpAddress {
 }
 
 /// The prefix as an aligned address interval `(is_v4, lo, hi)`.
-fn prefix_interval(p: &Prefix) -> (bool, u128, u128) {
+pub(crate) fn prefix_interval(p: &Prefix) -> (bool, u128, u128) {
     let (is_v4, lo) = ip_num(p.network());
     let bits = if is_v4 { 32 } else { 128 };
     let host_bits = u32::from(bits - p.len());

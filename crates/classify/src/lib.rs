@@ -38,9 +38,14 @@ pub mod interval;
 pub mod pool;
 pub mod sharded;
 pub mod spec;
+pub mod verify;
 
 pub use analyze::{ActionClass, AuditRule, Finding, RuleFlag, TableAnalysis, TcamUsage};
 pub use backend::{Backend, BackendKind, FlowClassifier};
 pub use engine::{ClassifyEngine, ClassifyScratch, RuleEntry, RuleId};
 pub use interval::IntervalEngine;
 pub use spec::{BitsMatch, MatchSpec, PortMatch, RangeMatch};
+pub use verify::{
+    check_ladder_step, diff_tables, drop_not_contained, eval_table, tables_equivalent, DiffRegion,
+    Domain, LadderReport, Outcome, SemDiff, VerifyError, DEFAULT_VERIFY_BUDGET,
+};

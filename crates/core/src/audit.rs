@@ -45,6 +45,15 @@ pub enum AuditRejection {
     /// burn TCAM criteria and silently match nothing, so it is refused
     /// outright, before any shadowing analysis.
     EmptyMatch,
+    /// An exact duplicate: identical match set *and* identical action
+    /// as an earlier rule. Distinct from [`AuditRejection::Shadowed`] —
+    /// a duplicate is an idempotent re-signal (operator retries, tool
+    /// double-fires), not a conflicting intent, and telemetry counts
+    /// them separately.
+    Duplicate {
+        /// The earlier identical rule.
+        of: u64,
+    },
 }
 
 /// TCAM criteria accounting for the candidates that survived the audit,
@@ -114,7 +123,7 @@ impl From<RuleAction> for ActionClass {
     }
 }
 
-fn to_audit_rule(r: &BlackholingRule) -> AuditRule {
+pub(crate) fn to_audit_rule(r: &BlackholingRule) -> AuditRule {
     // Blackholing rules all compile at priority 100 (`to_filter_rule`),
     // so evaluation rank within a port is id order.
     AuditRule::new(
@@ -169,6 +178,7 @@ pub fn audit_batch(
                 Some(RuleFlag::Shadowed { by }) | Some(RuleFlag::Redundant { by }) => {
                     Some(AuditRejection::Shadowed { by: Some(by) })
                 }
+                Some(RuleFlag::Duplicate { of }) => Some(AuditRejection::Duplicate { of }),
                 Some(RuleFlag::Unreachable) => Some(AuditRejection::Shadowed { by: None }),
                 // A budget blowout proves nothing: admit.
                 Some(_) | None => report
@@ -258,6 +268,23 @@ mod tests {
             vec![(2, AuditRejection::Shadowed { by: Some(1) })]
         );
         // The rejected rule contributes nothing to the preadmit footprint.
+        assert_eq!(audit.preadmit.l34_needed, 0);
+    }
+
+    #[test]
+    fn identical_match_and_action_is_rejected_as_duplicate() {
+        // Same match set, same action: an idempotent re-signal, refused
+        // with its own reason — not blamed as a shadow (which implies a
+        // conflicting or strictly-wider earlier rule).
+        let desired = [
+            rule(1, 64500, StellarSignal::drop_udp_src(123)),
+            rule(2, 64500, StellarSignal::drop_udp_src(123)),
+        ];
+        let audit = audit_batch(&fab(), owner, &desired, &[2]);
+        assert_eq!(
+            audit.rejected,
+            vec![(2, AuditRejection::Duplicate { of: 1 })]
+        );
         assert_eq!(audit.preadmit.l34_needed, 0);
     }
 

@@ -52,6 +52,13 @@ pub enum LowerError {
     /// The action communities ask for something the dataplane cannot do
     /// (redirect, marking, non-finite rate).
     UnsupportedAction(&'static str),
+    /// The exactness proof ([`crate::proof::check_lowering`]) *proved*
+    /// the lowered specs disagree with the NLRI's packet set
+    /// (`"over-match"` or `"under-match"`). Installing a filter whose
+    /// semantics we can refute would break the isolation argument, so
+    /// the rule is refused. This indicates a lowering bug, never an
+    /// operator error.
+    Inexact(&'static str),
 }
 
 impl LowerError {
@@ -64,6 +71,7 @@ impl LowerError {
             LowerError::MissingDestPrefix => "missing-dest-prefix",
             LowerError::NoAction => "no-action",
             LowerError::UnsupportedAction(what) => what,
+            LowerError::Inexact(_) => "inexact-lowering",
         }
     }
 }
@@ -566,6 +574,13 @@ impl FlowSpecPlane {
     pub fn install(&mut self, acc: &AcceptedFlowSpec) -> Result<Vec<AbstractChange>, LowerError> {
         let action = lower_action(&acc.actions)?;
         let specs = lower_flowspec(&acc.flow)?;
+        // Obligation (a): before anything reaches desired state, prove
+        // the lowering exact against the independently built oracle.
+        // `Unverified` (oracle/budget overflow) installs anyway —
+        // refusal demands a *proven* violation, never a shrug.
+        if let Some(kind) = crate::proof::check_lowering(&acc.flow, &specs).violation_kind() {
+            return Err(LowerError::Inexact(kind));
+        }
         let Some(victim) = acc.flow.dst_prefix() else {
             return Err(LowerError::MissingDestPrefix);
         };

@@ -40,6 +40,7 @@ pub mod manager;
 pub mod mitigation;
 pub mod placement;
 pub mod portal;
+pub mod proof;
 pub mod qos_manager;
 pub mod rtbh;
 pub mod rule;

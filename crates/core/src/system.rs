@@ -28,6 +28,7 @@ use crate::faults::{
 };
 use crate::flowspec::{FlowSpecPlane, LowerError};
 use crate::manager::{AdmissionError, DeadLetterLog, NetworkManager};
+use crate::proof::{self, DEFAULT_VERIFY_BUDGET};
 use crate::qos_manager::QosNetworkManager;
 use crate::signal::StellarSignal;
 use crate::telemetry::{rule_telemetry, RuleTelemetry};
@@ -507,6 +508,10 @@ impl StellarSystem {
                     "analyze.rejected_empty",
                     ("reason".to_string(), "empty-match".to_string()),
                 ),
+                AuditRejection::Duplicate { of } => (
+                    "analyze.rejected_duplicate",
+                    ("of".to_string(), of.to_string()),
+                ),
             };
             self.obs.registry.counter_inc(counter);
             self.obs.event(
@@ -868,6 +873,12 @@ impl StellarSystem {
             }
         } else if error.is_degradable() {
             if let AbstractChange::AddRule(rule) = &qc.change {
+                // Obligation (b) needs the owner's table and the old
+                // spec as they were *before* the ladder rewrites
+                // desired state.
+                let ladder_owner = rule.owner;
+                let old_spec = rule.match_spec();
+                let before = self.owner_audit_table(ladder_owner);
                 match self.controller.degrade_rule(rule.id) {
                     DegradeOutcome::Degraded(coarser) => {
                         if let Some(to) = coarser.signal() {
@@ -879,6 +890,10 @@ impl StellarSystem {
                         }
                         self.obs.registry.counter_inc("core.degrades");
                         self.obs.spans.abandon("retry", rule_id);
+                        let after = self.owner_audit_table(ladder_owner);
+                        self.check_ladder_obligation(
+                            now_us, coarser.id, &before, &after, &old_spec,
+                        );
                         // Fresh change, fresh retry budget: the ladder
                         // can descend again if the coarser rule still
                         // does not fit.
@@ -924,6 +939,73 @@ impl StellarSystem {
         });
         if evicted > 0 {
             self.obs.registry.counter_add("deadletter.evicted", evicted);
+        }
+    }
+
+    /// One owner's desired table across both signaling planes, in the
+    /// audit shape the exact verifier consumes.
+    fn owner_audit_table(&self, owner: Asn) -> Vec<stellar_classify::AuditRule> {
+        let mut desired = self.controller.desired_rules();
+        desired.extend(self.flowspec.desired_rules());
+        proof::owner_table(&desired, owner)
+    }
+
+    /// Obligation (b): proves one degradation-ladder step monotone —
+    /// the dropped set may only widen, and shaped traffic the replaced
+    /// spec didn't cover must be untouched. A proven violation is
+    /// recorded like any watchdog invariant break; budget exhaustion
+    /// only bumps `verify.ladder.unverified` (exact-or-nothing, never a
+    /// sampled verdict).
+    fn check_ladder_obligation(
+        &mut self,
+        now_us: u64,
+        rule_id: u64,
+        before: &[stellar_classify::AuditRule],
+        after: &[stellar_classify::AuditRule],
+        old_spec: &stellar_classify::MatchSpec,
+    ) {
+        self.obs.registry.counter_inc("verify.ladder.checked");
+        let dom = stellar_classify::Domain::canonical();
+        match proof::check_ladder_step(before, after, old_spec, &dom, DEFAULT_VERIFY_BUDGET) {
+            Ok(report) if report.is_monotone() => {
+                let widened = report.widened_keys.min(u128::from(u64::MAX)) as u64;
+                self.obs
+                    .registry
+                    .counter_add("verify.ladder.widened_keys", widened);
+            }
+            Ok(report) => {
+                let detail = if let Some(r) = report.shrunk {
+                    format!("rule_id={rule_id} dropped set shrank ({} keys)", r.keys)
+                } else if let Some(r) = report.shaped_touched {
+                    format!(
+                        "rule_id={rule_id} uncovered shaped traffic touched ({} keys)",
+                        r.keys
+                    )
+                } else {
+                    format!("rule_id={rule_id}")
+                };
+                let v = self
+                    .watchdog
+                    .record(now_us, Invariant::LadderMonotone, detail);
+                self.obs.registry.counter_inc("watchdog.violations");
+                self.obs
+                    .registry
+                    .counter_inc("watchdog.violations.ladder_monotone");
+                self.obs.event(
+                    now_us,
+                    "watchdog.violation",
+                    vec![
+                        (
+                            "invariant".to_string(),
+                            Invariant::LadderMonotone.label().to_string(),
+                        ),
+                        ("detail".to_string(), v.detail),
+                    ],
+                );
+            }
+            Err(_) => {
+                self.obs.registry.counter_inc("verify.ladder.unverified");
+            }
         }
     }
 
@@ -1029,6 +1111,47 @@ impl StellarSystem {
                             format!("rule_id={} has no desired-state owner", rule.id),
                         ));
                     }
+                }
+            }
+
+            // Obligation (c), placement soundness: once converged, every
+            // occupied port's installed table must be semantically equal
+            // to its owner's desired table over that port's traffic —
+            // proven exactly, per port, with witness-backed differences.
+            // (While changes are in flight the tables legitimately
+            // diverge; convergence is the precondition of the equation.)
+            if self.is_converged() {
+                let mut desired = self.controller.desired_rules();
+                desired.extend(self.flowspec.desired_rules());
+                let placement = proof::check_placement(
+                    &self.ixp.fabric,
+                    &desired,
+                    |a| self.manager.owner_port(a),
+                    DEFAULT_VERIFY_BUDGET,
+                );
+                self.obs.registry.counter_add(
+                    "verify.placement.ports_checked",
+                    placement.ports_checked as u64,
+                );
+                if placement.unverified > 0 {
+                    self.obs
+                        .registry
+                        .counter_add("verify.placement.unverified", placement.unverified as u64);
+                }
+                for m in &placement.mismatches {
+                    found.push((
+                        Invariant::PlacementSound,
+                        format!(
+                            "port={} installed={} desired={} differing_keys={}",
+                            m.port.0, m.region.outcome_a, m.region.outcome_b, m.differing_keys
+                        ),
+                    ));
+                }
+                if placement.unplaced > 0 {
+                    found.push((
+                        Invariant::PlacementSound,
+                        format!("unplaced_desired_rules={}", placement.unplaced),
+                    ));
                 }
             }
         }

@@ -34,6 +34,17 @@ pub enum Invariant {
     /// Dead-letter requeues must drain: nothing may stay parked past its
     /// release time plus the grace bound.
     DeadLetterDrain,
+    /// A degradation-ladder step must be monotone: the dropped set may
+    /// only widen, and shaped traffic the old spec didn't cover must be
+    /// untouched (proved exactly by `classify::verify::check_ladder_step`
+    /// at each degrade).
+    LadderMonotone,
+    /// Once quiet and converged, every occupied egress port's installed
+    /// filter table must be semantically equal to its owner's desired
+    /// table over that port's traffic (proved exactly by
+    /// `proof::check_placement`); the union over ports then equals the
+    /// global intent.
+    PlacementSound,
 }
 
 impl Invariant {
@@ -45,17 +56,21 @@ impl Invariant {
             Invariant::RibPlaneConsistency => "rib_plane",
             Invariant::OrphanRule => "orphan_rules",
             Invariant::DeadLetterDrain => "deadletter_drain",
+            Invariant::LadderMonotone => "ladder_monotone",
+            Invariant::PlacementSound => "placement_sound",
         }
     }
 
     /// Every invariant, in label order (catalogue iteration for docs,
     /// tests and zeroed counter initialisation).
-    pub fn all() -> [Invariant; 5] {
+    pub fn all() -> [Invariant; 7] {
         [
             Invariant::Convergence,
             Invariant::DeadLetterDrain,
+            Invariant::LadderMonotone,
             Invariant::LedgerConservation,
             Invariant::OrphanRule,
+            Invariant::PlacementSound,
             Invariant::RibPlaneConsistency,
         ]
     }

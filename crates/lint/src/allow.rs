@@ -22,6 +22,12 @@
 
 use crate::rules::{Finding, Rule};
 
+/// Hard ceiling on the total `no-unwrap` budget the allowlist may
+/// grant, enforced by the CLI. A ratchet, not a target: lower it as
+/// the debt burns down, never raise it. History: 150 at introduction
+/// (58 live sites), 80 after the verify PR's ratchet (50 live sites).
+pub const MAX_NO_UNWRAP_BUDGET: usize = 80;
+
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
@@ -135,6 +141,15 @@ impl Allowlist {
     /// Total budgeted sites across all entries.
     pub fn total_budget(&self) -> usize {
         self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Total budget for one rule across all entries.
+    pub fn rule_budget(&self, rule: &str) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.rule == rule)
+            .map(|e| e.count)
+            .sum()
     }
 
     /// Budget for a (rule, path) pair: the sum over matching entries.
@@ -288,6 +303,8 @@ justification = \"host-time bench helper, not in the sim loop\"
         assert_eq!(allow.entries[0].count, 3);
         assert_eq!(allow.entries[1].rule, "nondeterminism");
         assert_eq!(allow.total_budget(), 4);
+        assert_eq!(allow.rule_budget("no-unwrap"), 3);
+        assert_eq!(allow.rule_budget("hash-iter"), 0);
     }
 
     #[test]

@@ -57,6 +57,14 @@ fn run() -> Result<usize, String> {
     } else {
         Allowlist::default()
     };
+    let panic_budget = allowlist.rule_budget("no-unwrap");
+    if panic_budget > allow::MAX_NO_UNWRAP_BUDGET {
+        return Err(format!(
+            "lint-allow.toml grants {panic_budget} no-unwrap sites; the ratchet cap is {} — \
+             burn debt, don't raise budgets",
+            allow::MAX_NO_UNWRAP_BUDGET
+        ));
+    }
     let findings = scan_workspace(&args.root).map_err(|e| format!("scanning workspace: {e}"))?;
     let applied = allow::apply(findings, &allowlist);
     if let Some(json_path) = &args.json {

@@ -14,6 +14,10 @@ pub enum Rule {
     /// `unwrap()` / `expect()` / `panic!` / `unreachable!` in non-test
     /// code.
     NoUnwrap,
+    /// Raw `std::env::var` reads outside a `*from_env` knob reader:
+    /// runtime behavior must not fork on an unregistered environment
+    /// knob.
+    EnvVar,
 }
 
 impl Rule {
@@ -23,6 +27,7 @@ impl Rule {
             Rule::Nondeterminism => "nondeterminism",
             Rule::HashIter => "hash-iter",
             Rule::NoUnwrap => "no-unwrap",
+            Rule::EnvVar => "env-var",
         }
     }
 
@@ -32,13 +37,19 @@ impl Rule {
             "nondeterminism" => Rule::Nondeterminism,
             "hash-iter" => Rule::HashIter,
             "no-unwrap" => Rule::NoUnwrap,
+            "env-var" => Rule::EnvVar,
             _ => return None,
         })
     }
 
     /// Every rule, for iteration.
-    pub fn all() -> [Rule; 3] {
-        [Rule::Nondeterminism, Rule::HashIter, Rule::NoUnwrap]
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::Nondeterminism,
+            Rule::HashIter,
+            Rule::NoUnwrap,
+            Rule::EnvVar,
+        ]
     }
 }
 
@@ -101,9 +112,24 @@ pub fn check_file(rel_path: &str, krate: &str, text: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
     let det = DETERMINISTIC_CRATES.contains(&krate);
     let hash_idents = collect_hash_idents(&lines);
+    let mut current_fn = String::new();
     for (idx, line) in lines.iter().enumerate() {
+        if let Some(name) = declared_fn_name(&line.code) {
+            current_fn = name;
+        }
         if line.in_test {
             continue;
+        }
+        if line.code.contains("env::var") && !current_fn.ends_with("from_env") {
+            findings.push(Finding {
+                rule: Rule::EnvVar.name(),
+                path: rel_path.to_string(),
+                line: line.number,
+                message: format!(
+                    "`env::var` in `{current_fn}` — runtime knobs must be read in a \
+                     `*from_env` reader (or carry an allowlist justification)"
+                ),
+            });
         }
         if det {
             for (pat, why) in NONDET_PATTERNS {
@@ -148,6 +174,23 @@ pub fn check_file(rel_path: &str, krate: &str, text: &str) -> Vec<Finding> {
         }
     }
     findings
+}
+
+/// The function name a line declares (`fn name` in any position), if
+/// any — the coarse "enclosing function" tracker the `env-var` rule
+/// keys its `*from_env` exemption off. Nested declarations simply
+/// overwrite; good enough for a rule whose false positives land in the
+/// allowlist with a justification.
+fn declared_fn_name(code: &str) -> Option<String> {
+    let pos = code.find("fn ")?;
+    if is_ident_tail(code, pos) {
+        return None;
+    }
+    let name: String = code[pos + 3..]
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
 }
 
 /// Identifiers declared as `HashMap`/`HashSet` anywhere in the file
@@ -308,6 +351,41 @@ fn f(s: &S) -> Vec<u32> {
 }
 ";
         assert!(check_file("x.rs", "net", src).is_empty());
+    }
+
+    #[test]
+    fn env_var_outside_from_env_fires() {
+        let src = "\
+pub fn tick_budget() -> u64 {
+    std::env::var(\"STELLAR_BUDGET\").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+";
+        let f = check_file("x.rs", "core", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "env-var").count(), 1);
+    }
+
+    #[test]
+    fn env_var_inside_from_env_reader_is_clean() {
+        let src = "\
+pub fn pops_from_env() -> usize {
+    std::env::var(\"STELLAR_POPS\").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}
+impl Tuning {
+    pub fn from_env() -> Self {
+        let raw = std::env::var(\"STELLAR_RETRIES\");
+        Tuning { raw }
+    }
+}
+";
+        let f = check_file("x.rs", "core", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "env-var").count(), 0);
+    }
+
+    #[test]
+    fn env_var_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { std::env::var(\"X\").ok(); }\n}\n";
+        let f = check_file("x.rs", "core", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "env-var").count(), 0);
     }
 
     #[test]

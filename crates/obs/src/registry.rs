@@ -25,9 +25,13 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Adds `v` to the counter `name` (creating it at zero).
+    /// Adds `v` to the counter `name` (creating it at zero). Saturates
+    /// instead of overflowing: counters carrying cardinality-derived
+    /// magnitudes (e.g. `verify.ladder.widened_keys`) legitimately pin
+    /// at `u64::MAX`.
     pub fn counter_add(&mut self, name: &str, v: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += v;
+        let c = self.counters.entry(name.to_string()).or_insert(0);
+        *c = c.saturating_add(v);
     }
 
     /// Increments the counter `name` by one.

@@ -81,6 +81,33 @@ fn main() {
         t.discarded_bytes / 1_000_000
     );
 
+    // While the rule is live, the placement-soundness obligation must
+    // hold: the fabric's installed tables are semantically equal to the
+    // signalled intent over every port's traffic — proven exactly by
+    // the packet-set algebra, not sampled.
+    assert!(system.is_converged());
+    let desired: Vec<_> = system
+        .controller
+        .desired_rules()
+        .into_iter()
+        .chain(system.flowspec.desired_rules())
+        .collect();
+    let placement = stellar_core::proof::check_placement(
+        &system.ixp.fabric,
+        &desired,
+        |a| system.manager.owner_port(a),
+        stellar_core::proof::DEFAULT_VERIFY_BUDGET,
+    );
+    assert!(
+        placement.is_sound(),
+        "placement obligation violated: {:?}",
+        placement.mismatches
+    );
+    println!(
+        "placement proof: {} occupied port(s) exactly match intent",
+        placement.ports_checked
+    );
+
     // 6. Attack over: withdraw the /32 and the rule disappears.
     system.member_withdraw(victim_asn, victim_prefix, 4_000_000);
     system.pump(4_000_000);

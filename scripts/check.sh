@@ -27,6 +27,12 @@ cleanup() {
   if [ -f results/metrics_quickstart.pop1.json ]; then
     mv -f results/metrics_quickstart.pop1.json results/metrics_quickstart.json
   fi
+  if [ -f results/rule_diff.run1.json ]; then
+    mv -f results/rule_diff.run1.json results/rule_diff.json
+  fi
+  if [ -f results/lint.run1.json ]; then
+    mv -f results/lint.run1.json results/lint.json
+  fi
 }
 trap cleanup EXIT
 
@@ -37,7 +43,12 @@ echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> stellar-lint (workspace invariants: determinism, snapshot ordering, panic budget)"
-cargo run --release -q -p stellar-lint -- --root .
+cargo run --release -q -p stellar-lint -- --root . --json results/lint.json
+
+echo "==> stellar-lint --json artifact is byte-identical across runs"
+mv results/lint.json results/lint.run1.json
+cargo run --release -q -p stellar-lint -- --root . --json results/lint.json >/dev/null
+diff results/lint.run1.json results/lint.json
 
 echo "==> cargo test -q"
 cargo test -q
@@ -88,6 +99,17 @@ cargo run --release -q -p stellar-bench --bin pop_placement >/dev/null
 
 echo "==> rule_audit smoke: static rule-table analysis + control-plane batch audit"
 cargo run --release -q -p stellar-bench --bin rule_audit >/dev/null
+
+echo "==> rule_diff gate: semantic diff + proof obligations over adversarial fixtures"
+# Every obligation (lowering exactness, ladder monotonicity, placement
+# soundness) and every sabotage detection is asserted inside the binary;
+# the quickstart runs above assert the placement obligation on the live
+# 1-PoP and 4-PoP episodes. The artifact must be byte-identical across
+# two from-scratch runs.
+cargo run --release -q -p stellar-bench --bin rule_diff >/dev/null
+mv results/rule_diff.json results/rule_diff.run1.json
+cargo run --release -q -p stellar-bench --bin rule_diff >/dev/null
+diff results/rule_diff.run1.json results/rule_diff.json
 
 echo "==> flowspec conformance: hex wire vectors decode/re-encode byte-identically"
 cargo test --release -q -p stellar-bgp --test flowspec_conformance
